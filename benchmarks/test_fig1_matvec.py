@@ -1,0 +1,83 @@
+"""Fig. 1: fault propagation in iterative Matrix-Vector multiplication.
+
+Reproduces the paper's exact worked example: the A[3][3] bit-2 flip
+(6 -> 2) contaminates 25 % of the 24-word memory state after two
+iterations and 37.5 % after three, with 100 % of the output vector b
+corrupted.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.apps.matvec import matvec_source
+from repro.core.config import RunConfig
+from repro.core.runner import build_program
+from repro.vm import FaultSpec, Machine, MachineStatus
+
+from conftest import save_artifact
+
+STATE_WORDS = 24  # A (16) + x (4) + b (4)
+
+
+def _build():
+    config = RunConfig(nranks=1, quantum=16, inject_kinds=("arith", "mem"))
+    return build_program(matvec_source(3), "fpm", config=config)
+
+
+def _find_a33_occurrence(program) -> int:
+    probe = Machine(program)
+    probe.start()
+    while probe.run(10 ** 5) is MachineStatus.READY:
+        pass
+    for occ in range(1, probe.inj_counter + 1):
+        m = Machine(program)
+        m.arm_faults([FaultSpec(0, occ, bit=2, operand=0)])
+        m.start()
+        while m.run(10 ** 5) is MachineStatus.READY:
+            pass
+        if m.injection_events:
+            ev = m.injection_events[0]
+            if ev.before == 6 and ev.after == 2 and \
+                    "fpm_store" in program.site_table[ev.site][2]:
+                return occ
+    raise AssertionError("A[3][3] initialisation store not found")
+
+
+def _profile(program, occ):
+    m = Machine(program)
+    m.arm_faults([FaultSpec(0, occ, bit=2, operand=0)])
+    m.start()
+    per_iter = {}
+    last = -1
+    while m.run(16) is MachineStatus.READY:
+        if m.iteration_count != last:
+            last = m.iteration_count
+            per_iter[last] = m.cml
+    per_iter[m.iteration_count] = m.cml
+    return m, per_iter
+
+
+def test_fig1_matvec(benchmark, results_dir):
+    program = _build()
+
+    def run():
+        occ = _find_a33_occurrence(program)
+        return _profile(program, occ)
+
+    machine, per_iter = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [it, cml, f"{100 * cml / STATE_WORDS:.1f}%"]
+        for it, cml in sorted(per_iter.items())
+    ]
+    table = render_table(["iteration", "CML", "% of state"], rows)
+    table += (
+        f"\n\nfaulty output b3 = {machine.outputs}"
+        f"\npaper expects    [1760, 1964, 2256, 1086]"
+        f"\npaper: 25% after 2 iterations, 37.5% after 3"
+    )
+    save_artifact(results_dir, "fig1_matvec.txt", table)
+
+    assert per_iter[2] == 6                  # 25 % of 24
+    assert per_iter[3] == 9                  # 37.5 % of 24
+    assert machine.outputs == [1760, 1964, 2256, 1086]

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The execution environment is offline and has no `wheel` package, so the
+PEP-517 editable build (which needs bdist_wheel) cannot run; this shim
+enables the legacy `setup.py develop` editable install path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,30 @@
+"""repro — reproduction of "Understanding the Propagation of Transient
+Errors in HPC Applications" (Ashraf et al., SC '15).
+
+The package builds the paper's entire stack from scratch in Python:
+
+* :mod:`repro.frontend` — MiniHPC, a small C-like language (stands in for
+  C/C++ + clang);
+* :mod:`repro.ir` / :mod:`repro.passes` — a typed register IR with the
+  LLFI++ fault-site marking pass and the FPM dual-chain transformation;
+* :mod:`repro.vm` / :mod:`repro.mpi` — a virtual machine per MPI rank and
+  a simulated MPI runtime with contamination-carrying messages;
+* :mod:`repro.fpm` — the runtime shadow table and propagation traces;
+* :mod:`repro.apps` — MiniHPC analogs of LULESH, LAMMPS, miniFE, AMG2013
+  and MCB, plus the paper's Fig. 1 matvec example;
+* :mod:`repro.inject` / :mod:`repro.analysis` / :mod:`repro.models` — the
+  campaign driver, outcome classification, and the FPS propagation
+  models of Sec. 5.
+
+Entry point: :class:`repro.core.FaultPropagationFramework`.
+"""
+
+from .core import FaultPropagationFramework, RunConfig, build_program, run_job
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FaultPropagationFramework", "ReproError", "RunConfig", "build_program",
+    "run_job", "__version__",
+]

@@ -1,0 +1,45 @@
+"""Analysis layer: outcome classification, coverage tests, statistics."""
+
+from .classify import Outcome, classify, outcome_fractions, outputs_match, values_match
+from .stats import (
+    COBreakdown,
+    ContaminationStats,
+    co_breakdown,
+    contamination_stats,
+    crash_kind_histogram,
+    rank_spread_curve,
+)
+from .export import (
+    campaign_from_json,
+    campaign_to_json,
+    load_campaign,
+    save_campaign,
+    trials_to_csv,
+)
+from .sites import (
+    SiteStats,
+    collect_site_stats,
+    render_site_ranking,
+    site_vulnerability,
+)
+from .uniformity import UniformityReport, coverage_histogram
+from .report import (
+    render_downsampled_profile,
+    render_fps_table,
+    render_histogram,
+    render_outcome_table,
+    render_series,
+    render_table,
+)
+
+__all__ = [
+    "COBreakdown", "ContaminationStats", "Outcome", "UniformityReport",
+    "SiteStats", "classify", "co_breakdown", "collect_site_stats",
+    "contamination_stats",
+    "coverage_histogram", "crash_kind_histogram", "outcome_fractions",
+    "outputs_match", "rank_spread_curve", "render_downsampled_profile",
+    "render_fps_table", "render_histogram", "render_outcome_table",
+    "render_series", "render_site_ranking", "render_table",
+    "site_vulnerability", "values_match", "campaign_from_json",
+    "campaign_to_json", "load_campaign", "save_campaign", "trials_to_csv",
+]

@@ -1,0 +1,89 @@
+"""Campaign statistics beyond raw outcome fractions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .classify import Outcome
+
+
+@dataclass(frozen=True)
+class ContaminationStats:
+    """Fig. 7f-style summary: how much memory state faults corrupt."""
+
+    app_name: str
+    n_trials: int
+    #: max over trials of the peak contaminated fraction
+    max_peak_fraction: float
+    #: mean peak fraction over contaminated trials
+    mean_peak_fraction: float
+    #: distribution percentiles of peak fractions (50/90/99)
+    p50: float
+    p90: float
+    p99: float
+
+
+def contamination_stats(app_name: str, trials: Sequence) -> ContaminationStats:
+    fracs = np.array(
+        [t.peak_cml_fraction for t in trials if t.ever_contaminated],
+        dtype=float,
+    )
+    if fracs.size == 0:
+        fracs = np.zeros(1)
+    return ContaminationStats(
+        app_name=app_name,
+        n_trials=len(trials),
+        max_peak_fraction=float(fracs.max()),
+        mean_peak_fraction=float(fracs.mean()),
+        p50=float(np.percentile(fracs, 50)),
+        p90=float(np.percentile(fracs, 90)),
+        p99=float(np.percentile(fracs, 99)),
+    )
+
+
+@dataclass(frozen=True)
+class COBreakdown:
+    """Sec. 4.3: how "correct output" splits into Vanished vs ONA."""
+
+    app_name: str
+    n_co: int
+    n_vanished: int
+    n_ona: int
+
+    @property
+    def ona_share(self) -> float:
+        """Fraction of CO runs whose memory state was contaminated."""
+        return self.n_ona / self.n_co if self.n_co else 0.0
+
+
+def co_breakdown(app_name: str, outcomes: Sequence[Outcome]) -> COBreakdown:
+    n_v = sum(1 for o in outcomes if o is Outcome.VANISHED)
+    n_ona = sum(1 for o in outcomes if o is Outcome.ONA)
+    return COBreakdown(
+        app_name=app_name, n_co=n_v + n_ona, n_vanished=n_v, n_ona=n_ona
+    )
+
+
+def rank_spread_curve(trial) -> List[Tuple[int, int]]:
+    """Fig. 8 series for one trial: (time, contaminated rank count) steps."""
+    if trial.times is None or trial.ranks_series is None:
+        return []
+    out: List[Tuple[int, int]] = []
+    prev = -1
+    for t, n in zip(trial.times, trial.ranks_series):
+        if n != prev:
+            out.append((int(t), int(n)))
+            prev = int(n)
+    return out
+
+
+def crash_kind_histogram(trials: Sequence) -> Dict[str, int]:
+    """What killed the crashed runs (pointer faults dominate, Sec. 4.2)."""
+    hist: Dict[str, int] = {}
+    for t in trials:
+        if t.trap_kind is not None:
+            hist[t.trap_kind] = hist.get(t.trap_kind, 0) + 1
+    return hist

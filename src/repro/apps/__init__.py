@@ -1,0 +1,17 @@
+"""MiniHPC proxy applications — analogs of the paper's benchmark suite.
+
+Importing this package registers all apps; use
+:func:`~repro.apps.registry.get_app` to build a spec.
+"""
+
+from . import amg, lammps, lulesh, matvec, mcb, minife  # noqa: F401  (register)
+from .registry import APP_BUILDERS, AppSpec, app_names, get_app, register_app
+
+#: The five paper applications (Fig. 6/7, Table 2); matvec is the Fig. 1
+#: worked example and not part of the campaign suite.
+PAPER_APPS = ("lulesh", "amg", "minife", "lammps", "mcb")
+
+__all__ = [
+    "APP_BUILDERS", "AppSpec", "PAPER_APPS", "app_names", "get_app",
+    "register_app",
+]

@@ -1,0 +1,290 @@
+"""amg_mini — algebraic multigrid analog of AMG2013.
+
+Three clearly separated phases, like AMG2013's profile in Fig. 7b:
+
+1. **Init** — assemble the fine-level 1-D Laplace system (rows
+   distributed across ranks).
+2. **Setup** — build the coarse-level operator by the Galerkin product
+   R A P with linear interpolation, entry-by-entry (the analog of AMG's
+   setup sweep).
+3. **Solve** — two-grid V-cycles: weighted-Jacobi smoothing on the fine
+   level with halo exchange, restriction of the residual (with a halo
+   exchange of boundary residuals), a distributed direct coarse solve
+   (residual gathered on rank 0, Thomas algorithm, correction slices
+   scattered back), prolongation + correction, repeated until the
+   residual norm drops below tolerance or a cycle cap.
+
+mark_iteration() counts solver V-cycles only, so a fault that delays
+convergence shows up as a PEX outcome.
+"""
+
+from __future__ import annotations
+
+from ..core.config import RunConfig
+from .registry import AppSpec, register_app
+
+
+def amg_source(n: int = 16, max_cycles: int = 60) -> str:
+    nc = n // 2
+    # Coarse full-system arrays live on rank 0; sized for up to 8 ranks.
+    ncg_cap = nc * 8
+    return f"""
+// Two-grid multigrid for 1-D Laplace, {n} fine rows/rank.
+func main(rank: int, size: int) {{
+    var n: int = {n};
+    var nc: int = {nc};
+    var nglob: int = n * size;
+    var ncglob: int = nc * size;
+
+    // fine level (tridiagonal rows)
+    var fd: float[{n}];
+    var fl: float[{n}];
+    var fr: float[{n}];
+    var b: float[{n}];
+    var u: float[{n}];
+    var res: float[{n}];
+    var tmp: float[{n}];
+    // coarse level: operator rows owned locally, full system assembled
+    // only on rank 0 for the direct solve
+    var cd: float[{ncg_cap}];
+    var cl: float[{ncg_cap}];
+    var cr: float[{ncg_cap}];
+    var cres_local: float[{nc}];
+    var cres: float[{ncg_cap}];
+    var cu: float[{ncg_cap}];
+    var cp: float[{ncg_cap}];   // Thomas scratch
+    var cq: float[{ncg_cap}];
+    var cslice: float[{nc + 1}];  // own coarse correction + left ghost
+    var hl: float[1];
+    var hr: float[1];
+    var rhl: float[1];
+    var rhr: float[1];
+    var sbuf: float[1];
+    var dot: float[1];
+    var dots: float[1];
+
+    var pi: float = 3.14159265358979;
+    var h: float = 1.0 / float(nglob + 1);
+
+    // ---------------- phase 1: init (fine assembly) ----------------
+    for (var i: int = 0; i < n; i += 1) {{
+        var k: float = 1.0 / (h * h);
+        fd[i] = 2.0 * k;
+        fl[i] = 0.0 - k;
+        fr[i] = 0.0 - k;
+        var xg: float = float(rank * n + i + 1) * h;
+        b[i] = pi * pi * sin(pi * xg) + 2.0;
+        u[i] = 0.0;
+    }}
+
+    // ---------------- phase 2: setup (Galerkin coarse operator) -----
+    // With linear interpolation P and full-weighting restriction R, the
+    // Galerkin product R A P of the 1-D Laplacian is the 2h Laplacian.
+    // Accumulate it entry-by-entry like AMG's setup sweep.
+    for (var j: int = 0; j < ncglob; j += 1) {{
+        var k: float = 1.0 / (h * h);
+        var acc_d: float = 0.0;
+        var acc_o: float = 0.0;
+        // R row weights (1/4, 1/2, 1/4) times A columns times P weights
+        acc_d += 0.25 * (2.0 * k) * 0.5;
+        acc_d += 0.5 * (2.0 * k) * 1.0;
+        acc_d += 0.25 * (2.0 * k) * 0.5;
+        acc_d += 0.25 * (0.0 - k) * 1.0;
+        acc_d += 0.5 * (0.0 - k) * 0.5;
+        acc_d += 0.5 * (0.0 - k) * 0.5;
+        acc_d += 0.25 * (0.0 - k) * 1.0;
+        // off-diagonal: R weight 1/2 against (A P)_centre = -k/2; the
+        // flanking full-weighting taps hit zero columns of A P.
+        acc_o += 0.5 * ((0.0 - k) * 0.5);
+        acc_o += 0.25 * 0.0;
+        acc_o += 0.25 * 0.0;
+        cd[j] = acc_d;
+        cl[j] = acc_o;
+        cr[j] = acc_o;
+    }}
+
+    // ---------------- phase 3: solve (two-grid V-cycles) ------------
+    var omega: float = 0.6666666;
+    var rn0: float = 0.0;
+    for (var i: int = 0; i < n; i += 1) {{
+        rn0 += b[i] * b[i];
+    }}
+    dot[0] = rn0;
+    mpi_allreduce(&dot[0], &dots[0], 1, 0);
+    rn0 = dots[0];
+    var rn: float = rn0;
+    var cycles: int = 0;
+
+    while (rn > 0.000000000001 * rn0 && cycles < {max_cycles}) {{
+        // -- pre-smoothing: 2 weighted-Jacobi sweeps with halo exchange
+        for (var s: int = 0; s < 2; s += 1) {{
+            if (rank > 0) {{
+                sbuf[0] = u[0];
+                mpi_send(&sbuf[0], 1, rank - 1, 1);
+            }}
+            if (rank < size - 1) {{
+                sbuf[0] = u[n - 1];
+                mpi_send(&sbuf[0], 1, rank + 1, 2);
+            }}
+            if (rank < size - 1) {{
+                mpi_recv(&hr[0], 1, rank + 1, 1);
+            }} else {{
+                hr[0] = 0.0;
+            }}
+            if (rank > 0) {{
+                mpi_recv(&hl[0], 1, rank - 1, 2);
+            }} else {{
+                hl[0] = 0.0;
+            }}
+            for (var i: int = 0; i < n; i += 1) {{
+                var left: float = hl[0];
+                var right: float = hr[0];
+                if (i > 0) {{
+                    left = u[i - 1];
+                }}
+                if (i < n - 1) {{
+                    right = u[i + 1];
+                }}
+                var ax: float = fl[i] * left + fr[i] * right;
+                tmp[i] = (1.0 - omega) * u[i] + omega * (b[i] - ax) / fd[i];
+            }}
+            for (var i: int = 0; i < n; i += 1) {{
+                u[i] = tmp[i];
+            }}
+        }}
+
+        // -- residual with fresh halo
+        if (rank > 0) {{
+            sbuf[0] = u[0];
+            mpi_send(&sbuf[0], 1, rank - 1, 1);
+        }}
+        if (rank < size - 1) {{
+            sbuf[0] = u[n - 1];
+            mpi_send(&sbuf[0], 1, rank + 1, 2);
+        }}
+        if (rank < size - 1) {{
+            mpi_recv(&hr[0], 1, rank + 1, 1);
+        }} else {{
+            hr[0] = 0.0;
+        }}
+        if (rank > 0) {{
+            mpi_recv(&hl[0], 1, rank - 1, 2);
+        }} else {{
+            hl[0] = 0.0;
+        }}
+        for (var i: int = 0; i < n; i += 1) {{
+            var left: float = hl[0];
+            var right: float = hr[0];
+            if (i > 0) {{
+                left = u[i - 1];
+            }}
+            if (i < n - 1) {{
+                right = u[i + 1];
+            }}
+            res[i] = b[i] - (fd[i] * u[i] + fl[i] * left + fr[i] * right);
+        }}
+
+        // -- exchange boundary residuals for full-weighting restriction
+        if (rank > 0) {{
+            sbuf[0] = res[0];
+            mpi_send(&sbuf[0], 1, rank - 1, 1);
+        }}
+        if (rank < size - 1) {{
+            mpi_recv(&rhr[0], 1, rank + 1, 1);
+        }} else {{
+            rhr[0] = 0.0;
+        }}
+
+        // -- restrict (full weighting) the local residual slice
+        for (var j: int = 0; j < nc; j += 1) {{
+            var i: int = 2 * j + 1;
+            var right: float = rhr[0];
+            if (i + 1 < n) {{
+                right = res[i + 1];
+            }}
+            cres_local[j] = 0.25 * res[i - 1] + 0.5 * res[i] + 0.25 * right;
+        }}
+
+        // -- gather the coarse residual on rank 0, solve directly with
+        // the Thomas algorithm, and scatter each rank its correction
+        // slice plus one left ghost value (distributed coarse solve)
+        if (rank > 0) {{
+            mpi_send(&cres_local[0], nc, 0, 30);
+            mpi_recv(&cslice[0], nc + 1, 0, 31);
+        }} else {{
+            for (var j: int = 0; j < nc; j += 1) {{
+                cres[j] = cres_local[j];
+            }}
+            for (var r: int = 1; r < size; r += 1) {{
+                mpi_recv(&cres[r * nc], nc, r, 30);
+            }}
+            cp[0] = cr[0] / cd[0];
+            cq[0] = cres[0] / cd[0];
+            for (var j: int = 1; j < ncglob; j += 1) {{
+                var denom: float = cd[j] - cl[j] * cp[j - 1];
+                cp[j] = cr[j] / denom;
+                cq[j] = (cres[j] - cl[j] * cq[j - 1]) / denom;
+            }}
+            cu[ncglob - 1] = cq[ncglob - 1];
+            for (var j: int = ncglob - 2; j >= 0; j -= 1) {{
+                cu[j] = cq[j] - cp[j] * cu[j + 1];
+            }}
+            for (var r: int = 1; r < size; r += 1) {{
+                mpi_send(&cu[r * nc - 1], nc + 1, r, 31);
+            }}
+            cslice[0] = 0.0;
+            for (var j: int = 0; j < nc; j += 1) {{
+                cslice[j + 1] = cu[j];
+            }}
+        }}
+
+        // -- prolongate own slice and correct
+        for (var j: int = 0; j < nc; j += 1) {{
+            var i: int = 2 * j + 1;
+            u[i] += cslice[j + 1];
+            u[i - 1] += 0.5 * (cslice[j] + cslice[j + 1]);
+        }}
+
+        // -- convergence check on the (pre-correction) residual
+        var rsum: float = 0.0;
+        for (var i: int = 0; i < n; i += 1) {{
+            rsum += res[i] * res[i];
+        }}
+        dot[0] = rsum;
+        mpi_allreduce(&dot[0], &dots[0], 1, 0);
+        rn = dots[0];
+        cycles += 1;
+        mark_iteration();
+    }}
+
+    // outputs: discretisation error against the analytic solution
+    // u = sin(pi x) + x(1-x), plus sampled solution values
+    var err: float = 0.0;
+    for (var i: int = 0; i < n; i += 1) {{
+        var xg: float = float(rank * n + i + 1) * h;
+        var diff: float = u[i] - (sin(pi * xg) + xg * (1.0 - xg));
+        err += diff * diff;
+    }}
+    dot[0] = err;
+    mpi_allreduce(&dot[0], &dots[0], 1, 0);
+    emit(sqrt(dots[0] * h));
+    for (var i: int = 0; i < n; i += 4) {{
+        emit(u[i]);
+    }}
+}}
+"""
+
+
+@register_app("amg")
+def build(n: int = 16, max_cycles: int = 60, nranks: int = 4) -> AppSpec:
+    if nranks > 8:
+        raise ValueError("amg replicates the coarse grid for at most 8 ranks")
+    return AppSpec(
+        name="amg",
+        source=amg_source(n, max_cycles),
+        config=RunConfig(nranks=nranks),
+        tolerance=0.05,
+        description="AMG2013 analog: two-grid multigrid with Galerkin "
+                    "setup phase and distributed direct coarse solve",
+        params={"n": n, "max_cycles": max_cycles, "nranks": nranks},
+    )

@@ -1,0 +1,204 @@
+"""lammps_mini — molecular dynamics analog of LAMMPS.
+
+2-D Lennard-Jones particles integrated with velocity Verlet in a strip
+decomposition along x: each step, every rank ships its particle positions
+to both neighbour ranks and computes forces against local + ghost
+particles within a cutoff (an EAM-metal stand-in at a tractable scale).
+The trajectory is chaotic, so even a tiny surviving perturbation shifts
+final positions/energies beyond the 5 % output tolerance — reproducing
+LAMMPS' position as the most output-vulnerable app in Fig. 6 while having
+one of the *lowest* FPS factors in Table 2 (each particle couples only to
+nearby particles, so contamination spreads slowly per cycle).
+
+A static lookup table is initialised and never read afterwards: faults
+landing in its initialisation contaminate memory that never propagates —
+the paper's flat lower profile in Fig. 7d.
+"""
+
+from __future__ import annotations
+
+from ..core.config import RunConfig
+from .registry import AppSpec, register_app
+
+
+def lammps_source(n: int = 8, steps: int = 60) -> str:
+    # Particles per rank n; strip of width `w` per rank, height `h`.
+    return f"""
+// 2-D Lennard-Jones molecular dynamics, {n} particles/rank.
+func main(rank: int, size: int) {{
+    var n: int = {n};
+    var px: float[{n}];
+    var py: float[{n}];
+    var vx: float[{n}];
+    var vy: float[{n}];
+    var fx: float[{n}];
+    var fy: float[{n}];
+    var gxl: float[{n}];   // ghosts from left neighbour
+    var gyl: float[{n}];
+    var gxr: float[{n}];   // ghosts from right neighbour
+    var gyr: float[{n}];
+    var table: float[48];  // static potential table: built, never used
+    var dens: float[16];   // density histogram (cell-list analog)
+    var ebuf: float[2];
+    var esum: float[2];
+
+    var spacing: float = 1.12;
+    var w: float = spacing * 4.0;       // strip width: 4 columns along x
+    var x0: float = float(rank) * w;
+    var dt: float = 0.005;
+    var rc2: float = 25.0;      // cutoff^2 = 5^2 (long-range, EAM-like)
+
+    for (var i: int = 0; i < 16; i += 1) {{
+        dens[i] = 0.0;
+    }}
+
+    // static potential lookup table (never read during the run)
+    for (var i: int = 0; i < 48; i += 1) {{
+        var r: float = 0.5 + 0.05 * float(i);
+        var ir6: float = 1.0 / (r * r * r * r * r * r);
+        table[i] = 4.0 * (ir6 * ir6 - ir6);
+    }}
+
+    // initial lattice (5 columns) + small deterministic velocity noise
+    for (var i: int = 0; i < n; i += 1) {{
+        var col: int = i % 4;
+        var row: int = i / 4;
+        px[i] = x0 + 0.28 + spacing * float(col);
+        py[i] = 0.56 + spacing * float(row);
+        vx[i] = 1.6 * (rand() - 0.5);
+        vy[i] = 1.6 * (rand() - 0.5);
+    }}
+
+    var pot: float = 0.0;
+    for (var t: int = 0; t < {steps}; t += 1) {{
+        // ship local positions to both neighbours (ghost exchange)
+        if (rank > 0) {{
+            mpi_send(&px[0], n, rank - 1, 1);
+            mpi_send(&py[0], n, rank - 1, 2);
+        }}
+        if (rank < size - 1) {{
+            mpi_send(&px[0], n, rank + 1, 3);
+            mpi_send(&py[0], n, rank + 1, 4);
+        }}
+        var has_l: int = 0;
+        var has_r: int = 0;
+        if (rank < size - 1) {{
+            mpi_recv(&gxr[0], n, rank + 1, 1);
+            mpi_recv(&gyr[0], n, rank + 1, 2);
+            has_r = 1;
+        }}
+        if (rank > 0) {{
+            mpi_recv(&gxl[0], n, rank - 1, 3);
+            mpi_recv(&gyl[0], n, rank - 1, 4);
+            has_l = 1;
+        }}
+
+        // forces: local pairs + ghosts within cutoff
+        pot = 0.0;
+        for (var i: int = 0; i < n; i += 1) {{
+            fx[i] = 0.0;
+            fy[i] = 0.0;
+        }}
+        for (var i: int = 0; i < n; i += 1) {{
+            for (var j: int = i + 1; j < n; j += 1) {{
+                var dx: float = px[i] - px[j];
+                var dy: float = py[i] - py[j];
+                var r2: float = dx * dx + dy * dy;
+                if (r2 < rc2) {{
+                    var ir2: float = 1.0 / r2;
+                    var ir6: float = ir2 * ir2 * ir2;
+                    var ff: float = 24.0 * ir6 * (2.0 * ir6 - 1.0) * ir2;
+                    fx[i] += ff * dx;
+                    fy[i] += ff * dy;
+                    fx[j] -= ff * dx;
+                    fy[j] -= ff * dy;
+                    pot += 4.0 * (ir6 * ir6 - ir6);
+                }}
+            }}
+            if (has_l == 1) {{
+                for (var j: int = 0; j < n; j += 1) {{
+                    var dx: float = px[i] - gxl[j];
+                    var dy: float = py[i] - gyl[j];
+                    var r2: float = dx * dx + dy * dy;
+                    if (r2 < rc2) {{
+                        var ir2: float = 1.0 / r2;
+                        var ir6: float = ir2 * ir2 * ir2;
+                        var ff: float = 24.0 * ir6 * (2.0 * ir6 - 1.0) * ir2;
+                        fx[i] += ff * dx;
+                        fy[i] += ff * dy;
+                    }}
+                }}
+            }}
+            if (has_r == 1) {{
+                for (var j: int = 0; j < n; j += 1) {{
+                    var dx: float = px[i] - gxr[j];
+                    var dy: float = py[i] - gyr[j];
+                    var r2: float = dx * dx + dy * dy;
+                    if (r2 < rc2) {{
+                        var ir2: float = 1.0 / r2;
+                        var ir6: float = ir2 * ir2 * ir2;
+                        var ff: float = 24.0 * ir6 * (2.0 * ir6 - 1.0) * ir2;
+                        fx[i] += ff * dx;
+                        fy[i] += ff * dy;
+                    }}
+                }}
+            }}
+        }}
+
+        // velocity Verlet kick + drift (single-kick leapfrog variant)
+        for (var i: int = 0; i < n; i += 1) {{
+            vx[i] += dt * fx[i];
+            vy[i] += dt * fy[i];
+            px[i] += dt * vx[i];
+            py[i] += dt * vy[i];
+        }}
+
+        // density histogram via position binning — the cell-list style
+        // integer indexing real MD codes do every reneighbouring step
+        // (a corrupted position or bin index segfaults, not clamps)
+        for (var i: int = 0; i < n; i += 1) {{
+            var c: int = int((px[i] - x0 + 2.0) / 0.6);
+            dens[c] += 1.0;
+        }}
+        mark_iteration();
+    }}
+
+    // outputs: reduced energies + sampled positions
+    var kin: float = 0.0;
+    for (var i: int = 0; i < n; i += 1) {{
+        kin += 0.5 * (vx[i] * vx[i] + vy[i] * vy[i]);
+    }}
+    ebuf[0] = kin;
+    ebuf[1] = pot;
+    mpi_allreduce(&ebuf[0], &esum[0], 2, 0);
+    emit(esum[0]);
+    emit(esum[1]);
+    for (var i: int = 0; i < n; i += 3) {{
+        emit(px[i]);
+        emit(py[i]);
+    }}
+    for (var i: int = 0; i < 16; i += 4) {{
+        emit(dens[i]);
+    }}
+}}
+"""
+
+
+@register_app("lammps")
+def build(n: int = 8, steps: int = 60, nranks: int = 4) -> AppSpec:
+    return AppSpec(
+        name="lammps",
+        source=lammps_source(n, steps),
+        config=RunConfig(nranks=nranks),
+        # MD trajectories are pointwise chaotic: the paper's real LAMMPS
+        # (32k atoms, 100 steps, much faster dynamics) pushes any surviving
+        # perturbation past 5 % well within the run.  This analog's horizon
+        # is ~0.3 LJ time units, far below the Lyapunov amplification the
+        # real code gets, so the output criterion is a trajectory digest:
+        # any deviation beyond float noise means a corrupted trajectory.
+        tolerance=1e-7,
+        abs_tolerance=1e-10,
+        description="LAMMPS analog: 2-D Lennard-Jones MD with ghost "
+                    "exchange; chaotic trajectory, unused static table",
+        params={"n": n, "steps": steps, "nranks": nranks},
+    )

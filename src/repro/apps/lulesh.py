@@ -1,0 +1,187 @@
+"""lulesh_mini — shock hydrodynamics analog of LULESH.
+
+A 1-D Lagrangian hydrodynamics code solving a Sod-like shock tube
+(standing in for LULESH's Sedov blast): staggered mesh with cell-centred
+energy/pressure and node-centred velocity/position, artificial viscosity,
+and a fixed time step.  The domain is block-decomposed across ranks with
+a cell-boundary halo exchange of (p + q) every step — LULESH's
+per-iteration nearest-neighbour exchange — and, like LULESH, an internal
+total-energy sanity check that calls ``mpi_abort`` when the solution
+leaves physical bounds (the paper notes this check converts would-be
+wrong-output runs into crashes, explaining LULESH's low WO share).
+"""
+
+from __future__ import annotations
+
+from ..core.config import RunConfig
+from .registry import AppSpec, register_app
+
+
+def lulesh_source(n: int = 24, steps: int = 40) -> str:
+    return f"""
+// 1-D Lagrangian shock hydrodynamics (Sod tube), {n} cells/rank.
+func main(rank: int, size: int) {{
+    var n: int = {n};
+    var x: float[{n + 1}];    // node positions
+    var u: float[{n + 1}];    // node velocities
+    var e: float[{n}];        // cell specific internal energy
+    var p: float[{n}];        // cell pressure
+    var q: float[{n}];        // cell artificial viscosity
+    var pq: float[{n}];       // p + q scratch
+    var sbuf: float[1];
+    var pql: float[1];        // halo: left neighbour's boundary p+q
+    var pqr: float[1];        // halo: right neighbour's boundary p+q
+    var ebuf: float[1];
+    var esum: float[1];
+
+    var gamma: float = 1.4;
+    var rho0: float = 1.0;
+    var dx: float = 1.0 / float(size * n);
+    var dt: float = 0.1 * dx;          // refined per step by the global CFL
+    var m: float = rho0 * dx;          // uniform cell mass
+    var half: int = size * n / 2;
+    var dtbuf: float[1];
+    var dtmin: float[1];
+
+    // --- initialisation: high-energy left half, quiescent right half
+    for (var i: int = 0; i < n + 1; i += 1) {{
+        x[i] = float(rank * n + i) * dx;
+        u[i] = 0.0;
+    }}
+    for (var i: int = 0; i < n; i += 1) {{
+        var g: int = rank * n + i;
+        if (g < half) {{
+            e[i] = 2.5;
+        }} else {{
+            e[i] = 0.25;
+        }}
+        p[i] = 0.0;
+        q[i] = 0.0;
+    }}
+
+    // reference total energy for the sanity check
+    var e0: float = 0.0;
+    for (var i: int = 0; i < n; i += 1) {{
+        e0 += e[i] * m;
+    }}
+    ebuf[0] = e0;
+    mpi_allreduce(&ebuf[0], &esum[0], 1, 0);
+    e0 = esum[0];
+
+    // --- time stepping
+    for (var t: int = 0; t < {steps}; t += 1) {{
+        // equation of state + artificial viscosity + local CFL constraint
+        var dtlocal: float = 1.0;
+        for (var i: int = 0; i < n; i += 1) {{
+            var vol: float = x[i + 1] - x[i];
+            var rho: float = m / vol;
+            p[i] = (gamma - 1.0) * rho * e[i];
+            var du: float = u[i + 1] - u[i];
+            if (du < 0.0) {{
+                q[i] = 2.0 * rho * du * du;
+            }} else {{
+                q[i] = 0.0;
+            }}
+            pq[i] = p[i] + q[i];
+            var cs: float = sqrt(gamma * (gamma - 1.0) * e[i]);
+            var dtc: float = 0.1 * vol / (cs + 0.0001);
+            if (dtc < dtlocal) {{
+                dtlocal = dtc;
+            }}
+        }}
+
+        // LULESH's CalcTimeConstraints: the time step is a global MIN
+        // reduction of the per-element Courant constraints, so one
+        // corrupted element perturbs dt — and through it every position
+        // and energy update — on every rank.
+        dtbuf[0] = dtlocal;
+        mpi_allreduce(&dtbuf[0], &dtmin[0], 1, 1);
+        dt = dtmin[0];
+
+        // halo exchange of boundary p+q with neighbours
+        if (rank > 0) {{
+            sbuf[0] = pq[0];
+            mpi_send(&sbuf[0], 1, rank - 1, 1);
+        }}
+        if (rank < size - 1) {{
+            sbuf[0] = pq[n - 1];
+            mpi_send(&sbuf[0], 1, rank + 1, 2);
+        }}
+        if (rank < size - 1) {{
+            mpi_recv(&pqr[0], 1, rank + 1, 1);
+        }} else {{
+            pqr[0] = pq[n - 1];   // reflective wall: zero gradient
+        }}
+        if (rank > 0) {{
+            mpi_recv(&pql[0], 1, rank - 1, 2);
+        }} else {{
+            pql[0] = pq[0];
+        }}
+
+        // momentum update (interior + shared boundary nodes)
+        for (var i: int = 1; i < n; i += 1) {{
+            u[i] += dt * (0.0 - (pq[i] - pq[i - 1])) / m;
+        }}
+        if (rank > 0) {{
+            u[0] += dt * (0.0 - (pq[0] - pql[0])) / m;
+        }} else {{
+            u[0] = 0.0;           // solid wall
+        }}
+        if (rank < size - 1) {{
+            u[n] += dt * (0.0 - (pqr[0] - pq[n - 1])) / m;
+        }} else {{
+            u[n] = 0.0;           // solid wall
+        }}
+
+        // position and energy update
+        for (var i: int = 0; i < n + 1; i += 1) {{
+            x[i] += dt * u[i];
+        }}
+        for (var i: int = 0; i < n; i += 1) {{
+            e[i] -= dt * pq[i] * (u[i + 1] - u[i]) / m;
+        }}
+
+        // LULESH-style internal check: total energy within bounds
+        var etot: float = 0.0;
+        for (var i: int = 0; i < n; i += 1) {{
+            etot += e[i] * m + 0.25 * (u[i] * u[i] + u[i + 1] * u[i + 1]) * m;
+        }}
+        ebuf[0] = etot;
+        mpi_allreduce(&ebuf[0], &esum[0], 1, 0);
+        if (esum[0] > 1.15 * e0) {{
+            mpi_abort(7);
+        }}
+        if (esum[0] < 0.85 * e0) {{
+            mpi_abort(7);
+        }}
+        mark_iteration();
+    }}
+
+    // --- outputs: aggregate verification quantities, like LULESH's
+    // final-origin-energy check — regional sums, not pointwise profiles
+    emit(esum[0]);
+    var psum: float = 0.0;
+    var usum: float = 0.0;
+    var xspan: float = x[n] - x[0];
+    for (var i: int = 0; i < n; i += 1) {{
+        psum += p[i];
+        usum += u[i] * u[i];
+    }}
+    emit(psum);
+    emit(usum);
+    emit(xspan);
+}}
+"""
+
+
+@register_app("lulesh")
+def build(n: int = 24, steps: int = 40, nranks: int = 4) -> AppSpec:
+    return AppSpec(
+        name="lulesh",
+        source=lulesh_source(n, steps),
+        config=RunConfig(nranks=nranks),
+        tolerance=0.05,
+        description="LULESH analog: 1-D Lagrangian shock hydrodynamics "
+                    "with per-step halo exchange and energy abort check",
+        params={"n": n, "steps": steps, "nranks": nranks},
+    )

@@ -1,0 +1,78 @@
+"""Iterative Matrix-Vector multiplication — the paper's Fig. 1 example.
+
+A constant 4x4 integer matrix A and input vector x0 = [1 2 2 3]; each
+iteration computes b = A x and feeds x = b into the next.  The paper
+walks through one bit flip changing A[3][3] from 6 to 2 and shows the
+contamination reaching 25 % of the memory state after two iterations and
+37.5 % after three; the Fig. 1 benchmark reproduces those exact numbers.
+
+Matrix entries are written through a register (``v = 6; A[15] = v;``) so
+that a ``mem``-kind injection site exists on each initialising store —
+flipping bit 1 of the stored register value 6 yields 4... bit 2 yields 2,
+the paper's example.
+"""
+
+from __future__ import annotations
+
+from ..core.config import RunConfig
+from .registry import AppSpec, register_app
+
+#: The exact matrix of paper Fig. 1, row-major.
+MATRIX = [
+    1, 2, 3, 4,
+    4, 2, 3, 1,
+    2, 4, 3, 3,
+    1, 1, 2, 6,
+]
+X0 = [1, 2, 2, 3]
+
+
+def matvec_source(iters: int = 3) -> str:
+    init_a = "\n    ".join(
+        f"v = {val}; A[{i}] = v;" for i, val in enumerate(MATRIX)
+    )
+    init_x = "\n    ".join(f"v = {val}; x[{i}] = v;" for i, val in enumerate(X0))
+    return f"""
+// Fig. 1: iterative matvec, b_i = A x_i, x_{{i+1}} = b_i
+func main(rank: int, size: int) {{
+    var A: int[16];
+    var x: int[4];
+    var b: int[4];
+    var v: int = 0;
+    {init_a}
+    {init_x}
+    for (var it: int = 0; it < {iters}; it += 1) {{
+        for (var i: int = 0; i < 4; i += 1) {{
+            var s: int = 0;
+            for (var j: int = 0; j < 4; j += 1) {{
+                s += A[i * 4 + j] * x[j];
+            }}
+            b[i] = s;
+        }}
+        mark_iteration();   // iteration boundary: b computed, x not yet fed back
+        for (var i: int = 0; i < 4; i += 1) {{
+            x[i] = b[i];
+        }}
+    }}
+    for (var i: int = 0; i < 4; i += 1) {{
+        emiti(b[i]);
+    }}
+}}
+"""
+
+
+@register_app("matvec")
+def build(iters: int = 3) -> AppSpec:
+    return AppSpec(
+        name="matvec",
+        source=matvec_source(iters),
+        config=RunConfig(
+            nranks=1,
+            quantum=16,  # fine-grained sampling: the program is tiny
+            inject_kinds=("arith", "mem"),
+        ),
+        tolerance=0.0,  # integer outputs must match exactly
+        abs_tolerance=0.0,
+        description="Fig. 1 worked example: iterative integer matvec",
+        params={"iters": iters},
+    )

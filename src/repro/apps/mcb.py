@@ -1,0 +1,220 @@
+"""mcb_mini — Monte Carlo transport analog of MCB.
+
+1-D particle transport with domain decomposition: each rank owns a slab
+of cells and a population of particles that stream with constant speed,
+scatter (direction flip) and are absorbed (weight deposited into a cell
+tally) with fixed probabilities drawn from the deterministic per-rank
+RNG.  Particles crossing a domain boundary are packed into a buffer and
+shipped to the neighbour rank — MCB's "when particles hit the boundary of
+a domain, they are buffered and then sent ... to the processor simulating
+the domain on the other side" — so faults piggyback on particle payloads
+across ranks.  Global domain ends are reflective.
+
+Every surviving particle touches a tally cell each step, so contamination
+fans out across the tally and particle arrays quickly — the highest FPS
+of the suite (Table 2), a property the paper attributes to the Monte
+Carlo method itself.
+"""
+
+from __future__ import annotations
+
+from ..core.config import RunConfig
+from .registry import AppSpec, register_app
+
+
+def mcb_source(n: int = 16, particles: int = 32, steps: int = 30) -> str:
+    cap = particles * 4
+    buf = particles * 3  # 3 words per packed particle
+    return f"""
+// 1-D Monte Carlo particle transport, {n} cells and {particles}
+// source particles per rank.
+func main(rank: int, size: int) {{
+    var n: int = {n};
+    var cap: int = {cap};
+    var pos: float[{cap}];
+    var dir: float[{cap}];
+    var wgt: float[{cap}];
+    var tally: float[{n}];
+    var edep: float[{n}];   // absorbed-energy census tally
+    var sendl: float[{buf}];
+    var sendr: float[{buf}];
+    var rbuf: float[{buf}];
+    var scnt: int[1];
+    var rcnt: int[1];
+    var wbuf: float[1];
+    var wsum: float[1];
+
+    var xlo: float = float(rank * n);
+    var xhi: float = float((rank + 1) * n);
+    var xend: float = float(size * n);
+    var step: float = 0.9;
+    var pscat: float = 0.3;
+    var pabs: float = 0.08;
+
+    for (var i: int = 0; i < n; i += 1) {{
+        tally[i] = 0.0;
+        edep[i] = 0.0;
+    }}
+    var nlocal: int = {particles};
+    for (var i: int = 0; i < nlocal; i += 1) {{
+        pos[i] = xlo + (float(i) + 0.5) * float(n) / float(nlocal);
+        if (rand() < 0.5) {{
+            dir[i] = 1.0;
+        }} else {{
+            dir[i] = 0.0 - 1.0;
+        }}
+        wgt[i] = 1.0;
+    }}
+
+    // initial global source weight, the population-control target
+    var wloc: float = 0.0;
+    for (var i: int = 0; i < nlocal; i += 1) {{
+        wloc += wgt[i];
+    }}
+    wbuf[0] = wloc;
+    mpi_allreduce(&wbuf[0], &wsum[0], 1, 0);
+    var wtarget: float = wsum[0];
+
+    for (var t: int = 0; t < {steps}; t += 1) {{
+        var cl: int = 0;    // particles packed for the left neighbour
+        var cr: int = 0;
+        var i: int = 0;
+        while (i < nlocal) {{
+            pos[i] += dir[i] * step;
+            // reflective global walls
+            if (pos[i] < 0.0) {{
+                pos[i] = 0.0 - pos[i];
+                dir[i] = 1.0;
+            }}
+            if (pos[i] >= xend) {{
+                pos[i] = 2.0 * xend - pos[i] - 0.0001;
+                dir[i] = 0.0 - 1.0;
+            }}
+            if (pos[i] < xlo) {{
+                // pack for the left neighbour, backfill from the end
+                sendl[3 * cl] = pos[i];
+                sendl[3 * cl + 1] = dir[i];
+                sendl[3 * cl + 2] = wgt[i];
+                cl += 1;
+                nlocal -= 1;
+                pos[i] = pos[nlocal];
+                dir[i] = dir[nlocal];
+                wgt[i] = wgt[nlocal];
+            }} else {{
+                if (pos[i] >= xhi) {{
+                    sendr[3 * cr] = pos[i];
+                    sendr[3 * cr + 1] = dir[i];
+                    sendr[3 * cr + 2] = wgt[i];
+                    cr += 1;
+                    nlocal -= 1;
+                    pos[i] = pos[nlocal];
+                    dir[i] = dir[nlocal];
+                    wgt[i] = wgt[nlocal];
+                }} else {{
+                    var cell: int = int(pos[i] - xlo);
+                    tally[cell] += 0.05 * wgt[i];   // path-length flux tally
+                    if (rand() < pscat) {{
+                        dir[i] = 0.0 - dir[i];       // isotropic scatter
+                    }}
+                    if (rand() < pabs) {{
+                        tally[cell] += wgt[i];       // absorption
+                        edep[cell] += wgt[i];        // energy-balance census
+                        nlocal -= 1;
+                        pos[i] = pos[nlocal];
+                        dir[i] = dir[nlocal];
+                        wgt[i] = wgt[nlocal];
+                    }} else {{
+                        i += 1;
+                    }}
+                }}
+            }}
+        }}
+
+        // ship boundary-crossers: count first, then payload
+        if (rank > 0) {{
+            scnt[0] = cl;
+            mpi_send(&scnt[0], 1, rank - 1, 10);
+            mpi_send(&sendl[0], 3 * cl, rank - 1, 11);
+        }}
+        if (rank < size - 1) {{
+            scnt[0] = cr;
+            mpi_send(&scnt[0], 1, rank + 1, 20);
+            mpi_send(&sendr[0], 3 * cr, rank + 1, 21);
+        }}
+        if (rank < size - 1) {{
+            mpi_recv(&rcnt[0], 1, rank + 1, 10);
+            mpi_recv(&rbuf[0], {buf}, rank + 1, 11);
+            if (3 * rcnt[0] > {buf}) {{
+                mpi_abort(9);    // MCB sanity check on the buffer header
+            }}
+            for (var k: int = 0; k < rcnt[0]; k += 1) {{
+                if (nlocal < cap) {{
+                    pos[nlocal] = rbuf[3 * k];
+                    dir[nlocal] = rbuf[3 * k + 1];
+                    wgt[nlocal] = rbuf[3 * k + 2];
+                    nlocal += 1;
+                }}
+            }}
+        }}
+        if (rank > 0) {{
+            mpi_recv(&rcnt[0], 1, rank - 1, 20);
+            mpi_recv(&rbuf[0], {buf}, rank - 1, 21);
+            if (3 * rcnt[0] > {buf}) {{
+                mpi_abort(9);
+            }}
+            for (var k: int = 0; k < rcnt[0]; k += 1) {{
+                if (nlocal < cap) {{
+                    pos[nlocal] = rbuf[3 * k];
+                    dir[nlocal] = rbuf[3 * k + 1];
+                    wgt[nlocal] = rbuf[3 * k + 2];
+                    nlocal += 1;
+                }}
+            }}
+        }}
+        // population control: renormalise weights against the global
+        // energy-balance census (in-flight weight + deposited energy), as
+        // Monte Carlo criticality/IMC codes do every cycle — corruption
+        // anywhere in the particle state or the deposition tallies taints
+        // the global factor and, through it, the entire population
+        wloc = 0.0;
+        for (var i: int = 0; i < nlocal; i += 1) {{
+            wloc += wgt[i];
+        }}
+        for (var i: int = 0; i < n; i += 1) {{
+            wloc += edep[i];
+        }}
+        wbuf[0] = wloc;
+        mpi_allreduce(&wbuf[0], &wsum[0], 1, 0);
+        var norm: float = 1.0 + 0.02 * (wtarget - wsum[0]) / wtarget;
+        for (var i: int = 0; i < nlocal; i += 1) {{
+            wgt[i] = wgt[i] * norm;
+        }}
+        mark_iteration();
+    }}
+
+    // outputs: the local flux tally and the surviving population weight
+    var wout: float = 0.0;
+    for (var i: int = 0; i < nlocal; i += 1) {{
+        wout += wgt[i];
+    }}
+    emit(wout);
+    for (var i: int = 0; i < n; i += 2) {{
+        emit(tally[i]);
+    }}
+}}
+"""
+
+
+@register_app("mcb")
+def build(n: int = 16, particles: int = 32, steps: int = 30,
+          nranks: int = 4) -> AppSpec:
+    return AppSpec(
+        name="mcb",
+        source=mcb_source(n, particles, steps),
+        config=RunConfig(nranks=nranks),
+        tolerance=0.05,
+        description="MCB analog: 1-D Monte Carlo particle transport with "
+                    "buffered cross-domain particle exchange",
+        params={"n": n, "particles": particles, "steps": steps,
+                "nranks": nranks},
+    )

@@ -1,0 +1,207 @@
+"""minife_mini — implicit finite-element analog of miniFE.
+
+Assembles a 1-D Poisson system element-by-element (the FEM scatter that
+dominates miniFE's assembly phase), sanity-checks the assembled rows
+(miniFE's internal check — a contaminated matrix aborts before the solve,
+the left-most WO case of Fig. 7c), then solves with an unpreconditioned
+conjugate-gradient iteration exactly as miniFE does: distributed matvec
+with halo exchange plus two allreduce dot products per iteration.
+Finally the computed solution is compared against the analytic steady
+state (sin pi x), mirroring miniFE's verification step.
+
+CG is self-correcting: a transient fault usually delays convergence
+rather than destroying it, producing the paper's PEX outcomes (correct
+answer, more iterations).
+"""
+
+from __future__ import annotations
+
+from ..core.config import RunConfig
+from .registry import AppSpec, register_app
+
+
+def minife_source(n: int = 16, max_iters: int = 240) -> str:
+    return f"""
+// 1-D Poisson FEM assembly + unpreconditioned CG solve, {n} rows/rank.
+func main(rank: int, size: int) {{
+    var n: int = {n};
+    var diag: float[{n}];
+    var offl: float[{n}];
+    var offr: float[{n}];
+    var rhs: float[{n}];
+    var u: float[{n}];       // solution
+    var r: float[{n}];       // residual
+    var d: float[{n}];       // search direction
+    var w: float[{n}];       // A d
+    var hl: float[1];
+    var hr: float[1];
+    var sbuf: float[1];
+    var dot: float[2];
+    var dots: float[2];
+
+    var pi: float = 3.14159265358979;
+    var nglob: int = n * size;
+    var h: float = 1.0 / float(nglob + 1);
+
+    // --- assembly: element loop scattering into the row arrays
+    for (var i: int = 0; i < n; i += 1) {{
+        diag[i] = 0.0;
+        offl[i] = 0.0;
+        offr[i] = 0.0;
+        rhs[i] = 0.0;
+        u[i] = 0.0;
+    }}
+    // element e couples rows e-1 and e (local numbering, halo elements
+    // contribute only their local half)
+    for (var e: int = 0; e <= n; e += 1) {{
+        var k: float = 1.0 / h;        // element stiffness 1/h * [1 -1; -1 1]
+        if (e > 0) {{
+            diag[e - 1] += k;
+        }}
+        if (e < n) {{
+            diag[e] += k;
+        }}
+        if (e > 0 && e < n) {{
+            offr[e - 1] -= k;
+            offl[e] -= k;
+        }}
+    }}
+    // boundary-coupling entries between ranks
+    if (rank > 0) {{
+        offl[0] -= 1.0 / h;
+    }}
+    if (rank < size - 1) {{
+        offr[n - 1] -= 1.0 / h;
+    }}
+    // Load vector: f = 2 (steady-state conduction with uniform source),
+    // trapezoidal lumping.  The exact solution u = x(1-x) is NOT an
+    // eigenvector of the discrete Laplacian, so CG needs a full spectrum
+    // of iterations (a pure sine RHS would converge in one step).
+    for (var i: int = 0; i < n; i += 1) {{
+        rhs[i] = 2.0 * h;
+    }}
+
+    // --- miniFE-style internal check on the assembled system: interior
+    // row sums of the stiffness matrix must vanish.
+    for (var i: int = 0; i < n; i += 1) {{
+        var g: int = rank * n + i;
+        if (g > 0 && g < nglob - 1) {{
+            var s: float = diag[i] + offl[i] + offr[i];
+            if (fabs(s) > 0.000001 * diag[i]) {{
+                mpi_abort(3);
+            }}
+        }}
+    }}
+
+    // --- CG solve
+    for (var i: int = 0; i < n; i += 1) {{
+        r[i] = rhs[i];
+        d[i] = r[i];
+    }}
+    var rr: float = 0.0;
+    for (var i: int = 0; i < n; i += 1) {{
+        rr += r[i] * r[i];
+    }}
+    dot[0] = rr;
+    mpi_allreduce(&dot[0], &dots[0], 1, 0);
+    rr = dots[0];
+    var rr0: float = rr;
+    var tol2: float = 0.0000000000000001 * rr0;   // (1e-8)^2 relative
+    var iters: int = 0;
+
+    while (rr > tol2 && iters < {max_iters}) {{
+        // halo exchange of direction-vector boundary values
+        if (rank > 0) {{
+            sbuf[0] = d[0];
+            mpi_send(&sbuf[0], 1, rank - 1, 1);
+        }}
+        if (rank < size - 1) {{
+            sbuf[0] = d[n - 1];
+            mpi_send(&sbuf[0], 1, rank + 1, 2);
+        }}
+        if (rank < size - 1) {{
+            mpi_recv(&hr[0], 1, rank + 1, 1);
+        }} else {{
+            hr[0] = 0.0;       // Dirichlet boundary
+        }}
+        if (rank > 0) {{
+            mpi_recv(&hl[0], 1, rank - 1, 2);
+        }} else {{
+            hl[0] = 0.0;
+        }}
+
+        // w = A d (tridiagonal matvec with halo values)
+        for (var i: int = 0; i < n; i += 1) {{
+            var left: float = hl[0];
+            var right: float = hr[0];
+            if (i > 0) {{
+                left = d[i - 1];
+            }}
+            if (i < n - 1) {{
+                right = d[i + 1];
+            }}
+            w[i] = diag[i] * d[i] + offl[i] * left + offr[i] * right;
+        }}
+
+        var dw: float = 0.0;
+        for (var i: int = 0; i < n; i += 1) {{
+            dw += d[i] * w[i];
+        }}
+        dot[0] = dw;
+        mpi_allreduce(&dot[0], &dots[0], 1, 0);
+        dw = dots[0];
+        if (fabs(dw) < 0.000000000000000000001) {{
+            mpi_abort(4);      // breakdown: direction annihilated
+        }}
+        var alpha: float = rr / dw;
+        for (var i: int = 0; i < n; i += 1) {{
+            u[i] += alpha * d[i];
+            r[i] -= alpha * w[i];
+        }}
+        var rrn: float = 0.0;
+        for (var i: int = 0; i < n; i += 1) {{
+            rrn += r[i] * r[i];
+        }}
+        dot[0] = rrn;
+        mpi_allreduce(&dot[0], &dots[0], 1, 0);
+        rrn = dots[0];
+        var beta: float = rrn / rr;
+        for (var i: int = 0; i < n; i += 1) {{
+            d[i] = r[i] + beta * d[i];
+        }}
+        rr = rrn;
+        iters += 1;
+        mark_iteration();
+    }}
+
+    // --- verification against the analytic solution u = x(1-x)
+    var err: float = 0.0;
+    for (var i: int = 0; i < n; i += 1) {{
+        var xg: float = float(rank * n + i + 1) * h;
+        var diff: float = u[i] - xg * (1.0 - xg);
+        err += diff * diff;
+    }}
+    dot[0] = err;
+    mpi_allreduce(&dot[0], &dots[0], 1, 0);
+    // NOTE: the iteration count is reported via mark_iteration(), not
+    // emitted: a PEX run (correct answer, more iterations) must compare
+    // output-equal to the golden run.
+    emit(sqrt(dots[0] * h));
+    for (var i: int = 0; i < n; i += 4) {{
+        emit(u[i]);
+    }}
+}}
+"""
+
+
+@register_app("minife")
+def build(n: int = 16, max_iters: int = 240, nranks: int = 4) -> AppSpec:
+    return AppSpec(
+        name="minife",
+        source=minife_source(n, max_iters),
+        config=RunConfig(nranks=nranks),
+        tolerance=0.05,
+        description="miniFE analog: 1-D Poisson FEM assembly + "
+                    "unpreconditioned CG with analytic verification",
+        params={"n": n, "max_iters": max_iters, "nranks": nranks},
+    )

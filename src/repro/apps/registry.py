@@ -1,0 +1,57 @@
+"""Application registry: the paper's benchmark suite, as MiniHPC analogs.
+
+Each app is an :class:`AppSpec`: MiniHPC source plus the run/classify
+parameters the campaign layer needs (rank count, output tolerance, sizes).
+``get_app(name, **params)`` builds a spec; ``APP_BUILDERS`` lists them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from ..core.config import RunConfig
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """One runnable benchmark application."""
+
+    name: str
+    source: str
+    config: RunConfig
+    #: relative tolerance for output comparison (paper uses 5 %)
+    tolerance: float = 0.05
+    #: absolute tolerance floor, for outputs whose golden value is ~0
+    #: (e.g. converged residual/error norms)
+    abs_tolerance: float = 1e-6
+    #: human description + which paper app this is the analog of
+    description: str = ""
+    #: free-form parameters used to build the source (for reporting)
+    params: Dict[str, object] = field(default_factory=dict)
+
+
+APP_BUILDERS: Dict[str, Callable[..., AppSpec]] = {}
+
+
+def register_app(name: str):
+    """Decorator: register an AppSpec builder under ``name``."""
+
+    def deco(fn: Callable[..., AppSpec]):
+        APP_BUILDERS[name] = fn
+        return fn
+
+    return deco
+
+
+def get_app(name: str, **params) -> AppSpec:
+    try:
+        builder = APP_BUILDERS[name]
+    except KeyError:
+        known = ", ".join(sorted(APP_BUILDERS))
+        raise KeyError(f"unknown app {name!r}; known apps: {known}") from None
+    return builder(**params)
+
+
+def app_names() -> List[str]:
+    return sorted(APP_BUILDERS)

@@ -1,0 +1,186 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``apps``          — list registered applications
+* ``golden APP``    — run the fault-free reference
+* ``campaign APP``  — fault-injection campaign + outcome table
+                      (``--save-json``/``--save-csv`` persist results)
+* ``fps APP``       — FPS factor + CML estimator demo
+* ``sites APP``     — rank code locations by vulnerability
+* ``compile APP``   — dump the instrumented IR of an app
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import __version__
+from .analysis import (
+    render_fps_table,
+    render_outcome_table,
+)
+from .apps import app_names, get_app
+from .core.framework import FaultPropagationFramework
+from .frontend import compile_source
+from .inject.profiler import PreparedApp
+from .ir import format_module
+from .passes import pipeline_for_mode, run_passes
+
+
+def _add_campaign_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("app", help="application name (see `apps`)")
+    p.add_argument("--trials", type=int, default=None,
+                   help="number of injection trials (default REPRO_TRIALS/120)")
+    p.add_argument("--seed", type=int, default=2025)
+    p.add_argument("--workers", type=int, default=None,
+                   help="process parallelism (default REPRO_WORKERS/1)")
+    p.add_argument("--faults", type=int, default=1,
+                   help="faults per run (LLFI++ multi-fault extension)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fault propagation framework "
+                    "(SC '15 reproduction), v" + __version__,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("apps", help="list registered applications")
+
+    p = sub.add_parser("golden", help="run the fault-free reference")
+    p.add_argument("app")
+    p.add_argument("--mode", choices=("blackbox", "fpm", "taint"),
+                   default="blackbox")
+
+    p = sub.add_parser("campaign", help="run a fault-injection campaign")
+    _add_campaign_args(p)
+    p.add_argument("--mode", choices=("blackbox", "fpm", "taint"),
+                   default="fpm")
+    p.add_argument("--save-json", metavar="PATH",
+                   help="persist the campaign (reload with "
+                        "repro.analysis.load_campaign)")
+    p.add_argument("--save-csv", metavar="PATH",
+                   help="write one row per trial for pandas/R")
+
+    p = sub.add_parser("sites", help="rank code locations by vulnerability")
+    _add_campaign_args(p)
+    p.add_argument("--by", choices=("sdc", "crash", "cml"), default="sdc")
+    p.add_argument("--top", type=int, default=12)
+
+    p = sub.add_parser("fps", help="fit propagation models, print FPS")
+    _add_campaign_args(p)
+
+    p = sub.add_parser("compile", help="dump instrumented IR")
+    p.add_argument("app")
+    p.add_argument("--mode", choices=("blackbox", "fpm", "taint"),
+                   default="fpm")
+    return parser
+
+
+def cmd_apps() -> int:
+    for name in app_names():
+        spec = get_app(name)
+        print(f"{name:10s} {spec.description}")
+    return 0
+
+
+def cmd_golden(args) -> int:
+    pa = PreparedApp(get_app(args.app), args.mode)
+    g = pa.golden
+    print(f"app: {args.app} ({args.mode})")
+    print(f"  cycles: {g.cycles}   iterations: {g.iterations}")
+    print(f"  injectable dynamic sites per rank: {list(g.inj_counts)}")
+    for rank, out in enumerate(g.outputs):
+        shown = ", ".join(f"{float(v):.6g}" for v in out[:8])
+        more = " ..." if len(out) > 8 else ""
+        print(f"  rank {rank} outputs: [{shown}{more}]")
+    return 0
+
+
+def cmd_campaign(args) -> int:
+    fw = FaultPropagationFramework.for_app(args.app)
+    if args.mode == "blackbox":
+        c = fw.blackbox_campaign(trials=args.trials, seed=args.seed,
+                                 workers=args.workers, n_faults=args.faults)
+    else:
+        from .inject import run_campaign
+        c = run_campaign(args.app, args.trials, mode=args.mode,
+                         seed=args.seed, workers=args.workers,
+                         n_faults=args.faults)
+    print(f"{c.n_trials} trials, mode={c.mode}, {args.faults} fault(s)/run")
+    print(render_outcome_table({args.app: c.fractions()},
+                               blackbox=(args.mode == "blackbox")))
+    if args.mode != "blackbox":
+        bd = fw.co_breakdown(c) if args.mode == "fpm" else None
+        if bd is not None and bd.n_co:
+            print(f"\nONA share of correct-output runs: "
+                  f"{100 * bd.ona_share:.1f}%")
+    if getattr(args, "save_json", None):
+        from .analysis import save_campaign
+        print(f"saved: {save_campaign(c, args.save_json)}")
+    if getattr(args, "save_csv", None):
+        from .analysis import trials_to_csv
+        trials_to_csv(c, args.save_csv)
+        print(f"saved: {args.save_csv}")
+    return 0
+
+
+def cmd_sites(args) -> int:
+    from .analysis import render_site_ranking, site_vulnerability
+    from .inject import run_campaign
+    from .inject.campaign import _prepared
+
+    c = run_campaign(args.app, args.trials, mode="fpm", seed=args.seed,
+                     workers=args.workers, n_faults=args.faults)
+    pa = _prepared(args.app, (), "fpm")
+    ranking = site_vulnerability(c, pa.program.site_table, by=args.by)
+    print(f"most vulnerable sites of {args.app} by {args.by} "
+          f"({c.n_trials} trials):")
+    print(render_site_ranking(ranking, top=args.top))
+    return 0
+
+
+def cmd_fps(args) -> int:
+    fw = FaultPropagationFramework.for_app(args.app)
+    c = fw.fpm_campaign(trials=args.trials, seed=args.seed,
+                        workers=args.workers, n_faults=args.faults)
+    fps = fw.fps_factor(c)
+    print(render_fps_table([fps]))
+    est = fw.estimator(c)
+    horizon = c.golden_cycles
+    w = est.estimate_window(0, horizon)
+    print(f"\nCML bound over a full run ({horizon} cycles): "
+          f"max {w.max_cml:.1f}, avg {w.avg_cml:.1f}")
+    return 0
+
+
+def cmd_compile(args) -> int:
+    spec = get_app(args.app)
+    module = compile_source(spec.source, name=args.app)
+    run_passes(module, pipeline_for_mode(args.mode, spec.config.inject_kinds))
+    print(format_module(module))
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "apps":
+        return cmd_apps()
+    if args.command == "golden":
+        return cmd_golden(args)
+    if args.command == "campaign":
+        return cmd_campaign(args)
+    if args.command == "fps":
+        return cmd_fps(args)
+    if args.command == "compile":
+        return cmd_compile(args)
+    if args.command == "sites":
+        return cmd_sites(args)
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

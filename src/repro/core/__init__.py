@@ -1,0 +1,9 @@
+"""Core orchestration: run configuration, job runner, public framework."""
+
+from .config import RunConfig
+from .framework import FaultPropagationFramework
+from .runner import build_program, run_job
+
+__all__ = [
+    "FaultPropagationFramework", "RunConfig", "build_program", "run_job",
+]

@@ -1,0 +1,38 @@
+"""Run configuration shared by the runner, campaigns and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """How to build and execute one simulated MPI job."""
+
+    #: number of simulated MPI processes
+    nranks: int = 4
+    #: per-process memory capacity in words
+    mem_capacity: int = 1 << 16
+    #: stack region size in words
+    stack_words: int = 1 << 13
+    #: scheduler quantum (instructions per rank per epoch)
+    quantum: int = 256
+    #: absolute virtual-cycle budget; beyond it the job is a hang.
+    #: ``None`` means "derive from the golden run" (hang_factor x golden).
+    max_cycles: Optional[int] = None
+    #: hang budget as a multiple of the golden run's cycles
+    hang_factor: float = 10.0
+    #: budget used for the golden run itself when max_cycles is None
+    golden_max_cycles: int = 200_000_000
+    #: program-level RNG seed (rand() intrinsic streams derive from it)
+    seed: int = 12345
+    #: entry function
+    entry: str = "main"
+    #: fault-injection site kinds marked by the faultinject pass
+    inject_kinds: Tuple[str, ...] = ("arith",)
+    #: sample the propagation trace every N scheduler epochs
+    sample_every: int = 1
+
+    def with_(self, **kw) -> "RunConfig":
+        return replace(self, **kw)

@@ -1,0 +1,138 @@
+"""FaultPropagationFramework — the paper's system as one public object.
+
+Typical use::
+
+    from repro import FaultPropagationFramework
+
+    fw = FaultPropagationFramework.for_app("lulesh")
+    blackbox = fw.blackbox_campaign(trials=200)     # Fig. 6
+    fpm = fw.fpm_campaign(trials=200)               # Figs. 7-8, Sec. 4.3
+    fps = fw.fps_factor(fpm)                        # Table 2
+    estimator = fw.estimator(fpm)                   # Eqs. 1-3
+
+Custom MiniHPC programs work the same way through
+``FaultPropagationFramework.for_source(src, name=...)`` — the framework
+registers the source as an app on the fly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..analysis.classify import Outcome
+from ..analysis.stats import COBreakdown, co_breakdown
+from ..analysis.uniformity import UniformityReport, coverage_histogram
+from ..apps.registry import APP_BUILDERS, AppSpec, get_app, register_app
+from ..errors import CampaignError
+from ..inject.campaign import CampaignResult, run_campaign
+from ..inject.profiler import PreparedApp
+from ..models.estimator import CMLEstimator
+from ..models.fps import FPSResult, compute_fps
+from .config import RunConfig
+
+
+class FaultPropagationFramework:
+    """End-to-end driver for one application."""
+
+    def __init__(self, app_name: str, params: Optional[dict] = None) -> None:
+        if app_name not in APP_BUILDERS:
+            raise CampaignError(f"unknown app {app_name!r}")
+        self.app_name = app_name
+        self.params = dict(params or {})
+        self._prepared: Dict[str, PreparedApp] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_app(cls, name: str, **params) -> "FaultPropagationFramework":
+        return cls(name, params)
+
+    @classmethod
+    def for_source(
+        cls,
+        source: str,
+        name: str = "custom",
+        *,
+        config: Optional[RunConfig] = None,
+        tolerance: float = 0.05,
+        abs_tolerance: float = 1e-6,
+    ) -> "FaultPropagationFramework":
+        """Wrap arbitrary MiniHPC source as a campaign-able application."""
+        spec = AppSpec(
+            name=name,
+            source=source,
+            config=config or RunConfig(),
+            tolerance=tolerance,
+            abs_tolerance=abs_tolerance,
+            description="user-provided MiniHPC program",
+        )
+        if name not in APP_BUILDERS:
+            register_app(name)(lambda _spec=spec: _spec)
+        return cls(name)
+
+    # ------------------------------------------------------------------
+    # Build + golden
+    # ------------------------------------------------------------------
+    def prepared(self, mode: str = "blackbox") -> PreparedApp:
+        pa = self._prepared.get(mode)
+        if pa is None:
+            pa = PreparedApp(get_app(self.app_name, **self.params), mode)
+            self._prepared[mode] = pa
+        return pa
+
+    @property
+    def spec(self) -> AppSpec:
+        return self.prepared("blackbox").spec
+
+    def golden_outputs(self) -> list:
+        return self.prepared("blackbox").golden.outputs
+
+    # ------------------------------------------------------------------
+    # Campaigns
+    # ------------------------------------------------------------------
+    def blackbox_campaign(
+        self, trials: Optional[int] = None, *, seed: int = 2025,
+        workers: Optional[int] = None, n_faults: int = 1,
+    ) -> CampaignResult:
+        """Output-variation analysis (paper Sec. 4.2 / Fig. 6)."""
+        return run_campaign(
+            self.app_name, trials, mode="blackbox", seed=seed,
+            workers=workers, n_faults=n_faults, params=self.params,
+        )
+
+    def fpm_campaign(
+        self, trials: Optional[int] = None, *, seed: int = 2025,
+        workers: Optional[int] = None, n_faults: int = 1,
+        keep_series: bool = True,
+    ) -> CampaignResult:
+        """Propagation analysis (paper Sec. 4.3 / Figs. 7-8)."""
+        return run_campaign(
+            self.app_name, trials, mode="fpm", seed=seed, workers=workers,
+            n_faults=n_faults, keep_series=keep_series, params=self.params,
+        )
+
+    # ------------------------------------------------------------------
+    # Analyses
+    # ------------------------------------------------------------------
+    def coverage(self, campaign: CampaignResult,
+                 n_bins: int = 500) -> UniformityReport:
+        """Fig. 5: verify injections are uniform over execution time."""
+        times = [c for t in campaign.trials for c in t.injected_cycles]
+        golden = self.prepared(campaign.mode).golden
+        return coverage_histogram(times, n_bins=n_bins,
+                                  t_max=float(golden.cycles))
+
+    def fps_factor(self, fpm_campaign: CampaignResult) -> FPSResult:
+        """Table 2: the application's fault propagation speed."""
+        if fpm_campaign.mode != "fpm":
+            raise CampaignError("FPS needs an FPM-mode campaign")
+        return compute_fps(self.app_name, fpm_campaign.trials)
+
+    def estimator(self, fpm_campaign: CampaignResult) -> CMLEstimator:
+        """Eqs. 1-3: runtime corrupted-state estimator."""
+        return CMLEstimator(self.fps_factor(fpm_campaign))
+
+    def co_breakdown(self, fpm_campaign: CampaignResult) -> COBreakdown:
+        """Sec. 4.3: split "correct output" into Vanished vs ONA."""
+        return co_breakdown(self.app_name, fpm_campaign.outcomes())

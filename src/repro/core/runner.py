@@ -1,0 +1,79 @@
+"""Job runner: compile once, run many simulated MPI jobs.
+
+``build_program`` compiles MiniHPC source through the requested pass
+pipeline; ``run_job`` assembles machines + MPI runtime + scheduler and
+executes to a :class:`~repro.mpi.scheduler.JobResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..frontend import compile_source
+from ..mpi import JobResult, MPIRuntime, Scheduler
+from ..passes import pipeline_for_mode, run_passes
+from ..vm import CompiledProgram, FaultSpec, Machine, compile_program
+from .config import RunConfig
+
+
+def build_program(
+    source: str,
+    mode: str = "blackbox",
+    *,
+    name: str = "app",
+    config: Optional[RunConfig] = None,
+    verify: bool = True,
+) -> CompiledProgram:
+    """Compile MiniHPC source to an executable program.
+
+    ``mode`` selects the instrumentation level: ``"blackbox"`` (fault
+    injection only — a plain LLFI binary) or ``"fpm"`` (fault injection +
+    dual-chain propagation tracking).
+    """
+    config = config or RunConfig()
+    module = compile_source(source, name=name, verify=verify)
+    run_passes(module, pipeline_for_mode(mode, config.inject_kinds), verify=verify)
+    return compile_program(module)
+
+
+def run_job(
+    program: CompiledProgram,
+    config: Optional[RunConfig] = None,
+    faults: Sequence[FaultSpec] = (),
+    *,
+    inj_seed: Optional[int] = None,
+    max_cycles: Optional[int] = None,
+) -> JobResult:
+    """Run one simulated MPI job to completion (or crash/deadlock/hang)."""
+    config = config or RunConfig()
+    runtime = MPIRuntime()
+    machines = [
+        Machine(
+            program,
+            rank,
+            config.nranks,
+            seed=config.seed,
+            mem_capacity=config.mem_capacity,
+            stack_words=config.stack_words,
+            entry=config.entry,
+        )
+        for rank in range(config.nranks)
+    ]
+    runtime.attach(machines)
+    for m in machines:
+        if faults:
+            m.arm_faults(faults, seed=inj_seed)
+        m.start()
+    budget = max_cycles
+    if budget is None:
+        budget = config.max_cycles
+    if budget is None:
+        budget = config.golden_max_cycles
+    scheduler = Scheduler(
+        machines,
+        runtime,
+        quantum=config.quantum,
+        max_cycles=budget,
+        sample_every=config.sample_every,
+    )
+    return scheduler.run()

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the repro framework.
+
+Every layer raises a subclass of :class:`ReproError` so callers can
+distinguish framework failures from bugs in user programs (which surface
+as :class:`~repro.vm.traps.Trap` during execution).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all framework-level errors."""
+
+
+class IRError(ReproError):
+    """Malformed IR detected while building or verifying a module."""
+
+
+class VerifierError(IRError):
+    """The IR verifier found a structural or type error."""
+
+
+class FrontendError(ReproError):
+    """Base class for MiniHPC compilation errors."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0) -> None:
+        self.line = line
+        self.col = col
+        if line:
+            message = f"{line}:{col}: {message}"
+        super().__init__(message)
+
+
+class LexError(FrontendError):
+    """Invalid token in MiniHPC source."""
+
+
+class ParseError(FrontendError):
+    """Syntax error in MiniHPC source."""
+
+
+class SemanticError(FrontendError):
+    """Type or scoping error in MiniHPC source."""
+
+
+class PassError(ReproError):
+    """A compiler pass was applied in an invalid state or order."""
+
+
+class MPIError(ReproError):
+    """Misuse of the simulated MPI runtime detected by the framework."""
+
+
+class CampaignError(ReproError):
+    """Invalid fault-injection campaign configuration."""
+
+
+class ModelError(ReproError):
+    """Fault-propagation model fitting or evaluation failure."""

@@ -1,0 +1,21 @@
+"""Fault Propagation Module runtime (paper Sec. 3.2).
+
+The compile-time half of FPM lives in :mod:`repro.passes.dualchain`; this
+package is the runtime half: the shadow hash table of contaminated
+locations, the contamination-carrying MPI message protocol (Fig. 4), and
+the CML(t) propagation traces (Figs. 7-8).
+"""
+
+from .protocol import apply_message, build_payload
+from .shadow import ShadowTable, same_value
+from .taint import TaintTable
+from .tracker import PropagationTrace
+
+__all__ = [
+    "PropagationTrace",
+    "ShadowTable",
+    "TaintTable",
+    "apply_message",
+    "build_payload",
+    "same_value",
+]

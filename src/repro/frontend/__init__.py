@@ -1,0 +1,35 @@
+"""MiniHPC: a small C-like language compiled to the repro IR.
+
+This is the stand-in for the C/C++ + clang/LLVM toolchain the paper
+instruments: proxy applications are written in MiniHPC, compiled here,
+then instrumented by the passes in :mod:`repro.passes`.
+
+The usual entry point is :func:`compile_source`.
+"""
+
+from __future__ import annotations
+
+from ..ir import Module, verify_module
+from .ast_nodes import Program
+from .ftypes import C_FLOAT, C_INT, CType, PtrType, assignable, parse_type_name
+from .lexer import tokenize
+from .lower import lower_program
+from .parser import parse
+from .sema import FuncSig, SemanticAnalyzer, VarSymbol, analyze
+
+
+def compile_source(source: str, name: str = "module", verify: bool = True) -> Module:
+    """Compile MiniHPC source text to a verified IR module."""
+    program = parse(source)
+    signatures = analyze(program)
+    module = lower_program(program, signatures, name=name)
+    if verify:
+        verify_module(module)
+    return module
+
+
+__all__ = [
+    "C_FLOAT", "C_INT", "CType", "FuncSig", "Program", "PtrType",
+    "SemanticAnalyzer", "VarSymbol", "analyze", "assignable",
+    "compile_source", "lower_program", "parse", "parse_type_name", "tokenize",
+]

@@ -1,0 +1,165 @@
+"""AST node definitions for MiniHPC.
+
+Nodes are plain dataclasses; the semantic analyser annotates expression
+nodes with ``ctype`` (a :class:`~repro.frontend.ftypes.CType`) and
+identifier nodes with their resolved ``symbol``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class Node:
+    line: int = 0
+    col: int = 0
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+@dataclass
+class Expr(Node):
+    #: filled in by sema
+    ctype: object = None
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class Ident(Expr):
+    name: str = ""
+    #: filled in by sema: the VarSymbol this name resolves to
+    symbol: object = None
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""  # "-", "!"
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""  # arithmetic, comparison, logical, shifts, bitwise
+    lhs: Optional[Expr] = None
+    rhs: Optional[Expr] = None
+
+
+@dataclass
+class CallExpr(Expr):
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class IndexExpr(Expr):
+    base: Optional[Expr] = None
+    index: Optional[Expr] = None
+
+
+@dataclass
+class AddrOf(Expr):
+    operand: Optional[Expr] = None  # Ident or IndexExpr
+
+
+@dataclass
+class CastExpr(Expr):
+    to: str = ""  # "int" or "float"
+    operand: Optional[Expr] = None
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    stmts: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class VarDecl(Stmt):
+    name: str = ""
+    type_name: str = ""  # "int", "float", "int*", "float*"
+    array_size: Optional[int] = None  # None for scalars/pointers
+    init: Optional[Expr] = None
+    #: filled in by sema
+    symbol: object = None
+
+
+@dataclass
+class Assign(Stmt):
+    target: Optional[Expr] = None  # Ident or IndexExpr
+    op: str = "="  # "=", "+=", "-=", "*=", "/="
+    value: Optional[Expr] = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class If(Stmt):
+    cond: Optional[Expr] = None
+    then: Optional[Block] = None
+    orelse: Optional[Stmt] = None  # Block or If or None
+
+
+@dataclass
+class While(Stmt):
+    cond: Optional[Expr] = None
+    body: Optional[Block] = None
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None  # VarDecl or Assign or None
+    cond: Optional[Expr] = None
+    step: Optional[Stmt] = None  # Assign or ExprStmt or None
+    body: Optional[Block] = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+# ----------------------------------------------------------------------
+# Declarations
+# ----------------------------------------------------------------------
+
+@dataclass
+class Param(Node):
+    name: str = ""
+    type_name: str = ""
+
+
+@dataclass
+class FuncDecl(Node):
+    name: str = ""
+    params: List[Param] = field(default_factory=list)
+    ret_type: str = "void"
+    body: Optional[Block] = None
+
+
+@dataclass
+class Program(Node):
+    functions: List[FuncDecl] = field(default_factory=list)

@@ -1,0 +1,145 @@
+"""Frontend (MiniHPC) type model.
+
+The IR erases pointer element types (memory is untyped words), but the
+frontend tracks them so loads get the right register type and intrinsic
+calls can be checked (``mpi_send`` takes any pointer, ``sqrt`` a float...).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir import FLOAT, INT, PTR, Type
+
+
+class CType:
+    """Base class; use the singletons C_INT/C_FLOAT or PtrType."""
+
+    name = "?"
+
+    @property
+    def is_numeric(self) -> bool:
+        return False
+
+    @property
+    def is_ptr(self) -> bool:
+        return False
+
+    def ir_type(self) -> Type:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class _IntType(CType):
+    name = "int"
+
+    @property
+    def is_numeric(self) -> bool:
+        return True
+
+    def ir_type(self) -> Type:
+        return INT
+
+
+class _FloatType(CType):
+    name = "float"
+
+    @property
+    def is_numeric(self) -> bool:
+        return True
+
+    def ir_type(self) -> Type:
+        return FLOAT
+
+
+C_INT = _IntType()
+C_FLOAT = _FloatType()
+
+
+class PtrType(CType):
+    """Pointer to int/float words; ``elem == "any"`` is malloc's result."""
+
+    def __init__(self, elem: str) -> None:
+        if elem not in ("int", "float", "any"):
+            raise ValueError(f"bad pointer element type {elem!r}")
+        self.elem = elem
+        self.name = f"{elem}*"
+
+    @property
+    def is_ptr(self) -> bool:
+        return True
+
+    def ir_type(self) -> Type:
+        return PTR
+
+    def elem_ctype(self) -> CType:
+        if self.elem == "int":
+            return C_INT
+        if self.elem == "float":
+            return C_FLOAT
+        raise TypeError("cannot dereference a generic pointer; "
+                        "assign it to a typed pointer variable first")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PtrType) and other.elem == self.elem
+
+    def __hash__(self) -> int:
+        return hash(("ptr", self.elem))
+
+
+PTR_INT = PtrType("int")
+PTR_FLOAT = PtrType("float")
+PTR_ANY = PtrType("any")
+
+
+def parse_type_name(name: str) -> CType:
+    """'int' / 'float' / 'int*' / 'float*' -> CType."""
+    mapping = {
+        "int": C_INT,
+        "float": C_FLOAT,
+        "int*": PTR_INT,
+        "float*": PTR_FLOAT,
+    }
+    try:
+        return mapping[name]
+    except KeyError:
+        raise ValueError(f"unknown type name {name!r}") from None
+
+
+def intrinsic_code_to_ctype(code: str) -> Optional[CType]:
+    """Intrinsic signature code -> CType (None for void)."""
+    mapping = {
+        "int": C_INT,
+        "float": C_FLOAT,
+        "pi": PTR_INT,
+        "pf": PTR_FLOAT,
+        "pa": PTR_ANY,
+        "void": None,
+    }
+    return mapping[code]
+
+
+def assignable(dst: CType, src: CType) -> Optional[str]:
+    """How ``src`` converts into ``dst``: "exact", "promote", or None.
+
+    int -> float promotes implicitly (like C); float -> int requires an
+    explicit ``int(...)`` cast.  Generic pointers (malloc) assign to any
+    pointer; typed pointers must match exactly.
+    """
+    if dst is C_INT:
+        return "exact" if src is C_INT else None
+    if dst is C_FLOAT:
+        if src is C_FLOAT:
+            return "exact"
+        if src is C_INT:
+            return "promote"
+        return None
+    if isinstance(dst, PtrType):
+        if not isinstance(src, PtrType):
+            return None
+        if src.elem == "any" or dst.elem == "any" or src.elem == dst.elem:
+            return "exact"
+        return None
+    return None

@@ -1,0 +1,112 @@
+"""Hand-written lexer for MiniHPC."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import LexError
+from .tokens import KEYWORDS, OPERATORS, Token
+
+_OPS_BY_LENGTH = sorted(OPERATORS, key=len, reverse=True)
+_OP_STARTS = frozenset(op[0] for op in OPERATORS)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Turn MiniHPC source text into a token list ending with EOF."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def error(msg: str) -> LexError:
+        return LexError(msg, line, col)
+
+    while i < n:
+        ch = source[i]
+        # Whitespace
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        # Comments
+        if ch == "/" and i + 1 < n and source[i + 1] == "/":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch == "/" and i + 1 < n and source[i + 1] == "*":
+            start_line, start_col = line, col
+            i += 2
+            col += 2
+            while i < n and not (source[i] == "*" and i + 1 < n and source[i + 1] == "/"):
+                if source[i] == "\n":
+                    line += 1
+                    col = 1
+                else:
+                    col += 1
+                i += 1
+            if i >= n:
+                raise LexError("unterminated block comment", start_line, start_col)
+            i += 2
+            col += 2
+            continue
+        # Identifiers / keywords
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = text if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, col))
+            col += i - start
+            continue
+        # Numbers
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start = i
+            is_float = False
+            while i < n and source[i].isdigit():
+                i += 1
+            if i < n and source[i] == ".":
+                is_float = True
+                i += 1
+                while i < n and source[i].isdigit():
+                    i += 1
+            if i < n and source[i] in "eE":
+                j = i + 1
+                if j < n and source[j] in "+-":
+                    j += 1
+                if j < n and source[j].isdigit():
+                    is_float = True
+                    i = j
+                    while i < n and source[i].isdigit():
+                        i += 1
+            text = source[start:i]
+            try:
+                value = float(text) if is_float else int(text)
+            except ValueError:
+                raise error(f"malformed number literal {text!r}") from None
+            tokens.append(
+                Token("floatlit" if is_float else "intlit", value, line, col)
+            )
+            col += i - start
+            continue
+        # Operators / punctuation
+        if ch in _OP_STARTS:
+            for op in _OPS_BY_LENGTH:
+                if source.startswith(op, i):
+                    tokens.append(Token(op, op, line, col))
+                    i += len(op)
+                    col += len(op)
+                    break
+            else:
+                raise error(f"unexpected character {ch!r}")
+            continue
+        raise error(f"unexpected character {ch!r}")
+
+    tokens.append(Token("eof", None, line, col))
+    return tokens

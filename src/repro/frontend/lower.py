@@ -1,0 +1,422 @@
+"""AST -> IR lowering (clang -O0 style).
+
+Every local variable gets a stack slot (``alloca``) in the function's
+entry block; reads and writes go through loads/stores.  The
+:mod:`repro.passes.mem2reg` pass later promotes unaddressed scalars back
+into registers, which mirrors how LLFI-instrumented binaries are built
+and keeps the "memory location" census faithful: named arrays and
+address-taken scalars live in memory, scalar temporaries in registers.
+
+Logical ``&&``/``||`` short-circuit.  Because the IR uses mutable
+(non-SSA) registers, merge values need no phi nodes: both branch arms
+simply ``copy`` into the same result register.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..errors import SemanticError
+from ..ir import (
+    Alloca,
+    BasicBlock,
+    Function,
+    IRBuilder,
+    Module,
+    PTR,
+    Register,
+    Value,
+    VOID,
+    const_float,
+    const_int,
+)
+from ..vm.intrinsics import get_intrinsic
+from .ast_nodes import (
+    AddrOf,
+    Assign,
+    Binary,
+    Block,
+    CallExpr,
+    CastExpr,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    For,
+    FuncDecl,
+    Ident,
+    If,
+    IndexExpr,
+    IntLit,
+    Program,
+    Return,
+    Stmt,
+    Unary,
+    VarDecl,
+    While,
+)
+from .ftypes import C_FLOAT, C_INT, CType, PtrType, intrinsic_code_to_ctype
+from .sema import FuncSig
+
+_COMPOUND_TO_OP = {"+=": "+", "-=": "-", "*=": "*", "/=": "/"}
+_CMP_TO_IPRED = {"==": "eq", "!=": "ne", "<": "slt", "<=": "sle",
+                 ">": "sgt", ">=": "sge"}
+_CMP_TO_FPRED = {"==": "oeq", "!=": "one", "<": "olt", "<=": "ole",
+                 ">": "ogt", ">=": "oge"}
+_ARITH_TO_IOP = {"+": "add", "-": "sub", "*": "mul", "/": "sdiv", "%": "srem",
+                 "<<": "shl", ">>": "ashr", "|": "or", "^": "xor", "&": "and"}
+_ARITH_TO_FOP = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv"}
+
+
+class FunctionLowerer:
+    def __init__(self, decl: FuncDecl, sig: FuncSig, module: Module) -> None:
+        self.decl = decl
+        self.sig = sig
+        self.module = module
+        ret_ir = sig.ret.ir_type() if sig.ret is not None else VOID
+        self.func = Function(
+            decl.name,
+            [ct.ir_type() for ct in sig.params],
+            ret_ir,
+            [p.name for p in decl.params],
+        )
+        self.b = IRBuilder(self.func)
+        self._label_counter = 0
+        #: symbol uid -> stack slot register
+        self.slots: Dict[int, Register] = {}
+
+    # ------------------------------------------------------------------
+    def _new_block(self, hint: str) -> BasicBlock:
+        self._label_counter += 1
+        return self.func.new_block(f"{hint}{self._label_counter}")
+
+    def _alloca_entry(self, count: int, name: str) -> Register:
+        """Insert an alloca before the entry block's terminator."""
+        reg = self.func.new_reg(PTR, f"{name}.addr")
+        inst = Alloca(reg, count, var_name=name)
+        insts = self.entry.instructions
+        insts.insert(len(insts) - 1, inst)
+        return reg
+
+    def lower(self) -> Function:
+        self.entry = self.func.new_block("entry")
+        body0 = self.func.new_block("body")
+        self.b.position(self.entry)
+        self.b.br(body0)
+        self.b.position(body0)
+        # Parameters get stack slots so & works uniformly; mem2reg undoes
+        # this for parameters whose address is never taken.
+        for p, preg in zip(self.decl.params, self.func.params):
+            slot = self._alloca_entry(1, p.name)
+            self.slots[p.symbol.uid] = slot
+            self.b.store(preg, slot)
+        self._lower_block(self.decl.body)
+        if not self.b.block.is_terminated:
+            if self.sig.ret is None:
+                self.b.ret()
+            elif self.sig.ret is C_FLOAT:
+                self.b.ret(const_float(0.0))
+            else:
+                self.b.ret(const_int(0))
+        self.func.reindex_blocks()
+        return self.func
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _lower_block(self, block: Block) -> None:
+        for stmt in block.stmts:
+            if self.b.block.is_terminated:
+                # Unreachable code after return: keep lowering into a dead
+                # block so the rest of the function still verifies.
+                self.b.position(self._new_block("dead"))
+            self._lower_stmt(stmt)
+
+    def _lower_stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, Block):
+            self._lower_block(stmt)
+        elif isinstance(stmt, VarDecl):
+            self._lower_vardecl(stmt)
+        elif isinstance(stmt, Assign):
+            self._lower_assign(stmt)
+        elif isinstance(stmt, ExprStmt):
+            self._lower_expr(stmt.expr)
+        elif isinstance(stmt, If):
+            self._lower_if(stmt)
+        elif isinstance(stmt, While):
+            self._lower_while(stmt)
+        elif isinstance(stmt, For):
+            self._lower_for(stmt)
+        elif isinstance(stmt, Return):
+            self._lower_return(stmt)
+        else:  # pragma: no cover
+            raise SemanticError(f"cannot lower {type(stmt).__name__}")
+
+    def _lower_vardecl(self, decl: VarDecl) -> None:
+        sym = decl.symbol
+        if sym.is_array:
+            slot = self._alloca_entry(sym.array_size, decl.name)
+            self.slots[sym.uid] = slot
+            return
+        slot = self._alloca_entry(1, decl.name)
+        self.slots[sym.uid] = slot
+        if decl.init is not None:
+            val, ct = self._lower_expr(decl.init)
+            val = self._coerce(val, ct, sym.ctype)
+        elif sym.ctype is C_FLOAT:
+            val = const_float(0.0)
+        else:
+            # int and pointer variables default to 0 / null
+            val = const_int(0) if sym.ctype is C_INT else None
+            if val is None:
+                val = self.b.inttoptr(const_int(0))
+        self.b.store(val, slot)
+
+    def _lower_assign(self, stmt: Assign) -> None:
+        addr, target_ct = self._lower_lvalue_addr(stmt.target)
+        if stmt.op == "=":
+            val, ct = self._lower_expr(stmt.value)
+            val = self._coerce(val, ct, target_ct)
+            self.b.store(val, addr)
+            return
+        cur = self.b.load(addr, target_ct.ir_type())
+        val, ct = self._lower_expr(stmt.value)
+        op = _COMPOUND_TO_OP[stmt.op]
+        if target_ct is C_FLOAT:
+            val = self._coerce(val, ct, C_FLOAT)
+            res = self.b.binop(_ARITH_TO_FOP[op], cur, val)
+        else:
+            res = self.b.binop(_ARITH_TO_IOP[op], cur, val)
+        self.b.store(res, addr)
+
+    def _lower_if(self, stmt: If) -> None:
+        cond = self._lower_cond(stmt.cond)
+        then_b = self._new_block("then")
+        end_b = self._new_block("endif")
+        else_b = self._new_block("else") if stmt.orelse is not None else end_b
+        self.b.condbr(cond, then_b, else_b)
+        self.b.position(then_b)
+        self._lower_block(stmt.then)
+        if not self.b.block.is_terminated:
+            self.b.br(end_b)
+        if stmt.orelse is not None:
+            self.b.position(else_b)
+            self._lower_stmt(stmt.orelse)
+            if not self.b.block.is_terminated:
+                self.b.br(end_b)
+        self.b.position(end_b)
+
+    def _lower_while(self, stmt: While) -> None:
+        cond_b = self._new_block("while.cond")
+        body_b = self._new_block("while.body")
+        end_b = self._new_block("while.end")
+        self.b.br(cond_b)
+        self.b.position(cond_b)
+        cond = self._lower_cond(stmt.cond)
+        self.b.condbr(cond, body_b, end_b)
+        self.b.position(body_b)
+        self._lower_block(stmt.body)
+        if not self.b.block.is_terminated:
+            self.b.br(cond_b)
+        self.b.position(end_b)
+
+    def _lower_for(self, stmt: For) -> None:
+        if stmt.init is not None:
+            self._lower_stmt(stmt.init)
+        cond_b = self._new_block("for.cond")
+        body_b = self._new_block("for.body")
+        step_b = self._new_block("for.step")
+        end_b = self._new_block("for.end")
+        self.b.br(cond_b)
+        self.b.position(cond_b)
+        if stmt.cond is not None:
+            cond = self._lower_cond(stmt.cond)
+            self.b.condbr(cond, body_b, end_b)
+        else:
+            self.b.br(body_b)
+        self.b.position(body_b)
+        self._lower_block(stmt.body)
+        if not self.b.block.is_terminated:
+            self.b.br(step_b)
+        self.b.position(step_b)
+        if stmt.step is not None:
+            self._lower_stmt(stmt.step)
+        self.b.br(cond_b)
+        self.b.position(end_b)
+
+    def _lower_return(self, stmt: Return) -> None:
+        if stmt.value is None:
+            self.b.ret()
+            return
+        val, ct = self._lower_expr(stmt.value)
+        val = self._coerce(val, ct, self.sig.ret)
+        self.b.ret(val)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _coerce(self, val: Value, src: CType, dst: CType) -> Value:
+        if src is C_INT and dst is C_FLOAT:
+            return self.b.sitofp(val)
+        return val
+
+    def _truthify(self, val: Value, ct: CType) -> Value:
+        """Normalise a numeric value to int 0/1."""
+        if ct is C_FLOAT:
+            return self.b.fcmp("one", val, const_float(0.0))
+        return self.b.icmp("ne", val, const_int(0))
+
+    def _lower_cond(self, expr: Expr) -> Value:
+        val, ct = self._lower_expr(expr)
+        if ct is C_FLOAT:
+            return self.b.fcmp("one", val, const_float(0.0))
+        return val  # int truthiness is native in condbr
+
+    def _lower_lvalue_addr(self, expr: Expr) -> Tuple[Value, CType]:
+        """Address of an assignable location + the stored value's ctype."""
+        if isinstance(expr, Ident):
+            return self.slots[expr.symbol.uid], expr.symbol.ctype
+        if isinstance(expr, IndexExpr):
+            base, base_ct = self._lower_expr(expr.base)
+            idx, _ = self._lower_expr(expr.index)
+            addr = self.b.padd(base, idx)
+            return addr, base_ct.elem_ctype()
+        raise SemanticError("invalid lvalue")  # pragma: no cover
+
+    def _lower_expr(self, expr: Expr) -> Tuple[Value, CType]:
+        if isinstance(expr, IntLit):
+            return const_int(expr.value), C_INT
+        if isinstance(expr, FloatLit):
+            return const_float(expr.value), C_FLOAT
+        if isinstance(expr, Ident):
+            sym = expr.symbol
+            slot = self.slots[sym.uid]
+            if sym.is_array:
+                return slot, sym.ctype  # array decays to its base address
+            return self.b.load(slot, sym.ctype.ir_type(), expr.name), sym.ctype
+        if isinstance(expr, Unary):
+            return self._lower_unary(expr)
+        if isinstance(expr, Binary):
+            return self._lower_binary(expr)
+        if isinstance(expr, CallExpr):
+            return self._lower_call(expr)
+        if isinstance(expr, IndexExpr):
+            base, base_ct = self._lower_expr(expr.base)
+            idx, _ = self._lower_expr(expr.index)
+            addr = self.b.padd(base, idx)
+            elem = base_ct.elem_ctype()
+            return self.b.load(addr, elem.ir_type()), elem
+        if isinstance(expr, AddrOf):
+            addr, _ = self._lower_lvalue_addr(expr.operand)
+            return addr, expr.ctype
+        if isinstance(expr, CastExpr):
+            val, ct = self._lower_expr(expr.operand)
+            if expr.to == "int":
+                return (self.b.fptosi(val) if ct is C_FLOAT else val), C_INT
+            return (self.b.sitofp(val) if ct is C_INT else val), C_FLOAT
+        raise SemanticError(  # pragma: no cover
+            f"cannot lower {type(expr).__name__}"
+        )
+
+    def _lower_unary(self, expr: Unary) -> Tuple[Value, CType]:
+        val, ct = self._lower_expr(expr.operand)
+        if expr.op == "-":
+            if ct is C_FLOAT:
+                return self.b.binop("fsub", const_float(0.0), val), C_FLOAT
+            return self.b.binop("sub", const_int(0), val), C_INT
+        # "!"
+        if ct is C_FLOAT:
+            return self.b.fcmp("oeq", val, const_float(0.0)), C_INT
+        return self.b.icmp("eq", val, const_int(0)), C_INT
+
+    def _lower_binary(self, expr: Binary) -> Tuple[Value, CType]:
+        op = expr.op
+        if op in ("&&", "||"):
+            return self._lower_logical(expr)
+
+        lval, lt = self._lower_expr(expr.lhs)
+        rval, rt = self._lower_expr(expr.rhs)
+
+        if op in _CMP_TO_IPRED:
+            if lt is C_FLOAT or rt is C_FLOAT:
+                lval = self._coerce(lval, lt, C_FLOAT)
+                rval = self._coerce(rval, rt, C_FLOAT)
+                return self.b.fcmp(_CMP_TO_FPRED[op], lval, rval), C_INT
+            return self.b.icmp(_CMP_TO_IPRED[op], lval, rval), C_INT
+
+        # Pointer arithmetic
+        if isinstance(lt, PtrType) and rt is C_INT and op in ("+", "-"):
+            ir_op = "padd" if op == "+" else "psub"
+            return self.b.binop(ir_op, lval, rval), lt
+        if lt is C_INT and isinstance(rt, PtrType) and op == "+":
+            return self.b.binop("padd", rval, lval), rt
+        if isinstance(lt, PtrType) and isinstance(rt, PtrType) and op == "-":
+            li = self.b.ptrtoint(lval)
+            ri = self.b.ptrtoint(rval)
+            return self.b.binop("sub", li, ri), C_INT
+
+        if lt is C_FLOAT or rt is C_FLOAT:
+            lval = self._coerce(lval, lt, C_FLOAT)
+            rval = self._coerce(rval, rt, C_FLOAT)
+            return self.b.binop(_ARITH_TO_FOP[op], lval, rval), C_FLOAT
+        return self.b.binop(_ARITH_TO_IOP[op], lval, rval), C_INT
+
+    def _lower_logical(self, expr: Binary) -> Tuple[Value, CType]:
+        res = self.func.new_reg(C_INT.ir_type(), "logic")
+        lval, lt = self._lower_expr(expr.lhs)
+        ltruth = self._truthify(lval, lt)
+        rhs_b = self._new_block("logic.rhs")
+        short_b = self._new_block("logic.short")
+        end_b = self._new_block("logic.end")
+        if expr.op == "&&":
+            self.b.condbr(ltruth, rhs_b, short_b)
+            short_val = const_int(0)
+        else:
+            self.b.condbr(ltruth, short_b, rhs_b)
+            short_val = const_int(1)
+        self.b.position(rhs_b)
+        rval, rt = self._lower_expr(expr.rhs)
+        rtruth = self._truthify(rval, rt)
+        self.b.copy(rtruth, dest=res)
+        self.b.br(end_b)
+        self.b.position(short_b)
+        self.b.copy(short_val, dest=res)
+        self.b.br(end_b)
+        self.b.position(end_b)
+        return res, C_INT
+
+    def _lower_call(self, expr: CallExpr) -> Tuple[Value, CType]:
+        spec = get_intrinsic(expr.name)
+        args = []
+        if spec is not None:
+            param_cts = [intrinsic_code_to_ctype(c) for c in spec.params]
+            ret_ct = intrinsic_code_to_ctype(spec.ret)
+            for arg, want in zip(expr.args, param_cts):
+                val, ct = self._lower_expr(arg)
+                if want is C_FLOAT:
+                    val = self._coerce(val, ct, C_FLOAT)
+                args.append(val)
+            ret_ir = ret_ct.ir_type() if ret_ct is not None else VOID
+            result = self.b.call(expr.name, args, ret_ir)
+            return result, (ret_ct if ret_ct is not None else C_INT)
+        # User call: coerce via the callee's declared parameter ctypes,
+        # which sema stored on the call's signature table.
+        sig = self.signatures[expr.name]
+        for arg, want in zip(expr.args, sig.params):
+            val, ct = self._lower_expr(arg)
+            args.append(self._coerce(val, ct, want))
+        ret_ir = sig.ret.ir_type() if sig.ret is not None else VOID
+        result = self.b.call(expr.name, args, ret_ir)
+        return result, (sig.ret if sig.ret is not None else C_INT)
+
+
+def lower_program(
+    program: Program, signatures: Dict[str, FuncSig], name: str = "module"
+) -> Module:
+    """Lower a type-checked AST to an IR module."""
+    module = Module(name)
+    for decl in program.functions:
+        lowerer = FunctionLowerer(decl, signatures[decl.name], module)
+        lowerer.signatures = signatures
+        module.add_function(lowerer.lower())
+    module.passes_applied.append("lower")
+    return module

@@ -1,0 +1,383 @@
+"""Recursive-descent parser for MiniHPC.
+
+Grammar (EBNF, ``[]`` optional, ``{}`` repetition)::
+
+    program   = { func } ;
+    func      = "func" IDENT "(" [ param { "," param } ] ")"
+                [ "->" type ] block ;
+    param     = IDENT ":" type ;
+    type      = ("int" | "float") [ "*" ] ;
+    block     = "{" { stmt } "}" ;
+    stmt      = vardecl ";" | simple ";" | if | while | for
+              | "return" [ expr ] ";" | block ;
+    vardecl   = "var" IDENT ":" basetype
+                ( "[" INT "]" | [ "*" ] [ "=" expr ] ) ;
+    simple    = lvalue ("=" | "+=" | "-=" | "*=" | "/=") expr | expr ;
+    if        = "if" "(" expr ")" block [ "else" (if | block) ] ;
+    while     = "while" "(" expr ")" block ;
+    for       = "for" "(" [vardecl | simple] ";" [expr] ";" [simple] ")"
+                block ;
+
+Expression precedence, lowest first: ``||``, ``&&``, ``|``, ``^``, ``&``,
+equality, relational, shifts, additive, multiplicative, unary
+(``- ! &``), postfix (call, index), primary.  ``int(e)``/``float(e)`` are
+cast expressions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import ParseError
+from .ast_nodes import (
+    AddrOf,
+    Assign,
+    Binary,
+    Block,
+    CallExpr,
+    CastExpr,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    For,
+    FuncDecl,
+    Ident,
+    If,
+    IndexExpr,
+    IntLit,
+    Param,
+    Program,
+    Return,
+    Stmt,
+    Unary,
+    VarDecl,
+    While,
+)
+from .lexer import tokenize
+from .tokens import Token
+
+_ASSIGN_OPS = ("=", "+=", "-=", "*=", "/=")
+
+
+class Parser:
+    def __init__(self, source: str) -> None:
+        self.tokens: List[Token] = tokenize(source)
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, offset: int = 1) -> Token:
+        i = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[i]
+
+    def advance(self) -> Token:
+        tok = self.cur
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def check(self, kind: str) -> bool:
+        return self.cur.kind == kind
+
+    def accept(self, kind: str) -> Optional[Token]:
+        if self.cur.kind == kind:
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, what: str = "") -> Token:
+        if self.cur.kind == kind:
+            return self.advance()
+        want = what or repr(kind)
+        raise ParseError(
+            f"expected {want}, found {self.cur.kind!r}",
+            self.cur.line, self.cur.col,
+        )
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+    def parse_program(self) -> Program:
+        prog = Program(line=1, col=1)
+        while not self.check("eof"):
+            prog.functions.append(self.parse_func())
+        return prog
+
+    def parse_func(self) -> FuncDecl:
+        tok = self.expect("func")
+        name = self.expect("ident", "function name").value
+        self.expect("(")
+        params: List[Param] = []
+        if not self.check(")"):
+            while True:
+                pname_tok = self.expect("ident", "parameter name")
+                self.expect(":")
+                ptype = self.parse_type()
+                params.append(Param(pname_tok.line, pname_tok.col,
+                                    pname_tok.value, ptype))
+                if not self.accept(","):
+                    break
+        self.expect(")")
+        ret = "void"
+        if self.accept("->"):
+            ret = self.parse_type(allow_ptr=False)
+        body = self.parse_block()
+        return FuncDecl(tok.line, tok.col, name, params, ret, body)
+
+    def parse_type(self, allow_ptr: bool = True) -> str:
+        if self.accept("int"):
+            base = "int"
+        elif self.accept("float"):
+            base = "float"
+        else:
+            raise ParseError(
+                f"expected type, found {self.cur.kind!r}",
+                self.cur.line, self.cur.col,
+            )
+        if allow_ptr and self.accept("*"):
+            return base + "*"
+        return base
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def parse_block(self) -> Block:
+        tok = self.expect("{")
+        block = Block(tok.line, tok.col)
+        while not self.check("}"):
+            if self.check("eof"):
+                raise ParseError("unterminated block", tok.line, tok.col)
+            block.stmts.append(self.parse_stmt())
+        self.expect("}")
+        return block
+
+    def parse_stmt(self) -> Stmt:
+        tok = self.cur
+        if tok.kind == "{":
+            return self.parse_block()
+        if tok.kind == "var":
+            decl = self.parse_vardecl()
+            self.expect(";")
+            return decl
+        if tok.kind == "if":
+            return self.parse_if()
+        if tok.kind == "while":
+            return self.parse_while()
+        if tok.kind == "for":
+            return self.parse_for()
+        if tok.kind == "return":
+            self.advance()
+            value = None
+            if not self.check(";"):
+                value = self.parse_expr()
+            self.expect(";")
+            return Return(tok.line, tok.col, value)
+        stmt = self.parse_simple()
+        self.expect(";")
+        return stmt
+
+    def parse_vardecl(self) -> VarDecl:
+        tok = self.expect("var")
+        name = self.expect("ident", "variable name").value
+        self.expect(":")
+        if self.accept("int"):
+            base = "int"
+        elif self.accept("float"):
+            base = "float"
+        else:
+            raise ParseError(
+                f"expected type, found {self.cur.kind!r}",
+                self.cur.line, self.cur.col,
+            )
+        array_size: Optional[int] = None
+        type_name = base
+        if self.accept("*"):
+            type_name = base + "*"
+        elif self.accept("["):
+            size_tok = self.expect("intlit", "array size literal")
+            if size_tok.value <= 0:
+                raise ParseError(
+                    f"array size must be positive, got {size_tok.value}",
+                    size_tok.line, size_tok.col,
+                )
+            array_size = size_tok.value
+            self.expect("]")
+        init = None
+        if self.accept("="):
+            if array_size is not None:
+                raise ParseError(
+                    "array variables cannot have initialisers",
+                    tok.line, tok.col,
+                )
+            init = self.parse_expr()
+        return VarDecl(tok.line, tok.col, name, type_name, array_size, init)
+
+    def parse_simple(self) -> Stmt:
+        """Assignment or bare expression (no trailing semicolon)."""
+        tok = self.cur
+        expr = self.parse_expr()
+        if self.cur.kind in _ASSIGN_OPS:
+            op = self.advance().kind
+            if not isinstance(expr, (Ident, IndexExpr)):
+                raise ParseError(
+                    "assignment target must be a variable or element",
+                    tok.line, tok.col,
+                )
+            value = self.parse_expr()
+            return Assign(tok.line, tok.col, expr, op, value)
+        return ExprStmt(tok.line, tok.col, expr)
+
+    def parse_if(self) -> If:
+        tok = self.expect("if")
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        then = self.parse_block()
+        orelse: Optional[Stmt] = None
+        if self.accept("else"):
+            orelse = self.parse_if() if self.check("if") else self.parse_block()
+        return If(tok.line, tok.col, cond, then, orelse)
+
+    def parse_while(self) -> While:
+        tok = self.expect("while")
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        body = self.parse_block()
+        return While(tok.line, tok.col, cond, body)
+
+    def parse_for(self) -> For:
+        tok = self.expect("for")
+        self.expect("(")
+        init: Optional[Stmt] = None
+        if not self.check(";"):
+            init = self.parse_vardecl() if self.check("var") else self.parse_simple()
+        self.expect(";")
+        cond: Optional[Expr] = None
+        if not self.check(";"):
+            cond = self.parse_expr()
+        self.expect(";")
+        step: Optional[Stmt] = None
+        if not self.check(")"):
+            step = self.parse_simple()
+        self.expect(")")
+        body = self.parse_block()
+        return For(tok.line, tok.col, init, cond, step, body)
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    def parse_expr(self) -> Expr:
+        return self.parse_or()
+
+    def _binary_level(self, sub, ops) -> Expr:
+        lhs = sub()
+        while self.cur.kind in ops:
+            tok = self.advance()
+            rhs = sub()
+            lhs = Binary(tok.line, tok.col, op=tok.kind, lhs=lhs, rhs=rhs)
+        return lhs
+
+    def parse_or(self) -> Expr:
+        return self._binary_level(self.parse_and, ("||",))
+
+    def parse_and(self) -> Expr:
+        return self._binary_level(self.parse_bitor, ("&&",))
+
+    def parse_bitor(self) -> Expr:
+        return self._binary_level(self.parse_bitxor, ("|",))
+
+    def parse_bitxor(self) -> Expr:
+        return self._binary_level(self.parse_bitand, ("^",))
+
+    def parse_bitand(self) -> Expr:
+        return self._binary_level(self.parse_equality, ("&",))
+
+    def parse_equality(self) -> Expr:
+        return self._binary_level(self.parse_relational, ("==", "!="))
+
+    def parse_relational(self) -> Expr:
+        return self._binary_level(self.parse_shift, ("<", "<=", ">", ">="))
+
+    def parse_shift(self) -> Expr:
+        return self._binary_level(self.parse_additive, ("<<", ">>"))
+
+    def parse_additive(self) -> Expr:
+        return self._binary_level(self.parse_multiplicative, ("+", "-"))
+
+    def parse_multiplicative(self) -> Expr:
+        return self._binary_level(self.parse_unary, ("*", "/", "%"))
+
+    def parse_unary(self) -> Expr:
+        tok = self.cur
+        if tok.kind in ("-", "!"):
+            self.advance()
+            operand = self.parse_unary()
+            return Unary(tok.line, tok.col, op=tok.kind, operand=operand)
+        if tok.kind == "&":
+            self.advance()
+            operand = self.parse_unary()
+            if not isinstance(operand, (Ident, IndexExpr)):
+                raise ParseError(
+                    "can only take the address of a variable or element",
+                    tok.line, tok.col,
+                )
+            return AddrOf(tok.line, tok.col, operand=operand)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> Expr:
+        expr = self.parse_primary()
+        while True:
+            if self.check("["):
+                tok = self.advance()
+                index = self.parse_expr()
+                self.expect("]")
+                expr = IndexExpr(tok.line, tok.col, base=expr, index=index)
+            elif self.check("(") and isinstance(expr, Ident):
+                tok = self.advance()
+                args: List[Expr] = []
+                if not self.check(")"):
+                    while True:
+                        args.append(self.parse_expr())
+                        if not self.accept(","):
+                            break
+                self.expect(")")
+                expr = CallExpr(tok.line, tok.col, name=expr.name, args=args)
+            else:
+                return expr
+
+    def parse_primary(self) -> Expr:
+        tok = self.cur
+        if tok.kind == "intlit":
+            self.advance()
+            return IntLit(tok.line, tok.col, value=tok.value)
+        if tok.kind == "floatlit":
+            self.advance()
+            return FloatLit(tok.line, tok.col, value=tok.value)
+        if tok.kind in ("int", "float"):
+            # Cast expression: int(e) / float(e)
+            self.advance()
+            self.expect("(")
+            operand = self.parse_expr()
+            self.expect(")")
+            return CastExpr(tok.line, tok.col, to=tok.kind, operand=operand)
+        if tok.kind == "ident":
+            self.advance()
+            return Ident(tok.line, tok.col, name=tok.value)
+        if tok.kind == "(":
+            self.advance()
+            expr = self.parse_expr()
+            self.expect(")")
+            return expr
+        raise ParseError(
+            f"expected expression, found {tok.kind!r}", tok.line, tok.col
+        )
+
+
+def parse(source: str) -> Program:
+    """Parse MiniHPC source into an AST."""
+    return Parser(source).parse_program()

@@ -1,0 +1,447 @@
+"""Semantic analysis: scoping and type checking for MiniHPC.
+
+Annotates the AST in place: every expression gets ``ctype``, every
+identifier/declaration gets a resolved :class:`VarSymbol`, and each
+function a :class:`FuncSig`.  The lowering stage relies on these
+annotations and performs no checking of its own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import SemanticError
+from ..vm.intrinsics import get_intrinsic
+from .ast_nodes import (
+    AddrOf,
+    Assign,
+    Binary,
+    Block,
+    CallExpr,
+    CastExpr,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    For,
+    FuncDecl,
+    Ident,
+    If,
+    IndexExpr,
+    IntLit,
+    Program,
+    Return,
+    Stmt,
+    Unary,
+    VarDecl,
+    While,
+)
+from .ftypes import (
+    C_FLOAT,
+    C_INT,
+    CType,
+    PtrType,
+    assignable,
+    intrinsic_code_to_ctype,
+    parse_type_name,
+)
+
+_INT_ONLY_BINOPS = ("%", "<<", ">>", "|", "^", "&")
+_COMPARISONS = ("==", "!=", "<", "<=", ">", ">=")
+_LOGICAL = ("&&", "||")
+
+
+@dataclass
+class VarSymbol:
+    """One declared variable (parameter or local)."""
+
+    name: str
+    ctype: CType
+    is_array: bool = False
+    array_size: Optional[int] = None
+    is_param: bool = False
+    #: set when &var is taken — such variables stay in memory (no mem2reg)
+    addressed: bool = False
+    uid: int = 0
+
+
+@dataclass
+class FuncSig:
+    name: str
+    params: List[CType]
+    ret: Optional[CType]  # None = void
+    decl: FuncDecl = None
+
+
+class _Scope:
+    def __init__(self, parent: Optional["_Scope"]) -> None:
+        self.parent = parent
+        self.vars: Dict[str, VarSymbol] = {}
+
+    def declare(self, sym: VarSymbol, line: int, col: int) -> None:
+        if sym.name in self.vars:
+            raise SemanticError(f"redeclaration of {sym.name!r}", line, col)
+        self.vars[sym.name] = sym
+
+    def lookup(self, name: str) -> Optional[VarSymbol]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            sym = scope.vars.get(name)
+            if sym is not None:
+                return sym
+            scope = scope.parent
+        return None
+
+
+class SemanticAnalyzer:
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.signatures: Dict[str, FuncSig] = {}
+        self._uid = 0
+        self._current: Optional[FuncSig] = None
+        self._scope: Optional[_Scope] = None
+
+    # ------------------------------------------------------------------
+    def analyze(self) -> Dict[str, FuncSig]:
+        self._collect_signatures()
+        for func in self.program.functions:
+            self._check_function(func)
+        return self.signatures
+
+    def _collect_signatures(self) -> None:
+        for func in self.program.functions:
+            if func.name in self.signatures:
+                raise SemanticError(
+                    f"duplicate function {func.name!r}", func.line, func.col
+                )
+            if get_intrinsic(func.name) is not None:
+                raise SemanticError(
+                    f"function {func.name!r} shadows an intrinsic",
+                    func.line, func.col,
+                )
+            params = [parse_type_name(p.type_name) for p in func.params]
+            ret = None if func.ret_type == "void" else parse_type_name(func.ret_type)
+            self.signatures[func.name] = FuncSig(func.name, params, ret, func)
+        main = self.signatures.get("main")
+        if main is not None:
+            if main.params != [C_INT, C_INT]:
+                raise SemanticError(
+                    "main must take (rank: int, size: int)",
+                    main.decl.line, main.decl.col,
+                )
+
+    # ------------------------------------------------------------------
+    def _new_symbol(self, **kw) -> VarSymbol:
+        self._uid += 1
+        return VarSymbol(uid=self._uid, **kw)
+
+    def _check_function(self, func: FuncDecl) -> None:
+        sig = self.signatures[func.name]
+        self._current = sig
+        self._scope = _Scope(None)
+        for p, ctype in zip(func.params, sig.params):
+            sym = self._new_symbol(name=p.name, ctype=ctype, is_param=True)
+            self._scope.declare(sym, p.line, p.col)
+            p.symbol = sym  # type: ignore[attr-defined]
+        self._check_block(func.body, new_scope=False)
+        self._scope = None
+        self._current = None
+
+    def _check_block(self, block: Block, new_scope: bool = True) -> None:
+        if new_scope:
+            self._scope = _Scope(self._scope)
+        for stmt in block.stmts:
+            self._check_stmt(stmt)
+        if new_scope:
+            self._scope = self._scope.parent
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _check_stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, Block):
+            self._check_block(stmt)
+        elif isinstance(stmt, VarDecl):
+            self._check_vardecl(stmt)
+        elif isinstance(stmt, Assign):
+            self._check_assign(stmt)
+        elif isinstance(stmt, ExprStmt):
+            self._check_expr(stmt.expr, value_needed=False)
+        elif isinstance(stmt, If):
+            self._check_cond(stmt.cond)
+            self._check_block(stmt.then)
+            if stmt.orelse is not None:
+                self._check_stmt(stmt.orelse)
+        elif isinstance(stmt, While):
+            self._check_cond(stmt.cond)
+            self._check_block(stmt.body)
+        elif isinstance(stmt, For):
+            self._scope = _Scope(self._scope)
+            if stmt.init is not None:
+                self._check_stmt(stmt.init)
+            if stmt.cond is not None:
+                self._check_cond(stmt.cond)
+            if stmt.step is not None:
+                self._check_stmt(stmt.step)
+            self._check_block(stmt.body)
+            self._scope = self._scope.parent
+        elif isinstance(stmt, Return):
+            self._check_return(stmt)
+        else:  # pragma: no cover - parser produces no other kinds
+            raise SemanticError(f"unknown statement {type(stmt).__name__}")
+
+    def _check_vardecl(self, decl: VarDecl) -> None:
+        if decl.array_size is not None:
+            base = parse_type_name(decl.type_name)
+            ctype: CType = PtrType(decl.type_name)
+            sym = self._new_symbol(
+                name=decl.name, ctype=ctype, is_array=True,
+                array_size=decl.array_size,
+            )
+            del base
+        else:
+            ctype = parse_type_name(decl.type_name)
+            sym = self._new_symbol(name=decl.name, ctype=ctype)
+        if decl.init is not None:
+            src = self._check_expr(decl.init)
+            how = assignable(sym.ctype, src)
+            if how is None:
+                raise SemanticError(
+                    f"cannot initialise {sym.ctype} variable {decl.name!r} "
+                    f"with {src} value", decl.line, decl.col,
+                )
+        self._scope.declare(sym, decl.line, decl.col)
+        decl.symbol = sym
+
+    def _check_assign(self, stmt: Assign) -> None:
+        target_t = self._check_lvalue(stmt.target)
+        value_t = self._check_expr(stmt.value)
+        if stmt.op != "=":
+            if not (target_t.is_numeric and value_t.is_numeric):
+                raise SemanticError(
+                    f"compound assignment {stmt.op} requires numeric operands, "
+                    f"got {target_t} {stmt.op} {value_t}",
+                    stmt.line, stmt.col,
+                )
+            if target_t is C_INT and value_t is C_FLOAT:
+                raise SemanticError(
+                    f"implicit float -> int in {stmt.op}; use int(...)",
+                    stmt.line, stmt.col,
+                )
+            return
+        how = assignable(target_t, value_t)
+        if how is None:
+            raise SemanticError(
+                f"cannot assign {value_t} to {target_t}", stmt.line, stmt.col
+            )
+
+    def _check_lvalue(self, expr: Expr) -> CType:
+        if isinstance(expr, Ident):
+            t = self._check_expr(expr)
+            if expr.symbol.is_array:
+                raise SemanticError(
+                    f"cannot assign to array {expr.name!r}", expr.line, expr.col
+                )
+            return t
+        if isinstance(expr, IndexExpr):
+            return self._check_expr(expr)
+        raise SemanticError("invalid assignment target", expr.line, expr.col)
+
+    def _check_cond(self, expr: Expr) -> None:
+        t = self._check_expr(expr)
+        if not t.is_numeric:
+            raise SemanticError(
+                f"condition must be numeric, got {t}", expr.line, expr.col
+            )
+
+    def _check_return(self, stmt: Return) -> None:
+        want = self._current.ret
+        if want is None:
+            if stmt.value is not None:
+                raise SemanticError(
+                    f"void function {self._current.name!r} cannot return a value",
+                    stmt.line, stmt.col,
+                )
+            return
+        if stmt.value is None:
+            raise SemanticError(
+                f"function {self._current.name!r} must return {want}",
+                stmt.line, stmt.col,
+            )
+        got = self._check_expr(stmt.value)
+        if assignable(want, got) is None:
+            raise SemanticError(
+                f"return type mismatch: {got}, expected {want}",
+                stmt.line, stmt.col,
+            )
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _check_expr(self, expr: Expr, value_needed: bool = True) -> CType:
+        t = self._check_expr_inner(expr, value_needed)
+        expr.ctype = t
+        return t
+
+    def _check_expr_inner(self, expr: Expr, value_needed: bool) -> CType:
+        if isinstance(expr, IntLit):
+            return C_INT
+        if isinstance(expr, FloatLit):
+            return C_FLOAT
+        if isinstance(expr, Ident):
+            sym = self._scope.lookup(expr.name)
+            if sym is None:
+                raise SemanticError(
+                    f"undefined variable {expr.name!r}", expr.line, expr.col
+                )
+            expr.symbol = sym
+            return sym.ctype
+        if isinstance(expr, Unary):
+            t = self._check_expr(expr.operand)
+            if expr.op == "-":
+                if not t.is_numeric:
+                    raise SemanticError(
+                        f"unary - requires a numeric operand, got {t}",
+                        expr.line, expr.col,
+                    )
+                return t
+            # "!"
+            if not t.is_numeric:
+                raise SemanticError(
+                    f"! requires a numeric operand, got {t}", expr.line, expr.col
+                )
+            return C_INT
+        if isinstance(expr, Binary):
+            return self._check_binary(expr)
+        if isinstance(expr, CallExpr):
+            return self._check_call(expr, value_needed)
+        if isinstance(expr, IndexExpr):
+            base = self._check_expr(expr.base)
+            if not isinstance(base, PtrType):
+                raise SemanticError(
+                    f"cannot index non-pointer {base}", expr.line, expr.col
+                )
+            idx = self._check_expr(expr.index)
+            if idx is not C_INT:
+                raise SemanticError(
+                    f"index must be int, got {idx}", expr.line, expr.col
+                )
+            try:
+                return base.elem_ctype()
+            except TypeError as exc:
+                raise SemanticError(str(exc), expr.line, expr.col) from None
+        if isinstance(expr, AddrOf):
+            return self._check_addrof(expr)
+        if isinstance(expr, CastExpr):
+            t = self._check_expr(expr.operand)
+            if not t.is_numeric:
+                raise SemanticError(
+                    f"cannot cast {t} to {expr.to}", expr.line, expr.col
+                )
+            return C_INT if expr.to == "int" else C_FLOAT
+        raise SemanticError(  # pragma: no cover
+            f"unknown expression {type(expr).__name__}", expr.line, expr.col
+        )
+
+    def _check_binary(self, expr: Binary) -> CType:
+        lt = self._check_expr(expr.lhs)
+        rt = self._check_expr(expr.rhs)
+        op = expr.op
+        if op in _LOGICAL:
+            if not (lt.is_numeric and rt.is_numeric):
+                raise SemanticError(
+                    f"{op} requires numeric operands, got {lt}, {rt}",
+                    expr.line, expr.col,
+                )
+            return C_INT
+        if op in _INT_ONLY_BINOPS:
+            if lt is not C_INT or rt is not C_INT:
+                raise SemanticError(
+                    f"{op} requires int operands, got {lt}, {rt}",
+                    expr.line, expr.col,
+                )
+            return C_INT
+        if op in _COMPARISONS:
+            if lt.is_numeric and rt.is_numeric:
+                return C_INT
+            if isinstance(lt, PtrType) and isinstance(rt, PtrType):
+                return C_INT
+            raise SemanticError(
+                f"cannot compare {lt} with {rt}", expr.line, expr.col
+            )
+        # + - * /
+        if op in ("+", "-"):
+            if isinstance(lt, PtrType) and rt is C_INT:
+                return lt
+            if op == "+" and lt is C_INT and isinstance(rt, PtrType):
+                return rt
+            if op == "-" and isinstance(lt, PtrType) and isinstance(rt, PtrType):
+                return C_INT  # pointer difference in words
+        if lt.is_numeric and rt.is_numeric:
+            return C_FLOAT if (lt is C_FLOAT or rt is C_FLOAT) else C_INT
+        raise SemanticError(
+            f"invalid operands to {op}: {lt}, {rt}", expr.line, expr.col
+        )
+
+    def _check_call(self, expr: CallExpr, value_needed: bool) -> CType:
+        spec = get_intrinsic(expr.name)
+        if spec is not None:
+            params = [intrinsic_code_to_ctype(c) for c in spec.params]
+            ret = intrinsic_code_to_ctype(spec.ret)
+            where = f"intrinsic {expr.name!r}"
+        else:
+            sig = self.signatures.get(expr.name)
+            if sig is None:
+                raise SemanticError(
+                    f"call to undefined function {expr.name!r}",
+                    expr.line, expr.col,
+                )
+            params = sig.params
+            ret = sig.ret
+            where = f"function {expr.name!r}"
+        if len(expr.args) != len(params):
+            raise SemanticError(
+                f"{where} takes {len(params)} arguments, got {len(expr.args)}",
+                expr.line, expr.col,
+            )
+        for i, (arg, want) in enumerate(zip(expr.args, params)):
+            got = self._check_expr(arg)
+            if assignable(want, got) is None:
+                raise SemanticError(
+                    f"{where} argument {i + 1}: expected {want}, got {got}",
+                    arg.line, arg.col,
+                )
+        if ret is None:
+            if value_needed:
+                raise SemanticError(
+                    f"{where} returns no value", expr.line, expr.col
+                )
+            return C_INT  # placeholder ctype; never used as a value
+        return ret
+
+    def _check_addrof(self, expr: AddrOf) -> CType:
+        operand = expr.operand
+        if isinstance(operand, Ident):
+            t = self._check_expr(operand)
+            sym = operand.symbol
+            if sym.is_array:
+                raise SemanticError(
+                    f"array {operand.name!r} is already a pointer; "
+                    f"use &{operand.name}[0] or the bare name",
+                    expr.line, expr.col,
+                )
+            if isinstance(t, PtrType):
+                raise SemanticError(
+                    "cannot take the address of a pointer variable",
+                    expr.line, expr.col,
+                )
+            sym.addressed = True
+            return PtrType(t.name)
+        # IndexExpr
+        t = self._check_expr(operand)
+        return PtrType(t.name)
+
+
+def analyze(program: Program) -> Dict[str, FuncSig]:
+    """Run semantic analysis; returns the function signature table."""
+    return SemanticAnalyzer(program).analyze()

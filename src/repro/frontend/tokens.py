@@ -1,0 +1,35 @@
+"""Token definitions for the MiniHPC language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+KEYWORDS = frozenset(
+    ["func", "var", "if", "else", "while", "for", "return", "int", "float"]
+)
+
+# Multi-character operators first (longest match wins in the lexer).
+OPERATORS = [
+    "->", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ",", ";", ":",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is ``"ident"``, ``"int"``, ``"float"``, ``"eof"``, a keyword,
+    or the operator text itself.
+    """
+
+    kind: str
+    value: Union[str, int, float, None]
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind!r}, {self.value!r}, {self.line}:{self.col})"

@@ -1,0 +1,15 @@
+"""LLFI++ campaign layer: fault plans, golden profiling, trial driving."""
+
+from .campaign import (
+    CampaignResult,
+    TrialResult,
+    default_trials,
+    run_campaign,
+)
+from .plan import draw_plan
+from .profiler import GoldenProfile, PreparedApp, profile_golden
+
+__all__ = [
+    "CampaignResult", "GoldenProfile", "PreparedApp", "TrialResult",
+    "default_trials", "draw_plan", "profile_golden", "run_campaign",
+]

@@ -1,0 +1,248 @@
+"""Fault-injection campaigns: many trials, optional process parallelism.
+
+A campaign reproduces the paper's experimental loop (Sec. 4): run the
+application thousands of times, inject one (or more) random single-bit
+register faults per run, classify every outcome, and — in FPM mode —
+record the CML(t) propagation trace of every run.
+
+Workers are OS processes (``concurrent.futures.ProcessPoolExecutor``);
+each worker compiles the app once and reuses it for all its trials, so
+the per-trial cost is one simulated job.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.classify import Outcome, classify, outcome_fractions, outputs_match
+from ..apps.registry import AppSpec, get_app
+from ..core.runner import run_job
+from ..errors import CampaignError
+from ..mpi import JobResult
+from ..vm.machine import FaultSpec
+from .plan import draw_plan
+from .profiler import GoldenProfile, PreparedApp
+
+
+@dataclass
+class TrialResult:
+    """Everything the analysis layer needs about one injected run."""
+
+    outcome: str
+    trap_kind: Optional[str]
+    faults: Tuple[FaultSpec, ...]
+    #: cycle at which each armed fault actually fired (empty if none did)
+    injected_cycles: Tuple[int, ...]
+    #: occurrence indices that actually fired
+    injected_occurrences: Tuple[int, ...]
+    iterations: int
+    cycles: int
+    #: static site ids of the instructions hit (CompiledProgram.site_table)
+    injected_sites: Tuple[int, ...] = ()
+    final_cml: int = 0
+    peak_cml: int = 0
+    peak_cml_fraction: float = 0.0
+    ever_contaminated: bool = False
+    ranks_contaminated: int = 0
+    #: compact CML(t) series (FPM mode): times, total CML, live words,
+    #: contaminated-rank count — all aligned numpy arrays
+    times: Optional[np.ndarray] = None
+    cml: Optional[np.ndarray] = None
+    live: Optional[np.ndarray] = None
+    ranks_series: Optional[np.ndarray] = None
+    #: per-rank first-contamination cycle (None = never), FPM mode
+    first_contamination: Tuple[Optional[int], ...] = ()
+
+    @property
+    def outcome_enum(self) -> Outcome:
+        return Outcome(self.outcome)
+
+
+@dataclass
+class CampaignResult:
+    """All trials of one campaign plus the golden reference summary."""
+
+    app_name: str
+    mode: str
+    n_faults: int
+    seed: int
+    golden_iterations: int
+    golden_cycles: int
+    golden_rank_cycles: Tuple[int, ...]
+    inj_counts: Tuple[int, ...]
+    trials: List[TrialResult] = field(default_factory=list)
+
+    @property
+    def n_trials(self) -> int:
+        return len(self.trials)
+
+    def outcomes(self) -> List[Outcome]:
+        return [t.outcome_enum for t in self.trials]
+
+    def fractions(self) -> Dict[str, float]:
+        return outcome_fractions(self.outcomes())
+
+    def of_outcome(self, *outcomes: Outcome) -> List[TrialResult]:
+        wanted = {o.value for o in outcomes}
+        return [t for t in self.trials if t.outcome in wanted]
+
+
+# ----------------------------------------------------------------------
+# Worker-side machinery (must be module-level for pickling)
+# ----------------------------------------------------------------------
+
+_PREPARED_CACHE: Dict[tuple, PreparedApp] = {}
+
+
+def _prepared(app_name: str, params: tuple, mode: str) -> PreparedApp:
+    key = (app_name, params, mode)
+    pa = _PREPARED_CACHE.get(key)
+    if pa is None:
+        pa = PreparedApp(get_app(app_name, **dict(params)), mode)
+        _PREPARED_CACHE[key] = pa
+    return pa
+
+
+def _summarise(
+    pa: PreparedApp, result: JobResult, faults: Sequence[FaultSpec],
+    keep_series: bool,
+) -> TrialResult:
+    spec = pa.spec
+    golden = pa.golden
+    ok = (not result.crashed) and outputs_match(
+        result.outputs, golden.outputs, spec.tolerance, spec.abs_tolerance
+    )
+    outcome = classify(
+        crashed=result.crashed,
+        outputs_ok=ok,
+        iterations=result.max_iterations,
+        golden_iterations=golden.iterations,
+        fpm=(pa.mode in ("fpm", "taint")),
+        ever_contaminated=(
+            result.any_contaminated if pa.mode in ("fpm", "taint") else None
+        ),
+    )
+    injected_cycles = tuple(
+        ev.cycle for rank_events in result.injections for ev in rank_events
+    )
+    injected_occurrences = tuple(
+        ev.occurrence for rank_events in result.injections for ev in rank_events
+    )
+    injected_sites = tuple(
+        ev.site for rank_events in result.injections for ev in rank_events
+    )
+    tr = TrialResult(
+        outcome=outcome.value,
+        trap_kind=result.trap.kind.value if result.trap is not None else None,
+        faults=tuple(faults),
+        injected_cycles=injected_cycles,
+        injected_occurrences=injected_occurrences,
+        injected_sites=injected_sites,
+        iterations=result.max_iterations,
+        cycles=result.cycles,
+    )
+    trace = result.trace
+    if trace is not None:
+        tr.final_cml = trace.final_cml
+        tr.peak_cml = trace.peak_cml
+        tr.peak_cml_fraction = trace.peak_cml_fraction
+        tr.ever_contaminated = result.any_contaminated
+        tr.ranks_contaminated = (
+            trace.ranks_contaminated[-1] if trace.ranks_contaminated else 0
+        )
+        tr.first_contamination = tuple(trace.first_contamination)
+        if keep_series:
+            tr.times = trace.times_array()
+            tr.cml = trace.total_cml()
+            tr.live = np.asarray(trace.live_words, dtype=np.int64)
+            tr.ranks_series = np.asarray(trace.ranks_contaminated, dtype=np.int64)
+    return tr
+
+
+def _run_trial(args) -> TrialResult:
+    (app_name, params, mode, faults, inj_seed, keep_series) = args
+    pa = _prepared(app_name, params, mode)
+    result = run_job(
+        pa.program, pa.run_config(), faults=faults, inj_seed=inj_seed
+    )
+    return _summarise(pa, result, faults, keep_series)
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+
+def default_trials(requested: Optional[int] = None) -> int:
+    """Trial count: explicit argument, else REPRO_TRIALS env, else 120."""
+    if requested is not None:
+        return requested
+    env = os.environ.get("REPRO_TRIALS")
+    if env:
+        return max(1, int(env))
+    return 120
+
+
+def run_campaign(
+    app: str,
+    trials: Optional[int] = None,
+    *,
+    mode: str = "blackbox",
+    n_faults: int = 1,
+    seed: int = 2025,
+    workers: Optional[int] = None,
+    keep_series: bool = False,
+    rank: Optional[int] = None,
+    bit: Optional[int] = None,
+    params: Optional[dict] = None,
+) -> CampaignResult:
+    """Run a fault-injection campaign for a registered app.
+
+    ``mode="blackbox"`` reproduces the output-variation analysis of
+    Sec. 4.2 (Fig. 6); ``mode="fpm"`` additionally tracks propagation
+    (Figs. 7-8, Table 2) — set ``keep_series=True`` to retain each
+    trial's CML(t) series for model fitting.
+
+    ``workers`` > 1 distributes trials over processes; ``None`` uses
+    REPRO_WORKERS or 1.
+    """
+    n_trials = default_trials(trials)
+    params = dict(params or {})
+    params_key = tuple(sorted(params.items()))
+    if workers is None:
+        workers = max(1, int(os.environ.get("REPRO_WORKERS", "1")))
+
+    pa = _prepared(app, params_key, mode)
+    golden = pa.golden
+    rng = np.random.default_rng(seed)
+
+    jobs = []
+    for i in range(n_trials):
+        faults = draw_plan(
+            rng, golden.inj_counts, n_faults, rank=rank, bit=bit
+        )
+        inj_seed = int(rng.integers(2 ** 31))
+        jobs.append((app, params_key, mode, tuple(faults), inj_seed, keep_series))
+
+    if workers <= 1 or n_trials < 4:
+        results = [_run_trial(j) for j in jobs]
+    else:
+        chunk = max(1, n_trials // (workers * 8))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(_run_trial, jobs, chunksize=chunk))
+
+    return CampaignResult(
+        app_name=app,
+        mode=mode,
+        n_faults=n_faults,
+        seed=seed,
+        golden_iterations=golden.iterations,
+        golden_cycles=golden.cycles,
+        golden_rank_cycles=tuple(golden.rank_cycles),
+        inj_counts=tuple(golden.inj_counts),
+        trials=results,
+    )

@@ -1,0 +1,90 @@
+"""Golden-run profiling: the reference a fault-injection campaign needs.
+
+One fault-free run per (app, mode) yields:
+
+* per-rank dynamic injection-site execution counts (the sampling space
+  for uniform-over-time fault plans — paper Sec. 4.1),
+* golden outputs and iteration counts (for outcome classification),
+* golden cycle counts (to derive the hang budget).
+
+Profiles are cached per compiled program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..apps.registry import AppSpec
+from ..core.config import RunConfig
+from ..core.runner import build_program, run_job
+from ..errors import CampaignError
+from ..mpi import JobStatus
+from ..vm import CompiledProgram
+
+
+@dataclass
+class GoldenProfile:
+    """Fault-free reference for one (app, mode) build."""
+
+    app_name: str
+    mode: str
+    outputs: List[list]
+    iterations: int
+    cycles: int
+    #: per-rank golden clocks (for per-rank time normalisation)
+    rank_cycles: List[int]
+    inj_counts: List[int]
+    #: derived hang budget for faulty runs
+    max_cycles: int
+
+    @property
+    def total_inj_sites(self) -> int:
+        return sum(self.inj_counts)
+
+
+class PreparedApp:
+    """A compiled app + its golden profile, ready for injection trials."""
+
+    def __init__(self, spec: AppSpec, mode: str = "blackbox") -> None:
+        if mode not in ("blackbox", "fpm", "taint"):
+            raise CampaignError(f"unknown mode {mode!r}")
+        self.spec = spec
+        self.mode = mode
+        self.config: RunConfig = spec.config
+        self.program: CompiledProgram = build_program(
+            spec.source, mode, name=spec.name, config=spec.config
+        )
+        self.golden = profile_golden(self.program, spec, mode)
+
+    def run_config(self) -> RunConfig:
+        return self.config.with_(max_cycles=self.golden.max_cycles)
+
+
+def profile_golden(
+    program: CompiledProgram, spec: AppSpec, mode: str
+) -> GoldenProfile:
+    """Run the fault-free reference and validate it completed cleanly."""
+    config = spec.config
+    result = run_job(program, config)
+    if result.status is not JobStatus.COMPLETED:
+        raise CampaignError(
+            f"golden run of {spec.name!r} ({mode}) failed: "
+            f"{result.status.value} — {result.trap}"
+        )
+    if mode in ("fpm", "taint") and result.any_contaminated:
+        raise CampaignError(
+            f"golden run of {spec.name!r} contaminated its own shadow state; "
+            "the dual-chain build is broken"
+        )
+    budget = max(int(result.cycles * config.hang_factor), result.cycles + 10_000)
+    return GoldenProfile(
+        app_name=spec.name,
+        mode=mode,
+        outputs=result.outputs,
+        iterations=result.max_iterations,
+        cycles=result.cycles,
+        rank_cycles=list(result.rank_cycles),
+        inj_counts=result.inj_counts,
+        max_cycles=budget,
+    )

@@ -1,0 +1,58 @@
+"""Basic blocks: straight-line instruction sequences ending in a terminator."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ..errors import IRError
+from .instructions import Br, CondBr, Instruction
+
+
+class BasicBlock:
+    """A labelled sequence of instructions with a single terminator.
+
+    Blocks are owned by a :class:`~repro.ir.function.Function`; the function
+    assigns each block a dense ``index`` used by the VM for branch targets.
+    """
+
+    __slots__ = ("label", "index", "instructions")
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+        self.index = -1
+        self.instructions: List[Instruction] = []
+
+    def append(self, inst: Instruction) -> Instruction:
+        if self.is_terminated:
+            raise IRError(
+                f"block {self.label!r} already terminated; cannot append {inst.opcode}"
+            )
+        self.instructions.append(inst)
+        return inst
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    @property
+    def is_terminated(self) -> bool:
+        return self.terminator is not None
+
+    def successors(self) -> List["BasicBlock"]:
+        term = self.terminator
+        if isinstance(term, Br):
+            return [term.target]
+        if isinstance(term, CondBr):
+            return [term.iftrue, term.iffalse]
+        return []
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:
+        return f"<BasicBlock {self.label} ({len(self.instructions)} insts)>"

@@ -1,0 +1,166 @@
+"""IRBuilder: convenience API for emitting instructions into blocks.
+
+Used by the frontend lowering, by compiler passes that synthesise code,
+and heavily by tests that construct IR by hand.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..errors import IRError
+from .basicblock import BasicBlock
+from .function import Function
+from .instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    Cmp,
+    CondBr,
+    Copy,
+    Load,
+    Ret,
+    Store,
+    result_type,
+)
+from .types import FLOAT, INT, PTR, Type, VOID
+from .values import Register, Value
+
+
+class IRBuilder:
+    """Emits type-checked instructions at the end of a current block."""
+
+    def __init__(self, func: Function, block: Optional[BasicBlock] = None) -> None:
+        self.func = func
+        self.block = block
+
+    def position(self, block: BasicBlock) -> None:
+        self.block = block
+
+    def _emit(self, inst):
+        if self.block is None:
+            raise IRError("IRBuilder has no current block")
+        return self.block.append(inst)
+
+    # ------------------------------------------------------------------
+    # Arithmetic and logic
+    # ------------------------------------------------------------------
+    def binop(self, op: str, lhs: Value, rhs: Value, name: str = "") -> Register:
+        rtype = result_type(op, lhs.type, rhs.type)
+        dest = self.func.new_reg(rtype, name)
+        self._emit(BinOp(dest, op, lhs, rhs))
+        return dest
+
+    def icmp(self, pred: str, lhs: Value, rhs: Value, name: str = "") -> Register:
+        if not (lhs.type.is_integral and rhs.type.is_integral):
+            raise IRError(f"icmp requires integral operands, got {lhs.type}, {rhs.type}")
+        dest = self.func.new_reg(INT, name)
+        self._emit(Cmp(dest, "icmp", pred, lhs, rhs))
+        return dest
+
+    def fcmp(self, pred: str, lhs: Value, rhs: Value, name: str = "") -> Register:
+        if not (lhs.type.is_float and rhs.type.is_float):
+            raise IRError(f"fcmp requires float operands, got {lhs.type}, {rhs.type}")
+        dest = self.func.new_reg(INT, name)
+        self._emit(Cmp(dest, "fcmp", pred, lhs, rhs))
+        return dest
+
+    def sitofp(self, src: Value, name: str = "") -> Register:
+        if not src.type.is_int:
+            raise IRError(f"sitofp requires int operand, got {src.type}")
+        dest = self.func.new_reg(FLOAT, name)
+        self._emit(Cast(dest, "sitofp", src))
+        return dest
+
+    def fptosi(self, src: Value, name: str = "") -> Register:
+        if not src.type.is_float:
+            raise IRError(f"fptosi requires float operand, got {src.type}")
+        dest = self.func.new_reg(INT, name)
+        self._emit(Cast(dest, "fptosi", src))
+        return dest
+
+    def ptrtoint(self, src: Value, name: str = "") -> Register:
+        if not src.type.is_ptr:
+            raise IRError(f"ptrtoint requires ptr operand, got {src.type}")
+        dest = self.func.new_reg(INT, name)
+        self._emit(Cast(dest, "ptrtoint", src))
+        return dest
+
+    def inttoptr(self, src: Value, name: str = "") -> Register:
+        if not src.type.is_int:
+            raise IRError(f"inttoptr requires int operand, got {src.type}")
+        dest = self.func.new_reg(PTR, name)
+        self._emit(Cast(dest, "inttoptr", src))
+        return dest
+
+    def copy(self, src: Value, dest: Optional[Register] = None, name: str = "") -> Register:
+        if dest is None:
+            dest = self.func.new_reg(src.type, name)
+        elif dest.type is not src.type:
+            raise IRError(f"copy type mismatch: {dest.type} = {src.type}")
+        self._emit(Copy(dest, src))
+        return dest
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def alloca(self, count: int, name: str = "") -> Register:
+        dest = self.func.new_reg(PTR, name)
+        self._emit(Alloca(dest, count, var_name=name))
+        return dest
+
+    def load(self, addr: Value, type: Type, name: str = "") -> Register:
+        if not addr.type.is_ptr:
+            raise IRError(f"load address must be ptr, got {addr.type}")
+        dest = self.func.new_reg(type, name)
+        self._emit(Load(dest, addr))
+        return dest
+
+    def store(self, value: Value, addr: Value) -> None:
+        if not addr.type.is_ptr:
+            raise IRError(f"store address must be ptr, got {addr.type}")
+        if value.type is VOID:
+            raise IRError("cannot store a void value")
+        self._emit(Store(value, addr))
+
+    def padd(self, ptr: Value, offset: Value, name: str = "") -> Register:
+        return self.binop("padd", ptr, offset, name)
+
+    # ------------------------------------------------------------------
+    # Calls and control flow
+    # ------------------------------------------------------------------
+    def call(
+        self,
+        callee: str,
+        args: Sequence[Value],
+        ret_type: Type = VOID,
+        name: str = "",
+    ) -> Optional[Register]:
+        dest = None if ret_type is VOID else self.func.new_reg(ret_type, name)
+        self._emit(Call(dest, callee, args))
+        return dest
+
+    def br(self, target: BasicBlock) -> None:
+        self._emit(Br(target))
+
+    def condbr(self, cond: Value, iftrue: BasicBlock, iffalse: BasicBlock) -> None:
+        if not cond.type.is_int:
+            raise IRError(f"condbr condition must be int, got {cond.type}")
+        self._emit(CondBr(cond, iftrue, iffalse))
+
+    def ret(self, value: Optional[Value] = None) -> None:
+        want = self.func.return_type
+        if want is VOID:
+            if value is not None:
+                raise IRError(f"void function {self.func.name!r} cannot return a value")
+        else:
+            if value is None:
+                raise IRError(f"function {self.func.name!r} must return {want}")
+            if value.type is not want:
+                raise IRError(
+                    f"return type mismatch in {self.func.name!r}: "
+                    f"{value.type} != {want}"
+                )
+        self._emit(Ret(value))

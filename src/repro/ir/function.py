@@ -1,0 +1,93 @@
+"""IR functions: register factory, block list, and signature."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from ..errors import IRError
+from .basicblock import BasicBlock
+from .types import Type, VOID
+from .values import Register
+
+
+class Function:
+    """A function: named, typed parameters, basic blocks, return type.
+
+    The function owns its virtual registers; :meth:`new_reg` hands out
+    registers with dense indices so the VM can use a flat list as the
+    register file.  ``is_dual`` is set by the dual-chain pass — dual
+    functions take interleaved (primary, pristine) parameters and return a
+    (primary, pristine) pair.
+    """
+
+    __slots__ = (
+        "name",
+        "params",
+        "return_type",
+        "blocks",
+        "_next_reg",
+        "is_dual",
+        "attributes",
+    )
+
+    def __init__(
+        self, name: str, param_types: Sequence[Type], return_type: Type,
+        param_names: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.name = name
+        self.return_type = return_type
+        self.blocks: List[BasicBlock] = []
+        self._next_reg = 0
+        self.is_dual = False
+        #: free-form metadata, e.g. ``{"no_instrument": True}`` for runtime
+        #: helpers that must not receive fault-injection sites.
+        self.attributes: dict = {}
+        names = list(param_names) if param_names is not None else []
+        self.params: List[Register] = []
+        for i, t in enumerate(param_types):
+            pname = names[i] if i < len(names) else f"arg{i}"
+            self.params.append(self.new_reg(t, pname))
+
+    # ------------------------------------------------------------------
+    # Registers
+    # ------------------------------------------------------------------
+    def new_reg(self, type: Type, name: str = "") -> Register:
+        reg = Register(self._next_reg, type, name)
+        self._next_reg += 1
+        return reg
+
+    @property
+    def num_regs(self) -> int:
+        return self._next_reg
+
+    # ------------------------------------------------------------------
+    # Blocks
+    # ------------------------------------------------------------------
+    def new_block(self, label: str) -> BasicBlock:
+        block = BasicBlock(label)
+        block.index = len(self.blocks)
+        self.blocks.append(block)
+        return block
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise IRError(f"function {self.name!r} has no blocks")
+        return self.blocks[0]
+
+    def reindex_blocks(self) -> None:
+        """Reassign dense block indices after passes add/remove blocks."""
+        for i, block in enumerate(self.blocks):
+            block.index = i
+
+    def __iter__(self) -> Iterator[BasicBlock]:
+        return iter(self.blocks)
+
+    @property
+    def signature(self) -> str:
+        params = ", ".join(f"{p.name}: {p.type.name}" for p in self.params)
+        ret = self.return_type.name if self.return_type is not VOID else "void"
+        return f"{self.name}({params}) -> {ret}"
+
+    def __repr__(self) -> str:
+        return f"<Function {self.signature} ({len(self.blocks)} blocks)>"

@@ -1,0 +1,51 @@
+"""IR modules: a named collection of functions (one per compiled program)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from ..errors import IRError
+from .function import Function
+
+
+class Module:
+    """A compilation unit.
+
+    ``passes_applied`` records the pass pipeline history so passes can
+    enforce ordering constraints (e.g. dual-chain must run after scalar
+    promotion, fault-site marking before dual-chain).
+    """
+
+    __slots__ = ("name", "functions", "passes_applied", "num_inject_sites")
+
+    def __init__(self, name: str = "module") -> None:
+        self.name = name
+        self.functions: Dict[str, Function] = {}
+        self.passes_applied: list = []
+        #: total number of static injection sites assigned by the
+        #: fault-injection pass (0 until that pass runs).
+        self.num_inject_sites = 0
+
+    def add_function(self, func: Function) -> Function:
+        if func.name in self.functions:
+            raise IRError(f"duplicate function {func.name!r} in module {self.name!r}")
+        self.functions[func.name] = func
+        return func
+
+    def get(self, name: str) -> Optional[Function]:
+        return self.functions.get(name)
+
+    def __getitem__(self, name: str) -> Function:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise IRError(f"no function {name!r} in module {self.name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.functions
+
+    def __iter__(self) -> Iterator[Function]:
+        return iter(self.functions.values())
+
+    def __repr__(self) -> str:
+        return f"<Module {self.name} ({len(self.functions)} functions)>"

@@ -1,0 +1,313 @@
+"""Textual IR parser — round-trips with :mod:`repro.ir.printer`.
+
+Lets tooling and tests author IR directly, diff pass output against
+golden dumps, and reload `repro compile` output.  The accepted grammar is
+exactly what :func:`~repro.ir.printer.format_module` emits, e.g.::
+
+    ; module demo
+    func main(rank: int, size: int) -> void {
+    entry:
+      %a.addr = alloca 4  ; a
+      br body
+    body:
+      %r5 = fmul %x, 2.0 !site3
+      store %r5, %a.addr
+      ret
+    }
+
+Dual-mode constructs (``fpm_load``/``fpm_store``, dual rets) parse too,
+so FPM-transformed modules round-trip.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import IRError
+from .basicblock import BasicBlock
+from .function import Function
+from .instructions import (
+    CAST_OPS,
+    FCMP_PREDS,
+    FLOAT_BINOPS,
+    ICMP_PREDS,
+    INT_BINOPS,
+    PTR_BINOPS,
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    Cmp,
+    CondBr,
+    Copy,
+    FpmLoad,
+    FpmStore,
+    Load,
+    Ret,
+    Store,
+)
+from .module import Module
+from .types import FLOAT, INT, PTR, Type, VOID, type_by_name
+from .values import Constant, Register, Value
+
+_BINOPS = set(INT_BINOPS) | set(FLOAT_BINOPS) | set(PTR_BINOPS)
+
+_FUNC_RE = re.compile(
+    r"^func\s+(?:\[dual\]\s+)?(\w+)\((.*)\)\s*(?:->\s*(\w+))?\s*\{$"
+)
+_LABEL_RE = re.compile(r"^(\w[\w.]*):$")
+_REG_RE = re.compile(r"^%([\w.]+)$")
+
+
+class _FunctionParser:
+    def __init__(self, name: str, params: List[Tuple[str, Type]],
+                 ret: Type) -> None:
+        self.func = Function(name, [t for _, t in params], ret,
+                             [n for n, _ in params])
+        self.regs: Dict[str, Register] = {p.name: p for p in self.func.params}
+        #: registers whose type was guessed (e.g. load results: memory is
+        #: untyped words) — a later, stronger use may re-type them
+        self.weak: set = set()
+        self.blocks: Dict[str, BasicBlock] = {}
+        #: labels in definition order (forward branch references create
+        #: blocks early; the printed order is the label order)
+        self.label_order: List[str] = []
+        self.current: Optional[BasicBlock] = None
+
+    # ------------------------------------------------------------------
+    def block(self, label: str) -> BasicBlock:
+        blk = self.blocks.get(label)
+        if blk is None:
+            blk = self.func.new_block(label)
+            self.blocks[label] = blk
+        return blk
+
+    def reg(self, name: str, type: Optional[Type] = None,
+            weak: bool = False) -> Register:
+        r = self.regs.get(name)
+        if r is None:
+            if type is None:
+                raise IRError(f"use of undefined register %{name} "
+                              f"(cannot infer its type)")
+            r = self.func.new_reg(type, name)
+            self.regs[name] = r
+            if weak:
+                self.weak.add(name)
+        elif type is not None and r.type is not type and name in self.weak \
+                and not weak:
+            # a strongly-typed use wins over the earlier guess
+            r.type = type
+            self.weak.discard(name)
+        return r
+
+    def value(self, text: str, type_hint: Optional[Type] = None) -> Value:
+        text = text.strip()
+        m = _REG_RE.match(text)
+        if m:
+            return self.reg(m.group(1), type_hint,
+                            weak=(type_hint is None))
+        if text.startswith("-") or text[0].isdigit():
+            if any(c in text for c in ".eE") and not text.lstrip("-").isdigit():
+                return Constant(FLOAT, float(text))
+            return Constant(type_hint if type_hint in (INT, PTR) else INT,
+                            int(text))
+        raise IRError(f"cannot parse operand {text!r}")
+
+
+def _split_args(text: str) -> List[str]:
+    text = text.strip()
+    return [a.strip() for a in text.split(",")] if text else []
+
+
+def _strip_tags(line: str) -> Tuple[str, Optional[int], bool]:
+    """Remove !siteN / !sec annotations and trailing ; comments."""
+    site = None
+    secondary = False
+    if ";" in line:
+        line = line.split(";", 1)[0]
+    parts = line.split()
+    kept = []
+    for p in parts:
+        if p == "!sec":
+            secondary = True
+        elif p.startswith("!site"):
+            site = int(p[5:])
+        else:
+            kept.append(p)
+    return " ".join(kept), site, secondary
+
+
+def parse_module(text: str) -> Module:
+    """Parse a textual module dump back into IR."""
+    module = Module("parsed")
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        line = lines[i].strip()
+        i += 1
+        if not line or line.startswith(";"):
+            if line.startswith("; module"):
+                module.name = line.split("; module", 1)[1].strip() or "parsed"
+            continue
+        m = _FUNC_RE.match(line)
+        if not m:
+            raise IRError(f"expected function header, got {line!r}")
+        name, params_text, ret_name = m.group(1), m.group(2), m.group(3)
+        is_dual = "[dual]" in line
+        params: List[Tuple[str, Type]] = []
+        for p in _split_args(params_text):
+            if not p:
+                continue
+            pname, ptype = [x.strip() for x in p.split(":")]
+            params.append((pname, type_by_name(ptype)))
+        ret = VOID if ret_name in (None, "void") else type_by_name(ret_name)
+        fp = _FunctionParser(name, params, ret)
+        fp.func.is_dual = is_dual
+
+        # function body
+        while i < len(lines):
+            body_line = lines[i].strip()
+            i += 1
+            if body_line == "}":
+                break
+            if not body_line or body_line.startswith(";"):
+                continue
+            lbl = _LABEL_RE.match(body_line)
+            if lbl:
+                fp.current = fp.block(lbl.group(1))
+                fp.label_order.append(lbl.group(1))
+                continue
+            if fp.current is None:
+                raise IRError(f"instruction outside a block: {body_line!r}")
+            _parse_instruction(fp, body_line)
+
+        # dual param interleaving bookkeeping: shadow pointers
+        if is_dual:
+            ps = fp.func.params
+            for primary, shadow in zip(ps[0::2], ps[1::2]):
+                primary.shadow = shadow
+        # restore printed block order (forward references created some
+        # blocks before their label line)
+        ordered = [fp.blocks[l] for l in fp.label_order]
+        leftovers = [b for b in fp.func.blocks if b not in ordered]
+        fp.func.blocks = ordered + leftovers
+        fp.func.reindex_blocks()
+        module.add_function(fp.func)
+    return module
+
+
+def _parse_instruction(fp: _FunctionParser, line: str) -> None:
+    text, site, secondary = _strip_tags(line)
+    inst = _build_instruction(fp, text)
+    if inst is None:
+        return
+    inst.inject_site = site
+    inst.secondary = secondary
+    fp.current.instructions.append(inst)
+
+
+def _build_instruction(fp: _FunctionParser, text: str):
+    # terminators and non-dest forms first
+    if text == "ret":
+        return Ret()
+    if text.startswith("ret "):
+        vals = _split_args(text[4:])
+        want = fp.func.return_type if fp.func.return_type is not VOID else INT
+        inst = Ret(fp.value(vals[0], want))
+        if len(vals) > 1:
+            inst.value_p = fp.value(vals[1], want)
+        return inst
+    if text.startswith("br "):
+        return Br(fp.block(text[3:].strip()))
+    if text.startswith("condbr "):
+        cond, t1, t2 = _split_args(text[7:])
+        return CondBr(fp.value(cond, INT), fp.block(t1), fp.block(t2))
+    if text.startswith("store "):
+        v, a = _split_args(text[6:])
+        addr = fp.value(a, PTR)
+        return Store(fp.value(v, FLOAT if "." in v else INT), addr)
+    if text.startswith("fpm_store "):
+        v, vp, a, ap = _split_args(text[10:])
+        inst = FpmStore(fp.value(v, FLOAT), fp.value(vp, FLOAT),
+                        fp.value(a, PTR), fp.value(ap, PTR))
+        return inst
+    if text.startswith("call "):
+        return _parse_call(fp, None, None, text[5:])
+
+    # "%dest[, %dest_p] = rhs"
+    if "=" not in text:
+        raise IRError(f"cannot parse instruction {text!r}")
+    lhs, rhs = [x.strip() for x in text.split("=", 1)]
+    dests = _split_args(lhs)
+    rhs_inst = _parse_rhs(fp, dests, rhs)
+    return rhs_inst
+
+
+def _parse_call(fp: _FunctionParser, dest_name, dest_p_name, text: str):
+    m = re.match(r"^(\w+)\((.*)\)$", text.strip())
+    if not m:
+        raise IRError(f"cannot parse call {text!r}")
+    callee, args_text = m.group(1), m.group(2)
+    from ..vm.intrinsics import get_intrinsic, intrinsic_ret_ir_type
+    args = [fp.value(a, FLOAT if "." in a else INT)
+            for a in _split_args(args_text)]
+    dest = None
+    if dest_name is not None:
+        spec = get_intrinsic(callee)
+        rtype = intrinsic_ret_ir_type(spec) if spec is not None else INT
+        dest = fp.reg(dest_name, rtype or INT)
+    inst = Call(dest, callee, args)
+    if dest_p_name is not None:
+        inst.dest_p = fp.reg(dest_p_name, dest.type if dest else INT)
+    return inst
+
+
+def _parse_rhs(fp: _FunctionParser, dests: List[str], rhs: str):
+    dest_names = [d.lstrip("%") for d in dests]
+    op, _, rest = rhs.partition(" ")
+
+    if op == "alloca":
+        return Alloca(fp.reg(dest_names[0], PTR), int(rest.strip()))
+    if op == "load":
+        # result type unknowable from text (word memory is untyped):
+        # guess FLOAT weakly; later uses may re-type it
+        return Load(fp.reg(dest_names[0], FLOAT, weak=True),
+                    fp.value(rest, PTR))
+    if op == "fpm_load":
+        a, ap = _split_args(rest)
+        return FpmLoad(fp.reg(dest_names[0], FLOAT, weak=True),
+                       fp.reg(dest_names[1], FLOAT, weak=True),
+                       fp.value(a, PTR), fp.value(ap, PTR))
+    if op == "copy":
+        src = fp.value(rest, None if rest.strip().startswith("%") else
+                       (FLOAT if "." in rest else INT))
+        return Copy(fp.reg(dest_names[0], src.type), src)
+    if op == "call":
+        return _parse_call(fp, dest_names[0],
+                           dest_names[1] if len(dest_names) > 1 else None,
+                           rest)
+    if op in _BINOPS:
+        hint = FLOAT if op in FLOAT_BINOPS else (
+            PTR if op in PTR_BINOPS else INT)
+        l, r = _split_args(rest)
+        lhs = fp.value(l, hint)
+        rhs_v = fp.value(r, INT if op in PTR_BINOPS else hint)
+        from .instructions import result_type
+        return BinOp(fp.reg(dest_names[0], result_type(op, lhs.type, rhs_v.type)),
+                     op, lhs, rhs_v)
+    if "." in op:
+        kind, pred = op.split(".", 1)
+        if kind == "icmp" and pred in ICMP_PREDS or \
+                kind == "fcmp" and pred in FCMP_PREDS:
+            hint = FLOAT if kind == "fcmp" else INT
+            l, r = _split_args(rest)
+            return Cmp(fp.reg(dest_names[0], INT), kind, pred,
+                       fp.value(l, hint), fp.value(r, hint))
+    if op in CAST_OPS:
+        rules = {"sitofp": (INT, FLOAT), "fptosi": (FLOAT, INT),
+                 "ptrtoint": (PTR, INT), "inttoptr": (INT, PTR)}
+        src_t, dst_t = rules[op]
+        return Cast(fp.reg(dest_names[0], dst_t), op, fp.value(rest, src_t))
+    raise IRError(f"unknown instruction opcode {op!r}")

@@ -1,0 +1,111 @@
+"""Textual IR dumping, for debugging and golden tests."""
+
+from __future__ import annotations
+
+from .basicblock import BasicBlock
+from .function import Function
+from .instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    Cmp,
+    CondBr,
+    Copy,
+    FpmLoad,
+    FpmStore,
+    Instruction,
+    Load,
+    Ret,
+    Store,
+)
+from .module import Module
+from .values import Constant, Register, Value
+
+
+def _operand(value: Value) -> str:
+    if isinstance(value, Register):
+        return f"%{value.name}"
+    if isinstance(value, Constant):
+        return repr(value.value)
+    return repr(value)
+
+
+def format_instruction(inst: Instruction) -> str:
+    """One-line textual form of an instruction."""
+    tags = ""
+    if inst.inject_site is not None:
+        tags += f" !site{inst.inject_site}"
+    if inst.secondary:
+        tags += " !sec"
+    if isinstance(inst, BinOp):
+        body = f"%{inst.dest.name} = {inst.op} {_operand(inst.lhs)}, {_operand(inst.rhs)}"
+    elif isinstance(inst, Cmp):
+        body = (
+            f"%{inst.dest.name} = {inst.kind}.{inst.pred} "
+            f"{_operand(inst.lhs)}, {_operand(inst.rhs)}"
+        )
+    elif isinstance(inst, Cast):
+        body = f"%{inst.dest.name} = {inst.op} {_operand(inst.src)}"
+    elif isinstance(inst, Copy):
+        body = f"%{inst.dest.name} = copy {_operand(inst.src)}"
+    elif isinstance(inst, Alloca):
+        body = f"%{inst.dest.name} = alloca {inst.count}"
+        if inst.var_name:
+            body += f"  ; {inst.var_name}"
+    elif isinstance(inst, Load):
+        body = f"%{inst.dest.name} = load {_operand(inst.addr)}"
+    elif isinstance(inst, Store):
+        body = f"store {_operand(inst.value)}, {_operand(inst.addr)}"
+    elif isinstance(inst, FpmLoad):
+        body = (
+            f"%{inst.dest.name}, %{inst.dest_p.name} = fpm_load "
+            f"{_operand(inst.addr)}, {_operand(inst.addr_p)}"
+        )
+    elif isinstance(inst, FpmStore):
+        body = (
+            f"fpm_store {_operand(inst.value)}, {_operand(inst.value_p)}, "
+            f"{_operand(inst.addr)}, {_operand(inst.addr_p)}"
+        )
+    elif isinstance(inst, Call):
+        args = ", ".join(_operand(a) for a in inst.args)
+        if inst.dest is not None:
+            body = f"%{inst.dest.name} = call {inst.callee}({args})"
+        else:
+            body = f"call {inst.callee}({args})"
+    elif isinstance(inst, Br):
+        body = f"br {inst.target.label}"
+    elif isinstance(inst, CondBr):
+        body = (
+            f"condbr {_operand(inst.cond)}, {inst.iftrue.label}, {inst.iffalse.label}"
+        )
+    elif isinstance(inst, Ret):
+        body = f"ret {_operand(inst.value)}" if inst.value is not None else "ret"
+    else:  # pragma: no cover - future instruction kinds
+        body = f"<{inst.opcode}>"
+    return body + tags
+
+
+def format_block(block: BasicBlock) -> str:
+    lines = [f"{block.label}:"]
+    lines.extend(f"  {format_instruction(inst)}" for inst in block)
+    return "\n".join(lines)
+
+
+def format_function(func: Function) -> str:
+    header = f"func {func.signature} {{"
+    if func.is_dual:
+        header = f"func [dual] {func.signature} {{"
+    lines = [header]
+    lines.extend(format_block(b) for b in func)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_module(module: Module) -> str:
+    parts = [f"; module {module.name}"]
+    if module.passes_applied:
+        parts.append(f"; passes: {', '.join(module.passes_applied)}")
+    parts.extend(format_function(f) for f in module)
+    return "\n\n".join(parts)

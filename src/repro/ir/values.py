@@ -1,0 +1,91 @@
+"""IR values: virtual registers and constants.
+
+The IR uses *mutable* virtual registers rather than SSA.  A register may be
+assigned by several instructions (e.g. a loop counter after scalar
+promotion); this keeps the dual-chain FPM transformation simple because
+every register ``r`` has exactly one shadow register ``r.shadow`` holding
+the pristine value, with no phi nodes to pair up.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from .types import FLOAT, INT, PTR, Type
+
+
+class Value:
+    """Base class for anything an instruction can use as an operand."""
+
+    __slots__ = ()
+
+    type: Type
+
+
+class Register(Value):
+    """A function-local virtual register.
+
+    Registers are created through :meth:`repro.ir.function.Function.new_reg`
+    which assigns a dense ``index`` used directly by the VM register file.
+    ``shadow`` is populated by the dual-chain pass and points at the
+    register that carries the pristine (secondary-chain) value.
+    """
+
+    __slots__ = ("index", "type", "name", "shadow")
+
+    def __init__(self, index: int, type: Type, name: str = "") -> None:
+        self.index = index
+        self.type = type
+        self.name = name or f"r{index}"
+        self.shadow: Optional["Register"] = None
+
+    def __repr__(self) -> str:
+        return f"%{self.name}:{self.type.name}"
+
+
+class Constant(Value):
+    """An immediate operand.
+
+    ``value`` is a Python ``int`` (for :data:`~repro.ir.types.INT` and
+    :data:`~repro.ir.types.PTR`) or ``float``.
+    """
+
+    __slots__ = ("type", "value")
+
+    def __init__(self, type: Type, value: Union[int, float]) -> None:
+        if type.is_integral:
+            value = int(value)
+        elif type.is_float:
+            value = float(value)
+        else:
+            raise TypeError(f"constants cannot have type {type!r}")
+        self.type = type
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"{self.value}:{self.type.name}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Constant)
+            and other.type is self.type
+            and other.value == self.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.type), self.value))
+
+
+def const_int(value: int) -> Constant:
+    """Shorthand for an :data:`~repro.ir.types.INT` constant."""
+    return Constant(INT, value)
+
+
+def const_float(value: float) -> Constant:
+    """Shorthand for a :data:`~repro.ir.types.FLOAT` constant."""
+    return Constant(FLOAT, value)
+
+
+def const_ptr(value: int) -> Constant:
+    """Shorthand for a :data:`~repro.ir.types.PTR` constant."""
+    return Constant(PTR, value)

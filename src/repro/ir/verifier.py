@@ -1,0 +1,211 @@
+"""IR verifier: structural and type invariants.
+
+Run after the frontend and after every pass; catching malformed IR here is
+vastly cheaper than debugging a miscompiled fault-injection campaign.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ..errors import VerifierError
+from .function import Function
+from .instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    Cmp,
+    CondBr,
+    Copy,
+    FpmLoad,
+    FpmStore,
+    Load,
+    Ret,
+    Store,
+    result_type,
+)
+from .module import Module
+from .types import FLOAT, INT, PTR, VOID
+from .values import Constant, Register, Value
+
+
+def verify_module(module: Module) -> None:
+    """Raise :class:`~repro.errors.VerifierError` on the first violation."""
+    for func in module:
+        verify_function(func, module)
+
+
+def _check_defined(value: Value, defined: Set[int], func: Function, where: str) -> None:
+    if isinstance(value, Register) and value.index not in defined:
+        raise VerifierError(
+            f"{func.name}: register %{value.name} used before any definition ({where})"
+        )
+
+
+def verify_function(func: Function, module: Module = None) -> None:
+    if not func.blocks:
+        raise VerifierError(f"function {func.name!r} has no blocks")
+
+    # Block index density and uniqueness of labels.
+    labels = set()
+    for i, block in enumerate(func.blocks):
+        if block.index != i:
+            raise VerifierError(
+                f"{func.name}: block {block.label!r} has stale index "
+                f"{block.index} (expected {i}); call reindex_blocks()"
+            )
+        if block.label in labels:
+            raise VerifierError(f"{func.name}: duplicate block label {block.label!r}")
+        labels.add(block.label)
+
+    block_set = set(id(b) for b in func.blocks)
+
+    # A conservative definedness check: a register must be defined *somewhere*
+    # in the function (or be a parameter).  Path-sensitive checking is not
+    # needed because the VM initialises the register file to a poison value
+    # and traps on reads of poison.
+    defined: Set[int] = {p.index for p in func.params}
+    for block in func.blocks:
+        for inst in block:
+            if inst.dest is not None:
+                defined.add(inst.dest.index)
+            if isinstance(inst, FpmLoad):
+                defined.add(inst.dest_p.index)
+            if isinstance(inst, Call) and inst.dest_p is not None:
+                defined.add(inst.dest_p.index)
+
+    for block in func.blocks:
+        if not block.is_terminated:
+            raise VerifierError(f"{func.name}: block {block.label!r} has no terminator")
+        for pos, inst in enumerate(block):
+            if inst.is_terminator and pos != len(block.instructions) - 1:
+                raise VerifierError(
+                    f"{func.name}: terminator mid-block in {block.label!r}"
+                )
+            for op in inst.operands():
+                _check_defined(op, defined, func, f"{block.label}:{pos}")
+            _verify_types(func, inst, module)
+            # Branch targets must belong to this function.
+            if isinstance(inst, Br) and id(inst.target) not in block_set:
+                raise VerifierError(
+                    f"{func.name}: branch to foreign block {inst.target.label!r}"
+                )
+            if isinstance(inst, CondBr):
+                for tgt in (inst.iftrue, inst.iffalse):
+                    if id(tgt) not in block_set:
+                        raise VerifierError(
+                            f"{func.name}: branch to foreign block {tgt.label!r}"
+                        )
+
+
+def _verify_types(func: Function, inst, module) -> None:
+    name = func.name
+    if isinstance(inst, BinOp):
+        expected = result_type(inst.op, inst.lhs.type, inst.rhs.type)
+        if inst.dest.type is not expected:
+            raise VerifierError(
+                f"{name}: {inst.op} result type {inst.dest.type}, expected {expected}"
+            )
+    elif isinstance(inst, Cmp):
+        if inst.kind == "icmp":
+            if not (inst.lhs.type.is_integral and inst.rhs.type.is_integral):
+                raise VerifierError(f"{name}: icmp on non-integral operands")
+        else:
+            if not (inst.lhs.type.is_float and inst.rhs.type.is_float):
+                raise VerifierError(f"{name}: fcmp on non-float operands")
+        if inst.dest.type is not INT:
+            raise VerifierError(f"{name}: comparison result must be int")
+    elif isinstance(inst, Cast):
+        rules = {
+            "sitofp": (INT, FLOAT),
+            "fptosi": (FLOAT, INT),
+            "ptrtoint": (PTR, INT),
+            "inttoptr": (INT, PTR),
+        }
+        src_t, dst_t = rules[inst.op]
+        if inst.src.type is not src_t or inst.dest.type is not dst_t:
+            raise VerifierError(
+                f"{name}: {inst.op} has types {inst.src.type} -> {inst.dest.type}"
+            )
+    elif isinstance(inst, Copy):
+        if inst.dest.type is not inst.src.type:
+            raise VerifierError(
+                f"{name}: copy type mismatch {inst.dest.type} = {inst.src.type}"
+            )
+    elif isinstance(inst, Alloca):
+        if inst.dest.type is not PTR:
+            raise VerifierError(f"{name}: alloca result must be ptr")
+    elif isinstance(inst, (Load, FpmLoad)):
+        if not inst.addr.type.is_ptr:
+            raise VerifierError(f"{name}: load address must be ptr")
+        if isinstance(inst, FpmLoad):
+            if inst.taint:
+                if inst.dest_p.type is not INT:
+                    raise VerifierError(f"{name}: fpm_load taint dest must be int")
+            else:
+                if not inst.addr_p.type.is_ptr:
+                    raise VerifierError(
+                        f"{name}: fpm_load pristine address must be ptr")
+                if inst.dest.type is not inst.dest_p.type:
+                    raise VerifierError(f"{name}: fpm_load dual dest type mismatch")
+    elif isinstance(inst, (Store, FpmStore)):
+        if not inst.addr.type.is_ptr:
+            raise VerifierError(f"{name}: store address must be ptr")
+        if inst.value.type is VOID:
+            raise VerifierError(f"{name}: cannot store void")
+        if isinstance(inst, FpmStore):
+            if inst.taint:
+                if inst.value_p.type is not INT:
+                    raise VerifierError(f"{name}: fpm_store taint value must be int")
+            else:
+                if not inst.addr_p.type.is_ptr:
+                    raise VerifierError(
+                        f"{name}: fpm_store pristine address must be ptr")
+                if inst.value.type is not inst.value_p.type:
+                    raise VerifierError(f"{name}: fpm_store dual value type mismatch")
+    elif isinstance(inst, CondBr):
+        if not inst.cond.type.is_int:
+            raise VerifierError(f"{name}: condbr condition must be int")
+    elif isinstance(inst, Ret):
+        want = func.return_type
+        if func.is_dual:
+            # Dual functions return (primary, pristine) via the VM call
+            # protocol; their Ret still carries the primary value and the
+            # pristine travels in inst metadata handled by the dual pass.
+            pass
+        if want is VOID and inst.value is not None:
+            raise VerifierError(f"{name}: void function returns a value")
+        if want is not VOID and not func.is_dual:
+            if inst.value is None:
+                raise VerifierError(f"{name}: missing return value")
+            if inst.value.type is not want:
+                raise VerifierError(
+                    f"{name}: return type {inst.value.type}, expected {want}"
+                )
+    elif isinstance(inst, Call):
+        if module is not None and inst.callee in module:
+            callee = module[inst.callee]
+            n_params = len(callee.params)
+            if len(inst.args) != n_params:
+                raise VerifierError(
+                    f"{name}: call {inst.callee} with {len(inst.args)} args, "
+                    f"expected {n_params}"
+                )
+            for a, p in zip(inst.args, callee.params):
+                if a.type is not p.type:
+                    raise VerifierError(
+                        f"{name}: call {inst.callee} arg type {a.type}, "
+                        f"expected {p.type}"
+                    )
+            if inst.dest is not None and not callee.is_dual:
+                if callee.return_type is VOID:
+                    raise VerifierError(
+                        f"{name}: call {inst.callee} captures void result"
+                    )
+                if inst.dest.type is not callee.return_type:
+                    raise VerifierError(
+                        f"{name}: call {inst.callee} result type {inst.dest.type}, "
+                        f"expected {callee.return_type}"
+                    )

@@ -1,0 +1,63 @@
+"""Runtime CML estimation from FPS factors — paper Eqs. 1-3.
+
+Once a fault is *detected*, the fault-tolerance layer wants to know how
+much state is already corrupted before deciding between roll-back and
+roll-forward.  The paper's model:
+
+    CML(t) = a * t + b                    (Eq. 1)
+    b      = -a * t_f                     (Eq. 2, fault at time t_f)
+    max CML in (t1, t2) = FPS * (t2-t1)   (Eq. 3, detection window)
+
+with avg CML = max/2 when the fault time is uniform over the window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ModelError
+from .fps import FPSResult
+
+
+@dataclass(frozen=True)
+class CMLEstimate:
+    """Bounds on corrupted memory locations in a detection window."""
+
+    max_cml: float
+    avg_cml: float
+    min_cml: float  # attained when the fault struck at the detection edge
+
+    def rollback_advised(self, threshold: float) -> bool:
+        """Paper's use case: trigger a roll-back when the worst-case CML
+        exceeds a safe threshold; keep running otherwise."""
+        return self.max_cml > threshold
+
+
+class CMLEstimator:
+    """Estimates corrupted state from an application's FPS factor."""
+
+    def __init__(self, fps: FPSResult) -> None:
+        self.fps = fps
+
+    def cml_at(self, t: float, t_fault: float) -> float:
+        """Eq. 1 + Eq. 2: expected CML at time t for a fault at t_fault."""
+        if t < t_fault:
+            return 0.0
+        a = self.fps.fps
+        return a * t - a * t_fault
+
+    def estimate_window(self, t1: float, t2: float) -> CMLEstimate:
+        """Eq. 3: bounds when the fault time within (t1, t2) is unknown.
+
+        A clean check at t1 and a detection at t2 bracket the fault; the
+        worst case puts it at t1 (maximum propagation time), the average
+        case halfway.
+        """
+        if t2 <= t1:
+            raise ModelError(f"detection window ({t1}, {t2}) is empty")
+        max_cml = self.fps.fps * (t2 - t1)
+        return CMLEstimate(
+            max_cml=max_cml,
+            avg_cml=max_cml / 2.0,
+            min_cml=0.0,
+        )

@@ -1,0 +1,98 @@
+"""Fault Propagation Speed (FPS) factors — paper Table 2.
+
+For each FPM trial whose fault propagated, fit the linear ramp of its
+CML(t) profile; the application's FPS is the mean of the per-trial slopes
+and Table 2 also reports their standard deviation.  The slope unit here
+is CML per virtual cycle (the paper's is CML per second on its testbed —
+absolute values differ, orderings are comparable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ModelError
+from .piecewise import PiecewiseFit, fit_piecewise
+
+
+@dataclass(frozen=True)
+class TrialModel:
+    """Per-trial fitted propagation model."""
+
+    slope: float
+    breakpoint: float
+    r2: float
+    onset: float
+
+
+@dataclass(frozen=True)
+class FPSResult:
+    """Table 2 row: mean and std-dev of per-trial propagation slopes."""
+
+    app_name: str
+    fps: float
+    std: float
+    n_trials: int
+    models: tuple
+
+    def __str__(self) -> str:
+        return f"FPS({self.app_name}) = {self.fps:.3e} ± {self.std:.3e} CML/cycle"
+
+
+def fit_trial_model(
+    times: np.ndarray,
+    cml: np.ndarray,
+    onset: Optional[float] = None,
+) -> TrialModel:
+    """Fit one trial's propagation profile (paper Eq. 1 family)."""
+    if onset is None:
+        nz = np.nonzero(np.asarray(cml) > 0)[0]
+        if nz.size == 0:
+            raise ModelError("trial never contaminated; nothing to fit")
+        onset = float(np.asarray(times)[max(nz[0] - 1, 0)])
+    fit = fit_piecewise(times, cml, onset=onset)
+    return TrialModel(
+        slope=fit.slope, breakpoint=fit.breakpoint, r2=fit.r2, onset=onset
+    )
+
+
+def compute_fps(
+    app_name: str,
+    trials: Sequence,
+    *,
+    min_peak_cml: int = 2,
+) -> FPSResult:
+    """Aggregate per-trial slopes into the application FPS factor.
+
+    ``trials`` are FPM-mode :class:`~repro.inject.campaign.TrialResult`
+    objects with retained series.  Trials whose fault never meaningfully
+    propagated (peak CML below ``min_peak_cml``) contribute no slope —
+    they have no linear ramp to fit.
+    """
+    models: List[TrialModel] = []
+    for t in trials:
+        if t.times is None or t.cml is None:
+            continue
+        if t.peak_cml < min_peak_cml:
+            continue
+        onset = min(t.injected_cycles) if t.injected_cycles else None
+        try:
+            models.append(fit_trial_model(t.times, t.cml, onset=onset))
+        except ModelError:
+            continue
+    if not models:
+        raise ModelError(
+            f"no usable propagation profiles for {app_name!r}; "
+            "run an FPM campaign with keep_series=True"
+        )
+    slopes = np.array([m.slope for m in models], dtype=float)
+    return FPSResult(
+        app_name=app_name,
+        fps=float(slopes.mean()),
+        std=float(slopes.std(ddof=1)) if slopes.size > 1 else 0.0,
+        n_trials=slopes.size,
+        models=tuple(models),
+    )

@@ -1,0 +1,56 @@
+"""Ordinary least squares on a single regressor, from scratch.
+
+The paper applies "machine learning techniques" to each fault-propagation
+experiment to fit CML(t) = a·t + b (Eq. 1).  A closed-form OLS is that
+technique for a one-dimensional linear model; the validation utilities in
+:mod:`repro.models.validation` provide the "standard validation
+techniques" the paper cites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ModelError
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """y = slope * t + intercept."""
+
+    slope: float
+    intercept: float
+    r2: float
+    n: int
+
+    def predict(self, t) -> np.ndarray:
+        return self.slope * np.asarray(t, dtype=float) + self.intercept
+
+    def residuals(self, t, y) -> np.ndarray:
+        return np.asarray(y, dtype=float) - self.predict(t)
+
+
+def fit_linear(t, y) -> LinearFit:
+    """Closed-form OLS fit of y on t."""
+    t = np.asarray(t, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if t.shape != y.shape or t.ndim != 1:
+        raise ModelError(f"shape mismatch: t{t.shape} vs y{y.shape}")
+    n = t.size
+    if n < 2:
+        raise ModelError(f"need at least 2 points, got {n}")
+    tm = t.mean()
+    ym = y.mean()
+    st = t - tm
+    sy = y - ym
+    denom = float(st @ st)
+    if denom == 0.0:
+        raise ModelError("degenerate fit: all t identical")
+    slope = float(st @ sy) / denom
+    intercept = ym - slope * tm
+    ss_res = float(((y - (slope * t + intercept)) ** 2).sum())
+    ss_tot = float((sy ** 2).sum())
+    r2 = 1.0 if ss_tot == 0.0 else 1.0 - ss_res / ss_tot
+    return LinearFit(slope=slope, intercept=intercept, r2=r2, n=n)

@@ -1,0 +1,141 @@
+"""Piece-wise (linear -> constant) fits of CML(t) propagation profiles.
+
+Paper Sec. 5: "each fault propagation profile can be expressed as a
+function of the execution time with a piece-wise equation that is linear
+in the first sub-domain and constant in the second."  The linear part's
+slope is the per-trial propagation speed; the breakpoint is where the
+contamination saturates.
+
+The fit grid-searches the breakpoint, solving the continuous hinge model
+
+    CML(t) = a * (t - t0) + b        for t <= tau
+    CML(t) = a * (tau - t0) + b      for t >  tau
+
+by OLS on the transformed regressor min(t, tau) and picking the tau with
+the smallest SSE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ModelError
+from .linear import LinearFit, fit_linear
+
+
+@dataclass(frozen=True)
+class PiecewiseFit:
+    """Linear ramp followed by a plateau."""
+
+    slope: float
+    intercept: float
+    breakpoint: float
+    sse: float
+    r2: float
+    n: int
+
+    @property
+    def plateau(self) -> float:
+        return self.slope * self.breakpoint + self.intercept
+
+    def predict(self, t) -> np.ndarray:
+        t = np.asarray(t, dtype=float)
+        return self.slope * np.minimum(t, self.breakpoint) + self.intercept
+
+
+def _hinge_ols(t: np.ndarray, y: np.ndarray, tau: float):
+    x = np.minimum(t, tau)
+    xm = x.mean()
+    ym = y.mean()
+    sx = x - xm
+    denom = float(sx @ sx)
+    if denom == 0.0:
+        return None
+    slope = float(sx @ (y - ym)) / denom
+    intercept = ym - slope * xm
+    resid = y - (slope * x + intercept)
+    return slope, intercept, float(resid @ resid)
+
+
+def fit_piecewise(
+    t,
+    y,
+    *,
+    onset: Optional[float] = None,
+    n_breaks: int = 64,
+) -> PiecewiseFit:
+    """Fit the paper's linear-then-constant propagation profile.
+
+    ``onset`` truncates the series to t >= onset (the injection time):
+    before the fault there is nothing to model.  ``n_breaks`` controls the
+    breakpoint grid resolution.
+    """
+    t = np.asarray(t, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if t.shape != y.shape or t.ndim != 1:
+        raise ModelError(f"shape mismatch: t{t.shape} vs y{y.shape}")
+    if onset is not None:
+        keep = t >= onset
+        t = t[keep]
+        y = y[keep]
+    if t.size < 3:
+        raise ModelError(f"need at least 3 points after onset, got {t.size}")
+
+    lo, hi = float(t[0]), float(t[-1])
+    if hi <= lo:
+        raise ModelError("degenerate time axis")
+
+    def search(t_lo: float, t_hi: float, best):
+        step = (t_hi - t_lo) / n_breaks
+        for tau in np.linspace(t_lo + step, t_hi, n_breaks):
+            sol = _hinge_ols(t, y, float(tau))
+            if sol is None:
+                continue
+            slope, intercept, sse = sol
+            if best is None or sse < best[3]:
+                best = (slope, intercept, float(tau), sse)
+        return best
+
+    best = search(lo, hi, None)
+    if best is None:
+        raise ModelError("piecewise fit failed: no valid breakpoint")
+    # Refine around the coarse optimum: two zoom passes give breakpoint
+    # resolution ~(range / n_breaks^3) at O(n_breaks) extra cost each.
+    for _ in range(2):
+        step = (hi - lo) / n_breaks
+        best = search(max(lo, best[2] - step), min(hi, best[2] + step), best)
+        lo2, hi2 = max(lo, best[2] - step), min(hi, best[2] + step)
+        lo, hi = lo2, hi2
+    slope, intercept, tau, sse = best
+    ym = y.mean()
+    ss_tot = float(((y - ym) ** 2).sum())
+    r2 = 1.0 if ss_tot == 0.0 else 1.0 - sse / ss_tot
+    return PiecewiseFit(
+        slope=slope, intercept=intercept, breakpoint=tau, sse=sse, r2=r2,
+        n=t.size,
+    )
+
+
+def fit_profile(t, y, onset: Optional[float] = None):
+    """Fit both the pure-linear and piece-wise models; return the better.
+
+    Profiles that never saturate within the run are better served by the
+    plain linear model (the piece-wise fit would waste its breakpoint);
+    profiles that plateau need the hinge.  Selection is by SSE with a tiny
+    complexity penalty on the hinge.
+    """
+    t = np.asarray(t, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if onset is not None:
+        keep = t >= onset
+        t = t[keep]
+        y = y[keep]
+    pw = fit_piecewise(t, y)
+    lin = fit_linear(t, y)
+    lin_sse = float((lin.residuals(t, y) ** 2).sum())
+    if lin_sse <= pw.sse * 1.05:
+        return lin
+    return pw

@@ -1,0 +1,10 @@
+"""Simulated MPI: messages, runtime, and the job scheduler.
+
+Stands in for Open MPI + the 1,024-core cluster of the paper's testbed.
+"""
+
+from .message import ANY, Message
+from .runtime import MPIRuntime
+from .scheduler import JobResult, JobStatus, Scheduler
+
+__all__ = ["ANY", "JobResult", "JobStatus", "MPIRuntime", "Message", "Scheduler"]

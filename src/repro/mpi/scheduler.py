@@ -1,0 +1,153 @@
+"""Cooperative round-robin scheduler over per-rank VMs.
+
+Simulates parallel execution on the paper's 32-node cluster: each epoch,
+every runnable rank executes one quantum of instructions; global virtual
+time is the most advanced rank's cycle count.  The scheduler is also the
+sampling point for CML(t) propagation traces and the place where
+job-level failure modes (crash, deadlock, hang) are decided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Sequence
+
+from ..fpm.tracker import PropagationTrace
+from ..vm.machine import Machine, MachineStatus
+from ..vm.traps import Trap, TrapKind
+from .runtime import MPIRuntime
+
+
+class JobStatus(Enum):
+    #: every rank ran to completion
+    COMPLETED = "completed"
+    #: a rank trapped (includes mpi_abort) — paper class "Crashed"
+    TRAPPED = "trapped"
+    #: all remaining ranks blocked with no possible progress
+    DEADLOCK = "deadlock"
+    #: cycle budget exceeded — paper counts hangs as "Crashed"
+    HANG = "hang"
+
+
+@dataclass
+class JobResult:
+    status: JobStatus
+    trap: Optional[Trap]
+    cycles: int
+    #: per-rank virtual clocks (a rank's clock does not tick while blocked)
+    rank_cycles: List[int]
+    #: per-rank outputs emitted via emit()/emiti()
+    outputs: List[list]
+    #: per-rank mark_iteration() counts
+    iterations: List[int]
+    trace: Optional[PropagationTrace]
+    #: per-rank total injectable-site executions (profiling)
+    inj_counts: List[int]
+    #: per-rank injection events that actually fired
+    injections: List[list]
+    #: per-rank ever-contaminated flags (FPM mode)
+    ever_contaminated: List[bool]
+
+    @property
+    def crashed(self) -> bool:
+        return self.status is not JobStatus.COMPLETED
+
+    @property
+    def max_iterations(self) -> int:
+        return max(self.iterations) if self.iterations else 0
+
+    @property
+    def any_contaminated(self) -> bool:
+        return any(self.ever_contaminated)
+
+
+class Scheduler:
+    """Runs a set of machines to job completion."""
+
+    def __init__(
+        self,
+        machines: Sequence[Machine],
+        runtime: MPIRuntime,
+        *,
+        quantum: int = 256,
+        max_cycles: int = 50_000_000,
+        sample_every: int = 1,
+    ) -> None:
+        self.machines = list(machines)
+        self.runtime = runtime
+        self.quantum = quantum
+        self.max_cycles = max_cycles
+        self.sample_every = sample_every
+        self.fpm_mode = any(m.fpm is not None for m in self.machines)
+
+    def run(self) -> JobResult:
+        machines = self.machines
+        quantum = self.quantum
+        trace = PropagationTrace() if self.fpm_mode else None
+        status = JobStatus.COMPLETED
+        trap: Optional[Trap] = None
+        epoch = 0
+
+        while True:
+            ran_any = False
+            for m in machines:
+                if m.status is MachineStatus.READY:
+                    ran_any = True
+                    if m.run(quantum) is MachineStatus.TRAPPED:
+                        status = JobStatus.TRAPPED
+                        trap = m.trap
+                        break
+            if trap is not None:
+                break
+
+            epoch += 1
+            t = max(m.cycles for m in machines)
+            if trace is not None and epoch % self.sample_every == 0:
+                self._sample(trace, t)
+
+            if all(m.status is MachineStatus.DONE for m in machines):
+                break
+            if not any(m.status is MachineStatus.READY for m in machines):
+                blocked = [m.rank for m in machines
+                           if m.status is MachineStatus.BLOCKED]
+                status = JobStatus.DEADLOCK
+                trap = Trap(TrapKind.DEADLOCK,
+                            f"ranks {blocked} blocked with no progress possible")
+                break
+            if t > self.max_cycles:
+                status = JobStatus.HANG
+                trap = Trap(TrapKind.HANG,
+                            f"virtual time {t} exceeded budget {self.max_cycles}")
+                break
+            if not ran_any:  # pragma: no cover - defensive
+                status = JobStatus.DEADLOCK
+                trap = Trap(TrapKind.DEADLOCK, "no runnable machine")
+                break
+
+        if trace is not None:
+            # Final sample so the last contamination state is recorded.
+            self._sample(trace, max(m.cycles for m in machines))
+            trace.first_contamination = [
+                m.fpm.first_contamination_cycle if m.fpm is not None else None
+                for m in machines
+            ]
+
+        return JobResult(
+            status=status,
+            trap=trap,
+            cycles=max(m.cycles for m in machines),
+            rank_cycles=[m.cycles for m in machines],
+            outputs=[list(m.outputs) for m in machines],
+            iterations=[m.iteration_count for m in machines],
+            trace=trace,
+            inj_counts=[m.inj_counter for m in machines],
+            injections=[list(m.injection_events) for m in machines],
+            ever_contaminated=[m.ever_contaminated for m in machines],
+        )
+
+    def _sample(self, trace: PropagationTrace, t: int) -> None:
+        cml_ranks = [m.cml for m in self.machines]
+        live = sum(m.memory.live_words for m in self.machines)
+        n_cont = sum(1 for m in self.machines if m.ever_contaminated)
+        trace.sample(t, cml_ranks, live, n_cont)

@@ -1,0 +1,23 @@
+"""Compiler passes: the instrumentation half of the framework.
+
+``mem2reg``/``dce``/``constfold`` are conventional cleanups that make
+register/memory residency realistic; ``faultinject`` is the LLFI++
+site-marking pass; ``dualchain`` is the paper's FPM source-to-source
+transformation; ``taintchain`` is the naive over-approximating baseline
+the paper argues against (kept for the ablation benchmarks).
+"""
+
+from . import constfold, dce, dualchain, faultinject, mem2reg, taintchain
+from .pass_manager import (
+    BLACKBOX_PIPELINE,
+    FPM_PIPELINE,
+    REGISTRY,
+    pipeline_for_mode,
+    run_passes,
+)
+
+__all__ = [
+    "BLACKBOX_PIPELINE", "FPM_PIPELINE", "REGISTRY", "constfold", "dce",
+    "dualchain",
+    "faultinject", "mem2reg", "pipeline_for_mode", "run_passes", "taintchain",
+]

@@ -1,0 +1,133 @@
+"""Constant folding.
+
+Folds binary operations, comparisons and casts whose operands are all
+constants into register copies of the computed constant, and then lets
+DCE clean up.  Optional — the standard pipelines keep the -O0-like shape
+so measured baselines stay comparable — but useful for studying how
+optimisation level shifts the injectable-site space (folded operations
+can never be marked: their operands were never live registers).
+
+Folding is trap-preserving: operations whose constant evaluation would
+trap at runtime (integer division by zero, float->int of inf/NaN) are
+left in place so the program still crashes at the same point.
+"""
+
+from __future__ import annotations
+
+from ..errors import PassError
+from ..ir import (
+    BinOp,
+    Cast,
+    Cmp,
+    Constant,
+    Copy,
+    FLOAT,
+    INT,
+    Module,
+    PTR,
+)
+from ..vm.ops import BINOP_FUNCS, CAST_FUNCS, CMP_FUNCS
+
+
+def _const(value) -> Constant:
+    if isinstance(value, float):
+        return Constant(FLOAT, value)
+    return Constant(INT, value)
+
+
+def _try_fold(inst):
+    """Return a replacement Copy, or None when the instruction stays."""
+    if isinstance(inst, BinOp):
+        if not (isinstance(inst.lhs, Constant) and isinstance(inst.rhs, Constant)):
+            return None
+        if inst.dest.type is PTR:
+            return None  # folded addresses would dodge validity checks
+        fn = BINOP_FUNCS[inst.op]
+        try:
+            value = fn(inst.lhs.value, inst.rhs.value)
+        except ZeroDivisionError:
+            return None  # keep the runtime trap
+        if isinstance(value, float) and (value != value or value in
+                                         (float("inf"), float("-inf"))):
+            # fold NaN/inf results too — they are legitimate float values
+            pass
+        return Copy(inst.dest, Constant(inst.dest.type, value))
+    if isinstance(inst, Cmp):
+        if not (isinstance(inst.lhs, Constant) and isinstance(inst.rhs, Constant)):
+            return None
+        fn = CMP_FUNCS[(inst.kind, inst.pred)]
+        return Copy(inst.dest, Constant(INT, fn(inst.lhs.value, inst.rhs.value)))
+    if isinstance(inst, Cast):
+        if not isinstance(inst.src, Constant):
+            return None
+        fn = CAST_FUNCS[inst.op]
+        try:
+            value = fn(inst.src.value)
+        except (OverflowError, ValueError):
+            return None  # fptosi of inf/NaN traps at runtime; keep it
+        return Copy(inst.dest, Constant(inst.dest.type, value))
+    return None
+
+
+def _propagate_copies(func) -> bool:
+    """Replace uses of registers holding known constants with the constant.
+
+    Only registers assigned exactly once (by a constant Copy) propagate —
+    multiply-assigned registers (loop counters) are left alone.
+    """
+    assign_counts = {}
+    const_defs = {}
+    for block in func:
+        for inst in block:
+            if inst.dest is not None:
+                idx = inst.dest.index
+                assign_counts[idx] = assign_counts.get(idx, 0) + 1
+                if isinstance(inst, Copy) and isinstance(inst.src, Constant):
+                    const_defs[idx] = inst.src
+    for p in func.params:
+        assign_counts[p.index] = assign_counts.get(p.index, 0) + 1
+    single_consts = {
+        idx: c for idx, c in const_defs.items() if assign_counts[idx] == 1
+    }
+    if not single_consts:
+        return False
+
+    changed = False
+
+    def mapping(v):
+        nonlocal changed
+        idx = getattr(v, "index", None)
+        if idx is not None and idx in single_consts:
+            changed = True
+            return single_consts[idx]
+        return v
+
+    for block in func:
+        for inst in block:
+            inst.replace_operands(mapping)
+    return changed
+
+
+def run(module: Module, max_rounds: int = 8) -> None:
+    if "faultinject" in module.passes_applied:
+        raise PassError(
+            "constfold must run before faultinject: folding after site "
+            "marking would silently delete injection sites"
+        )
+    for func in module:
+        for _ in range(max_rounds):
+            folded = False
+            for block in func:
+                new_insts = []
+                for inst in block:
+                    replacement = _try_fold(inst)
+                    if replacement is not None:
+                        folded = True
+                        new_insts.append(replacement)
+                    else:
+                        new_insts.append(inst)
+                block.instructions = new_insts
+            propagated = _propagate_copies(func)
+            if not folded and not propagated:
+                break
+    module.passes_applied.append("constfold")

@@ -1,0 +1,50 @@
+"""Dead code elimination for pure register-producing instructions.
+
+Removes BinOp/Cmp/Cast/Copy instructions whose destination register is
+never read, iterating to a fixpoint.  Loads are *not* removed even when
+dead: a load can trap on a corrupted address, and deleting it would
+change the failure behaviour the framework exists to measure.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ..ir import BinOp, Cast, Cmp, Copy, Function, Module, Register
+
+_PURE = (BinOp, Cmp, Cast, Copy)
+
+
+def _used_registers(func: Function) -> Set[int]:
+    used: Set[int] = set()
+    for block in func:
+        for inst in block:
+            for op in inst.operands():
+                if isinstance(op, Register):
+                    used.add(op.index)
+    return used
+
+
+def eliminate_function(func: Function) -> int:
+    """Remove dead pure instructions; returns total removed."""
+    removed_total = 0
+    while True:
+        used = _used_registers(func)
+        removed = 0
+        for block in func:
+            kept = []
+            for inst in block:
+                if isinstance(inst, _PURE) and inst.dest.index not in used:
+                    removed += 1
+                    continue
+                kept.append(inst)
+            block.instructions = kept
+        removed_total += removed
+        if removed == 0:
+            return removed_total
+
+
+def run(module: Module) -> None:
+    for func in module:
+        eliminate_function(func)
+    module.passes_applied.append("dce")

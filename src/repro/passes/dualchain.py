@@ -1,0 +1,179 @@
+"""The FPM dual-chain transformation (paper Sec. 3.2, Figs. 2-3).
+
+Rewrites every function so that each computation happens twice:
+
+* the **primary chain** — the original instructions, operating on
+  potentially-corrupted registers (fault injection only ever touches
+  primary registers);
+* the **secondary chain** — replicas of all arithmetic operating on
+  *pristine* shadow registers, tracking what the values would be had no
+  fault occurred along the current control path.
+
+Loads fuse into ``fpm_load`` (the paper's ``fpm_fetch``: the pristine
+value of a contaminated location comes from the runtime hash table);
+stores fuse into ``fpm_store`` (compare primary vs pristine, update the
+hash table, handle corrupted store addresses).  Function signatures
+double — each parameter is followed by its pristine twin, and returns
+carry a (primary, pristine) pair.  Pure library intrinsics are evaluated
+a second time with pristine arguments; impure intrinsics run once and
+their result is copied to the shadow register.
+
+Control flow (branches) always consumes primary registers, so the
+secondary chain follows the faulty control path — exactly the behaviour
+of the paper's replicated instruction streams.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import PassError
+from ..ir import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    Cmp,
+    CondBr,
+    Constant,
+    Copy,
+    FpmLoad,
+    FpmStore,
+    Function,
+    Load,
+    Module,
+    Register,
+    Ret,
+    Store,
+    Value,
+)
+from ..vm.intrinsics import get_intrinsic
+
+
+def _collect_registers(func: Function) -> Dict[int, Register]:
+    regs: Dict[int, Register] = {p.index: p for p in func.params}
+    for block in func:
+        for inst in block:
+            if inst.dest is not None:
+                regs[inst.dest.index] = inst.dest
+            for op in inst.operands():
+                if isinstance(op, Register):
+                    regs[op.index] = op
+    return regs
+
+
+def transform_function(func: Function) -> None:
+    regs = _collect_registers(func)
+    # Create one pristine shadow per register.
+    for reg in list(regs.values()):
+        reg.shadow = func.new_reg(reg.type, reg.name + ".p")
+
+    def sh(value: Value) -> Value:
+        """Pristine twin of an operand: shadow register or same constant."""
+        if isinstance(value, Register):
+            return value.shadow
+        return value
+
+    # Double the parameter list: p0, p0.p, p1, p1.p, ...
+    new_params: List[Register] = []
+    for p in func.params:
+        new_params.append(p)
+        new_params.append(p.shadow)
+    func.params = new_params
+    func.is_dual = True
+
+    for block in func:
+        out: List = []
+        for inst in block:
+            if isinstance(inst, BinOp):
+                out.append(inst)
+                clone = BinOp(inst.dest.shadow, inst.op, sh(inst.lhs), sh(inst.rhs))
+                clone.secondary = True
+                out.append(clone)
+            elif isinstance(inst, Cmp):
+                out.append(inst)
+                clone = Cmp(inst.dest.shadow, inst.kind, inst.pred,
+                            sh(inst.lhs), sh(inst.rhs))
+                clone.secondary = True
+                out.append(clone)
+            elif isinstance(inst, Cast):
+                out.append(inst)
+                clone = Cast(inst.dest.shadow, inst.op, sh(inst.src))
+                clone.secondary = True
+                out.append(clone)
+            elif isinstance(inst, Copy):
+                out.append(inst)
+                clone = Copy(inst.dest.shadow, sh(inst.src))
+                clone.secondary = True
+                out.append(clone)
+            elif isinstance(inst, Alloca):
+                # The allocation itself is shared; the pristine pointer is
+                # identical to the primary one.
+                out.append(inst)
+                clone = Copy(inst.dest.shadow, inst.dest)
+                clone.secondary = True
+                out.append(clone)
+            elif isinstance(inst, Load):
+                fused = FpmLoad(inst.dest, inst.dest.shadow,
+                                inst.addr, sh(inst.addr))
+                fused.inject_site = inst.inject_site
+                out.append(fused)
+            elif isinstance(inst, Store):
+                fused = FpmStore(inst.value, sh(inst.value),
+                                 inst.addr, sh(inst.addr))
+                fused.inject_site = inst.inject_site
+                out.append(fused)
+            elif isinstance(inst, Call):
+                spec = get_intrinsic(inst.callee)
+                if spec is None:
+                    # User function: interleave (primary, pristine) args;
+                    # the callee (also transformed) returns a dual pair.
+                    new_args: List[Value] = []
+                    for a in inst.args:
+                        new_args.append(a)
+                        new_args.append(sh(a))
+                    inst.args = new_args
+                    if inst.dest is not None:
+                        inst.dest_p = inst.dest.shadow
+                    out.append(inst)
+                elif spec.pure:
+                    # Library call: evaluate twice (paper: "for library
+                    # function calls such as sin() ... execute the function
+                    # twice").
+                    out.append(inst)
+                    if inst.dest is not None:
+                        clone = Call(inst.dest.shadow, inst.callee,
+                                     [sh(a) for a in inst.args])
+                        clone.secondary = True
+                        out.append(clone)
+                else:
+                    # Impure: run once with primary arguments to avoid
+                    # duplicated side effects; shadow result mirrors the
+                    # primary (MPI buffer contamination is handled by the
+                    # runtime protocol, not by replication).
+                    out.append(inst)
+                    if inst.dest is not None:
+                        clone = Copy(inst.dest.shadow, inst.dest)
+                        clone.secondary = True
+                        out.append(clone)
+            elif isinstance(inst, Ret):
+                if inst.value is not None:
+                    inst.value_p = sh(inst.value)
+                out.append(inst)
+            elif isinstance(inst, (Br, CondBr)):
+                out.append(inst)  # control flow follows the primary chain
+            elif isinstance(inst, (FpmLoad, FpmStore)):
+                raise PassError("dualchain applied twice")
+            else:  # pragma: no cover - future instruction kinds
+                raise PassError(f"dualchain cannot handle {inst.opcode!r}")
+        block.instructions = out
+
+
+def run(module: Module) -> None:
+    if "dualchain" in module.passes_applied or \
+            "taintchain" in module.passes_applied:
+        raise PassError("shadow-chain transformation applied twice")
+    for func in module:
+        transform_function(func)
+    module.passes_applied.append("dualchain")

@@ -1,0 +1,78 @@
+"""LLFI++ fault-site marking pass.
+
+Assigns a static injection-site id to every instruction whose source
+registers are fault-injection targets.  At run time the VM counts dynamic
+executions of marked instructions; a fault plan names an occurrence to
+corrupt, which reproduces LLFI's model of flipping a bit in a live
+register "at specific program points" (paper Sec. 3.1).
+
+Site kinds (paper Sec. 2: "faults are injected into the source register
+of both arithmetic and load/store operations"):
+
+* ``arith`` — data arithmetic: BinOp except pointer ops, plus casts;
+* ``cmp``   — comparison source registers (LLVM treats icmp/fcmp as a
+  separate class from binary arithmetic, and so does the paper);
+* ``ptr``   — pointer arithmetic (padd/psub), i.e. address computation;
+* ``mem``   — Load/Store source registers (address and stored value).
+
+The experiments in Sec. 4.2 use arithmetic registers ("but other kinds of
+instructions can also be targeted by LLFI++"), so ``arith`` is the
+default; ``ptr`` and ``mem`` are opt-in.  Keeping address computation out
+of the default matches the proportions of real HPC binaries: MiniHPC
+programs are tiny, so indexing arithmetic is a far larger *fraction* of
+their instruction mix than in LULESH/LAMMPS-scale codes, and injecting
+into it uniformly would grossly over-produce segfaults.
+
+Must run *before* the dual-chain pass: dualchain preserves site marks on
+primary-chain instructions only, keeping occurrence counting identical
+between black-box and FPM builds of the same program.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import PassError
+from ..ir import PTR_BINOPS, BinOp, Cast, Cmp, Load, Module, Register, Store
+
+VALID_KINDS = ("arith", "cmp", "ptr", "mem")
+
+
+def site_kind(inst) -> str:
+    """Classify an instruction for site marking ('' = never injectable)."""
+    if isinstance(inst, BinOp):
+        return "ptr" if inst.op in PTR_BINOPS else "arith"
+    if isinstance(inst, Cast):
+        return "arith"
+    if isinstance(inst, Cmp):
+        return "cmp"
+    if isinstance(inst, (Load, Store)):
+        return "mem"
+    return ""
+
+
+def _has_register_operand(inst) -> bool:
+    return any(isinstance(op, Register) for op in inst.operands())
+
+
+def run(module: Module, kinds: Iterable[str] = ("arith",)) -> None:
+    if "dualchain" in module.passes_applied or \
+            "taintchain" in module.passes_applied:
+        raise PassError("faultinject must run before the shadow-chain pass")
+    wanted = set()
+    for kind in kinds:
+        if kind not in VALID_KINDS:
+            raise PassError(f"unknown injection site kind {kind!r}")
+        wanted.add(kind)
+
+    site = module.num_inject_sites
+    for func in module:
+        if func.attributes.get("no_instrument"):
+            continue
+        for block in func:
+            for inst in block:
+                if site_kind(inst) in wanted and _has_register_operand(inst):
+                    inst.inject_site = site
+                    site += 1
+    module.num_inject_sites = site
+    module.passes_applied.append("faultinject")

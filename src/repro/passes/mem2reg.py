@@ -1,0 +1,133 @@
+"""Scalar promotion (mem2reg).
+
+The frontend lowers every local variable to a stack slot (clang -O0
+style).  This pass promotes single-word allocas whose address is only
+ever used directly by loads and stores into virtual registers, mirroring
+LLVM's mem2reg.  Because the IR uses mutable registers, promotion needs
+no phi nodes: the slot simply becomes one dedicated register, loads
+become copies out of it and stores copies into it.
+
+This pass matters for fidelity, not just speed: after promotion, scalar
+temporaries live in *registers* (where LLFI injects faults and where the
+processor can mask them) while arrays and address-taken variables live in
+*memory* (where the FPM counts contaminated locations) — the same split a
+real LLVM-compiled binary has.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from ..ir import (
+    Alloca,
+    Copy,
+    Function,
+    Load,
+    Module,
+    Register,
+    Store,
+)
+
+
+def _collect_promotable(func: Function) -> Dict[int, Alloca]:
+    """Single-word allocas whose pointer never escapes a load/store addr."""
+    candidates: Dict[int, Alloca] = {}
+    for block in func:
+        for inst in block:
+            if isinstance(inst, Alloca) and inst.count == 1:
+                candidates[inst.dest.index] = inst
+
+    if not candidates:
+        return candidates
+
+    disqualified: Set[int] = set()
+    for block in func:
+        for inst in block:
+            if isinstance(inst, Load):
+                # addr position is fine; nothing else to check
+                continue
+            if isinstance(inst, Store):
+                # addr position is fine, but storing the slot's *address*
+                # as a value lets it escape.
+                v = inst.value
+                if isinstance(v, Register) and v.index in candidates:
+                    disqualified.add(v.index)
+                continue
+            for op in inst.operands():
+                if isinstance(op, Register) and op.index in candidates:
+                    disqualified.add(op.index)
+    for idx in disqualified:
+        candidates.pop(idx, None)
+    return candidates
+
+
+def _slot_type(func: Function, slot_indices: Set[int]) -> Dict[int, object]:
+    """Infer each promotable slot's value type from its loads/stores.
+
+    Slots accessed with inconsistent types are dropped from promotion
+    (cannot happen with frontend-generated IR, but hand-built IR may).
+    """
+    types: Dict[int, object] = {}
+    bad: Set[int] = set()
+    for block in func:
+        for inst in block:
+            if isinstance(inst, Load) and isinstance(inst.addr, Register) \
+                    and inst.addr.index in slot_indices:
+                t = inst.dest.type
+            elif isinstance(inst, Store) and isinstance(inst.addr, Register) \
+                    and inst.addr.index in slot_indices:
+                t = inst.value.type
+            else:
+                continue
+            idx = inst.addr.index
+            prev = types.get(idx)
+            if prev is None:
+                types[idx] = t
+            elif prev is not t:
+                bad.add(idx)
+    for idx in bad:
+        types.pop(idx, None)
+    return types
+
+
+def promote_function(func: Function) -> int:
+    """Promote eligible slots in one function; returns the count promoted."""
+    candidates = _collect_promotable(func)
+    if not candidates:
+        return 0
+    types = _slot_type(func, set(candidates))
+
+    # Slots that are never loaded nor stored: drop the alloca entirely.
+    promoted: Dict[int, Optional[Register]] = {}
+    for idx, alloca in candidates.items():
+        if idx in types:
+            promoted[idx] = func.new_reg(types[idx], alloca.var_name or f"v{idx}")
+        else:
+            promoted[idx] = None  # dead slot
+
+    for block in func:
+        new_insts = []
+        for inst in block:
+            if isinstance(inst, Alloca) and inst.dest.index in promoted:
+                continue  # slot no longer exists
+            if isinstance(inst, Load) and isinstance(inst.addr, Register) \
+                    and inst.addr.index in promoted:
+                vreg = promoted[inst.addr.index]
+                new_insts.append(Copy(inst.dest, vreg))
+                continue
+            if isinstance(inst, Store) and isinstance(inst.addr, Register) \
+                    and inst.addr.index in promoted:
+                vreg = promoted[inst.addr.index]
+                if vreg is not None:
+                    new_insts.append(Copy(vreg, inst.value))
+                # store to a never-loaded slot is dead; drop it
+                continue
+            new_insts.append(inst)
+        block.instructions = new_insts
+    return len(promoted)
+
+
+def run(module: Module) -> None:
+    for func in module:
+        promote_function(func)
+    module.passes_applied.append("mem2reg")

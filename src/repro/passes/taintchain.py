@@ -1,0 +1,158 @@
+"""Naive taint-propagation transformation — the over-approximating baseline.
+
+Structurally parallel to :mod:`repro.passes.dualchain`, but the shadow
+chain carries one-bit *taint* instead of pristine values: an operation's
+result is tainted iff any register input is tainted ("the output of an
+instruction becomes corrupted if at least one of the inputs is
+corrupted" — the assumption the paper's Sec. 3 explicitly rejects as a
+source of "large overestimation").
+
+Comparing a taint build's CML counts with the dual-chain's exact counts
+on identical fault plans quantifies that overestimation: taint can never
+see masking (``b = a >> 2``), value re-convergence, or healing stores of
+coincidentally equal values.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import PassError
+from ..ir import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    Cmp,
+    CondBr,
+    Constant,
+    Copy,
+    FpmLoad,
+    FpmStore,
+    Function,
+    INT,
+    Load,
+    Module,
+    Register,
+    Ret,
+    Store,
+    Value,
+    const_int,
+)
+from ..vm.intrinsics import get_intrinsic
+from .dualchain import _collect_registers
+
+_ZERO = const_int(0)
+
+
+def transform_function(func: Function) -> None:
+    regs = _collect_registers(func)
+    for reg in list(regs.values()):
+        reg.shadow = func.new_reg(INT, reg.name + ".t")
+
+    def sh(value: Value) -> Value:
+        """Taint of an operand: shadow register, or 0 for constants."""
+        if isinstance(value, Register):
+            return value.shadow
+        return _ZERO
+
+    def taint_combine(dest: Register, operands, out: List) -> None:
+        """dest.shadow = OR of the operands' taints."""
+        taints = [v.shadow for v in operands if isinstance(v, Register)]
+        if not taints:
+            inst = Copy(dest.shadow, _ZERO)
+        elif len(taints) == 1:
+            inst = Copy(dest.shadow, taints[0])
+        else:
+            acc = taints[0]
+            for extra in taints[1:-1]:
+                tmp = func.new_reg(INT)
+                inst = BinOp(tmp, "or", acc, extra)
+                inst.secondary = True
+                out.append(inst)
+                acc = tmp
+            inst = BinOp(dest.shadow, "or", acc, taints[-1])
+        inst.secondary = True
+        out.append(inst)
+
+    new_params: List[Register] = []
+    for p in func.params:
+        new_params.append(p)
+        new_params.append(p.shadow)
+    func.params = new_params
+    func.is_dual = True
+
+    for block in func:
+        out: List = []
+        for inst in block:
+            if isinstance(inst, (BinOp, Cmp)):
+                out.append(inst)
+                taint_combine(inst.dest, (inst.lhs, inst.rhs), out)
+            elif isinstance(inst, Cast):
+                out.append(inst)
+                taint_combine(inst.dest, (inst.src,), out)
+            elif isinstance(inst, Copy):
+                out.append(inst)
+                clone = Copy(inst.dest.shadow, sh(inst.src))
+                clone.secondary = True
+                out.append(clone)
+            elif isinstance(inst, Alloca):
+                out.append(inst)
+                clone = Copy(inst.dest.shadow, _ZERO)
+                clone.secondary = True
+                out.append(clone)
+            elif isinstance(inst, Load):
+                fused = FpmLoad(inst.dest, inst.dest.shadow,
+                                inst.addr, sh(inst.addr))
+                fused.taint = True
+                fused.inject_site = inst.inject_site
+                out.append(fused)
+            elif isinstance(inst, Store):
+                fused = FpmStore(inst.value, sh(inst.value),
+                                 inst.addr, sh(inst.addr))
+                fused.taint = True
+                fused.inject_site = inst.inject_site
+                out.append(fused)
+            elif isinstance(inst, Call):
+                spec = get_intrinsic(inst.callee)
+                if spec is None:
+                    new_args: List[Value] = []
+                    for a in inst.args:
+                        new_args.append(a)
+                        new_args.append(sh(a))
+                    inst.args = new_args
+                    if inst.dest is not None:
+                        inst.dest_p = inst.dest.shadow
+                    out.append(inst)
+                else:
+                    out.append(inst)
+                    if inst.dest is not None:
+                        if spec.pure:
+                            taint_combine(inst.dest, tuple(inst.args), out)
+                        else:
+                            # rand()/malloc() results are not derived from
+                            # the fault; MPI taint travels via the runtime.
+                            clone = Copy(inst.dest.shadow, _ZERO)
+                            clone.secondary = True
+                            out.append(clone)
+            elif isinstance(inst, Ret):
+                if inst.value is not None:
+                    inst.value_p = sh(inst.value)
+                out.append(inst)
+            elif isinstance(inst, (Br, CondBr)):
+                out.append(inst)
+            elif isinstance(inst, (FpmLoad, FpmStore)):
+                raise PassError("taintchain applied on transformed IR")
+            else:  # pragma: no cover
+                raise PassError(f"taintchain cannot handle {inst.opcode!r}")
+        block.instructions = out
+
+
+def run(module: Module) -> None:
+    if "taintchain" in module.passes_applied or \
+            "dualchain" in module.passes_applied:
+        raise PassError("shadow-chain transformation applied twice")
+    for func in module:
+        transform_function(func)
+    module.passes_applied.append("taintchain")

@@ -1,0 +1,37 @@
+"""Checkpoint/roll-back resilience layer — the paper's Sec. 5 use case.
+
+The CML estimator exists to drive roll-back decisions; this package
+provides the coordinated checkpointing, detectors and policies to
+actually make and evaluate them on simulated jobs.
+"""
+
+from .detectors import (
+    Detector,
+    IntervalDetector,
+    LatencyReport,
+    SampledDetector,
+    ThresholdDetector,
+    measure_latency,
+)
+from .checkpoint import (
+    JobCheckpoint,
+    RankCheckpoint,
+    checkpoint_machine,
+    restore_machine,
+)
+from .policy import (
+    AlwaysRollback,
+    Detection,
+    FPSThresholdPolicy,
+    NeverRollback,
+    RollbackPolicy,
+)
+from .runner import ResilientResult, ResilientRunner
+
+__all__ = [
+    "AlwaysRollback", "Detection", "Detector", "FPSThresholdPolicy",
+    "IntervalDetector", "JobCheckpoint", "LatencyReport", "NeverRollback",
+    "RankCheckpoint", "ResilientResult", "ResilientRunner",
+    "RollbackPolicy", "SampledDetector", "ThresholdDetector",
+    "checkpoint_machine", "measure_latency", "restore_machine",
+]

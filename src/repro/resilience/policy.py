@@ -1,0 +1,79 @@
+"""Roll-back policies driven by the paper's CML estimator.
+
+Paper Sec. 5: "The estimation provided by our model can be used to
+decide, at runtime, if a roll-back should be triggered.  For application
+with low FPS, i.e., relatively robust applications, the fault-tolerance
+system could decide to keep the application running if the CML at the end
+of the application is predicted to be below a safe threshold."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..models.estimator import CMLEstimator
+
+
+@dataclass(frozen=True)
+class Detection:
+    """A fault detection event.
+
+    The fault struck somewhere in ``(t_clean, t_detect)``; ``t_end`` is
+    the projected completion time of the run (None when unknown), which
+    the paper's policy uses to predict "the CML at the end of the
+    application".
+    """
+
+    t_clean: int
+    t_detect: int
+    t_end: Optional[int] = None
+
+
+class RollbackPolicy:
+    """Decides whether a detection triggers a roll-back."""
+
+    name = "abstract"
+
+    def should_rollback(self, detection: Detection) -> bool:
+        raise NotImplementedError
+
+
+class AlwaysRollback(RollbackPolicy):
+    """The conventional conservative policy: any detection rolls back."""
+
+    name = "always"
+
+    def should_rollback(self, detection: Detection) -> bool:
+        return True
+
+
+class NeverRollback(RollbackPolicy):
+    """Optimistic policy: run through and hope the output tolerates it."""
+
+    name = "never"
+
+    def should_rollback(self, detection: Detection) -> bool:
+        return False
+
+
+class FPSThresholdPolicy(RollbackPolicy):
+    """The paper's policy: roll back only when the estimated worst-case
+    corrupted-state size in the detection window exceeds a threshold."""
+
+    name = "fps-threshold"
+
+    def __init__(self, estimator: CMLEstimator, threshold: float) -> None:
+        self.estimator = estimator
+        self.threshold = threshold
+
+    def should_rollback(self, detection: Detection) -> bool:
+        # Paper Sec. 5: "keep the application running if the CML at the
+        # end of the application is predicted to be below a safe
+        # threshold" — project propagation from the last clean point to
+        # the (expected) end of the run.
+        horizon = detection.t_end if detection.t_end is not None \
+            else detection.t_detect
+        horizon = max(horizon, detection.t_detect)
+        window = self.estimator.estimate_window(detection.t_clean, horizon)
+        return window.rollback_advised(self.threshold)

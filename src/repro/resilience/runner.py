@@ -1,0 +1,189 @@
+"""Checkpoint/rollback-capable job runner.
+
+Runs a simulated MPI job like :class:`~repro.mpi.scheduler.Scheduler`,
+but additionally:
+
+* takes **coordinated checkpoints** every ``interval`` virtual cycles, at
+  the first quiescent point after the boundary (no rank mid-MPI-op) —
+  message queues included;
+* runs an idealised interval **detector**: at each checkpoint boundary it
+  inspects the FPM shadow state (the detector a deployed system would
+  approximate with checksums or invariants — paper Sec. 6 "Fault
+  Detection"); the detection window is (previous boundary, this boundary);
+* consults a :class:`~repro.resilience.policy.RollbackPolicy`; on
+  roll-back it restores the last *clean* checkpoint.  The transient fault
+  does not recur after the rewind (it was transient), so a rolled-back
+  run completes cleanly at the cost of the re-executed cycles.
+
+The result records enough to score policies: outcome, total cycles
+(including re-execution), number of roll-backs, and wasted work.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..core.config import RunConfig
+from ..mpi.runtime import MPIRuntime
+from ..mpi.scheduler import JobStatus
+from ..vm.machine import FaultSpec, Machine, MachineStatus
+from ..vm.traps import Trap, TrapKind
+from .checkpoint import JobCheckpoint, checkpoint_machine, restore_machine
+from .policy import Detection, RollbackPolicy
+
+
+@dataclass
+class ResilientResult:
+    status: JobStatus
+    outputs: List[list]
+    iterations: int
+    #: total executed cycles, including re-executed (wasted) work
+    total_cycles: int
+    #: cycles re-executed due to roll-backs
+    wasted_cycles: int
+    rollbacks: int
+    detections: int
+    checkpoints: int
+    #: contamination present when the job finished
+    final_contaminated: bool
+
+    @property
+    def crashed(self) -> bool:
+        return self.status is not JobStatus.COMPLETED
+
+
+class ResilientRunner:
+    """Scheduler with coordinated checkpointing and roll-back."""
+
+    def __init__(
+        self,
+        program,
+        config: RunConfig,
+        policy: RollbackPolicy,
+        *,
+        interval: int = 20_000,
+        max_rollbacks: int = 4,
+        expected_end: Optional[int] = None,
+    ) -> None:
+        if not program.fpm_mode:
+            raise ValueError("resilient runs need an FPM (or taint) build "
+                             "for the detector")
+        self.program = program
+        self.config = config
+        self.policy = policy
+        self.interval = interval
+        self.max_rollbacks = max_rollbacks
+        #: projected completion time (e.g. the golden run's cycles); lets
+        #: the policy predict the CML at the end of the application
+        self.expected_end = expected_end
+
+    # ------------------------------------------------------------------
+    def run(self, faults: Sequence[FaultSpec] = (),
+            inj_seed: Optional[int] = None,
+            max_cycles: int = 50_000_000) -> ResilientResult:
+        config = self.config
+        runtime = MPIRuntime()
+        machines = [
+            Machine(self.program, rank, config.nranks, seed=config.seed,
+                    mem_capacity=config.mem_capacity,
+                    stack_words=config.stack_words, entry=config.entry)
+            for rank in range(config.nranks)
+        ]
+        runtime.attach(machines)
+        for m in machines:
+            if faults:
+                m.arm_faults(faults, seed=inj_seed)
+            m.start()
+
+        quantum = config.quantum
+        next_boundary = self.interval
+        last_ck: Optional[JobCheckpoint] = None
+        last_clean_time = 0
+        rollbacks = detections = checkpoints = 0
+        wasted = 0
+        status = JobStatus.COMPLETED
+        waived = False  # a detection was consciously run through
+
+        while True:
+            for m in machines:
+                if m.status is MachineStatus.READY:
+                    m.run(quantum)
+                    if m.status is MachineStatus.TRAPPED:
+                        status = JobStatus.TRAPPED
+                        break
+            if status is JobStatus.TRAPPED:
+                break
+
+            t = max(m.cycles for m in machines)
+            if all(m.status is MachineStatus.DONE for m in machines):
+                break
+            if not any(m.status is MachineStatus.READY for m in machines):
+                status = JobStatus.DEADLOCK
+                break
+            if t > max_cycles:
+                status = JobStatus.HANG
+                break
+
+            if t >= next_boundary and not waived:
+                if not all(m.pending is None for m in machines):
+                    continue  # postpone to the next quiescent epoch
+
+                contaminated = any(m.ever_contaminated for m in machines)
+                if contaminated:
+                    detections += 1
+                    detection = Detection(
+                        t_clean=last_clean_time, t_detect=t,
+                        t_end=self.expected_end,
+                    )
+                    if (
+                        rollbacks < self.max_rollbacks
+                        and last_ck is not None
+                        and self.policy.should_rollback(detection)
+                    ):
+                        self._restore(machines, runtime, last_ck)
+                        wasted += t - last_ck.time
+                        rollbacks += 1
+                        for m in machines:
+                            # the transient fault does not recur on replay
+                            m.arm_faults(())
+                        next_boundary = last_ck.time + self.interval
+                        continue
+                    # The policy decided the predicted end-of-run CML is
+                    # tolerable: commit to running through (the paper's
+                    # "keep the application running" branch).
+                    waived = True
+                    continue
+
+                # clean boundary: take a coordinated checkpoint
+                last_ck = self._checkpoint(machines, runtime, t)
+                checkpoints += 1
+                last_clean_time = t
+                next_boundary = t + self.interval
+
+        total = max(m.cycles for m in machines) + wasted
+        return ResilientResult(
+            status=status,
+            outputs=[list(m.outputs) for m in machines],
+            iterations=max(m.iteration_count for m in machines),
+            total_cycles=total,
+            wasted_cycles=wasted,
+            rollbacks=rollbacks,
+            detections=detections,
+            checkpoints=checkpoints,
+            final_contaminated=any(m.ever_contaminated for m in machines),
+        )
+
+    # ------------------------------------------------------------------
+    def _checkpoint(self, machines, runtime, t: int) -> JobCheckpoint:
+        ck = JobCheckpoint(label=f"t{t}", time=t)
+        ck.ranks = [checkpoint_machine(m) for m in machines]
+        ck.queues = [copy.deepcopy(q) for q in runtime.queues]
+        return ck
+
+    def _restore(self, machines, runtime, ck: JobCheckpoint) -> None:
+        for m, rck in zip(machines, ck.ranks):
+            restore_machine(m, rck)
+        runtime.queues = [copy.deepcopy(q) for q in ck.queues]
+        runtime.collectives.clear()

@@ -1,0 +1,66 @@
+"""Single-bit flips on 64-bit register values.
+
+This is the paper's fault model (Sec. 2): "randomly inject single-bit
+flips at the register-level ... into the source register of both
+arithmetic and load/store operations."  Integers (and pointers) flip in
+their two's-complement representation; floats flip in their IEEE-754
+binary64 representation.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_M64 = (1 << 64) - 1
+_SIGN = 1 << 63
+
+_PACK_D = struct.Struct("<d").pack
+_UNPACK_D = struct.Struct("<d").unpack
+_PACK_Q = struct.Struct("<Q").pack
+_UNPACK_Q = struct.Struct("<Q").unpack
+
+
+def to_signed64(u: int) -> int:
+    """Reinterpret an unsigned 64-bit pattern as a signed integer."""
+    u &= _M64
+    return u - (1 << 64) if u & _SIGN else u
+
+
+def to_unsigned64(s: int) -> int:
+    """Two's-complement 64-bit pattern of a (possibly negative) integer."""
+    return s & _M64
+
+
+def flip_int_bit(value: int, bit: int) -> int:
+    """Flip ``bit`` (0 = LSB) of a signed 64-bit integer."""
+    if not 0 <= bit < 64:
+        raise ValueError(f"bit index {bit} out of range")
+    return to_signed64(to_unsigned64(value) ^ (1 << bit))
+
+
+def float_to_bits(value: float) -> int:
+    return _UNPACK_Q(_PACK_D(value))[0]
+
+
+def bits_to_float(bits: int) -> float:
+    return _UNPACK_D(_PACK_Q(bits & _M64))[0]
+
+
+def flip_float_bit(value: float, bit: int) -> float:
+    """Flip ``bit`` (0 = LSB of the mantissa) of an IEEE-754 binary64."""
+    if not 0 <= bit < 64:
+        raise ValueError(f"bit index {bit} out of range")
+    return bits_to_float(float_to_bits(value) ^ (1 << bit))
+
+
+def flip_bit(value, bit: int, is_float: bool):
+    """Flip one bit of a register value according to its declared type.
+
+    Memory is untyped words, so a FLOAT register can legitimately hold an
+    integer loaded from an int-initialised cell (and vice versa); the flip
+    follows the *register's* declared representation, which is what a
+    hardware register-file upset would corrupt.
+    """
+    if is_float:
+        return flip_float_bit(float(value), bit)
+    return flip_int_bit(int(value), bit)

@@ -1,0 +1,529 @@
+"""IR -> closure compiler for the VM.
+
+Each IR instruction is compiled once per program into a Python closure
+``step(machine, frame) -> signal`` with operands pre-resolved to register
+indices or immediate constants ("threaded code").  The run loop in
+:mod:`repro.vm.machine` dispatches on the returned signal:
+
+* ``None``        — fall through to the next instruction,
+* ``SIG_JUMP``    — the closure set ``frame.block``/``frame.ip``,
+* ``SIG_CALL``    — a user-function call was staged in ``machine.pending_call``,
+* ``SIG_RET``     — return values staged in ``machine.ret_val``/``ret_val_p``,
+* ``SIG_BLOCK``   — an MPI operation must wait; re-execute when woken,
+* ``SIG_INJECT``  — a fault was just injected (loop records the exact cycle).
+
+Instructions marked by the fault-injection pass are wrapped with an
+occurrence counter + bit-flip trigger, which implements LLFI's dynamic
+fault model with near-zero overhead when no fault is armed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import ReproError
+from ..ir import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    Cmp,
+    CondBr,
+    Copy,
+    FpmLoad,
+    FpmStore,
+    Function,
+    Load,
+    Module,
+    Register,
+    Ret,
+    Store,
+)
+from .intrinsics import BLOCK, get_intrinsic
+from .ops import BINOP_FUNCS, CAST_FUNCS, CMP_FUNCS
+from .traps import Trap, TrapKind
+
+SIG_JUMP = 1
+SIG_CALL = 2
+SIG_RET = 3
+SIG_BLOCK = 4
+SIG_INJECT = 5
+
+
+class CompiledFunction:
+    """Executable form of one IR function."""
+
+    __slots__ = ("name", "blocks", "num_regs", "param_indices", "is_dual")
+
+    def __init__(self, func: Function) -> None:
+        self.name = func.name
+        self.blocks: List[List[Callable]] = []
+        self.num_regs = 0
+        self.param_indices: List[int] = [p.index for p in func.params]
+        self.is_dual = func.is_dual
+
+
+class CompiledProgram:
+    """All functions of a module, compiled, plus instrumentation metadata."""
+
+    __slots__ = ("module", "functions", "fpm_mode", "taint_mode",
+                 "num_inject_sites", "site_table")
+
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        self.functions: Dict[str, CompiledFunction] = {}
+        self.taint_mode = "taintchain" in module.passes_applied
+        self.fpm_mode = "dualchain" in module.passes_applied or self.taint_mode
+        self.num_inject_sites = module.num_inject_sites
+        #: site id -> (function name, block label, instruction text), for
+        #: correlating injections back to source constructs
+        self.site_table: Dict[int, Tuple[str, str, str]] = {}
+
+    def __getitem__(self, name: str) -> CompiledFunction:
+        return self.functions[name]
+
+
+def _injectable_operands(inst) -> Tuple[Tuple[int, bool], ...]:
+    """(register index, is_float) for each primary register source operand.
+
+    This is the set of "live registers used by the instruction" that LLFI's
+    fault model flips a bit in.  For FPM-fused memory operations only the
+    primary (potentially-corrupted) registers qualify; the pristine shadow
+    must never be corrupted directly.
+    """
+    if isinstance(inst, (BinOp, Cmp)):
+        cands = (inst.lhs, inst.rhs)
+    elif isinstance(inst, Cast):
+        cands = (inst.src,)
+    elif isinstance(inst, Load):
+        cands = (inst.addr,)
+    elif isinstance(inst, Store):
+        cands = (inst.value, inst.addr)
+    elif isinstance(inst, FpmLoad):
+        cands = (inst.addr,)
+    elif isinstance(inst, FpmStore):
+        cands = (inst.value, inst.addr)
+    else:
+        cands = ()
+    return tuple(
+        (v.index, v.type.is_float,
+         v.shadow.index if v.shadow is not None else -1)
+        for v in cands if isinstance(v, Register)
+    )
+
+
+# ----------------------------------------------------------------------
+# Per-instruction compilers
+# ----------------------------------------------------------------------
+
+def _compile_binop(inst: BinOp) -> Callable:
+    return _compile_binop_like(
+        inst.dest.index, inst.lhs, inst.rhs, BINOP_FUNCS[inst.op]
+    )
+
+
+def _compile_binop_like(d: int, lhs, rhs, fn: Callable) -> Callable:
+    if isinstance(lhs, Register):
+        li = lhs.index
+        if isinstance(rhs, Register):
+            ri = rhs.index
+
+            def step(m, f, fn=fn, d=d, li=li, ri=ri):
+                regs = f.regs
+                regs[d] = fn(regs[li], regs[ri])
+        else:
+            rc = rhs.value
+
+            def step(m, f, fn=fn, d=d, li=li, rc=rc):
+                regs = f.regs
+                regs[d] = fn(regs[li], rc)
+    else:
+        lc = lhs.value
+        if isinstance(rhs, Register):
+            ri = rhs.index
+
+            def step(m, f, fn=fn, d=d, lc=lc, ri=ri):
+                regs = f.regs
+                regs[d] = fn(lc, regs[ri])
+        else:
+            rc = rhs.value
+
+            def step(m, f, fn=fn, d=d, lc=lc, rc=rc):
+                regs = f.regs
+                regs[d] = fn(lc, rc)
+    return step
+
+
+def _compile_cast(inst: Cast) -> Callable:
+    fn = CAST_FUNCS[inst.op]
+    d = inst.dest.index
+    src = inst.src
+    if isinstance(src, Register):
+        si = src.index
+
+        def step(m, f, fn=fn, d=d, si=si):
+            regs = f.regs
+            regs[d] = fn(regs[si])
+    else:
+        sc = fn(src.value)
+
+        def step(m, f, d=d, sc=sc):
+            f.regs[d] = sc
+    return step
+
+
+def _compile_copy(inst: Copy) -> Callable:
+    d = inst.dest.index
+    src = inst.src
+    if isinstance(src, Register):
+        si = src.index
+
+        def step(m, f, d=d, si=si):
+            regs = f.regs
+            regs[d] = regs[si]
+    else:
+        sc = src.value
+
+        def step(m, f, d=d, sc=sc):
+            f.regs[d] = sc
+    return step
+
+
+def _compile_alloca(inst: Alloca) -> Callable:
+    d = inst.dest.index
+    count = inst.count
+
+    def step(m, f, d=d, count=count):
+        f.regs[d] = m.memory.stack_alloc(count)
+    return step
+
+
+def _compile_load(inst: Load) -> Callable:
+    d = inst.dest.index
+    if isinstance(inst.addr, Register):
+        ai = inst.addr.index
+
+        def step(m, f, d=d, ai=ai):
+            regs = f.regs
+            addr = regs[ai]
+            mem = m.memory
+            if 0 <= addr < mem.capacity and mem.valid[addr]:
+                regs[d] = mem.cells[addr]
+            else:
+                raise Trap(TrapKind.MEM_FAULT, f"load from invalid address {addr}")
+    else:
+        ac = inst.addr.value
+
+        def step(m, f, d=d, ac=ac):
+            mem = m.memory
+            if 0 <= ac < mem.capacity and mem.valid[ac]:
+                f.regs[d] = mem.cells[ac]
+            else:
+                raise Trap(TrapKind.MEM_FAULT, f"load from invalid address {ac}")
+    return step
+
+
+def _compile_store(inst: Store) -> Callable:
+    get_v = _value_getter(inst.value)
+    if isinstance(inst.addr, Register):
+        ai = inst.addr.index
+
+        def step(m, f, get_v=get_v, ai=ai):
+            regs = f.regs
+            addr = regs[ai]
+            mem = m.memory
+            if 0 <= addr < mem.capacity and mem.valid[addr]:
+                mem.cells[addr] = get_v(regs)
+            else:
+                raise Trap(TrapKind.MEM_FAULT, f"store to invalid address {addr}")
+    else:
+        ac = inst.addr.value
+
+        def step(m, f, get_v=get_v, ac=ac):
+            mem = m.memory
+            if 0 <= ac < mem.capacity and mem.valid[ac]:
+                mem.cells[ac] = get_v(f.regs)
+            else:
+                raise Trap(TrapKind.MEM_FAULT, f"store to invalid address {ac}")
+    return step
+
+
+def _value_getter(value):
+    if isinstance(value, Register):
+        i = value.index
+        return lambda regs, i=i: regs[i]
+    c = value.value
+    return lambda regs, c=c: c
+
+
+def _compile_fpm_load(inst: FpmLoad) -> Callable:
+    d = inst.dest.index
+    dp = inst.dest_p.index
+    get_a = _value_getter(inst.addr)
+    get_ap = _value_getter(inst.addr_p)
+
+    if inst.taint:
+        # Naive taint semantics: loaded value is tainted when the location
+        # is tainted or the address register is.
+        def step(m, f, d=d, dp=dp, get_a=get_a, get_ap=get_ap):
+            regs = f.regs
+            addr = get_a(regs)
+            mem = m.memory
+            if 0 <= addr < mem.capacity and mem.valid[addr]:
+                v = mem.cells[addr]
+            else:
+                raise Trap(TrapKind.MEM_FAULT,
+                           f"load from invalid address {addr}")
+            regs[d] = v
+            regs[dp] = 1 if (addr in m.fpm.table or get_ap(regs)) else 0
+        return step
+
+    def step(m, f, d=d, dp=dp, get_a=get_a, get_ap=get_ap):
+        regs = f.regs
+        addr = get_a(regs)
+        mem = m.memory
+        if 0 <= addr < mem.capacity and mem.valid[addr]:
+            v = mem.cells[addr]
+        else:
+            raise Trap(TrapKind.MEM_FAULT, f"load from invalid address {addr}")
+        addr_p = get_ap(regs)
+        ht = m.fpm.table
+        if addr_p == addr:
+            vp = ht.get(addr, v) if ht else v
+        elif 0 <= addr_p < mem.capacity and mem.valid[addr_p]:
+            # Corrupted address register: the pristine chain reads the cell
+            # the fault-free execution would have read.
+            base = mem.cells[addr_p]
+            vp = ht.get(addr_p, base)
+        else:
+            # The pristine address is no longer valid along this (diverged)
+            # control path; fall back to the primary value so shadow
+            # bookkeeping never crashes the run on its own.
+            vp = v
+        regs[d] = v
+        regs[dp] = vp
+    return step
+
+
+def _compile_fpm_store(inst: FpmStore) -> Callable:
+    get_v = _value_getter(inst.value)
+    get_vp = _value_getter(inst.value_p)
+    get_a = _value_getter(inst.addr)
+    get_ap = _value_getter(inst.addr_p)
+
+    if inst.taint:
+        # Naive taint semantics: the location becomes tainted when the
+        # stored value or the address register is tainted; an untainted
+        # store is a strong update (clears the mark).
+        def step(m, f, get_v=get_v, get_vp=get_vp, get_a=get_a,
+                 get_ap=get_ap):
+            regs = f.regs
+            addr = get_a(regs)
+            mem = m.memory
+            if not (0 <= addr < mem.capacity and mem.valid[addr]):
+                raise Trap(TrapKind.MEM_FAULT,
+                           f"store to invalid address {addr}")
+            v = get_v(regs)
+            mem.cells[addr] = v
+            m.fpm.update(addr, v, get_vp(regs) or get_ap(regs), m.cycles)
+        return step
+
+    def step(m, f, get_v=get_v, get_vp=get_vp, get_a=get_a, get_ap=get_ap):
+        regs = f.regs
+        addr = get_a(regs)
+        mem = m.memory
+        if not (0 <= addr < mem.capacity and mem.valid[addr]):
+            raise Trap(TrapKind.MEM_FAULT, f"store to invalid address {addr}")
+        v = get_v(regs)
+        vp = get_vp(regs)
+        addr_p = get_ap(regs)
+        fpm = m.fpm
+        cells = mem.cells
+        if addr_p == addr:
+            cells[addr] = v
+            if v == vp or v != v and vp != vp:  # equal, or both NaN
+                if addr in fpm.table:
+                    del fpm.table[addr]
+            else:
+                fpm.record(addr, vp, m.cycles)
+        else:
+            # Corrupted store address (paper Sec. 3.2 "Store addresses"):
+            # 1) the wrongly-written cell is contaminated with its previous
+            #    content as the pristine value;
+            # 2) the cell that *should* have been written now misses the
+            #    pristine value vp.
+            old = cells[addr]
+            cells[addr] = v
+            if not (old == v or (old != old and v != v)):
+                fpm.record(addr, old, m.cycles)
+            if 0 <= addr_p < mem.capacity and mem.valid[addr_p]:
+                cur_p = cells[addr_p]
+                fpm.update(addr_p, cur_p, vp, m.cycles)
+    return step
+
+
+def _compile_br(inst: Br) -> Callable:
+    ti = inst.target.index
+
+    def step(m, f, ti=ti):
+        f.block = ti
+        f.ip = 0
+        return SIG_JUMP
+    return step
+
+
+def _compile_condbr(inst: CondBr) -> Callable:
+    tt = inst.iftrue.index
+    tf = inst.iffalse.index
+    cond = inst.cond
+    if isinstance(cond, Register):
+        ci = cond.index
+
+        def step(m, f, ci=ci, tt=tt, tf=tf):
+            f.block = tt if f.regs[ci] else tf
+            f.ip = 0
+            return SIG_JUMP
+    else:
+        target = tt if cond.value else tf
+
+        def step(m, f, target=target):
+            f.block = target
+            f.ip = 0
+            return SIG_JUMP
+    return step
+
+
+def _compile_ret(inst: Ret) -> Callable:
+    if inst.value is None:
+
+        def step(m, f):
+            m.ret_val = None
+            m.ret_val_p = None
+            return SIG_RET
+        return step
+    get_v = _value_getter(inst.value)
+    if inst.value_p is not None:
+        get_vp = _value_getter(inst.value_p)
+
+        def step(m, f, get_v=get_v, get_vp=get_vp):
+            regs = f.regs
+            m.ret_val = get_v(regs)
+            m.ret_val_p = get_vp(regs)
+            return SIG_RET
+    else:
+
+        def step(m, f, get_v=get_v):
+            v = get_v(f.regs)
+            m.ret_val = v
+            m.ret_val_p = v
+            return SIG_RET
+    return step
+
+
+def _compile_call(inst: Call, program: CompiledProgram) -> Callable:
+    getters = [_value_getter(a) for a in inst.args]
+    d = inst.dest.index if inst.dest is not None else None
+    dp = inst.dest_p.index if inst.dest_p is not None else None
+
+    spec = get_intrinsic(inst.callee)
+    if spec is not None:
+        handler = spec.handler
+
+        def step(m, f, handler=handler, getters=getters, d=d):
+            regs = f.regs
+            args = [g(regs) for g in getters]
+            res = handler(m, args)
+            if res is BLOCK:
+                return SIG_BLOCK
+            if d is not None:
+                regs[d] = res
+            return None
+        return step
+
+    target = program.functions.get(inst.callee)
+    if target is None:
+        raise ReproError(
+            f"call to unknown function {inst.callee!r} "
+            f"(not in module, not an intrinsic)"
+        )
+
+    def step(m, f, target=target, getters=getters, d=d, dp=dp):
+        regs = f.regs
+        m.pending_call = (target, [g(regs) for g in getters], d, dp)
+        return SIG_CALL
+    return step
+
+
+def _with_injection(step: Callable, opinfo, site: int) -> Callable:
+    def wrapped(m, f, step=step, opinfo=opinfo, site=site):
+        c = m.inj_counter + 1
+        m.inj_counter = c
+        if c != m.inj_next:
+            return step(m, f)
+        m.inject_now(f, opinfo, site)
+        r = step(m, f)
+        return SIG_INJECT if r is None else r
+    return wrapped
+
+
+def _compile_instruction(inst, program: CompiledProgram) -> Callable:
+    if isinstance(inst, BinOp):
+        step = _compile_binop(inst)
+    elif isinstance(inst, Cmp):
+        step = _compile_binop_like(
+            inst.dest.index, inst.lhs, inst.rhs, CMP_FUNCS[(inst.kind, inst.pred)]
+        )
+    elif isinstance(inst, Cast):
+        step = _compile_cast(inst)
+    elif isinstance(inst, Copy):
+        step = _compile_copy(inst)
+    elif isinstance(inst, Alloca):
+        step = _compile_alloca(inst)
+    elif isinstance(inst, Load):
+        step = _compile_load(inst)
+    elif isinstance(inst, Store):
+        step = _compile_store(inst)
+    elif isinstance(inst, FpmLoad):
+        step = _compile_fpm_load(inst)
+    elif isinstance(inst, FpmStore):
+        step = _compile_fpm_store(inst)
+    elif isinstance(inst, Call):
+        step = _compile_call(inst, program)
+    elif isinstance(inst, Br):
+        step = _compile_br(inst)
+    elif isinstance(inst, CondBr):
+        step = _compile_condbr(inst)
+    elif isinstance(inst, Ret):
+        step = _compile_ret(inst)
+    else:  # pragma: no cover - future instruction kinds
+        raise ReproError(f"cannot compile instruction {inst.opcode!r}")
+
+    if inst.inject_site is not None:
+        opinfo = _injectable_operands(inst)
+        if opinfo:
+            step = _with_injection(step, opinfo, inst.inject_site)
+    return step
+
+
+def compile_program(module: Module) -> CompiledProgram:
+    """Compile an IR module into executable closure code."""
+    program = CompiledProgram(module)
+    # Two-phase so call closures can capture their target CompiledFunction.
+    for func in module:
+        func.reindex_blocks()
+        program.functions[func.name] = CompiledFunction(func)
+    for func in module:
+        cfunc = program.functions[func.name]
+        cfunc.num_regs = func.num_regs
+        cfunc.blocks = [
+            [_compile_instruction(inst, program) for inst in block]
+            for block in func.blocks
+        ]
+        for block in func.blocks:
+            for inst in block:
+                if inst.inject_site is not None:
+                    program.site_table[inst.inject_site] = (
+                        func.name, block.label, repr(inst)
+                    )
+    return program

@@ -1,0 +1,348 @@
+"""The virtual machine: one instance simulates one MPI process.
+
+A :class:`Machine` executes a :class:`~repro.vm.compiler.CompiledProgram`
+with an explicit call stack (no host recursion), so the scheduler can run
+it in bounded quanta and suspend it mid-call on blocking MPI operations.
+One executed instruction is one cycle of virtual time.
+
+The machine also hosts the two instrumentation runtimes:
+
+* **fault injection** — an occurrence counter over instructions marked by
+  the fault-injection pass; when the counter hits an armed
+  :class:`FaultSpec` occurrence, one bit of one live source register is
+  flipped (the paper's register-level transient-error model);
+* **FPM** — the shadow hash table of contaminated locations, updated by
+  the ``fpm_load``/``fpm_store`` closures and purged when stack frames or
+  heap blocks die.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Sequence, Tuple
+
+from ..fpm.shadow import ShadowTable
+from ..fpm.taint import TaintTable
+from .bitflip import flip_bit
+from .compiler import (
+    SIG_BLOCK,
+    SIG_CALL,
+    SIG_INJECT,
+    SIG_JUMP,
+    SIG_RET,
+    CompiledFunction,
+    CompiledProgram,
+)
+from .memory import ProcessMemory
+from .rng import Lcg64
+from .traps import Trap, TrapKind
+
+
+class MachineStatus(Enum):
+    READY = "ready"
+    BLOCKED = "blocked"
+    DONE = "done"
+    TRAPPED = "trapped"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault to inject, LLFI-style.
+
+    ``occurrence`` is the 1-based dynamic index among executions of marked
+    (injectable) instructions on this rank; ``bit`` and ``operand`` default
+    to "choose uniformly at random at injection time".
+    """
+
+    rank: int
+    occurrence: int
+    bit: Optional[int] = None
+    operand: Optional[int] = None
+
+
+@dataclass
+class InjectionEvent:
+    """Record of a fault that actually fired."""
+
+    occurrence: int
+    reg_index: int
+    operand_index: int
+    bit: int
+    is_float: bool
+    before: object
+    after: object
+    cycle: int = -1  # filled in by the run loop with the exact cycle
+    #: static site id, resolvable via CompiledProgram.site_table
+    site: int = -1
+
+
+class Frame:
+    """One activation record."""
+
+    __slots__ = ("cfunc", "regs", "block", "ip", "saved_sp", "ret_dest", "ret_dest_p")
+
+    def __init__(self, cfunc: CompiledFunction, saved_sp: int,
+                 ret_dest: Optional[int], ret_dest_p: Optional[int]) -> None:
+        self.cfunc = cfunc
+        self.regs: list = [None] * cfunc.num_regs
+        self.block = 0
+        self.ip = 0
+        self.saved_sp = saved_sp
+        self.ret_dest = ret_dest
+        self.ret_dest_p = ret_dest_p
+
+
+class Machine:
+    """One simulated MPI process executing a compiled program."""
+
+    def __init__(
+        self,
+        program: CompiledProgram,
+        rank: int = 0,
+        size: int = 1,
+        runtime=None,
+        *,
+        seed: int = 12345,
+        mem_capacity: int = 1 << 16,
+        stack_words: int = 1 << 13,
+        max_call_depth: int = 200,
+        entry: str = "main",
+    ) -> None:
+        self.program = program
+        self.rank = rank
+        self.size = size
+        self.runtime = runtime
+        self.entry = entry
+        self.memory = ProcessMemory(mem_capacity, stack_words, rank)
+        self.rng = Lcg64(seed, stream=rank)
+        if program.taint_mode:
+            self.fpm: Optional[ShadowTable] = TaintTable()
+        elif program.fpm_mode:
+            self.fpm = ShadowTable()
+        else:
+            self.fpm = None
+
+        self.call_stack: List[Frame] = []
+        self.max_call_depth = max_call_depth
+        self.status = MachineStatus.READY
+        self.cycles = 0
+        self.trap: Optional[Trap] = None
+        self.outputs: list = []
+        self.iteration_count = 0
+
+        # MPI cooperation state (owned by the runtime).
+        self.pending = None
+        self.coll_seq = 0
+
+        # Call/return staging used by the run loop.
+        self.pending_call: Optional[Tuple] = None
+        self.ret_val = None
+        self.ret_val_p = None
+
+        # Fault injection state.
+        self.inj_counter = 0
+        self.inj_next = 0  # 0 never matches: counter starts at 1
+        self._armed: List[FaultSpec] = []
+        self._armed_idx = 0
+        self._inj_rng = Lcg64(seed ^ 0xFA17, stream=rank)
+        self.injection_events: List[InjectionEvent] = []
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def arm_faults(self, specs: Sequence[FaultSpec], seed: Optional[int] = None) -> None:
+        """Arm the fault plan for this rank (specs for other ranks ignored)."""
+        mine = sorted(
+            (s for s in specs if s.rank == self.rank), key=lambda s: s.occurrence
+        )
+        for s in mine:
+            if s.occurrence < 1:
+                raise ValueError(f"fault occurrence must be >= 1, got {s.occurrence}")
+        self._armed = mine
+        self._armed_idx = 0
+        if seed is not None:
+            self._inj_rng = Lcg64(seed ^ 0xFA17, stream=self.rank)
+        self.inj_next = mine[0].occurrence if mine else 0
+
+    def start(self, args: Optional[Sequence] = None) -> None:
+        """Push the entry frame. Default arguments are ``(rank, size)``."""
+        cfunc = self.program.functions.get(self.entry)
+        if cfunc is None:
+            raise Trap(TrapKind.BAD_CALL, f"no entry function {self.entry!r}",
+                       rank=self.rank)
+        if args is None:
+            args = (self.rank, self.size)
+        if cfunc.is_dual:
+            dual_args = []
+            for a in args:
+                # dual-chain shadows start as the pristine value itself;
+                # taint shadows start clean (0 = not derived from a fault)
+                dual_args.extend((a, 0 if self.program.taint_mode else a))
+            args = dual_args
+        if len(args) != len(cfunc.param_indices):
+            raise Trap(TrapKind.BAD_CALL,
+                       f"entry {self.entry!r} expects {len(cfunc.param_indices)} "
+                       f"args, got {len(args)}", rank=self.rank)
+        frame = Frame(cfunc, self.memory.sp, None, None)
+        for pi, av in zip(cfunc.param_indices, args):
+            frame.regs[pi] = av
+        self.call_stack = [frame]
+        self.status = MachineStatus.READY
+
+    # ------------------------------------------------------------------
+    # Fault injection (called from compiled closures)
+    # ------------------------------------------------------------------
+    def inject_now(self, frame: Frame, opinfo, site: int = -1) -> None:
+        """Fire every armed fault whose occurrence equals the counter."""
+        count = self.inj_counter
+        while self._armed_idx < len(self._armed) and \
+                self._armed[self._armed_idx].occurrence == count:
+            spec = self._armed[self._armed_idx]
+            self._armed_idx += 1
+            if spec.operand is not None and 0 <= spec.operand < len(opinfo):
+                op_i = spec.operand
+            else:
+                op_i = self._inj_rng.next_int(len(opinfo))
+            reg_index, is_float, shadow_index = opinfo[op_i]
+            bit = spec.bit if spec.bit is not None else self._inj_rng.next_int(64)
+            before = frame.regs[reg_index]
+            after = flip_bit(before, bit, is_float)
+            frame.regs[reg_index] = after
+            if self.program.taint_mode and shadow_index >= 0:
+                # taint analysis marks the flipped register as derived
+                # from the fault
+                frame.regs[shadow_index] = 1
+            event = InjectionEvent(count, reg_index, op_i, bit, is_float,
+                                   before, after, site=site)
+            # Approximate cycle (stale by at most one scheduler quantum);
+            # the run loop overwrites it with the exact value unless the
+            # injected instruction traps immediately.
+            event.cycle = self.cycles + 1
+            self.injection_events.append(event)
+        self.inj_next = (
+            self._armed[self._armed_idx].occurrence
+            if self._armed_idx < len(self._armed)
+            else 0
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, budget: int) -> MachineStatus:
+        """Execute up to ``budget`` instructions; returns the new status."""
+        if self.status is not MachineStatus.READY:
+            return self.status
+        if not self.call_stack:
+            raise RuntimeError("Machine.run() before start()")
+        mem = self.memory
+        stack = self.call_stack
+        f = stack[-1]
+        blocks = f.cfunc.blocks
+        code = blocks[f.block]
+        ip = f.ip
+        n = 0
+        try:
+            while n < budget:
+                sig = code[ip](self, f)
+                n += 1
+                if sig is None:
+                    ip += 1
+                    continue
+                if sig == SIG_JUMP:
+                    ip = 0
+                    code = blocks[f.block]
+                    continue
+                if sig == SIG_CALL:
+                    f.ip = ip + 1
+                    target, args, dest, dest_p = self.pending_call
+                    self.pending_call = None
+                    if len(stack) >= self.max_call_depth:
+                        raise Trap(TrapKind.STACK_OVERFLOW,
+                                   f"call depth {len(stack)} exceeded")
+                    nf = Frame(target, mem.sp, dest, dest_p)
+                    regs = nf.regs
+                    for pi, av in zip(target.param_indices, args):
+                        regs[pi] = av
+                    stack.append(nf)
+                    f = nf
+                    blocks = target.blocks
+                    code = blocks[0]
+                    ip = 0
+                    continue
+                if sig == SIG_RET:
+                    done = stack.pop()
+                    if not stack:
+                        # Keep the entry frame's memory live so the final
+                        # application state (and its contamination) remains
+                        # inspectable after exit, like a core dump.
+                        self.status = MachineStatus.DONE
+                        break
+                    lo, hi = mem.stack_release(done.saved_sp)
+                    if self.fpm is not None and hi > lo:
+                        self.fpm.purge_range(lo, hi)
+                    f = stack[-1]
+                    if done.ret_dest is not None:
+                        f.regs[done.ret_dest] = self.ret_val
+                    if done.ret_dest_p is not None:
+                        f.regs[done.ret_dest_p] = self.ret_val_p
+                    blocks = f.cfunc.blocks
+                    code = blocks[f.block]
+                    ip = f.ip
+                    continue
+                if sig == SIG_BLOCK:
+                    # Do not count the re-executed call against the clock
+                    # twice; the blocked attempt itself still costs 1 cycle.
+                    f.ip = ip
+                    self.status = MachineStatus.BLOCKED
+                    break
+                if sig == SIG_INJECT:
+                    self.injection_events[-1].cycle = self.cycles + n
+                    ip += 1
+                    continue
+            else:
+                # Budget exhausted mid-run: stay READY for the next quantum.
+                f.ip = ip
+        except Trap as trap:
+            if trap.rank is None:
+                trap.rank = self.rank
+            trap.cycle = self.cycles + n
+            self.trap = trap
+            self.status = MachineStatus.TRAPPED
+        except ZeroDivisionError:
+            self.trap = Trap(TrapKind.DIV_ZERO, "integer division by zero",
+                             rank=self.rank, cycle=self.cycles + n)
+            self.status = MachineStatus.TRAPPED
+        except (OverflowError, ValueError) as exc:
+            self.trap = Trap(TrapKind.ARITH, f"invalid arithmetic: {exc}",
+                             rank=self.rank, cycle=self.cycles + n)
+            self.status = MachineStatus.TRAPPED
+        except TypeError as exc:
+            self.trap = Trap(TrapKind.POISON, f"undefined value used: {exc}",
+                             rank=self.rank, cycle=self.cycles + n)
+            self.status = MachineStatus.TRAPPED
+        self.cycles += n
+        return self.status
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def cml(self) -> int:
+        """Current corrupted-memory-location count (0 without FPM)."""
+        return len(self.fpm) if self.fpm is not None else 0
+
+    @property
+    def ever_contaminated(self) -> bool:
+        return self.fpm is not None and self.fpm.ever_contaminated
+
+    def wake(self) -> None:
+        """Called by the MPI runtime when a blocking operation completed."""
+        if self.status is MachineStatus.BLOCKED:
+            self.status = MachineStatus.READY
+
+    def __repr__(self) -> str:
+        return (
+            f"<Machine rank={self.rank}/{self.size} {self.status.value} "
+            f"cycles={self.cycles} cml={self.cml}>"
+        )

@@ -1,0 +1,154 @@
+"""Word-addressed process memory with stack and heap regions.
+
+One address holds one 64-bit value (Python ``int`` or ``float``) — the
+paper's unit of contamination is one *memory location*, and this memory
+model makes ``len(shadow table)`` exactly the paper's CML count.
+
+Layout::
+
+    0                                  stack_words              capacity
+    | null | <- stack grows up ... --> | <- heap bump alloc --> |
+
+Address 0 is reserved so that a null pointer always faults.  Every access
+is validity-checked; corrupted pointers therefore produce the paper's
+dominant crash cause ("bit flips in pointers that cause the applications
+to access a part of the address space that has not been allocated").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .traps import Trap, TrapKind
+
+
+class ProcessMemory:
+    """Flat, validity-checked, word-addressed memory for one process."""
+
+    __slots__ = (
+        "capacity",
+        "stack_words",
+        "cells",
+        "valid",
+        "sp",
+        "hp",
+        "heap_blocks",
+        "free_lists",
+        "live_words",
+        "rank",
+    )
+
+    def __init__(self, capacity: int = 1 << 16, stack_words: int = 1 << 14,
+                 rank: int = 0) -> None:
+        if stack_words >= capacity:
+            raise ValueError("stack region must be smaller than total capacity")
+        self.capacity = capacity
+        self.stack_words = stack_words
+        self.cells: List = [0] * capacity
+        self.valid = bytearray(capacity)
+        self.sp = 1  # address 0 is the null word
+        self.hp = stack_words
+        #: heap block base -> size, for free() and validity bookkeeping
+        self.heap_blocks: Dict[int, int] = {}
+        #: exact-size free lists for simple reuse
+        self.free_lists: Dict[int, List[int]] = {}
+        self.live_words = 0
+        self.rank = rank
+
+    # ------------------------------------------------------------------
+    # Raw access (hot path: machine closures may bypass via direct fields)
+    # ------------------------------------------------------------------
+    def load(self, addr: int):
+        if 0 <= addr < self.capacity and self.valid[addr]:
+            return self.cells[addr]
+        raise Trap(TrapKind.MEM_FAULT, f"load from invalid address {addr}",
+                   rank=self.rank)
+
+    def store(self, addr: int, value) -> None:
+        if 0 <= addr < self.capacity and self.valid[addr]:
+            self.cells[addr] = value
+            return
+        raise Trap(TrapKind.MEM_FAULT, f"store to invalid address {addr}",
+                   rank=self.rank)
+
+    def check_range(self, addr: int, count: int) -> None:
+        """Trap unless ``[addr, addr+count)`` is fully valid."""
+        if count < 0:
+            raise Trap(TrapKind.MEM_FAULT, f"negative range length {count}",
+                       rank=self.rank)
+        if addr < 0 or addr + count > self.capacity:
+            raise Trap(TrapKind.MEM_FAULT,
+                       f"range [{addr}, {addr + count}) out of bounds",
+                       rank=self.rank)
+        valid = self.valid
+        for a in range(addr, addr + count):
+            if not valid[a]:
+                raise Trap(TrapKind.MEM_FAULT,
+                           f"access to unallocated address {a}", rank=self.rank)
+
+    def read_block(self, addr: int, count: int) -> List:
+        self.check_range(addr, count)
+        return self.cells[addr:addr + count]
+
+    def write_block(self, addr: int, values: List) -> None:
+        self.check_range(addr, len(values))
+        self.cells[addr:addr + len(values)] = values
+
+    # ------------------------------------------------------------------
+    # Stack
+    # ------------------------------------------------------------------
+    def stack_alloc(self, count: int) -> int:
+        addr = self.sp
+        new_sp = addr + count
+        if new_sp > self.stack_words:
+            raise Trap(TrapKind.STACK_OVERFLOW,
+                       f"stack needs {new_sp} words, limit {self.stack_words}",
+                       rank=self.rank)
+        self.cells[addr:new_sp] = [0] * count
+        self.valid[addr:new_sp] = b"\x01" * count
+        self.sp = new_sp
+        self.live_words += count
+        return addr
+
+    def stack_release(self, to_sp: int) -> Tuple[int, int]:
+        """Pop the stack back to ``to_sp``; returns the freed range."""
+        lo, hi = to_sp, self.sp
+        if lo < hi:
+            self.valid[lo:hi] = b"\x00" * (hi - lo)
+            self.live_words -= hi - lo
+            self.sp = lo
+        return lo, hi
+
+    # ------------------------------------------------------------------
+    # Heap
+    # ------------------------------------------------------------------
+    def malloc(self, count: int) -> int:
+        if count <= 0:
+            raise Trap(TrapKind.ARITH, f"malloc of non-positive size {count}",
+                       rank=self.rank)
+        bucket = self.free_lists.get(count)
+        if bucket:
+            addr = bucket.pop()
+        else:
+            addr = self.hp
+            if addr + count > self.capacity:
+                raise Trap(TrapKind.OOM,
+                           f"heap needs {addr + count} words, capacity "
+                           f"{self.capacity}", rank=self.rank)
+            self.hp = addr + count
+        self.cells[addr:addr + count] = [0] * count
+        self.valid[addr:addr + count] = b"\x01" * count
+        self.heap_blocks[addr] = count
+        self.live_words += count
+        return addr
+
+    def free(self, addr: int) -> Tuple[int, int]:
+        """Free a heap block; returns the freed range for shadow purging."""
+        count = self.heap_blocks.pop(addr, None)
+        if count is None:
+            raise Trap(TrapKind.MEM_FAULT, f"free of invalid pointer {addr}",
+                       rank=self.rank)
+        self.valid[addr:addr + count] = b"\x00" * count
+        self.live_words -= count
+        self.free_lists.setdefault(count, []).append(addr)
+        return addr, addr + count

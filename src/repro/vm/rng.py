@@ -1,0 +1,45 @@
+"""Deterministic in-program random numbers.
+
+Simulated applications (notably the Monte Carlo transport analog of MCB)
+need randomness that is bit-reproducible across golden and faulty runs, so
+outcome classification can compare outputs meaningfully.  Each simulated
+process owns one :class:`Lcg64` seeded from ``(program seed, rank)``.
+
+This is Knuth's MMIX LCG; quality is irrelevant here — determinism and
+speed are what matter.
+"""
+
+from __future__ import annotations
+
+_MULT = 6364136223846793005
+_INC = 1442695040888963407
+_MASK = (1 << 64) - 1
+#: 2^-53, to map 53 random bits onto [0, 1).
+_INV53 = 1.0 / (1 << 53)
+
+
+class Lcg64:
+    """64-bit linear congruential generator with a splittable seed."""
+
+    __slots__ = ("state",)
+
+    def __init__(self, seed: int, stream: int = 0) -> None:
+        # Mix the stream id in so per-rank generators are decorrelated.
+        self.state = (seed * 0x9E3779B97F4A7C15 + stream * 0xBF58476D1CE4E5B9 + 1) & _MASK
+        # Warm up to diffuse small seeds.
+        for _ in range(3):
+            self.next_u64()
+
+    def next_u64(self) -> int:
+        self.state = (self.state * _MULT + _INC) & _MASK
+        return self.state
+
+    def next_float(self) -> float:
+        """Uniform float in [0, 1)."""
+        return (self.next_u64() >> 11) * _INV53
+
+    def next_int(self, bound: int) -> int:
+        """Uniform int in [0, bound); bound must be positive."""
+        if bound <= 0:
+            raise ValueError(f"bound must be positive, got {bound}")
+        return self.next_u64() % bound

@@ -1,0 +1,63 @@
+"""Trap model: how simulated programs crash.
+
+A :class:`Trap` is the VM-level analogue of a signal/abort on the paper's
+cluster.  Traps terminate the MPI process that raised them and classify
+the whole run as *Crashed* (paper Sec. 2): segmentation faults from
+corrupted pointers, division by zero, ``MPI_Abort`` from application-level
+residual checks, deadlocks and hangs.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional
+
+
+class TrapKind(Enum):
+    """Why a simulated process died."""
+
+    #: Load/store/free of an invalid or unallocated address.
+    MEM_FAULT = "mem_fault"
+    #: Stack allocation exceeded the stack region.
+    STACK_OVERFLOW = "stack_overflow"
+    #: Heap exhausted.
+    OOM = "oom"
+    #: Integer division or remainder by zero.
+    DIV_ZERO = "div_zero"
+    #: Invalid arithmetic (e.g. float->int of inf/NaN, oversized shift).
+    ARITH = "arith"
+    #: Operation on an undefined (poison) register value.
+    POISON = "poison"
+    #: Application called mpi_abort() — e.g. a residual check failed.
+    ABORT = "abort"
+    #: MPI semantics violated (count mismatch, truncation, bad rank...).
+    MPI = "mpi"
+    #: All ranks blocked with no possible progress.
+    DEADLOCK = "deadlock"
+    #: Execution exceeded the cycle budget (treated as a hang).
+    HANG = "hang"
+    #: Call of an unknown function (corrupted control data).
+    BAD_CALL = "bad_call"
+
+
+class Trap(Exception):
+    """Raised inside the VM to kill the current simulated process."""
+
+    def __init__(
+        self,
+        kind: TrapKind,
+        detail: str = "",
+        rank: Optional[int] = None,
+        cycle: Optional[int] = None,
+        code: int = 0,
+    ) -> None:
+        self.kind = kind
+        self.detail = detail
+        self.rank = rank
+        self.cycle = cycle
+        #: abort code for TrapKind.ABORT
+        self.code = code
+        msg = f"{kind.value}: {detail}" if detail else kind.value
+        if rank is not None:
+            msg = f"rank {rank}: {msg}"
+        super().__init__(msg)

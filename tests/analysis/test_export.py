@@ -1,0 +1,77 @@
+"""Campaign persistence: JSON round-trip and CSV export."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    campaign_from_json,
+    campaign_to_json,
+    load_campaign,
+    save_campaign,
+    trials_to_csv,
+)
+from repro.inject import run_campaign
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return run_campaign("matvec", trials=20, mode="fpm", seed=21,
+                        keep_series=True)
+
+
+class TestJsonRoundTrip:
+    def test_summary_fields_survive(self, campaign):
+        loaded = campaign_from_json(campaign_to_json(campaign))
+        assert loaded.app_name == campaign.app_name
+        assert loaded.mode == campaign.mode
+        assert loaded.n_trials == campaign.n_trials
+        assert loaded.inj_counts == campaign.inj_counts
+        assert loaded.fractions() == campaign.fractions()
+
+    def test_trials_survive(self, campaign):
+        loaded = campaign_from_json(campaign_to_json(campaign))
+        for a, b in zip(campaign.trials, loaded.trials):
+            assert a.outcome == b.outcome
+            assert a.faults == b.faults
+            assert a.injected_sites == b.injected_sites
+            assert a.peak_cml == b.peak_cml
+
+    def test_series_survive(self, campaign):
+        loaded = campaign_from_json(campaign_to_json(campaign))
+        pairs = [
+            (a, b) for a, b in zip(campaign.trials, loaded.trials)
+            if a.times is not None
+        ]
+        assert pairs
+        for a, b in pairs:
+            assert np.array_equal(a.times, b.times)
+            assert np.array_equal(a.cml, b.cml)
+
+    def test_file_round_trip(self, campaign, tmp_path):
+        path = save_campaign(campaign, tmp_path / "c.json")
+        loaded = load_campaign(path)
+        assert loaded.n_trials == campaign.n_trials
+
+    def test_version_checked(self, campaign):
+        import json
+        d = json.loads(campaign_to_json(campaign))
+        d["format"] = 99
+        with pytest.raises(ValueError, match="unsupported"):
+            campaign_from_json(json.dumps(d))
+
+
+class TestCsv:
+    def test_one_row_per_trial(self, campaign, tmp_path):
+        text = trials_to_csv(campaign, tmp_path / "t.csv")
+        lines = text.strip().splitlines()
+        assert len(lines) == campaign.n_trials + 1
+        assert lines[0].startswith("trial,outcome")
+        assert (tmp_path / "t.csv").exists()
+
+    def test_columns_parse(self, campaign):
+        import csv as csvmod
+        import io
+        rows = list(csvmod.DictReader(io.StringIO(trials_to_csv(campaign))))
+        for row in rows:
+            assert row["outcome"] in ("V", "ONA", "WO", "PEX", "C")
+            int(row["cycles"])

@@ -1,0 +1,72 @@
+"""Per-site vulnerability ranking."""
+
+import pytest
+
+from repro.analysis import (
+    SiteStats,
+    collect_site_stats,
+    render_site_ranking,
+    site_vulnerability,
+)
+from repro.inject import run_campaign
+from repro.inject.campaign import _prepared
+
+
+@pytest.fixture(scope="module")
+def campaign_and_table():
+    c = run_campaign("matvec", trials=60, mode="fpm", seed=13)
+    pa = _prepared("matvec", (), "fpm")
+    return c, pa.program.site_table
+
+
+class TestCollect:
+    def test_sites_attributed(self, campaign_and_table):
+        c, table = campaign_and_table
+        stats = collect_site_stats(c, table)
+        assert stats
+        assert sum(s.n for s in stats.values()) == sum(
+            1 for t in c.trials for _ in t.injected_sites
+        )
+        for s in stats.values():
+            assert s.site in table
+            assert s.function == "main"
+
+    def test_fraction_properties(self):
+        s = SiteStats(0, "f", "b", "op")
+        s.n = 4
+        s.outcomes = {"WO": 1, "ONA": 1, "C": 1, "V": 1}
+        assert s.sdc_fraction == pytest.approx(0.5)
+        assert s.crash_fraction == pytest.approx(0.25)
+        assert s.masked_fraction == pytest.approx(0.25)
+
+    def test_empty_site(self):
+        s = SiteStats(0, "f", "b", "op")
+        assert s.sdc_fraction == 0.0
+        assert s.mean_peak_cml == 0.0
+
+
+class TestRanking:
+    def test_ranking_sorted(self, campaign_and_table):
+        c, table = campaign_and_table
+        ranking = site_vulnerability(c, table, min_samples=1, by="sdc")
+        vals = [s.sdc_fraction for s in ranking]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_min_samples_filter(self, campaign_and_table):
+        c, table = campaign_and_table
+        loose = site_vulnerability(c, table, min_samples=1)
+        tight = site_vulnerability(c, table, min_samples=5)
+        assert len(tight) <= len(loose)
+
+    def test_ranking_keys(self, campaign_and_table):
+        c, table = campaign_and_table
+        for by in ("sdc", "crash", "cml"):
+            site_vulnerability(c, table, min_samples=1, by=by)
+        with pytest.raises(ValueError):
+            site_vulnerability(c, table, by="fame")
+
+    def test_render(self, campaign_and_table):
+        c, table = campaign_and_table
+        ranking = site_vulnerability(c, table, min_samples=1)
+        text = render_site_ranking(ranking, top=5)
+        assert "SDC" in text and "main" in text

@@ -1,0 +1,127 @@
+"""Golden-run invariants for every registered application.
+
+Every app must: compile in both modes, complete deterministically, emit
+identical outputs in black-box and FPM builds, keep an empty shadow table
+on fault-free runs, and have identical dynamic injection-site counts in
+both builds (so fault plans transfer between modes).
+"""
+
+import math
+
+import pytest
+
+from repro.apps import PAPER_APPS, app_names, get_app
+from repro.core.runner import build_program, run_job
+from repro.inject.profiler import PreparedApp
+from repro.mpi import JobStatus
+
+ALL_APPS = app_names()
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    cache = {}
+
+    def get(name, mode):
+        key = (name, mode)
+        if key not in cache:
+            cache[key] = PreparedApp(get_app(name), mode)
+        return cache[key]
+
+    return get
+
+
+@pytest.mark.parametrize("name", ALL_APPS)
+class TestGoldenInvariants:
+    def test_blackbox_completes(self, prepared, name):
+        pa = prepared(name, "blackbox")
+        assert pa.golden.cycles > 0
+        assert pa.golden.iterations > 0
+
+    def test_fpm_matches_blackbox(self, prepared, name):
+        bb = prepared(name, "blackbox").golden
+        fpm = prepared(name, "fpm").golden
+        assert fpm.outputs == bb.outputs
+        assert fpm.iterations == bb.iterations
+        assert fpm.inj_counts == bb.inj_counts
+
+    def test_outputs_finite(self, prepared, name):
+        for rank_out in prepared(name, "blackbox").golden.outputs:
+            assert rank_out, "each rank must emit something"
+            for v in rank_out:
+                assert math.isfinite(float(v)), f"non-finite output in {name}"
+
+    def test_deterministic(self, prepared, name):
+        pa = prepared(name, "blackbox")
+        res = run_job(pa.program, pa.config)
+        assert res.status is JobStatus.COMPLETED
+        assert res.outputs == pa.golden.outputs
+        assert res.cycles == pa.golden.cycles
+
+    def test_injectable_sites_exist_on_every_rank(self, prepared, name):
+        pa = prepared(name, "blackbox")
+        # the Fig. 1 demo is intentionally tiny; the campaign apps need a
+        # large dynamic site space for uniform statistical injection
+        floor = 1000 if name in PAPER_APPS else 100
+        assert all(c > floor for c in pa.golden.inj_counts), (
+            "too few injectable dynamic instructions for meaningful "
+            "statistical injection"
+        )
+
+
+@pytest.mark.parametrize("name", PAPER_APPS)
+def test_paper_apps_are_multirank(name):
+    spec = get_app(name)
+    assert spec.config.nranks >= 4
+
+
+@pytest.mark.parametrize("name", PAPER_APPS)
+def test_paper_apps_iterate(name):
+    pa = PreparedApp(get_app(name), "blackbox")
+    assert pa.golden.iterations >= 20, (
+        "paper apps are iterative; propagation profiles need time steps"
+    )
+
+
+class TestAppSpecifics:
+    def test_minife_converges_to_analytic_solution(self):
+        pa = PreparedApp(get_app("minife"), "blackbox")
+        err = pa.golden.outputs[0][0]
+        assert err < 1e-6  # nodally exact for the f=2 load
+
+    def test_amg_converges(self):
+        pa = PreparedApp(get_app("amg"), "blackbox")
+        err = pa.golden.outputs[0][0]
+        assert err < 1e-2  # discretisation-level error vs analytic
+
+    def test_amg_uses_fewer_cycles_than_cap(self):
+        spec = get_app("amg")
+        pa = PreparedApp(spec, "blackbox")
+        assert pa.golden.iterations < spec.params["max_cycles"]
+
+    def test_lulesh_conserves_energy(self):
+        pa = PreparedApp(get_app("lulesh"), "blackbox")
+        etot = pa.golden.outputs[0][0]
+        e0 = 2.5 * 0.5 + 0.25 * 0.5  # half hot, half cold, unit mass total
+        assert abs(etot - e0) / e0 < 0.15
+
+    def test_lammps_finite_energies(self):
+        pa = PreparedApp(get_app("lammps"), "blackbox")
+        kin, pot = pa.golden.outputs[0][0], pa.golden.outputs[0][1]
+        assert math.isfinite(kin) and kin > 0
+        assert math.isfinite(pot)
+
+    def test_mcb_deposits_weight(self):
+        pa = PreparedApp(get_app("mcb"), "blackbox")
+        for rank_out in pa.golden.outputs:
+            tallies = rank_out[1:]
+            assert sum(tallies) > 0
+
+    def test_custom_params_produce_different_runs(self):
+        small = PreparedApp(get_app("lulesh", n=8, steps=10), "blackbox")
+        default = PreparedApp(get_app("lulesh"), "blackbox")
+        assert small.golden.cycles < default.golden.cycles
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(KeyError, match="unknown app"):
+            get_app("hpl")

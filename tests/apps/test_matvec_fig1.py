@@ -1,0 +1,142 @@
+"""Exact reproduction of paper Fig. 1: fault propagation in matvec.
+
+The paper walks a single bit flip (A[3][3]: 6 -> 2, bit 2) through three
+iterations of b = A x and reports precise contamination percentages:
+
+* after 2 iterations: 25 % of the 24-word state (6 locations),
+* after 3 iterations: 37.5 % (9 locations), 100 % of the output vector b
+  and 100 % of the read/write state (x and b).
+
+These tests reproduce the numbers exactly — the strongest end-to-end
+check of the dual-chain semantics.
+"""
+
+import pytest
+
+from repro.apps.matvec import MATRIX, X0, matvec_source
+from repro.core.config import RunConfig
+from repro.core.runner import build_program
+from repro.vm import FaultSpec, Machine, MachineStatus
+
+import numpy as np
+
+
+def fault_free_iterates(iters):
+    A = np.array(MATRIX, dtype=np.int64).reshape(4, 4)
+    x = np.array(X0, dtype=np.int64)
+    outs = []
+    for _ in range(iters):
+        x = A @ x
+        outs.append(list(x))
+    return outs
+
+
+def faulty_iterates(iters):
+    A = np.array(MATRIX, dtype=np.int64).reshape(4, 4)
+    A[3, 3] = 2
+    x = np.array(X0, dtype=np.int64)
+    outs = []
+    for _ in range(iters):
+        x = A @ x
+        outs.append(list(x))
+    return outs
+
+
+def build(iters=3):
+    config = RunConfig(nranks=1, quantum=16, inject_kinds=("arith", "mem"))
+    return build_program(matvec_source(iters), "fpm", config=config), config
+
+
+def find_a33_fault(program):
+    """Occurrence whose injection flips the register holding 6 into 2."""
+    m = Machine(program, 0, 1)
+    m.start()
+    while m.run(10 ** 6) is MachineStatus.READY:
+        pass
+    total = m.inj_counter
+    for occ in range(1, total + 1):
+        mm = Machine(program, 0, 1)
+        # operand 0 of fpm_store = the stored value register
+        mm.arm_faults([FaultSpec(0, occ, bit=2, operand=0)])
+        mm.start()
+        while mm.run(10 ** 6) is MachineStatus.READY:
+            pass
+        if mm.injection_events:
+            ev = mm.injection_events[0]
+            if ev.before == 6 and ev.after == 2 and \
+                    "fpm_store" in program.site_table[ev.site][2]:
+                return occ, mm
+    raise AssertionError("A[3][3] store not found")
+
+
+@pytest.fixture(scope="module")
+def fig1_run():
+    program, _ = build(3)
+    occ, machine = find_a33_fault(program)
+    return program, occ, machine
+
+
+class TestFaultFreeBaseline:
+    def test_paper_iteration_values(self):
+        # Fig. 1a: the fault-free iterates
+        assert fault_free_iterates(3) == [
+            [23, 17, 25, 25],
+            [232, 226, 264, 240],   # note: paper prints these in Fig 1a
+            [2436, 2412, 2880, 2426],
+        ]
+
+    def test_simulated_matches_numpy(self):
+        program, config = build(3)
+        m = Machine(program, 0, 1)
+        m.start()
+        while m.run(10 ** 6) is MachineStatus.READY:
+            pass
+        assert m.outputs == fault_free_iterates(3)[-1]
+
+
+class TestFig1Propagation:
+    def test_faulty_outputs_match_paper(self):
+        # Fig. 1b: with A[3][3] = 2 the third iterate is
+        # [1760, 1964, 2256, 1086]
+        assert faulty_iterates(3)[-1] == [1760, 1964, 2256, 1086]
+
+    def test_injected_run_reproduces_faulty_math(self, fig1_run):
+        program, occ, machine = fig1_run
+        assert machine.status is MachineStatus.DONE
+        assert machine.outputs == [1760, 1964, 2256, 1086]
+
+    def test_contamination_counts_per_iteration(self, fig1_run):
+        """25 % after two iterations, 37.5 % after three (of 24 words)."""
+        program, occ, _ = fig1_run
+        m = Machine(program, 0, 1)
+        m.arm_faults([FaultSpec(0, occ, bit=2, operand=0)])
+        m.start()
+        cml_at_iter = {}
+        last_iter = -1
+        while m.run(16) is MachineStatus.READY:
+            if m.iteration_count != last_iter:
+                last_iter = m.iteration_count
+                cml_at_iter[last_iter] = m.cml
+        cml_at_iter[m.iteration_count] = m.cml
+
+        state_words = 24  # A (16) + x (4) + b (4)
+        # After iteration 2: A33 + x[3] + all four b -> 6 words = 25 %
+        assert cml_at_iter[2] == 6
+        assert cml_at_iter[2] / state_words == 0.25
+        # After iteration 3: A33 + all four x + all four b -> 9 = 37.5 %
+        assert cml_at_iter[3] == 9
+        assert cml_at_iter[3] / state_words == 0.375
+
+    def test_output_state_fully_corrupted(self, fig1_run):
+        """Fig. 1: 100 % of the output state b after three iterations."""
+        program, occ, machine = fig1_run
+        golden = fault_free_iterates(3)[-1]
+        assert all(g != f for g, f in zip(golden, machine.outputs))
+
+    def test_pristine_values_are_fault_free_iterates(self, fig1_run):
+        program, occ, machine = fig1_run
+        pristines = sorted(machine.fpm.table.values())
+        golden_b = fault_free_iterates(3)[-1]
+        for v in golden_b:
+            assert v in pristines
+        assert 6 in pristines  # A[3][3]'s pristine value

@@ -1,0 +1,52 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_apps_lists_suite(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        for app in ("lulesh", "lammps", "minife", "amg", "mcb", "matvec"):
+            assert app in out
+
+    def test_golden(self, capsys):
+        assert main(["golden", "matvec"]) == 0
+        out = capsys.readouterr().out
+        assert "2436" in out
+        assert "iterations: 3" in out
+
+    def test_campaign_blackbox(self, capsys):
+        assert main(["campaign", "matvec", "--trials", "10",
+                     "--mode", "blackbox", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "CO" in out and "matvec" in out
+
+    def test_campaign_fpm(self, capsys):
+        assert main(["campaign", "matvec", "--trials", "10",
+                     "--mode", "fpm", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "ONA" in out
+
+    def test_fps(self, capsys):
+        assert main(["fps", "matvec", "--trials", "20", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "FPS" in out and "CML" in out
+
+    def test_compile_dumps_ir(self, capsys):
+        assert main(["compile", "matvec", "--mode", "fpm"]) == 0
+        out = capsys.readouterr().out
+        assert "fpm_store" in out
+        assert "!site" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_multi_fault_flag(self, capsys):
+        assert main(["campaign", "matvec", "--trials", "5",
+                     "--faults", "2", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "2 fault(s)/run" in out

@@ -1,0 +1,88 @@
+"""FaultPropagationFramework: the public API end to end."""
+
+import pytest
+
+from repro import FaultPropagationFramework, RunConfig
+from repro.analysis import Outcome
+from repro.errors import CampaignError
+from repro.models import CMLEstimator
+
+
+@pytest.fixture(scope="module")
+def matvec_fw():
+    return FaultPropagationFramework.for_app("matvec", iters=4)
+
+
+@pytest.fixture(scope="module")
+def matvec_fpm(matvec_fw):
+    return matvec_fw.fpm_campaign(trials=40, seed=8)
+
+
+class TestConstruction:
+    def test_unknown_app(self):
+        with pytest.raises(CampaignError):
+            FaultPropagationFramework("nonexistent")
+
+    def test_for_source_registers_custom_app(self):
+        fw = FaultPropagationFramework.for_source(
+            """
+func main(rank: int, size: int) {
+    var a: float[8];
+    for (var t: int = 0; t < 6; t += 1) {
+        for (var i: int = 0; i < 8; i += 1) {
+            a[i] = a[i] * 0.5 + float(i);
+        }
+        mark_iteration();
+    }
+    emit(a[7]);
+}
+""",
+            name="custom_decay",
+            config=RunConfig(nranks=1),
+        )
+        c = fw.fpm_campaign(trials=10, seed=1)
+        assert c.n_trials == 10
+
+    def test_spec_and_golden_accessors(self, matvec_fw):
+        assert matvec_fw.spec.name == "matvec"
+        assert matvec_fw.golden_outputs()[0]
+
+    def test_params_flow_through(self, matvec_fw):
+        assert matvec_fw.prepared("blackbox").golden.iterations == 4
+
+
+class TestCampaignsAndAnalyses:
+    def test_blackbox_campaign(self, matvec_fw):
+        c = matvec_fw.blackbox_campaign(trials=20, seed=8)
+        assert c.mode == "blackbox"
+        assert c.n_trials == 20
+
+    def test_fpm_campaign_keeps_series(self, matvec_fpm):
+        assert matvec_fpm.mode == "fpm"
+        assert any(t.times is not None for t in matvec_fpm.trials)
+
+    def test_coverage_report(self, matvec_fw, matvec_fpm):
+        rep = matvec_fw.coverage(matvec_fpm)
+        assert rep.n_samples > 0
+        assert 0.0 <= rep.p_value <= 1.0
+
+    def test_fps_factor(self, matvec_fw, matvec_fpm):
+        fps = matvec_fw.fps_factor(matvec_fpm)
+        assert fps.fps > 0
+        assert fps.n_trials > 0
+
+    def test_fps_rejects_blackbox(self, matvec_fw):
+        bb = matvec_fw.blackbox_campaign(trials=5, seed=8)
+        with pytest.raises(CampaignError):
+            matvec_fw.fps_factor(bb)
+
+    def test_estimator(self, matvec_fw, matvec_fpm):
+        est = matvec_fw.estimator(matvec_fpm)
+        assert isinstance(est, CMLEstimator)
+        w = est.estimate_window(0, 1000)
+        assert w.max_cml > 0
+        assert w.avg_cml == pytest.approx(w.max_cml / 2)
+
+    def test_co_breakdown(self, matvec_fw, matvec_fpm):
+        bd = matvec_fw.co_breakdown(matvec_fpm)
+        assert bd.n_co == bd.n_vanished + bd.n_ona

@@ -1,0 +1,244 @@
+"""FPM runtime semantics on the VM: the paper's Sec. 3.2 behaviours.
+
+Covers Table 1 (operation-dependent propagation), the store-address dual
+contamination effect, healing, and cross-rank propagation via the Fig. 4
+message protocol.
+"""
+
+import pytest
+
+from repro.core.config import RunConfig
+from repro.core.runner import build_program, run_job
+from repro.mpi import JobStatus
+from repro.vm import FaultSpec, Machine, MachineStatus
+
+
+def fpm_run(src, faults=(), nranks=1, inject_kinds=("arith", "mem"),
+            seed=12345):
+    config = RunConfig(nranks=nranks, inject_kinds=inject_kinds)
+    program = build_program(src, "fpm", config=config)
+    res = run_job(program, config, faults=faults)
+    return res, program
+
+
+class TestTable1Semantics:
+    """Paper Table 1: whether a corrupted input contaminates the output
+    depends on the operation — the dual chain must not over-approximate."""
+
+    def test_masked_by_shift(self):
+        # b = a >> 2 with a = 19 vs corrupted a' = 17: both yield 4 —
+        # the paper's row 4: no contamination.
+        src = """
+func main(rank: int, size: int) {
+    var out: int[1];
+    var a: int = 19;
+    out[0] = a >> 2;
+    emiti(out[0]);
+}
+"""
+        # find the occurrence of the ashr and flip bit 1 of a (19 -> 17)
+        res, prog = fpm_run(src, faults=[FaultSpec(0, _find_occurrence(
+            src, "ashr"), bit=1, operand=0)])
+        assert res.status is JobStatus.COMPLETED
+        assert res.outputs[0] == [4]
+        assert not res.any_contaminated  # masked: output identical
+
+    def test_propagates_through_shift_when_bits_differ(self):
+        # b = a >> 1: 19 -> 9 but 17 -> 8: contaminates (paper row 3).
+        src = """
+func main(rank: int, size: int) {
+    var out: int[1];
+    var a: int = 19;
+    out[0] = a >> 1;
+    emiti(out[0]);
+}
+"""
+        res, prog = fpm_run(src, faults=[FaultSpec(0, _find_occurrence(
+            src, "ashr"), bit=1, operand=0)])
+        assert res.status is JobStatus.COMPLETED
+        assert res.outputs[0] == [8]
+        assert res.any_contaminated
+
+    def test_propagates_through_add(self):
+        # b = a + 5: 19 -> 24 vs 17 -> 22 (paper row 1).
+        src = """
+func main(rank: int, size: int) {
+    var out: int[1];
+    var a: int = 19;
+    out[0] = a + 5;
+    emiti(out[0]);
+}
+"""
+        res, prog = fpm_run(src, faults=[FaultSpec(0, _find_occurrence(
+            src, "add"), bit=1, operand=0)])
+        assert res.outputs[0] == [22]
+        assert res.any_contaminated
+
+    def test_constant_store_never_contaminates(self):
+        # b = 13 (paper row 2): no input dependence, nothing to corrupt.
+        src = """
+func main(rank: int, size: int) {
+    var out: int[1];
+    out[0] = 13;
+    emiti(out[0]);
+}
+"""
+        res, _ = fpm_run(src)
+        assert not res.any_contaminated
+
+
+def _find_occurrence(src, opname):
+    """Dynamic occurrence index of the first marked instruction whose
+    textual form contains ``opname`` (single-rank programs only)."""
+    config = RunConfig(nranks=1, inject_kinds=("arith", "mem"))
+    program = build_program(src, "fpm", config=config)
+    # map static site -> op text
+    sites = {
+        sid: text for sid, (_, _, text) in program.site_table.items()
+    }
+    # replay, counting dynamic occurrences until the op appears
+    m = Machine(program, 0, 1)
+    m.start()
+    # brute force: try each occurrence, run with no bit flip is impossible;
+    # instead walk occurrences and inspect which site fires via events.
+    total = _count_occurrences(program)
+    for occ in range(1, total + 1):
+        mm = Machine(program, 0, 1)
+        mm.arm_faults([FaultSpec(0, occ, bit=0, operand=0)])
+        mm.start()
+        while mm.run(10 ** 6) is MachineStatus.READY:
+            pass
+        if mm.injection_events:
+            site = mm.injection_events[0].site
+            if opname in sites.get(site, ""):
+                return occ
+    raise AssertionError(f"no dynamic occurrence of {opname!r}")
+
+
+def _count_occurrences(program):
+    m = Machine(program, 0, 1)
+    m.start()
+    while m.run(10 ** 6) is MachineStatus.READY:
+        pass
+    return m.inj_counter
+
+
+class TestStoreAddressCorruption:
+    def test_dual_contamination_effect(self):
+        """Paper Sec 3.2 'Store addresses': a corrupted store address
+        contaminates both the wrongly-written and the unwritten cell."""
+        src = """
+func main(rank: int, size: int) {
+    var a: float[16];
+    for (var i: int = 0; i < 16; i += 1) { a[i] = 100.0 + float(i); }
+    var j: int = 2 + rank;            // register-held index
+    a[j * 2] = 55.0;                   // store through computed address
+    emit(a[4]);
+}
+"""
+        config = RunConfig(nranks=1, inject_kinds=("mem",))
+        program = build_program(src, "fpm", config=config)
+        total = _count_occurrences(program)
+        found = False
+        for occ in range(1, total + 1):
+            m = Machine(program, 0, 1)
+            # operand 1 = the address register of fpm_store; bit 0 shifts
+            # the target cell by one word.
+            m.arm_faults([FaultSpec(0, occ, bit=0, operand=1)])
+            m.start()
+            while m.run(10 ** 6) is MachineStatus.READY:
+                pass
+            if m.status is not MachineStatus.DONE or not m.injection_events:
+                continue
+            ev = m.injection_events[0]
+            site_text = program.site_table[ev.site][2]
+            if "fpm_store" not in site_text or ev.before == ev.after:
+                continue
+            if len(m.fpm) == 2:
+                # Dual effect: the two contaminated cells are the wrongly
+                # written address and the intended one (they differ by the
+                # flipped bit 0 -> adjacent words).
+                addrs = sorted(m.fpm.table)
+                assert addrs[1] - addrs[0] == 1
+                if 55.0 in m.fpm.table.values():
+                    # the a[j*2] = 55.0 store itself was hit: the unwritten
+                    # cell's pristine value is the value it should hold.
+                    found = True
+                    break
+        assert found, "no store-address corruption case exercised"
+
+
+class TestHealing:
+    def test_overwrite_with_clean_value_heals(self):
+        src = """
+func main(rank: int, size: int) {
+    var a: float[4];
+    var b: float[4];
+    for (var i: int = 0; i < 4; i += 1) { a[i] = float(i) * 2.0; }
+    for (var i: int = 0; i < 4; i += 1) { b[i] = a[i] * 3.0; }
+    // recompute b from scratch with fresh clean values: contamination in
+    // b from a fault in the first pass must heal.
+    for (var i: int = 0; i < 4; i += 1) { b[i] = float(i) * 6.0; }
+    emit(b[3]);
+}
+"""
+        config = RunConfig(nranks=1)
+        program = build_program(src, "fpm", config=config)
+        total = _count_occurrences(program)
+        healed = 0
+        for occ in range(1, total, 2):
+            m = Machine(program, 0, 1)
+            m.arm_faults([FaultSpec(0, occ, bit=40)])
+            m.start()
+            while m.run(10 ** 6) is MachineStatus.READY:
+                pass
+            if m.status is MachineStatus.DONE and m.fpm.ever_contaminated:
+                # any contamination confined to b must have healed; a's may
+                # persist — check that at least some runs end clean again.
+                if len(m.fpm) == 0:
+                    healed += 1
+        assert healed > 0
+
+
+class TestCrossRankPropagation:
+    SRC = """
+func main(rank: int, size: int) {
+    var v: float[4];
+    for (var i: int = 0; i < 4; i += 1) { v[i] = float(rank) + float(i) * 0.5; }
+    // rank 0 computes, sends to 1; 1 forwards to 2; ...
+    if (rank == 0) {
+        for (var i: int = 0; i < 4; i += 1) { v[i] = v[i] * 1.5 + 1.0; }
+        mpi_send(&v[0], 4, 1, 0);
+    } else {
+        mpi_recv(&v[0], 4, rank - 1, 0);
+        if (rank < size - 1) {
+            mpi_send(&v[0], 4, rank + 1, 0);
+        }
+    }
+    emit(v[0] + v[3]);
+}
+"""
+
+    def test_contamination_travels_with_messages(self):
+        config = RunConfig(nranks=4)
+        program = build_program(self.SRC, "fpm", config=config)
+        # golden occurrence count on rank 0
+        golden = run_job(program, config)
+        assert golden.status is JobStatus.COMPLETED
+        spread = 0
+        for occ in range(1, golden.inj_counts[0] + 1, 2):
+            res = run_job(program, config,
+                          faults=[FaultSpec(0, occ, bit=48)])
+            if res.status is JobStatus.COMPLETED and all(res.ever_contaminated):
+                spread += 1
+                tr = res.trace
+                assert tr.first_contamination[0] is not None
+                # downstream ranks get contaminated at or after the source
+                assert tr.first_contamination[3] >= tr.first_contamination[0]
+        assert spread > 0, "no fault propagated across all ranks"
+
+    def test_clean_messages_do_not_contaminate(self):
+        config = RunConfig(nranks=4)
+        program = build_program(self.SRC, "fpm", config=config)
+        res = run_job(program, config)
+        assert not any(res.ever_contaminated)

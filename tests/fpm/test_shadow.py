@@ -1,0 +1,121 @@
+"""Shadow hash table: the FPM runtime's contamination map."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fpm import ShadowTable, same_value
+
+
+class TestSameValue:
+    def test_plain_equality(self):
+        assert same_value(1.5, 1.5)
+        assert not same_value(1.5, 1.6)
+        assert same_value(3, 3.0)
+
+    def test_nan_equals_nan(self):
+        # Both chains producing NaN means they agree — not contamination.
+        assert same_value(float("nan"), float("nan"))
+        assert not same_value(float("nan"), 1.0)
+        assert not same_value(1.0, float("nan"))
+
+    def test_non_numeric(self):
+        assert not same_value(None, 1.0)
+
+
+class TestShadowTable:
+    def test_record_and_pristine(self):
+        t = ShadowTable()
+        t.record(100, 5.0, cycle=10)
+        assert 100 in t
+        assert t.pristine(100, current=9.0) == 5.0
+        assert t.pristine(200, current=9.0) == 9.0
+        assert len(t) == 1
+
+    def test_first_contamination_cycle(self):
+        t = ShadowTable()
+        assert t.first_contamination_cycle is None
+        t.record(1, 0.0, cycle=42)
+        t.record(2, 0.0, cycle=99)
+        assert t.first_contamination_cycle == 42
+
+    def test_ever_contaminated_survives_healing(self):
+        t = ShadowTable()
+        t.record(1, 5.0)
+        t.heal(1)
+        assert len(t) == 0
+        assert t.ever_contaminated
+
+    def test_update_heals_on_agreement(self):
+        t = ShadowTable()
+        t.record(1, 5.0)
+        t.update(1, value=5.0, pristine=5.0)
+        assert 1 not in t
+        t.update(2, value=4.0, pristine=5.0)
+        assert 2 in t
+
+    def test_update_nan_agreement_heals(self):
+        t = ShadowTable()
+        t.record(1, 5.0)
+        t.update(1, value=float("nan"), pristine=float("nan"))
+        assert 1 not in t
+
+    def test_rerecording_does_not_double_count(self):
+        t = ShadowTable()
+        t.record(1, 5.0)
+        t.record(1, 6.0)
+        assert t.ever_contaminated_count == 1
+        assert t.pristine(1, 0) == 6.0
+
+    def test_purge_range(self):
+        t = ShadowTable()
+        for a in range(10, 20):
+            t.record(a, float(a))
+        removed = t.purge_range(12, 15)
+        assert removed == 3
+        assert 12 not in t and 14 not in t
+        assert 11 in t and 15 in t
+
+    def test_purge_empty_table(self):
+        t = ShadowTable()
+        assert t.purge_range(0, 100) == 0
+
+    def test_contaminated_in_displacements(self):
+        t = ShadowTable()
+        t.record(105, 1.0)
+        t.record(108, 2.0)
+        t.record(300, 3.0)
+        recs = t.contaminated_in(100, 10)
+        assert recs == [(5, 1.0), (8, 2.0)]
+
+    def test_contaminated_in_empty(self):
+        t = ShadowTable()
+        assert t.contaminated_in(0, 100) == []
+
+    @given(st.sets(st.integers(min_value=0, max_value=500), max_size=40),
+           st.integers(min_value=0, max_value=400),
+           st.integers(min_value=1, max_value=120))
+    def test_contaminated_in_matches_bruteforce(self, addrs, base, count):
+        t = ShadowTable()
+        for a in addrs:
+            t.record(a, a * 1.0)
+        expected = sorted(
+            (a - base, a * 1.0) for a in addrs if base <= a < base + count
+        )
+        assert t.contaminated_in(base, count) == expected
+
+    @given(st.lists(st.tuples(st.integers(0, 50), st.floats(allow_nan=False)),
+                    max_size=30))
+    def test_record_heal_cycle_invariants(self, ops):
+        t = ShadowTable()
+        model = {}
+        for addr, val in ops:
+            if val > 0:
+                t.record(addr, val)
+                model[addr] = val
+            else:
+                t.heal(addr)
+                model.pop(addr, None)
+        assert dict(t.items()) == model
+        assert len(t) == len(model)

@@ -1,0 +1,259 @@
+"""End-to-end language semantics: compile MiniHPC, run it, check results.
+
+These are the language's executable specification: every construct is
+pinned by observable behaviour on the VM.
+"""
+
+import math
+
+import pytest
+
+from tests.conftest import run_source
+
+
+def outputs(src, **kw):
+    res = run_source(src, **kw)
+    assert not res.crashed, f"{res.status}: {res.trap}"
+    return res.outputs[0]
+
+
+def wrap_main(body: str) -> str:
+    return f"func main(rank: int, size: int) {{ {body} }}"
+
+
+class TestArithmetic:
+    def test_integer_ops(self):
+        out = outputs(wrap_main("""
+            emiti(7 + 3); emiti(7 - 3); emiti(7 * 3); emiti(7 / 3);
+            emiti(7 % 3); emiti(0 - 7 / 3); emiti(1 << 5); emiti(256 >> 3);
+            emiti(12 & 10); emiti(12 | 10); emiti(12 ^ 10);
+        """))
+        assert out == [10, 4, 21, 2, 1, -2, 32, 32, 8, 14, 6]
+
+    def test_float_ops(self):
+        out = outputs(wrap_main("""
+            emit(1.5 + 2.25); emit(1.5 * 4.0); emit(7.0 / 2.0);
+            emit(0.0 - 1.5);
+        """))
+        assert out == [3.75, 6.0, 3.5, -1.5]
+
+    def test_mixed_promotion(self):
+        out = outputs(wrap_main("emit(3 + 0.5); emit(2 * 1.25);"))
+        assert out == [3.5, 2.5]
+
+    def test_casts(self):
+        out = outputs(wrap_main(
+            "emiti(int(2.9)); emiti(int(0.0 - 2.9)); emit(float(7) / 2.0);"
+        ))
+        assert out == [2, -2, 3.5]
+
+    def test_unary(self):
+        out = outputs(wrap_main("emiti(-5); emiti(!0); emiti(!7); emit(-2.5);"))
+        assert out == [-5, 1, 0, -2.5]
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        out = outputs(wrap_main("""
+            var x: int = 5;
+            if (x > 3) { emiti(1); } else { emiti(2); }
+            if (x > 10) { emiti(3); } else if (x > 4) { emiti(4); } else { emiti(5); }
+        """))
+        assert out == [1, 4]
+
+    def test_while(self):
+        out = outputs(wrap_main("""
+            var i: int = 0; var s: int = 0;
+            while (i < 10) { s += i; i += 1; }
+            emiti(s);
+        """))
+        assert out == [45]
+
+    def test_nested_for(self):
+        out = outputs(wrap_main("""
+            var s: int = 0;
+            for (var i: int = 0; i < 5; i += 1) {
+                for (var j: int = 0; j <= i; j += 1) { s += 1; }
+            }
+            emiti(s);
+        """))
+        assert out == [15]
+
+    def test_early_return(self):
+        out = outputs("""
+func pick(x: int) -> int {
+    if (x > 0) { return 1; }
+    if (x < 0) { return -1; }
+    return 0;
+}
+func main(rank: int, size: int) {
+    emiti(pick(5)); emiti(pick(-5)); emiti(pick(0));
+}
+""")
+        assert out == [1, -1, 0]
+
+    def test_unreachable_code_after_return(self):
+        out = outputs("""
+func f() -> int { return 1; emiti(999); return 2; }
+func main(rank: int, size: int) { emiti(f()); }
+""")
+        assert out == [1]
+
+    def test_short_circuit_and(self):
+        # The right operand of && must not evaluate when the left is false:
+        # here it would divide by zero.
+        out = outputs(wrap_main("""
+            var z: int = 0;
+            if (z != 0 && 10 / z > 1) { emiti(1); } else { emiti(0); }
+        """))
+        assert out == [0]
+
+    def test_short_circuit_or(self):
+        out = outputs(wrap_main("""
+            var z: int = 0;
+            if (z == 0 || 10 / z > 1) { emiti(1); } else { emiti(0); }
+        """))
+        assert out == [1]
+
+    def test_logical_results_are_01(self):
+        out = outputs(wrap_main(
+            "emiti(2 && 3); emiti(0 || 7); emiti(0 && 1); emiti(0 || 0);"
+        ))
+        assert out == [1, 1, 0, 0]
+
+    def test_float_truthiness(self):
+        out = outputs(wrap_main("""
+            var x: float = 0.5;
+            if (x) { emiti(1); } else { emiti(0); }
+            var y: float = 0.0;
+            if (y) { emiti(1); } else { emiti(0); }
+        """))
+        assert out == [1, 0]
+
+
+class TestArraysAndPointers:
+    def test_array_read_write(self):
+        out = outputs(wrap_main("""
+            var a: int[5];
+            for (var i: int = 0; i < 5; i += 1) { a[i] = i * i; }
+            emiti(a[0] + a[4]);
+        """))
+        assert out == [16]
+
+    def test_arrays_zero_initialised(self):
+        out = outputs(wrap_main("var a: float[3]; emit(a[0] + a[1] + a[2]);"))
+        assert out == [0.0]
+
+    def test_pointer_decay_and_arith(self):
+        out = outputs(wrap_main("""
+            var a: int[5];
+            for (var i: int = 0; i < 5; i += 1) { a[i] = 10 * i; }
+            var p: int* = a + 2;
+            emiti(p[0]); emiti(p[1]); emiti(p - a);
+        """))
+        assert out == [20, 30, 2]
+
+    def test_addr_of_scalar(self):
+        out = outputs(wrap_main("""
+            var x: float = 1.0;
+            var p: float* = &x;
+            p[0] = 42.0;
+            emit(x);
+        """))
+        assert out == [42.0]
+
+    def test_addr_of_element(self):
+        out = outputs(wrap_main("""
+            var a: float[4];
+            var p: float* = &a[2];
+            p[0] = 7.0;
+            emit(a[2]);
+        """))
+        assert out == [7.0]
+
+    def test_malloc_free(self):
+        out = outputs(wrap_main("""
+            var p: float* = malloc(10);
+            for (var i: int = 0; i < 10; i += 1) { p[i] = float(i); }
+            var s: float = 0.0;
+            for (var i: int = 0; i < 10; i += 1) { s += p[i]; }
+            free(p);
+            emit(s);
+        """))
+        assert out == [45.0]
+
+    def test_pass_array_to_function(self):
+        out = outputs("""
+func total(a: float*, n: int) -> float {
+    var s: float = 0.0;
+    for (var i: int = 0; i < n; i += 1) { s += a[i]; }
+    return s;
+}
+func main(rank: int, size: int) {
+    var a: float[4];
+    a[0] = 1.0; a[1] = 2.0; a[2] = 3.0; a[3] = 4.0;
+    emit(total(a, 4));
+    emit(total(&a[1], 2));
+}
+""")
+        assert out == [10.0, 5.0]
+
+    def test_function_writes_through_pointer(self):
+        out = outputs("""
+func fill(a: int*, n: int, v: int) {
+    for (var i: int = 0; i < n; i += 1) { a[i] = v; }
+}
+func main(rank: int, size: int) {
+    var a: int[3];
+    fill(a, 3, 9);
+    emiti(a[0] + a[1] + a[2]);
+}
+""")
+        assert out == [27]
+
+
+class TestIntrinsics:
+    def test_math(self):
+        out = outputs(wrap_main("""
+            emit(sqrt(16.0)); emit(fabs(0.0 - 3.5)); emit(pow(2.0, 10.0));
+            emit(floor(2.7)); emit(ceil(2.1)); emit(fmin(1.0, 2.0));
+            emit(fmax(1.0, 2.0)); emiti(imin(3, 5)); emiti(imax(3, 5));
+            emiti(iabs(-4));
+        """))
+        assert out == [4.0, 3.5, 1024.0, 2.0, 3.0, 1.0, 2.0, 3, 5, 4]
+
+    def test_transcendentals(self):
+        out = outputs(wrap_main("emit(sin(0.0)); emit(cos(0.0)); emit(exp(0.0)); emit(log(1.0));"))
+        assert out == [0.0, 1.0, 1.0, 0.0]
+
+    def test_sqrt_negative_is_nan(self):
+        out = outputs(wrap_main("emit(sqrt(0.0 - 1.0));"))
+        assert math.isnan(out[0])
+
+    def test_rand_deterministic_per_seed(self):
+        src = wrap_main("for (var i: int = 0; i < 5; i += 1) { emit(rand()); }")
+        a = outputs(src)
+        b = outputs(src)
+        assert a == b
+        assert all(0.0 <= v < 1.0 for v in a)
+        assert len(set(a)) == 5
+
+    def test_scope_shadowing_execution(self):
+        out = outputs(wrap_main("""
+            var x: int = 1;
+            if (1) { var x: int = 100; emiti(x); }
+            emiti(x);
+        """))
+        assert out == [100, 1]
+
+    def test_loop_local_var_reinitialised(self):
+        out = outputs(wrap_main("""
+            var s: int = 0;
+            for (var i: int = 0; i < 3; i += 1) {
+                var t: int = 0;
+                t += 1;
+                s += t;
+            }
+            emiti(s);
+        """))
+        assert out == [3]

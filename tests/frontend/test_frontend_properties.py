@@ -1,0 +1,138 @@
+"""Property-based frontend checks with hypothesis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FrontendError
+from repro.frontend import compile_source, parse, tokenize
+from tests.conftest import run_source
+
+idents = st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True).filter(
+    lambda s: s not in ("func", "var", "if", "else", "while", "for",
+                        "return", "int", "float")
+)
+small_ints = st.integers(min_value=0, max_value=1000)
+small_floats = st.floats(min_value=-1e6, max_value=1e6,
+                         allow_nan=False).map(lambda v: round(v, 6))
+
+
+class TestArithmeticAgreesWithPython:
+    @settings(max_examples=30, deadline=None)
+    @given(small_ints, small_ints, small_ints)
+    def test_int_expression(self, a, b, c):
+        src = f"""
+func main(rank: int, size: int) {{
+    emiti(({a} + {b}) * {c} - {b});
+    emiti({a} - {b} * {c});
+}}
+"""
+        res = run_source(src)
+        assert not res.crashed
+        assert res.outputs[0] == [(a + b) * c - b, a - b * c]
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_floats, small_floats)
+    def test_float_expression(self, x, y):
+        src = f"""
+func main(rank: int, size: int) {{
+    emit({x} + {y});
+    emit({x} * {y});
+    emit({x} - {y});
+}}
+"""
+        res = run_source(src)
+        assert not res.crashed
+        assert res.outputs[0] == [x + y, x * y, x - y]
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_ints.filter(lambda v: v != 0),
+           st.integers(min_value=-1000, max_value=1000))
+    def test_division_matches_c_semantics(self, b, a):
+        src = f"""
+func main(rank: int, size: int) {{
+    emiti({a} / {b});
+    emiti({a} % {b});
+}}
+"""
+        res = run_source(src)
+        q = abs(a) // abs(b) * (1 if (a < 0) == (b < 0) else -1)
+        r = a - q * b
+        assert res.outputs[0] == [q, r]
+
+
+class TestScalarLoopIdentities:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=40))
+    def test_sum_formula(self, n):
+        src = f"""
+func main(rank: int, size: int) {{
+    var s: int = 0;
+    for (var i: int = 1; i <= {n}; i += 1) {{ s += i; }}
+    emiti(s);
+}}
+"""
+        assert run_source(src).outputs[0] == [n * (n + 1) // 2]
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=1, max_value=10),
+           st.integers(min_value=1, max_value=10))
+    def test_nested_loop_product(self, n, m):
+        src = f"""
+func main(rank: int, size: int) {{
+    var c: int = 0;
+    for (var i: int = 0; i < {n}; i += 1) {{
+        for (var j: int = 0; j < {m}; j += 1) {{ c += 1; }}
+    }}
+    emiti(c);
+}}
+"""
+        assert run_source(src).outputs[0] == [n * m]
+
+
+class TestIdentifierHandling:
+    @settings(max_examples=25, deadline=None)
+    @given(idents, small_ints)
+    def test_any_identifier_works(self, name, value):
+        src = f"""
+func main(rank: int, size: int) {{
+    var {name}: int = {value};
+    emiti({name});
+}}
+"""
+        assert run_source(src).outputs[0] == [value]
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(idents, min_size=2, max_size=5, unique=True))
+    def test_many_distinct_variables(self, names):
+        decls = "\n    ".join(
+            f"var {n}: int = {i};" for i, n in enumerate(names)
+        )
+        total = " + ".join(names)
+        src = f"""
+func main(rank: int, size: int) {{
+    {decls}
+    emiti({total});
+}}
+"""
+        assert run_source(src).outputs[0] == [sum(range(len(names)))]
+
+
+class TestRobustnessOnGarbage:
+    @settings(max_examples=40, deadline=None)
+    @given(st.text(max_size=60))
+    def test_never_crashes_only_raises(self, text):
+        """Arbitrary text either compiles or raises FrontendError —
+        never an internal exception."""
+        try:
+            compile_source(f"func main(rank: int, size: int) {{ {text} }}")
+        except FrontendError:
+            pass
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.text(alphabet="(){}[];=+-*/<>&|!%^,:. abc123", max_size=40))
+    def test_tokenizer_total_on_operator_soup(self, text):
+        try:
+            tokenize(text)
+        except FrontendError:
+            pass

@@ -1,0 +1,111 @@
+"""MiniHPC lexer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import LexError
+from repro.frontend import tokenize
+
+
+def kinds(src):
+    return [t.kind for t in tokenize(src)]
+
+
+def values(src):
+    return [t.value for t in tokenize(src)[:-1]]
+
+
+class TestBasics:
+    def test_empty_source(self):
+        assert kinds("") == ["eof"]
+
+    def test_keywords_vs_identifiers(self):
+        toks = tokenize("func var iffy if")
+        assert [t.kind for t in toks[:-1]] == ["func", "var", "ident", "if"]
+
+    def test_int_literals(self):
+        toks = tokenize("0 42 123456789")
+        assert [t.kind for t in toks[:-1]] == ["intlit"] * 3
+        assert [t.value for t in toks[:-1]] == [0, 42, 123456789]
+
+    def test_float_literals(self):
+        toks = tokenize("1.5 0.25 2e3 1.5e-2 3E+4")
+        assert [t.kind for t in toks[:-1]] == ["floatlit"] * 5
+        assert [t.value for t in toks[:-1]] == [1.5, 0.25, 2000.0, 0.015, 30000.0]
+
+    def test_int_then_member_like_dot_is_error(self):
+        with pytest.raises(LexError):
+            tokenize("a . b")
+
+    def test_longest_operator_match(self):
+        assert kinds("a <= b << c < d")[:-1] == \
+            ["ident", "<=", "ident", "<<", "ident", "<", "ident"]
+
+    def test_arrow_vs_minus(self):
+        assert kinds("-> - ->")[:-1] == ["->", "-", "->"]
+
+    def test_compound_assignment_ops(self):
+        assert kinds("+= -= *= /=")[:-1] == ["+=", "-=", "*=", "/="]
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("a // the rest is gone\nb")[:-1] == ["ident", "ident"]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny\nz */ b")[:-1] == ["ident", "ident"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError, match="unterminated"):
+            tokenize("a /* never closed")
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        toks = tokenize("ab\n  cd")
+        assert (toks[0].line, toks[0].col) == (1, 1)
+        assert (toks[1].line, toks[1].col) == (2, 3)
+
+    def test_positions_after_block_comment(self):
+        toks = tokenize("/* a\nb */ x")
+        assert toks[0].line == 2
+
+    def test_error_position(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("ok\n  @")
+        assert exc.value.line == 2
+        assert exc.value.col == 3
+
+
+class TestErrors:
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+
+identifiers = st.from_regex(r"[a-z_][a-z0-9_]{0,10}", fullmatch=True).filter(
+    lambda s: s not in ("func", "var", "if", "else", "while", "for",
+                        "return", "int", "float")
+)
+
+
+@given(st.lists(identifiers, min_size=1, max_size=8))
+def test_identifier_stream_roundtrip(names):
+    toks = tokenize(" ".join(names))
+    assert [t.value for t in toks[:-1]] == names
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10 ** 12),
+                min_size=1, max_size=8))
+def test_int_literal_roundtrip(nums):
+    toks = tokenize(" ".join(str(n) for n in nums))
+    assert [t.value for t in toks[:-1]] == nums
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e9, allow_nan=False),
+                min_size=1, max_size=6))
+def test_float_literal_roundtrip(nums):
+    text = " ".join(repr(float(n)) for n in nums)
+    toks = tokenize(text)
+    assert [t.value for t in toks[:-1]] == [float(repr(float(n))) for n in nums]

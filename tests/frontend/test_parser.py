@@ -1,0 +1,180 @@
+"""MiniHPC parser: AST shapes and syntax errors."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.frontend import parse
+from repro.frontend.ast_nodes import (
+    AddrOf,
+    Assign,
+    Binary,
+    Block,
+    CallExpr,
+    CastExpr,
+    For,
+    If,
+    IndexExpr,
+    IntLit,
+    Return,
+    Unary,
+    VarDecl,
+    While,
+)
+
+
+def parse_body(stmts: str):
+    prog = parse(f"func main(rank: int, size: int) {{ {stmts} }}")
+    return prog.functions[0].body.stmts
+
+
+def parse_expr(expr: str):
+    (stmt,) = parse_body(f"x = {expr};")
+    return stmt.value
+
+
+class TestDeclarations:
+    def test_function_signature(self):
+        prog = parse("func f(a: int, b: float*) -> float { return 1.0; }")
+        f = prog.functions[0]
+        assert f.name == "f"
+        assert [(p.name, p.type_name) for p in f.params] == \
+            [("a", "int"), ("b", "float*")]
+        assert f.ret_type == "float"
+
+    def test_void_function(self):
+        prog = parse("func f() { }")
+        assert prog.functions[0].ret_type == "void"
+
+    def test_pointer_return_rejected(self):
+        with pytest.raises(ParseError):
+            parse("func f() -> float* { }")
+
+    def test_var_forms(self):
+        decls = parse_body(
+            "var a: int; var b: float = 1.5; var c: float[8]; var p: int*;"
+        )
+        a, b, c, p = decls
+        assert (a.type_name, a.array_size, a.init) == ("int", None, None)
+        assert b.init is not None
+        assert (c.type_name, c.array_size) == ("float", 8)
+        assert p.type_name == "int*"
+
+    def test_array_initialiser_rejected(self):
+        with pytest.raises(ParseError):
+            parse_body("var a: float[4] = 0.0;")
+
+    def test_nonpositive_array_size_rejected(self):
+        with pytest.raises(ParseError):
+            parse_body("var a: float[0];")
+
+
+class TestStatements:
+    def test_if_else_chain(self):
+        (stmt,) = parse_body("if (1) { } else if (2) { } else { }")
+        assert isinstance(stmt, If)
+        assert isinstance(stmt.orelse, If)
+        assert isinstance(stmt.orelse.orelse, Block)
+
+    def test_while(self):
+        (stmt,) = parse_body("while (x < 3) { x += 1; }")
+        assert isinstance(stmt, While)
+
+    def test_for_full(self):
+        (stmt,) = parse_body("for (var i: int = 0; i < 4; i += 1) { }")
+        assert isinstance(stmt, For)
+        assert isinstance(stmt.init, VarDecl)
+        assert stmt.cond is not None and stmt.step is not None
+
+    def test_for_empty_clauses(self):
+        (stmt,) = parse_body("for (;;) { }")
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_compound_assignment(self):
+        (stmt,) = parse_body("a[i] *= 2.0;")
+        assert isinstance(stmt, Assign)
+        assert stmt.op == "*="
+        assert isinstance(stmt.target, IndexExpr)
+
+    def test_assign_to_call_rejected(self):
+        with pytest.raises(ParseError):
+            parse_body("f() = 3;")
+
+    def test_return_with_and_without_value(self):
+        r1, r2 = parse_body("return 1; return;")
+        assert isinstance(r1, Return) and r1.value is not None
+        assert isinstance(r2, Return) and r2.value is None
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_body("x = 1")
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            parse("func f() { if (1) {")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        e = parse_expr("1 + 2 * 3")
+        assert isinstance(e, Binary) and e.op == "+"
+        assert isinstance(e.rhs, Binary) and e.rhs.op == "*"
+
+    def test_precedence_cmp_over_and(self):
+        e = parse_expr("a < b && c > d")
+        assert e.op == "&&"
+        assert e.lhs.op == "<" and e.rhs.op == ">"
+
+    def test_left_associativity(self):
+        e = parse_expr("a - b - c")
+        assert e.op == "-" and e.lhs.op == "-"
+
+    def test_parentheses_override(self):
+        e = parse_expr("(1 + 2) * 3")
+        assert e.op == "*" and e.lhs.op == "+"
+
+    def test_unary_chain(self):
+        e = parse_expr("--x")
+        assert isinstance(e, Unary) and isinstance(e.operand, Unary)
+
+    def test_casts(self):
+        e = parse_expr("float(3) + float(int(2.5))")
+        assert isinstance(e.lhs, CastExpr)
+        assert isinstance(e.rhs.operand, CastExpr)
+
+    def test_address_of(self):
+        e = parse_expr("&a[0]")
+        assert isinstance(e, AddrOf)
+        assert isinstance(e.operand, IndexExpr)
+
+    def test_address_of_literal_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("&3")
+
+    def test_call_with_args(self):
+        e = parse_expr("pow(2.0, 10.0)")
+        assert isinstance(e, CallExpr)
+        assert len(e.args) == 2
+
+    def test_nested_index(self):
+        e = parse_expr("a[b[i] + 1]")
+        assert isinstance(e, IndexExpr)
+        assert isinstance(e.index.lhs, IndexExpr)
+
+    def test_shift_precedence(self):
+        e = parse_expr("1 << 2 + 3")
+        # additive binds tighter than shift (C-like)
+        assert e.op == "<<"
+        assert e.rhs.op == "+"
+
+    def test_bitwise_precedence(self):
+        e = parse_expr("a | b ^ c & d")
+        assert e.op == "|"
+        assert e.rhs.op == "^"
+        assert e.rhs.rhs.op == "&"
+
+
+class TestErrorsPositions:
+    def test_error_carries_location(self):
+        with pytest.raises(ParseError) as exc:
+            parse("func f() {\n  var x: badtype;\n}")
+        assert exc.value.line == 2

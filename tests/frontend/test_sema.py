@@ -1,0 +1,188 @@
+"""MiniHPC semantic analysis: scoping and type errors."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.frontend import analyze, parse
+
+
+def check(src: str):
+    return analyze(parse(src))
+
+
+def check_body(stmts: str):
+    return check(f"func main(rank: int, size: int) {{ {stmts} }}")
+
+
+class TestScoping:
+    def test_undefined_variable(self):
+        with pytest.raises(SemanticError, match="undefined variable 'y'"):
+            check_body("var x: int = y;")
+
+    def test_redeclaration_same_scope(self):
+        with pytest.raises(SemanticError, match="redeclaration"):
+            check_body("var x: int; var x: float;")
+
+    def test_shadowing_in_nested_scope_ok(self):
+        check_body("var x: int = 1; if (x) { var x: float = 2.0; x += 1.0; }")
+
+    def test_inner_scope_not_visible_outside(self):
+        with pytest.raises(SemanticError, match="undefined"):
+            check_body("if (1) { var t: int = 1; } t = 2;")
+
+    def test_for_scope(self):
+        check_body("for (var i: int = 0; i < 3; i += 1) { } "
+                   "for (var i: int = 0; i < 3; i += 1) { }")
+
+    def test_param_visible(self):
+        check_body("var x: int = rank + size;")
+
+
+class TestFunctions:
+    def test_duplicate_function(self):
+        with pytest.raises(SemanticError, match="duplicate function"):
+            check("func f() { } func f() { }")
+
+    def test_shadowing_intrinsic(self):
+        with pytest.raises(SemanticError, match="shadows an intrinsic"):
+            check("func sqrt(x: float) -> float { return x; }")
+
+    def test_undefined_function_call(self):
+        with pytest.raises(SemanticError, match="undefined function"):
+            check_body("nothere(1);")
+
+    def test_arity_mismatch(self):
+        with pytest.raises(SemanticError, match="takes 1 arguments"):
+            check_body("var x: float = sqrt(1.0, 2.0);")
+
+    def test_arg_type_mismatch(self):
+        with pytest.raises(SemanticError, match="argument 1"):
+            check_body("var a: float[4]; emiti(a);")
+
+    def test_void_call_as_value(self):
+        with pytest.raises(SemanticError, match="returns no value"):
+            check_body("var x: int = mark_iteration();")
+
+    def test_main_signature_enforced(self):
+        with pytest.raises(SemanticError, match="main must take"):
+            check("func main(a: float, b: int) { }")
+
+    def test_return_type_checked(self):
+        with pytest.raises(SemanticError, match="return type mismatch"):
+            check("func f() -> int { var a: float[2]; return a[0]; }")
+
+    def test_void_return_value_rejected(self):
+        with pytest.raises(SemanticError, match="cannot return a value"):
+            check("func f() { return 3; }")
+
+    def test_missing_return_value(self):
+        with pytest.raises(SemanticError, match="must return"):
+            check("func f() -> int { return; }")
+
+    def test_int_promotes_to_float_param(self):
+        check_body("var x: float = sqrt(4);")
+
+    def test_int_arg_promotes_in_user_call(self):
+        check("""
+func f(x: float) -> float { return x; }
+func main(rank: int, size: int) { var y: float = f(3); }
+""")
+
+
+class TestTypes:
+    def test_float_to_int_requires_cast(self):
+        with pytest.raises(SemanticError, match="cannot initialise"):
+            check_body("var x: int = 1.5;")
+        check_body("var x: int = int(1.5);")
+
+    def test_int_to_float_implicit(self):
+        check_body("var x: float = 3;")
+
+    def test_modulo_int_only(self):
+        with pytest.raises(SemanticError, match="requires int"):
+            check_body("var x: float = 1.5 % 2.0;")
+
+    def test_shift_int_only(self):
+        with pytest.raises(SemanticError):
+            check_body("var x: float = 1.0 << 2;")
+
+    def test_pointer_arithmetic(self):
+        check_body("var a: float[4]; var p: float* = a + 1; var d: int = p - a;")
+
+    def test_pointer_plus_pointer_rejected(self):
+        with pytest.raises(SemanticError):
+            check_body("var a: float[4]; var p: float* = a + a;")
+
+    def test_pointer_elem_type_mismatch(self):
+        with pytest.raises(SemanticError, match="cannot initialise"):
+            check_body("var a: float[4]; var p: int* = a;")
+        with pytest.raises(SemanticError, match="cannot assign"):
+            check_body("var a: float[4]; var p: int*; p = a;")
+
+    def test_malloc_assigns_to_any_pointer(self):
+        check_body("var p: float* = malloc(8); var q: int* = malloc(4); free(p); free(q);")
+
+    def test_indexing_generic_pointer_rejected(self):
+        with pytest.raises(SemanticError, match="generic pointer"):
+            check_body("var x: float = malloc(4)[0];")
+
+    def test_index_must_be_int(self):
+        with pytest.raises(SemanticError, match="index must be int"):
+            check_body("var a: float[4]; var x: float = a[1.5];")
+
+    def test_index_non_pointer_rejected(self):
+        with pytest.raises(SemanticError, match="cannot index"):
+            check_body("var x: int = 3; var y: int = x[0];")
+
+    def test_assign_to_array_name_rejected(self):
+        with pytest.raises(SemanticError, match="cannot assign to array"):
+            check_body("var a: float[4]; var b: float[4]; a = b;")
+
+    def test_addrof_array_rejected(self):
+        with pytest.raises(SemanticError, match="already a pointer"):
+            check_body("var a: float[4]; var p: float* = &a;")
+
+    def test_addrof_scalar(self):
+        check_body("var x: float = 0.0; var p: float* = &x; p[0] = 1.0;")
+
+    def test_addrof_pointer_rejected(self):
+        with pytest.raises(SemanticError, match="address of a pointer"):
+            check_body("var a: float[4]; var p: float* = a; var q: float* = &p;")
+
+    def test_condition_must_be_numeric(self):
+        with pytest.raises(SemanticError, match="condition must be numeric"):
+            check_body("var a: float[4]; if (a) { }")
+
+    def test_compound_assign_float_to_int_rejected(self):
+        with pytest.raises(SemanticError, match="implicit float"):
+            check_body("var x: int = 1; x += 1.5;")
+
+    def test_comparison_mixed_numeric_ok(self):
+        check_body("var x: int = 1; var y: float = 2.0; if (x < y) { }")
+
+    def test_pointer_comparison_ok(self):
+        check_body("var a: float[4]; var p: float* = a + 2; if (p > a) { }")
+
+    def test_cast_of_pointer_rejected(self):
+        with pytest.raises(SemanticError, match="cannot cast"):
+            check_body("var a: float[4]; var x: int = int(a);")
+
+
+class TestAnnotations:
+    def test_symbols_resolved(self):
+        prog = parse("func main(rank: int, size: int) { var x: int = rank; x += 1; }")
+        analyze(prog)
+        decl = prog.functions[0].body.stmts[0]
+        assign = prog.functions[0].body.stmts[1]
+        assert decl.symbol is assign.target.symbol
+
+    def test_addressed_flag(self):
+        prog = parse(
+            "func main(rank: int, size: int) {"
+            " var x: float = 0.0; var y: float = 0.0;"
+            " var p: float* = &x; p[0] = y; }"
+        )
+        analyze(prog)
+        x_decl, y_decl = prog.functions[0].body.stmts[:2]
+        assert x_decl.symbol.addressed
+        assert not y_decl.symbol.addressed

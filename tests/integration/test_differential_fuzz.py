@@ -1,0 +1,192 @@
+"""Differential fuzzing: random programs through every build mode.
+
+Generates random (but always-valid, always-terminating) MiniHPC programs
+and checks the cross-cutting invariants of the whole stack:
+
+* black-box, FPM and taint builds compute identical outputs on fault-free
+  runs (instrumentation must be semantics-preserving);
+* fault-free FPM/taint runs never contaminate their shadow state;
+* dynamic injection-site counts agree across builds (fault plans are
+  transferable between modes);
+* under an injected fault, the taint build never reports *less*
+  contamination than the dual chain on straight-line-dominated programs.
+
+The generator is deliberately conservative: array indices stay in bounds
+and loop bounds are literal, so a fault-free run can never trap — any
+trap in these tests is a compiler/VM bug, not a program bug.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import RunConfig
+from repro.core.runner import build_program, run_job
+from repro.mpi import JobStatus
+from repro.vm import FaultSpec, Lcg64
+
+
+class ProgramGen:
+    """Seeded random MiniHPC program generator."""
+
+    def __init__(self, seed: int) -> None:
+        self.rng = Lcg64(seed)
+        self.arrays = []   # (name, size, elem)
+        self.scalars = []  # (name, type)
+        self.uid = 0
+
+    def fresh(self, prefix: str) -> str:
+        self.uid += 1
+        return f"{prefix}{self.uid}"
+
+    def pick(self, items):
+        return items[self.rng.next_int(len(items))]
+
+    # ------------------------------------------------------------------
+    def float_expr(self, depth: int = 0) -> str:
+        choices = ["lit", "lit"]
+        if self.scalars:
+            choices.append("scalar")
+        if self.arrays:
+            choices.append("elem")
+        if depth < 3:
+            choices += ["bin", "bin", "call"]
+        kind = self.pick(choices)
+        if kind == "lit":
+            return f"{(self.rng.next_int(800) - 200) / 16.0}"
+        if kind == "scalar":
+            name, t = self.pick(self.scalars)
+            return name if t == "float" else f"float({name})"
+        if kind == "elem":
+            name, size, elem = self.pick(self.arrays)
+            idx = self.rng.next_int(size)
+            e = f"{name}[{idx}]"
+            return e if elem == "float" else f"float({e})"
+        if kind == "call":
+            fn = self.pick(["fabs", "sqrt", "sin", "cos"])
+            inner = self.float_expr(depth + 1)
+            if fn == "sqrt":
+                inner = f"fabs({inner})"
+            return f"{fn}({inner})"
+        op = self.pick(["+", "-", "*"])
+        return f"({self.float_expr(depth + 1)} {op} {self.float_expr(depth + 1)})"
+
+    def int_expr(self, depth: int = 0) -> str:
+        kind = self.pick(["lit", "lit", "bin"] if depth < 2 else ["lit"])
+        if kind == "lit":
+            return str(self.rng.next_int(40))
+        op = self.pick(["+", "-", "*"])
+        return f"({self.int_expr(depth + 1)} {op} {self.int_expr(depth + 1)})"
+
+    # ------------------------------------------------------------------
+    def statement(self, depth: int = 0) -> str:
+        kinds = ["assign", "assign", "assign"]
+        if depth < 2:
+            kinds += ["if", "loop"]
+        kind = self.pick(kinds)
+        if kind == "assign":
+            if self.arrays and self.rng.next_int(2):
+                name, size, elem = self.pick(self.arrays)
+                idx = self.rng.next_int(size)
+                rhs = self.float_expr() if elem == "float" else \
+                    f"int({self.float_expr()})"
+                return f"{name}[{idx}] = {rhs};"
+            if self.scalars:
+                name, t = self.pick(self.scalars)
+                rhs = self.float_expr() if t == "float" else self.int_expr()
+                return f"{name} = {rhs};"
+            return ""
+        if kind == "if":
+            cond = f"{self.float_expr()} < {self.float_expr()}"
+            body = self.statement(depth + 1)
+            other = self.statement(depth + 1)
+            return (f"if ({cond}) {{ {body} }} else {{ {other} }}")
+        # bounded loop over an array
+        if not self.arrays:
+            return ""
+        name, size, elem = self.pick(self.arrays)
+        ivar = self.fresh("i")
+        rhs = (f"{name}[{ivar}] * 0.5 + {self.float_expr()}"
+               if elem == "float" else
+               f"{name}[{ivar}] + {self.int_expr()}")
+        return (f"for (var {ivar}: int = 0; {ivar} < {size}; {ivar} += 1) "
+                f"{{ {name}[{ivar}] = {rhs}; }}")
+
+    def generate(self) -> str:
+        decls = []
+        for _ in range(1 + self.rng.next_int(3)):
+            name = self.fresh("a")
+            size = 2 + self.rng.next_int(6)
+            elem = self.pick(["float", "float", "int"])
+            self.arrays.append((name, size, elem))
+            decls.append(f"var {name}: {elem}[{size}];")
+        for _ in range(1 + self.rng.next_int(3)):
+            name = self.fresh("s")
+            t = self.pick(["float", "int"])
+            self.scalars.append((name, t))
+            init = "0.0" if t == "float" else "0"
+            decls.append(f"var {name}: {t} = {init};")
+
+        body = [self.statement() for _ in range(4 + self.rng.next_int(6))]
+        emits = []
+        for name, size, elem in self.arrays:
+            fn = "emit" if elem == "float" else "emiti"
+            emits.append(f"{fn}({name}[{size - 1}]);")
+        for name, t in self.scalars:
+            emits.append(f"emit({name});" if t == "float" else f"emiti({name});")
+
+        return (
+            "func main(rank: int, size: int) {\n    "
+            + "\n    ".join(decls + body + emits)
+            + "\n}"
+        )
+
+
+def _run(source, mode, faults=()):
+    config = RunConfig(nranks=1)
+    program = build_program(source, mode, config=config)
+    return run_job(program, config, faults=faults, max_cycles=2_000_000), program
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10 ** 6))
+def test_modes_agree_on_clean_runs(seed):
+    source = ProgramGen(seed).generate()
+    results = {}
+    for mode in ("blackbox", "fpm", "taint"):
+        res, _ = _run(source, mode)
+        assert res.status is JobStatus.COMPLETED, \
+            f"seed {seed} ({mode}): {res.trap}\n{source}"
+        results[mode] = res
+    assert results["fpm"].outputs == results["blackbox"].outputs, source
+    assert results["taint"].outputs == results["blackbox"].outputs, source
+    assert not results["fpm"].any_contaminated, source
+    assert not results["taint"].any_contaminated, source
+    counts = {m: r.inj_counts for m, r in results.items()}
+    assert counts["fpm"] == counts["blackbox"] == counts["taint"], source
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.integers(min_value=0, max_value=10 ** 6),
+       st.integers(min_value=0, max_value=10 ** 6))
+def test_taint_dominates_dual_chain_under_faults(seed, fault_seed):
+    source = ProgramGen(seed).generate()
+    clean, prog = _run(source, "fpm")
+    total = clean.inj_counts[0]
+    if total == 0:
+        return
+    rng = Lcg64(fault_seed)
+    occ = 1 + rng.next_int(total)
+    bit = rng.next_int(50)  # below exponent: keep values finite-ish
+    fault = [FaultSpec(0, occ, bit=bit)]
+    dual, _ = _run(source, "fpm", faults=fault)
+    taint, _ = _run(source, "taint", faults=fault)
+    if dual.status is not JobStatus.COMPLETED or \
+            taint.status is not JobStatus.COMPLETED:
+        return
+    d_cml = dual.trace.final_cml if dual.trace else 0
+    t_cml = taint.trace.final_cml if taint.trace else 0
+    # data-flow-only programs (no computed addresses): taint >= exact
+    assert t_cml >= d_cml, (source, occ, bit)

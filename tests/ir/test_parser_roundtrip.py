@@ -1,0 +1,103 @@
+"""Textual IR parser: print -> parse -> print fixpoint."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.frontend import compile_source
+from repro.ir import format_module, parse_module, verify_module
+from repro.passes import pipeline_for_mode, run_passes
+
+
+SIMPLE = """
+func helper(x: float) -> float {
+    return x * 2.0 + 1.0;
+}
+func main(rank: int, size: int) {
+    var a: float[4];
+    for (var i: int = 0; i < 4; i += 1) {
+        a[i] = helper(float(i));
+    }
+    emit(a[3]);
+}
+"""
+
+
+def _normalise(text):
+    """Strip comment headers and trailing annotations-as-comments; the
+    parser intentionally drops them (variable-name hints, pass history)."""
+    out = []
+    for line in text.splitlines():
+        if line.startswith(";"):
+            continue
+        if "  ; " in line:
+            line = line.split("  ; ", 1)[0]
+        out.append(line)
+    return "\n".join(l for l in out if l.strip())
+
+
+def roundtrip(module):
+    text1 = format_module(module)
+    parsed = parse_module(text1)
+    text2 = format_module(parsed)
+    return text1, parsed, text2
+
+
+class TestRoundTrip:
+    def test_plain_module_structure(self):
+        mod = compile_source(SIMPLE)
+        text1, parsed, text2 = roundtrip(mod)
+        assert set(f.name for f in parsed) == {"helper", "main"}
+        # same instruction opcodes per block, same labels
+        for f1, f2 in zip(mod, parsed):
+            assert [b.label for b in f1] == [b.label for b in f2]
+            for b1, b2 in zip(f1, f2):
+                assert [type(i).__name__ for i in b1] == \
+                    [type(i).__name__ for i in b2]
+
+    def test_print_parse_print_fixpoint(self):
+        mod = compile_source(SIMPLE)
+        run_passes(mod, ["mem2reg", "dce", "faultinject"])
+        text1, parsed, text2 = roundtrip(mod)
+        # sites and secondary tags survive, so the texts converge after
+        # one round (modulo comments and the pass-history header)
+        assert _normalise(text1) == _normalise(text2)
+
+    def test_sites_preserved(self):
+        mod = compile_source(SIMPLE)
+        run_passes(mod, ["mem2reg", "faultinject"])
+        _, parsed, _ = roundtrip(mod)
+        n_sites = sum(
+            1 for f in parsed for b in f for i in b
+            if i.inject_site is not None
+        )
+        assert n_sites == mod.num_inject_sites
+
+    def test_dual_module_parses(self):
+        mod = compile_source(SIMPLE)
+        run_passes(mod, pipeline_for_mode("fpm"))
+        text1, parsed, text2 = roundtrip(mod)
+        assert all(f.is_dual for f in parsed)
+        assert _normalise(text1) == _normalise(text2)
+
+    def test_branch_targets_resolved(self):
+        mod = compile_source(SIMPLE)
+        _, parsed, _ = roundtrip(mod)
+        for f in parsed:
+            labels = {b.label for b in f}
+            for b in f:
+                for succ in b.successors():
+                    assert succ.label in labels
+
+
+class TestErrors:
+    def test_garbage_rejected(self):
+        with pytest.raises(IRError):
+            parse_module("func main( {")
+
+    def test_instruction_outside_block(self):
+        with pytest.raises(IRError, match="outside a block"):
+            parse_module("func f() -> void {\n  ret\n}")
+
+    def test_unknown_opcode(self):
+        with pytest.raises(IRError, match="unknown instruction"):
+            parse_module("func f() -> void {\nentry:\n  %a = zorp 1, 2\n  ret\n}")

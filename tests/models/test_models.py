@@ -1,0 +1,200 @@
+"""Fault-propagation models: OLS, piecewise fits, FPS, estimation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.models import (
+    CMLEstimator,
+    FPSResult,
+    LinearFit,
+    PiecewiseFit,
+    compute_fps,
+    evaluate_fit,
+    fit_linear,
+    fit_piecewise,
+    fit_profile,
+    fit_trial_model,
+    kfold_validate,
+)
+
+
+class TestLinear:
+    def test_exact_recovery(self):
+        t = np.arange(50.0)
+        y = 3.5 * t + 7.0
+        fit = fit_linear(t, y)
+        assert fit.slope == pytest.approx(3.5)
+        assert fit.intercept == pytest.approx(7.0)
+        assert fit.r2 == pytest.approx(1.0)
+
+    @settings(max_examples=40)
+    @given(st.floats(-100, 100), st.floats(-1000, 1000))
+    def test_recovery_property(self, a, b):
+        t = np.linspace(0, 10, 30)
+        fit = fit_linear(t, a * t + b)
+        assert fit.slope == pytest.approx(a, abs=1e-6)
+        assert fit.intercept == pytest.approx(b, abs=1e-5)
+
+    def test_noise_reduces_r2(self):
+        rng = np.random.default_rng(0)
+        t = np.arange(200.0)
+        y = 2.0 * t + rng.normal(0, 50, t.size)
+        fit = fit_linear(t, y)
+        assert 0.5 < fit.r2 < 1.0
+        assert fit.slope == pytest.approx(2.0, rel=0.2)
+
+    def test_degenerate_inputs(self):
+        with pytest.raises(ModelError):
+            fit_linear([1.0], [2.0])
+        with pytest.raises(ModelError):
+            fit_linear([1.0, 1.0, 1.0], [1.0, 2.0, 3.0])
+        with pytest.raises(ModelError):
+            fit_linear([1.0, 2.0], [1.0, 2.0, 3.0])
+
+    def test_predict_and_residuals(self):
+        fit = LinearFit(slope=2.0, intercept=1.0, r2=1.0, n=10)
+        assert list(fit.predict([0, 1, 2])) == [1.0, 3.0, 5.0]
+        assert list(fit.residuals([0, 1], [1.0, 4.0])) == [0.0, 1.0]
+
+
+class TestPiecewise:
+    def make_hinge(self, a=2.0, b=5.0, tau=40.0, n=120, t_max=100.0):
+        t = np.linspace(0, t_max, n)
+        y = a * np.minimum(t, tau) + b
+        return t, y
+
+    def test_exact_hinge_recovery(self):
+        t, y = self.make_hinge()
+        fit = fit_piecewise(t, y)
+        assert fit.slope == pytest.approx(2.0, rel=1e-3)
+        assert fit.breakpoint == pytest.approx(40.0, abs=2.0)
+        assert fit.plateau == pytest.approx(85.0, rel=0.01)
+        assert fit.r2 > 0.999
+
+    @settings(max_examples=25)
+    @given(st.floats(0.5, 20.0), st.floats(0.2, 0.8))
+    def test_recovery_property(self, slope, tau_frac):
+        t = np.linspace(0, 100, 150)
+        tau = 100 * tau_frac
+        y = slope * np.minimum(t, tau)
+        fit = fit_piecewise(t, y)
+        assert fit.slope == pytest.approx(slope, rel=0.05)
+
+    def test_onset_truncation(self):
+        # before the fault the profile is zero; the fit must ignore it
+        t = np.linspace(0, 100, 200)
+        y = np.where(t < 30, 0.0, 4.0 * np.minimum(t - 30, 40))
+        fit = fit_piecewise(t, y, onset=30.0)
+        assert fit.slope == pytest.approx(4.0, rel=0.05)
+
+    def test_too_few_points(self):
+        with pytest.raises(ModelError):
+            fit_piecewise([1.0, 2.0], [1.0, 2.0])
+
+    def test_fit_profile_prefers_linear_for_ramps(self):
+        t = np.linspace(0, 100, 100)
+        y = 3.0 * t + 1.0
+        fit = fit_profile(t, y)
+        assert isinstance(fit, LinearFit)
+
+    def test_fit_profile_prefers_hinge_for_saturation(self):
+        t, y = self.make_hinge()
+        fit = fit_profile(t, y)
+        assert isinstance(fit, PiecewiseFit)
+
+
+class _FakeTrial:
+    def __init__(self, slope, onset=100, n=80, t_max=2000, peak=None):
+        t = np.linspace(0, t_max, n)
+        cml = np.where(t < onset, 0.0, slope * (t - onset)).astype(float)
+        self.times = t.astype(np.int64)
+        self.cml = cml
+        self.peak_cml = int(cml.max()) if peak is None else peak
+        self.injected_cycles = (onset,)
+
+
+class TestFPS:
+    def test_mean_of_slopes(self):
+        trials = [_FakeTrial(s) for s in (1.0, 2.0, 3.0)]
+        res = compute_fps("app", trials)
+        assert res.fps == pytest.approx(2.0, rel=0.05)
+        assert res.n_trials == 3
+        assert res.std > 0
+
+    def test_skips_non_propagating_trials(self):
+        trials = [_FakeTrial(2.0), _FakeTrial(0.0, peak=0)]
+        res = compute_fps("app", trials)
+        assert res.n_trials == 1
+
+    def test_no_profiles_raises(self):
+        with pytest.raises(ModelError):
+            compute_fps("app", [_FakeTrial(0.0, peak=0)])
+
+    def test_fit_trial_model_onset_autodetect(self):
+        tr = _FakeTrial(5.0, onset=400)
+        model = fit_trial_model(tr.times, tr.cml)
+        assert model.slope == pytest.approx(5.0, rel=0.1)
+
+
+class TestEstimator:
+    def make(self, fps=2.0):
+        return CMLEstimator(FPSResult("app", fps, 0.1, 10, ()))
+
+    def test_eq1_eq2_cml_at(self):
+        est = self.make()
+        assert est.cml_at(t=100, t_fault=40) == pytest.approx(120.0)
+        assert est.cml_at(t=30, t_fault=40) == 0.0
+
+    def test_eq3_window_bounds(self):
+        est = self.make()
+        w = est.estimate_window(100, 200)
+        assert w.max_cml == pytest.approx(200.0)
+        assert w.avg_cml == pytest.approx(100.0)
+        assert w.min_cml == 0.0
+
+    def test_rollback_decision(self):
+        est = self.make()
+        w = est.estimate_window(0, 100)
+        assert w.rollback_advised(threshold=50)
+        assert not w.rollback_advised(threshold=500)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ModelError):
+            self.make().estimate_window(5, 5)
+
+
+class TestValidation:
+    def test_evaluate_perfect_fit(self):
+        t = np.linspace(0, 10, 50)
+        y = 2 * t + 1
+        fit = fit_linear(t, y)
+        rep = evaluate_fit(fit.predict, t, y)
+        assert rep.nmae == pytest.approx(0.0, abs=1e-12)
+        assert rep.r2 == pytest.approx(1.0)
+
+    def test_paper_accuracy_claim_on_clean_profiles(self):
+        # Paper Sec. 5: "errors are within 0.5% of the actual CML values".
+        t = np.linspace(0, 1000, 300)
+        y = 0.8 * np.minimum(t, 600) + 3
+        fit = fit_piecewise(t, y)
+        rep = evaluate_fit(fit.predict, t, y)
+        assert rep.nmae < 0.005
+
+    def test_kfold_returns_k_reports(self):
+        t = np.linspace(0, 100, 100)
+        y = 2 * np.minimum(t, 60) + 1
+        reports = kfold_validate(t, y, k=5)
+        assert len(reports) == 5
+        assert all(r.nmae < 0.1 for r in reports)
+
+    def test_kfold_too_few_points(self):
+        with pytest.raises(ModelError):
+            kfold_validate([1, 2, 3], [1, 2, 3], k=5)
+
+    def test_zero_truth_rejected(self):
+        with pytest.raises(ModelError):
+            evaluate_fit(lambda t: np.zeros_like(t),
+                         np.arange(5.0), np.zeros(5))

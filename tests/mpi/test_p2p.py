@@ -1,0 +1,183 @@
+"""Point-to-point messaging in the simulated MPI runtime."""
+
+import pytest
+
+from repro.mpi import JobStatus
+from repro.vm import TrapKind
+from tests.conftest import run_source
+
+
+class TestSendRecv:
+    def test_ring_pass(self):
+        res = run_source("""
+func main(rank: int, size: int) {
+    var buf: int[1];
+    if (rank == 0) {
+        buf[0] = 100;
+        mpi_send(&buf[0], 1, 1, 0);
+        mpi_recv(&buf[0], 1, size - 1, 0);
+        emiti(buf[0]);
+    } else {
+        mpi_recv(&buf[0], 1, rank - 1, 0);
+        buf[0] += 1;
+        var nxt: int = rank + 1;
+        if (nxt == size) { nxt = 0; }
+        mpi_send(&buf[0], 1, nxt, 0);
+    }
+}
+""", nranks=4)
+        assert res.status is JobStatus.COMPLETED
+        assert res.outputs[0] == [103]
+
+    def test_message_ordering_preserved(self):
+        res = run_source("""
+func main(rank: int, size: int) {
+    var v: int[1];
+    if (rank == 0) {
+        for (var i: int = 0; i < 5; i += 1) {
+            v[0] = i * 10;
+            mpi_send(&v[0], 1, 1, 7);
+        }
+    }
+    if (rank == 1) {
+        for (var i: int = 0; i < 5; i += 1) {
+            mpi_recv(&v[0], 1, 0, 7);
+            emiti(v[0]);
+        }
+    }
+}
+""", nranks=2)
+        assert res.outputs[1] == [0, 10, 20, 30, 40]
+
+    def test_tag_matching_skips_nonmatching(self):
+        res = run_source("""
+func main(rank: int, size: int) {
+    var v: int[1];
+    if (rank == 0) {
+        v[0] = 1; mpi_send(&v[0], 1, 1, 5);
+        v[0] = 2; mpi_send(&v[0], 1, 1, 6);
+    }
+    if (rank == 1) {
+        mpi_recv(&v[0], 1, 0, 6);
+        emiti(v[0]);
+        mpi_recv(&v[0], 1, 0, 5);
+        emiti(v[0]);
+    }
+}
+""", nranks=2)
+        assert res.outputs[1] == [2, 1]
+
+    def test_wildcard_source_and_tag(self):
+        res = run_source("""
+func main(rank: int, size: int) {
+    var v: int[1];
+    if (rank > 0) {
+        v[0] = rank;
+        mpi_send(&v[0], 1, 0, rank);
+    } else {
+        var s: int = 0;
+        for (var i: int = 1; i < size; i += 1) {
+            mpi_recv(&v[0], 1, -1, -1);
+            s += v[0];
+        }
+        emiti(s);
+    }
+}
+""", nranks=4)
+        assert res.outputs[0] == [6]
+
+    def test_zero_length_message(self):
+        res = run_source("""
+func main(rank: int, size: int) {
+    var v: float[4];
+    if (rank == 0) { mpi_send(&v[0], 0, 1, 0); emiti(1); }
+    if (rank == 1) { mpi_recv(&v[0], 4, 0, 0); emiti(2); }
+}
+""", nranks=2)
+        assert res.status is JobStatus.COMPLETED
+
+    def test_truncation_traps(self):
+        res = run_source("""
+func main(rank: int, size: int) {
+    var big: float[8];
+    var small: float[2];
+    if (rank == 0) { mpi_send(&big[0], 8, 1, 0); }
+    if (rank == 1) { mpi_recv(&small[0], 2, 0, 0); }
+}
+""", nranks=2)
+        assert res.status is JobStatus.TRAPPED
+        assert res.trap.kind is TrapKind.MPI
+
+    def test_send_to_invalid_rank_traps(self):
+        res = run_source("""
+func main(rank: int, size: int) {
+    var v: int[1];
+    mpi_send(&v[0], 1, 99, 0);
+}
+""", nranks=2)
+        assert res.status is JobStatus.TRAPPED
+        assert res.trap.kind is TrapKind.MPI
+
+    def test_send_from_invalid_buffer_traps(self):
+        res = run_source("""
+func main(rank: int, size: int) {
+    var v: int[2];
+    if (rank == 0) { mpi_send(&v[0], 5000, 1, 0); }
+    if (rank == 1) { var w: int[1]; mpi_recv(&w[0], 1, 0, 0); }
+}
+""", nranks=2)
+        assert res.status is JobStatus.TRAPPED
+        assert res.trap.kind is TrapKind.MEM_FAULT
+
+    def test_sendrecv_exchange(self):
+        res = run_source("""
+func main(rank: int, size: int) {
+    var s: int[1];
+    var r: int[1];
+    s[0] = rank * 11;
+    var partner: int = rank ^ 1;
+    mpi_sendrecv(&s[0], 1, partner, &r[0], 1, partner, 3);
+    emiti(r[0]);
+}
+""", nranks=4)
+        assert [o[0] for o in res.outputs] == [11, 0, 33, 22]
+
+
+class TestFailureModes:
+    def test_deadlock_detected(self):
+        res = run_source("""
+func main(rank: int, size: int) {
+    var v: int[1];
+    mpi_recv(&v[0], 1, (rank + 1) % size, 0);   // everyone waits, nobody sends
+}
+""", nranks=2)
+        assert res.status is JobStatus.DEADLOCK
+
+    def test_one_rank_exits_others_wait_is_deadlock(self):
+        res = run_source("""
+func main(rank: int, size: int) {
+    var v: int[1];
+    if (rank == 1) { mpi_recv(&v[0], 1, 0, 0); }
+}
+""", nranks=2)
+        assert res.status is JobStatus.DEADLOCK
+
+    def test_hang_detected_by_budget(self):
+        res = run_source("""
+func main(rank: int, size: int) {
+    var x: int = 1;
+    while (x > 0) { x = 1; }
+}
+""", nranks=1, max_cycles=50_000)
+        assert res.status is JobStatus.HANG
+
+    def test_abort_on_one_rank_kills_job(self):
+        res = run_source("""
+func main(rank: int, size: int) {
+    if (rank == 2) { mpi_abort(42); }
+    mpi_barrier();
+}
+""", nranks=4)
+        assert res.status is JobStatus.TRAPPED
+        assert res.trap.kind is TrapKind.ABORT
+        assert res.trap.rank == 2

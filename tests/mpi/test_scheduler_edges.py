@@ -1,0 +1,110 @@
+"""Scheduler edge cases: sampling, budgets, trace consistency."""
+
+import pytest
+
+from repro.core.config import RunConfig
+from repro.core.runner import build_program, run_job
+from repro.mpi import JobStatus, MPIRuntime, Scheduler
+from repro.vm import FaultSpec, Machine
+
+
+SRC = """
+func main(rank: int, size: int) {
+    var a: float[8];
+    for (var t: int = 0; t < 20; t += 1) {
+        for (var i: int = 0; i < 8; i += 1) {
+            a[i] = a[i] * 0.9 + float(rank + t);
+        }
+        mpi_barrier();
+        mark_iteration();
+    }
+    emit(a[0]);
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def fpm_setup():
+    config = RunConfig(nranks=3)
+    program = build_program(SRC, "fpm", config=config)
+    return program, config
+
+
+class TestSampling:
+    def test_trace_times_monotone(self, fpm_setup):
+        program, config = fpm_setup
+        res = run_job(program, config)
+        times = res.trace.times
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_sample_every_thins_trace(self, fpm_setup):
+        program, config = fpm_setup
+        dense = run_job(program, config)
+        sparse = run_job(program, config.with_(sample_every=8))
+        assert sparse.trace.n_samples < dense.trace.n_samples
+        assert sparse.outputs == dense.outputs
+
+    def test_trace_rows_aligned(self, fpm_setup):
+        program, config = fpm_setup
+        res = run_job(program, config)
+        tr = res.trace
+        assert len(tr.times) == len(tr.cml_per_rank) == len(tr.live_words) \
+            == len(tr.ranks_contaminated)
+        assert all(len(row) == config.nranks for row in tr.cml_per_rank)
+
+    def test_first_contamination_consistent_with_flags(self, fpm_setup):
+        program, config = fpm_setup
+        golden = run_job(program, config)
+        for occ in range(5, golden.inj_counts[1], 50):
+            res = run_job(program, config, faults=[FaultSpec(1, occ, bit=45)])
+            if res.crashed:
+                continue
+            for rank, first in enumerate(res.trace.first_contamination):
+                assert (first is not None) == res.ever_contaminated[rank]
+
+
+class TestQuantumIndependence:
+    def test_results_stable_across_quanta(self, fpm_setup):
+        program, config = fpm_setup
+        base = run_job(program, config.with_(quantum=256))
+        for q in (16, 64, 1024):
+            res = run_job(program, config.with_(quantum=q))
+            assert res.outputs == base.outputs
+            assert res.iterations == base.iterations
+            # rank clocks differ only by blocked-retry cycles at MPI
+            # rendezvous (which rank arrives last depends on interleaving)
+            for a, b in zip(res.rank_cycles, base.rank_cycles):
+                assert abs(a - b) <= 2 * base.iterations[0] + 10
+
+    def test_fault_outcome_stable_across_quanta(self, fpm_setup):
+        program, config = fpm_setup
+        golden = run_job(program, config)
+        occ = golden.inj_counts[0] // 2
+        base = run_job(program, config.with_(quantum=256),
+                       faults=[FaultSpec(0, occ, bit=44)], inj_seed=5)
+        for q in (32, 512):
+            res = run_job(program, config.with_(quantum=q),
+                          faults=[FaultSpec(0, occ, bit=44)], inj_seed=5)
+            assert res.outputs == base.outputs
+            assert res.ever_contaminated == base.ever_contaminated
+
+
+class TestBudgets:
+    def test_budget_just_above_need_completes(self, fpm_setup):
+        program, config = fpm_setup
+        golden = run_job(program, config)
+        res = run_job(program, config, max_cycles=golden.cycles + 1000)
+        assert res.status is JobStatus.COMPLETED
+
+    def test_budget_below_need_hangs(self, fpm_setup):
+        program, config = fpm_setup
+        golden = run_job(program, config)
+        res = run_job(program, config, max_cycles=golden.cycles // 3)
+        assert res.status is JobStatus.HANG
+
+    def test_rank_cycles_reported_per_rank(self, fpm_setup):
+        program, config = fpm_setup
+        res = run_job(program, config)
+        assert len(res.rank_cycles) == config.nranks
+        assert max(res.rank_cycles) == res.cycles
+        assert all(c > 0 for c in res.rank_cycles)

@@ -1,0 +1,106 @@
+"""Constant folding pass."""
+
+import pytest
+
+from repro.errors import PassError
+from repro.frontend import compile_source
+from repro.ir import BinOp, Cast, Cmp, verify_module
+from repro.passes import constfold, dce, faultinject, mem2reg, run_passes
+from repro.vm import Machine, MachineStatus, compile_program
+
+
+def run_main(mod):
+    m = Machine(compile_program(mod))
+    m.start()
+    while m.run(10 ** 6) is MachineStatus.READY:
+        pass
+    assert m.status is MachineStatus.DONE, m.trap
+    return m
+
+
+def count(mod, cls):
+    return sum(1 for f in mod for b in f for i in b if isinstance(i, cls))
+
+
+SRC = """
+func main(rank: int, size: int) {
+    var x: float = (2.0 + 3.0) * 4.0;   // foldable
+    var n: int = 6 * 7;
+    var a: float[4];
+    a[0] = x + float(n);
+    emit(a[0]);
+    emiti(n);
+}
+"""
+
+
+class TestFolding:
+    def test_folds_constant_arithmetic(self):
+        mod = compile_source(SRC)
+        mem2reg.run(mod)
+        before = count(mod, BinOp)
+        constfold.run(mod)
+        dce.run(mod)
+        verify_module(mod)
+        after = count(mod, BinOp)
+        assert after < before
+
+    def test_semantics_preserved(self):
+        plain = run_main(compile_source(SRC))
+        mod = compile_source(SRC)
+        run_passes(mod, ["mem2reg", "constfold", "dce"])
+        folded = run_main(mod)
+        assert folded.outputs == plain.outputs
+        assert folded.cycles <= plain.cycles
+
+    def test_propagation_through_copies(self):
+        mod = compile_source("""
+func main(rank: int, size: int) {
+    var a: int = 5;
+    var b: int = a + 3;
+    var c: int = b * 2;
+    emiti(c);
+}
+""")
+        run_passes(mod, ["mem2reg", "constfold", "dce"])
+        assert count(mod, BinOp) == 0
+        assert run_main(mod).outputs == [16]
+
+    def test_division_by_zero_not_folded(self):
+        mod = compile_source("""
+func main(rank: int, size: int) {
+    var z: int = 0;
+    emiti(7 / (z * 1));
+}
+""")
+        run_passes(mod, ["mem2reg", "constfold", "dce"])
+        m = Machine(compile_program(mod))
+        m.start()
+        while m.run(10 ** 5) is MachineStatus.READY:
+            pass
+        assert m.status is MachineStatus.TRAPPED  # trap survives folding
+
+    def test_loop_counters_not_propagated(self):
+        mod = compile_source("""
+func main(rank: int, size: int) {
+    var s: int = 0;
+    for (var i: int = 0; i < 5; i += 1) { s += i; }
+    emiti(s);
+}
+""")
+        run_passes(mod, ["mem2reg", "constfold", "dce"])
+        assert run_main(mod).outputs == [10]
+
+    def test_must_run_before_faultinject(self):
+        mod = compile_source(SRC)
+        mem2reg.run(mod)
+        faultinject.run(mod)
+        with pytest.raises(PassError, match="before faultinject"):
+            constfold.run(mod)
+
+    def test_site_space_shrinks(self):
+        mod1 = compile_source(SRC)
+        run_passes(mod1, ["mem2reg", "dce", "faultinject"])
+        mod2 = compile_source(SRC)
+        run_passes(mod2, ["mem2reg", "constfold", "dce", "faultinject"])
+        assert mod2.num_inject_sites <= mod1.num_inject_sites

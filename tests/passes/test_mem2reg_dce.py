@@ -1,0 +1,168 @@
+"""Scalar promotion and dead-code elimination."""
+
+from repro.frontend import compile_source
+from repro.ir import Alloca, Copy, Load, Store, verify_module
+from repro.passes import dce, mem2reg
+from repro.vm import Machine, MachineStatus, compile_program
+
+
+def counts(func):
+    c = {"alloca": 0, "load": 0, "store": 0, "copy": 0}
+    for block in func:
+        for inst in block:
+            if isinstance(inst, Alloca):
+                c["alloca"] += 1
+            elif isinstance(inst, Load):
+                c["load"] += 1
+            elif isinstance(inst, Store):
+                c["store"] += 1
+            elif isinstance(inst, Copy):
+                c["copy"] += 1
+    return c
+
+
+def run_main(mod, budget=10 ** 6):
+    prog = compile_program(mod)
+    m = Machine(prog)
+    m.start()
+    while m.run(budget) is MachineStatus.READY:
+        pass
+    assert m.status is MachineStatus.DONE, m.trap
+    return m
+
+
+SRC = """
+func main(rank: int, size: int) {
+    var a: float[4];
+    var s: float = 0.0;
+    var addressed: float = 1.0;
+    var p: float* = &addressed;
+    for (var i: int = 0; i < 4; i += 1) {
+        a[i] = float(i);
+        s += a[i] + p[0];
+    }
+    emit(s);
+}
+"""
+
+
+class TestMem2Reg:
+    def test_scalars_promoted_arrays_kept(self):
+        mod = compile_source(SRC)
+        before = counts(mod["main"])
+        mem2reg.run(mod)
+        verify_module(mod)
+        after = counts(mod["main"])
+        # a (array), addressed (&-taken) survive; s, i, p, params promoted.
+        assert after["alloca"] == 2
+        assert after["alloca"] < before["alloca"]
+        assert after["load"] < before["load"]
+
+    def test_semantics_preserved(self):
+        plain = run_main(compile_source(SRC))
+        mod = compile_source(SRC)
+        mem2reg.run(mod)
+        promoted = run_main(mod)
+        assert promoted.outputs == plain.outputs
+
+    def test_promotion_reduces_cycles(self):
+        plain = run_main(compile_source(SRC))
+        mod = compile_source(SRC)
+        mem2reg.run(mod)
+        dce.run(mod)
+        fast = run_main(mod)
+        assert fast.cycles < plain.cycles
+
+    def test_addressed_variable_not_promoted(self):
+        mod = compile_source("""
+func main(rank: int, size: int) {
+    var x: float = 3.0;
+    var p: float* = &x;
+    p[0] = 9.0;
+    emit(x);
+}
+""")
+        mem2reg.run(mod)
+        verify_module(mod)
+        # x must still live in memory for the pointer write to be seen.
+        assert run_main(mod).outputs == [9.0]
+
+    def test_escaping_slot_not_promoted(self):
+        mod = compile_source("""
+func set(p: float*) { p[0] = 5.0; }
+func main(rank: int, size: int) {
+    var x: float = 0.0;
+    set(&x);
+    emit(x);
+}
+""")
+        mem2reg.run(mod)
+        verify_module(mod)
+        assert run_main(mod).outputs == [5.0]
+
+    def test_records_pass(self):
+        mod = compile_source(SRC)
+        mem2reg.run(mod)
+        assert "mem2reg" in mod.passes_applied
+
+
+class TestDCE:
+    def test_removes_dead_arithmetic(self):
+        mod = compile_source("""
+func main(rank: int, size: int) {
+    var unused: int = rank * 37 + size;
+    emiti(rank);
+}
+""")
+        mem2reg.run(mod)
+        n_before = sum(len(b.instructions) for b in mod["main"])
+        dce.run(mod)
+        verify_module(mod)
+        n_after = sum(len(b.instructions) for b in mod["main"])
+        assert n_after < n_before
+        assert run_main(mod).outputs == [0]
+
+    def test_keeps_loads(self):
+        mod = compile_source("""
+func main(rank: int, size: int) {
+    var a: float[4];
+    var dead: float = a[2];
+    emiti(rank);
+}
+""")
+        mem2reg.run(mod)
+        dce.run(mod)
+        # The load may trap on a corrupted index in a faulty run; removing
+        # it would change crash behaviour.
+        assert counts(mod["main"])["load"] >= 1
+
+    def test_keeps_calls_and_stores(self):
+        mod = compile_source("""
+func main(rank: int, size: int) {
+    var a: float[2];
+    a[0] = 1.0;
+    emit(a[0]);
+}
+""")
+        mem2reg.run(mod)
+        dce.run(mod)
+        c = counts(mod["main"])
+        assert c["store"] >= 1
+        assert run_main(mod).outputs == [1.0]
+
+    def test_fixpoint_chains(self):
+        # dead <- dead <- dead chains need iteration to fully disappear
+        mod = compile_source("""
+func main(rank: int, size: int) {
+    var a: int = rank + 1;
+    var b: int = a * 2;
+    var c: int = b - 3;
+    emiti(rank);
+}
+""")
+        mem2reg.run(mod)
+        dce.run(mod)
+        main = mod["main"]
+        from repro.ir import BinOp
+        binops = [i for blk in main for i in blk if isinstance(i, BinOp)]
+        assert binops == []

@@ -1,0 +1,172 @@
+"""Naive taint baseline: structure, clean-run soundness, overestimation.
+
+Paper Sec. 3 motivates the dual chain by rejecting the assumption that
+"the output of an instruction becomes corrupted if at least one of the
+inputs is corrupted" — taint analysis IS that assumption, so it must
+(a) agree with the dual chain that clean runs are clean, and
+(b) overestimate on the masking cases of Table 1.
+"""
+
+import pytest
+
+from repro.errors import PassError
+from repro.fpm import TaintTable
+from repro.frontend import compile_source
+from repro.ir import FpmLoad, FpmStore, INT, verify_module
+from repro.passes import dualchain, run_passes, taintchain, pipeline_for_mode
+from repro.core.config import RunConfig
+from repro.core.runner import build_program, run_job
+from repro.vm import FaultSpec, Machine, MachineStatus, compile_program
+
+
+SRC = """
+func main(rank: int, size: int) {
+    var a: float[6];
+    for (var i: int = 0; i < 6; i += 1) { a[i] = float(i) * 1.5; }
+    var s: float = 0.0;
+    for (var i: int = 0; i < 6; i += 1) { s += sqrt(fabs(a[i])); }
+    emit(s);
+}
+"""
+
+
+def build_taint(src, kinds=("arith", "mem")):
+    config = RunConfig(nranks=1, inject_kinds=kinds)
+    return build_program(src, "taint", config=config)
+
+
+def run_one(prog, faults=()):
+    m = Machine(prog)
+    if faults:
+        m.arm_faults(faults)
+    m.start()
+    while m.run(10 ** 6) is MachineStatus.READY:
+        pass
+    return m
+
+
+class TestStructure:
+    def test_shadow_registers_are_int(self):
+        mod = compile_source(SRC)
+        run_passes(mod, pipeline_for_mode("taint"))
+        for func in mod:
+            for block in func:
+                for inst in block:
+                    if isinstance(inst, FpmLoad):
+                        assert inst.taint
+                        assert inst.dest_p.type is INT
+                    if isinstance(inst, FpmStore):
+                        assert inst.taint
+                        assert inst.value_p.type is INT
+        verify_module(mod)
+
+    def test_mutually_exclusive_with_dualchain(self):
+        mod = compile_source(SRC)
+        run_passes(mod, ["faultinject", "taintchain"], verify=False)
+        with pytest.raises(PassError):
+            dualchain.run(mod)
+        mod2 = compile_source(SRC)
+        run_passes(mod2, ["faultinject", "dualchain"], verify=False)
+        with pytest.raises(PassError):
+            taintchain.run(mod2)
+
+    def test_program_mode_flags(self):
+        prog = build_taint(SRC)
+        assert prog.taint_mode and prog.fpm_mode
+
+
+class TestCleanRun:
+    def test_no_false_positives(self):
+        prog = build_taint(SRC)
+        m = run_one(prog)
+        assert m.status is MachineStatus.DONE
+        assert isinstance(m.fpm, TaintTable)
+        assert len(m.fpm) == 0
+        assert not m.fpm.ever_contaminated
+
+    def test_outputs_match_blackbox(self):
+        config = RunConfig(nranks=1)
+        bb = build_program(SRC, "blackbox", config=config)
+        taint = build_program(SRC, "taint", config=config)
+        assert run_one(bb).outputs == run_one(taint).outputs
+
+    def test_multirank_clean(self):
+        src = """
+func main(rank: int, size: int) {
+    var v: float[2];
+    var r: float[2];
+    v[0] = float(rank);
+    v[1] = 2.0;
+    mpi_allreduce(&v[0], &r[0], 2, 0);
+    emit(r[0] + r[1]);
+}
+"""
+        config = RunConfig(nranks=4)
+        prog = build_program(src, "taint", config=config)
+        res = run_job(prog, config)
+        assert not res.crashed
+        assert not res.any_contaminated
+
+
+class TestOverestimation:
+    MASKED = """
+func main(rank: int, size: int) {
+    var out: int[1];
+    var a: int = 19;
+    out[0] = a >> 2;
+    emiti(out[0]);
+}
+"""
+
+    def _flip_19(self, prog):
+        probe = run_one(prog)
+        for occ in range(1, probe.inj_counter + 1):
+            m = run_one(prog, faults=[FaultSpec(0, occ, bit=1, operand=0)])
+            if m.injection_events and m.injection_events[0].before == 19:
+                return m
+        raise AssertionError("register holding 19 never targeted")
+
+    def test_taint_flags_masked_shift(self):
+        """Table 1 row 4: 19>>2 == 17>>2 — the dual chain correctly says
+        'not contaminated'; naive taint wrongly flags it."""
+        config = RunConfig(nranks=1, inject_kinds=("arith", "mem"))
+        dual_prog = build_program(self.MASKED, "fpm", config=config)
+        taint_prog = build_program(self.MASKED, "taint", config=config)
+
+        dual = self._flip_19(dual_prog)
+        taint = self._flip_19(taint_prog)
+
+        assert dual.outputs == taint.outputs == [4]
+        assert not dual.fpm.ever_contaminated       # exact: masked
+        assert taint.fpm.ever_contaminated          # naive: overestimates
+
+    def test_taint_injection_marks_register(self):
+        prog = build_taint(self.MASKED)
+        m = self._flip_19(prog)
+        assert len(m.fpm) >= 1
+
+    def test_taint_never_smaller_on_straight_line_data(self):
+        """On pure data flow without address corruption, taint >= exact."""
+        src = """
+func main(rank: int, size: int) {
+    var a: float[8];
+    var b: float[8];
+    for (var i: int = 0; i < 8; i += 1) { a[i] = float(i) + 1.0; }
+    for (var i: int = 0; i < 8; i += 1) { b[i] = a[i] * 2.0 + 1.0; }
+    emit(b[7]);
+}
+"""
+        config = RunConfig(nranks=1)
+        dual_prog = build_program(src, "fpm", config=config)
+        taint_prog = build_program(src, "taint", config=config)
+        probe = run_one(dual_prog)
+        compared = 0
+        for occ in range(5, probe.inj_counter, 7):
+            for bit in (20, 45):
+                d = run_one(dual_prog, faults=[FaultSpec(0, occ, bit=bit)])
+                t = run_one(taint_prog, faults=[FaultSpec(0, occ, bit=bit)])
+                if d.status is MachineStatus.DONE and \
+                        t.status is MachineStatus.DONE:
+                    assert len(t.fpm) >= len(d.fpm)
+                    compared += 1
+        assert compared >= 5

@@ -1,0 +1,116 @@
+"""Bit-flip semantics: the paper's single-bit transient-fault model."""
+
+import math
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.vm.bitflip import (
+    bits_to_float,
+    flip_bit,
+    flip_float_bit,
+    flip_int_bit,
+    float_to_bits,
+    to_signed64,
+    to_unsigned64,
+)
+
+i64 = st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1)
+bits = st.integers(min_value=0, max_value=63)
+finite_floats = st.floats(allow_nan=False, allow_infinity=False)
+
+
+class TestIntFlip:
+    def test_flip_lsb(self):
+        assert flip_int_bit(0, 0) == 1
+        assert flip_int_bit(1, 0) == 0
+
+    def test_paper_table1_example(self):
+        # a = 19 (00010011), flipping the second least significant bit
+        # (bit 1) turns it into 17; the paper's a-with-bit-flipped example.
+        assert flip_int_bit(19, 1) == 17
+
+    def test_sign_bit(self):
+        assert flip_int_bit(0, 63) == -(2 ** 63)
+        assert flip_int_bit(-1, 63) == 2 ** 63 - 1
+
+    def test_fig1_matrix_value(self):
+        # Fig. 1: "the third least significant bit of A[3,3] flips from 1
+        # to 0, inducing a change of value ... from 6 to 2".
+        assert flip_int_bit(6, 2) == 2
+
+    @given(i64, bits)
+    def test_involution(self, v, b):
+        assert flip_int_bit(flip_int_bit(v, b), b) == v
+
+    @given(i64, bits)
+    def test_result_in_signed_range(self, v, b):
+        r = flip_int_bit(v, b)
+        assert -(2 ** 63) <= r <= 2 ** 63 - 1
+
+    @given(i64, bits)
+    def test_changes_exactly_one_bit(self, v, b):
+        r = flip_int_bit(v, b)
+        diff = to_unsigned64(v) ^ to_unsigned64(r)
+        assert diff == 1 << b
+
+    def test_bit_out_of_range(self):
+        with pytest.raises(ValueError):
+            flip_int_bit(1, 64)
+        with pytest.raises(ValueError):
+            flip_int_bit(1, -1)
+
+
+class TestFloatFlip:
+    def test_mantissa_flip_small_change(self):
+        v = flip_float_bit(1.0, 0)
+        assert v != 1.0
+        assert abs(v - 1.0) < 1e-15
+
+    def test_exponent_flip_large_change(self):
+        v = flip_float_bit(1.0, 62)
+        assert v > 1e100 or v < 1e-100
+
+    def test_sign_flip(self):
+        assert flip_float_bit(3.5, 63) == -3.5
+
+    @given(finite_floats, bits)
+    def test_involution(self, v, b):
+        r = flip_float_bit(flip_float_bit(v, b), b)
+        # compare representations: NaN payloads round-trip bit-exactly
+        assert float_to_bits(r) == float_to_bits(v)
+
+    @given(finite_floats, bits)
+    def test_changes_exactly_one_bit(self, v, b):
+        r = flip_float_bit(v, b)
+        assert float_to_bits(v) ^ float_to_bits(r) == 1 << b
+
+    def test_can_produce_nan(self):
+        # Flipping the top exponent bit of a subnormal-exponent value can
+        # yield NaN — a real failure mode the classifier must handle.
+        v = flip_float_bit(bits_to_float(0x000FFFFFFFFFFFFF), 62)
+        # 0x7FEF... is a huge finite; flipping all-exponent-ones payloads:
+        nan_case = flip_float_bit(float("inf"), 0)
+        assert math.isnan(nan_case)
+        assert v != 0.0
+
+
+class TestRoundTrip:
+    @given(finite_floats)
+    def test_float_bits_roundtrip(self, v):
+        assert bits_to_float(float_to_bits(v)) == v
+
+    @given(i64)
+    def test_signed_unsigned_roundtrip(self, v):
+        assert to_signed64(to_unsigned64(v)) == v
+
+
+class TestDispatch:
+    def test_flip_bit_dispatches_on_declared_type(self):
+        # An int value in a FLOAT register is flipped in its IEEE form.
+        assert flip_bit(6, 2, is_float=False) == 2
+        as_float = flip_bit(6, 2, is_float=True)
+        assert isinstance(as_float, float)
+        assert as_float != 6.0

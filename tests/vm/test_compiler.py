@@ -1,0 +1,112 @@
+"""Closure compiler: site tables, mode flags, program reuse."""
+
+import pytest
+
+from repro.core.config import RunConfig
+from repro.core.runner import build_program
+from repro.errors import ReproError
+from repro.frontend import compile_source
+from repro.ir import Call, Function, INT, IRBuilder, Module, VOID, const_int
+from repro.passes import pipeline_for_mode, run_passes
+from repro.vm import Machine, MachineStatus, compile_program
+
+
+SRC = """
+func double_it(x: float) -> float { return x * 2.0; }
+func main(rank: int, size: int) {
+    var a: float[4];
+    for (var i: int = 0; i < 4; i += 1) { a[i] = double_it(float(i)); }
+    emit(a[3]);
+}
+"""
+
+
+class TestSiteTable:
+    def test_every_site_resolvable(self):
+        prog = build_program(SRC, "blackbox", config=RunConfig(nranks=1))
+        assert prog.num_inject_sites > 0
+        assert set(prog.site_table) == set(range(prog.num_inject_sites))
+        for fn, blk, text in prog.site_table.values():
+            assert fn in ("main", "double_it")
+            assert text
+
+    def test_site_table_matches_modes(self):
+        bb = build_program(SRC, "blackbox", config=RunConfig(nranks=1))
+        fpm = build_program(SRC, "fpm", config=RunConfig(nranks=1))
+        assert set(bb.site_table) == set(fpm.site_table)
+        # same function attribution per site across builds
+        for sid in bb.site_table:
+            assert bb.site_table[sid][0] == fpm.site_table[sid][0]
+
+
+class TestModeFlags:
+    def test_blackbox_flags(self):
+        prog = build_program(SRC, "blackbox", config=RunConfig(nranks=1))
+        assert not prog.fpm_mode and not prog.taint_mode
+
+    def test_fpm_flags(self):
+        prog = build_program(SRC, "fpm", config=RunConfig(nranks=1))
+        assert prog.fpm_mode and not prog.taint_mode
+
+    def test_taint_flags(self):
+        prog = build_program(SRC, "taint", config=RunConfig(nranks=1))
+        assert prog.fpm_mode and prog.taint_mode
+
+
+class TestProgramReuse:
+    def test_one_program_many_machines(self):
+        """Compiled programs are immutable: machines never interfere."""
+        prog = build_program(SRC, "fpm", config=RunConfig(nranks=1))
+        machines = [Machine(prog, seed=s) for s in (1, 2, 3)]
+        for m in machines:
+            m.start()
+            while m.run(10 ** 5) is MachineStatus.READY:
+                pass
+        outs = [m.outputs for m in machines]
+        assert outs[0] == outs[1] == outs[2]
+        assert all(m.cml == 0 for m in machines)
+
+    def test_sequential_runs_reset_cleanly(self):
+        prog = build_program(SRC, "fpm", config=RunConfig(nranks=1))
+        first = Machine(prog)
+        first.start()
+        while first.run(10 ** 5) is MachineStatus.READY:
+            pass
+        second = Machine(prog)
+        second.start()
+        while second.run(10 ** 5) is MachineStatus.READY:
+            pass
+        assert first.outputs == second.outputs
+        assert first.inj_counter == second.inj_counter
+
+
+class TestCompileErrors:
+    def test_unknown_callee_rejected_at_compile_time(self):
+        mod = Module("m")
+        f = Function("main", [INT, INT], VOID, ["rank", "size"])
+        mod.add_function(f)
+        b = IRBuilder(f, f.new_block("entry"))
+        # bypass sema: direct IR with a bogus callee
+        b.block.append(Call(None, "no_such_function", [const_int(1)]))
+        b.ret()
+        with pytest.raises(ReproError, match="unknown function"):
+            compile_program(mod)
+
+
+class TestDualCallProtocol:
+    def test_nested_dual_calls_return_pairs(self):
+        src = """
+func inner(x: float) -> float { return x + 1.0; }
+func outer(x: float) -> float { return inner(x) * 2.0; }
+func main(rank: int, size: int) {
+    emit(outer(3.0));
+}
+"""
+        prog = build_program(src, "fpm", config=RunConfig(nranks=1))
+        m = Machine(prog)
+        m.start()
+        while m.run(10 ** 5) is MachineStatus.READY:
+            pass
+        assert m.status is MachineStatus.DONE
+        assert m.outputs == [8.0]
+        assert m.cml == 0

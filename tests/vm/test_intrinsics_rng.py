@@ -1,0 +1,84 @@
+"""Intrinsic registry and the deterministic program RNG."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vm import INTRINSICS, Lcg64, get_intrinsic, is_intrinsic
+from repro.vm.intrinsics import _pow
+
+
+class TestRegistry:
+    def test_every_intrinsic_well_formed(self):
+        valid_codes = {"int", "float", "pi", "pf", "pa"}
+        for name, spec in INTRINSICS.items():
+            assert spec.name == name
+            assert callable(spec.handler)
+            assert all(c in valid_codes for c in spec.params), name
+            assert spec.ret in valid_codes | {"void"}, name
+
+    def test_pure_intrinsics_have_no_mpi(self):
+        for name, spec in INTRINSICS.items():
+            if spec.pure:
+                assert not name.startswith("mpi_"), name
+                assert name not in ("rand", "malloc", "free", "emit")
+
+    def test_lookup(self):
+        assert is_intrinsic("sqrt")
+        assert not is_intrinsic("sqrtf")
+        assert get_intrinsic("nothing") is None
+
+    def test_math_domain_safety(self):
+        """C math semantics: domain errors yield NaN/inf, never exceptions
+        (an injected fault must not crash the VM through libm)."""
+        sqrt = INTRINSICS["sqrt"].handler
+        log = INTRINSICS["log"].handler
+        exp = INTRINSICS["exp"].handler
+        assert math.isnan(sqrt(None, [-1.0]))
+        assert math.isnan(log(None, [-1.0]))
+        assert exp(None, [1e10]) == math.inf
+
+    def test_pow_edge_cases(self):
+        assert _pow(2.0, 10.0) == 1024.0
+        assert math.isnan(_pow(-2.0, 0.5))  # complex result -> NaN
+        assert math.isnan(_pow(0.0, -1.0)) or _pow(0.0, -1.0) == math.inf
+
+
+class TestLcg64:
+    def test_deterministic(self):
+        a = Lcg64(42, stream=3)
+        b = Lcg64(42, stream=3)
+        assert [a.next_u64() for _ in range(10)] == \
+            [b.next_u64() for _ in range(10)]
+
+    def test_streams_decorrelated(self):
+        a = Lcg64(42, stream=0)
+        b = Lcg64(42, stream=1)
+        assert [a.next_u64() for _ in range(5)] != \
+            [b.next_u64() for _ in range(5)]
+
+    @settings(max_examples=20)
+    @given(st.integers(min_value=0, max_value=2 ** 32))
+    def test_float_range(self, seed):
+        rng = Lcg64(seed)
+        for _ in range(50):
+            v = rng.next_float()
+            assert 0.0 <= v < 1.0
+
+    def test_int_bound(self):
+        rng = Lcg64(7)
+        vals = [rng.next_int(10) for _ in range(200)]
+        assert set(vals) <= set(range(10))
+        assert len(set(vals)) == 10  # all residues reachable
+
+    def test_int_bound_positive(self):
+        with pytest.raises(ValueError):
+            Lcg64(1).next_int(0)
+
+    def test_roughly_uniform(self):
+        rng = Lcg64(123)
+        n = 20000
+        mean = sum(rng.next_float() for _ in range(n)) / n
+        assert abs(mean - 0.5) < 0.02

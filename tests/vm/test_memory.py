@@ -1,0 +1,168 @@
+"""Word-addressed process memory: validity, stack and heap discipline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vm.memory import ProcessMemory
+from repro.vm.traps import Trap, TrapKind
+
+
+def mem(capacity=1024, stack=256):
+    return ProcessMemory(capacity, stack)
+
+
+class TestValidity:
+    def test_null_address_faults(self):
+        m = mem()
+        m.stack_alloc(4)
+        with pytest.raises(Trap) as exc:
+            m.load(0)
+        assert exc.value.kind is TrapKind.MEM_FAULT
+
+    def test_unallocated_faults(self):
+        m = mem()
+        with pytest.raises(Trap):
+            m.load(10)
+        with pytest.raises(Trap):
+            m.store(10, 1.0)
+
+    def test_negative_and_out_of_range(self):
+        m = mem()
+        for addr in (-1, 10 ** 9, 2 ** 62):
+            with pytest.raises(Trap):
+                m.load(addr)
+
+    def test_alloc_then_access(self):
+        m = mem()
+        a = m.stack_alloc(4)
+        m.store(a + 3, 2.5)
+        assert m.load(a + 3) == 2.5
+
+    def test_fresh_allocation_is_zeroed(self):
+        m = mem()
+        a = m.stack_alloc(8)
+        assert all(m.load(a + i) == 0 for i in range(8))
+
+
+class TestStack:
+    def test_sequential_addresses(self):
+        m = mem()
+        a = m.stack_alloc(4)
+        b = m.stack_alloc(4)
+        assert b == a + 4
+
+    def test_overflow_traps(self):
+        m = mem(capacity=1024, stack=64)
+        with pytest.raises(Trap) as exc:
+            m.stack_alloc(100)
+        assert exc.value.kind is TrapKind.STACK_OVERFLOW
+
+    def test_release_invalidates(self):
+        m = mem()
+        keep = m.stack_alloc(2)
+        sp = m.sp
+        tmp = m.stack_alloc(4)
+        m.stack_release(sp)
+        assert m.load(keep) == 0
+        with pytest.raises(Trap):
+            m.load(tmp)
+
+    def test_release_returns_range(self):
+        m = mem()
+        sp = m.sp
+        m.stack_alloc(4)
+        lo, hi = m.stack_release(sp)
+        assert (lo, hi) == (sp, sp + 4)
+
+    def test_realloc_after_release_is_zeroed(self):
+        m = mem()
+        sp = m.sp
+        a = m.stack_alloc(2)
+        m.store(a, 42)
+        m.stack_release(sp)
+        b = m.stack_alloc(2)
+        assert b == a
+        assert m.load(b) == 0
+
+
+class TestHeap:
+    def test_malloc_free_cycle(self):
+        m = mem()
+        p = m.malloc(16)
+        m.store(p, 7)
+        assert m.load(p) == 7
+        m.free(p)
+        with pytest.raises(Trap):
+            m.load(p)
+
+    def test_free_list_reuse(self):
+        m = mem()
+        p = m.malloc(8)
+        m.free(p)
+        q = m.malloc(8)
+        assert q == p
+        assert m.load(q) == 0  # reused blocks are zeroed
+
+    def test_double_free_traps(self):
+        m = mem()
+        p = m.malloc(8)
+        m.free(p)
+        with pytest.raises(Trap):
+            m.free(p)
+
+    def test_invalid_free_traps(self):
+        m = mem()
+        with pytest.raises(Trap):
+            m.free(12345)
+
+    def test_oom(self):
+        m = mem(capacity=300, stack=100)
+        with pytest.raises(Trap) as exc:
+            m.malloc(500)
+        assert exc.value.kind is TrapKind.OOM
+
+    def test_malloc_nonpositive_traps(self):
+        m = mem()
+        for n in (0, -1):
+            with pytest.raises(Trap):
+                m.malloc(n)
+
+
+class TestBlocks:
+    def test_read_write_block(self):
+        m = mem()
+        a = m.stack_alloc(8)
+        m.write_block(a, [1.0, 2.0, 3.0])
+        assert m.read_block(a, 3) == [1.0, 2.0, 3.0]
+
+    def test_block_spanning_invalid_traps(self):
+        m = mem()
+        a = m.stack_alloc(4)
+        with pytest.raises(Trap):
+            m.read_block(a, 100)
+
+    def test_negative_count_traps(self):
+        m = mem()
+        a = m.stack_alloc(4)
+        with pytest.raises(Trap):
+            m.read_block(a, -1)
+
+
+class TestLiveWords:
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(min_value=1, max_value=16), min_size=1,
+                    max_size=10))
+    def test_live_word_accounting(self, sizes):
+        m = mem(capacity=4096, stack=1024)
+        ptrs = [m.malloc(n) for n in sizes]
+        assert m.live_words == sum(sizes)
+        for p in ptrs:
+            m.free(p)
+        assert m.live_words == 0
+
+    def test_stack_and_heap_both_counted(self):
+        m = mem()
+        m.stack_alloc(10)
+        m.malloc(5)
+        assert m.live_words == 15
