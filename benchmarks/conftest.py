@@ -3,8 +3,11 @@
 Campaigns are expensive, so they run once per session per (app, mode) and
 are shared by every benchmark that needs them.  Trial count comes from
 REPRO_TRIALS (default 150) and process parallelism from REPRO_WORKERS
-(default: up to 4).  Rendered tables/figures are written to
-``benchmarks/results/`` so EXPERIMENTS.md can cite them.
+(default: up to 4); both are validated by the campaign layer, and
+campaigns run on the supervised engine (watchdog via
+REPRO_TRIAL_TIMEOUT, crashed-worker recovery, quarantine).  Rendered
+tables/figures are written to ``benchmarks/results/`` so EXPERIMENTS.md
+can cite them.
 """
 
 from __future__ import annotations
@@ -15,17 +18,17 @@ from pathlib import Path
 import pytest
 
 from repro.inject import run_campaign
+from repro.inject.campaign import _env_int
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
 def trials() -> int:
-    return int(os.environ.get("REPRO_TRIALS", "150"))
+    return _env_int("REPRO_TRIALS", 150)
 
 
 def workers() -> int:
-    return int(os.environ.get("REPRO_WORKERS",
-                              str(min(4, os.cpu_count() or 1))))
+    return _env_int("REPRO_WORKERS", min(4, os.cpu_count() or 1))
 
 
 SEED = 20150715  # SC '15 era

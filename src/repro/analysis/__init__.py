@@ -26,6 +26,7 @@ from .uniformity import UniformityReport, coverage_histogram
 from .report import (
     render_downsampled_profile,
     render_fps_table,
+    render_health_summary,
     render_histogram,
     render_outcome_table,
     render_series,
@@ -38,7 +39,8 @@ __all__ = [
     "contamination_stats",
     "coverage_histogram", "crash_kind_histogram", "outcome_fractions",
     "outputs_match", "rank_spread_curve", "render_downsampled_profile",
-    "render_fps_table", "render_histogram", "render_outcome_table",
+    "render_fps_table", "render_health_summary", "render_histogram",
+    "render_outcome_table",
     "render_series", "render_site_ranking", "render_table",
     "site_vulnerability", "values_match", "campaign_from_json",
     "campaign_to_json", "load_campaign", "save_campaign", "trials_to_csv",

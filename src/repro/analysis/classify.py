@@ -31,6 +31,9 @@ class Outcome(Enum):
     CRASHED = "C"
     #: black-box correct output: V + ONA indistinguishable
     CO = "CO"
+    #: the harness lost the trial (worker crash, watchdog timeout, ...)
+    #: after exhausting retries — not an application outcome
+    HARNESS_FAILURE = "HF"
 
     @property
     def is_correct_output(self) -> bool:

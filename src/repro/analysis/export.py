@@ -18,6 +18,7 @@ from typing import Optional, Union
 import numpy as np
 
 from ..inject.campaign import CampaignResult, TrialResult
+from ..inject.health import CampaignHealth
 from ..vm.machine import FaultSpec
 
 _FORMAT_VERSION = 1
@@ -46,6 +47,11 @@ def _trial_to_dict(t: TrialResult) -> dict:
             c if c is not None else None for c in t.first_contamination
         ],
     }
+    if t.failure_kind is not None:
+        d["failure_kind"] = t.failure_kind
+        d["failure_detail"] = t.failure_detail
+    if t.retries:
+        d["retries"] = t.retries
     if t.times is not None:
         d["series"] = {
             "times": t.times.tolist(),
@@ -77,6 +83,9 @@ def _trial_from_dict(d: dict) -> TrialResult:
         ever_contaminated=d.get("ever_contaminated", False),
         ranks_contaminated=d.get("ranks_contaminated", 0),
         first_contamination=tuple(d.get("first_contamination", [])),
+        failure_kind=d.get("failure_kind"),
+        failure_detail=d.get("failure_detail"),
+        retries=d.get("retries", 0),
     )
     series = d.get("series")
     if series is not None:
@@ -101,6 +110,8 @@ def campaign_to_json(campaign: CampaignResult) -> str:
         "golden_cycles": campaign.golden_cycles,
         "golden_rank_cycles": list(campaign.golden_rank_cycles),
         "inj_counts": list(campaign.inj_counts),
+        "effective_workers": campaign.effective_workers,
+        "health": campaign.health.to_dict() if campaign.health else None,
         "trials": [_trial_to_dict(t) for t in campaign.trials],
     }
     return json.dumps(payload)
@@ -120,6 +131,9 @@ def campaign_from_json(text: str) -> CampaignResult:
         golden_rank_cycles=tuple(d.get("golden_rank_cycles", [])),
         inj_counts=tuple(d["inj_counts"]),
         trials=[_trial_from_dict(t) for t in d["trials"]],
+        effective_workers=d.get("effective_workers", 1),
+        health=(CampaignHealth.from_dict(d["health"])
+                if d.get("health") else None),
     )
 
 

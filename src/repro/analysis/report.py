@@ -49,6 +49,43 @@ def render_fps_table(fps_results: Sequence) -> str:
     return render_table(["App.", "FPS (CML/cycle)", "SDev", "profiles"], rows)
 
 
+def render_health_summary(health, quarantined_trials: Optional[Sequence] = None) -> str:
+    """Post-campaign supervision summary (engine health, not science).
+
+    Takes a :class:`~repro.inject.health.CampaignHealth`; pass the
+    quarantined :class:`TrialResult` records to also list each lost
+    trial's failure kind and detail.
+    """
+    lines = [
+        f"engine: {health.effective_workers} worker(s)"
+        + (f" (of {health.requested_workers} requested)"
+           if health.requested_workers != health.effective_workers else "")
+        + f", wall time {health.wall_time_s:.1f}s"
+    ]
+    if health.resumed_trials:
+        lines.append(f"resumed: {health.resumed_trials} trial(s) "
+                     "restored from journal")
+    if health.clean:
+        lines.append("supervision: clean — no retries, no failures")
+        return "\n".join(lines)
+    lines.append(
+        f"supervision: {health.retries} retr"
+        f"{'y' if health.retries == 1 else 'ies'}, "
+        f"{health.timeouts} watchdog timeout(s), "
+        f"{health.worker_crashes} worker crash(es), "
+        f"{health.trial_exceptions} trial exception(s), "
+        f"{health.worker_respawns} worker respawn(s)"
+    )
+    if health.quarantined:
+        lines.append(f"quarantined: {len(health.quarantined)} trial(s) "
+                     f"recorded as HARNESS_FAILURE: "
+                     f"{list(health.quarantined)}")
+        for index, trial in zip(health.quarantined, quarantined_trials or ()):
+            lines.append(f"  trial {index}: {trial.failure_kind} — "
+                         f"{trial.failure_detail}")
+    return "\n".join(lines)
+
+
 def render_histogram(
     counts: Sequence[int],
     *,

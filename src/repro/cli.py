@@ -19,8 +19,10 @@ import sys
 from . import __version__
 from .analysis import (
     render_fps_table,
+    render_health_summary,
     render_outcome_table,
 )
+from .errors import CampaignError
 from .apps import app_names, get_app
 from .core.framework import FaultPropagationFramework
 from .frontend import compile_source
@@ -38,6 +40,12 @@ def _add_campaign_args(p: argparse.ArgumentParser) -> None:
                    help="process parallelism (default REPRO_WORKERS/1)")
     p.add_argument("--faults", type=int, default=1,
                    help="faults per run (LLFI++ multi-fault extension)")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-trial wall-clock watchdog "
+                        "(default REPRO_TRIAL_TIMEOUT/off)")
+    p.add_argument("--max-retries", type=int, default=2, metavar="N",
+                   help="re-executions of a harness-failed trial before "
+                        "it is quarantined (default 2)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -59,6 +67,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_campaign_args(p)
     p.add_argument("--mode", choices=("blackbox", "fpm", "taint"),
                    default="fpm")
+    p.add_argument("--journal", metavar="PATH",
+                   help="checkpoint completed trials to a JSONL journal "
+                        "(resumable with --resume)")
+    p.add_argument("--resume", metavar="JOURNAL",
+                   help="finish an interrupted journaled campaign "
+                        "(ignores --trials/--seed; they come from the "
+                        "journal header)")
     p.add_argument("--save-json", metavar="PATH",
                    help="persist the campaign (reload with "
                         "repro.analysis.load_campaign)")
@@ -102,22 +117,32 @@ def cmd_golden(args) -> int:
 
 def cmd_campaign(args) -> int:
     fw = FaultPropagationFramework.for_app(args.app)
-    if args.mode == "blackbox":
-        c = fw.blackbox_campaign(trials=args.trials, seed=args.seed,
-                                 workers=args.workers, n_faults=args.faults)
+    if getattr(args, "resume", None):
+        c = fw.resume_campaign(args.resume, workers=args.workers,
+                               timeout=args.timeout,
+                               max_retries=args.max_retries)
+        mode = c.mode
     else:
+        mode = args.mode
         from .inject import run_campaign
-        c = run_campaign(args.app, args.trials, mode=args.mode,
+        c = run_campaign(args.app, args.trials, mode=mode,
                          seed=args.seed, workers=args.workers,
-                         n_faults=args.faults)
-    print(f"{c.n_trials} trials, mode={c.mode}, {args.faults} fault(s)/run")
+                         n_faults=args.faults, timeout=args.timeout,
+                         max_retries=args.max_retries,
+                         journal=getattr(args, "journal", None))
+    print(f"{c.n_trials} trials, mode={c.mode}, "
+          f"{c.n_faults} fault(s)/run")
     print(render_outcome_table({args.app: c.fractions()},
-                               blackbox=(args.mode == "blackbox")))
-    if args.mode != "blackbox":
-        bd = fw.co_breakdown(c) if args.mode == "fpm" else None
+                               blackbox=(mode == "blackbox")))
+    if mode == "fpm":
+        bd = fw.co_breakdown(c)
         if bd is not None and bd.n_co:
             print(f"\nONA share of correct-output runs: "
                   f"{100 * bd.ona_share:.1f}%")
+    if c.health is not None:
+        print()
+        print(render_health_summary(
+            c.health, [c.trials[i] for i in c.health.quarantined]))
     if getattr(args, "save_json", None):
         from .analysis import save_campaign
         print(f"saved: {save_campaign(c, args.save_json)}")
@@ -125,7 +150,9 @@ def cmd_campaign(args) -> int:
         from .analysis import trials_to_csv
         trials_to_csv(c, args.save_csv)
         print(f"saved: {args.save_csv}")
-    return 0
+    # exit 3: campaign completed but the harness lost trials — partial
+    # results, distinguishable from both success (0) and usage error (1)
+    return 3 if (c.health is not None and c.health.quarantined) else 0
 
 
 def cmd_sites(args) -> int:
@@ -134,7 +161,8 @@ def cmd_sites(args) -> int:
     from .inject.campaign import _prepared
 
     c = run_campaign(args.app, args.trials, mode="fpm", seed=args.seed,
-                     workers=args.workers, n_faults=args.faults)
+                     workers=args.workers, n_faults=args.faults,
+                     timeout=args.timeout, max_retries=args.max_retries)
     pa = _prepared(args.app, (), "fpm")
     ranking = site_vulnerability(c, pa.program.site_table, by=args.by)
     print(f"most vulnerable sites of {args.app} by {args.by} "
@@ -146,7 +174,8 @@ def cmd_sites(args) -> int:
 def cmd_fps(args) -> int:
     fw = FaultPropagationFramework.for_app(args.app)
     c = fw.fpm_campaign(trials=args.trials, seed=args.seed,
-                        workers=args.workers, n_faults=args.faults)
+                        workers=args.workers, n_faults=args.faults,
+                        timeout=args.timeout, max_retries=args.max_retries)
     fps = fw.fps_factor(c)
     print(render_fps_table([fps]))
     est = fw.estimator(c)
@@ -167,18 +196,22 @@ def cmd_compile(args) -> int:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "apps":
-        return cmd_apps()
-    if args.command == "golden":
-        return cmd_golden(args)
-    if args.command == "campaign":
-        return cmd_campaign(args)
-    if args.command == "fps":
-        return cmd_fps(args)
-    if args.command == "compile":
-        return cmd_compile(args)
-    if args.command == "sites":
-        return cmd_sites(args)
+    try:
+        if args.command == "apps":
+            return cmd_apps()
+        if args.command == "golden":
+            return cmd_golden(args)
+        if args.command == "campaign":
+            return cmd_campaign(args)
+        if args.command == "fps":
+            return cmd_fps(args)
+        if args.command == "compile":
+            return cmd_compile(args)
+        if args.command == "sites":
+            return cmd_sites(args)
+    except CampaignError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     return 2  # pragma: no cover
 
 

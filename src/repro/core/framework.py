@@ -94,23 +94,42 @@ class FaultPropagationFramework:
     def blackbox_campaign(
         self, trials: Optional[int] = None, *, seed: int = 2025,
         workers: Optional[int] = None, n_faults: int = 1,
+        timeout: Optional[float] = None, max_retries: int = 2,
+        journal: Optional[str] = None,
     ) -> CampaignResult:
         """Output-variation analysis (paper Sec. 4.2 / Fig. 6)."""
         return run_campaign(
             self.app_name, trials, mode="blackbox", seed=seed,
             workers=workers, n_faults=n_faults, params=self.params,
+            timeout=timeout, max_retries=max_retries, journal=journal,
         )
 
     def fpm_campaign(
         self, trials: Optional[int] = None, *, seed: int = 2025,
         workers: Optional[int] = None, n_faults: int = 1,
         keep_series: bool = True,
+        timeout: Optional[float] = None, max_retries: int = 2,
+        journal: Optional[str] = None,
     ) -> CampaignResult:
         """Propagation analysis (paper Sec. 4.3 / Figs. 7-8)."""
         return run_campaign(
             self.app_name, trials, mode="fpm", seed=seed, workers=workers,
             n_faults=n_faults, keep_series=keep_series, params=self.params,
+            timeout=timeout, max_retries=max_retries, journal=journal,
         )
+
+    def resume_campaign(self, journal: str, **kwargs) -> CampaignResult:
+        """Finish an interrupted journaled campaign of this app."""
+        from ..inject.engine import resume_campaign
+        from ..inject.journal import read_journal
+
+        header, _ = read_journal(journal)
+        if header.get("app_name") != self.app_name:
+            raise CampaignError(
+                f"journal {journal} is for app {header.get('app_name')!r}, "
+                f"not {self.app_name!r}"
+            )
+        return resume_campaign(journal, **kwargs)
 
     # ------------------------------------------------------------------
     # Analyses

@@ -7,6 +7,7 @@ executes to a :class:`~repro.mpi.scheduler.JobResult`.
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Sequence
 
 from ..frontend import compile_source
@@ -43,8 +44,16 @@ def run_job(
     *,
     inj_seed: Optional[int] = None,
     max_cycles: Optional[int] = None,
+    wall_timeout: Optional[float] = None,
 ) -> JobResult:
-    """Run one simulated MPI job to completion (or crash/deadlock/hang)."""
+    """Run one simulated MPI job to completion (or crash/deadlock/hang).
+
+    ``wall_timeout`` arms a soft wall-clock watchdog (seconds): a job
+    still running when it expires raises
+    :class:`~repro.errors.TrialTimeoutError`, which the campaign engine
+    classifies as a harness failure (retry, then quarantine) rather
+    than an application outcome.
+    """
     config = config or RunConfig()
     runtime = MPIRuntime()
     machines = [
@@ -75,5 +84,9 @@ def run_job(
         quantum=config.quantum,
         max_cycles=budget,
         sample_every=config.sample_every,
+        wall_deadline=(
+            time.monotonic() + wall_timeout if wall_timeout is not None
+            else None
+        ),
     )
     return scheduler.run()

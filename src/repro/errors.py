@@ -7,6 +7,8 @@ as :class:`~repro.vm.traps.Trap` during execution).
 
 from __future__ import annotations
 
+from enum import Enum
+
 
 class ReproError(Exception):
     """Base class for all framework-level errors."""
@@ -53,6 +55,46 @@ class MPIError(ReproError):
 
 class CampaignError(ReproError):
     """Invalid fault-injection campaign configuration."""
+
+
+class HarnessError(CampaignError):
+    """The campaign harness itself failed (not the application under test).
+
+    Application failures (traps, deadlocks, hangs within the cycle
+    budget) are *outcomes* — they classify as Crashed.  Harness failures
+    are everything that kills or wedges the machinery *around* a trial:
+    a worker process dying, a trial exceeding its wall-clock watchdog,
+    an unexpected exception inside the trial driver.
+    """
+
+
+class TrialTimeoutError(HarnessError):
+    """A trial exceeded its wall-clock watchdog budget."""
+
+
+class WorkerCrashError(HarnessError):
+    """A campaign worker process died while running a trial."""
+
+
+class JournalError(CampaignError):
+    """A campaign journal is missing, malformed, or inconsistent with
+    the campaign it is being resumed into."""
+
+
+class FailureKind(Enum):
+    """Structured taxonomy of harness failures (engine retry/quarantine).
+
+    Recorded on every ``HARNESS_FAILURE`` trial so campaigns never
+    silently drop a trial — the journal and health summary say exactly
+    how the harness lost it.
+    """
+
+    #: trial exceeded the per-trial wall-clock watchdog
+    TIMEOUT = "timeout"
+    #: the worker process died (segfault, OOM-kill, os._exit, ...)
+    WORKER_CRASH = "worker_crash"
+    #: the trial raised an unexpected exception inside the worker
+    EXCEPTION = "exception"
 
 
 class ModelError(ReproError):

@@ -1,15 +1,26 @@
-"""LLFI++ campaign layer: fault plans, golden profiling, trial driving."""
+"""LLFI++ campaign layer: fault plans, golden profiling, supervised
+trial driving with retry/quarantine, crash recovery, and resumable
+journaled campaigns."""
 
 from .campaign import (
     CampaignResult,
     TrialResult,
+    default_timeout,
     default_trials,
+    default_workers,
+    harness_failure_trial,
     run_campaign,
 )
+from .engine import CampaignEngine, resume_campaign
+from .health import CampaignHealth
+from .journal import CampaignJournal, read_journal
 from .plan import draw_plan
 from .profiler import GoldenProfile, PreparedApp, profile_golden
 
 __all__ = [
+    "CampaignEngine", "CampaignHealth", "CampaignJournal",
     "CampaignResult", "GoldenProfile", "PreparedApp", "TrialResult",
-    "default_trials", "draw_plan", "profile_golden", "run_campaign",
+    "default_timeout", "default_trials", "default_workers", "draw_plan",
+    "harness_failure_trial", "profile_golden", "read_journal",
+    "resume_campaign", "run_campaign",
 ]

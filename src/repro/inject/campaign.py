@@ -5,26 +5,31 @@ application thousands of times, inject one (or more) random single-bit
 register faults per run, classify every outcome, and — in FPM mode —
 record the CML(t) propagation trace of every run.
 
-Workers are OS processes (``concurrent.futures.ProcessPoolExecutor``);
-each worker compiles the app once and reuses it for all its trials, so
-the per-trial cost is one simulated job.
+Workers are OS processes supervised by the campaign execution engine
+(:mod:`repro.inject.engine`); each worker compiles the app once and
+reuses it for all its trials, so the per-trial cost is one simulated
+job.  Crashed workers are respawned, hung trials are killed by a
+wall-clock watchdog, and repeatedly failing trials are quarantined as
+``HARNESS_FAILURE`` records instead of taking the campaign down.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import warnings
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..analysis.classify import Outcome, classify, outcome_fractions, outputs_match
 from ..apps.registry import AppSpec, get_app
 from ..core.runner import run_job
-from ..errors import CampaignError
+from ..errors import CampaignError, FailureKind
 from ..mpi import JobResult
 from ..vm.machine import FaultSpec
+from .health import CampaignHealth
 from .plan import draw_plan
 from .profiler import GoldenProfile, PreparedApp
 
@@ -57,10 +62,41 @@ class TrialResult:
     ranks_series: Optional[np.ndarray] = None
     #: per-rank first-contamination cycle (None = never), FPM mode
     first_contamination: Tuple[Optional[int], ...] = ()
+    #: harness-failure taxonomy (outcome == "HF" only): why the harness
+    #: lost this trial, and a human-readable detail string
+    failure_kind: Optional[str] = None
+    failure_detail: Optional[str] = None
+    #: times the engine re-executed this trial after a harness failure
+    retries: int = 0
 
     @property
     def outcome_enum(self) -> Outcome:
         return Outcome(self.outcome)
+
+    @property
+    def is_harness_failure(self) -> bool:
+        return self.outcome == Outcome.HARNESS_FAILURE.value
+
+
+def harness_failure_trial(
+    faults: Sequence[FaultSpec],
+    kind: FailureKind,
+    detail: str,
+    retries: int = 0,
+) -> TrialResult:
+    """Terminal record for a trial the harness could not complete."""
+    return TrialResult(
+        outcome=Outcome.HARNESS_FAILURE.value,
+        trap_kind=None,
+        faults=tuple(faults),
+        injected_cycles=(),
+        injected_occurrences=(),
+        iterations=0,
+        cycles=0,
+        failure_kind=kind.value,
+        failure_detail=detail,
+        retries=retries,
+    )
 
 
 @dataclass
@@ -76,6 +112,10 @@ class CampaignResult:
     golden_rank_cycles: Tuple[int, ...]
     inj_counts: Tuple[int, ...]
     trials: List[TrialResult] = field(default_factory=list)
+    #: workers the engine actually executed on (1 = serial)
+    effective_workers: int = 1
+    #: supervision summary (retries, quarantines, respawns, wall time)
+    health: Optional[CampaignHealth] = None
 
     @property
     def n_trials(self) -> int:
@@ -96,7 +136,14 @@ class CampaignResult:
 # Worker-side machinery (must be module-level for pickling)
 # ----------------------------------------------------------------------
 
-_PREPARED_CACHE: Dict[tuple, PreparedApp] = {}
+#: Bounded LRU of prepared apps.  Long-lived workers see many
+#: (app, params, mode) keys over a large campaign suite; an unbounded
+#: dict slowly eats the worker's memory.  Respawned workers start empty.
+_PREPARED_CACHE: "OrderedDict[tuple, PreparedApp]" = OrderedDict()
+
+
+def _prepared_cache_max() -> int:
+    return _env_int("REPRO_PREPARED_CACHE", 8, minimum=1)
 
 
 def _prepared(app_name: str, params: tuple, mode: str) -> PreparedApp:
@@ -105,6 +152,11 @@ def _prepared(app_name: str, params: tuple, mode: str) -> PreparedApp:
     if pa is None:
         pa = PreparedApp(get_app(app_name, **dict(params)), mode)
         _PREPARED_CACHE[key] = pa
+        limit = _prepared_cache_max()
+        while len(_PREPARED_CACHE) > limit:
+            _PREPARED_CACHE.popitem(last=False)
+    else:
+        _PREPARED_CACHE.move_to_end(key)
     return pa
 
 
@@ -165,10 +217,12 @@ def _summarise(
 
 
 def _run_trial(args) -> TrialResult:
-    (app_name, params, mode, faults, inj_seed, keep_series) = args
+    (app_name, params, mode, faults, inj_seed, keep_series) = args[:6]
+    wall_timeout = args[6] if len(args) > 6 else None
     pa = _prepared(app_name, params, mode)
     result = run_job(
-        pa.program, pa.run_config(), faults=faults, inj_seed=inj_seed
+        pa.program, pa.run_config(), faults=faults, inj_seed=inj_seed,
+        wall_timeout=wall_timeout,
     )
     return _summarise(pa, result, faults, keep_series)
 
@@ -177,14 +231,110 @@ def _run_trial(args) -> TrialResult:
 # Driver
 # ----------------------------------------------------------------------
 
+def _env_int(name: str, default: int, minimum: int = 1) -> int:
+    """Validated integer environment lookup.
+
+    Non-integer or below-minimum values fall back to the default with a
+    warning instead of crashing the campaign with a raw ValueError.
+    """
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        warnings.warn(
+            f"ignoring {name}={raw!r}: not an integer, using {default}",
+            stacklevel=2,
+        )
+        return default
+    if value < minimum:
+        warnings.warn(
+            f"ignoring {name}={value}: must be >= {minimum}, using {default}",
+            stacklevel=2,
+        )
+        return default
+    return value
+
+
+def _env_float(name: str, default: Optional[float]) -> Optional[float]:
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        warnings.warn(
+            f"ignoring {name}={raw!r}: not a number, using {default}",
+            stacklevel=2,
+        )
+        return default
+    if value <= 0:
+        warnings.warn(
+            f"ignoring {name}={value}: must be > 0, using {default}",
+            stacklevel=2,
+        )
+        return default
+    return value
+
+
 def default_trials(requested: Optional[int] = None) -> int:
     """Trial count: explicit argument, else REPRO_TRIALS env, else 120."""
     if requested is not None:
+        if requested < 1:
+            raise CampaignError(f"trials must be >= 1, got {requested}")
         return requested
-    env = os.environ.get("REPRO_TRIALS")
-    if env:
-        return max(1, int(env))
-    return 120
+    return _env_int("REPRO_TRIALS", 120)
+
+
+def default_workers(requested: Optional[int] = None) -> int:
+    """Worker count: explicit argument, else REPRO_WORKERS env, else 1."""
+    if requested is not None:
+        if requested < 1:
+            raise CampaignError(f"workers must be >= 1, got {requested}")
+        return requested
+    return _env_int("REPRO_WORKERS", 1)
+
+
+def default_timeout(requested: Optional[float] = None) -> Optional[float]:
+    """Per-trial watchdog seconds: argument, else REPRO_TRIAL_TIMEOUT."""
+    if requested is not None:
+        if requested <= 0:
+            raise CampaignError(f"timeout must be > 0, got {requested}")
+        return requested
+    return _env_float("REPRO_TRIAL_TIMEOUT", None)
+
+
+def _build_jobs(
+    app: str,
+    params_key: tuple,
+    mode: str,
+    golden: GoldenProfile,
+    n_trials: int,
+    n_faults: int,
+    seed: int,
+    rank: Optional[int],
+    bit: Optional[int],
+    keep_series: bool,
+    wall_timeout: Optional[float],
+) -> List[tuple]:
+    """Draw every trial's fault plan and seed up front.
+
+    All randomness is consumed here, in index order, from one generator
+    seeded with the campaign seed — which is what makes interrupted
+    campaigns resumable: re-drawing with the same seed against the same
+    golden profile reproduces the identical job list.
+    """
+    rng = np.random.default_rng(seed)
+    jobs = []
+    for _ in range(n_trials):
+        faults = draw_plan(
+            rng, golden.inj_counts, n_faults, rank=rank, bit=bit
+        )
+        inj_seed = int(rng.integers(2 ** 31))
+        jobs.append((app, params_key, mode, tuple(faults), inj_seed,
+                     keep_series, wall_timeout))
+    return jobs
 
 
 def run_campaign(
@@ -199,6 +349,10 @@ def run_campaign(
     rank: Optional[int] = None,
     bit: Optional[int] = None,
     params: Optional[dict] = None,
+    timeout: Optional[float] = None,
+    max_retries: int = 2,
+    journal: Optional[str] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
 ) -> CampaignResult:
     """Run a fault-injection campaign for a registered app.
 
@@ -207,33 +361,71 @@ def run_campaign(
     (Figs. 7-8, Table 2) — set ``keep_series=True`` to retain each
     trial's CML(t) series for model fitting.
 
-    ``workers`` > 1 distributes trials over processes; ``None`` uses
-    REPRO_WORKERS or 1.
+    ``workers`` > 1 distributes trials over supervised processes;
+    ``None`` uses REPRO_WORKERS or 1.  ``timeout`` is the per-trial
+    wall-clock watchdog in seconds (None: REPRO_TRIAL_TIMEOUT or off);
+    ``max_retries`` bounds re-execution after a harness failure before a
+    trial is quarantined; ``journal`` names a JSONL checkpoint file so
+    an interrupted campaign can be finished with
+    :func:`repro.inject.engine.resume_campaign`.
     """
+    from .engine import CampaignEngine  # lazy: engine imports this module
+
     n_trials = default_trials(trials)
+    requested_workers = default_workers(workers)
+    wall_timeout = default_timeout(timeout)
     params = dict(params or {})
     params_key = tuple(sorted(params.items()))
-    if workers is None:
-        workers = max(1, int(os.environ.get("REPRO_WORKERS", "1")))
+
+    effective = requested_workers
+    if requested_workers > 1 and n_trials < 4:
+        warnings.warn(
+            f"campaign of {n_trials} trials is too small for "
+            f"{requested_workers} workers; running serially",
+            stacklevel=2,
+        )
+        effective = 1
 
     pa = _prepared(app, params_key, mode)
     golden = pa.golden
-    rng = np.random.default_rng(seed)
+    jobs = _build_jobs(app, params_key, mode, golden, n_trials, n_faults,
+                       seed, rank, bit, keep_series, wall_timeout)
 
-    jobs = []
-    for i in range(n_trials):
-        faults = draw_plan(
-            rng, golden.inj_counts, n_faults, rank=rank, bit=bit
-        )
-        inj_seed = int(rng.integers(2 ** 31))
-        jobs.append((app, params_key, mode, tuple(faults), inj_seed, keep_series))
+    journal_writer = None
+    if journal is not None:
+        from .journal import CampaignJournal
+        journal_writer = CampaignJournal.create(journal, {
+            "app_name": app,
+            "mode": mode,
+            "n_faults": n_faults,
+            "seed": seed,
+            "n_trials": n_trials,
+            "keep_series": keep_series,
+            "rank": rank,
+            "bit": bit,
+            "params": sorted(params.items()),
+            "timeout": wall_timeout,
+            "golden": {
+                "iterations": golden.iterations,
+                "cycles": golden.cycles,
+                "rank_cycles": list(golden.rank_cycles),
+                "inj_counts": list(golden.inj_counts),
+            },
+        })
 
-    if workers <= 1 or n_trials < 4:
-        results = [_run_trial(j) for j in jobs]
-    else:
-        chunk = max(1, n_trials // (workers * 8))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            results = list(pool.map(_run_trial, jobs, chunksize=chunk))
+    engine = CampaignEngine(
+        workers=effective,
+        timeout=wall_timeout,
+        max_retries=max_retries,
+        journal=journal_writer,
+        progress=progress,
+    )
+    try:
+        results, health = engine.run(jobs, faults_of=lambda i: jobs[i][3])
+    finally:
+        if journal_writer is not None:
+            journal_writer.close()
+    health.requested_workers = requested_workers
 
     return CampaignResult(
         app_name=app,
@@ -245,4 +437,6 @@ def run_campaign(
         golden_rank_cycles=tuple(golden.rank_cycles),
         inj_counts=tuple(golden.inj_counts),
         trials=results,
+        effective_workers=health.effective_workers,
+        health=health,
     )

@@ -1,0 +1,431 @@
+"""Supervised campaign execution engine.
+
+Replaces the bare ``ProcessPoolExecutor.map`` trial loop with a
+supervisor that treats worker death, hung trials, and driver
+interruption as expected events of a large fault-injection campaign
+(the operating regime of ZOFI- and FlipTracker-style studies, where
+thousands of trials *intentionally* crash and hang applications):
+
+* **per-trial watchdog** — every trial gets a wall-clock budget; an
+  expired trial's worker is killed and the trial retried;
+* **bounded retry + quarantine** — a trial that repeatedly kills its
+  worker is recorded as a ``HARNESS_FAILURE`` trial with a structured
+  :class:`~repro.errors.FailureKind`, never silently dropped;
+* **worker respawn** — a crashed worker (segfault, OOM kill) is
+  replaced with a fresh process and only its in-flight trial is
+  re-executed; every completed trial survives;
+* **incremental checkpointing** — completed trials stream into a
+  :class:`~repro.inject.journal.CampaignJournal`;
+  :func:`resume_campaign` finishes an interrupted campaign and yields a
+  result bit-identical to an uninterrupted run (fault plans are drawn
+  up front from the campaign seed, so the job list re-derives exactly).
+
+Workers are plain ``multiprocessing`` processes talking over pipes (one
+duplex pipe per worker) — no shared queues, so killing a worker cannot
+corrupt the channel of any other worker.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+from collections import deque
+from multiprocessing.connection import wait as _conn_wait
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import (
+    CampaignError,
+    FailureKind,
+    JournalError,
+    TrialTimeoutError,
+)
+from . import campaign as _campaign
+from .campaign import (
+    CampaignResult,
+    TrialResult,
+    _build_jobs,
+    _prepared,
+    default_timeout,
+    default_workers,
+    harness_failure_trial,
+)
+from .health import CampaignHealth
+from .journal import CampaignJournal, read_journal
+
+#: supervisor poll interval while trials are in flight, seconds
+_TICK = 0.05
+#: extra wall-clock slack granted on top of the soft in-VM watchdog
+#: before the supervisor hard-kills the worker
+_KILL_GRACE = 5.0
+
+
+def _mp_context():
+    """Fork where available (workers inherit the prepared-app cache);
+    spawn elsewhere."""
+    if "fork" in mp.get_all_start_methods():
+        return mp.get_context("fork")
+    return mp.get_context()
+
+
+def _pool_worker(conn, task_fn, fresh: bool) -> None:
+    """Worker loop: receive (index, args), run, send (index, ok, payload).
+
+    ``fresh`` workers (respawned after a crash or watchdog kill) clear
+    the inherited prepared-app cache first: the previous incarnation may
+    have died *because* of corrupted cached state.
+    """
+    if fresh:
+        _campaign._PREPARED_CACHE.clear()
+    try:
+        while True:
+            msg = conn.recv()
+            if msg is None:
+                return
+            index, args = msg
+            try:
+                result = task_fn(args)
+            except TrialTimeoutError as exc:
+                conn.send((index, False, (FailureKind.TIMEOUT.value, str(exc))))
+            except Exception as exc:
+                conn.send((index, False,
+                           (FailureKind.EXCEPTION.value,
+                            f"{type(exc).__name__}: {exc}")))
+            else:
+                conn.send((index, True, result))
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass
+
+
+class _Worker:
+    """Supervisor-side handle of one worker process."""
+
+    __slots__ = ("proc", "conn", "index", "deadline")
+
+    def __init__(self, proc, conn) -> None:
+        self.proc = proc
+        self.conn = conn
+        #: trial index in flight (None = idle)
+        self.index: Optional[int] = None
+        #: monotonic instant after which the supervisor kills the worker
+        self.deadline: Optional[float] = None
+
+
+class CampaignEngine:
+    """Runs a list of trial jobs to completion under supervision."""
+
+    def __init__(
+        self,
+        *,
+        workers: int = 1,
+        timeout: Optional[float] = None,
+        kill_grace: Optional[float] = None,
+        max_retries: int = 2,
+        journal: Optional[CampaignJournal] = None,
+        task_fn: Optional[Callable] = None,
+        progress: Optional[Callable[[int, int], None]] = None,
+    ) -> None:
+        if workers < 1:
+            raise CampaignError(f"workers must be >= 1, got {workers}")
+        if max_retries < 0:
+            raise CampaignError(f"max_retries must be >= 0, got {max_retries}")
+        self.workers = workers
+        self.timeout = timeout
+        self.kill_grace = _KILL_GRACE if kill_grace is None else kill_grace
+        self.max_retries = max_retries
+        self.journal = journal
+        # resolved here (not at definition) so monkeypatched trial
+        # drivers propagate into fork children
+        self.task_fn = task_fn if task_fn is not None else _campaign._run_trial
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        jobs: List[tuple],
+        *,
+        faults_of: Optional[Callable[[int], tuple]] = None,
+        completed: Optional[Dict[int, TrialResult]] = None,
+    ) -> Tuple[List[TrialResult], CampaignHealth]:
+        """Execute every job; return (results in job order, health).
+
+        ``completed`` pre-fills trial indices restored from a journal
+        (resume); only the missing indices are executed.
+        """
+        n = len(jobs)
+        self._results: List[Optional[TrialResult]] = [None] * n
+        self._retries: Dict[int, int] = {}
+        self._faults_of = faults_of or (lambda i: ())
+        self._health = CampaignHealth(
+            effective_workers=self.workers, requested_workers=self.workers,
+        )
+        self._done = 0
+        if completed:
+            for index, trial in completed.items():
+                if not 0 <= index < n:
+                    raise JournalError(
+                        f"journal trial index {index} outside campaign "
+                        f"of {n} trials"
+                    )
+                self._results[index] = trial
+                self._done += 1
+            self._health.resumed_trials = len(completed)
+        self._queue: deque = deque(
+            i for i in range(n) if self._results[i] is None
+        )
+
+        start = time.monotonic()
+        if self.workers <= 1:
+            self._run_serial(jobs)
+        else:
+            self._run_pool(jobs)
+        self._health.wall_time_s = time.monotonic() - start
+
+        missing = [i for i, r in enumerate(self._results) if r is None]
+        if missing:  # pragma: no cover - defensive
+            raise CampaignError(f"engine lost trials {missing[:8]}")
+        return list(self._results), self._health
+
+    # ------------------------------------------------------------------
+    # Serial backend: in-driver execution with retry/quarantine.  The
+    # watchdog is the soft in-VM deadline carried by the job itself
+    # (run_job(wall_timeout=...)); there is no process to kill.
+    # ------------------------------------------------------------------
+    def _run_serial(self, jobs: List[tuple]) -> None:
+        while self._queue:
+            index = self._queue.popleft()
+            try:
+                trial = self.task_fn(jobs[index])
+            except TrialTimeoutError as exc:
+                self._failure(index, FailureKind.TIMEOUT, str(exc))
+            except Exception as exc:
+                self._failure(index, FailureKind.EXCEPTION,
+                              f"{type(exc).__name__}: {exc}")
+            else:
+                self._success(index, trial)
+
+    # ------------------------------------------------------------------
+    # Pool backend: supervised worker processes.
+    # ------------------------------------------------------------------
+    def _run_pool(self, jobs: List[tuple]) -> None:
+        ctx = _mp_context()
+        workers = [self._spawn(ctx, fresh=False) for _ in range(self.workers)]
+        try:
+            while self._queue or any(w.index is not None for w in workers):
+                for w in workers:
+                    if w.index is None and self._queue:
+                        self._dispatch(ctx, w, jobs)
+                busy = {w.conn: w for w in workers if w.index is not None}
+                if not busy:
+                    continue
+                for conn in _conn_wait(list(busy), timeout=_TICK):
+                    w = busy[conn]
+                    try:
+                        index, ok, payload = conn.recv()
+                    except (EOFError, OSError):
+                        continue  # crash — the liveness sweep handles it
+                    w.index = None
+                    w.deadline = None
+                    if ok:
+                        self._success(index, payload)
+                    else:
+                        kind, detail = payload
+                        self._failure(index, FailureKind(kind), detail)
+                now = time.monotonic()
+                for w in workers:
+                    if w.index is None:
+                        continue
+                    if not w.proc.is_alive():
+                        self._failure(
+                            w.index, FailureKind.WORKER_CRASH,
+                            f"worker died with exit code {w.proc.exitcode}",
+                        )
+                        self._respawn(ctx, w)
+                    elif w.deadline is not None and now > w.deadline:
+                        timeout = self.timeout
+                        kill = getattr(w.proc, "kill", w.proc.terminate)
+                        kill()
+                        w.proc.join(5.0)
+                        self._failure(
+                            w.index, FailureKind.TIMEOUT,
+                            f"trial exceeded its {timeout}s wall-clock "
+                            f"watchdog; worker killed",
+                        )
+                        self._respawn(ctx, w)
+        finally:
+            self._shutdown(workers)
+
+    def _spawn(self, ctx, fresh: bool) -> _Worker:
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(
+            target=_pool_worker,
+            args=(child_conn, self.task_fn, fresh),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        return _Worker(proc, parent_conn)
+
+    def _respawn(self, ctx, w: _Worker) -> None:
+        try:
+            w.conn.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+        replacement = self._spawn(ctx, fresh=True)
+        w.proc, w.conn = replacement.proc, replacement.conn
+        w.index = None
+        w.deadline = None
+        self._health.worker_respawns += 1
+
+    def _dispatch(self, ctx, w: _Worker, jobs: List[tuple]) -> None:
+        if not w.proc.is_alive():
+            # died between trials (nothing in flight to re-attribute)
+            self._respawn(ctx, w)
+        index = self._queue.popleft()
+        try:
+            w.conn.send((index, jobs[index]))
+        except (BrokenPipeError, OSError):
+            self._queue.appendleft(index)
+            self._respawn(ctx, w)
+            return
+        w.index = index
+        if self.timeout is not None:
+            w.deadline = time.monotonic() + self.timeout + self.kill_grace
+        else:
+            w.deadline = None
+
+    def _shutdown(self, workers: List[_Worker]) -> None:
+        for w in workers:
+            try:
+                w.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for w in workers:
+            w.proc.join(1.0)
+            if w.proc.is_alive():
+                getattr(w.proc, "kill", w.proc.terminate)()
+                w.proc.join(1.0)
+            try:
+                w.conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+
+    # ------------------------------------------------------------------
+    # Shared bookkeeping
+    # ------------------------------------------------------------------
+    def _success(self, index: int, trial: TrialResult) -> None:
+        if self._results[index] is not None:
+            return  # duplicate delivery after a watchdog re-queue
+        trial.retries = self._retries.get(index, 0)
+        self._record(index, trial)
+
+    def _failure(self, index: int, kind: FailureKind, detail: str) -> None:
+        if self._results[index] is not None:
+            return
+        failures = self._retries.get(index, 0) + 1
+        self._retries[index] = failures
+        if kind is FailureKind.TIMEOUT:
+            self._health.timeouts += 1
+        elif kind is FailureKind.WORKER_CRASH:
+            self._health.worker_crashes += 1
+        else:
+            self._health.trial_exceptions += 1
+        if failures > self.max_retries:
+            trial = harness_failure_trial(
+                self._faults_of(index), kind, detail, retries=failures - 1,
+            )
+            self._health.quarantined.append(index)
+            self._record(index, trial)
+        else:
+            self._health.retries += 1
+            self._queue.append(index)
+
+    def _record(self, index: int, trial: TrialResult) -> None:
+        self._results[index] = trial
+        self._done += 1
+        if self.journal is not None:
+            self.journal.append_trial(index, trial)
+        if self.progress is not None:
+            self.progress(self._done, len(self._results))
+
+
+# ----------------------------------------------------------------------
+# Resume
+# ----------------------------------------------------------------------
+
+def resume_campaign(
+    journal_path,
+    *,
+    workers: Optional[int] = None,
+    timeout: Optional[float] = None,
+    max_retries: int = 2,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> CampaignResult:
+    """Finish an interrupted journaled campaign.
+
+    Re-derives the full job list from the journal header (trial seeds
+    are drawn up front from the campaign seed), restores the completed
+    trials, executes only the missing ones (appending them to the same
+    journal), and returns a :class:`CampaignResult` bit-identical —
+    same trials, same outcome fractions — to the uninterrupted run.
+    """
+    header, done = read_journal(journal_path)
+    app = header["app_name"]
+    mode = header["mode"]
+    n_trials = int(header["n_trials"])
+    params_key = tuple((k, v) for k, v in header.get("params", []))
+
+    pa = _prepared(app, params_key, mode)
+    golden = pa.golden
+    recorded = header.get("golden", {})
+    if (list(golden.inj_counts) != list(recorded.get("inj_counts", []))
+            or golden.cycles != recorded.get("cycles")):
+        raise JournalError(
+            f"journal {journal_path} was recorded against a different "
+            f"golden profile of {app!r} ({mode}); resume would not be "
+            f"bit-identical"
+        )
+
+    wall_timeout = timeout if timeout is not None else header.get("timeout")
+    wall_timeout = default_timeout(wall_timeout)
+    jobs = _build_jobs(
+        app, params_key, mode, golden, n_trials,
+        int(header["n_faults"]), int(header["seed"]),
+        header.get("rank"), header.get("bit"),
+        bool(header.get("keep_series")), wall_timeout,
+    )
+
+    requested_workers = default_workers(workers)
+    remaining = n_trials - len([i for i in done if 0 <= i < n_trials])
+    effective = 1 if (requested_workers > 1 and remaining < 4) \
+        else requested_workers
+
+    journal = CampaignJournal.append_to(journal_path)
+    engine = CampaignEngine(
+        workers=effective,
+        timeout=wall_timeout,
+        max_retries=max_retries,
+        journal=journal,
+        progress=progress,
+    )
+    try:
+        results, health = engine.run(
+            jobs, faults_of=lambda i: jobs[i][3], completed=done,
+        )
+    finally:
+        journal.close()
+    health.requested_workers = requested_workers
+
+    return CampaignResult(
+        app_name=app,
+        mode=mode,
+        n_faults=int(header["n_faults"]),
+        seed=int(header["seed"]),
+        golden_iterations=golden.iterations,
+        golden_cycles=golden.cycles,
+        golden_rank_cycles=tuple(golden.rank_cycles),
+        inj_counts=tuple(golden.inj_counts),
+        trials=results,
+        effective_workers=health.effective_workers,
+        health=health,
+    )

@@ -1,0 +1,58 @@
+"""Campaign health accounting: what the supervision machinery did.
+
+A :class:`CampaignHealth` rides on every :class:`CampaignResult` produced
+by the execution engine.  It answers the questions a 5,000-trial
+overnight campaign raises the next morning: did any worker die, did any
+trial hit its watchdog, was anything quarantined, how long did it all
+take — separate from the *scientific* outcome fractions, which only
+describe the application under test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import List
+
+
+@dataclass
+class CampaignHealth:
+    """Supervision summary of one campaign execution."""
+
+    #: worker processes actually used (1 = serial in-driver execution)
+    effective_workers: int = 1
+    #: workers the caller asked for (may exceed effective_workers for
+    #: tiny campaigns, which run serially)
+    requested_workers: int = 1
+    #: trial re-executions after a harness failure
+    retries: int = 0
+    #: trials that hit the per-trial wall-clock watchdog
+    timeouts: int = 0
+    #: worker processes that died while running a trial
+    worker_crashes: int = 0
+    #: unexpected exceptions raised inside trials
+    trial_exceptions: int = 0
+    #: replacement workers spawned after a crash or watchdog kill
+    worker_respawns: int = 0
+    #: indices of trials recorded as HARNESS_FAILURE after max retries
+    quarantined: List[int] = field(default_factory=list)
+    #: trials restored from a journal instead of executed (resume)
+    resumed_trials: int = 0
+    #: wall-clock duration of the execution phase, seconds
+    wall_time_s: float = 0.0
+
+    @property
+    def failures(self) -> int:
+        """Total harness failures observed (before retry/quarantine)."""
+        return self.timeouts + self.worker_crashes + self.trial_exceptions
+
+    @property
+    def clean(self) -> bool:
+        return self.failures == 0 and not self.quarantined
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CampaignHealth":
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in d.items() if k in known})

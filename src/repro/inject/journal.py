@@ -1,0 +1,117 @@
+"""Incremental campaign checkpointing: a JSONL trial journal.
+
+The journal is the engine's crash insurance.  Line 1 is a header that
+pins down everything needed to re-derive the campaign's job list (app,
+params, mode, seed, trial count, golden profile); every subsequent line
+is one completed trial, flushed as soon as it finishes.  An interrupted
+campaign — Ctrl-C, OOM-killed worker host, crashed driver — resumes by
+re-drawing the job list from the recorded seed, loading the completed
+trials, and executing only the missing indices
+(:func:`repro.inject.engine.resume_campaign`).
+
+Trial lines reuse the JSON trial encoding of
+:mod:`repro.analysis.export`, so a journal trial round-trips exactly
+like a saved campaign.  A torn final line (the driver died mid-write) is
+tolerated and ignored on read.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Tuple, Union
+
+from ..errors import JournalError
+
+_JOURNAL_FORMAT = 1
+_JOURNAL_KIND = "repro-campaign-journal"
+
+
+class CampaignJournal:
+    """Append-only JSONL journal of completed trials."""
+
+    def __init__(self, path: Union[str, Path], fh) -> None:
+        self.path = Path(path)
+        self._fh = fh
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, path: Union[str, Path], meta: dict) -> "CampaignJournal":
+        """Start a fresh journal, overwriting any previous file."""
+        path = Path(path)
+        fh = path.open("w")
+        header = {"format": _JOURNAL_FORMAT, "kind": _JOURNAL_KIND}
+        header.update(meta)
+        fh.write(json.dumps(header) + "\n")
+        fh.flush()
+        return cls(path, fh)
+
+    @classmethod
+    def append_to(cls, path: Union[str, Path]) -> "CampaignJournal":
+        """Reopen an existing journal for appending (resume)."""
+        path = Path(path)
+        if not path.exists():
+            raise JournalError(f"no campaign journal at {path}")
+        return cls(path, path.open("a"))
+
+    # ------------------------------------------------------------------
+    def append_trial(self, index: int, trial) -> None:
+        from ..analysis.export import _trial_to_dict
+
+        line = {"index": index, "trial": _trial_to_dict(trial)}
+        self._fh.write(json.dumps(line) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_journal(path: Union[str, Path]) -> Tuple[dict, Dict[int, object]]:
+    """Load a journal: (header meta, {trial index: TrialResult}).
+
+    Later lines win on duplicate indices (a resumed-then-interrupted
+    journal may record a trial twice).  A truncated trailing line is
+    skipped; a malformed header is an error.
+    """
+    from ..analysis.export import _trial_from_dict
+
+    path = Path(path)
+    if not path.exists():
+        raise JournalError(f"no campaign journal at {path}")
+    with path.open() as fh:
+        raw_header = fh.readline()
+        try:
+            header = json.loads(raw_header)
+        except json.JSONDecodeError:
+            raise JournalError(f"{path}: malformed journal header")
+        if (not isinstance(header, dict)
+                or header.get("kind") != _JOURNAL_KIND):
+            raise JournalError(f"{path}: not a campaign journal")
+        if header.get("format") != _JOURNAL_FORMAT:
+            raise JournalError(
+                f"{path}: unsupported journal format {header.get('format')!r}"
+            )
+        trials: Dict[int, object] = {}
+        for lineno, line in enumerate(fh, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                # torn write at the moment of interruption — drop it;
+                # the trial will simply be re-executed on resume
+                continue
+            try:
+                trials[int(entry["index"])] = _trial_from_dict(entry["trial"])
+            except (KeyError, TypeError, ValueError):
+                raise JournalError(f"{path}:{lineno}: malformed trial record")
+    return header, trials

@@ -9,10 +9,12 @@ job-level failure modes (crash, deadlock, hang) are decided.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import List, Optional, Sequence
 
+from ..errors import TrialTimeoutError
 from ..fpm.tracker import PropagationTrace
 from ..vm.machine import Machine, MachineStatus
 from ..vm.traps import Trap, TrapKind
@@ -73,12 +75,18 @@ class Scheduler:
         quantum: int = 256,
         max_cycles: int = 50_000_000,
         sample_every: int = 1,
+        wall_deadline: Optional[float] = None,
     ) -> None:
         self.machines = list(machines)
         self.runtime = runtime
         self.quantum = quantum
         self.max_cycles = max_cycles
         self.sample_every = sample_every
+        #: monotonic instant after which the job is abandoned with a
+        #: TrialTimeoutError — the campaign engine's in-process watchdog
+        #: (virtual-time hangs are JobStatus.HANG; this catches the
+        #: harness itself running away in wall-clock time)
+        self.wall_deadline = wall_deadline
         self.fpm_mode = any(m.fpm is not None for m in self.machines)
 
     def run(self) -> JobResult:
@@ -102,6 +110,11 @@ class Scheduler:
                 break
 
             epoch += 1
+            if (self.wall_deadline is not None
+                    and time.monotonic() > self.wall_deadline):
+                raise TrialTimeoutError(
+                    f"job exceeded its wall-clock watchdog at epoch {epoch}"
+                )
             t = max(m.cycles for m in machines)
             if trace is not None and epoch % self.sample_every == 0:
                 self._sample(trace, t)

@@ -22,10 +22,12 @@ The result records enough to score policies: outcome, total cycles
 from __future__ import annotations
 
 import copy
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from ..core.config import RunConfig
+from ..errors import TrialTimeoutError
 from ..mpi.runtime import MPIRuntime
 from ..mpi.scheduler import JobStatus
 from ..vm.machine import FaultSpec, Machine, MachineStatus
@@ -82,7 +84,12 @@ class ResilientRunner:
     # ------------------------------------------------------------------
     def run(self, faults: Sequence[FaultSpec] = (),
             inj_seed: Optional[int] = None,
-            max_cycles: int = 50_000_000) -> ResilientResult:
+            max_cycles: int = 50_000_000,
+            wall_timeout: Optional[float] = None) -> ResilientResult:
+        # same contract as run_job(wall_timeout=...): resilient trials
+        # driven by the campaign engine get the same watchdog coverage
+        wall_deadline = (time.monotonic() + wall_timeout
+                         if wall_timeout is not None else None)
         config = self.config
         runtime = MPIRuntime()
         machines = [
@@ -107,6 +114,11 @@ class ResilientRunner:
         waived = False  # a detection was consciously run through
 
         while True:
+            if (wall_deadline is not None
+                    and time.monotonic() > wall_deadline):
+                raise TrialTimeoutError(
+                    "resilient job exceeded its wall-clock watchdog"
+                )
             for m in machines:
                 if m.status is MachineStatus.READY:
                     m.run(quantum)

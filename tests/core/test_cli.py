@@ -50,3 +50,35 @@ class TestCLI:
                      "--faults", "2", "--seed", "1"]) == 0
         out = capsys.readouterr().out
         assert "2 fault(s)/run" in out
+
+
+class TestEngineCLI:
+    def test_engine_flags_accepted(self, capsys):
+        assert main(["campaign", "matvec", "--trials", "6", "--seed", "1",
+                     "--mode", "blackbox", "--timeout", "30",
+                     "--max-retries", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "engine: 1 worker(s)" in out
+        assert "clean" in out
+
+    def test_journal_then_resume(self, tmp_path, capsys):
+        journal = str(tmp_path / "c.jsonl")
+        assert main(["campaign", "matvec", "--trials", "6", "--seed", "1",
+                     "--mode", "blackbox", "--journal", journal]) == 0
+        first = capsys.readouterr().out
+        assert main(["campaign", "matvec", "--resume", journal]) == 0
+        resumed = capsys.readouterr().out
+        assert "resumed: 6 trial(s)" in resumed
+        # same outcome table either way
+        table_line = [l for l in first.splitlines() if "matvec" in l]
+        assert table_line[0] in resumed
+
+    def test_resume_missing_journal_exit_code(self, tmp_path, capsys):
+        assert main(["campaign", "matvec",
+                     "--resume", str(tmp_path / "nope.jsonl")]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+
+    def test_unknown_app_is_clean_error(self, capsys):
+        assert main(["campaign", "not-an-app", "--trials", "5"]) == 1
+        assert "error:" in capsys.readouterr().err

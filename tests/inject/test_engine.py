@@ -1,0 +1,427 @@
+"""Campaign execution engine: supervision, journaling, resume.
+
+The acceptance scenario of the engine: a campaign with an artificially
+crashed worker and a hung (watchdog-expired) trial still completes,
+reports the failures in its health summary instead of raising, and a
+resume from a mid-campaign journal is bit-identical to an uninterrupted
+run with the same seed.
+"""
+
+import json
+import os
+import time
+import warnings
+
+import pytest
+
+from repro.analysis import Outcome, campaign_to_json
+from repro.errors import (
+    CampaignError,
+    FailureKind,
+    JournalError,
+    TrialTimeoutError,
+)
+from repro.inject import (
+    CampaignEngine,
+    CampaignHealth,
+    PreparedApp,
+    default_timeout,
+    default_trials,
+    default_workers,
+    read_journal,
+    resume_campaign,
+    run_campaign,
+)
+from repro.inject import campaign as campaign_mod
+from repro.inject import engine as engine_mod
+from repro.inject.campaign import TrialResult, harness_failure_trial
+from repro.apps import get_app
+
+
+# ----------------------------------------------------------------------
+# Module-level task functions (fork-able into pool workers).  Behaviour
+# is keyed off flag files in REPRO_TEST_FLAG_DIR so "fail exactly once"
+# is visible across worker processes.
+# ----------------------------------------------------------------------
+
+def _flag(name):
+    return os.path.join(os.environ["REPRO_TEST_FLAG_DIR"], name)
+
+
+def _take_flag(name):
+    """True exactly once per flag dir (first caller wins)."""
+    try:
+        fd = os.open(_flag(name), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
+
+
+def _stub_trial(index):
+    return TrialResult(
+        outcome="CO", trap_kind=None, faults=(), injected_cycles=(),
+        injected_occurrences=(), iterations=1, cycles=index,
+    )
+
+
+def _scripted_task(args):
+    index, kind = args
+    if kind == "crash-once" and _take_flag("crashed"):
+        os._exit(23)
+    if kind == "hang-once" and _take_flag("hung"):
+        time.sleep(30)
+    if kind == "always-crash":
+        os._exit(5)
+    if kind == "raise-once" and _take_flag("raised"):
+        raise RuntimeError("scripted failure")
+    if kind == "always-raise":
+        raise RuntimeError("scripted failure")
+    return _stub_trial(index)
+
+
+_REAL_RUN_TRIAL = campaign_mod._run_trial
+
+
+def _chaos_run_trial(args):
+    """Real trial driver wrapped with one worker crash and one hang."""
+    if _take_flag("chaos-crash"):
+        os._exit(23)
+    if _take_flag("chaos-hang"):
+        time.sleep(30)
+    return _REAL_RUN_TRIAL(args)
+
+
+@pytest.fixture()
+def flag_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TEST_FLAG_DIR", str(tmp_path))
+    return tmp_path
+
+
+def _jobs(spec):
+    return [(i, kind) for i, kind in enumerate(spec)]
+
+
+# ----------------------------------------------------------------------
+class TestEngineSupervision:
+    def test_serial_results_in_order(self, flag_dir):
+        eng = CampaignEngine(workers=1, task_fn=_scripted_task)
+        results, health = eng.run(_jobs(["ok"] * 5))
+        assert [r.cycles for r in results] == [0, 1, 2, 3, 4]
+        assert health.clean and health.effective_workers == 1
+
+    def test_serial_exception_retried_then_succeeds(self, flag_dir):
+        eng = CampaignEngine(workers=1, max_retries=2,
+                             task_fn=_scripted_task)
+        results, health = eng.run(_jobs(["ok", "raise-once", "ok"]))
+        assert [r.outcome for r in results] == ["CO", "CO", "CO"]
+        assert results[1].retries == 1
+        assert health.retries == 1 and health.trial_exceptions == 1
+        assert not health.quarantined
+
+    def test_serial_quarantine_after_max_retries(self, flag_dir):
+        eng = CampaignEngine(workers=1, max_retries=1,
+                             task_fn=_scripted_task)
+        results, health = eng.run(
+            _jobs(["ok", "always-raise", "ok"]),
+            faults_of=lambda i: (),
+        )
+        assert [r.outcome for r in results] == ["CO", "HF", "CO"]
+        assert results[1].failure_kind == FailureKind.EXCEPTION.value
+        assert "RuntimeError" in results[1].failure_detail
+        assert results[1].retries == 1
+        assert health.quarantined == [1]
+        assert health.trial_exceptions == 2  # initial + one retry
+
+    def test_worker_crash_recovered(self, flag_dir):
+        eng = CampaignEngine(workers=2, max_retries=2,
+                             task_fn=_scripted_task)
+        results, health = eng.run(_jobs(["ok", "ok", "crash-once",
+                                         "ok", "ok", "ok"]))
+        assert [r.outcome for r in results] == ["CO"] * 6
+        assert health.worker_crashes == 1
+        assert health.worker_respawns >= 1
+        assert health.retries == 1
+
+    def test_watchdog_kills_hung_trial(self, flag_dir):
+        eng = CampaignEngine(workers=2, timeout=0.3, kill_grace=0.3,
+                             max_retries=2, task_fn=_scripted_task)
+        start = time.monotonic()
+        results, health = eng.run(_jobs(["ok", "hang-once", "ok", "ok"]))
+        assert time.monotonic() - start < 10
+        assert [r.outcome for r in results] == ["CO"] * 4
+        assert health.timeouts == 1
+        assert health.worker_respawns >= 1
+
+    def test_pool_quarantines_repeat_crasher(self, flag_dir):
+        eng = CampaignEngine(workers=2, max_retries=1,
+                             task_fn=_scripted_task)
+        results, health = eng.run(
+            _jobs(["ok", "always-crash", "ok", "ok"]),
+            faults_of=lambda i: (),
+        )
+        assert [r.outcome for r in results] == ["CO", "HF", "CO", "CO"]
+        assert results[1].failure_kind == FailureKind.WORKER_CRASH.value
+        assert health.quarantined == [1]
+        assert health.worker_crashes == 2
+        assert health.worker_respawns >= 2
+
+    def test_harness_failures_never_silently_dropped(self, flag_dir):
+        eng = CampaignEngine(workers=1, max_retries=0,
+                             task_fn=_scripted_task)
+        results, health = eng.run(_jobs(["always-raise"] * 3))
+        assert len(results) == 3
+        assert all(r.is_harness_failure for r in results)
+        assert all(r.outcome_enum is Outcome.HARNESS_FAILURE
+                   for r in results)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(CampaignError):
+            CampaignEngine(workers=0)
+        with pytest.raises(CampaignError):
+            CampaignEngine(max_retries=-1)
+
+
+class TestSoftWatchdog:
+    def test_run_job_wall_timeout_raises(self):
+        from repro.core.runner import run_job
+
+        pa = PreparedApp(get_app("matvec"), "blackbox")
+        with pytest.raises(TrialTimeoutError):
+            run_job(pa.program, pa.run_config(), wall_timeout=1e-9)
+
+    def test_resilient_runner_wall_timeout(self):
+        from repro.core.config import RunConfig
+        from repro.core.runner import build_program
+        from repro.resilience import AlwaysRollback, ResilientRunner
+
+        spec = get_app("matvec")
+        config = spec.config
+        program = build_program(spec.source, "fpm", config=config)
+        rr = ResilientRunner(program, config, AlwaysRollback())
+        with pytest.raises(TrialTimeoutError):
+            rr.run(wall_timeout=1e-9)
+
+
+# ----------------------------------------------------------------------
+class TestEnvParsing:
+    def test_non_integer_trials_falls_back_with_warning(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRIALS", "banana")
+        with pytest.warns(UserWarning, match="REPRO_TRIALS"):
+            assert default_trials() == 120
+
+    def test_negative_trials_falls_back_with_warning(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRIALS", "-5")
+        with pytest.warns(UserWarning, match="REPRO_TRIALS"):
+            assert default_trials() == 120
+
+    def test_non_integer_workers_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.warns(UserWarning, match="REPRO_WORKERS"):
+            assert default_workers() == 1
+
+    def test_explicit_invalid_arguments_raise(self):
+        with pytest.raises(CampaignError):
+            default_trials(0)
+        with pytest.raises(CampaignError):
+            default_workers(0)
+        with pytest.raises(CampaignError):
+            default_timeout(-1.0)
+
+    def test_bad_timeout_env_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRIAL_TIMEOUT", "soon")
+        with pytest.warns(UserWarning, match="REPRO_TRIAL_TIMEOUT"):
+            assert default_timeout() is None
+
+    def test_valid_env_still_honoured(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRIALS", "33")
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        monkeypatch.setenv("REPRO_TRIAL_TIMEOUT", "2.5")
+        assert default_trials() == 33
+        assert default_workers() == 3
+        assert default_timeout() == 2.5
+
+
+class TestPreparedCacheLRU:
+    def test_cache_is_bounded(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PREPARED_CACHE", "2")
+        monkeypatch.setattr(campaign_mod, "_PREPARED_CACHE",
+                            type(campaign_mod._PREPARED_CACHE)())
+        campaign_mod._prepared("matvec", (), "blackbox")
+        campaign_mod._prepared("matvec", (), "fpm")
+        campaign_mod._prepared("matvec", (), "taint")
+        assert len(campaign_mod._PREPARED_CACHE) == 2
+        # the oldest entry (blackbox) was evicted
+        assert ("matvec", (), "blackbox") not in campaign_mod._PREPARED_CACHE
+
+    def test_hit_refreshes_lru_order(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PREPARED_CACHE", "2")
+        monkeypatch.setattr(campaign_mod, "_PREPARED_CACHE",
+                            type(campaign_mod._PREPARED_CACHE)())
+        campaign_mod._prepared("matvec", (), "blackbox")
+        campaign_mod._prepared("matvec", (), "fpm")
+        campaign_mod._prepared("matvec", (), "blackbox")  # refresh
+        campaign_mod._prepared("matvec", (), "taint")
+        assert ("matvec", (), "blackbox") in campaign_mod._PREPARED_CACHE
+        assert ("matvec", (), "fpm") not in campaign_mod._PREPARED_CACHE
+
+
+class TestEffectiveWorkers:
+    def test_small_campaign_runs_serial_and_says_so(self):
+        with pytest.warns(UserWarning, match="too small"):
+            c = run_campaign("matvec", trials=3, mode="blackbox", seed=1,
+                             workers=4)
+        assert c.effective_workers == 1
+        assert c.health.requested_workers == 4
+        assert c.health.effective_workers == 1
+
+    def test_parallel_campaign_records_workers(self):
+        c = run_campaign("matvec", trials=8, mode="blackbox", seed=1,
+                         workers=2)
+        assert c.effective_workers == 2
+        assert c.health.wall_time_s > 0
+
+    def test_health_in_report(self):
+        from repro.analysis import render_health_summary
+
+        c = run_campaign("matvec", trials=5, mode="blackbox", seed=1)
+        text = render_health_summary(c.health)
+        assert "1 worker(s)" in text
+        assert "clean" in text
+
+    def test_health_export_roundtrip(self):
+        from repro.analysis import campaign_from_json
+
+        c = run_campaign("matvec", trials=5, mode="blackbox", seed=1,
+                         workers=1)
+        c2 = campaign_from_json(campaign_to_json(c))
+        assert c2.effective_workers == c.effective_workers
+        assert isinstance(c2.health, CampaignHealth)
+        assert c2.health.to_dict() == c.health.to_dict()
+
+    def test_harness_failure_trial_roundtrip(self):
+        from repro.analysis.export import _trial_from_dict, _trial_to_dict
+
+        hf = harness_failure_trial((), FailureKind.TIMEOUT, "watchdog",
+                                   retries=2)
+        back = _trial_from_dict(json.loads(json.dumps(_trial_to_dict(hf))))
+        assert back.outcome == "HF"
+        assert back.failure_kind == "timeout"
+        assert back.failure_detail == "watchdog"
+        assert back.retries == 2
+
+
+# ----------------------------------------------------------------------
+class TestJournalAndResume:
+    def test_journal_records_every_trial(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        c = run_campaign("matvec", trials=8, mode="blackbox", seed=11,
+                         journal=str(path))
+        header, done = read_journal(path)
+        assert header["app_name"] == "matvec"
+        assert header["n_trials"] == 8
+        assert sorted(done) == list(range(8))
+        assert [done[i].outcome for i in range(8)] == \
+            [t.outcome for t in c.trials]
+
+    def test_resume_is_bit_identical(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        full = run_campaign("matvec", trials=10, mode="fpm", seed=11,
+                            keep_series=True, journal=str(path))
+        # interrupt: keep the header and the first 4 completed trials
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:5]) + "\n")
+
+        resumed = resume_campaign(path)
+        assert resumed.health.resumed_trials == 4
+        full_d = json.loads(campaign_to_json(full))
+        res_d = json.loads(campaign_to_json(resumed))
+        assert res_d["trials"] == full_d["trials"]
+        assert resumed.fractions() == full.fractions()
+
+    def test_resume_parallel_matches_serial_run(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        full = run_campaign("matvec", trials=12, mode="blackbox", seed=4,
+                            journal=str(path))
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:3]) + "\n")
+        resumed = resume_campaign(path, workers=2)
+        assert [t.outcome for t in resumed.trials] == \
+            [t.outcome for t in full.trials]
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        run_campaign("matvec", trials=6, mode="blackbox", seed=11,
+                     journal=str(path))
+        text = path.read_text()
+        path.write_text(text[: len(text) - 25])  # tear the last record
+        header, done = read_journal(path)
+        assert len(done) == 5
+        resumed = resume_campaign(path)
+        assert resumed.n_trials == 6
+
+    def test_fully_complete_journal_resumes_to_same_result(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        full = run_campaign("matvec", trials=6, mode="blackbox", seed=11,
+                            journal=str(path))
+        resumed = resume_campaign(path)
+        assert resumed.health.resumed_trials == 6
+        assert [t.outcome for t in resumed.trials] == \
+            [t.outcome for t in full.trials]
+
+    def test_missing_journal_raises(self, tmp_path):
+        with pytest.raises(JournalError):
+            resume_campaign(tmp_path / "nope.jsonl")
+
+    def test_non_journal_file_raises(self, tmp_path):
+        path = tmp_path / "bogus.jsonl"
+        path.write_text('{"format": 1, "kind": "something-else"}\n')
+        with pytest.raises(JournalError):
+            read_journal(path)
+
+    def test_framework_resume_checks_app(self, tmp_path):
+        from repro.core.framework import FaultPropagationFramework
+
+        path = tmp_path / "c.jsonl"
+        run_campaign("matvec", trials=4, mode="blackbox", seed=11,
+                     journal=str(path))
+        fw = FaultPropagationFramework.for_app("lulesh")
+        with pytest.raises(CampaignError):
+            fw.resume_campaign(str(path))
+
+    def test_quarantined_trials_land_in_journal(self, tmp_path, flag_dir):
+        from repro.inject.journal import CampaignJournal
+
+        path = tmp_path / "q.jsonl"
+        journal = CampaignJournal.create(path, {"n_trials": 2})
+        eng = CampaignEngine(workers=1, max_retries=0,
+                             task_fn=_scripted_task, journal=journal)
+        eng.run(_jobs(["always-raise", "ok"]))
+        journal.close()
+        _, done = read_journal(path)
+        assert done[0].outcome == "HF"
+        assert done[1].outcome == "CO"
+
+
+# ----------------------------------------------------------------------
+class TestAcceptanceChaosCampaign:
+    """ISSUE acceptance: crashed worker + hung trial, then resume."""
+
+    def test_chaotic_campaign_completes_and_reports(
+        self, flag_dir, monkeypatch
+    ):
+        monkeypatch.setattr(engine_mod, "_KILL_GRACE", 0.5)
+        monkeypatch.setattr(campaign_mod, "_run_trial", _chaos_run_trial)
+        chaotic = run_campaign("matvec", trials=10, mode="blackbox",
+                               seed=77, workers=2, timeout=1.5)
+        assert chaotic.n_trials == 10
+        health = chaotic.health
+        assert health.worker_crashes >= 1
+        assert health.timeouts >= 1
+        assert health.worker_respawns >= 2
+        assert not health.quarantined
+
+        monkeypatch.setattr(campaign_mod, "_run_trial", _REAL_RUN_TRIAL)
+        clean = run_campaign("matvec", trials=10, mode="blackbox", seed=77)
+        assert [t.outcome for t in chaotic.trials] == \
+            [t.outcome for t in clean.trials]
