@@ -1,0 +1,135 @@
+"""Per-trial speedup of snapshot fast-forward + fused dispatch.
+
+"Before" is the PR-1 interpreter: unfused closures, every trial replayed
+from cycle 0.  "After" is the default configuration: fused straight-line
+segments plus golden-run snapshots, so each trial restores the latest
+snapshot predating its armed fault and executes only the tail.
+
+The only *gating* assertions are equivalence: every fast-forwarded trial
+must be bit-identical to its cold counterpart.  The measured speedups
+are recorded to ``benchmarks/results/BENCH_snapshot_fastforward.json``
+for EXPERIMENTS.md and the CI perf-smoke job; the committed artifact was
+produced with REPRO_BENCH_TRIALS=40 on an idle machine.
+
+Scale with REPRO_BENCH_APP (default amg — the paper app with the
+largest crash+PEX share, i.e. the most early-terminating tails) and
+REPRO_BENCH_TRIALS.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+
+import numpy as np
+
+from repro.apps import get_app
+from repro.core.runner import run_job
+from repro.inject.campaign import _env_int
+from repro.inject.plan import draw_plan
+from repro.inject.profiler import PreparedApp
+
+from conftest import SEED
+
+
+def _bench_app() -> str:
+    return os.environ.get("REPRO_BENCH_APP", "amg")
+
+
+def _bench_trials() -> int:
+    return _env_int("REPRO_BENCH_TRIALS", 40)
+
+
+def _nansafe(x):
+    # repr round-trips finite floats exactly; NaN payloads all render
+    # "nan", which is the equality the campaign layer uses as well
+    return repr(x)
+
+
+def _assert_jobs_identical(a, b):
+    assert a.status == b.status
+    assert str(a.trap) == str(b.trap)
+    assert a.cycles == b.cycles
+    assert a.rank_cycles == b.rank_cycles
+    assert _nansafe(a.outputs) == _nansafe(b.outputs)
+    assert a.iterations == b.iterations
+    assert a.inj_counts == b.inj_counts
+    assert [[vars(e) for e in r] for r in a.injections] == \
+           [[vars(e) for e in r] for r in b.injections]
+    assert (a.trace is None) == (b.trace is None)
+    if a.trace is not None:
+        assert a.trace.times == b.trace.times
+        assert _nansafe(a.trace.cml_per_rank) == _nansafe(b.trace.cml_per_rank)
+        assert a.trace.first_contamination == b.trace.first_contamination
+
+
+def _measure(app: str, mode: str, n: int) -> dict:
+    spec = get_app(app)
+    cold_pa = PreparedApp(spec, mode, snapshot_stride=0, fuse=False)
+    fast_pa = PreparedApp(spec, mode)  # default stride/limit, fused
+    config = fast_pa.run_config()
+    rng = np.random.default_rng(SEED)
+
+    speedups = []
+    cold_wall = fast_wall = 0.0
+    hits = 0
+    for _ in range(n):
+        faults = draw_plan(rng, fast_pa.golden.inj_counts, 1)
+        seed = int(rng.integers(2 ** 31))
+
+        t0 = time.perf_counter()
+        cold = run_job(cold_pa.program, cold_pa.run_config(), faults,
+                       inj_seed=seed)
+        t1 = time.perf_counter()
+        snap = fast_pa.snapshots.best_for(faults) \
+            if fast_pa.snapshots is not None else None
+        if snap is not None:
+            hits += 1
+        fast = run_job(fast_pa.program, config, faults, inj_seed=seed,
+                       restore_from=snap)
+        t2 = time.perf_counter()
+
+        _assert_jobs_identical(cold, fast)
+        cold_wall += t1 - t0
+        fast_wall += t2 - t1
+        speedups.append((t1 - t0) / max(t2 - t1, 1e-9))
+
+    speedups.sort()
+    q = statistics.quantiles(speedups, n=4) if len(speedups) >= 2 else \
+        [speedups[0]] * 3
+    store = fast_pa.snapshots
+    return {
+        "mode": mode,
+        "trials": n,
+        "golden_cycles": fast_pa.golden.cycles,
+        "snapshot_stride": store.stride if store is not None else 0,
+        "snapshots": len(store) if store is not None else 0,
+        "snapshot_hits": hits,
+        "cold_wall_s": round(cold_wall, 3),
+        "fast_wall_s": round(fast_wall, 3),
+        "speedup_overall": round(cold_wall / max(fast_wall, 1e-9), 2),
+        "speedup_median": round(statistics.median(speedups), 2),
+        "speedup_p25": round(q[0], 2),
+        "speedup_p75": round(q[2], 2),
+        "speedup_min": round(speedups[0], 2),
+        "speedup_max": round(speedups[-1], 2),
+        "equivalent": True,  # every trial above passed _assert_jobs_identical
+    }
+
+
+def test_perf_snapshot_fastforward(results_dir):
+    app = _bench_app()
+    n = _bench_trials()
+    payload = {
+        "benchmark": "snapshot_fastforward",
+        "app": app,
+        "seed": SEED,
+        "baseline": "unfused dispatch, no snapshots (cold replay)",
+        "candidate": "fused dispatch + snapshot fast-forward (defaults)",
+        "modes": [_measure(app, mode, n) for mode in ("blackbox", "fpm")],
+    }
+    path = results_dir / "BENCH_snapshot_fastforward.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\n=== {path.name} ===\n{json.dumps(payload, indent=2)}\n")

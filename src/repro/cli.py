@@ -46,6 +46,9 @@ def _add_campaign_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--max-retries", type=int, default=2, metavar="N",
                    help="re-executions of a harness-failed trial before "
                         "it is quarantined (default 2)")
+    p.add_argument("--snapshot-stride", type=int, default=None, metavar="CYCLES",
+                   help="golden-run snapshot stride for trial fast-forward "
+                        "(default REPRO_SNAPSHOT_STRIDE/2048; 0 disables)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -129,7 +132,8 @@ def cmd_campaign(args) -> int:
                          seed=args.seed, workers=args.workers,
                          n_faults=args.faults, timeout=args.timeout,
                          max_retries=args.max_retries,
-                         journal=getattr(args, "journal", None))
+                         journal=getattr(args, "journal", None),
+                         snapshot_stride=args.snapshot_stride)
     print(f"{c.n_trials} trials, mode={c.mode}, "
           f"{c.n_faults} fault(s)/run")
     print(render_outcome_table({args.app: c.fractions()},
@@ -162,8 +166,9 @@ def cmd_sites(args) -> int:
 
     c = run_campaign(args.app, args.trials, mode="fpm", seed=args.seed,
                      workers=args.workers, n_faults=args.faults,
-                     timeout=args.timeout, max_retries=args.max_retries)
-    pa = _prepared(args.app, (), "fpm")
+                     timeout=args.timeout, max_retries=args.max_retries,
+                     snapshot_stride=args.snapshot_stride)
+    pa = _prepared(args.app, (), "fpm", args.snapshot_stride)
     ranking = site_vulnerability(c, pa.program.site_table, by=args.by)
     print(f"most vulnerable sites of {args.app} by {args.by} "
           f"({c.n_trials} trials):")
@@ -175,7 +180,8 @@ def cmd_fps(args) -> int:
     fw = FaultPropagationFramework.for_app(args.app)
     c = fw.fpm_campaign(trials=args.trials, seed=args.seed,
                         workers=args.workers, n_faults=args.faults,
-                        timeout=args.timeout, max_retries=args.max_retries)
+                        timeout=args.timeout, max_retries=args.max_retries,
+                        snapshot_stride=args.snapshot_stride)
     fps = fw.fps_factor(c)
     print(render_fps_table([fps]))
     est = fw.estimator(c)

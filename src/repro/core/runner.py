@@ -10,10 +10,12 @@ from __future__ import annotations
 import time
 from typing import Optional, Sequence
 
+from ..errors import SnapshotError
 from ..frontend import compile_source
 from ..mpi import JobResult, MPIRuntime, Scheduler
 from ..passes import pipeline_for_mode, run_passes
 from ..vm import CompiledProgram, FaultSpec, Machine, compile_program
+from ..vm.snapshot import restore_world
 from .config import RunConfig
 
 
@@ -24,17 +26,19 @@ def build_program(
     name: str = "app",
     config: Optional[RunConfig] = None,
     verify: bool = True,
+    fuse: Optional[bool] = None,
 ) -> CompiledProgram:
     """Compile MiniHPC source to an executable program.
 
     ``mode`` selects the instrumentation level: ``"blackbox"`` (fault
     injection only — a plain LLFI binary) or ``"fpm"`` (fault injection +
-    dual-chain propagation tracking).
+    dual-chain propagation tracking).  ``fuse`` controls fused-segment
+    dispatch (None: on unless REPRO_FUSE=0).
     """
     config = config or RunConfig()
     module = compile_source(source, name=name, verify=verify)
     run_passes(module, pipeline_for_mode(mode, config.inject_kinds), verify=verify)
-    return compile_program(module)
+    return compile_program(module, fuse=fuse)
 
 
 def run_job(
@@ -45,6 +49,8 @@ def run_job(
     inj_seed: Optional[int] = None,
     max_cycles: Optional[int] = None,
     wall_timeout: Optional[float] = None,
+    capture_snapshots=None,
+    restore_from=None,
 ) -> JobResult:
     """Run one simulated MPI job to completion (or crash/deadlock/hang).
 
@@ -53,6 +59,15 @@ def run_job(
     :class:`~repro.errors.TrialTimeoutError`, which the campaign engine
     classifies as a harness failure (retry, then quarantine) rather
     than an application outcome.
+
+    ``capture_snapshots`` accepts a
+    :class:`~repro.vm.snapshot.SnapshotStore` to populate at its cycle
+    stride while the job runs (golden profiling).  ``restore_from``
+    accepts a :class:`~repro.vm.snapshot.WorldSnapshot` to fast-forward
+    from: the machines are restored instead of started, faults are armed
+    on the restored state, and only the remaining tail executes — with
+    results bit-identical to a cold run because the snapshot predates
+    every armed fault's occurrence (validated here).
     """
     config = config or RunConfig()
     runtime = MPIRuntime()
@@ -69,10 +84,34 @@ def run_job(
         for rank in range(config.nranks)
     ]
     runtime.attach(machines)
-    for m in machines:
-        if faults:
-            m.arm_faults(faults, seed=inj_seed)
-        m.start()
+    start_epoch = 0
+    initial_trace = None
+    if restore_from is not None:
+        counters = restore_from.inj_counters
+        for s in faults:
+            if not 0 <= s.rank < len(counters):
+                raise SnapshotError(
+                    f"fault targets rank {s.rank}, snapshot has "
+                    f"{len(counters)} ranks"
+                )
+            if counters[s.rank] >= s.occurrence:
+                raise SnapshotError(
+                    f"snapshot at cycle {restore_from.cycle} already passed "
+                    f"occurrence {s.occurrence} on rank {s.rank} "
+                    f"(counter {counters[s.rank]}); fast-forward would skip "
+                    f"the fault"
+                )
+        start_epoch, initial_trace = restore_world(
+            restore_from, machines, runtime
+        )
+        for m in machines:
+            if faults:
+                m.arm_faults(faults, seed=inj_seed)
+    else:
+        for m in machines:
+            if faults:
+                m.arm_faults(faults, seed=inj_seed)
+            m.start()
     budget = max_cycles
     if budget is None:
         budget = config.max_cycles
@@ -88,5 +127,8 @@ def run_job(
             time.monotonic() + wall_timeout if wall_timeout is not None
             else None
         ),
+        start_epoch=start_epoch,
+        trace=initial_trace,
+        snapshots=capture_snapshots,
     )
     return scheduler.run()

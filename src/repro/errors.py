@@ -53,6 +53,16 @@ class MPIError(ReproError):
     """Misuse of the simulated MPI runtime detected by the framework."""
 
 
+class SnapshotError(ReproError):
+    """Snapshot fast-forward misuse or equivalence violation.
+
+    Raised when a world snapshot cannot be captured or restored, when a
+    restore target is incompatible with the armed fault plan, or — the
+    serious one — when the mandatory equivalence check finds a restored
+    trial that is not bit-identical to its cold re-execution.
+    """
+
+
 class CampaignError(ReproError):
     """Invalid fault-injection campaign configuration."""
 

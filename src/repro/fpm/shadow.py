@@ -99,3 +99,21 @@ class ShadowTable:
     @property
     def ever_contaminated(self) -> bool:
         return self.ever_contaminated_count > 0
+
+    # ------------------------------------------------------------------
+    # Snapshot fast-forward support
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> tuple:
+        """Immutable copy of the contamination state for world snapshots."""
+        return (
+            dict(self.table),
+            self.ever_contaminated_count,
+            self.first_contamination_cycle,
+        )
+
+    def restore_state(self, state: tuple) -> None:
+        """Reset to a state captured by :meth:`snapshot_state`."""
+        table, count, first = state
+        self.table = dict(table)
+        self.ever_contaminated_count = count
+        self.first_contamination_cycle = first

@@ -41,3 +41,20 @@ class TaintTable(ShadowTable):
         if len(table) < count:
             return any(addr <= a < addr + count for a in table)
         return any(addr + i in table for i in range(count))
+
+    # ------------------------------------------------------------------
+    # Snapshot fast-forward support: taint entries are all ``True`` marks,
+    # so a snapshot only needs the key set, not a value copy.
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> tuple:
+        return (
+            tuple(self.table),
+            self.ever_contaminated_count,
+            self.first_contamination_cycle,
+        )
+
+    def restore_state(self, state: tuple) -> None:
+        keys, count, first = state
+        self.table = dict.fromkeys(keys, True)
+        self.ever_contaminated_count = count
+        self.first_contamination_cycle = first

@@ -10,6 +10,7 @@ from .campaign import (
     default_workers,
     harness_failure_trial,
     run_campaign,
+    trial_results_equal,
 )
 from .engine import CampaignEngine, resume_campaign
 from .health import CampaignHealth
@@ -22,5 +23,5 @@ __all__ = [
     "CampaignResult", "GoldenProfile", "PreparedApp", "TrialResult",
     "default_timeout", "default_trials", "default_workers", "draw_plan",
     "harness_failure_trial", "profile_golden", "read_journal",
-    "resume_campaign", "run_campaign",
+    "resume_campaign", "run_campaign", "trial_results_equal",
 ]

@@ -18,7 +18,7 @@ from __future__ import annotations
 import os
 import warnings
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -26,9 +26,10 @@ import numpy as np
 from ..analysis.classify import Outcome, classify, outcome_fractions, outputs_match
 from ..apps.registry import AppSpec, get_app
 from ..core.runner import run_job
-from ..errors import CampaignError, FailureKind
+from ..errors import CampaignError, FailureKind, SnapshotError
 from ..mpi import JobResult
 from ..vm.machine import FaultSpec
+from ..vm.snapshot import default_snapshot_stride, snapshot_verify_mode
 from .health import CampaignHealth
 from .plan import draw_plan
 from .profiler import GoldenProfile, PreparedApp
@@ -146,11 +147,16 @@ def _prepared_cache_max() -> int:
     return _env_int("REPRO_PREPARED_CACHE", 8, minimum=1)
 
 
-def _prepared(app_name: str, params: tuple, mode: str) -> PreparedApp:
-    key = (app_name, params, mode)
+def _prepared(app_name: str, params: tuple, mode: str,
+              snapshot_stride: Optional[int] = None) -> PreparedApp:
+    # Resolve the stride before keying so an explicit argument and the
+    # equivalent REPRO_SNAPSHOT_STRIDE setting share one cache entry.
+    stride = default_snapshot_stride(snapshot_stride)
+    key = (app_name, params, mode, stride)
     pa = _PREPARED_CACHE.get(key)
     if pa is None:
-        pa = PreparedApp(get_app(app_name, **dict(params)), mode)
+        pa = PreparedApp(get_app(app_name, **dict(params)), mode,
+                         snapshot_stride=stride)
         _PREPARED_CACHE[key] = pa
         limit = _prepared_cache_max()
         while len(_PREPARED_CACHE) > limit:
@@ -216,15 +222,62 @@ def _summarise(
     return tr
 
 
+def trial_results_equal(a: TrialResult, b: TrialResult) -> bool:
+    """Field-by-field bit-identity of two trial results.
+
+    This is the equivalence predicate of the snapshot fast-forward
+    contract: a restored trial must match its cold re-execution on every
+    field, including the full CML(t) series.
+    """
+    for f in fields(TrialResult):
+        va, vb = getattr(a, f.name), getattr(b, f.name)
+        if isinstance(va, np.ndarray) or isinstance(vb, np.ndarray):
+            if va is None or vb is None:
+                if va is not vb:
+                    return False
+            elif not np.array_equal(va, vb):
+                return False
+        elif va != vb:
+            return False
+    return True
+
+
 def _run_trial(args) -> TrialResult:
     (app_name, params, mode, faults, inj_seed, keep_series) = args[:6]
     wall_timeout = args[6] if len(args) > 6 else None
-    pa = _prepared(app_name, params, mode)
+    snapshot_stride = args[7] if len(args) > 7 else None
+    pa = _prepared(app_name, params, mode, snapshot_stride)
+    config = pa.run_config()
+    store = pa.snapshots
+    snap = store.best_for(faults) if store is not None else None
+    if snap is None:
+        result = run_job(
+            pa.program, config, faults=faults, inj_seed=inj_seed,
+            wall_timeout=wall_timeout,
+        )
+        return _summarise(pa, result, faults, keep_series)
+
     result = run_job(
-        pa.program, pa.run_config(), faults=faults, inj_seed=inj_seed,
-        wall_timeout=wall_timeout,
+        pa.program, config, faults=faults, inj_seed=inj_seed,
+        wall_timeout=wall_timeout, restore_from=snap,
     )
-    return _summarise(pa, result, faults, keep_series)
+    tr = _summarise(pa, result, faults, keep_series)
+    verify = snapshot_verify_mode()
+    if verify == "all" or (verify == "first" and not store.verified):
+        cold = run_job(
+            pa.program, config, faults=faults, inj_seed=inj_seed,
+            wall_timeout=wall_timeout,
+        )
+        cold_tr = _summarise(pa, cold, faults, keep_series)
+        if not trial_results_equal(tr, cold_tr):
+            raise SnapshotError(
+                f"fast-forwarded trial diverged from cold run for "
+                f"{app_name!r} ({mode}, snapshot at cycle {snap.cycle}, "
+                f"faults {tuple(faults)}): {tr.outcome}/{tr.cycles} vs "
+                f"{cold_tr.outcome}/{cold_tr.cycles}"
+            )
+        store.verified = True
+    return tr
 
 
 # ----------------------------------------------------------------------
@@ -317,6 +370,7 @@ def _build_jobs(
     bit: Optional[int],
     keep_series: bool,
     wall_timeout: Optional[float],
+    snapshot_stride: Optional[int] = None,
 ) -> List[tuple]:
     """Draw every trial's fault plan and seed up front.
 
@@ -333,7 +387,7 @@ def _build_jobs(
         )
         inj_seed = int(rng.integers(2 ** 31))
         jobs.append((app, params_key, mode, tuple(faults), inj_seed,
-                     keep_series, wall_timeout))
+                     keep_series, wall_timeout, snapshot_stride))
     return jobs
 
 
@@ -353,6 +407,7 @@ def run_campaign(
     max_retries: int = 2,
     journal: Optional[str] = None,
     progress: Optional[Callable[[int, int], None]] = None,
+    snapshot_stride: Optional[int] = None,
 ) -> CampaignResult:
     """Run a fault-injection campaign for a registered app.
 
@@ -368,12 +423,19 @@ def run_campaign(
     trial is quarantined; ``journal`` names a JSONL checkpoint file so
     an interrupted campaign can be finished with
     :func:`repro.inject.engine.resume_campaign`.
+
+    ``snapshot_stride`` sets the golden-run snapshot capture stride in
+    cycles for trial fast-forward (None: REPRO_SNAPSHOT_STRIDE or 2048;
+    0 disables and every trial runs cold from cycle 0).
     """
     from .engine import CampaignEngine  # lazy: engine imports this module
 
     n_trials = default_trials(trials)
     requested_workers = default_workers(workers)
     wall_timeout = default_timeout(timeout)
+    # Resolve once so the journal records the effective value and forked
+    # workers cannot drift if the environment changes mid-campaign.
+    stride = default_snapshot_stride(snapshot_stride)
     params = dict(params or {})
     params_key = tuple(sorted(params.items()))
 
@@ -386,10 +448,10 @@ def run_campaign(
         )
         effective = 1
 
-    pa = _prepared(app, params_key, mode)
+    pa = _prepared(app, params_key, mode, stride)
     golden = pa.golden
     jobs = _build_jobs(app, params_key, mode, golden, n_trials, n_faults,
-                       seed, rank, bit, keep_series, wall_timeout)
+                       seed, rank, bit, keep_series, wall_timeout, stride)
 
     journal_writer = None
     if journal is not None:
@@ -405,6 +467,7 @@ def run_campaign(
             "bit": bit,
             "params": sorted(params.items()),
             "timeout": wall_timeout,
+            "snapshot_stride": stride,
             "golden": {
                 "iterations": golden.iterations,
                 "cycles": golden.cycles,

@@ -374,8 +374,11 @@ def resume_campaign(
     mode = header["mode"]
     n_trials = int(header["n_trials"])
     params_key = tuple((k, v) for k, v in header.get("params", []))
+    # Journals from before snapshot fast-forward carry no stride; resume
+    # them with snapshots disabled so trial execution matches recording.
+    snapshot_stride = header.get("snapshot_stride", 0)
 
-    pa = _prepared(app, params_key, mode)
+    pa = _prepared(app, params_key, mode, snapshot_stride)
     golden = pa.golden
     recorded = header.get("golden", {})
     if (list(golden.inj_counts) != list(recorded.get("inj_counts", []))
@@ -392,7 +395,7 @@ def resume_campaign(
         app, params_key, mode, golden, n_trials,
         int(header["n_faults"]), int(header["seed"]),
         header.get("rank"), header.get("bit"),
-        bool(header.get("keep_series")), wall_timeout,
+        bool(header.get("keep_series")), wall_timeout, snapshot_stride,
     )
 
     requested_workers = default_workers(workers)

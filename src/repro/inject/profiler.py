@@ -20,7 +20,7 @@ from ..core.config import RunConfig
 from ..core.runner import build_program, run_job
 from ..errors import CampaignError
 from ..mpi import JobStatus
-from ..vm import CompiledProgram
+from ..vm import CompiledProgram, SnapshotStore
 
 
 @dataclass
@@ -46,27 +46,49 @@ class GoldenProfile:
 class PreparedApp:
     """A compiled app + its golden profile, ready for injection trials."""
 
-    def __init__(self, spec: AppSpec, mode: str = "blackbox") -> None:
+    def __init__(
+        self,
+        spec: AppSpec,
+        mode: str = "blackbox",
+        *,
+        snapshot_stride: Optional[int] = None,
+        snapshot_limit: Optional[int] = None,
+        fuse: Optional[bool] = None,
+    ) -> None:
         if mode not in ("blackbox", "fpm", "taint"):
             raise CampaignError(f"unknown mode {mode!r}")
         self.spec = spec
         self.mode = mode
         self.config: RunConfig = spec.config
         self.program: CompiledProgram = build_program(
-            spec.source, mode, name=spec.name, config=spec.config
+            spec.source, mode, name=spec.name, config=spec.config, fuse=fuse
         )
-        self.golden = profile_golden(self.program, spec, mode)
+        store = SnapshotStore(snapshot_stride, snapshot_limit)
+        #: world snapshots captured during the golden run (None = disabled);
+        #: shared copy-on-write with forked pool workers via the prepared
+        #: cache — never pickled
+        self.snapshots: Optional[SnapshotStore] = (
+            store if store.enabled else None
+        )
+        self.golden = profile_golden(
+            self.program, spec, mode, snapshots=self.snapshots
+        )
 
     def run_config(self) -> RunConfig:
         return self.config.with_(max_cycles=self.golden.max_cycles)
 
 
 def profile_golden(
-    program: CompiledProgram, spec: AppSpec, mode: str
+    program: CompiledProgram, spec: AppSpec, mode: str,
+    snapshots: Optional[SnapshotStore] = None,
 ) -> GoldenProfile:
-    """Run the fault-free reference and validate it completed cleanly."""
+    """Run the fault-free reference and validate it completed cleanly.
+
+    ``snapshots`` optionally captures world state at its stride during
+    the run (then frozen), enabling snapshot fast-forward for trials.
+    """
     config = spec.config
-    result = run_job(program, config)
+    result = run_job(program, config, capture_snapshots=snapshots)
     if result.status is not JobStatus.COMPLETED:
         raise CampaignError(
             f"golden run of {spec.name!r} ({mode}) failed: "
@@ -77,6 +99,8 @@ def profile_golden(
             f"golden run of {spec.name!r} contaminated its own shadow state; "
             "the dual-chain build is broken"
         )
+    if snapshots is not None:
+        snapshots.freeze()
     budget = max(int(result.cycles * config.hang_factor), result.cycles + 10_000)
     return GoldenProfile(
         app_name=spec.name,

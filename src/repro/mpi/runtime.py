@@ -60,6 +60,57 @@ class MPIRuntime:
         return max((m.cycles for m in self.machines), default=0)
 
     # ------------------------------------------------------------------
+    # Snapshot fast-forward support
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> tuple:
+        """Immutable copy of all in-flight communication state.
+
+        Machines inside collective ``parts`` are recorded by rank and
+        re-bound to the restoring job's machines on restore, so a
+        snapshot never pins live Machine objects.
+        """
+        queues = tuple(
+            tuple(
+                (msg.src, msg.dest, msg.tag, tuple(msg.payload),
+                 tuple(msg.records), msg.sent_at)
+                for msg in q
+            )
+            for q in self.queues
+        )
+        collectives = tuple(
+            (seq, inst["kind"],
+             tuple((rank, tuple(args))
+                   for rank, (_mm, args) in sorted(inst["parts"].items())))
+            for seq, inst in sorted(self.collectives.items())
+        )
+        stats = (self.messages_sent, self.words_sent,
+                 self.contaminated_messages, self.contaminated_words_sent)
+        return (queues, collectives, stats)
+
+    def restore_state(self, state: tuple) -> None:
+        """Reset to a state captured by :meth:`snapshot_state`.
+
+        Requires :meth:`attach` to have run first (collective parts are
+        re-bound to ``self.machines`` by rank).
+        """
+        queues, collectives, stats = state
+        self.queues = [
+            [Message(src, dest, tag, list(payload), list(records), sent_at)
+             for (src, dest, tag, payload, records, sent_at) in q]
+            for q in queues
+        ]
+        self.collectives = {
+            seq: {
+                "kind": kind,
+                "parts": {rank: (self.machines[rank], tuple(args))
+                          for rank, args in parts},
+            }
+            for seq, kind, parts in collectives
+        }
+        (self.messages_sent, self.words_sent,
+         self.contaminated_messages, self.contaminated_words_sent) = stats
+
+    # ------------------------------------------------------------------
     # Point-to-point
     # ------------------------------------------------------------------
     def send(self, m, buf: int, count: int, dest: int, tag: int) -> None:

@@ -76,6 +76,9 @@ class Scheduler:
         max_cycles: int = 50_000_000,
         sample_every: int = 1,
         wall_deadline: Optional[float] = None,
+        start_epoch: int = 0,
+        trace: Optional[PropagationTrace] = None,
+        snapshots=None,
     ) -> None:
         self.machines = list(machines)
         self.runtime = runtime
@@ -88,14 +91,24 @@ class Scheduler:
         #: harness itself running away in wall-clock time)
         self.wall_deadline = wall_deadline
         self.fpm_mode = any(m.fpm is not None for m in self.machines)
+        #: epoch to resume counting from (snapshot fast-forward restores
+        #: mid-run, and the sample_every phase must match the golden run)
+        self.start_epoch = start_epoch
+        #: pre-filled trace prefix from a restored snapshot
+        self.initial_trace = trace
+        #: SnapshotStore to populate at its stride (golden profiling)
+        self.snapshots = snapshots
 
     def run(self) -> JobResult:
         machines = self.machines
         quantum = self.quantum
-        trace = PropagationTrace() if self.fpm_mode else None
+        if self.initial_trace is not None:
+            trace = self.initial_trace
+        else:
+            trace = PropagationTrace() if self.fpm_mode else None
         status = JobStatus.COMPLETED
         trap: Optional[Trap] = None
-        epoch = 0
+        epoch = self.start_epoch
 
         while True:
             ran_any = False
@@ -118,6 +131,10 @@ class Scheduler:
             t = max(m.cycles for m in machines)
             if trace is not None and epoch % self.sample_every == 0:
                 self._sample(trace, t)
+            if self.snapshots is not None:
+                self.snapshots.maybe_capture(
+                    t, epoch, machines, self.runtime, trace
+                )
 
             if all(m.status is MachineStatus.DONE for m in machines):
                 break

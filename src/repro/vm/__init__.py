@@ -30,13 +30,15 @@ from .machine import FaultSpec, Frame, InjectionEvent, Machine, MachineStatus
 from .memory import ProcessMemory
 from .ops import wrap_i64
 from .rng import Lcg64
+from .snapshot import SnapshotStore, WorldSnapshot, restore_world
 from .traps import Trap, TrapKind
 
 __all__ = [
     "BLOCK", "CompiledFunction", "CompiledProgram", "FaultSpec", "Frame",
     "INTRINSICS", "InjectionEvent", "IntrinsicSpec", "Lcg64", "MPI_OP_MAX",
     "MPI_OP_MIN", "MPI_OP_SUM", "Machine", "MachineStatus", "ProcessMemory",
-    "Trap", "TrapKind", "bits_to_float", "compile_program", "flip_bit",
-    "flip_float_bit", "flip_int_bit", "float_to_bits", "get_intrinsic",
-    "is_intrinsic", "to_signed64", "to_unsigned64", "wrap_i64",
+    "SnapshotStore", "Trap", "TrapKind", "WorldSnapshot", "bits_to_float",
+    "compile_program", "flip_bit", "flip_float_bit", "flip_int_bit",
+    "float_to_bits", "get_intrinsic", "is_intrinsic", "restore_world",
+    "to_signed64", "to_unsigned64", "wrap_i64",
 ]

@@ -15,10 +15,34 @@ indices or immediate constants ("threaded code").  The run loop in
 Instructions marked by the fault-injection pass are wrapped with an
 occurrence counter + bit-flip trigger, which implements LLFI's dynamic
 fault model with near-zero overhead when no fault is armed.
+
+Beyond single-instruction threading, the compiler also builds *fused
+segments*: maximal straight-line runs of side-effect-free-signal
+closures inside one basic block are compiled (via ``exec``) into one
+superinstruction closure that calls its members back to back without
+touching the dispatch loop.  Calls (user and intrinsic — anything that
+may ``SIG_CALL``/``SIG_BLOCK``) are fusion barriers; block terminators
+(``br``/``condbr``/``ret``) may close a segment, whose closure then
+returns the terminator's signal.  Two segment layouts are produced per
+block:
+
+* ``seg_armed`` — injection-marked instructions are additional barriers
+  and keep their per-instruction occurrence-counter wrapper (used while
+  a fault is still pending on the machine);
+* ``seg_free`` — marked instructions join segments as bare closures and
+  the segment bulk-adds their count to ``machine.inj_counter`` (used
+  when ``machine.inj_next == 0``: golden runs, unarmed ranks, and the
+  post-fire tail of a faulty run).
+
+Fused execution is cycle-exact: a member that raises records how many
+members completed in ``machine.fused_skew`` (and the inclusive marked
+count it owes the occurrence counter), so traps land on the same
+virtual cycle as unfused execution.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import ReproError
@@ -54,7 +78,8 @@ SIG_INJECT = 5
 class CompiledFunction:
     """Executable form of one IR function."""
 
-    __slots__ = ("name", "blocks", "num_regs", "param_indices", "is_dual")
+    __slots__ = ("name", "blocks", "num_regs", "param_indices", "is_dual",
+                 "seg_armed", "seg_free")
 
     def __init__(self, func: Function) -> None:
         self.name = func.name
@@ -62,6 +87,14 @@ class CompiledFunction:
         self.num_regs = 0
         self.param_indices: List[int] = [p.index for p in func.params]
         self.is_dual = func.is_dual
+        #: per-block fused-dispatch maps, parallel to ``blocks``: the entry
+        #: at a segment-start ip is ``(fused_closure, length)``, every other
+        #: ip (barriers, mid-segment resume points) is None and single-steps
+        #: through ``blocks``.  ``seg_armed`` treats injection-marked
+        #: instructions as barriers; ``seg_free`` fuses them bare and is only
+        #: valid while ``machine.inj_next == 0``.
+        self.seg_armed: List[List[Optional[Tuple[Callable, int]]]] = []
+        self.seg_free: List[List[Optional[Tuple[Callable, int]]]] = []
 
 
 class CompiledProgram:
@@ -84,13 +117,16 @@ class CompiledProgram:
         return self.functions[name]
 
 
-def _injectable_operands(inst) -> Tuple[Tuple[int, bool], ...]:
-    """(register index, is_float) for each primary register source operand.
+def _injectable_operands(inst) -> Tuple[Tuple[int, bool, int], ...]:
+    """(register index, is_float, shadow index) triples, one per primary
+    register source operand; the shadow index is -1 when the register has
+    no shadow twin (black-box builds).
 
     This is the set of "live registers used by the instruction" that LLFI's
     fault model flips a bit in.  For FPM-fused memory operations only the
     primary (potentially-corrupted) registers qualify; the pristine shadow
-    must never be corrupted directly.
+    must never be corrupted directly — taint builds do use the shadow index,
+    but only to *mark* the flipped register as fault-derived.
     """
     if isinstance(inst, (BinOp, Cmp)):
         cands = (inst.lhs, inst.rhs)
@@ -456,6 +492,10 @@ def _compile_call(inst: Call, program: CompiledProgram) -> Callable:
 
 
 def _with_injection(step: Callable, opinfo, site: int) -> Callable:
+    # The occurrence check is hoisted inline: the happy path is one
+    # increment plus one compare against ``machine.inj_next`` (0 when no
+    # fault is armed, so it never matches), and ``inject_now`` — the only
+    # method call — runs solely on the occurrence that actually fires.
     def wrapped(m, f, step=step, opinfo=opinfo, site=site):
         c = m.inj_counter + 1
         m.inj_counter = c
@@ -467,47 +507,370 @@ def _with_injection(step: Callable, opinfo, site: int) -> Callable:
     return wrapped
 
 
-def _compile_instruction(inst, program: CompiledProgram) -> Callable:
+# ----------------------------------------------------------------------
+# Fused-block dispatch
+# ----------------------------------------------------------------------
+
+#: instruction kinds whose closures always return None (fall-through)
+_PURE_KINDS = (BinOp, Cmp, Cast, Copy, Alloca, Load, Store, FpmLoad, FpmStore)
+#: block terminators: always return a signal, allowed to *close* a segment
+_TERM_KINDS = (Br, CondBr, Ret)
+
+#: maximum members per fused segment.  Segments only execute when they fit
+#: in the remaining quantum budget (so epoch structure stays bit-identical
+#: to single-step dispatch), which makes over-long segments useless: they
+#: would rarely fit and the tail would fall back to single-stepping.
+_FUSE_MAX = 16
+
+
+def _fuse_enabled() -> bool:
+    """Fusion default: on unless REPRO_FUSE=0 (any other value enables)."""
+    return os.environ.get("REPRO_FUSE", "").strip() != "0"
+
+
+def _ld_trap(addr):
+    raise Trap(TrapKind.MEM_FAULT, f"load from invalid address {addr}")
+
+
+def _st_trap(addr):
+    raise Trap(TrapKind.MEM_FAULT, f"store to invalid address {addr}")
+
+
+_M64_LIT = repr((1 << 64) - 1)
+_SIGN_LIT = repr(1 << 63)
+_WRAP_LIT = repr(1 << 64)
+
+#: ops whose 64-bit wrap can be spelled out inline in fused code
+_INLINE_INT_OPS = {"add": "+", "sub": "-", "mul": "*", "padd": "+",
+                   "psub": "-"}
+#: IEEE float ops that are plain Python operators
+_INLINE_FLOAT_OPS = {"fadd": "+", "fsub": "-", "fmul": "*"}
+#: comparison predicates that are plain Python operators (NaN falls out
+#: of every ordered predicate as False, matching the closure lambdas)
+_INLINE_PREDS = {"eq": "==", "ne": "!=", "slt": "<", "sle": "<=",
+                 "sgt": ">", "sge": ">=", "oeq": "==", "olt": "<",
+                 "ole": "<=", "ogt": ">", "oge": ">="}
+
+
+def _operand_expr(val, name: str, binds: dict) -> str:
+    """Expression string for an operand: register slot, int literal, or a
+    name bound as a default parameter (floats, whose literals can be
+    unparseable — inf/nan)."""
+    if isinstance(val, Register):
+        return f"regs[{val.index}]"
+    v = val.value
+    if isinstance(v, int):
+        return repr(v)
+    binds[name] = v
+    return name
+
+
+def _inline_template(inst):
+    """Inline codegen template for one instruction, or None.
+
+    Returns ``tmpl(tag) -> (line, binds, needs_mem)`` producing a single
+    source line with the instruction's semantics spelled out directly, so
+    fused segments skip the per-member closure call for the hot kinds.
+    ``tag`` keeps bound names unique per member; the line must match the
+    closure's observable behaviour exactly (results, trap kinds *and*
+    trap messages).  Kinds without a template fall back to closure calls.
+    """
     if isinstance(inst, BinOp):
-        step = _compile_binop(inst)
+        d, lhs, rhs, op = inst.dest.index, inst.lhs, inst.rhs, inst.op
+
+        def tmpl(tag, d=d, lhs=lhs, rhs=rhs, op=op):
+            binds = {}
+            a = _operand_expr(lhs, f"c{tag}a", binds)
+            b = _operand_expr(rhs, f"c{tag}b", binds)
+            if op in _INLINE_INT_OPS:
+                v = f"v{tag}"
+                line = (f"{v} = ({a} {_INLINE_INT_OPS[op]} {b}) & {_M64_LIT}; "
+                        f"regs[{d}] = {v} - {_WRAP_LIT} "
+                        f"if {v} & {_SIGN_LIT} else {v}")
+            elif op in _INLINE_FLOAT_OPS:
+                line = f"regs[{d}] = {a} {_INLINE_FLOAT_OPS[op]} {b}"
+            else:
+                binds[f"g{tag}"] = BINOP_FUNCS[op]
+                line = f"regs[{d}] = g{tag}({a}, {b})"
+            return line, binds, False
+        return tmpl
+
+    if isinstance(inst, Cmp):
+        d, lhs, rhs = inst.dest.index, inst.lhs, inst.rhs
+        sym = _INLINE_PREDS.get(inst.pred)
+        fn = CMP_FUNCS[(inst.kind, inst.pred)]
+
+        def tmpl(tag, d=d, lhs=lhs, rhs=rhs, sym=sym, fn=fn):
+            binds = {}
+            a = _operand_expr(lhs, f"c{tag}a", binds)
+            b = _operand_expr(rhs, f"c{tag}b", binds)
+            if sym is not None:
+                line = f"regs[{d}] = 1 if {a} {sym} {b} else 0"
+            else:
+                binds[f"g{tag}"] = fn
+                line = f"regs[{d}] = g{tag}({a}, {b})"
+            return line, binds, False
+        return tmpl
+
+    if isinstance(inst, Copy):
+        d, src = inst.dest.index, inst.src
+
+        def tmpl(tag, d=d, src=src):
+            binds = {}
+            return f"regs[{d}] = {_operand_expr(src, f'c{tag}', binds)}", \
+                binds, False
+        return tmpl
+
+    if isinstance(inst, Cast):
+        d, src, op = inst.dest.index, inst.src, inst.op
+        if not isinstance(src, Register):
+            sc = CAST_FUNCS[op](src.value)
+
+            def tmpl(tag, d=d, sc=sc):
+                binds = {f"c{tag}": sc}
+                return f"regs[{d}] = c{tag}", binds, False
+            return tmpl
+        si = src.index
+        if op in ("ptrtoint", "inttoptr"):
+            return lambda tag, d=d, si=si: (f"regs[{d}] = regs[{si}]", {},
+                                            False)
+        if op == "sitofp":
+            return lambda tag, d=d, si=si: (f"regs[{d}] = float(regs[{si}])",
+                                            {}, False)
+        fn = CAST_FUNCS[op]
+        return lambda tag, d=d, si=si, fn=fn: (
+            f"regs[{d}] = g{tag}(regs[{si}])", {f"g{tag}": fn}, False)
+
+    if isinstance(inst, Alloca):
+        d, count = inst.dest.index, inst.count
+        return lambda tag, d=d, count=count: (
+            f"regs[{d}] = mem.stack_alloc({count})", {}, True)
+
+    if isinstance(inst, Load):
+        d, addr = inst.dest.index, inst.addr
+
+        def tmpl(tag, d=d, addr=addr):
+            binds = {f"lt{tag}": _ld_trap}
+            if isinstance(addr, Register):
+                a = f"a{tag}"
+                line = (f"{a} = regs[{addr.index}]; "
+                        f"regs[{d}] = cells[{a}] if 0 <= {a} < cap "
+                        f"and valid[{a}] else lt{tag}({a})")
+            else:
+                ac = addr.value
+                line = (f"regs[{d}] = cells[{ac}] if 0 <= {ac} < cap "
+                        f"and valid[{ac}] else lt{tag}({ac})")
+            return line, binds, True
+        return tmpl
+
+    if isinstance(inst, Store):
+        value, addr = inst.value, inst.addr
+
+        def tmpl(tag, value=value, addr=addr):
+            binds = {f"st{tag}": _st_trap}
+            v = _operand_expr(value, f"c{tag}", binds)
+            if isinstance(addr, Register):
+                a = f"a{tag}"
+                line = (f"{a} = regs[{addr.index}]; "
+                        f"cells[{a}] = {v} if 0 <= {a} < cap "
+                        f"and valid[{a}] else st{tag}({a})")
+            else:
+                ac = addr.value
+                line = (f"cells[{ac}] = {v} if 0 <= {ac} < cap "
+                        f"and valid[{ac}] else st{tag}({ac})")
+            return line, binds, True
+        return tmpl
+
+    return None
+
+
+def _make_fused(steps: List[Callable], marked: List[bool],
+                templates: List[Optional[Callable]]) -> Callable:
+    """exec-compile one superinstruction from ``steps``.
+
+    Members with an inline template have their semantics spelled out
+    directly in the generated source; the rest are closure calls bound as
+    default parameters (so lookups are locals; the ``try`` is zero-cost
+    on 3.11+).  Either way each member occupies exactly one source line:
+    if a member raises, its index is recovered from the traceback line
+    number, so the happy path carries no per-member bookkeeping.  The
+    count of *completed* members lands in ``machine.fused_skew`` and the
+    inclusive marked-instruction count through the raising member is
+    added to ``machine.inj_counter`` — exactly what per-instruction
+    dispatch would have charged.  The last member's signal (None for pure
+    members, the jump/ret signal for a fused terminator) is returned.
+    """
+    k = len(steps)
+    total = sum(1 for flag in marked if flag)
+    env: Dict[str, object] = {}
+    member_lines: List[str] = []
+    needs_mem = False
+    for i in range(k):
+        tmpl = templates[i]
+        if tmpl is not None:
+            line, binds, mem = tmpl(f"_{i}")
+            env.update(binds)
+            member_lines.append(line)
+            needs_mem = needs_mem or mem
+        else:
+            nm = f"s{i}"
+            env[nm] = steps[i]
+            call = f"{nm}(m, f)"
+            member_lines.append(f"sig = {call}" if i == k - 1 else call)
+
+    prelude = "regs = f.regs"
+    if needs_mem:
+        prelude += ("; mem = m.memory; cells = mem.cells; "
+                    "valid = mem.valid; cap = mem.capacity")
+    env["_pfx"] = None  # replaced below; named param keeps it a local
+    params = ", ".join(f"{nm}={nm}" for nm in env)
+    lines = [f"def fused(m, f, {params}):",
+             "    try:",
+             f"        {prelude}"]
+    for line in member_lines:
+        lines.append(f"        {line}")
+    lines.append("    except BaseException as e:")
+    # member i sits on generated line 4 + i (def=1, try=2, prelude=3,
+    # which cannot raise); the traceback head is this frame, so its
+    # lineno names the raising member
+    lines.append("        p = e.__traceback__.tb_lineno - 4")
+    lines.append("        m.fused_skew = p")
+    if total:
+        lines.append("        m.inj_counter += _pfx[p]")
+    lines.append("        raise")
+    if total:
+        lines.append(f"    m.inj_counter += {total}")
+    lines.append("    return sig" if templates[k - 1] is None
+                 else "    return None")
+    # inclusive prefix: marked members among steps[0..p] — the wrapped
+    # (unfused) form increments the counter *before* executing, so a
+    # raising marked member is still counted
+    pfx = []
+    c = 0
+    for flag in marked:
+        c += 1 if flag else 0
+        pfx.append(c)
+    env["_pfx"] = tuple(pfx)
+    exec(compile("\n".join(lines), "<fused-segment>", "exec"), env)
+    return env["fused"]
+
+
+def _segment_block(entries, include_marked: bool):
+    """Build one block's fused-dispatch map.
+
+    ``entries`` is the per-instruction compile record list; returns a list
+    parallel to the block with ``(fused_closure, length)`` at each segment
+    start and None elsewhere.  ``include_marked`` selects the seg_free
+    layout (marked members fused bare with bulk counting) versus seg_armed
+    (marked instructions are barriers).
+    """
+    n = len(entries)
+    fmap: List[Optional[Tuple[Callable, int]]] = [None] * n
+    runs: List[Tuple[int, int]] = []
+    start: Optional[int] = None
+    for i, (step, bare, kind, is_marked, _tmpl) in enumerate(entries):
+        if kind == "pure" and (include_marked or not is_marked):
+            if start is None:
+                start = i
+            continue
+        if kind == "term" and start is not None:
+            runs.append((start, i + 1))  # terminator closes the run
+            start = None
+            continue
+        if start is not None:
+            runs.append((start, i))
+            start = None
+    if start is not None:
+        runs.append((start, n))
+
+    for a, b in runs:
+        for lo in range(a, b, _FUSE_MAX):
+            hi = min(lo + _FUSE_MAX, b)
+            if hi - lo < 2:
+                continue  # a lone instruction gains nothing from fusion
+            chunk = entries[lo:hi]
+            if include_marked:
+                steps = [e[1] for e in chunk]       # bare closures
+                flags = [e[3] for e in chunk]
+            else:
+                steps = [e[0] for e in chunk]       # none are marked here
+                flags = [False] * len(chunk)
+            # templates describe the *bare* op, valid in both layouts
+            fmap[lo] = (_make_fused(steps, flags, [e[4] for e in chunk]),
+                        hi - lo)
+    return fmap
+
+
+def _compile_entry(inst, program: CompiledProgram):
+    """Compile one instruction to its dispatch closure plus fusion metadata.
+
+    Returns ``(step, bare, kind, marked, template)``: ``step`` is what the
+    dispatch loop runs (injection-wrapped when marked), ``bare`` the
+    unwrapped closure fused segments may embed, ``kind`` one of ``"pure"``
+    / ``"term"`` / ``"barrier"``, and ``template`` the optional inline
+    codegen template fused segments prefer over calling ``bare``.
+    """
+    if isinstance(inst, BinOp):
+        bare = _compile_binop(inst)
     elif isinstance(inst, Cmp):
-        step = _compile_binop_like(
+        bare = _compile_binop_like(
             inst.dest.index, inst.lhs, inst.rhs, CMP_FUNCS[(inst.kind, inst.pred)]
         )
     elif isinstance(inst, Cast):
-        step = _compile_cast(inst)
+        bare = _compile_cast(inst)
     elif isinstance(inst, Copy):
-        step = _compile_copy(inst)
+        bare = _compile_copy(inst)
     elif isinstance(inst, Alloca):
-        step = _compile_alloca(inst)
+        bare = _compile_alloca(inst)
     elif isinstance(inst, Load):
-        step = _compile_load(inst)
+        bare = _compile_load(inst)
     elif isinstance(inst, Store):
-        step = _compile_store(inst)
+        bare = _compile_store(inst)
     elif isinstance(inst, FpmLoad):
-        step = _compile_fpm_load(inst)
+        bare = _compile_fpm_load(inst)
     elif isinstance(inst, FpmStore):
-        step = _compile_fpm_store(inst)
+        bare = _compile_fpm_store(inst)
     elif isinstance(inst, Call):
-        step = _compile_call(inst, program)
+        bare = _compile_call(inst, program)
     elif isinstance(inst, Br):
-        step = _compile_br(inst)
+        bare = _compile_br(inst)
     elif isinstance(inst, CondBr):
-        step = _compile_condbr(inst)
+        bare = _compile_condbr(inst)
     elif isinstance(inst, Ret):
-        step = _compile_ret(inst)
+        bare = _compile_ret(inst)
     else:  # pragma: no cover - future instruction kinds
         raise ReproError(f"cannot compile instruction {inst.opcode!r}")
 
+    if isinstance(inst, _PURE_KINDS):
+        kind = "pure"
+    elif isinstance(inst, _TERM_KINDS):
+        kind = "term"
+    else:
+        kind = "barrier"
+
+    step = bare
+    marked = False
     if inst.inject_site is not None:
         opinfo = _injectable_operands(inst)
         if opinfo:
-            step = _with_injection(step, opinfo, inst.inject_site)
-    return step
+            step = _with_injection(bare, opinfo, inst.inject_site)
+            marked = True
+    return step, bare, kind, marked, _inline_template(inst)
 
 
-def compile_program(module: Module) -> CompiledProgram:
-    """Compile an IR module into executable closure code."""
+def _compile_instruction(inst, program: CompiledProgram) -> Callable:
+    return _compile_entry(inst, program)[0]
+
+
+def compile_program(module: Module, fuse: Optional[bool] = None) -> CompiledProgram:
+    """Compile an IR module into executable closure code.
+
+    ``fuse`` enables fused-segment dispatch maps (default: on, unless the
+    REPRO_FUSE=0 environment override disables them); when off, every
+    block's segment map is all-None and the run loop single-steps.
+    """
+    if fuse is None:
+        fuse = _fuse_enabled()
     program = CompiledProgram(module)
     # Two-phase so call closures can capture their target CompiledFunction.
     for func in module:
@@ -516,10 +879,16 @@ def compile_program(module: Module) -> CompiledProgram:
     for func in module:
         cfunc = program.functions[func.name]
         cfunc.num_regs = func.num_regs
-        cfunc.blocks = [
-            [_compile_instruction(inst, program) for inst in block]
-            for block in func.blocks
-        ]
+        for block in func.blocks:
+            entries = [_compile_entry(inst, program) for inst in block]
+            cfunc.blocks.append([e[0] for e in entries])
+            if fuse:
+                cfunc.seg_armed.append(_segment_block(entries, False))
+                cfunc.seg_free.append(_segment_block(entries, True))
+            else:
+                none_map = [None] * len(entries)
+                cfunc.seg_armed.append(none_map)
+                cfunc.seg_free.append(none_map)
         for block in func.blocks:
             for inst in block:
                 if inst.inject_site is not None:

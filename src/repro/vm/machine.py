@@ -148,6 +148,11 @@ class Machine:
         self._inj_rng = Lcg64(seed ^ 0xFA17, stream=rank)
         self.injection_events: List[InjectionEvent] = []
 
+        #: members completed by a fused segment before one of them raised;
+        #: the run loop folds this into its instruction count so trap
+        #: cycles are identical to single-step dispatch
+        self.fused_skew = 0
+
     # ------------------------------------------------------------------
     # Setup
     # ------------------------------------------------------------------
@@ -230,94 +235,139 @@ class Machine:
     # Execution
     # ------------------------------------------------------------------
     def run(self, budget: int) -> MachineStatus:
-        """Execute up to ``budget`` instructions; returns the new status."""
+        """Execute up to ``budget`` instructions; returns the new status.
+
+        Dispatch is two-level: at each ip the per-block segment map is
+        consulted first — a fused superinstruction executes only when it
+        fits in the remaining budget (so epoch structure, and with it CML
+        sampling and MPI interleaving, is bit-identical to single-step
+        dispatch); otherwise the single-instruction closure runs.  The
+        segment layout is chosen per frame entry: ``seg_free`` whenever
+        ``inj_next == 0`` (no pending fault on this rank — golden runs
+        and post-fire tails), ``seg_armed`` while a fault is pending.
+        """
         if self.status is not MachineStatus.READY:
             return self.status
         if not self.call_stack:
             raise RuntimeError("Machine.run() before start()")
         mem = self.memory
         stack = self.call_stack
+        self.fused_skew = 0
         f = stack[-1]
-        blocks = f.cfunc.blocks
+        cfunc = f.cfunc
+        blocks = cfunc.blocks
+        fblocks = cfunc.seg_free if self.inj_next == 0 else cfunc.seg_armed
         code = blocks[f.block]
+        fmap = fblocks[f.block]
         ip = f.ip
         n = 0
         try:
             while n < budget:
-                sig = code[ip](self, f)
-                n += 1
-                if sig is None:
-                    ip += 1
-                    continue
-                if sig == SIG_JUMP:
-                    ip = 0
-                    code = blocks[f.block]
-                    continue
-                if sig == SIG_CALL:
-                    f.ip = ip + 1
-                    target, args, dest, dest_p = self.pending_call
-                    self.pending_call = None
-                    if len(stack) >= self.max_call_depth:
-                        raise Trap(TrapKind.STACK_OVERFLOW,
-                                   f"call depth {len(stack)} exceeded")
-                    nf = Frame(target, mem.sp, dest, dest_p)
-                    regs = nf.regs
-                    for pi, av in zip(target.param_indices, args):
-                        regs[pi] = av
-                    stack.append(nf)
-                    f = nf
-                    blocks = target.blocks
-                    code = blocks[0]
-                    ip = 0
-                    continue
-                if sig == SIG_RET:
-                    done = stack.pop()
-                    if not stack:
-                        # Keep the entry frame's memory live so the final
-                        # application state (and its contamination) remains
-                        # inspectable after exit, like a core dump.
-                        self.status = MachineStatus.DONE
+                seg = fmap[ip]
+                if seg is not None and n + seg[1] <= budget:
+                    sig = seg[0](self, f)
+                    n += seg[1]
+                    if sig is None:
+                        ip += seg[1]
+                        continue
+                    if sig == SIG_JUMP:
+                        ip = 0
+                        code = blocks[f.block]
+                        fmap = fblocks[f.block]
+                        continue
+                    # SIG_RET from a fused terminator: fall through to the
+                    # shared return handling below.
+                else:
+                    sig = code[ip](self, f)
+                    n += 1
+                    if sig is None:
+                        ip += 1
+                        continue
+                    if sig == SIG_JUMP:
+                        ip = 0
+                        code = blocks[f.block]
+                        fmap = fblocks[f.block]
+                        continue
+                    if sig == SIG_CALL:
+                        f.ip = ip + 1
+                        target, args, dest, dest_p = self.pending_call
+                        self.pending_call = None
+                        if len(stack) >= self.max_call_depth:
+                            raise Trap(TrapKind.STACK_OVERFLOW,
+                                       f"call depth {len(stack)} exceeded")
+                        nf = Frame(target, mem.sp, dest, dest_p)
+                        regs = nf.regs
+                        for pi, av in zip(target.param_indices, args):
+                            regs[pi] = av
+                        stack.append(nf)
+                        f = nf
+                        cfunc = target
+                        blocks = target.blocks
+                        fblocks = (target.seg_free if self.inj_next == 0
+                                   else target.seg_armed)
+                        code = blocks[0]
+                        fmap = fblocks[0]
+                        ip = 0
+                        continue
+                    if sig == SIG_BLOCK:
+                        # Do not count the re-executed call against the clock
+                        # twice; the blocked attempt itself still costs 1 cycle.
+                        f.ip = ip
+                        self.status = MachineStatus.BLOCKED
                         break
-                    lo, hi = mem.stack_release(done.saved_sp)
-                    if self.fpm is not None and hi > lo:
-                        self.fpm.purge_range(lo, hi)
-                    f = stack[-1]
-                    if done.ret_dest is not None:
-                        f.regs[done.ret_dest] = self.ret_val
-                    if done.ret_dest_p is not None:
-                        f.regs[done.ret_dest_p] = self.ret_val_p
-                    blocks = f.cfunc.blocks
-                    code = blocks[f.block]
-                    ip = f.ip
-                    continue
-                if sig == SIG_BLOCK:
-                    # Do not count the re-executed call against the clock
-                    # twice; the blocked attempt itself still costs 1 cycle.
-                    f.ip = ip
-                    self.status = MachineStatus.BLOCKED
+                    if sig == SIG_INJECT:
+                        self.injection_events[-1].cycle = self.cycles + n
+                        ip += 1
+                        continue
+                # SIG_RET (from either dispatch path)
+                done = stack.pop()
+                if not stack:
+                    # Keep the entry frame's memory live so the final
+                    # application state (and its contamination) remains
+                    # inspectable after exit, like a core dump.
+                    self.status = MachineStatus.DONE
                     break
-                if sig == SIG_INJECT:
-                    self.injection_events[-1].cycle = self.cycles + n
-                    ip += 1
-                    continue
+                lo, hi = mem.stack_release(done.saved_sp)
+                if self.fpm is not None and hi > lo:
+                    self.fpm.purge_range(lo, hi)
+                f = stack[-1]
+                if done.ret_dest is not None:
+                    f.regs[done.ret_dest] = self.ret_val
+                if done.ret_dest_p is not None:
+                    f.regs[done.ret_dest_p] = self.ret_val_p
+                cfunc = f.cfunc
+                blocks = cfunc.blocks
+                fblocks = (cfunc.seg_free if self.inj_next == 0
+                           else cfunc.seg_armed)
+                code = blocks[f.block]
+                fmap = fblocks[f.block]
+                ip = f.ip
             else:
                 # Budget exhausted mid-run: stay READY for the next quantum.
                 f.ip = ip
         except Trap as trap:
+            n += self.fused_skew
+            self.fused_skew = 0
             if trap.rank is None:
                 trap.rank = self.rank
             trap.cycle = self.cycles + n
             self.trap = trap
             self.status = MachineStatus.TRAPPED
         except ZeroDivisionError:
+            n += self.fused_skew
+            self.fused_skew = 0
             self.trap = Trap(TrapKind.DIV_ZERO, "integer division by zero",
                              rank=self.rank, cycle=self.cycles + n)
             self.status = MachineStatus.TRAPPED
         except (OverflowError, ValueError) as exc:
+            n += self.fused_skew
+            self.fused_skew = 0
             self.trap = Trap(TrapKind.ARITH, f"invalid arithmetic: {exc}",
                              rank=self.rank, cycle=self.cycles + n)
             self.status = MachineStatus.TRAPPED
         except TypeError as exc:
+            n += self.fused_skew
+            self.fused_skew = 0
             self.trap = Trap(TrapKind.POISON, f"undefined value used: {exc}",
                              rank=self.rank, cycle=self.cycles + n)
             self.status = MachineStatus.TRAPPED

@@ -152,3 +152,47 @@ class ProcessMemory:
         self.live_words -= count
         self.free_lists.setdefault(count, []).append(addr)
         return addr, addr + count
+
+    # ------------------------------------------------------------------
+    # Snapshot fast-forward support
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> tuple:
+        """Capture a sparse, immutable copy of all *observable* memory.
+
+        Only live words are copied: the stack ``[1, sp)`` (contiguously
+        valid by construction) and the live heap blocks.  Invalid cells
+        retain stale garbage in a live process, but every access path is
+        validity-checked, so restoring them as zeros is observationally
+        exact — and keeps per-snapshot cost proportional to live state,
+        not capacity.
+        """
+        return (
+            self.sp,
+            self.hp,
+            self.cells[1:self.sp],
+            {base: self.cells[base:base + size]
+             for base, size in self.heap_blocks.items()},
+            {size: list(bucket) for size, bucket in self.free_lists.items()},
+            self.live_words,
+        )
+
+    def restore_state(self, state: tuple) -> None:
+        """Reset this memory to a state captured by :meth:`snapshot_state`."""
+        sp, hp, stack_cells, heap, free_lists, live_words = state
+        cells: List = [0] * self.capacity
+        valid = bytearray(self.capacity)
+        cells[1:sp] = stack_cells
+        valid[1:sp] = b"\x01" * (sp - 1)
+        blocks: Dict[int, int] = {}
+        for base, content in heap.items():
+            size = len(content)
+            cells[base:base + size] = content
+            valid[base:base + size] = b"\x01" * size
+            blocks[base] = size
+        self.cells = cells
+        self.valid = valid
+        self.sp = sp
+        self.hp = hp
+        self.heap_blocks = blocks
+        self.free_lists = {size: list(b) for size, b in free_lists.items()}
+        self.live_words = live_words

@@ -243,6 +243,12 @@ class TestEnvParsing:
 
 
 class TestPreparedCacheLRU:
+    @staticmethod
+    def _key(mode):
+        # cache keys carry the resolved snapshot stride since fast-forward
+        stride = campaign_mod.default_snapshot_stride(None)
+        return ("matvec", (), mode, stride)
+
     def test_cache_is_bounded(self, monkeypatch):
         monkeypatch.setenv("REPRO_PREPARED_CACHE", "2")
         monkeypatch.setattr(campaign_mod, "_PREPARED_CACHE",
@@ -252,7 +258,7 @@ class TestPreparedCacheLRU:
         campaign_mod._prepared("matvec", (), "taint")
         assert len(campaign_mod._PREPARED_CACHE) == 2
         # the oldest entry (blackbox) was evicted
-        assert ("matvec", (), "blackbox") not in campaign_mod._PREPARED_CACHE
+        assert self._key("blackbox") not in campaign_mod._PREPARED_CACHE
 
     def test_hit_refreshes_lru_order(self, monkeypatch):
         monkeypatch.setenv("REPRO_PREPARED_CACHE", "2")
@@ -262,8 +268,17 @@ class TestPreparedCacheLRU:
         campaign_mod._prepared("matvec", (), "fpm")
         campaign_mod._prepared("matvec", (), "blackbox")  # refresh
         campaign_mod._prepared("matvec", (), "taint")
-        assert ("matvec", (), "blackbox") in campaign_mod._PREPARED_CACHE
-        assert ("matvec", (), "fpm") not in campaign_mod._PREPARED_CACHE
+        assert self._key("blackbox") in campaign_mod._PREPARED_CACHE
+        assert self._key("fpm") not in campaign_mod._PREPARED_CACHE
+
+    def test_stride_variants_get_separate_entries(self, monkeypatch):
+        monkeypatch.setattr(campaign_mod, "_PREPARED_CACHE",
+                            type(campaign_mod._PREPARED_CACHE)())
+        pa_on = campaign_mod._prepared("matvec", (), "blackbox", 200)
+        pa_off = campaign_mod._prepared("matvec", (), "blackbox", 0)
+        assert pa_on is not pa_off
+        assert pa_on.snapshots is not None
+        assert pa_off.snapshots is None
 
 
 class TestEffectiveWorkers:

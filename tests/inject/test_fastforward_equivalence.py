@@ -1,0 +1,231 @@
+"""Snapshot fast-forward: restored trials are bit-identical to cold runs.
+
+This is the mandatory equivalence suite of the fast-forward contract:
+for every mode, for multi-rank apps blocked mid-collective at snapshot
+time, at the trial level and the campaign level (including journaled
+resume), restoring a golden snapshot and executing only the tail must
+produce exactly the result of running the trial from cycle 0.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import campaign_to_json
+from repro.apps import get_app
+from repro.apps.registry import AppSpec
+from repro.core.config import RunConfig
+from repro.core.runner import run_job
+from repro.errors import SnapshotError
+from repro.inject import PreparedApp, run_campaign, trial_results_equal
+from repro.inject import campaign as campaign_mod
+from repro.inject.campaign import _run_trial
+from repro.inject.engine import resume_campaign
+from repro.inject.plan import draw_plan
+from repro.vm import FaultSpec
+
+import numpy as np
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache(monkeypatch):
+    """Isolate the prepared-app cache (and its verified flags) per test."""
+    monkeypatch.setattr(campaign_mod, "_PREPARED_CACHE",
+                        type(campaign_mod._PREPARED_CACHE)())
+
+
+def _trial_args(app, mode, faults, inj_seed, stride, keep_series=True):
+    return (app, (), mode, tuple(faults), inj_seed, keep_series, None, stride)
+
+
+@pytest.mark.parametrize("mode", ["blackbox", "fpm", "taint"])
+def test_fastforward_trial_bit_identical(mode):
+    """Drawn fault plans, cold vs fast-forwarded, all fields equal."""
+    pa = PreparedApp(get_app("matvec"), mode, snapshot_stride=150)
+    rng = np.random.default_rng(42)
+    hits = 0
+    for _ in range(12):
+        faults = draw_plan(rng, pa.golden.inj_counts, 1)
+        seed = int(rng.integers(2 ** 31))
+        cold = _run_trial(_trial_args("matvec", mode, faults, seed, 0))
+        fast = _run_trial(_trial_args("matvec", mode, faults, seed, 150))
+        assert trial_results_equal(cold, fast), (faults, cold, fast)
+        if pa.snapshots.best_for(faults) is not None:
+            hits += 1
+    assert hits > 0, "no trial ever fast-forwarded; stride too large"
+
+
+MIDCOLL_SRC = """
+// Rank-skewed work before a collective: while slow ranks grind through
+// their longer loops, fast ranks sit blocked inside mpi_allreduce — so a
+// cycle-stride snapshot catches machines mid-collective.
+func main(rank: int, size: int) {
+    var acc: int[1];
+    var out: int[1];
+    var total: int = 0;
+    for (var round: int = 0; round < 4; round += 1) {
+        var s: int = 0;
+        for (var i: int = 0; i < 40 + rank * 120; i += 1) {
+            s += (i * (rank + 3)) % 17;
+        }
+        acc[0] = s;
+        mpi_allreduce(&acc[0], &out[0], 1, 0);
+        total += out[0];
+        mark_iteration();
+    }
+    emiti(total);
+}
+"""
+
+
+def _midcoll_spec():
+    return AppSpec(
+        name="midcoll",
+        source=MIDCOLL_SRC,
+        config=RunConfig(nranks=4, quantum=64),
+        description="rank-skewed allreduce for mid-collective snapshots",
+    )
+
+
+def test_snapshot_catches_machines_mid_collective():
+    pa = PreparedApp(_midcoll_spec(), "fpm", snapshot_stride=40)
+    store = pa.snapshots
+    assert len(store) > 0
+    blocked = [
+        st
+        for snap in store._snaps.values()
+        for st in snap.machines
+        if st.pending is not None
+    ]
+    assert blocked, "no snapshot caught a rank blocked in MPI"
+    # in-flight collective state must be captured too
+    assert any(snap.runtime[1] for snap in store._snaps.values()), \
+        "no snapshot holds an in-flight collective"
+
+
+@pytest.mark.parametrize("mode", ["blackbox", "fpm", "taint"])
+def test_fastforward_multirank_mid_collective(mode):
+    pa = PreparedApp(_midcoll_spec(), mode, snapshot_stride=40)
+    config = pa.run_config()
+    rng = np.random.default_rng(7)
+    hits = 0
+    for _ in range(10):
+        faults = draw_plan(rng, pa.golden.inj_counts, 1)
+        seed = int(rng.integers(2 ** 31))
+        snap = pa.snapshots.best_for(faults)
+        cold = run_job(pa.program, config, faults, inj_seed=seed)
+        if snap is None:
+            continue
+        hits += 1
+        fast = run_job(pa.program, config, faults, inj_seed=seed,
+                       restore_from=snap)
+        assert cold.status == fast.status
+        assert cold.cycles == fast.cycles
+        assert cold.rank_cycles == fast.rank_cycles
+        assert cold.outputs == fast.outputs
+        assert cold.inj_counts == fast.inj_counts
+        assert str(cold.trap) == str(fast.trap)
+        if cold.trace is not None:
+            assert cold.trace.times == fast.trace.times
+            assert cold.trace.cml_per_rank == fast.trace.cml_per_rank
+            assert cold.trace.first_contamination == \
+                fast.trace.first_contamination
+    assert hits > 0
+
+
+def test_campaign_with_snapshots_matches_cold_campaign():
+    on = run_campaign("matvec", trials=20, mode="fpm", seed=13,
+                      keep_series=True, snapshot_stride=150)
+    cold = run_campaign("matvec", trials=20, mode="fpm", seed=13,
+                        keep_series=True, snapshot_stride=0)
+    assert on.n_trials == cold.n_trials
+    for a, b in zip(on.trials, cold.trials):
+        assert trial_results_equal(a, b)
+
+
+def test_restore_refuses_passed_occurrence():
+    pa = PreparedApp(get_app("matvec"), "blackbox", snapshot_stride=150)
+    snap = list(pa.snapshots._snaps.values())[-1]
+    early = [FaultSpec(rank=0, occurrence=1)]
+    with pytest.raises(SnapshotError, match="already passed"):
+        run_job(pa.program, pa.run_config(), early, restore_from=snap)
+
+
+def test_restore_refuses_rank_mismatch():
+    pa = PreparedApp(get_app("matvec"), "blackbox", snapshot_stride=150)
+    snap = next(iter(pa.snapshots._snaps.values()))
+    bad = [FaultSpec(rank=3, occurrence=10 ** 6)]
+    with pytest.raises(SnapshotError, match="rank"):
+        run_job(pa.program, pa.run_config(), bad, restore_from=snap)
+
+
+def test_verify_mode_all_passes(monkeypatch):
+    monkeypatch.setenv("REPRO_SNAPSHOT_VERIFY", "all")
+    res = run_campaign("matvec", trials=8, mode="fpm", seed=5,
+                       snapshot_stride=150)
+    assert res.n_trials == 8
+
+
+def test_verify_detects_divergence(monkeypatch):
+    """If the comparator ever reports a mismatch, the trial must die
+    loudly with SnapshotError instead of returning wrong data."""
+    pa = PreparedApp(get_app("matvec"), "blackbox", snapshot_stride=150)
+    total = pa.golden.inj_counts[0]
+    faults = (FaultSpec(rank=0, occurrence=total, bit=2),)
+    campaign_mod._PREPARED_CACHE[("matvec", (), "blackbox", 150)] = pa
+    monkeypatch.setattr(campaign_mod, "trial_results_equal",
+                        lambda a, b: False)
+    with pytest.raises(SnapshotError, match="diverged"):
+        _run_trial(_trial_args("matvec", "blackbox", faults, 3, 150))
+
+
+def test_verify_first_only_verifies_once(monkeypatch):
+    pa = PreparedApp(get_app("matvec"), "blackbox", snapshot_stride=150)
+    total = pa.golden.inj_counts[0]
+    campaign_mod._PREPARED_CACHE[("matvec", (), "blackbox", 150)] = pa
+    calls = []
+    orig = campaign_mod.trial_results_equal
+
+    def counting(a, b):
+        calls.append(1)
+        return orig(a, b)
+
+    monkeypatch.setattr(campaign_mod, "trial_results_equal", counting)
+    faults = (FaultSpec(rank=0, occurrence=total, bit=2),)
+    _run_trial(_trial_args("matvec", "blackbox", faults, 3, 150))
+    _run_trial(_trial_args("matvec", "blackbox", faults, 4, 150))
+    assert len(calls) == 1
+    assert pa.snapshots.verified
+
+
+def test_journaled_resume_with_snapshots_is_bit_identical(tmp_path):
+    path = tmp_path / "ff.jsonl"
+    full = run_campaign("matvec", trials=10, mode="fpm", seed=11,
+                        keep_series=True, journal=str(path),
+                        snapshot_stride=150)
+    header = json.loads(path.read_text().splitlines()[0])
+    assert header["snapshot_stride"] == 150
+    # interrupt: keep header + first 4 trials
+    lines = path.read_text().splitlines()
+    path.write_text("\n".join(lines[:5]) + "\n")
+
+    resumed = resume_campaign(path)
+    assert resumed.health.resumed_trials == 4
+    full_d = json.loads(campaign_to_json(full))
+    res_d = json.loads(campaign_to_json(resumed))
+    assert res_d["trials"] == full_d["trials"]
+
+
+def test_pre_fastforward_journal_resumes_cold(tmp_path):
+    """Journals recorded before this feature lack the stride field and
+    must resume with snapshots disabled."""
+    path = tmp_path / "old.jsonl"
+    full = run_campaign("matvec", trials=6, mode="blackbox", seed=9,
+                        journal=str(path), snapshot_stride=0)
+    lines = path.read_text().splitlines()
+    header = json.loads(lines[0])
+    del header["snapshot_stride"]
+    path.write_text("\n".join([json.dumps(header)] + lines[1:4]) + "\n")
+    resumed = resume_campaign(path)
+    assert [t.outcome for t in resumed.trials] == \
+        [t.outcome for t in full.trials]

@@ -1,0 +1,146 @@
+"""Fused-block dispatch: bit-identity with single-step execution.
+
+The fused interpreter may only change *speed*.  Every observable —
+outcome, outputs, per-rank clocks, trap kind and cycle, injection
+events, CML traces — must match the unfused interpreter exactly, for
+any quantum and any armed fault plan.
+"""
+
+import pytest
+
+from repro.apps import get_app
+from repro.core.runner import build_program, run_job
+from repro.vm import FaultSpec, Machine, MachineStatus, TrapKind
+from repro.vm import compiler as compiler_mod
+
+
+def _events(result):
+    return [[vars(e) for e in rank_events] for rank_events in result.injections]
+
+
+def assert_jobs_identical(a, b):
+    assert a.status == b.status
+    assert str(a.trap) == str(b.trap)
+    assert a.cycles == b.cycles
+    assert a.rank_cycles == b.rank_cycles
+    assert a.outputs == b.outputs
+    assert a.iterations == b.iterations
+    assert a.inj_counts == b.inj_counts
+    assert _events(a) == _events(b)
+    assert a.ever_contaminated == b.ever_contaminated
+    assert (a.trace is None) == (b.trace is None)
+    if a.trace is not None:
+        assert a.trace.times == b.trace.times
+        assert a.trace.cml_per_rank == b.trace.cml_per_rank
+        assert a.trace.live_words == b.trace.live_words
+        assert a.trace.ranks_contaminated == b.trace.ranks_contaminated
+        assert a.trace.first_contamination == b.trace.first_contamination
+
+
+@pytest.mark.parametrize("mode", ["blackbox", "fpm", "taint"])
+@pytest.mark.parametrize("app_name", ["matvec", "mcb"])
+def test_fused_equals_unfused_with_faults(app_name, mode):
+    spec = get_app(app_name)
+    fused = build_program(spec.source, mode, name=spec.name,
+                          config=spec.config, fuse=True)
+    plain = build_program(spec.source, mode, name=spec.name,
+                          config=spec.config, fuse=False)
+    golden = run_job(fused, spec.config)
+    occ = max(2, golden.inj_counts[0] // 2)
+    for faults in ([], [FaultSpec(rank=0, occurrence=occ, bit=4)],
+                   [FaultSpec(rank=0, occurrence=occ, bit=62)]):
+        a = run_job(fused, spec.config, faults, inj_seed=7)
+        b = run_job(plain, spec.config, faults, inj_seed=7)
+        assert_jobs_identical(a, b)
+
+
+@pytest.mark.parametrize("quantum", [1, 3, 7, 16, 1000])
+def test_fused_identical_across_awkward_quanta(quantum):
+    spec = get_app("matvec")
+    config = spec.config.with_(quantum=quantum)
+    fused = build_program(spec.source, "fpm", name=spec.name, config=config,
+                          fuse=True)
+    plain = build_program(spec.source, "fpm", name=spec.name, config=config,
+                          fuse=False)
+    faults = [FaultSpec(rank=0, occurrence=40, bit=1)]
+    assert_jobs_identical(
+        run_job(fused, config, faults, inj_seed=1),
+        run_job(plain, config, faults, inj_seed=1),
+    )
+
+
+SRC_TRAP_IN_BLOCK = """
+func main(rank: int, size: int) {
+    var a: int = 10;
+    var b: int = 5;
+    var c: int = 0;
+    c = a + b;
+    c = c * 2;
+    b = b - 5;
+    c = c / b;    // div-by-zero mid straight-line run
+    emiti(c);
+}
+"""
+
+
+@pytest.mark.parametrize("fuse", [True, False])
+def test_trap_inside_fused_segment_has_exact_cycle(fuse):
+    prog = build_program(SRC_TRAP_IN_BLOCK, "blackbox", fuse=fuse)
+    m = Machine(prog, 0, 1)
+    m.start()
+    while m.run(1000) is MachineStatus.READY:
+        pass
+    assert m.status is MachineStatus.TRAPPED
+    assert m.trap.kind is TrapKind.DIV_ZERO
+    # The raising instruction does not complete, so the clock stands at
+    # the instructions retired before it — identical either way.
+    plain = build_program(SRC_TRAP_IN_BLOCK, "blackbox", fuse=False)
+    p = Machine(plain, 0, 1)
+    p.start()
+    while p.run(1000) is MachineStatus.READY:
+        pass
+    assert m.trap.cycle == p.trap.cycle
+    assert m.cycles == p.cycles
+
+
+def test_fused_segments_exist_and_layouts_differ():
+    prog = build_program(SRC_TRAP_IN_BLOCK, "blackbox", fuse=True)
+    cfunc = prog.functions["main"]
+    assert any(seg is not None for fb in cfunc.seg_free for seg in fb)
+    # armed layout must break at marked (injectable) instructions, so it
+    # can never cover more instructions with fused code than free layout
+    for fb_free, fb_armed in zip(cfunc.seg_free, cfunc.seg_armed):
+        free_cov = sum(s[1] for s in fb_free if s is not None)
+        armed_cov = sum(s[1] for s in fb_armed if s is not None)
+        assert armed_cov <= free_cov
+
+
+def test_repro_fuse_env_disables_fusion(monkeypatch):
+    monkeypatch.setenv("REPRO_FUSE", "0")
+    prog = build_program(SRC_TRAP_IN_BLOCK, "blackbox")
+    cfunc = prog.functions["main"]
+    assert all(seg is None for fb in cfunc.seg_free for seg in fb)
+    assert all(seg is None for fb in cfunc.seg_armed for seg in fb)
+    monkeypatch.delenv("REPRO_FUSE")
+    assert compiler_mod._fuse_enabled()
+
+
+def test_inject_check_stays_inline_hoisted(monkeypatch):
+    """The occurrence check must be the hoisted inline comparison: the
+    (slow) inject_now upcall fires only when the counter matches, not
+    once per marked-instruction execution."""
+    spec = get_app("matvec")
+    prog = build_program(spec.source, "blackbox", name=spec.name,
+                         config=spec.config)
+    calls = []
+    orig = Machine.inject_now
+
+    def counting(self, frame, opinfo, site=-1):
+        calls.append(self.inj_counter)
+        return orig(self, frame, opinfo, site)
+
+    monkeypatch.setattr(Machine, "inject_now", counting)
+    result = run_job(prog, spec.config, [FaultSpec(rank=0, occurrence=25, bit=3)],
+                     inj_seed=5)
+    assert result.inj_counts[0] > 100   # many marked executions...
+    assert calls == [25]                # ...but exactly one upcall
