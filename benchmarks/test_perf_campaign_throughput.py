@@ -1,0 +1,167 @@
+"""Campaign throughput: shared golden artifacts + snapshot-locality batching.
+
+"Before" is the PR 2 configuration: every driver invocation profiles its
+own golden run, every pool worker pays its own fast-forward verification
+cold run, trials dispatch in index order, and every restore rebuilds
+memory from the sparse snapshot encoding.  "After" is the default PR 3
+configuration: the golden profile + snapshot store load from a shared
+content-addressed artifact (with a persisted verification marker), armed
+trials are batched by nearest-preceding snapshot, workers keep a
+prefetch pipeline full, and batched restores clone a warm world.
+
+The only *gating* assertions are equivalence: baseline and candidate
+campaigns must be trial-for-trial bit-identical.  Wall-clock numbers are
+recorded to ``benchmarks/results/BENCH_campaign_throughput.json`` with
+1/2/4/8-worker scaling.  Baseline and candidate run back-to-back in
+interleaved pairs and the reported speedup is the *median of per-pair
+ratios*: on a virtualised CI box, host steal time drifts absolute wall
+clocks by tens of percent between minutes, but adjacent runs see
+similar conditions, so pairwise ratios stay stable.
+
+Scale with REPRO_BENCH_APP (default amg), REPRO_BENCH_TRIALS (default
+16 — a short re-arm campaign, where preparation overhead matters most)
+and REPRO_BENCH_REPS (default 5).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import tempfile
+import time
+
+from repro.inject import run_campaign, trial_results_equal
+from repro.inject import campaign as campaign_mod
+from repro.inject.campaign import _env_int
+
+from conftest import SEED
+
+
+def _bench_app() -> str:
+    return os.environ.get("REPRO_BENCH_APP", "amg")
+
+
+def _bench_trials() -> int:
+    return _env_int("REPRO_BENCH_TRIALS", 16)
+
+
+def _bench_reps() -> int:
+    return _env_int("REPRO_BENCH_REPS", 5)
+
+
+def _worker_counts():
+    """Worker ladder (REPRO_BENCH_WORKER_LADDER, comma-separated)."""
+    raw = os.environ.get("REPRO_BENCH_WORKER_LADDER", "1,2,4,8")
+    try:
+        counts = tuple(int(w) for w in raw.split(",") if w.strip())
+        if counts and all(w >= 1 for w in counts):
+            return counts
+    except ValueError:
+        pass
+    return (1, 2, 4, 8)
+
+# the PR 2 engine: no golden artifacts, index-order dispatch, no
+# warm-world cache, and one-trial-at-a-time dispatch to pool workers
+_PR2_ENV = {"REPRO_BATCH_BY_SNAPSHOT": "0",
+            "REPRO_WORLD_CACHE": "0",
+            "REPRO_PREFETCH": "1"}
+
+
+def _run(app, mode, n, workers, artifact_dir, pr2, monkeypatch):
+    """One timed campaign in a clean parent process state.
+
+    The prepared cache is cleared so each run pays the full preparation
+    path of its configuration — re-profiling for the baseline, artifact
+    loading for the candidate — exactly as a fresh driver invocation
+    would.
+    """
+    campaign_mod._PREPARED_CACHE.clear()
+    for key in _PR2_ENV:
+        monkeypatch.delenv(key, raising=False)
+    if pr2:
+        for key, value in _PR2_ENV.items():
+            monkeypatch.setenv(key, value)
+    t0 = time.perf_counter()
+    result = run_campaign(app, n, mode=mode, seed=SEED, workers=workers,
+                          artifact_dir=artifact_dir)
+    wall = time.perf_counter() - t0
+    return result, wall
+
+
+def _measure_mode(app, mode, n, reps, artifact_dir, monkeypatch):
+    """Interleaved baseline/candidate runs across the worker ladder."""
+    # Untimed warm-ups: JIT/bytecode caches for both paths, and the
+    # candidate's artifact + verification marker (a persisted one-time
+    # cost any real campaign suite pays exactly once).
+    _run(app, mode, n, 1, None, True, monkeypatch)
+    _run(app, mode, n, 1, artifact_dir, False, monkeypatch)
+
+    rows = []
+    for workers in _worker_counts():
+        base_walls, cand_walls = [], []
+        for _ in range(reps):
+            base, bw = _run(app, mode, n, workers, None, True, monkeypatch)
+            cand, cw = _run(app, mode, n, workers, artifact_dir, False,
+                            monkeypatch)
+            # gating: configurations must be scientifically identical
+            assert base.n_trials == cand.n_trials == n
+            for a, b in zip(base.trials, cand.trials):
+                assert trial_results_equal(a, b), (a, b)
+            base_walls.append(bw)
+            cand_walls.append(cw)
+        base_med = statistics.median(base_walls)
+        cand_med = statistics.median(cand_walls)
+        ratios = [b / max(c, 1e-9)
+                  for b, c in zip(base_walls, cand_walls)]
+        rows.append({
+            "workers": workers,
+            "baseline_wall_s": [round(w, 3) for w in base_walls],
+            "candidate_wall_s": [round(w, 3) for w in cand_walls],
+            "baseline_median_s": round(base_med, 3),
+            "candidate_median_s": round(cand_med, 3),
+            "pair_ratios": [round(r, 2) for r in ratios],
+            "speedup_median": round(statistics.median(ratios), 2),
+            "baseline_trials_per_s": round(n / base_med, 2),
+            "candidate_trials_per_s": round(n / cand_med, 2),
+            "equivalent": True,
+        })
+    return rows
+
+
+def test_perf_campaign_throughput(results_dir, monkeypatch):
+    app = _bench_app()
+    n = _bench_trials()
+    reps = _bench_reps()
+    monkeypatch.delenv("REPRO_ARTIFACT_DIR", raising=False)
+    with tempfile.TemporaryDirectory(prefix="repro-artifacts-") as art:
+        payload = {
+            "benchmark": "campaign_throughput",
+            "app": app,
+            "seed": SEED,
+            "trials": n,
+            "reps": reps,
+            "baseline": "PR 2: per-process golden profiling, per-worker "
+                        "verify runs, index-order one-at-a-time dispatch, "
+                        "cold restores (REPRO_BATCH_BY_SNAPSHOT=0 "
+                        "REPRO_WORLD_CACHE=0 REPRO_PREFETCH=1)",
+            "candidate": "shared golden artifact + verification marker + "
+                         "snapshot-locality batching + warm-world clones "
+                         "+ worker prefetch pipeline (defaults)",
+            "modes": {
+                mode: _measure_mode(app, mode, n, reps, art, monkeypatch)
+                for mode in ("blackbox", "fpm")
+            },
+        }
+        # headline: the paper's primary instrument (fpm dual-chain
+        # campaigns) at 4 workers, when the ladder includes it
+        fpm4 = next((r for r in payload["modes"]["fpm"]
+                     if r["workers"] == 4), None)
+        if fpm4 is not None:
+            payload["headline"] = {
+                "mode": "fpm", "workers": 4,
+                "speedup_median": fpm4["speedup_median"],
+            }
+    path = results_dir / "BENCH_campaign_throughput.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\n=== {path.name} ===\n{json.dumps(payload, indent=2)}\n")

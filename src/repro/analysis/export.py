@@ -52,6 +52,8 @@ def _trial_to_dict(t: TrialResult) -> dict:
         d["failure_detail"] = t.failure_detail
     if t.retries:
         d["retries"] = t.retries
+    if t.stage_timings:
+        d["stage_timings"] = dict(t.stage_timings)
     if t.times is not None:
         d["series"] = {
             "times": t.times.tolist(),
@@ -86,6 +88,7 @@ def _trial_from_dict(d: dict) -> TrialResult:
         failure_kind=d.get("failure_kind"),
         failure_detail=d.get("failure_detail"),
         retries=d.get("retries", 0),
+        stage_timings=d.get("stage_timings"),
     )
     series = d.get("series")
     if series is not None:

@@ -65,6 +65,15 @@ def render_health_summary(health, quarantined_trials: Optional[Sequence] = None)
     if health.resumed_trials:
         lines.append(f"resumed: {health.resumed_trials} trial(s) "
                      "restored from journal")
+    timings = getattr(health, "stage_timings", None)
+    if timings:
+        order = ["artifact_load", "snapshot_restore", "clone", "execute"]
+        parts = [f"{stage} {timings[stage]:.2f}s"
+                 for stage in order if stage in timings]
+        parts += [f"{stage} {secs:.2f}s"
+                  for stage, secs in sorted(timings.items())
+                  if stage not in order]
+        lines.append("stage totals: " + ", ".join(parts))
     if health.clean:
         lines.append("supervision: clean — no retries, no failures")
         return "\n".join(lines)

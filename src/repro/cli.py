@@ -49,6 +49,11 @@ def _add_campaign_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--snapshot-stride", type=int, default=None, metavar="CYCLES",
                    help="golden-run snapshot stride for trial fast-forward "
                         "(default REPRO_SNAPSHOT_STRIDE/2048; 0 disables)")
+    p.add_argument("--artifact-dir", metavar="DIR", default=None,
+                   help="directory of shared golden artifacts: load the "
+                        "golden profile + snapshots from there instead of "
+                        "re-profiling, saving after a miss "
+                        "(default REPRO_ARTIFACT_DIR/off)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -123,7 +128,8 @@ def cmd_campaign(args) -> int:
     if getattr(args, "resume", None):
         c = fw.resume_campaign(args.resume, workers=args.workers,
                                timeout=args.timeout,
-                               max_retries=args.max_retries)
+                               max_retries=args.max_retries,
+                               artifact_dir=args.artifact_dir)
         mode = c.mode
     else:
         mode = args.mode
@@ -133,7 +139,8 @@ def cmd_campaign(args) -> int:
                          n_faults=args.faults, timeout=args.timeout,
                          max_retries=args.max_retries,
                          journal=getattr(args, "journal", None),
-                         snapshot_stride=args.snapshot_stride)
+                         snapshot_stride=args.snapshot_stride,
+                         artifact_dir=args.artifact_dir)
     print(f"{c.n_trials} trials, mode={c.mode}, "
           f"{c.n_faults} fault(s)/run")
     print(render_outcome_table({args.app: c.fractions()},
@@ -167,8 +174,10 @@ def cmd_sites(args) -> int:
     c = run_campaign(args.app, args.trials, mode="fpm", seed=args.seed,
                      workers=args.workers, n_faults=args.faults,
                      timeout=args.timeout, max_retries=args.max_retries,
-                     snapshot_stride=args.snapshot_stride)
-    pa = _prepared(args.app, (), "fpm", args.snapshot_stride)
+                     snapshot_stride=args.snapshot_stride,
+                     artifact_dir=args.artifact_dir)
+    pa = _prepared(args.app, (), "fpm", args.snapshot_stride,
+                   args.artifact_dir)
     ranking = site_vulnerability(c, pa.program.site_table, by=args.by)
     print(f"most vulnerable sites of {args.app} by {args.by} "
           f"({c.n_trials} trials):")
@@ -181,7 +190,8 @@ def cmd_fps(args) -> int:
     c = fw.fpm_campaign(trials=args.trials, seed=args.seed,
                         workers=args.workers, n_faults=args.faults,
                         timeout=args.timeout, max_retries=args.max_retries,
-                        snapshot_stride=args.snapshot_stride)
+                        snapshot_stride=args.snapshot_stride,
+                        artifact_dir=args.artifact_dir)
     fps = fw.fps_factor(c)
     print(render_fps_table([fps]))
     est = fw.estimator(c)

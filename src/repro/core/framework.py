@@ -97,13 +97,14 @@ class FaultPropagationFramework:
         timeout: Optional[float] = None, max_retries: int = 2,
         journal: Optional[str] = None,
         snapshot_stride: Optional[int] = None,
+        artifact_dir: Optional[str] = None,
     ) -> CampaignResult:
         """Output-variation analysis (paper Sec. 4.2 / Fig. 6)."""
         return run_campaign(
             self.app_name, trials, mode="blackbox", seed=seed,
             workers=workers, n_faults=n_faults, params=self.params,
             timeout=timeout, max_retries=max_retries, journal=journal,
-            snapshot_stride=snapshot_stride,
+            snapshot_stride=snapshot_stride, artifact_dir=artifact_dir,
         )
 
     def fpm_campaign(
@@ -113,13 +114,14 @@ class FaultPropagationFramework:
         timeout: Optional[float] = None, max_retries: int = 2,
         journal: Optional[str] = None,
         snapshot_stride: Optional[int] = None,
+        artifact_dir: Optional[str] = None,
     ) -> CampaignResult:
         """Propagation analysis (paper Sec. 4.3 / Figs. 7-8)."""
         return run_campaign(
             self.app_name, trials, mode="fpm", seed=seed, workers=workers,
             n_faults=n_faults, keep_series=keep_series, params=self.params,
             timeout=timeout, max_retries=max_retries, journal=journal,
-            snapshot_stride=snapshot_stride,
+            snapshot_stride=snapshot_stride, artifact_dir=artifact_dir,
         )
 
     def resume_campaign(self, journal: str, **kwargs) -> CampaignResult:

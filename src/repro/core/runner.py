@@ -51,6 +51,7 @@ def run_job(
     wall_timeout: Optional[float] = None,
     capture_snapshots=None,
     restore_from=None,
+    world_cache=None,
 ) -> JobResult:
     """Run one simulated MPI job to completion (or crash/deadlock/hang).
 
@@ -68,6 +69,11 @@ def run_job(
     on the restored state, and only the remaining tail executes — with
     results bit-identical to a cold run because the snapshot predates
     every armed fault's occurrence (validated here).
+
+    ``world_cache`` optionally routes the restore through a
+    :class:`~repro.vm.worldcache.WorldCache`, so consecutive jobs
+    restoring the same snapshot clone a materialized warm world instead
+    of re-running the sparse reconstruction.
     """
     config = config or RunConfig()
     runtime = MPIRuntime()
@@ -101,9 +107,14 @@ def run_job(
                     f"(counter {counters[s.rank]}); fast-forward would skip "
                     f"the fault"
                 )
-        start_epoch, initial_trace = restore_world(
-            restore_from, machines, runtime
-        )
+        if world_cache is not None:
+            start_epoch, initial_trace = world_cache.restore(
+                restore_from, machines, runtime
+            )
+        else:
+            start_epoch, initial_trace = restore_world(
+                restore_from, machines, runtime
+            )
         for m in machines:
             if faults:
                 m.arm_faults(faults, seed=inj_seed)

@@ -67,6 +67,16 @@ class CampaignError(ReproError):
     """Invalid fault-injection campaign configuration."""
 
 
+class ArtifactError(CampaignError):
+    """A golden artifact is unreadable, corrupt, or incompatible.
+
+    Load paths treat these as *soft* failures — the campaign falls back
+    to re-profiling the golden run — but the error distinguishes an
+    integrity violation (tampered/truncated payload, rejected) from a
+    stale schema version (written by an older framework, re-profiled).
+    """
+
+
 class HarnessError(CampaignError):
     """The campaign harness itself failed (not the application under test).
 

@@ -31,7 +31,8 @@ def same_value(a, b) -> bool:
 class ShadowTable:
     """Per-process contamination map: address -> pristine value."""
 
-    __slots__ = ("table", "ever_contaminated_count", "first_contamination_cycle")
+    __slots__ = ("table", "ever_contaminated_count", "first_contamination_cycle",
+                 "_lo", "_hi")
 
     def __init__(self) -> None:
         self.table: Dict[int, object] = {}
@@ -40,6 +41,14 @@ class ShadowTable:
         self.ever_contaminated_count = 0
         #: cycle of the first contamination event, or None.
         self.first_contamination_cycle: Optional[int] = None
+        #: conservative address bounds of the live entries: every entry
+        #: lies in ``[_lo, _hi)``.  Bounds only grow on record() and reset
+        #: when the table empties, so a disjointness test is always sound
+        #: — it lets purge_range()/contaminated_in() skip table scans for
+        #: ranges that cannot intersect (the common case: most stack
+        #: frames and heap blocks die clean).
+        self._lo = 0
+        self._hi = 0
 
     def __len__(self) -> int:
         return len(self.table)
@@ -60,6 +69,13 @@ class ShadowTable:
             self.ever_contaminated_count += 1
             if self.first_contamination_cycle is None:
                 self.first_contamination_cycle = cycle
+            if not self.table:
+                self._lo = addr
+                self._hi = addr + 1
+            elif addr < self._lo:
+                self._lo = addr
+            elif addr >= self._hi:
+                self._hi = addr + 1
         self.table[addr] = pristine
 
     def heal(self, addr: int) -> None:
@@ -78,18 +94,29 @@ class ShadowTable:
         """Drop entries in ``[lo, hi)`` (freed stack frames / heap blocks).
 
         Deallocated words are no longer part of the application state, so
-        they must not inflate the CML count.
+        they must not inflate the CML count.  Called on *every* function
+        return and heap free, so the empty and disjoint cases exit before
+        touching the table; when the range is narrower than the table,
+        the range is probed instead of scanning every entry.
         """
-        if not self.table:
+        table = self.table
+        if not table or hi <= self._lo or lo >= self._hi:
             return 0
-        doomed = [a for a in self.table if lo <= a < hi]
+        lo = max(lo, self._lo)
+        hi = min(hi, self._hi)
+        if hi - lo < len(table):
+            doomed = [a for a in range(lo, hi) if a in table]
+        else:
+            doomed = [a for a in table if lo <= a < hi]
         for a in doomed:
-            del self.table[a]
+            del table[a]
         return len(doomed)
 
     def contaminated_in(self, addr: int, count: int) -> List[Tuple[int, object]]:
         """(displacement, pristine) records for a buffer — the Fig. 4 header."""
         table = self.table
+        if not table or addr + count <= self._lo or addr >= self._hi:
+            return []
         if len(table) < count:
             return sorted(
                 (a - addr, p) for a, p in table.items() if addr <= a < addr + count
@@ -117,3 +144,13 @@ class ShadowTable:
         self.table = dict(table)
         self.ever_contaminated_count = count
         self.first_contamination_cycle = first
+        self._reset_bounds()
+
+    def _reset_bounds(self) -> None:
+        """Recompute the address bounds (restore paths only — O(n))."""
+        if self.table:
+            self._lo = min(self.table)
+            self._hi = max(self.table) + 1
+        else:
+            self._lo = 0
+            self._hi = 0

@@ -38,6 +38,8 @@ class TaintTable(ShadowTable):
     def tainted_in(self, addr: int, count: int) -> bool:
         """Any tainted word in the buffer?"""
         table = self.table
+        if not table or addr + count <= self._lo or addr >= self._hi:
+            return False
         if len(table) < count:
             return any(addr <= a < addr + count for a in table)
         return any(addr + i in table for i in range(count))
@@ -58,3 +60,4 @@ class TaintTable(ShadowTable):
         self.table = dict.fromkeys(keys, True)
         self.ever_contaminated_count = count
         self.first_contamination_cycle = first
+        self._reset_bounds()

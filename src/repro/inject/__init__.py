@@ -2,13 +2,22 @@
 trial driving with retry/quarantine, crash recovery, and resumable
 journaled campaigns."""
 
+from .artifacts import (
+    GoldenArtifact,
+    artifact_key,
+    artifact_path,
+    load_artifact,
+    save_artifact,
+)
 from .campaign import (
     CampaignResult,
     TrialResult,
+    batch_by_snapshot,
     default_timeout,
     default_trials,
     default_workers,
     harness_failure_trial,
+    plan_batches,
     run_campaign,
     trial_results_equal,
 )
@@ -20,8 +29,10 @@ from .profiler import GoldenProfile, PreparedApp, profile_golden
 
 __all__ = [
     "CampaignEngine", "CampaignHealth", "CampaignJournal",
-    "CampaignResult", "GoldenProfile", "PreparedApp", "TrialResult",
+    "CampaignResult", "GoldenArtifact", "GoldenProfile", "PreparedApp",
+    "TrialResult", "artifact_key", "artifact_path", "batch_by_snapshot",
     "default_timeout", "default_trials", "default_workers", "draw_plan",
-    "harness_failure_trial", "profile_golden", "read_journal",
-    "resume_campaign", "run_campaign", "trial_results_equal",
+    "harness_failure_trial", "load_artifact", "plan_batches",
+    "profile_golden", "read_journal", "resume_campaign", "run_campaign",
+    "save_artifact", "trial_results_equal",
 ]

@@ -1,0 +1,270 @@
+"""Shared golden artifacts: profile the golden run once, reuse it everywhere.
+
+Every fault-injection campaign needs the same expensive preparation —
+compile the app, run the fault-free reference, capture world snapshots —
+before a single trial executes.  PR 1's engine made each *worker* pay
+that cost again after a respawn, and every fresh driver invocation pays
+it from scratch.  This module serializes the prepared golden state into
+a **content-addressed on-disk artifact** so that
+
+* pool workers (including respawned ones) load the artifact instead of
+  re-running golden profiling,
+* repeated campaigns over the same (app, params, mode, stride) — the
+  normal shape of a paper-scale study sweeping seeds and trial counts —
+  skip golden profiling entirely, and
+* a one-time snapshot equivalence verification is persisted next to the
+  artifact, so each new process does not re-pay the cold verification
+  run mandated by ``REPRO_SNAPSHOT_VERIFY=first``.
+
+Artifact identity is a SHA-256 over the *content* that determines the
+golden run: app source, run configuration, instrumentation mode,
+snapshot stride/limit, and the artifact schema version.  Any change to
+any of these yields a different key, so stale artifacts are simply never
+found.  Each artifact file additionally carries an integrity hash of its
+payload; a corrupt or truncated file is **rejected** (with a warning)
+and the campaign falls back to re-profiling.  A schema-version bump
+behaves the same way: old artifacts are ignored, never mis-read.
+
+Compiled closures are never serialized — snapshots reference functions
+by name and are re-bound to a freshly compiled program on load, which is
+safe precisely because the key pins the source they were compiled from.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from ..apps.registry import AppSpec
+from ..errors import ArtifactError
+from ..vm.snapshot import SnapshotStore
+from .profiler import GoldenProfile
+
+#: bump when the payload layout or snapshot encoding changes shape;
+#: artifacts with any other schema are re-profiled, never interpreted
+SCHEMA_VERSION = 1
+
+_ARTIFACT_KIND = "repro-golden-artifact"
+_SUFFIX = ".golden"
+_VERIFIED_SUFFIX = ".verified"
+
+
+def default_artifact_dir(requested: Union[str, Path, None] = None
+                         ) -> Optional[Path]:
+    """Artifact directory: argument, else REPRO_ARTIFACT_DIR, else None.
+
+    ``None`` disables the artifact store entirely (PR 2 behaviour:
+    every process profiles its own golden run).
+    """
+    if requested is not None:
+        return Path(requested)
+    raw = os.environ.get("REPRO_ARTIFACT_DIR", "").strip()
+    return Path(raw) if raw else None
+
+
+def artifact_key(spec: AppSpec, mode: str, stride: int, limit: int) -> str:
+    """Content address of the golden state for one prepared configuration."""
+    ident = json.dumps(
+        {
+            "schema": SCHEMA_VERSION,
+            "app": spec.name,
+            "source_sha256": hashlib.sha256(
+                spec.source.encode()
+            ).hexdigest(),
+            "config": sorted(
+                (k, repr(v)) for k, v in vars(spec.config).items()
+            ),
+            "tolerance": repr(spec.tolerance),
+            "abs_tolerance": repr(spec.abs_tolerance),
+            "mode": mode,
+            "snapshot_stride": stride,
+            "snapshot_limit": limit,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(ident.encode()).hexdigest()[:40]
+
+
+def artifact_path(directory: Union[str, Path], key: str) -> Path:
+    return Path(directory) / f"{key}{_SUFFIX}"
+
+
+def _verified_path(directory: Union[str, Path], key: str) -> Path:
+    return Path(directory) / f"{key}{_VERIFIED_SUFFIX}"
+
+
+@dataclass
+class GoldenArtifact:
+    """One loaded artifact: the golden profile plus frozen snapshots."""
+
+    key: str
+    golden: GoldenProfile
+    #: :meth:`SnapshotStore.dump_state` form, or None (snapshots disabled)
+    snapshot_state: Optional[tuple]
+    #: a process somewhere already proved fast-forward equivalence for
+    #: this artifact (persisted marker — see :func:`mark_verified`)
+    verified: bool = False
+
+    def snapshot_store(self) -> Optional[SnapshotStore]:
+        if self.snapshot_state is None:
+            return None
+        store = SnapshotStore.load_state(self.snapshot_state)
+        store.verified = self.verified
+        return store
+
+
+def save_artifact(
+    directory: Union[str, Path],
+    key: str,
+    golden: GoldenProfile,
+    snapshots: Optional[SnapshotStore],
+) -> Path:
+    """Atomically write the artifact for ``key``; returns its path.
+
+    Concurrent writers are safe: both produce identical content for the
+    same key, and the ``os.replace`` is atomic.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = pickle.dumps(
+        {
+            "golden": golden,
+            "snapshots": snapshots.dump_state()
+            if snapshots is not None else None,
+        },
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    header = {
+        "kind": _ARTIFACT_KIND,
+        "schema": SCHEMA_VERSION,
+        "key": key,
+        "app": golden.app_name,
+        "mode": golden.mode,
+        "payload_sha256": hashlib.sha256(payload).hexdigest(),
+        "payload_bytes": len(payload),
+    }
+    path = artifact_path(directory, key)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=_SUFFIX + ".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(json.dumps(header).encode() + b"\n")
+            fh.write(payload)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_artifact_strict(directory: Union[str, Path],
+                         key: str) -> GoldenArtifact:
+    """Load and fully validate the artifact for ``key``.
+
+    Raises :class:`~repro.errors.ArtifactError` on any problem: missing
+    file, malformed header, stale schema version, integrity-hash
+    mismatch, or an unpicklable payload.
+    """
+    path = artifact_path(directory, key)
+    try:
+        blob = path.read_bytes()
+    except FileNotFoundError:
+        raise ArtifactError(f"no golden artifact at {path}") from None
+    except OSError as exc:
+        raise ArtifactError(f"cannot read golden artifact {path}: {exc}")
+    newline = blob.find(b"\n")
+    if newline < 0:
+        raise ArtifactError(f"{path}: truncated artifact (no header)")
+    try:
+        header = json.loads(blob[:newline])
+    except json.JSONDecodeError:
+        raise ArtifactError(f"{path}: malformed artifact header")
+    if not isinstance(header, dict) or header.get("kind") != _ARTIFACT_KIND:
+        raise ArtifactError(f"{path}: not a golden artifact")
+    if header.get("schema") != SCHEMA_VERSION:
+        raise ArtifactError(
+            f"{path}: stale artifact schema {header.get('schema')!r} "
+            f"(current {SCHEMA_VERSION}); re-profiling"
+        )
+    if header.get("key") != key:
+        raise ArtifactError(
+            f"{path}: artifact key mismatch ({header.get('key')!r} != "
+            f"{key!r})"
+        )
+    payload = blob[newline + 1:]
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != header.get("payload_sha256"):
+        raise ArtifactError(
+            f"{path}: integrity hash mismatch — artifact rejected "
+            f"(payload {digest[:12]}…, header "
+            f"{str(header.get('payload_sha256'))[:12]}…)"
+        )
+    try:
+        data = pickle.loads(payload)
+        golden = data["golden"]
+        snapshot_state = data["snapshots"]
+    except Exception as exc:
+        raise ArtifactError(f"{path}: unreadable artifact payload: {exc}")
+    if not isinstance(golden, GoldenProfile):
+        raise ArtifactError(f"{path}: artifact payload is not a golden "
+                            f"profile")
+    return GoldenArtifact(
+        key=key,
+        golden=golden,
+        snapshot_state=snapshot_state,
+        verified=is_verified(directory, key),
+    )
+
+
+def load_artifact(directory: Union[str, Path],
+                  key: str) -> Optional[GoldenArtifact]:
+    """Soft load: None when absent; warn + None when rejected or stale.
+
+    The caller (``PreparedApp``) treats None as "profile the golden run
+    yourself", so a bad artifact can never poison a campaign.
+    """
+    if not artifact_path(directory, key).exists():
+        return None
+    try:
+        return load_artifact_strict(directory, key)
+    except ArtifactError as exc:
+        warnings.warn(f"ignoring golden artifact: {exc}", stacklevel=2)
+        return None
+
+
+def is_verified(directory: Union[str, Path], key: str) -> bool:
+    """Has any process persisted a successful equivalence verification?"""
+    return _verified_path(directory, key).exists()
+
+
+def mark_verified(directory: Union[str, Path], key: str) -> None:
+    """Persist that fast-forward equivalence held for this artifact.
+
+    Written after a ``REPRO_SNAPSHOT_VERIFY=first`` cold re-execution
+    matched bit-for-bit, so sibling workers and later campaigns skip
+    their own verification runs.  Atomic and idempotent.
+    """
+    directory = Path(directory)
+    path = _verified_path(directory, key)
+    if path.exists():
+        return
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(json.dumps({"key": key, "kind": "repro-verified"}) + "\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

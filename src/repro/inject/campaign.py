@@ -16,10 +16,12 @@ wall-clock watchdog, and repeatedly failing trials are quarantined as
 from __future__ import annotations
 
 import os
+import time
 import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field, fields
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -69,6 +71,10 @@ class TrialResult:
     failure_detail: Optional[str] = None
     #: times the engine re-executed this trial after a harness failure
     retries: int = 0
+    #: wall seconds per execution stage (artifact_load / snapshot_restore
+    #: / clone / execute) — observability only; excluded from the
+    #: bit-identity predicate because wall clocks are nondeterministic
+    stage_timings: Optional[Dict[str, float]] = None
 
     @property
     def outcome_enum(self) -> Outcome:
@@ -148,15 +154,18 @@ def _prepared_cache_max() -> int:
 
 
 def _prepared(app_name: str, params: tuple, mode: str,
-              snapshot_stride: Optional[int] = None) -> PreparedApp:
+              snapshot_stride: Optional[int] = None,
+              artifact_dir: Union[str, Path, None] = None) -> PreparedApp:
     # Resolve the stride before keying so an explicit argument and the
     # equivalent REPRO_SNAPSHOT_STRIDE setting share one cache entry.
+    # The artifact dir is not part of the key: it changes where the
+    # golden state comes from, never what it is.
     stride = default_snapshot_stride(snapshot_stride)
     key = (app_name, params, mode, stride)
     pa = _PREPARED_CACHE.get(key)
     if pa is None:
         pa = PreparedApp(get_app(app_name, **dict(params)), mode,
-                         snapshot_stride=stride)
+                         snapshot_stride=stride, artifact_dir=artifact_dir)
         _PREPARED_CACHE[key] = pa
         limit = _prepared_cache_max()
         while len(_PREPARED_CACHE) > limit:
@@ -230,6 +239,8 @@ def trial_results_equal(a: TrialResult, b: TrialResult) -> bool:
     field, including the full CML(t) series.
     """
     for f in fields(TrialResult):
+        if f.name == "stage_timings":  # wall clocks are nondeterministic
+            continue
         va, vb = getattr(a, f.name), getattr(b, f.name)
         if isinstance(va, np.ndarray) or isinstance(vb, np.ndarray):
             if va is None or vb is None:
@@ -246,23 +257,48 @@ def _run_trial(args) -> TrialResult:
     (app_name, params, mode, faults, inj_seed, keep_series) = args[:6]
     wall_timeout = args[6] if len(args) > 6 else None
     snapshot_stride = args[7] if len(args) > 7 else None
-    pa = _prepared(app_name, params, mode, snapshot_stride)
+    artifact_dir = args[8] if len(args) > 8 else None
+    t0 = time.perf_counter()
+    pa = _prepared(app_name, params, mode, snapshot_stride, artifact_dir)
+    prep_s = time.perf_counter() - t0
     config = pa.run_config()
     store = pa.snapshots
     snap = store.best_for(faults) if store is not None else None
+    wc = pa.world_cache
+    timings = {"artifact_load": prep_s, "snapshot_restore": 0.0,
+               "clone": 0.0, "execute": 0.0}
     if snap is None:
+        t1 = time.perf_counter()
         result = run_job(
             pa.program, config, faults=faults, inj_seed=inj_seed,
             wall_timeout=wall_timeout,
         )
-        return _summarise(pa, result, faults, keep_series)
+        timings["execute"] = time.perf_counter() - t1
+        tr = _summarise(pa, result, faults, keep_series)
+        tr.stage_timings = timings
+        return tr
 
+    restore0 = wc.restore_s if wc is not None else 0.0
+    clone0 = wc.clone_s if wc is not None else 0.0
+    t1 = time.perf_counter()
     result = run_job(
         pa.program, config, faults=faults, inj_seed=inj_seed,
-        wall_timeout=wall_timeout, restore_from=snap,
+        wall_timeout=wall_timeout, restore_from=snap, world_cache=wc,
+    )
+    run_s = time.perf_counter() - t1
+    if wc is not None:
+        timings["snapshot_restore"] = wc.restore_s - restore0
+        timings["clone"] = wc.clone_s - clone0
+    timings["execute"] = max(
+        0.0, run_s - timings["snapshot_restore"] - timings["clone"]
     )
     tr = _summarise(pa, result, faults, keep_series)
+    tr.stage_timings = timings
     verify = snapshot_verify_mode()
+    if verify == "first" and not store.verified and pa.artifact_verified():
+        # Another process already proved fast-forward equivalence for
+        # this exact artifact; skip the redundant cold re-execution.
+        store.verified = True
     if verify == "all" or (verify == "first" and not store.verified):
         cold = run_job(
             pa.program, config, faults=faults, inj_seed=inj_seed,
@@ -277,6 +313,7 @@ def _run_trial(args) -> TrialResult:
                 f"{cold_tr.outcome}/{cold_tr.cycles}"
             )
         store.verified = True
+        pa.mark_artifact_verified()
     return tr
 
 
@@ -371,6 +408,7 @@ def _build_jobs(
     keep_series: bool,
     wall_timeout: Optional[float],
     snapshot_stride: Optional[int] = None,
+    artifact_dir: Optional[str] = None,
 ) -> List[tuple]:
     """Draw every trial's fault plan and seed up front.
 
@@ -387,8 +425,53 @@ def _build_jobs(
         )
         inj_seed = int(rng.integers(2 ** 31))
         jobs.append((app, params_key, mode, tuple(faults), inj_seed,
-                     keep_series, wall_timeout, snapshot_stride))
+                     keep_series, wall_timeout, snapshot_stride,
+                     artifact_dir))
     return jobs
+
+
+def batch_by_snapshot(requested: Optional[bool] = None) -> bool:
+    """Snapshot-locality batching: argument, else REPRO_BATCH_BY_SNAPSHOT.
+
+    On by default; set REPRO_BATCH_BY_SNAPSHOT=0 to restore PR 2's
+    index-order dispatch (the escape hatch for A/B measurement).
+    """
+    if requested is not None:
+        return bool(requested)
+    raw = os.environ.get("REPRO_BATCH_BY_SNAPSHOT", "").strip().lower()
+    return raw not in ("0", "false", "off")
+
+
+def plan_batches(jobs: Sequence[tuple], store, workers: int = 1
+                 ) -> List[List[int]]:
+    """Group trial indices by their fast-forward snapshot.
+
+    Trials restoring from the same snapshot run consecutively on one
+    worker, so the worker's :class:`~repro.vm.worldcache.WorldCache`
+    serves every trial after the first from a cheap dense clone.  A pure
+    function of the job list and the frozen store — both deterministic —
+    so a resumed campaign re-plans the identical batches.
+
+    Groups are ordered by snapshot cycle (cold trials first, cycle -1),
+    indices within a group stay in campaign order, and oversized groups
+    are split into up to ``workers`` chunks so one dominant snapshot
+    cannot idle the rest of the pool.
+    """
+    groups: "OrderedDict[int, List[int]]" = OrderedDict()
+    for i, job in enumerate(jobs):
+        snap = store.probe(job[3]) if store is not None else None
+        cycle = snap.cycle if snap is not None else -1
+        groups.setdefault(cycle, []).append(i)
+    batches: List[List[int]] = []
+    for cycle in sorted(groups):
+        idxs = groups[cycle]
+        if workers > 1 and len(idxs) > workers:
+            size = -(-len(idxs) // workers)  # ceil division
+            for j in range(0, len(idxs), size):
+                batches.append(idxs[j:j + size])
+        else:
+            batches.append(idxs)
+    return batches
 
 
 def run_campaign(
@@ -408,6 +491,7 @@ def run_campaign(
     journal: Optional[str] = None,
     progress: Optional[Callable[[int, int], None]] = None,
     snapshot_stride: Optional[int] = None,
+    artifact_dir: Union[str, Path, None] = None,
 ) -> CampaignResult:
     """Run a fault-injection campaign for a registered app.
 
@@ -427,7 +511,14 @@ def run_campaign(
     ``snapshot_stride`` sets the golden-run snapshot capture stride in
     cycles for trial fast-forward (None: REPRO_SNAPSHOT_STRIDE or 2048;
     0 disables and every trial runs cold from cycle 0).
+
+    ``artifact_dir`` names a directory of shared golden artifacts (None:
+    REPRO_ARTIFACT_DIR or disabled): the golden profile and snapshot
+    store are loaded from / saved to a content-addressed file there, so
+    pool workers — including respawned ones — and later campaigns skip
+    golden profiling.
     """
+    from .artifacts import default_artifact_dir
     from .engine import CampaignEngine  # lazy: engine imports this module
 
     n_trials = default_trials(trials)
@@ -436,6 +527,8 @@ def run_campaign(
     # Resolve once so the journal records the effective value and forked
     # workers cannot drift if the environment changes mid-campaign.
     stride = default_snapshot_stride(snapshot_stride)
+    art_dir = default_artifact_dir(artifact_dir)
+    art_dir_str = str(art_dir) if art_dir is not None else None
     params = dict(params or {})
     params_key = tuple(sorted(params.items()))
 
@@ -448,10 +541,14 @@ def run_campaign(
         )
         effective = 1
 
-    pa = _prepared(app, params_key, mode, stride)
+    pa = _prepared(app, params_key, mode, stride, art_dir_str)
     golden = pa.golden
     jobs = _build_jobs(app, params_key, mode, golden, n_trials, n_faults,
-                       seed, rank, bit, keep_series, wall_timeout, stride)
+                       seed, rank, bit, keep_series, wall_timeout, stride,
+                       art_dir_str)
+    batches = None
+    if pa.snapshots is not None and batch_by_snapshot():
+        batches = plan_batches(jobs, pa.snapshots, effective)
 
     journal_writer = None
     if journal is not None:
@@ -468,6 +565,7 @@ def run_campaign(
             "params": sorted(params.items()),
             "timeout": wall_timeout,
             "snapshot_stride": stride,
+            "artifact_dir": art_dir_str,
             "golden": {
                 "iterations": golden.iterations,
                 "cycles": golden.cycles,
@@ -482,6 +580,7 @@ def run_campaign(
         max_retries=max_retries,
         journal=journal_writer,
         progress=progress,
+        batches=batches,
     )
     try:
         results, health = engine.run(jobs, faults_of=lambda i: jobs[i][3])

@@ -58,6 +58,27 @@ _TICK = 0.05
 #: extra wall-clock slack granted on top of the soft in-VM watchdog
 #: before the supervisor hard-kills the worker
 _KILL_GRACE = 5.0
+#: trials kept in flight per worker (head running + queued in its
+#: pipe), so a worker never idles a supervisor round-trip between
+#: trials; the watchdog deadline always covers the head trial only
+_PREFETCH = 2
+
+
+def prefetch_depth() -> int:
+    """Per-worker dispatch pipeline depth (``REPRO_PREFETCH``, min 1).
+
+    Depth 1 reverts to one-at-a-time dispatch: the worker idles for a
+    full supervisor round-trip after every trial.
+    """
+    raw = os.environ.get("REPRO_PREFETCH")
+    if raw is None:
+        return _PREFETCH
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        import warnings
+        warnings.warn(f"ignoring non-integer REPRO_PREFETCH={raw!r}")
+        return _PREFETCH
 
 
 def _mp_context():
@@ -100,15 +121,24 @@ def _pool_worker(conn, task_fn, fresh: bool) -> None:
 class _Worker:
     """Supervisor-side handle of one worker process."""
 
-    __slots__ = ("proc", "conn", "index", "deadline")
+    __slots__ = ("proc", "conn", "inflight", "batch", "deadline")
 
     def __init__(self, proc, conn) -> None:
         self.proc = proc
         self.conn = conn
-        #: trial index in flight (None = idle)
-        self.index: Optional[int] = None
+        #: trial indices dispatched but not yet returned, FIFO — the
+        #: head is executing, the rest sit prefetched in the pipe
+        self.inflight: deque = deque()
+        #: remainder of the snapshot-locality batch this worker owns
+        self.batch: deque = deque()
         #: monotonic instant after which the supervisor kills the worker
+        #: (covers the head in-flight trial)
         self.deadline: Optional[float] = None
+
+    @property
+    def index(self) -> Optional[int]:
+        """Head trial index — the one actually executing (None = idle)."""
+        return self.inflight[0] if self.inflight else None
 
 
 class CampaignEngine:
@@ -124,6 +154,7 @@ class CampaignEngine:
         journal: Optional[CampaignJournal] = None,
         task_fn: Optional[Callable] = None,
         progress: Optional[Callable[[int, int], None]] = None,
+        batches: Optional[List[List[int]]] = None,
     ) -> None:
         if workers < 1:
             raise CampaignError(f"workers must be >= 1, got {workers}")
@@ -138,6 +169,10 @@ class CampaignEngine:
         # drivers propagate into fork children
         self.task_fn = task_fn if task_fn is not None else _campaign._run_trial
         self.progress = progress
+        #: snapshot-locality batches (lists of trial indices); each batch
+        #: runs consecutively on one worker so its world cache stays warm.
+        #: None = plain index-order dispatch.
+        self.batches = batches
 
     # ------------------------------------------------------------------
     def run(
@@ -169,10 +204,26 @@ class CampaignEngine:
                     )
                 self._results[index] = trial
                 self._done += 1
+                self._aggregate_timings(trial)
             self._health.resumed_trials = len(completed)
-        self._queue: deque = deque(
-            i for i in range(n) if self._results[i] is None
-        )
+        pending = [i for i in range(n) if self._results[i] is None]
+        #: per-batch index deques for the pool backend (None when
+        #: batching is off); batches exhausted by a resume drop out
+        self._batches_q: Optional[deque] = None
+        if self.batches is not None:
+            pend = set(pending)
+            groups = [deque(i for i in batch if i in pend)
+                      for batch in self.batches]
+            groups = [g for g in groups if g]
+            covered = {i for g in groups for i in g}
+            stray = deque(i for i in pending if i not in covered)
+            if stray:  # defensive: batches must cover every pending trial
+                groups.append(stray)
+            self._batches_q = deque(groups)
+            #: serial execution flattens the batch order directly
+            self._queue: deque = deque(i for g in groups for i in g)
+        else:
+            self._queue = deque(pending)
 
         start = time.monotonic()
         if self.workers <= 1:
@@ -209,13 +260,17 @@ class CampaignEngine:
     # ------------------------------------------------------------------
     def _run_pool(self, jobs: List[tuple]) -> None:
         ctx = _mp_context()
+        if self._batches_q is not None:
+            # the pool dispatches from the batch deques; the flat queue
+            # only carries retries from here on
+            self._queue = deque()
         workers = [self._spawn(ctx, fresh=False) for _ in range(self.workers)]
         try:
-            while self._queue or any(w.index is not None for w in workers):
+            while self._work_remaining(workers) \
+                    or any(w.inflight for w in workers):
                 for w in workers:
-                    if w.index is None and self._queue:
-                        self._dispatch(ctx, w, jobs)
-                busy = {w.conn: w for w in workers if w.index is not None}
+                    self._dispatch(ctx, w, jobs)
+                busy = {w.conn: w for w in workers if w.inflight}
                 if not busy:
                     continue
                 for conn in _conn_wait(list(busy), timeout=_TICK):
@@ -224,8 +279,19 @@ class CampaignEngine:
                         index, ok, payload = conn.recv()
                     except (EOFError, OSError):
                         continue  # crash — the liveness sweep handles it
-                    w.index = None
-                    w.deadline = None
+                    if w.inflight and w.inflight[0] == index:
+                        w.inflight.popleft()
+                    else:  # pragma: no cover - defensive
+                        try:
+                            w.inflight.remove(index)
+                        except ValueError:
+                            pass
+                    # the next prefetched trial starts immediately, so
+                    # its watchdog clock starts now
+                    w.deadline = (
+                        time.monotonic() + self.timeout + self.kill_grace
+                        if self.timeout is not None and w.inflight else None
+                    )
                     if ok:
                         self._success(index, payload)
                     else:
@@ -233,11 +299,13 @@ class CampaignEngine:
                         self._failure(index, FailureKind(kind), detail)
                 now = time.monotonic()
                 for w in workers:
-                    if w.index is None:
+                    if not w.inflight:
                         continue
                     if not w.proc.is_alive():
+                        head = w.inflight.popleft()
+                        self._reclaim(w)
                         self._failure(
-                            w.index, FailureKind.WORKER_CRASH,
+                            head, FailureKind.WORKER_CRASH,
                             f"worker died with exit code {w.proc.exitcode}",
                         )
                         self._respawn(ctx, w)
@@ -246,14 +314,51 @@ class CampaignEngine:
                         kill = getattr(w.proc, "kill", w.proc.terminate)
                         kill()
                         w.proc.join(5.0)
+                        head = w.inflight.popleft()
+                        self._reclaim(w)
                         self._failure(
-                            w.index, FailureKind.TIMEOUT,
+                            head, FailureKind.TIMEOUT,
                             f"trial exceeded its {timeout}s wall-clock "
                             f"watchdog; worker killed",
                         )
                         self._respawn(ctx, w)
         finally:
             self._shutdown(workers)
+
+    def _work_remaining(self, workers: List[_Worker]) -> bool:
+        return (bool(self._queue)
+                or bool(self._batches_q)
+                or any(w.batch for w in workers))
+
+    def _next_index(self, w: _Worker) -> Optional[int]:
+        """Next trial for this worker: its batch, a new batch, a retry."""
+        if w.batch:
+            return w.batch.popleft()
+        while self._batches_q:
+            batch = self._batches_q.popleft()
+            if batch:
+                w.batch = batch
+                return w.batch.popleft()
+        if self._queue:
+            return self._queue.popleft()
+        return None
+
+    def _reclaim(self, w: _Worker) -> None:
+        """Return undispatched work of a dead worker to the global queues.
+
+        Prefetched trials (everything behind the in-flight head) never
+        started executing, so they are requeued without a failure mark;
+        the worker's remaining batch goes back to the batch queue so its
+        snapshot locality is preserved.
+        """
+        while w.inflight:
+            self._queue.appendleft(w.inflight.pop())
+        if w.batch:
+            if self._batches_q is not None:
+                self._batches_q.appendleft(w.batch)
+            else:  # pragma: no cover - batch implies batching enabled
+                self._queue.extend(w.batch)
+            w.batch = deque()
 
     def _spawn(self, ctx, fresh: bool) -> _Worker:
         parent_conn, child_conn = ctx.Pipe()
@@ -273,26 +378,33 @@ class CampaignEngine:
             pass
         replacement = self._spawn(ctx, fresh=True)
         w.proc, w.conn = replacement.proc, replacement.conn
-        w.index = None
+        w.inflight.clear()
         w.deadline = None
         self._health.worker_respawns += 1
 
     def _dispatch(self, ctx, w: _Worker, jobs: List[tuple]) -> None:
+        """Top the worker up to the prefetch depth."""
         if not w.proc.is_alive():
+            if w.inflight:
+                return  # the liveness sweep re-attributes the head trial
+            if not self._work_remaining([w]):
+                return
             # died between trials (nothing in flight to re-attribute)
             self._respawn(ctx, w)
-        index = self._queue.popleft()
-        try:
-            w.conn.send((index, jobs[index]))
-        except (BrokenPipeError, OSError):
-            self._queue.appendleft(index)
-            self._respawn(ctx, w)
-            return
-        w.index = index
-        if self.timeout is not None:
-            w.deadline = time.monotonic() + self.timeout + self.kill_grace
-        else:
-            w.deadline = None
+        while len(w.inflight) < prefetch_depth():
+            index = self._next_index(w)
+            if index is None:
+                return
+            try:
+                w.conn.send((index, jobs[index]))
+            except (BrokenPipeError, OSError):
+                self._queue.appendleft(index)
+                self._reclaim(w)
+                self._respawn(ctx, w)
+                return
+            w.inflight.append(index)
+            if len(w.inflight) == 1 and self.timeout is not None:
+                w.deadline = time.monotonic() + self.timeout + self.kill_grace
 
     def _shutdown(self, workers: List[_Worker]) -> None:
         for w in workers:
@@ -343,10 +455,18 @@ class CampaignEngine:
     def _record(self, index: int, trial: TrialResult) -> None:
         self._results[index] = trial
         self._done += 1
+        self._aggregate_timings(trial)
         if self.journal is not None:
             self.journal.append_trial(index, trial)
         if self.progress is not None:
             self.progress(self._done, len(self._results))
+
+    def _aggregate_timings(self, trial: TrialResult) -> None:
+        if not trial.stage_timings:
+            return
+        totals = self._health.stage_timings
+        for stage, seconds in trial.stage_timings.items():
+            totals[stage] = totals.get(stage, 0.0) + seconds
 
 
 # ----------------------------------------------------------------------
@@ -360,6 +480,7 @@ def resume_campaign(
     timeout: Optional[float] = None,
     max_retries: int = 2,
     progress: Optional[Callable[[int, int], None]] = None,
+    artifact_dir=None,
 ) -> CampaignResult:
     """Finish an interrupted journaled campaign.
 
@@ -368,6 +489,9 @@ def resume_campaign(
     trials, executes only the missing ones (appending them to the same
     journal), and returns a :class:`CampaignResult` bit-identical —
     same trials, same outcome fractions — to the uninterrupted run.
+
+    ``artifact_dir`` overrides the journaled shared-artifact directory
+    (None: reuse what the campaign recorded).
     """
     header, done = read_journal(journal_path)
     app = header["app_name"]
@@ -377,8 +501,11 @@ def resume_campaign(
     # Journals from before snapshot fast-forward carry no stride; resume
     # them with snapshots disabled so trial execution matches recording.
     snapshot_stride = header.get("snapshot_stride", 0)
+    art_dir = artifact_dir if artifact_dir is not None \
+        else header.get("artifact_dir")
+    art_dir_str = str(art_dir) if art_dir is not None else None
 
-    pa = _prepared(app, params_key, mode, snapshot_stride)
+    pa = _prepared(app, params_key, mode, snapshot_stride, art_dir_str)
     golden = pa.golden
     recorded = header.get("golden", {})
     if (list(golden.inj_counts) != list(recorded.get("inj_counts", []))
@@ -396,12 +523,19 @@ def resume_campaign(
         int(header["n_faults"]), int(header["seed"]),
         header.get("rank"), header.get("bit"),
         bool(header.get("keep_series")), wall_timeout, snapshot_stride,
+        art_dir_str,
     )
 
     requested_workers = default_workers(workers)
     remaining = n_trials - len([i for i in done if 0 <= i < n_trials])
     effective = 1 if (requested_workers > 1 and remaining < 4) \
         else requested_workers
+
+    # Re-plan batches from the re-derived jobs and frozen store — a pure
+    # function of both, so the resumed schedule is deterministic.
+    batches = None
+    if pa.snapshots is not None and _campaign.batch_by_snapshot():
+        batches = _campaign.plan_batches(jobs, pa.snapshots, effective)
 
     journal = CampaignJournal.append_to(journal_path)
     engine = CampaignEngine(
@@ -410,6 +544,7 @@ def resume_campaign(
         max_retries=max_retries,
         journal=journal,
         progress=progress,
+        batches=batches,
     )
     try:
         results, health = engine.run(

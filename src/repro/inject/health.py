@@ -11,7 +11,7 @@ describe the application under test.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import List
+from typing import Dict, List
 
 
 @dataclass
@@ -39,6 +39,11 @@ class CampaignHealth:
     resumed_trials: int = 0
     #: wall-clock duration of the execution phase, seconds
     wall_time_s: float = 0.0
+    #: cumulative wall seconds per trial execution stage, summed over
+    #: every trial (artifact_load / snapshot_restore / clone / execute);
+    #: resumed trials contribute their journaled timings, so --resume
+    #: keeps the totals cumulative
+    stage_timings: Dict[str, float] = field(default_factory=dict)
 
     @property
     def failures(self) -> int:

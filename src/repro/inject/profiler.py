@@ -12,8 +12,10 @@ Profiles are cached per compiled program.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..apps.registry import AppSpec
 from ..core.config import RunConfig
@@ -21,6 +23,7 @@ from ..core.runner import build_program, run_job
 from ..errors import CampaignError
 from ..mpi import JobStatus
 from ..vm import CompiledProgram, SnapshotStore
+from ..vm.worldcache import WorldCache
 
 
 @dataclass
@@ -44,7 +47,14 @@ class GoldenProfile:
 
 
 class PreparedApp:
-    """A compiled app + its golden profile, ready for injection trials."""
+    """A compiled app + its golden profile, ready for injection trials.
+
+    When ``artifact_dir`` is given (or REPRO_ARTIFACT_DIR is set), the
+    golden profile and snapshot store are loaded from the shared
+    content-addressed artifact when one exists — skipping the golden
+    run — and saved there after profiling otherwise, so sibling
+    workers, respawned workers, and later campaigns reuse them.
+    """
 
     def __init__(
         self,
@@ -54,28 +64,87 @@ class PreparedApp:
         snapshot_stride: Optional[int] = None,
         snapshot_limit: Optional[int] = None,
         fuse: Optional[bool] = None,
+        artifact_dir: Union[str, Path, None] = None,
     ) -> None:
+        from . import artifacts  # lazy: artifacts imports GoldenProfile
+
         if mode not in ("blackbox", "fpm", "taint"):
             raise CampaignError(f"unknown mode {mode!r}")
         self.spec = spec
         self.mode = mode
         self.config: RunConfig = spec.config
+        t0 = time.perf_counter()
         self.program: CompiledProgram = build_program(
             spec.source, mode, name=spec.name, config=spec.config, fuse=fuse
         )
         store = SnapshotStore(snapshot_stride, snapshot_limit)
-        #: world snapshots captured during the golden run (None = disabled);
-        #: shared copy-on-write with forked pool workers via the prepared
-        #: cache — never pickled
-        self.snapshots: Optional[SnapshotStore] = (
-            store if store.enabled else None
+        #: (directory, key) of the backing artifact, or None
+        self.artifact_ref: Optional[Tuple[Path, str]] = None
+        #: True when the golden state came from disk instead of profiling
+        self.from_artifact = False
+        directory = artifacts.default_artifact_dir(artifact_dir)
+        art = None
+        if directory is not None:
+            key = artifacts.artifact_key(spec, mode, store.stride, store.limit)
+            self.artifact_ref = (directory, key)
+            art = artifacts.load_artifact(directory, key)
+        if art is not None:
+            self.golden: GoldenProfile = art.golden
+            self.snapshots: Optional[SnapshotStore] = art.snapshot_store()
+            self.from_artifact = True
+        else:
+            #: world snapshots captured during the golden run (None =
+            #: disabled); shared copy-on-write with forked pool workers
+            #: via the prepared cache
+            self.snapshots = store if store.enabled else None
+            self.golden = profile_golden(
+                self.program, spec, mode, snapshots=self.snapshots
+            )
+            if self.artifact_ref is not None:
+                try:
+                    artifacts.save_artifact(
+                        *self.artifact_ref, self.golden, self.snapshots
+                    )
+                except OSError as exc:
+                    import warnings
+
+                    warnings.warn(
+                        f"could not save golden artifact: {exc}",
+                        stacklevel=2,
+                    )
+                    self.artifact_ref = None
+        #: warm-world clone cache for batched fast-forward trials
+        self.world_cache: Optional[WorldCache] = (
+            WorldCache() if self.snapshots is not None else None
         )
-        self.golden = profile_golden(
-            self.program, spec, mode, snapshots=self.snapshots
-        )
+        #: wall seconds spent preparing (compile + profile or artifact
+        #: load) — reported once as the artifact-load stage timing
+        self.prepare_s = time.perf_counter() - t0
 
     def run_config(self) -> RunConfig:
         return self.config.with_(max_cycles=self.golden.max_cycles)
+
+    # ------------------------------------------------------------------
+    # Persisted verification marker (see repro.inject.artifacts)
+    # ------------------------------------------------------------------
+    def artifact_verified(self) -> bool:
+        """Did any process persist a verification for our artifact?"""
+        from . import artifacts
+
+        if self.artifact_ref is None:
+            return False
+        return artifacts.is_verified(*self.artifact_ref)
+
+    def mark_artifact_verified(self) -> None:
+        """Persist a successful equivalence verification (best effort)."""
+        from . import artifacts
+
+        if self.artifact_ref is None:
+            return
+        try:
+            artifacts.mark_verified(*self.artifact_ref)
+        except OSError:  # pragma: no cover - marker is an optimisation
+            pass
 
 
 def profile_golden(

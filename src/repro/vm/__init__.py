@@ -32,6 +32,7 @@ from .ops import wrap_i64
 from .rng import Lcg64
 from .snapshot import SnapshotStore, WorldSnapshot, restore_world
 from .traps import Trap, TrapKind
+from .worldcache import WorldCache
 
 __all__ = [
     "BLOCK", "CompiledFunction", "CompiledProgram", "FaultSpec", "Frame",
@@ -40,5 +41,5 @@ __all__ = [
     "SnapshotStore", "Trap", "TrapKind", "WorldSnapshot", "bits_to_float",
     "compile_program", "flip_bit", "flip_float_bit", "flip_int_bit",
     "float_to_bits", "get_intrinsic", "is_intrinsic", "restore_world",
-    "to_signed64", "to_unsigned64", "wrap_i64",
+    "to_signed64", "to_unsigned64", "wrap_i64", "WorldCache",
 ]

@@ -196,3 +196,35 @@ class ProcessMemory:
         self.heap_blocks = blocks
         self.free_lists = {size: list(b) for size, b in free_lists.items()}
         self.live_words = live_words
+
+    # ------------------------------------------------------------------
+    # Warm-world clone support
+    # ------------------------------------------------------------------
+    def dense_state(self) -> tuple:
+        """Materialized template of the current memory for fast cloning.
+
+        Unlike :meth:`snapshot_state` (sparse — proportional to live
+        state, meant for long-lived stores), the dense form trades space
+        for clone speed: restoring it is two bulk copies instead of a
+        zero-fill plus per-region reconstruction.
+        """
+        return (
+            self.sp,
+            self.hp,
+            list(self.cells),
+            bytes(self.valid),
+            dict(self.heap_blocks),
+            {size: list(bucket) for size, bucket in self.free_lists.items()},
+            self.live_words,
+        )
+
+    def restore_dense(self, state: tuple) -> None:
+        """Reset to a template captured by :meth:`dense_state`."""
+        sp, hp, cells, valid, blocks, free_lists, live_words = state
+        self.cells = list(cells)
+        self.valid = bytearray(valid)
+        self.sp = sp
+        self.hp = hp
+        self.heap_blocks = dict(blocks)
+        self.free_lists = {size: list(b) for size, b in free_lists.items()}
+        self.live_words = live_words

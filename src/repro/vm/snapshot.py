@@ -161,8 +161,15 @@ def _capture_machine(m: Machine) -> _MachineState:
     )
 
 
-def _restore_machine(m: Machine, st: _MachineState) -> None:
-    m.memory.restore_state(st.memory)
+def _restore_machine(m: Machine, st: _MachineState,
+                     dense_memory: Optional[tuple] = None) -> None:
+    if dense_memory is not None:
+        # warm-world clone: the dense template was materialized from a
+        # cold restore of this same snapshot, so the two paths are
+        # observationally identical (see repro.vm.worldcache)
+        m.memory.restore_dense(dense_memory)
+    else:
+        m.memory.restore_state(st.memory)
     if st.fpm is not None:
         if m.fpm is None:  # pragma: no cover - program modes must match
             raise SnapshotError("snapshot has FPM state but machine has none")
@@ -279,6 +286,19 @@ class SnapshotStore:
         violation.  Returns None (a miss) when no snapshot qualifies or
         a fault targets a rank outside the snapshot's world.
         """
+        best = self.probe(faults)
+        if best is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return best
+
+    def probe(self, faults: Sequence) -> Optional[WorldSnapshot]:
+        """Like :meth:`best_for` but without touching the hit/miss stats.
+
+        Used by the campaign scheduler to *plan* snapshot-locality
+        batches without distorting the per-trial accounting.
+        """
         best: Optional[WorldSnapshot] = None
         if self._snaps and faults:
             for snap in self._snaps.values():
@@ -292,10 +312,6 @@ class SnapshotStore:
                 if not ok:
                     break
                 best = snap
-        if best is None:
-            self.misses += 1
-        else:
-            self.hits += 1
         return best
 
     def stats(self) -> Dict[str, int]:
@@ -307,22 +323,66 @@ class SnapshotStore:
             "misses": self.misses,
         }
 
+    # ------------------------------------------------------------------
+    # Golden-artifact support
+    # ------------------------------------------------------------------
+    def dump_state(self) -> tuple:
+        """Serializable form of a frozen store (plain data, picklable).
+
+        Snapshots reference compiled functions by *name* only, so a
+        dumped store can be re-attached to any program compiled from the
+        same source (:mod:`repro.inject.artifacts` guarantees that by
+        content-addressing on the source).
+        """
+        return (
+            self.stride,
+            self.limit,
+            tuple(self._snaps.items()),
+            self.captures,
+        )
+
+    @classmethod
+    def load_state(cls, state: tuple) -> "SnapshotStore":
+        """Rebuild a frozen store dumped by :meth:`dump_state`.
+
+        The loaded store is frozen (no further captures) and unverified:
+        the first fast-forwarded trial per process re-establishes the
+        equivalence guarantee under ``REPRO_SNAPSHOT_VERIFY=first``
+        unless the owning artifact carries a verification marker.
+        """
+        stride, limit, snaps, captures = state
+        store = cls(stride, limit)
+        store._snaps = OrderedDict(snaps)
+        store._next_at = (max(store._snaps) if store._snaps else 0) + stride
+        store._capturing = False
+        store.captures = captures
+        return store
+
 
 def restore_world(snap: WorldSnapshot, machines: Sequence[Machine],
-                  runtime) -> Tuple[int, Optional[PropagationTrace]]:
+                  runtime, dense_memory: Optional[Sequence[tuple]] = None,
+                  ) -> Tuple[int, Optional[PropagationTrace]]:
     """Restore a snapshot into freshly constructed machines + runtime.
 
     Returns ``(start_epoch, trace)`` for the scheduler: the epoch count
     resumes where the golden run stood and the trace is pre-filled with
     the golden prefix so CML(t) curves are bit-identical to cold runs.
+
+    ``dense_memory`` optionally supplies per-rank dense memory templates
+    (see :class:`repro.vm.worldcache.WorldCache`) that replace the
+    sparse memory reconstruction with bulk copies.
     """
     if len(machines) != len(snap.machines):
         raise SnapshotError(
             f"snapshot has {len(snap.machines)} ranks, job has "
             f"{len(machines)}"
         )
-    for m, st in zip(machines, snap.machines):
-        _restore_machine(m, st)
+    if dense_memory is None:
+        for m, st in zip(machines, snap.machines):
+            _restore_machine(m, st)
+    else:
+        for m, st, dense in zip(machines, snap.machines, dense_memory):
+            _restore_machine(m, st, dense)
     runtime.restore_state(snap.runtime)
     trace: Optional[PropagationTrace] = None
     if snap.trace is not None:

@@ -1,0 +1,112 @@
+"""Warm-world cache: amortized snapshot restores for batched trials.
+
+Snapshot fast-forward (:mod:`repro.vm.snapshot`) rebuilds every rank's
+memory from the sparse snapshot encoding on *each* trial — a zero-fill
+of the full address space plus per-region reconstruction.  When the
+campaign scheduler batches trials by their nearest-preceding snapshot,
+consecutive trials on a worker restore the *same* snapshot, so that
+reconstruction is pure waste after the first time.
+
+The cache keeps, per snapshot cycle, a dense per-rank memory template
+(cells list + validity bytes) materialized right after the first cold
+restore — i.e. the exact observable state `restore_state` would
+produce.  Later trials on the same snapshot clone the template with two
+bulk copies instead of re-running the sparse reconstruction.  All other
+world state (frames, registers, shadow tables, RNG, MPI runtime, trace
+prefix) still restores through the one shared code path, so a warm
+clone is bit-identical to a cold restore by construction — and the
+equivalence suite asserts it.
+
+The template store is bounded (``REPRO_WORLD_CACHE`` worlds, default 4)
+and per-process: forked pool workers each warm their own cache, which
+is exactly what snapshot-locality batching optimises for.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import warnings
+from collections import OrderedDict
+from typing import Dict, Optional, Sequence, Tuple
+
+from .snapshot import WorldSnapshot, restore_world
+
+#: default number of materialized worlds retained per process
+DEFAULT_WORLDS = 4
+
+
+def default_world_cache_limit(requested: Optional[int] = None) -> int:
+    """Worlds retained: argument, else REPRO_WORLD_CACHE, else 4.
+
+    ``0`` disables warm cloning entirely (every restore is cold).
+    """
+    if requested is not None:
+        return max(0, int(requested))
+    raw = os.environ.get("REPRO_WORLD_CACHE", "").strip()
+    if not raw:
+        return DEFAULT_WORLDS
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        warnings.warn(
+            f"ignoring non-integer REPRO_WORLD_CACHE={raw!r}; "
+            f"using {DEFAULT_WORLDS}",
+            stacklevel=2,
+        )
+        return DEFAULT_WORLDS
+
+
+class WorldCache:
+    """Bounded per-process cache of materialized restored worlds."""
+
+    def __init__(self, limit: Optional[int] = None) -> None:
+        self.limit = default_world_cache_limit(limit)
+        #: snapshot cycle -> per-rank dense memory templates
+        self._worlds: "OrderedDict[int, Tuple[tuple, ...]]" = OrderedDict()
+        self.cold_restores = 0
+        self.warm_clones = 0
+        #: cumulative seconds spent in each path (stage-timing counters)
+        self.restore_s = 0.0
+        self.clone_s = 0.0
+
+    def __len__(self) -> int:
+        return len(self._worlds)
+
+    def restore(self, snap: WorldSnapshot, machines: Sequence,
+                runtime) -> tuple:
+        """Restore ``snap`` into the job, cloning a warm world if cached.
+
+        Same contract as :func:`repro.vm.snapshot.restore_world`:
+        returns ``(start_epoch, trace)``.
+        """
+        warm = self._worlds.get(snap.cycle) if self.limit > 0 else None
+        t0 = time.perf_counter()
+        if warm is not None:
+            out = restore_world(snap, machines, runtime, dense_memory=warm)
+            self._worlds.move_to_end(snap.cycle)
+            self.warm_clones += 1
+            self.clone_s += time.perf_counter() - t0
+            return out
+        out = restore_world(snap, machines, runtime)
+        self.cold_restores += 1
+        if self.limit > 0:
+            # Materialize the template *before* any execution mutates the
+            # machines: this is the exact observable state a cold restore
+            # produces, which is what makes clones bit-identical.
+            self._worlds[snap.cycle] = tuple(
+                m.memory.dense_state() for m in machines
+            )
+            while len(self._worlds) > self.limit:
+                self._worlds.popitem(last=False)
+        self.restore_s += time.perf_counter() - t0
+        return out
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "worlds": len(self._worlds),
+            "cold_restores": self.cold_restores,
+            "warm_clones": self.warm_clones,
+            "restore_s": round(self.restore_s, 6),
+            "clone_s": round(self.clone_s, 6),
+        }

@@ -1,0 +1,135 @@
+"""Address-bound early exits of the shadow/taint tables.
+
+``purge_range`` runs on every function return and heap free, and
+``contaminated_in``/``tainted_in`` run on every MPI send — almost always
+against a clean or disjoint table.  The tables keep conservative
+``[_lo, _hi)`` address bounds so those calls exit without touching the
+dict.  These tests pin the bounds invariant and exercise *both* branch
+shapes of each probe (range-probe vs table-scan), which the early exits
+must never change.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fpm import ShadowTable, TaintTable
+
+
+def _filled(cls, addrs):
+    t = cls()
+    for a in addrs:
+        t.record(a, float(a), cycle=1)
+    return t
+
+
+class TestBoundsInvariant:
+    def test_empty_table_has_empty_bounds(self):
+        t = ShadowTable()
+        assert (t._lo, t._hi) == (0, 0)
+
+    def test_bounds_cover_all_entries(self):
+        t = _filled(ShadowTable, [50, 10, 99, 60])
+        assert t._lo <= 10 and t._hi >= 100
+        for a in t.table:
+            assert t._lo <= a < t._hi
+
+    def test_bounds_reset_after_empty_then_record(self):
+        t = _filled(ShadowTable, [1000])
+        t.heal(1000)
+        assert len(t) == 0
+        t.record(5, 0.0)
+        # bounds must re-anchor at the new entry, not keep [1000, 1001)
+        assert (t._lo, t._hi) == (5, 6)
+
+    def test_restore_state_recomputes_bounds(self):
+        t = _filled(ShadowTable, [200, 300])
+        state = t.snapshot_state()
+        other = _filled(ShadowTable, [7])
+        other.restore_state(state)
+        assert (other._lo, other._hi) == (200, 301)
+
+    def test_taint_restore_recomputes_bounds(self):
+        t = _filled(TaintTable, [40, 90])
+        state = t.snapshot_state()
+        other = TaintTable()
+        other.restore_state(state)
+        assert (other._lo, other._hi) == (40, 91)
+
+
+class TestPurgeRange:
+    def test_empty_table_early_exit(self):
+        t = ShadowTable()
+        assert t.purge_range(0, 10 ** 6) == 0
+
+    def test_disjoint_range_early_exit(self):
+        t = _filled(ShadowTable, [500, 510])
+        assert t.purge_range(0, 500) == 0
+        assert t.purge_range(511, 10 ** 6) == 0
+        assert len(t) == 2
+
+    def test_narrow_range_probe_branch(self):
+        # range narrower than the table -> per-address probing
+        t = _filled(ShadowTable, list(range(100, 120)))
+        assert t.purge_range(105, 107) == 2
+        assert 105 not in t and 106 not in t and 107 in t
+
+    def test_wide_range_scan_branch(self):
+        # range wider than the table -> full table scan
+        t = _filled(ShadowTable, [100, 5000])
+        assert t.purge_range(0, 10 ** 6) == 2
+        assert len(t) == 0
+
+    @given(
+        addrs=st.sets(st.integers(0, 200), max_size=30),
+        lo=st.integers(0, 220),
+        span=st.integers(0, 220),
+    )
+    def test_purge_matches_naive_model(self, addrs, lo, span):
+        hi = lo + span
+        t = _filled(ShadowTable, sorted(addrs))
+        expected = {a for a in addrs if lo <= a < hi}
+        assert t.purge_range(lo, hi) == len(expected)
+        assert set(t.table) == addrs - expected
+
+
+class TestContaminatedIn:
+    def test_empty_table_early_exit(self):
+        assert ShadowTable().contaminated_in(0, 10 ** 6) == []
+        assert not TaintTable().tainted_in(0, 10 ** 6)
+
+    def test_disjoint_buffer_early_exit(self):
+        t = _filled(ShadowTable, [500])
+        assert t.contaminated_in(0, 500) == []
+        assert t.contaminated_in(501, 10) == []
+        tt = _filled(TaintTable, [500])
+        assert not tt.tainted_in(0, 500)
+        assert not tt.tainted_in(501, 10)
+
+    def test_small_table_scan_branch(self):
+        # table smaller than the buffer -> iterate the table
+        t = _filled(ShadowTable, [10, 11, 300])
+        assert t.contaminated_in(8, 100) == [(2, 10.0), (3, 11.0)]
+        tt = _filled(TaintTable, [10, 300])
+        assert tt.tainted_in(8, 100)
+
+    def test_large_table_probe_branch(self):
+        # table at least as large as the buffer -> probe each offset
+        t = _filled(ShadowTable, list(range(50, 60)))
+        assert t.contaminated_in(49, 3) == [(1, 50.0), (2, 51.0)]
+        tt = _filled(TaintTable, list(range(50, 60)))
+        assert tt.tainted_in(49, 3)
+        assert not tt.tainted_in(40, 3)
+
+    @given(
+        addrs=st.sets(st.integers(0, 120), max_size=25),
+        addr=st.integers(0, 130),
+        count=st.integers(0, 130),
+    )
+    def test_both_shapes_match_naive_model(self, addrs, addr, count):
+        t = _filled(ShadowTable, sorted(addrs))
+        expected = sorted(
+            (a - addr, float(a)) for a in addrs if addr <= a < addr + count
+        )
+        assert t.contaminated_in(addr, count) == expected
+        tt = _filled(TaintTable, sorted(addrs))
+        assert tt.tainted_in(addr, count) == bool(expected)

@@ -1,0 +1,187 @@
+"""Shared golden artifacts: round-trip, rejection, and campaign identity.
+
+The artifact store must never be able to change campaign results: a good
+artifact reproduces the exact golden profile + snapshot store, and a bad
+one (corrupt, truncated, stale schema) is rejected with a warning and
+the campaign silently re-profiles.
+"""
+
+import json
+
+import pytest
+
+from repro.apps import get_app
+from repro.errors import ArtifactError
+from repro.inject import PreparedApp, run_campaign, trial_results_equal
+from repro.inject import artifacts
+from repro.inject import campaign as campaign_mod
+from repro.inject.engine import resume_campaign
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache(monkeypatch):
+    monkeypatch.setattr(campaign_mod, "_PREPARED_CACHE",
+                        type(campaign_mod._PREPARED_CACHE)())
+
+
+class TestKeyAndRoundTrip:
+    def test_key_is_stable_and_content_sensitive(self):
+        spec = get_app("matvec")
+        k1 = artifacts.artifact_key(spec, "fpm", 150, 32)
+        assert k1 == artifacts.artifact_key(spec, "fpm", 150, 32)
+        assert k1 != artifacts.artifact_key(spec, "blackbox", 150, 32)
+        assert k1 != artifacts.artifact_key(spec, "fpm", 151, 32)
+        other = get_app("amg")
+        assert k1 != artifacts.artifact_key(other, "fpm", 150, 32)
+
+    def test_save_then_load_round_trips(self, tmp_path):
+        pa = PreparedApp(get_app("matvec"), "fpm", snapshot_stride=150,
+                         artifact_dir=tmp_path)
+        assert not pa.from_artifact
+        directory, key = pa.artifact_ref
+        assert artifacts.artifact_path(directory, key).exists()
+
+        art = artifacts.load_artifact_strict(directory, key)
+        g = art.golden
+        assert g.cycles == pa.golden.cycles
+        assert g.outputs == pa.golden.outputs
+        assert list(g.inj_counts) == list(pa.golden.inj_counts)
+        store = art.snapshot_store()
+        assert len(store) == len(pa.snapshots)
+        assert list(store._snaps) == list(pa.snapshots._snaps)
+        assert not store._capturing
+
+    def test_second_prepare_loads_instead_of_profiling(self, tmp_path,
+                                                       monkeypatch):
+        PreparedApp(get_app("matvec"), "fpm", snapshot_stride=150,
+                    artifact_dir=tmp_path)
+
+        def boom(*a, **k):  # profiling again would be the bug
+            raise AssertionError("golden re-profiled despite artifact")
+
+        monkeypatch.setattr("repro.inject.profiler.profile_golden", boom)
+        pa2 = PreparedApp(get_app("matvec"), "fpm", snapshot_stride=150,
+                          artifact_dir=tmp_path)
+        assert pa2.from_artifact
+        assert pa2.snapshots is not None and len(pa2.snapshots) > 0
+
+    def test_env_var_enables_store(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path))
+        pa = PreparedApp(get_app("matvec"), "blackbox", snapshot_stride=150)
+        assert pa.artifact_ref is not None
+        assert artifacts.artifact_path(*pa.artifact_ref).exists()
+
+    def test_disabled_without_dir(self):
+        pa = PreparedApp(get_app("matvec"), "blackbox", snapshot_stride=150)
+        assert pa.artifact_ref is None
+        assert not pa.from_artifact
+
+
+class TestRejection:
+    def _make(self, tmp_path):
+        pa = PreparedApp(get_app("matvec"), "blackbox", snapshot_stride=150,
+                         artifact_dir=tmp_path)
+        return pa.artifact_ref
+
+    def test_integrity_hash_mismatch_rejected(self, tmp_path):
+        directory, key = self._make(tmp_path)
+        path = artifacts.artifact_path(directory, key)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF  # flip a payload bit
+        path.write_bytes(bytes(blob))
+        with pytest.raises(ArtifactError, match="integrity hash mismatch"):
+            artifacts.load_artifact_strict(directory, key)
+        with pytest.warns(UserWarning, match="integrity hash mismatch"):
+            assert artifacts.load_artifact(directory, key) is None
+
+    def test_stale_schema_rejected(self, tmp_path):
+        directory, key = self._make(tmp_path)
+        path = artifacts.artifact_path(directory, key)
+        blob = path.read_bytes()
+        newline = blob.find(b"\n")
+        header = json.loads(blob[:newline])
+        header["schema"] = artifacts.SCHEMA_VERSION + 1
+        path.write_bytes(json.dumps(header).encode() + blob[newline:])
+        with pytest.raises(ArtifactError, match="stale artifact schema"):
+            artifacts.load_artifact_strict(directory, key)
+
+    def test_truncated_and_malformed_rejected(self, tmp_path):
+        directory, key = self._make(tmp_path)
+        path = artifacts.artifact_path(directory, key)
+        path.write_bytes(b"no newline header")
+        with pytest.raises(ArtifactError, match="truncated"):
+            artifacts.load_artifact_strict(directory, key)
+        path.write_bytes(b"{not json\n\x00\x01")
+        with pytest.raises(ArtifactError, match="malformed"):
+            artifacts.load_artifact_strict(directory, key)
+
+    def test_missing_is_soft_none(self, tmp_path):
+        assert artifacts.load_artifact(tmp_path, "0" * 40) is None
+
+    def test_bad_artifact_falls_back_to_reprofiling(self, tmp_path):
+        directory, key = self._make(tmp_path)
+        path = artifacts.artifact_path(directory, key)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        campaign_mod._PREPARED_CACHE.clear()
+        with pytest.warns(UserWarning, match="ignoring golden artifact"):
+            pa = PreparedApp(get_app("matvec"), "blackbox",
+                             snapshot_stride=150, artifact_dir=tmp_path)
+        assert not pa.from_artifact          # re-profiled
+        assert pa.golden.cycles > 0
+        # and the good artifact was re-written over the corrupt one
+        assert artifacts.load_artifact(directory, key) is not None
+
+
+class TestVerificationMarker:
+    def test_mark_and_check(self, tmp_path):
+        assert not artifacts.is_verified(tmp_path, "k" * 40)
+        artifacts.mark_verified(tmp_path, "k" * 40)
+        assert artifacts.is_verified(tmp_path, "k" * 40)
+        artifacts.mark_verified(tmp_path, "k" * 40)  # idempotent
+
+    def test_verified_flag_propagates_to_loaded_store(self, tmp_path):
+        pa = PreparedApp(get_app("matvec"), "fpm", snapshot_stride=150,
+                         artifact_dir=tmp_path)
+        artifacts.mark_verified(*pa.artifact_ref)
+        art = artifacts.load_artifact_strict(*pa.artifact_ref)
+        assert art.verified
+        assert art.snapshot_store().verified
+
+
+@pytest.mark.parametrize("mode", ["blackbox", "fpm"])
+def test_campaign_with_artifacts_is_bit_identical(tmp_path, mode):
+    """The acceptance criterion: artifacts on vs off, identical trials."""
+    base = run_campaign("matvec", trials=16, mode=mode, seed=31,
+                        keep_series=True, snapshot_stride=150)
+    campaign_mod._PREPARED_CACHE.clear()
+    # first artifact campaign profiles + saves; second loads from disk
+    run_campaign("matvec", trials=16, mode=mode, seed=31,
+                 keep_series=True, snapshot_stride=150,
+                 artifact_dir=str(tmp_path))
+    campaign_mod._PREPARED_CACHE.clear()
+    warmed = run_campaign("matvec", trials=16, mode=mode, seed=31,
+                          keep_series=True, snapshot_stride=150,
+                          artifact_dir=str(tmp_path))
+    for a, b in zip(base.trials, warmed.trials):
+        assert trial_results_equal(a, b)
+
+
+def test_resume_reuses_journaled_artifact_dir(tmp_path):
+    journal = tmp_path / "c.jsonl"
+    art = tmp_path / "artifacts"
+    full = run_campaign("matvec", trials=8, mode="blackbox", seed=12,
+                        journal=str(journal), snapshot_stride=150,
+                        artifact_dir=str(art))
+    header = json.loads(journal.read_text().splitlines()[0])
+    assert header["artifact_dir"] == str(art)
+    lines = journal.read_text().splitlines()
+    journal.write_text("\n".join(lines[:4]) + "\n")
+    campaign_mod._PREPARED_CACHE.clear()
+    resumed = resume_campaign(journal)
+    assert [t.outcome for t in resumed.trials] == \
+        [t.outcome for t in full.trials]
+    # the resumed run loaded the artifact rather than re-profiling
+    key = (("matvec", (), "blackbox", 150))
+    assert campaign_mod._PREPARED_CACHE[key].from_artifact

@@ -1,0 +1,190 @@
+"""Warm-world cache: cloned restores are bit-identical to cold restores.
+
+The cache's entire correctness argument is that a dense template
+materialized right after a cold restore reproduces the exact observable
+memory state, so a later clone differs from a cold restore in wall time
+only.  These tests assert that at the job level — single-rank and
+multi-rank with machines blocked mid-collective — and pin the LRU
+bounds and counters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import get_app
+from repro.apps.registry import AppSpec
+from repro.core.config import RunConfig
+from repro.core.runner import run_job
+from repro.inject import PreparedApp
+from repro.inject.plan import draw_plan
+from repro.vm import WorldCache
+from repro.vm.memory import ProcessMemory
+from repro.vm.worldcache import default_world_cache_limit
+
+
+MIDCOLL_SRC = """
+// Rank-skewed work before a collective, so a cycle-stride snapshot
+// catches fast ranks blocked inside mpi_allreduce.
+func main(rank: int, size: int) {
+    var acc: int[1];
+    var out: int[1];
+    var total: int = 0;
+    for (var round: int = 0; round < 4; round += 1) {
+        var s: int = 0;
+        for (var i: int = 0; i < 40 + rank * 120; i += 1) {
+            s += (i * (rank + 3)) % 17;
+        }
+        acc[0] = s;
+        mpi_allreduce(&acc[0], &out[0], 1, 0);
+        total += out[0];
+        mark_iteration();
+    }
+    emiti(total);
+}
+"""
+
+
+def _midcoll_spec():
+    return AppSpec(
+        name="midcoll_wc",
+        source=MIDCOLL_SRC,
+        config=RunConfig(nranks=4, quantum=64),
+        description="rank-skewed allreduce for mid-collective snapshots",
+    )
+
+
+def _job_equal(a, b):
+    assert a.status == b.status
+    assert a.cycles == b.cycles
+    assert a.rank_cycles == b.rank_cycles
+    assert a.outputs == b.outputs
+    assert a.inj_counts == b.inj_counts
+    assert str(a.trap) == str(b.trap)
+    if a.trace is not None or b.trace is not None:
+        assert a.trace.times == b.trace.times
+        assert a.trace.cml_per_rank == b.trace.cml_per_rank
+        assert a.trace.first_contamination == b.trace.first_contamination
+
+
+class TestDenseState:
+    def test_round_trip_is_exact(self):
+        mem = ProcessMemory(capacity=64, stack_words=16)
+        a = mem.stack_alloc(4)
+        mem.store(a, 3.5)
+        mem.store(a + 1, -7)
+        b = mem.malloc(3)
+        mem.store(b, 11)
+        state = mem.dense_state()
+        other = ProcessMemory(capacity=64, stack_words=16)
+        other.restore_dense(state)
+        assert other.cells == mem.cells
+        assert other.valid == mem.valid
+        assert other.sp == mem.sp and other.hp == mem.hp
+        assert other.heap_blocks == mem.heap_blocks
+        assert other.live_words == mem.live_words
+
+    def test_template_is_isolated_from_later_mutation(self):
+        mem = ProcessMemory(capacity=64, stack_words=16)
+        a = mem.stack_alloc(2)
+        mem.store(a, 1.0)
+        state = mem.dense_state()
+        mem.store(a, 99.0)
+        other = ProcessMemory(capacity=64, stack_words=16)
+        other.restore_dense(state)
+        assert other.load(a) == 1.0
+
+
+@pytest.mark.parametrize("mode", ["blackbox", "fpm", "taint"])
+def test_warm_clone_bit_identical_single_rank(mode):
+    pa = PreparedApp(get_app("matvec"), mode, snapshot_stride=150)
+    rng = np.random.default_rng(21)
+    config = pa.run_config()
+    cache = WorldCache()
+    warm_exercised = 0
+    for _ in range(12):
+        faults = draw_plan(rng, pa.golden.inj_counts, 1)
+        seed = int(rng.integers(2 ** 31))
+        snap = pa.snapshots.best_for(faults)
+        if snap is None:
+            continue
+        if snap.cycle in cache._worlds:
+            warm_exercised += 1
+        cold = run_job(pa.program, config, faults, inj_seed=seed,
+                       restore_from=snap)
+        warm = run_job(pa.program, config, faults, inj_seed=seed,
+                       restore_from=snap, world_cache=cache)
+        _job_equal(cold, warm)
+    assert warm_exercised > 0, "no trial ever hit a warm world"
+    assert cache.warm_clones == warm_exercised
+
+
+@pytest.mark.parametrize("mode", ["blackbox", "fpm"])
+def test_warm_clone_bit_identical_multirank_mid_collective(mode):
+    pa = PreparedApp(_midcoll_spec(), mode, snapshot_stride=40)
+    blocked = [
+        st for snap in pa.snapshots._snaps.values()
+        for st in snap.machines if st.pending is not None
+    ]
+    assert blocked, "stride must catch a rank blocked in MPI"
+    rng = np.random.default_rng(3)
+    config = pa.run_config()
+    cache = WorldCache()
+    hits = 0
+    for _ in range(10):
+        faults = draw_plan(rng, pa.golden.inj_counts, 1)
+        seed = int(rng.integers(2 ** 31))
+        snap = pa.snapshots.best_for(faults)
+        if snap is None:
+            continue
+        hits += 1
+        cold = run_job(pa.program, config, faults, inj_seed=seed,
+                       restore_from=snap)
+        # restore the same snapshot twice through the cache so the
+        # second pass exercises the clone path
+        run_job(pa.program, config, faults, inj_seed=seed,
+                restore_from=snap, world_cache=cache)
+        warm = run_job(pa.program, config, faults, inj_seed=seed,
+                       restore_from=snap, world_cache=cache)
+        _job_equal(cold, warm)
+    assert hits > 0
+    assert cache.warm_clones > 0
+
+
+class TestCacheBounds:
+    def test_lru_eviction_keeps_limit(self):
+        pa = PreparedApp(get_app("matvec"), "blackbox", snapshot_stride=150)
+        snaps = list(pa.snapshots._snaps.values())
+        assert len(snaps) >= 3
+        cache = WorldCache(limit=2)
+        config = pa.run_config()
+        for snap in snaps[:3]:
+            run_job(pa.program, config, restore_from=snap,
+                    world_cache=cache)
+        assert len(cache) == 2
+        # the oldest world was evicted
+        assert snaps[0].cycle not in cache._worlds
+        assert cache.cold_restores == 3
+
+    def test_zero_limit_disables_cloning(self):
+        pa = PreparedApp(get_app("matvec"), "blackbox", snapshot_stride=150)
+        snap = next(iter(pa.snapshots._snaps.values()))
+        cache = WorldCache(limit=0)
+        config = pa.run_config()
+        run_job(pa.program, config, restore_from=snap, world_cache=cache)
+        run_job(pa.program, config, restore_from=snap, world_cache=cache)
+        assert cache.warm_clones == 0
+        assert cache.cold_restores == 2
+        assert len(cache) == 0
+
+    def test_stats_shape(self):
+        cache = WorldCache(limit=3)
+        s = cache.stats()
+        assert set(s) == {"worlds", "cold_restores", "warm_clones",
+                          "restore_s", "clone_s"}
+
+    def test_env_limit(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORLD_CACHE", "7")
+        assert default_world_cache_limit() == 7
+        monkeypatch.setenv("REPRO_WORLD_CACHE", "junk")
+        with pytest.warns(UserWarning, match="REPRO_WORLD_CACHE"):
+            assert default_world_cache_limit() == 4
