@@ -1,0 +1,105 @@
+"""Cost of the observability layer on a traced campaign.
+
+Runs the same campaign unobserved and fully observed (trace + metrics +
+live CML streams) and compares wall time.  Two gates:
+
+* **equivalence** — every observed trial must be bit-identical to its
+  unobserved counterpart (the layer's core contract);
+* **overhead** — the best-of-reps traced wall time must stay within
+  10% of the unobserved one (the no-op-emitter design target).
+
+Results land in ``benchmarks/results/BENCH_obs_overhead.json``.  Scale
+with REPRO_BENCH_APP / REPRO_BENCH_TRIALS / REPRO_BENCH_REPS.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.inject.campaign import _env_int, run_campaign, trial_results_equal
+from repro.obs import ObserveConfig, parse_prometheus, read_trace
+
+from conftest import SEED
+
+#: gating ceiling on (traced - plain) / plain, best-of-reps
+MAX_OVERHEAD = 0.10
+
+
+def _bench_app() -> str:
+    return os.environ.get("REPRO_BENCH_APP", "amg")
+
+
+def _bench_trials() -> int:
+    return _env_int("REPRO_BENCH_TRIALS", 40)
+
+
+def _bench_reps() -> int:
+    return _env_int("REPRO_BENCH_REPS", 3)
+
+
+def _run(app: str, n: int, observe=None):
+    t0 = time.perf_counter()
+    result = run_campaign(app, trials=n, mode="fpm", seed=SEED,
+                          workers=1, observe=observe)
+    return time.perf_counter() - t0, result
+
+
+def test_perf_obs_overhead(results_dir, tmp_path):
+    app = _bench_app()
+    n = _bench_trials()
+    reps = _bench_reps()
+
+    # warm-up: golden profiling + snapshot capture happen once and are
+    # cached, so neither measured configuration pays them
+    _run(app, n)
+
+    plain_walls, obs_walls = [], []
+    plain_result = obs_result = None
+    for rep in range(reps):
+        wall, plain_result = _run(app, n)
+        plain_walls.append(wall)
+        cfg = ObserveConfig(
+            trace=str(tmp_path / f"trace-{rep}.jsonl"),
+            metrics_out=str(tmp_path / f"metrics-{rep}.prom"),
+        )
+        wall, obs_result = _run(app, n, observe=cfg)
+        obs_walls.append(wall)
+
+    # equivalence gate: observation changed nothing
+    for i, (a, b) in enumerate(zip(plain_result.trials, obs_result.trials)):
+        assert trial_results_equal(a, b), f"trial {i} diverged under observe"
+
+    # the emitted artifacts are well-formed
+    _, records = read_trace(cfg.trace)
+    assert len(records) >= n
+    samples = parse_prometheus(open(cfg.metrics_out).read())
+    assert sum(samples["repro_trials_total"].values()) == n
+
+    plain_best, obs_best = min(plain_walls), min(obs_walls)
+    overhead = (obs_best - plain_best) / plain_best
+    payload = {
+        "benchmark": "obs_overhead",
+        "app": app,
+        "trials": n,
+        "reps": reps,
+        "seed": SEED,
+        "plain_wall_s": [round(w, 3) for w in plain_walls],
+        "observed_wall_s": [round(w, 3) for w in obs_walls],
+        "plain_best_s": round(plain_best, 3),
+        "observed_best_s": round(obs_best, 3),
+        "overhead_fraction": round(overhead, 4),
+        "max_overhead": MAX_OVERHEAD,
+        "trace_records": len(records),
+        "equivalent": True,  # every pair above passed trial_results_equal
+    }
+    path = results_dir / "BENCH_obs_overhead.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\n=== {path.name} ===\n{json.dumps(payload, indent=2)}\n")
+
+    # overhead gate: tracing must stay in the noise of trial execution
+    assert overhead < MAX_OVERHEAD, (
+        f"traced campaign {overhead:.1%} slower than unobserved "
+        f"(limit {MAX_OVERHEAD:.0%})"
+    )

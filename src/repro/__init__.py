@@ -16,15 +16,18 @@ The package builds the paper's entire stack from scratch in Python:
   campaign driver, outcome classification, and the FPS propagation
   models of Sec. 5.
 
-Entry point: :class:`repro.core.FaultPropagationFramework`.
+Entry points: :class:`repro.Session` (the facade) and
+:class:`repro.core.FaultPropagationFramework` (the full driver).
 """
 
 from .core import FaultPropagationFramework, RunConfig, build_program, run_job
 from .errors import ReproError
+from .api import Session
+from .obs.observer import ObserveConfig
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
-    "FaultPropagationFramework", "ReproError", "RunConfig", "build_program",
-    "run_job", "__version__",
+    "FaultPropagationFramework", "ObserveConfig", "ReproError", "RunConfig",
+    "Session", "build_program", "run_job", "__version__",
 ]

@@ -62,6 +62,10 @@ def _trial_to_dict(t: TrialResult) -> dict:
             "ranks": (t.ranks_series.tolist()
                       if t.ranks_series is not None else None),
         }
+    # the live CML stream round-trips; the in-flight obs payload is
+    # driver transport and is deliberately never exported
+    if t.cml_stream is not None:
+        d["cml_stream"] = t.cml_stream.tolist()
     return d
 
 
@@ -98,6 +102,9 @@ def _trial_from_dict(d: dict) -> TrialResult:
             t.live = np.asarray(series["live"], dtype=np.int64)
         if series.get("ranks") is not None:
             t.ranks_series = np.asarray(series["ranks"], dtype=np.int64)
+    if d.get("cml_stream") is not None:
+        t.cml_stream = np.asarray(
+            d["cml_stream"], dtype=np.int64).reshape(-1, 2)
     return t
 
 
@@ -115,6 +122,7 @@ def campaign_to_json(campaign: CampaignResult) -> str:
         "inj_counts": list(campaign.inj_counts),
         "effective_workers": campaign.effective_workers,
         "health": campaign.health.to_dict() if campaign.health else None,
+        "metrics": campaign.metrics,
         "trials": [_trial_to_dict(t) for t in campaign.trials],
     }
     return json.dumps(payload)
@@ -137,6 +145,7 @@ def campaign_from_json(text: str) -> CampaignResult:
         effective_workers=d.get("effective_workers", 1),
         health=(CampaignHealth.from_dict(d["health"])
                 if d.get("health") else None),
+        metrics=d.get("metrics"),
     )
 
 

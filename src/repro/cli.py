@@ -54,6 +54,38 @@ def _add_campaign_args(p: argparse.ArgumentParser) -> None:
                         "golden profile + snapshots from there instead of "
                         "re-profiling, saving after a miss "
                         "(default REPRO_ARTIFACT_DIR/off)")
+    p.add_argument("--trace", metavar="PATH", default=None,
+                   help="write a schema-versioned JSONL trace of every "
+                        "trial (spans, VM/MPI events, live CML streams)")
+    p.add_argument("--metrics-out", metavar="PATH", default=None,
+                   help="write campaign metrics in Prometheus text format")
+    p.add_argument("--save-json", metavar="PATH",
+                   help="persist the campaign (reload with "
+                        "repro.analysis.load_campaign)")
+    p.add_argument("--save-csv", metavar="PATH",
+                   help="write one row per trial for pandas/R")
+
+
+def _observe_from_args(args):
+    """Build an ObserveConfig from --trace/--metrics-out (None = defer
+    to REPRO_OBS_TRACE / REPRO_OBS_METRICS)."""
+    trace = getattr(args, "trace", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if trace is None and metrics_out is None:
+        return None
+    from .obs import ObserveConfig
+    return ObserveConfig.resolve(True).with_outputs(trace, metrics_out)
+
+
+def _save_results(c, args) -> None:
+    """Shared --save-json/--save-csv handling (campaign/sites/fps)."""
+    if getattr(args, "save_json", None):
+        from .analysis import save_campaign
+        print(f"saved: {save_campaign(c, args.save_json)}")
+    if getattr(args, "save_csv", None):
+        from .analysis import trials_to_csv
+        trials_to_csv(c, args.save_csv)
+        print(f"saved: {args.save_csv}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -82,11 +114,6 @@ def build_parser() -> argparse.ArgumentParser:
                    help="finish an interrupted journaled campaign "
                         "(ignores --trials/--seed; they come from the "
                         "journal header)")
-    p.add_argument("--save-json", metavar="PATH",
-                   help="persist the campaign (reload with "
-                        "repro.analysis.load_campaign)")
-    p.add_argument("--save-csv", metavar="PATH",
-                   help="write one row per trial for pandas/R")
 
     p = sub.add_parser("sites", help="rank code locations by vulnerability")
     _add_campaign_args(p)
@@ -125,11 +152,13 @@ def cmd_golden(args) -> int:
 
 def cmd_campaign(args) -> int:
     fw = FaultPropagationFramework.for_app(args.app)
+    observe = _observe_from_args(args)
     if getattr(args, "resume", None):
         c = fw.resume_campaign(args.resume, workers=args.workers,
                                timeout=args.timeout,
                                max_retries=args.max_retries,
-                               artifact_dir=args.artifact_dir)
+                               artifact_dir=args.artifact_dir,
+                               observe=observe)
         mode = c.mode
     else:
         mode = args.mode
@@ -140,7 +169,8 @@ def cmd_campaign(args) -> int:
                          max_retries=args.max_retries,
                          journal=getattr(args, "journal", None),
                          snapshot_stride=args.snapshot_stride,
-                         artifact_dir=args.artifact_dir)
+                         artifact_dir=args.artifact_dir,
+                         observe=observe)
     print(f"{c.n_trials} trials, mode={c.mode}, "
           f"{c.n_faults} fault(s)/run")
     print(render_outcome_table({args.app: c.fractions()},
@@ -154,13 +184,7 @@ def cmd_campaign(args) -> int:
         print()
         print(render_health_summary(
             c.health, [c.trials[i] for i in c.health.quarantined]))
-    if getattr(args, "save_json", None):
-        from .analysis import save_campaign
-        print(f"saved: {save_campaign(c, args.save_json)}")
-    if getattr(args, "save_csv", None):
-        from .analysis import trials_to_csv
-        trials_to_csv(c, args.save_csv)
-        print(f"saved: {args.save_csv}")
+    _save_results(c, args)
     # exit 3: campaign completed but the harness lost trials — partial
     # results, distinguishable from both success (0) and usage error (1)
     return 3 if (c.health is not None and c.health.quarantined) else 0
@@ -175,13 +199,15 @@ def cmd_sites(args) -> int:
                      workers=args.workers, n_faults=args.faults,
                      timeout=args.timeout, max_retries=args.max_retries,
                      snapshot_stride=args.snapshot_stride,
-                     artifact_dir=args.artifact_dir)
+                     artifact_dir=args.artifact_dir,
+                     observe=_observe_from_args(args))
     pa = _prepared(args.app, (), "fpm", args.snapshot_stride,
                    args.artifact_dir)
     ranking = site_vulnerability(c, pa.program.site_table, by=args.by)
     print(f"most vulnerable sites of {args.app} by {args.by} "
           f"({c.n_trials} trials):")
     print(render_site_ranking(ranking, top=args.top))
+    _save_results(c, args)
     return 0
 
 
@@ -191,7 +217,8 @@ def cmd_fps(args) -> int:
                         workers=args.workers, n_faults=args.faults,
                         timeout=args.timeout, max_retries=args.max_retries,
                         snapshot_stride=args.snapshot_stride,
-                        artifact_dir=args.artifact_dir)
+                        artifact_dir=args.artifact_dir,
+                        observe=_observe_from_args(args))
     fps = fw.fps_factor(c)
     print(render_fps_table([fps]))
     est = fw.estimator(c)
@@ -199,6 +226,7 @@ def cmd_fps(args) -> int:
     w = est.estimate_window(0, horizon)
     print(f"\nCML bound over a full run ({horizon} cycles): "
           f"max {w.max_cml:.1f}, avg {w.avg_cml:.1f}")
+    _save_results(c, args)
     return 0
 
 

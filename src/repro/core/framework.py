@@ -98,6 +98,7 @@ class FaultPropagationFramework:
         journal: Optional[str] = None,
         snapshot_stride: Optional[int] = None,
         artifact_dir: Optional[str] = None,
+        observe=None,
     ) -> CampaignResult:
         """Output-variation analysis (paper Sec. 4.2 / Fig. 6)."""
         return run_campaign(
@@ -105,6 +106,7 @@ class FaultPropagationFramework:
             workers=workers, n_faults=n_faults, params=self.params,
             timeout=timeout, max_retries=max_retries, journal=journal,
             snapshot_stride=snapshot_stride, artifact_dir=artifact_dir,
+            observe=observe,
         )
 
     def fpm_campaign(
@@ -115,6 +117,7 @@ class FaultPropagationFramework:
         journal: Optional[str] = None,
         snapshot_stride: Optional[int] = None,
         artifact_dir: Optional[str] = None,
+        observe=None,
     ) -> CampaignResult:
         """Propagation analysis (paper Sec. 4.3 / Figs. 7-8)."""
         return run_campaign(
@@ -122,6 +125,7 @@ class FaultPropagationFramework:
             n_faults=n_faults, keep_series=keep_series, params=self.params,
             timeout=timeout, max_retries=max_retries, journal=journal,
             snapshot_stride=snapshot_stride, artifact_dir=artifact_dir,
+            observe=observe,
         )
 
     def resume_campaign(self, journal: str, **kwargs) -> CampaignResult:

@@ -52,6 +52,7 @@ def run_job(
     capture_snapshots=None,
     restore_from=None,
     world_cache=None,
+    cml_stream=None,
 ) -> JobResult:
     """Run one simulated MPI job to completion (or crash/deadlock/hang).
 
@@ -74,6 +75,13 @@ def run_job(
     :class:`~repro.vm.worldcache.WorldCache`, so consecutive jobs
     restoring the same snapshot clone a materialized warm world instead
     of re-running the sparse reconstruction.
+
+    ``cml_stream`` attaches a :class:`~repro.obs.cml.CMLStream` to the
+    job's propagation trace (FPM/taint modes): every scheduler sample —
+    including a restored snapshot's replayed prefix — is pushed into it,
+    yielding the live decimated CML(t) series without retaining the full
+    per-rank trace.  Pure observation: attaching one never changes the
+    job's execution or results.
     """
     config = config or RunConfig()
     runtime = MPIRuntime()
@@ -141,5 +149,6 @@ def run_job(
         start_epoch=start_epoch,
         trace=initial_trace,
         snapshots=capture_snapshots,
+        cml_stream=cml_stream,
     )
     return scheduler.run()

@@ -1,0 +1,199 @@
+"""One validated view of every ``REPRO_*`` environment knob.
+
+PRs 1-3 each grew their own ad-hoc ``os.environ`` parsing (trials,
+workers, watchdogs, caches, batching, prefetch); this module replaces
+them with a single :class:`Settings` dataclass and one warn-and-fallback
+path.  Call sites resolve knobs through :func:`current_settings`, which
+re-reads the environment on every call — campaigns and tests may mutate
+``os.environ`` between invocations, and the old helpers behaved that
+way too.
+
+The module deliberately imports nothing from the rest of the package so
+any layer (vm, fpm, inject, cli) can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass, fields
+from typing import Mapping, Optional
+
+#: documented default for every knob (single source of truth; README and
+#: ``repro --help`` text describe these)
+DEFAULT_TRIALS = 120
+DEFAULT_WORKERS = 1
+DEFAULT_PREPARED_CACHE = 8
+DEFAULT_PREFETCH = 2
+DEFAULT_SNAPSHOT_STRIDE = 2048
+DEFAULT_SNAPSHOT_LIMIT = 32
+DEFAULT_WORLD_CACHE = 4
+DEFAULT_OBS_CML_STRIDE = 0
+
+_VERIFY_MODES = ("off", "first", "all")
+
+
+def _warn(name: str, raw: str, why: str, fallback) -> None:
+    warnings.warn(
+        f"ignoring {name}={raw!r}: {why}, using {fallback}",
+        stacklevel=4,
+    )
+
+
+def _parse_int(env: Mapping[str, str], name: str, default: int,
+               minimum: int = 1, clamp: bool = False) -> int:
+    raw = env.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        _warn(name, raw, "not an integer", default)
+        return default
+    if value < minimum:
+        # clamping knobs (prefetch depth, cache sizes, strides) keep
+        # their historical "silently raise to the floor" behaviour
+        if clamp:
+            return minimum
+        _warn(name, raw, f"must be >= {minimum}", default)
+        return default
+    return value
+
+
+def _parse_float(env: Mapping[str, str], name: str,
+                 default: Optional[float]) -> Optional[float]:
+    raw = env.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        _warn(name, raw, "not a number", default)
+        return default
+    if value <= 0:
+        _warn(name, raw, "must be > 0", default)
+        return default
+    return value
+
+
+def _parse_bool(env: Mapping[str, str], name: str, default: bool) -> bool:
+    raw = env.get(name)
+    if raw is None or not raw.strip():
+        return default
+    return raw.strip().lower() not in ("0", "false", "off")
+
+
+def _parse_str(env: Mapping[str, str], name: str) -> Optional[str]:
+    raw = env.get(name, "").strip()
+    return raw or None
+
+
+def _parse_choice(env: Mapping[str, str], name: str, default: str,
+                  choices: tuple) -> str:
+    raw = env.get(name, "").strip().lower()
+    if not raw:
+        return default
+    if raw not in choices:
+        _warn(name, raw, f"expected one of {choices}", default)
+        return default
+    return raw
+
+
+@dataclass(frozen=True)
+class Settings:
+    """Every environment-tunable knob, parsed and validated once.
+
+    Field defaults are the documented knob defaults; an explicit
+    function argument at a call site always wins over the environment
+    (the resolution helpers in each layer implement that precedence).
+    """
+
+    # -- campaign scale -------------------------------------------------
+    #: REPRO_TRIALS — fault-injection trials per campaign
+    trials: int = DEFAULT_TRIALS
+    #: REPRO_WORKERS — supervised worker processes (1 = serial)
+    workers: int = DEFAULT_WORKERS
+    #: REPRO_TRIAL_TIMEOUT — per-trial wall-clock watchdog, seconds
+    trial_timeout: Optional[float] = None
+    # -- caches and throughput -----------------------------------------
+    #: REPRO_PREPARED_CACHE — prepared apps kept per process (LRU)
+    prepared_cache: int = DEFAULT_PREPARED_CACHE
+    #: REPRO_ARTIFACT_DIR — shared golden-artifact directory (None = off)
+    artifact_dir: Optional[str] = None
+    #: REPRO_BATCH_BY_SNAPSHOT — snapshot-locality trial batching
+    batch_by_snapshot: bool = True
+    #: REPRO_WORLD_CACHE — warm worlds kept per process (0 = off)
+    world_cache: int = DEFAULT_WORLD_CACHE
+    #: REPRO_PREFETCH — trials in flight per pool worker
+    prefetch: int = DEFAULT_PREFETCH
+    # -- snapshot fast-forward -----------------------------------------
+    #: REPRO_SNAPSHOT_STRIDE — golden capture stride in cycles (0 = off)
+    snapshot_stride: int = DEFAULT_SNAPSHOT_STRIDE
+    #: REPRO_SNAPSHOT_LIMIT — max retained snapshots per prepared app
+    snapshot_limit: int = DEFAULT_SNAPSHOT_LIMIT
+    #: REPRO_SNAPSHOT_VERIFY — off | first | all
+    snapshot_verify: str = "first"
+    #: REPRO_FUSE — fused-segment dispatch
+    fuse: bool = True
+    # -- observability --------------------------------------------------
+    #: REPRO_OBS_TRACE — default trace JSONL path (enables observe)
+    obs_trace: Optional[str] = None
+    #: REPRO_OBS_METRICS — default Prometheus-text output path
+    obs_metrics: Optional[str] = None
+    #: REPRO_OBS_CML_STRIDE — min cycle gap between CML stream samples
+    #: (0 keeps every scheduler sample)
+    obs_cml_stride: int = DEFAULT_OBS_CML_STRIDE
+
+    @classmethod
+    def from_env(cls, env: Optional[Mapping[str, str]] = None) -> "Settings":
+        """Parse the environment with warn-and-fallback on bad values."""
+        if env is None:
+            env = os.environ
+        return cls(
+            trials=_parse_int(env, "REPRO_TRIALS", DEFAULT_TRIALS),
+            workers=_parse_int(env, "REPRO_WORKERS", DEFAULT_WORKERS),
+            trial_timeout=_parse_float(env, "REPRO_TRIAL_TIMEOUT", None),
+            prepared_cache=_parse_int(
+                env, "REPRO_PREPARED_CACHE", DEFAULT_PREPARED_CACHE),
+            artifact_dir=_parse_str(env, "REPRO_ARTIFACT_DIR"),
+            batch_by_snapshot=_parse_bool(env, "REPRO_BATCH_BY_SNAPSHOT", True),
+            world_cache=_parse_int(
+                env, "REPRO_WORLD_CACHE", DEFAULT_WORLD_CACHE, minimum=0,
+                clamp=True),
+            prefetch=_parse_int(
+                env, "REPRO_PREFETCH", DEFAULT_PREFETCH, clamp=True),
+            snapshot_stride=_parse_int(
+                env, "REPRO_SNAPSHOT_STRIDE", DEFAULT_SNAPSHOT_STRIDE,
+                minimum=0, clamp=True),
+            snapshot_limit=_parse_int(
+                env, "REPRO_SNAPSHOT_LIMIT", DEFAULT_SNAPSHOT_LIMIT,
+                minimum=2, clamp=True),
+            snapshot_verify=_parse_choice(
+                env, "REPRO_SNAPSHOT_VERIFY", "first", _VERIFY_MODES),
+            fuse=_parse_bool(env, "REPRO_FUSE", True),
+            obs_trace=_parse_str(env, "REPRO_OBS_TRACE"),
+            obs_metrics=_parse_str(env, "REPRO_OBS_METRICS"),
+            obs_cml_stride=_parse_int(
+                env, "REPRO_OBS_CML_STRIDE", DEFAULT_OBS_CML_STRIDE,
+                minimum=0, clamp=True),
+        )
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+def env_int(name: str, default: int, minimum: int = 1) -> int:
+    """One-off validated integer lookup for knobs outside the schema
+    (benchmark tunables like ``REPRO_BENCH_TRIALS``), sharing the same
+    warn-and-fallback path as :meth:`Settings.from_env`."""
+    return _parse_int(os.environ, name, default, minimum)
+
+
+def current_settings() -> Settings:
+    """The environment as a :class:`Settings`, re-read on every call.
+
+    Deliberately uncached: campaigns, benchmarks and tests mutate
+    ``os.environ`` between calls and expect the change to take effect,
+    exactly as the scattered per-knob helpers behaved before.
+    """
+    return Settings.from_env()

@@ -119,3 +119,14 @@ class FailureKind(Enum):
 
 class ModelError(ReproError):
     """Fault-propagation model fitting or evaluation failure."""
+
+
+class ObservabilityError(ReproError):
+    """Malformed trace/metrics data in the observability layer.
+
+    Raised when a trace JSONL file fails schema validation, a metrics
+    exposition is not well-formed, or incompatible registries are
+    merged.  Never raised on the recording path: emitters are no-ops
+    when observability is off and best-effort when on, so instrumenting
+    a campaign cannot take the campaign down.
+    """

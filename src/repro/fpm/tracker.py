@@ -29,6 +29,11 @@ class PropagationTrace:
     ranks_contaminated: List[int] = field(default_factory=list)
     #: per-rank cycle of first contamination (None = never)
     first_contamination: List[Optional[int]] = field(default_factory=list)
+    #: optional live observer (:class:`repro.obs.cml.CMLStream`): every
+    #: sample is also pushed there, giving campaigns a decimated CML(t)
+    #: series without retaining the full per-rank trace.  Never part of
+    #: snapshots or equality — it is an output channel, not state.
+    stream: Optional[object] = field(default=None, repr=False, compare=False)
 
     def sample(
         self,
@@ -41,6 +46,8 @@ class PropagationTrace:
         self.cml_per_rank.append(cml_ranks)
         self.live_words.append(live)
         self.ranks_contaminated.append(n_ranks_contaminated)
+        if self.stream is not None:
+            self.stream.push(t, cml_ranks)
 
     # ------------------------------------------------------------------
     # Derived series

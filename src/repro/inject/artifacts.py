@@ -65,7 +65,8 @@ def default_artifact_dir(requested: Union[str, Path, None] = None
     """
     if requested is not None:
         return Path(requested)
-    raw = os.environ.get("REPRO_ARTIFACT_DIR", "").strip()
+    from ..core.settings import current_settings
+    raw = current_settings().artifact_dir
     return Path(raw) if raw else None
 
 

@@ -15,7 +15,6 @@ wall-clock watchdog, and repeatedly failing trials are quarantined as
 
 from __future__ import annotations
 
-import os
 import time
 import warnings
 from collections import OrderedDict
@@ -28,8 +27,12 @@ import numpy as np
 from ..analysis.classify import Outcome, classify, outcome_fractions, outputs_match
 from ..apps.registry import AppSpec, get_app
 from ..core.runner import run_job
+from ..core.settings import current_settings
 from ..errors import CampaignError, FailureKind, SnapshotError
 from ..mpi import JobResult
+from ..obs import runtime as obs_rt
+from ..obs.cml import CMLStream
+from ..obs.observer import CampaignObserver, ObserveConfig
 from ..vm.machine import FaultSpec
 from ..vm.snapshot import default_snapshot_stride, snapshot_verify_mode
 from .health import CampaignHealth
@@ -75,6 +78,18 @@ class TrialResult:
     #: / clone / execute) — observability only; excluded from the
     #: bit-identity predicate because wall clocks are nondeterministic
     stage_timings: Optional[Dict[str, float]] = None
+    #: live decimated CML(t) stream from the observability layer, an
+    #: ``(n, 2)`` int64 array of (cycle, total CML).  None unless the
+    #: trial ran observed in FPM/taint mode.  Excluded from the
+    #: bit-identity predicate because its *presence* depends on the
+    #: observe configuration, not on execution; the stream contents are
+    #: deterministic and asserted identical across execution modes by
+    #: the observability equivalence tests.
+    cml_stream: Optional[np.ndarray] = None
+    #: in-flight observability payload (trial events + metrics delta)
+    #: riding back to the campaign driver; consumed and cleared by the
+    #: campaign observer, never exported or compared
+    obs: Optional[dict] = None
 
     @property
     def outcome_enum(self) -> Outcome:
@@ -123,6 +138,10 @@ class CampaignResult:
     effective_workers: int = 1
     #: supervision summary (retries, quarantines, respawns, wall time)
     health: Optional[CampaignHealth] = None
+    #: campaign-wide observability metrics (the merged registry as a
+    #: dict, see :meth:`repro.obs.MetricsRegistry.to_dict`); None when
+    #: the campaign ran unobserved
+    metrics: Optional[dict] = None
 
     @property
     def n_trials(self) -> int:
@@ -150,7 +169,7 @@ _PREPARED_CACHE: "OrderedDict[tuple, PreparedApp]" = OrderedDict()
 
 
 def _prepared_cache_max() -> int:
-    return _env_int("REPRO_PREPARED_CACHE", 8, minimum=1)
+    return current_settings().prepared_cache
 
 
 def _prepared(app_name: str, params: tuple, mode: str,
@@ -239,7 +258,11 @@ def trial_results_equal(a: TrialResult, b: TrialResult) -> bool:
     field, including the full CML(t) series.
     """
     for f in fields(TrialResult):
-        if f.name == "stage_timings":  # wall clocks are nondeterministic
+        # stage_timings: wall clocks are nondeterministic.  cml_stream /
+        # obs: observability outputs whose presence depends on the
+        # observe configuration (the verify cold re-run executes
+        # unobserved), not on what the trial computed.
+        if f.name in ("stage_timings", "cml_stream", "obs"):
             continue
         va, vb = getattr(a, f.name), getattr(b, f.name)
         if isinstance(va, np.ndarray) or isinstance(vb, np.ndarray):
@@ -254,37 +277,71 @@ def trial_results_equal(a: TrialResult, b: TrialResult) -> bool:
 
 
 def _run_trial(args) -> TrialResult:
+    """Worker-side trial driver, with optional observability.
+
+    ``args[9]`` carries the trial's :class:`~repro.obs.ObserveConfig`
+    (or None, the default): when set, the trial runs under a fresh
+    :class:`~repro.obs.runtime.TrialRecorder` — stage spans, VM/MPI
+    events and a metrics delta ride back to the campaign driver on
+    ``TrialResult.obs``, and FPM/taint trials stream their live CML(t)
+    series into ``TrialResult.cml_stream``.  Nothing here touches the
+    trial RNG, so observed and unobserved runs are bit-identical.
+    """
+    observe = args[9] if len(args) > 9 else None
+    if observe is None:
+        return _execute_trial(args, None)
+    stream = None
+    if observe.cml and args[2] in ("fpm", "taint"):
+        stream = CMLStream(observe.cml_stride)
+    with obs_rt.trial_recording() as rec:
+        rec.cml = stream
+        tr = _execute_trial(args, stream)
+    if stream is not None:
+        tr.cml_stream = stream.to_array()
+        stream.publish_metrics(rec.metrics)
+    if not observe.events:
+        rec.events.clear()
+    tr.obs = rec.payload()
+    return tr
+
+
+def _execute_trial(args, stream) -> TrialResult:
     (app_name, params, mode, faults, inj_seed, keep_series) = args[:6]
     wall_timeout = args[6] if len(args) > 6 else None
     snapshot_stride = args[7] if len(args) > 7 else None
     artifact_dir = args[8] if len(args) > 8 else None
     t0 = time.perf_counter()
-    pa = _prepared(app_name, params, mode, snapshot_stride, artifact_dir)
+    with obs_rt.span("arm", faults=len(faults)):
+        pa = _prepared(app_name, params, mode, snapshot_stride, artifact_dir)
+        config = pa.run_config()
+        store = pa.snapshots
+        snap = store.best_for(faults) if store is not None else None
     prep_s = time.perf_counter() - t0
-    config = pa.run_config()
-    store = pa.snapshots
-    snap = store.best_for(faults) if store is not None else None
     wc = pa.world_cache
     timings = {"artifact_load": prep_s, "snapshot_restore": 0.0,
                "clone": 0.0, "execute": 0.0}
     if snap is None:
         t1 = time.perf_counter()
-        result = run_job(
-            pa.program, config, faults=faults, inj_seed=inj_seed,
-            wall_timeout=wall_timeout,
-        )
+        with obs_rt.span("execute", fast_forward=False):
+            result = run_job(
+                pa.program, config, faults=faults, inj_seed=inj_seed,
+                wall_timeout=wall_timeout, cml_stream=stream,
+            )
         timings["execute"] = time.perf_counter() - t1
-        tr = _summarise(pa, result, faults, keep_series)
+        with obs_rt.span("classify"):
+            tr = _summarise(pa, result, faults, keep_series)
         tr.stage_timings = timings
         return tr
 
     restore0 = wc.restore_s if wc is not None else 0.0
     clone0 = wc.clone_s if wc is not None else 0.0
     t1 = time.perf_counter()
-    result = run_job(
-        pa.program, config, faults=faults, inj_seed=inj_seed,
-        wall_timeout=wall_timeout, restore_from=snap, world_cache=wc,
-    )
+    with obs_rt.span("execute", fast_forward=True, snapshot_cycle=snap.cycle):
+        result = run_job(
+            pa.program, config, faults=faults, inj_seed=inj_seed,
+            wall_timeout=wall_timeout, restore_from=snap, world_cache=wc,
+            cml_stream=stream,
+        )
     run_s = time.perf_counter() - t1
     if wc is not None:
         timings["snapshot_restore"] = wc.restore_s - restore0
@@ -292,7 +349,8 @@ def _run_trial(args) -> TrialResult:
     timings["execute"] = max(
         0.0, run_s - timings["snapshot_restore"] - timings["clone"]
     )
-    tr = _summarise(pa, result, faults, keep_series)
+    with obs_rt.span("classify"):
+        tr = _summarise(pa, result, faults, keep_series)
     tr.stage_timings = timings
     verify = snapshot_verify_mode()
     if verify == "first" and not store.verified and pa.artifact_verified():
@@ -300,11 +358,14 @@ def _run_trial(args) -> TrialResult:
         # this exact artifact; skip the redundant cold re-execution.
         store.verified = True
     if verify == "all" or (verify == "first" and not store.verified):
-        cold = run_job(
-            pa.program, config, faults=faults, inj_seed=inj_seed,
-            wall_timeout=wall_timeout,
-        )
-        cold_tr = _summarise(pa, cold, faults, keep_series)
+        # The cold re-execution is harness bookkeeping: its VM/MPI
+        # events must not pollute the observed trial's records.
+        with obs_rt.suspended():
+            cold = run_job(
+                pa.program, config, faults=faults, inj_seed=inj_seed,
+                wall_timeout=wall_timeout,
+            )
+            cold_tr = _summarise(pa, cold, faults, keep_series)
         if not trial_results_equal(tr, cold_tr):
             raise SnapshotError(
                 f"fast-forwarded trial diverged from cold run for "
@@ -324,48 +385,11 @@ def _run_trial(args) -> TrialResult:
 def _env_int(name: str, default: int, minimum: int = 1) -> int:
     """Validated integer environment lookup.
 
-    Non-integer or below-minimum values fall back to the default with a
-    warning instead of crashing the campaign with a raw ValueError.
+    Kept as a shim over :func:`repro.core.settings.env_int` for callers
+    (the benchmark suite) reading knobs outside the Settings schema.
     """
-    raw = os.environ.get(name)
-    if raw is None or not raw.strip():
-        return default
-    try:
-        value = int(raw)
-    except ValueError:
-        warnings.warn(
-            f"ignoring {name}={raw!r}: not an integer, using {default}",
-            stacklevel=2,
-        )
-        return default
-    if value < minimum:
-        warnings.warn(
-            f"ignoring {name}={value}: must be >= {minimum}, using {default}",
-            stacklevel=2,
-        )
-        return default
-    return value
-
-
-def _env_float(name: str, default: Optional[float]) -> Optional[float]:
-    raw = os.environ.get(name)
-    if raw is None or not raw.strip():
-        return default
-    try:
-        value = float(raw)
-    except ValueError:
-        warnings.warn(
-            f"ignoring {name}={raw!r}: not a number, using {default}",
-            stacklevel=2,
-        )
-        return default
-    if value <= 0:
-        warnings.warn(
-            f"ignoring {name}={value}: must be > 0, using {default}",
-            stacklevel=2,
-        )
-        return default
-    return value
+    from ..core.settings import env_int
+    return env_int(name, default, minimum)
 
 
 def default_trials(requested: Optional[int] = None) -> int:
@@ -374,7 +398,7 @@ def default_trials(requested: Optional[int] = None) -> int:
         if requested < 1:
             raise CampaignError(f"trials must be >= 1, got {requested}")
         return requested
-    return _env_int("REPRO_TRIALS", 120)
+    return current_settings().trials
 
 
 def default_workers(requested: Optional[int] = None) -> int:
@@ -383,7 +407,7 @@ def default_workers(requested: Optional[int] = None) -> int:
         if requested < 1:
             raise CampaignError(f"workers must be >= 1, got {requested}")
         return requested
-    return _env_int("REPRO_WORKERS", 1)
+    return current_settings().workers
 
 
 def default_timeout(requested: Optional[float] = None) -> Optional[float]:
@@ -392,7 +416,7 @@ def default_timeout(requested: Optional[float] = None) -> Optional[float]:
         if requested <= 0:
             raise CampaignError(f"timeout must be > 0, got {requested}")
         return requested
-    return _env_float("REPRO_TRIAL_TIMEOUT", None)
+    return current_settings().trial_timeout
 
 
 def _build_jobs(
@@ -409,6 +433,7 @@ def _build_jobs(
     wall_timeout: Optional[float],
     snapshot_stride: Optional[int] = None,
     artifact_dir: Optional[str] = None,
+    observe: Optional[ObserveConfig] = None,
 ) -> List[tuple]:
     """Draw every trial's fault plan and seed up front.
 
@@ -426,7 +451,7 @@ def _build_jobs(
         inj_seed = int(rng.integers(2 ** 31))
         jobs.append((app, params_key, mode, tuple(faults), inj_seed,
                      keep_series, wall_timeout, snapshot_stride,
-                     artifact_dir))
+                     artifact_dir, observe))
     return jobs
 
 
@@ -438,8 +463,7 @@ def batch_by_snapshot(requested: Optional[bool] = None) -> bool:
     """
     if requested is not None:
         return bool(requested)
-    raw = os.environ.get("REPRO_BATCH_BY_SNAPSHOT", "").strip().lower()
-    return raw not in ("0", "false", "off")
+    return current_settings().batch_by_snapshot
 
 
 def plan_batches(jobs: Sequence[tuple], store, workers: int = 1
@@ -492,6 +516,7 @@ def run_campaign(
     progress: Optional[Callable[[int, int], None]] = None,
     snapshot_stride: Optional[int] = None,
     artifact_dir: Union[str, Path, None] = None,
+    observe: Union[None, bool, str, ObserveConfig] = None,
 ) -> CampaignResult:
     """Run a fault-injection campaign for a registered app.
 
@@ -517,6 +542,13 @@ def run_campaign(
     store are loaded from / saved to a content-addressed file there, so
     pool workers — including respawned ones — and later campaigns skip
     golden profiling.
+
+    ``observe`` switches on the observability layer (tracing + metrics
+    + live CML streams): ``True``/``"on"`` with environment-default
+    outputs, an :class:`~repro.obs.ObserveConfig` for explicit control,
+    ``None`` to defer to REPRO_OBS_TRACE / REPRO_OBS_METRICS,
+    ``False``/``"off"`` to force it off.  Observation never changes
+    trial outcomes — it touches no RNG and no execution path.
     """
     from .artifacts import default_artifact_dir
     from .engine import CampaignEngine  # lazy: engine imports this module
@@ -541,11 +573,13 @@ def run_campaign(
         )
         effective = 1
 
+    obs_config = ObserveConfig.resolve(observe)
+
     pa = _prepared(app, params_key, mode, stride, art_dir_str)
     golden = pa.golden
     jobs = _build_jobs(app, params_key, mode, golden, n_trials, n_faults,
                        seed, rank, bit, keep_series, wall_timeout, stride,
-                       art_dir_str)
+                       art_dir_str, obs_config)
     batches = None
     if pa.snapshots is not None and batch_by_snapshot():
         batches = plan_batches(jobs, pa.snapshots, effective)
@@ -574,6 +608,12 @@ def run_campaign(
             },
         })
 
+    observer = None
+    if obs_config is not None:
+        observer = CampaignObserver(obs_config, meta={
+            "app": app, "mode": mode, "seed": seed, "n_trials": n_trials,
+        })
+
     engine = CampaignEngine(
         workers=effective,
         timeout=wall_timeout,
@@ -581,13 +621,19 @@ def run_campaign(
         journal=journal_writer,
         progress=progress,
         batches=batches,
+        observer=observer,
     )
     try:
         results, health = engine.run(jobs, faults_of=lambda i: jobs[i][3])
+    except BaseException:
+        if observer is not None:
+            observer.finalize()
+        raise
     finally:
         if journal_writer is not None:
             journal_writer.close()
     health.requested_workers = requested_workers
+    metrics = observer.finalize(health) if observer is not None else None
 
     return CampaignResult(
         app_name=app,
@@ -601,4 +647,5 @@ def run_campaign(
         trials=results,
         effective_workers=health.effective_workers,
         health=health,
+        metrics=metrics,
     )

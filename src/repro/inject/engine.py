@@ -28,18 +28,19 @@ corrupt the channel of any other worker.
 from __future__ import annotations
 
 import multiprocessing as mp
-import os
 import time
 from collections import deque
 from multiprocessing.connection import wait as _conn_wait
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..core.settings import DEFAULT_PREFETCH, current_settings
 from ..errors import (
     CampaignError,
     FailureKind,
     JournalError,
     TrialTimeoutError,
 )
+from ..obs.observer import CampaignObserver, ObserveConfig
 from . import campaign as _campaign
 from .campaign import (
     CampaignResult,
@@ -61,7 +62,7 @@ _KILL_GRACE = 5.0
 #: trials kept in flight per worker (head running + queued in its
 #: pipe), so a worker never idles a supervisor round-trip between
 #: trials; the watchdog deadline always covers the head trial only
-_PREFETCH = 2
+_PREFETCH = DEFAULT_PREFETCH
 
 
 def prefetch_depth() -> int:
@@ -70,15 +71,7 @@ def prefetch_depth() -> int:
     Depth 1 reverts to one-at-a-time dispatch: the worker idles for a
     full supervisor round-trip after every trial.
     """
-    raw = os.environ.get("REPRO_PREFETCH")
-    if raw is None:
-        return _PREFETCH
-    try:
-        return max(1, int(raw))
-    except ValueError:
-        import warnings
-        warnings.warn(f"ignoring non-integer REPRO_PREFETCH={raw!r}")
-        return _PREFETCH
+    return current_settings().prefetch
 
 
 def _mp_context():
@@ -155,6 +148,7 @@ class CampaignEngine:
         task_fn: Optional[Callable] = None,
         progress: Optional[Callable[[int, int], None]] = None,
         batches: Optional[List[List[int]]] = None,
+        observer: Optional[CampaignObserver] = None,
     ) -> None:
         if workers < 1:
             raise CampaignError(f"workers must be >= 1, got {workers}")
@@ -173,6 +167,9 @@ class CampaignEngine:
         #: runs consecutively on one worker so its world cache stays warm.
         #: None = plain index-order dispatch.
         self.batches = batches
+        #: campaign-wide observer (trace writer + merged metrics); None
+        #: when the campaign runs unobserved
+        self.observer = observer
 
     # ------------------------------------------------------------------
     def run(
@@ -205,6 +202,11 @@ class CampaignEngine:
                 self._results[index] = trial
                 self._done += 1
                 self._aggregate_timings(trial)
+                # restored trials still count toward outcome totals so a
+                # resumed campaign's metrics describe the whole campaign
+                if self.observer is not None:
+                    self.observer.metrics.inc(
+                        "repro_trials_total", outcome=trial.outcome)
             self._health.resumed_trials = len(completed)
         pending = [i for i in range(n) if self._results[i] is None]
         #: per-batch index deques for the pool backend (None when
@@ -315,6 +317,11 @@ class CampaignEngine:
                         kill()
                         w.proc.join(5.0)
                         head = w.inflight.popleft()
+                        if self.observer is not None:
+                            self.observer.metrics.inc(
+                                "repro_watchdog_kills_total")
+                            self.observer.event("watchdog_kill", trial=head,
+                                                timeout_s=timeout)
                         self._reclaim(w)
                         self._failure(
                             head, FailureKind.TIMEOUT,
@@ -381,6 +388,9 @@ class CampaignEngine:
         w.inflight.clear()
         w.deadline = None
         self._health.worker_respawns += 1
+        if self.observer is not None:
+            self.observer.metrics.inc("repro_worker_respawns_total")
+            self.observer.event("worker_respawn")
 
     def _dispatch(self, ctx, w: _Worker, jobs: List[tuple]) -> None:
         """Top the worker up to the prefetch depth."""
@@ -398,8 +408,18 @@ class CampaignEngine:
             try:
                 w.conn.send((index, jobs[index]))
             except (BrokenPipeError, OSError):
+                # the pipe closing mid-dispatch means the worker died;
+                # the head trial was executing when it went down, so it
+                # must be attributed like a sweep-detected crash — else
+                # it retries silently, outside the max_retries budget
                 self._queue.appendleft(index)
+                head = w.inflight.popleft() if w.inflight else None
                 self._reclaim(w)
+                if head is not None:
+                    self._failure(
+                        head, FailureKind.WORKER_CRASH,
+                        f"worker died with exit code {w.proc.exitcode}",
+                    )
                 self._respawn(ctx, w)
                 return
             w.inflight.append(index)
@@ -447,17 +467,30 @@ class CampaignEngine:
                 self._faults_of(index), kind, detail, retries=failures - 1,
             )
             self._health.quarantined.append(index)
+            if self.observer is not None:
+                self.observer.metrics.inc("repro_trials_quarantined_total")
+                self.observer.event("quarantine", trial=index,
+                                    kind=kind.value, detail=detail)
             self._record(index, trial)
         else:
             self._health.retries += 1
+            if self.observer is not None:
+                self.observer.metrics.inc("repro_trial_retries_total")
+                self.observer.event("retry", trial=index, kind=kind.value,
+                                    attempt=failures)
             self._queue.append(index)
 
     def _record(self, index: int, trial: TrialResult) -> None:
         self._results[index] = trial
         self._done += 1
         self._aggregate_timings(trial)
+        journal_s = None
         if self.journal is not None:
+            j0 = time.perf_counter()
             self.journal.append_trial(index, trial)
+            journal_s = time.perf_counter() - j0
+        if self.observer is not None:
+            self.observer.record_trial(index, trial, journal_s)
         if self.progress is not None:
             self.progress(self._done, len(self._results))
 
@@ -481,6 +514,7 @@ def resume_campaign(
     max_retries: int = 2,
     progress: Optional[Callable[[int, int], None]] = None,
     artifact_dir=None,
+    observe=None,
 ) -> CampaignResult:
     """Finish an interrupted journaled campaign.
 
@@ -491,7 +525,10 @@ def resume_campaign(
     same trials, same outcome fractions — to the uninterrupted run.
 
     ``artifact_dir`` overrides the journaled shared-artifact directory
-    (None: reuse what the campaign recorded).
+    (None: reuse what the campaign recorded).  ``observe`` follows
+    :func:`repro.inject.campaign.run_campaign` — observation covers the
+    trials executed by the resume (restored trials contribute outcome
+    counters only), and never changes any trial outcome.
     """
     header, done = read_journal(journal_path)
     app = header["app_name"]
@@ -518,12 +555,13 @@ def resume_campaign(
 
     wall_timeout = timeout if timeout is not None else header.get("timeout")
     wall_timeout = default_timeout(wall_timeout)
+    obs_config = ObserveConfig.resolve(observe)
     jobs = _build_jobs(
         app, params_key, mode, golden, n_trials,
         int(header["n_faults"]), int(header["seed"]),
         header.get("rank"), header.get("bit"),
         bool(header.get("keep_series")), wall_timeout, snapshot_stride,
-        art_dir_str,
+        art_dir_str, obs_config,
     )
 
     requested_workers = default_workers(workers)
@@ -537,6 +575,13 @@ def resume_campaign(
     if pa.snapshots is not None and _campaign.batch_by_snapshot():
         batches = _campaign.plan_batches(jobs, pa.snapshots, effective)
 
+    observer = None
+    if obs_config is not None:
+        observer = CampaignObserver(obs_config, meta={
+            "app": app, "mode": mode, "seed": int(header["seed"]),
+            "n_trials": n_trials, "resumed": True,
+        })
+
     journal = CampaignJournal.append_to(journal_path)
     engine = CampaignEngine(
         workers=effective,
@@ -545,14 +590,20 @@ def resume_campaign(
         journal=journal,
         progress=progress,
         batches=batches,
+        observer=observer,
     )
     try:
         results, health = engine.run(
             jobs, faults_of=lambda i: jobs[i][3], completed=done,
         )
+    except BaseException:
+        if observer is not None:
+            observer.finalize()
+        raise
     finally:
         journal.close()
     health.requested_workers = requested_workers
+    metrics = observer.finalize(health) if observer is not None else None
 
     return CampaignResult(
         app_name=app,
@@ -566,4 +617,5 @@ def resume_campaign(
         trials=results,
         effective_workers=health.effective_workers,
         health=health,
+        metrics=metrics,
     )

@@ -3,12 +3,12 @@
 from .estimator import CMLEstimate, CMLEstimator
 from .fps import FPSResult, TrialModel, compute_fps, fit_trial_model
 from .linear import LinearFit, fit_linear
-from .piecewise import PiecewiseFit, fit_piecewise, fit_profile
+from .piecewise import PiecewiseFit, fit_cml_stream, fit_piecewise, fit_profile
 from .validation import ValidationReport, evaluate_fit, kfold_validate
 
 __all__ = [
     "CMLEstimate", "CMLEstimator", "FPSResult", "LinearFit", "PiecewiseFit",
     "TrialModel", "ValidationReport", "compute_fps", "evaluate_fit",
-    "fit_linear", "fit_piecewise", "fit_profile", "fit_trial_model",
-    "kfold_validate",
+    "fit_cml_stream", "fit_linear", "fit_piecewise", "fit_profile",
+    "fit_trial_model", "kfold_validate",
 ]

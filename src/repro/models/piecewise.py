@@ -119,6 +119,30 @@ def fit_piecewise(
     )
 
 
+def fit_cml_stream(stream, *, onset: Optional[float] = None,
+                   n_breaks: int = 64) -> PiecewiseFit:
+    """Fit the piece-wise model to a live CML stream.
+
+    ``stream`` is the observability layer's ``(cycle, CML)`` series —
+    either the ``(n, 2)`` int64 array on
+    :attr:`~repro.inject.campaign.TrialResult.cml_stream` or the list of
+    pairs that :func:`repro.obs.cml_series` pulls out of a trace file.
+    ``onset`` defaults to the first sample with non-zero CML (before the
+    fault lands there is nothing to model).
+    """
+    arr = np.asarray(stream, dtype=float)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ModelError(
+            f"expected an (n, 2) (cycle, cml) stream, got shape {arr.shape}"
+        )
+    t, y = arr[:, 0], arr[:, 1]
+    if onset is None:
+        hot = np.nonzero(y > 0)[0]
+        if hot.size:
+            onset = float(t[hot[0]])
+    return fit_piecewise(t, y, onset=onset, n_breaks=n_breaks)
+
+
 def fit_profile(t, y, onset: Optional[float] = None):
     """Fit both the pure-linear and piece-wise models; return the better.
 

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence
 from ..fpm.protocol import apply_message, build_payload
 from ..fpm.shadow import same_value
 from ..fpm.taint import TaintTable
+from ..obs import runtime as _obs
 from ..vm.intrinsics import MPI_OP_MAX, MPI_OP_MIN, MPI_OP_SUM
 from ..vm.traps import Trap, TrapKind
 from .message import ANY, Message
@@ -110,6 +111,24 @@ class MPIRuntime:
         (self.messages_sent, self.words_sent,
          self.contaminated_messages, self.contaminated_words_sent) = stats
 
+    def publish_metrics(self) -> None:
+        """Fold the job's message totals into an observed trial's metrics.
+
+        Called once per job by the scheduler — :meth:`send` stays
+        metric-free on the hot path.  The counters are part of the
+        snapshot state, so a fast-forwarded trial reports the same
+        totals (restored prefix included) as a cold run.
+        """
+        if _obs._CURRENT is None:
+            return
+        _obs.inc("repro_msgs_total", self.messages_sent)
+        _obs.inc("repro_words_sent_total", self.words_sent)
+        if self.contaminated_messages:
+            _obs.inc("repro_msgs_contaminated_total",
+                     self.contaminated_messages)
+            _obs.inc("repro_contaminated_words_total",
+                     self.contaminated_words_sent)
+
     # ------------------------------------------------------------------
     # Point-to-point
     # ------------------------------------------------------------------
@@ -125,6 +144,9 @@ class MPIRuntime:
         if records:
             self.contaminated_messages += 1
             self.contaminated_words_sent += len(records)
+            if _obs._CURRENT is not None:
+                _obs.emit("mpi_send_contaminated", src=m.rank, dest=dest,
+                          words=len(records), cycle=m.cycles)
 
         dm = self.machines[dest]
         pending = dm.pending

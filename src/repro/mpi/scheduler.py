@@ -79,6 +79,7 @@ class Scheduler:
         start_epoch: int = 0,
         trace: Optional[PropagationTrace] = None,
         snapshots=None,
+        cml_stream=None,
     ) -> None:
         self.machines = list(machines)
         self.runtime = runtime
@@ -98,6 +99,10 @@ class Scheduler:
         self.initial_trace = trace
         #: SnapshotStore to populate at its stride (golden profiling)
         self.snapshots = snapshots
+        #: live CML observer (:class:`repro.obs.cml.CMLStream`) attached
+        #: to the trace; a restored trace prefix is replayed into it so a
+        #: fast-forwarded trial streams exactly what a cold run would
+        self.cml_stream = cml_stream
 
     def run(self) -> JobResult:
         machines = self.machines
@@ -106,6 +111,10 @@ class Scheduler:
             trace = self.initial_trace
         else:
             trace = PropagationTrace() if self.fpm_mode else None
+        if trace is not None and self.cml_stream is not None:
+            if trace.times:  # restored prefix: replay it into the stream
+                self.cml_stream.backfill(trace.times, trace.cml_per_rank)
+            trace.stream = self.cml_stream
         status = JobStatus.COMPLETED
         trap: Optional[Trap] = None
         epoch = self.start_epoch
@@ -162,6 +171,8 @@ class Scheduler:
                 m.fpm.first_contamination_cycle if m.fpm is not None else None
                 for m in machines
             ]
+        # message totals reach the metrics registry once per job
+        self.runtime.publish_metrics()
 
         return JobResult(
             status=status,

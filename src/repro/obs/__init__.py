@@ -1,0 +1,67 @@
+"""Campaign observability: tracing, metrics, and live CML streams.
+
+Everything here is off by default and strictly additive — the emitters
+in :mod:`repro.obs.runtime` are single-branch no-ops unless a trial is
+being observed, and nothing in this package touches the RNG or any
+execution code path, so enabling observation cannot change a single
+trial outcome (the equivalence tests assert exactly that).
+"""
+
+from .cml import CMLStream
+from .metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    parse_prometheus,
+)
+from .observer import CampaignObserver, ObserveConfig
+from .runtime import (
+    TrialRecorder,
+    active,
+    current,
+    emit,
+    inc,
+    observe_hist,
+    set_gauge,
+    span,
+    span_record,
+    suspended,
+    trial_recording,
+)
+from .trace import (
+    TRACE_FORMAT,
+    TRACE_KIND,
+    TraceWriter,
+    cml_series,
+    iter_trace,
+    read_trace,
+    trial_records,
+    validate_record,
+)
+
+__all__ = [
+    "CMLStream",
+    "CampaignObserver",
+    "DEFAULT_BUCKETS",
+    "MetricsRegistry",
+    "ObserveConfig",
+    "TRACE_FORMAT",
+    "TRACE_KIND",
+    "TraceWriter",
+    "TrialRecorder",
+    "active",
+    "cml_series",
+    "current",
+    "emit",
+    "inc",
+    "iter_trace",
+    "observe_hist",
+    "parse_prometheus",
+    "read_trace",
+    "set_gauge",
+    "span",
+    "span_record",
+    "suspended",
+    "trial_records",
+    "trial_recording",
+    "validate_record",
+]

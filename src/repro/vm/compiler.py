@@ -42,7 +42,6 @@ virtual cycle as unfused execution.
 
 from __future__ import annotations
 
-import os
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import ReproError
@@ -524,8 +523,9 @@ _FUSE_MAX = 16
 
 
 def _fuse_enabled() -> bool:
-    """Fusion default: on unless REPRO_FUSE=0 (any other value enables)."""
-    return os.environ.get("REPRO_FUSE", "").strip() != "0"
+    """Fusion default: on unless REPRO_FUSE is 0/false/off."""
+    from ..core.settings import current_settings
+    return current_settings().fuse
 
 
 def _ld_trap(addr):

@@ -24,6 +24,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..fpm.shadow import ShadowTable
 from ..fpm.taint import TaintTable
+from ..obs import runtime as _obs
 from .bitflip import flip_bit
 from .compiler import (
     SIG_BLOCK,
@@ -225,6 +226,10 @@ class Machine:
             # injected instruction traps immediately.
             event.cycle = self.cycles + 1
             self.injection_events.append(event)
+            if _obs._CURRENT is not None:
+                _obs.inc("repro_injections_total")
+                _obs.emit("injection", rank=self.rank, occurrence=count,
+                          site=site, bit=bit, cycle=event.cycle)
         self.inj_next = (
             self._armed[self._armed_idx].occurrence
             if self._armed_idx < len(self._armed)

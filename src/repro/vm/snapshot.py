@@ -30,37 +30,24 @@ prepared-app cache and are never pickled.
 
 from __future__ import annotations
 
-import os
-import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..core.settings import (
+    DEFAULT_SNAPSHOT_LIMIT,
+    DEFAULT_SNAPSHOT_STRIDE,
+    current_settings,
+)
 from ..errors import SnapshotError
 from ..fpm.tracker import PropagationTrace
+from ..obs import runtime as _obs
 from .machine import Frame, Machine, MachineStatus
 
 #: default capture stride in cycles of global virtual time
-DEFAULT_STRIDE = 2048
+DEFAULT_STRIDE = DEFAULT_SNAPSHOT_STRIDE
 #: default maximum number of retained snapshots per golden run
-DEFAULT_LIMIT = 32
-
-_VERIFY_MODES = ("off", "first", "all")
-
-
-def _env_value(name: str, fallback: int, minimum: int) -> int:
-    raw = os.environ.get(name, "").strip()
-    if not raw:
-        return fallback
-    try:
-        value = int(raw)
-    except ValueError:
-        warnings.warn(
-            f"ignoring non-integer {name}={raw!r}; using {fallback}",
-            stacklevel=3,
-        )
-        return fallback
-    return max(minimum, value)
+DEFAULT_LIMIT = DEFAULT_SNAPSHOT_LIMIT
 
 
 def default_snapshot_stride(requested: Optional[int] = None) -> int:
@@ -70,7 +57,7 @@ def default_snapshot_stride(requested: Optional[int] = None) -> int:
     """
     if requested is not None:
         return max(0, int(requested))
-    return _env_value("REPRO_SNAPSHOT_STRIDE", DEFAULT_STRIDE, 0)
+    return current_settings().snapshot_stride
 
 
 def default_snapshot_limit(requested: Optional[int] = None) -> int:
@@ -78,7 +65,7 @@ def default_snapshot_limit(requested: Optional[int] = None) -> int:
     thinning)."""
     if requested is not None:
         return max(2, int(requested))
-    return _env_value("REPRO_SNAPSHOT_LIMIT", DEFAULT_LIMIT, 2)
+    return current_settings().snapshot_limit
 
 
 def snapshot_verify_mode() -> str:
@@ -88,16 +75,7 @@ def snapshot_verify_mode() -> str:
     cold and asserts bit-identity; ``all`` does so for every trial
     (slow — for debugging); ``off`` trusts the invariants.
     """
-    raw = os.environ.get("REPRO_SNAPSHOT_VERIFY", "").strip().lower()
-    if not raw:
-        return "first"
-    if raw not in _VERIFY_MODES:
-        warnings.warn(
-            f"ignoring unknown REPRO_SNAPSHOT_VERIFY={raw!r}; using 'first'",
-            stacklevel=2,
-        )
-        return "first"
-    return raw
+    return current_settings().snapshot_verify
 
 
 @dataclass(frozen=True)
@@ -289,8 +267,10 @@ class SnapshotStore:
         best = self.probe(faults)
         if best is None:
             self.misses += 1
+            _obs.inc("repro_snapshot_lookup_total", result="miss")
         else:
             self.hits += 1
+            _obs.inc("repro_snapshot_lookup_total", result="hit")
         return best
 
     def probe(self, faults: Sequence) -> Optional[WorldSnapshot]:

@@ -24,16 +24,16 @@ is exactly what snapshot-locality batching optimises for.
 
 from __future__ import annotations
 
-import os
 import time
-import warnings
 from collections import OrderedDict
 from typing import Dict, Optional, Sequence, Tuple
 
+from ..core.settings import DEFAULT_WORLD_CACHE, current_settings
+from ..obs import runtime as _obs
 from .snapshot import WorldSnapshot, restore_world
 
 #: default number of materialized worlds retained per process
-DEFAULT_WORLDS = 4
+DEFAULT_WORLDS = DEFAULT_WORLD_CACHE
 
 
 def default_world_cache_limit(requested: Optional[int] = None) -> int:
@@ -43,18 +43,7 @@ def default_world_cache_limit(requested: Optional[int] = None) -> int:
     """
     if requested is not None:
         return max(0, int(requested))
-    raw = os.environ.get("REPRO_WORLD_CACHE", "").strip()
-    if not raw:
-        return DEFAULT_WORLDS
-    try:
-        return max(0, int(raw))
-    except ValueError:
-        warnings.warn(
-            f"ignoring non-integer REPRO_WORLD_CACHE={raw!r}; "
-            f"using {DEFAULT_WORLDS}",
-            stacklevel=2,
-        )
-        return DEFAULT_WORLDS
+    return current_settings().world_cache
 
 
 class WorldCache:
@@ -86,7 +75,14 @@ class WorldCache:
             out = restore_world(snap, machines, runtime, dense_memory=warm)
             self._worlds.move_to_end(snap.cycle)
             self.warm_clones += 1
-            self.clone_s += time.perf_counter() - t0
+            dt = time.perf_counter() - t0
+            self.clone_s += dt
+            rec = _obs.current()
+            if rec is not None:
+                _obs.span_record("snapshot_restore", t0 - rec.t0, dt,
+                                 warm=True, cycle=snap.cycle)
+                _obs.inc("repro_world_restores_total", kind="warm")
+                _obs.emit("warm_clone", cycle=snap.cycle)
             return out
         out = restore_world(snap, machines, runtime)
         self.cold_restores += 1
@@ -99,7 +95,13 @@ class WorldCache:
             )
             while len(self._worlds) > self.limit:
                 self._worlds.popitem(last=False)
-        self.restore_s += time.perf_counter() - t0
+        dt = time.perf_counter() - t0
+        self.restore_s += dt
+        rec = _obs.current()
+        if rec is not None:
+            _obs.span_record("snapshot_restore", t0 - rec.t0, dt,
+                             warm=False, cycle=snap.cycle)
+            _obs.inc("repro_world_restores_total", kind="cold")
         return out
 
     def stats(self) -> Dict[str, float]:

@@ -1,0 +1,144 @@
+"""The unified REPRO_* settings schema: parsing, clamping, fallback."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core.settings import (
+    DEFAULT_PREFETCH,
+    DEFAULT_SNAPSHOT_LIMIT,
+    DEFAULT_TRIALS,
+    DEFAULT_WORLD_CACHE,
+    Settings,
+    current_settings,
+    env_int,
+)
+
+
+def _settings(**env):
+    return Settings.from_env({k: str(v) for k, v in env.items()})
+
+
+def test_defaults_with_empty_environment():
+    s = Settings.from_env({})
+    assert s.trials == DEFAULT_TRIALS
+    assert s.workers == 1
+    assert s.trial_timeout is None
+    assert s.snapshot_verify == "first"
+    assert s.fuse is True
+    assert s.batch_by_snapshot is True
+    assert s.obs_trace is None
+    assert s.obs_metrics is None
+    assert s.obs_cml_stride == 0
+
+
+def test_valid_values_parse():
+    s = _settings(REPRO_TRIALS=50, REPRO_WORKERS=4, REPRO_TRIAL_TIMEOUT=2.5,
+                  REPRO_SNAPSHOT_VERIFY="all", REPRO_FUSE=0,
+                  REPRO_OBS_TRACE="/tmp/t.jsonl", REPRO_OBS_CML_STRIDE=64)
+    assert (s.trials, s.workers, s.trial_timeout) == (50, 4, 2.5)
+    assert s.snapshot_verify == "all"
+    assert s.fuse is False
+    assert s.obs_trace == "/tmp/t.jsonl"
+    assert s.obs_cml_stride == 64
+
+
+def test_non_integer_warns_and_falls_back():
+    with pytest.warns(UserWarning, match="REPRO_TRIALS"):
+        s = _settings(REPRO_TRIALS="lots")
+    assert s.trials == DEFAULT_TRIALS
+
+
+def test_below_minimum_warns_for_strict_knobs():
+    with pytest.warns(UserWarning, match="REPRO_WORKERS"):
+        s = _settings(REPRO_WORKERS=0)
+    assert s.workers == 1
+
+
+def test_clamping_knobs_clamp_silently():
+    """Prefetch/cache/stride knobs keep their historical floor-clamp."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        s = _settings(REPRO_PREFETCH=0, REPRO_WORLD_CACHE=-3,
+                      REPRO_SNAPSHOT_STRIDE=-1, REPRO_SNAPSHOT_LIMIT=1,
+                      REPRO_OBS_CML_STRIDE=-5)
+    assert s.prefetch == 1
+    assert s.world_cache == 0
+    assert s.snapshot_stride == 0
+    assert s.snapshot_limit == 2
+    assert s.obs_cml_stride == 0
+
+
+def test_clamping_knob_still_warns_on_junk():
+    with pytest.warns(UserWarning, match="REPRO_PREFETCH"):
+        s = _settings(REPRO_PREFETCH="junk")
+    assert s.prefetch == DEFAULT_PREFETCH
+
+
+def test_bad_choice_warns_and_falls_back():
+    with pytest.warns(UserWarning, match="REPRO_SNAPSHOT_VERIFY"):
+        s = _settings(REPRO_SNAPSHOT_VERIFY="sometimes")
+    assert s.snapshot_verify == "first"
+
+
+def test_bad_float_warns():
+    with pytest.warns(UserWarning, match="REPRO_TRIAL_TIMEOUT"):
+        s = _settings(REPRO_TRIAL_TIMEOUT=-1)
+    assert s.trial_timeout is None
+
+
+def test_blank_values_mean_unset():
+    s = _settings(REPRO_TRIALS="  ", REPRO_ARTIFACT_DIR="",
+                  REPRO_WORLD_CACHE="")
+    assert s.trials == DEFAULT_TRIALS
+    assert s.artifact_dir is None
+    assert s.world_cache == DEFAULT_WORLD_CACHE
+
+
+def test_current_settings_rereads_environment(monkeypatch):
+    monkeypatch.delenv("REPRO_TRIALS", raising=False)
+    assert current_settings().trials == DEFAULT_TRIALS
+    monkeypatch.setenv("REPRO_TRIALS", "7")
+    assert current_settings().trials == 7
+
+
+def test_to_dict_round_trip():
+    s = _settings(REPRO_WORKERS=3)
+    d = s.to_dict()
+    assert d["workers"] == 3
+    assert Settings(**d) == s
+
+
+def test_env_int_helper(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_TRIALS", "9")
+    assert env_int("REPRO_BENCH_TRIALS", 4) == 9
+    monkeypatch.setenv("REPRO_BENCH_TRIALS", "bad")
+    with pytest.warns(UserWarning):
+        assert env_int("REPRO_BENCH_TRIALS", 4) == 4
+
+
+def test_call_sites_resolve_through_settings(monkeypatch):
+    """The layers that used to read os.environ directly now agree with
+    the schema (the point of the consolidation)."""
+    from repro.inject.campaign import default_trials, default_workers
+    from repro.inject.engine import prefetch_depth
+    from repro.vm.snapshot import default_snapshot_stride
+    from repro.vm.worldcache import default_world_cache_limit
+
+    monkeypatch.setenv("REPRO_TRIALS", "33")
+    monkeypatch.setenv("REPRO_WORKERS", "2")
+    monkeypatch.setenv("REPRO_PREFETCH", "5")
+    monkeypatch.setenv("REPRO_SNAPSHOT_STRIDE", "512")
+    monkeypatch.setenv("REPRO_WORLD_CACHE", "9")
+    assert default_trials(None) == 33
+    assert default_workers(None) == 2
+    assert prefetch_depth() == 5
+    assert default_snapshot_stride(None) == 512
+    assert default_world_cache_limit() == 9
+    # explicit arguments still beat the environment
+    assert default_trials(5) == 5
+    assert default_workers(1) == 1
+    assert default_snapshot_stride(64) == 64
+    assert DEFAULT_SNAPSHOT_LIMIT >= 2

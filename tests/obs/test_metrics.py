@@ -1,0 +1,106 @@
+"""Metrics registry: recording, merge transport, exposition formats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import MetricsRegistry, parse_prometheus
+
+
+def test_counters_and_labels():
+    r = MetricsRegistry()
+    r.inc("repro_trials_total", outcome="C")
+    r.inc("repro_trials_total", outcome="C")
+    r.inc("repro_trials_total", outcome="WO")
+    r.inc("repro_words_sent_total", 64)
+    assert r.counter_value("repro_trials_total", outcome="C") == 2
+    assert r.counter_value("repro_trials_total", outcome="WO") == 1
+    assert r.counter_value("repro_trials_total", outcome="V") == 0
+    assert r.counter_value("repro_words_sent_total") == 64
+
+
+def test_gauges_take_latest():
+    r = MetricsRegistry()
+    r.set_gauge("repro_shadow_entries", 5)
+    r.set_gauge("repro_shadow_entries", 3)
+    assert r.gauge_value("repro_shadow_entries") == 3
+    assert r.gauge_value("repro_effective_workers") is None
+
+
+def test_histogram_observe():
+    r = MetricsRegistry()
+    for v in (0.0001, 0.002, 0.02, 200.0):
+        r.observe("repro_trial_stage_seconds", v, stage="execute")
+    d = r.to_dict()["histograms"]["repro_trial_stage_seconds"]
+    (key, hist), = d
+    assert hist["count"] == 4
+    assert hist["sum"] == pytest.approx(200.0221)
+
+
+def test_merge_is_additive_for_counters_and_histograms():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    for r, n in ((a, 2), (b, 3)):
+        for _ in range(n):
+            r.inc("repro_msgs_total")
+            r.observe("repro_trial_stage_seconds", 0.01, stage="arm")
+        r.set_gauge("repro_shadow_entries", n)
+    a.merge(b.to_dict())
+    assert a.counter_value("repro_msgs_total") == 5
+    hist = a.to_dict()["histograms"]["repro_trial_stage_seconds"][0][1]
+    assert hist["count"] == 5
+    # gauges take the incoming value
+    assert a.gauge_value("repro_shadow_entries") == 3
+
+
+def test_merge_round_trips_through_dict():
+    a = MetricsRegistry()
+    a.inc("repro_trials_total", outcome="C")
+    a.observe("repro_trial_stage_seconds", 0.5, stage="execute")
+    a.set_gauge("repro_campaign_wall_seconds", 1.25)
+    b = MetricsRegistry()
+    b.merge(a.to_dict())
+    assert b.to_dict() == a.to_dict()
+
+
+def test_merge_rejects_incompatible_buckets():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.observe("h", 0.1, buckets=(1.0, 2.0))
+    b.observe("h", 0.1, buckets=(1.0, 3.0))
+    with pytest.raises(ObservabilityError):
+        a.merge(b.to_dict())
+
+
+def test_prometheus_exposition_parses():
+    r = MetricsRegistry()
+    r.inc("repro_trials_total", 4, outcome="C")
+    r.inc("repro_trials_total", 2, outcome="WO")
+    r.set_gauge("repro_effective_workers", 2)
+    r.observe("repro_trial_stage_seconds", 0.01, stage="execute")
+    r.observe("repro_trial_stage_seconds", 0.7, stage="execute")
+    text = r.to_prometheus()
+    assert "# TYPE repro_trials_total counter" in text
+    assert "# HELP repro_trials_total" in text
+    samples = parse_prometheus(text)
+    assert samples["repro_trials_total"][(("outcome", "C"),)] == 4
+    assert samples["repro_effective_workers"][()] == 2
+    # histogram exposition: cumulative buckets, +Inf, _sum, _count
+    count = samples["repro_trial_stage_seconds_count"][(("stage", "execute"),)]
+    assert count == 2
+    inf = samples["repro_trial_stage_seconds_bucket"][
+        (("le", "+Inf"), ("stage", "execute"))]
+    assert inf == 2
+    assert samples["repro_trial_stage_seconds_sum"][
+        (("stage", "execute"),)] == pytest.approx(0.71)
+
+
+def test_parse_prometheus_rejects_garbage():
+    for bad in ("not a metric line", "# BADCOMMENT x y",
+                "metric{unclosed 1", "metric NaN"):
+        with pytest.raises(ObservabilityError):
+            parse_prometheus(bad)
+
+
+def test_empty_registry_exposes_empty():
+    assert MetricsRegistry().to_prometheus() == ""
+    assert parse_prometheus("") == {}

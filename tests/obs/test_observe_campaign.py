@@ -1,0 +1,165 @@
+"""The observability layer's core contract: observing a campaign
+changes nothing about it, and everything it emits is well-formed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.inject.campaign import run_campaign, trial_results_equal
+from repro.models import PiecewiseFit, fit_cml_stream
+from repro.obs import (
+    CMLStream,
+    ObserveConfig,
+    cml_series,
+    parse_prometheus,
+    read_trace,
+    trial_records,
+)
+from repro.obs.observer import CampaignObserver
+
+
+@pytest.fixture(scope="module")
+def observed(tmp_path_factory):
+    """One traced FPM campaign, reused by every assertion below."""
+    td = tmp_path_factory.mktemp("obs")
+    cfg = ObserveConfig(trace=str(td / "trace.jsonl"),
+                        metrics_out=str(td / "metrics.prom"))
+    result = run_campaign("matvec", trials=16, mode="fpm", seed=42,
+                          workers=1, observe=cfg)
+    return cfg, result
+
+
+def test_observe_changes_no_outcome(observed):
+    """Bit-identity: observed and unobserved campaigns match trial by
+    trial (the acceptance invariant of the whole layer)."""
+    _, obs = observed
+    base = run_campaign("matvec", trials=16, mode="fpm", seed=42, workers=1)
+    assert base.n_trials == obs.n_trials
+    for i, (a, b) in enumerate(zip(base.trials, obs.trials)):
+        assert trial_results_equal(a, b), f"trial {i} diverged under observe"
+    assert base.metrics is None
+    assert obs.metrics is not None
+
+
+def test_trace_round_trips(observed):
+    cfg, result = observed
+    header, records = read_trace(cfg.trace)
+    assert header["app"] == "matvec"
+    assert header["n_trials"] == 16
+    # every trial leaves a summary record whose outcome matches
+    for i, trial in enumerate(result.trials):
+        summaries = [r for r in trial_records(records, i)
+                     if r["type"] == "trial"]
+        assert len(summaries) == 1
+        assert summaries[0]["outcome"] == trial.outcome
+    # the span taxonomy covers the per-trial stages
+    span_names = {r["name"] for r in records if r["type"] == "span"}
+    assert {"arm", "execute", "classify"} <= span_names
+
+
+def test_cml_stream_fits_piecewise(observed):
+    cfg, result = observed
+    _, records = read_trace(cfg.trace)
+    fitted = 0
+    for i, trial in enumerate(result.trials):
+        series = cml_series(records, i)
+        if trial.cml_stream is None:
+            assert series == []
+            continue
+        # trace record mirrors the in-memory stream
+        assert series == [tuple(p) for p in trial.cml_stream.tolist()]
+        if trial.ever_contaminated and len(series) >= 3:
+            fit = fit_cml_stream(trial.cml_stream)
+            assert isinstance(fit, PiecewiseFit)
+            assert fit.n >= 3
+            fitted += 1
+    assert fitted > 0, "no contaminated trial produced a fittable stream"
+
+
+def test_metrics_exposition_well_formed(observed):
+    cfg, result = observed
+    samples = parse_prometheus(open(cfg.metrics_out).read())
+    totals = samples["repro_trials_total"]
+    assert sum(totals.values()) == result.n_trials
+    assert samples["repro_effective_workers"][()] == 1
+    assert "repro_trial_stage_seconds_count" in samples
+    # the in-memory dict agrees with the exposition on trial totals
+    counters = result.metrics["counters"]["repro_trials_total"]
+    assert sum(v for _, v in counters) == result.n_trials
+
+
+def test_pool_observation_matches_serial(tmp_path):
+    cfg_s = ObserveConfig(trace=str(tmp_path / "serial.jsonl"))
+    cfg_p = ObserveConfig(trace=str(tmp_path / "pool.jsonl"))
+    a = run_campaign("matvec", trials=8, mode="fpm", seed=3, workers=1,
+                     observe=cfg_s)
+    b = run_campaign("matvec", trials=8, mode="fpm", seed=3, workers=2,
+                     observe=cfg_p)
+    for i, (x, y) in enumerate(zip(a.trials, b.trials)):
+        assert trial_results_equal(x, y)
+        if x.cml_stream is not None:
+            assert np.array_equal(x.cml_stream, y.cml_stream), \
+                f"trial {i} stream differs serial vs pool"
+    # merged outcome counters agree regardless of execution backend
+    _, ra = read_trace(cfg_s.trace)
+    _, rb = read_trace(cfg_p.trace)
+    for i in range(8):
+        assert cml_series(ra, i) == cml_series(rb, i)
+
+
+def test_observe_defers_to_environment(tmp_path, monkeypatch):
+    monkeypatch.delenv("REPRO_OBS_TRACE", raising=False)
+    monkeypatch.delenv("REPRO_OBS_METRICS", raising=False)
+    assert ObserveConfig.resolve(None) is None
+    assert ObserveConfig.resolve(False) is None
+    assert ObserveConfig.resolve("off") is None
+    trace = str(tmp_path / "env.jsonl")
+    monkeypatch.setenv("REPRO_OBS_TRACE", trace)
+    cfg = ObserveConfig.resolve(None)
+    assert cfg is not None and cfg.trace == trace
+    on = ObserveConfig.resolve("on")
+    assert on.trace == trace
+    with pytest.raises(Exception):
+        ObserveConfig.resolve(42)
+
+
+def test_observer_strips_transport_payload(tmp_path):
+    cfg = ObserveConfig(trace=str(tmp_path / "t.jsonl"))
+    result = run_campaign("matvec", trials=4, mode="fpm", seed=5,
+                          workers=1, observe=cfg)
+    # the worker->driver payload is consumed, never left on results
+    assert all(t.obs is None for t in result.trials)
+
+
+def test_cml_stream_decimation_and_backfill():
+    full = CMLStream(0)
+    dec = CMLStream(100)
+    for t in range(0, 1000, 10):
+        full.push(t, (t // 100, 0))
+        dec.push(t, (t // 100, 0))
+    assert len(full) == 100
+    assert len(dec) == 10
+    # backfill replays a prefix exactly as live pushes would record it
+    replay = CMLStream(100)
+    replay.backfill(full.times[:50], [(v, 0) for v in full.values[:50]])
+    for t in range(500, 1000, 10):
+        replay.push(t, (t // 100, 0))
+    assert replay.series() == dec.series()
+    assert dec.to_array().shape == (10, 2)
+    assert CMLStream().to_array() is None
+
+
+def test_observer_event_and_finalize(tmp_path):
+    cfg = ObserveConfig(trace=str(tmp_path / "t.jsonl"),
+                        metrics_out=str(tmp_path / "m.prom"))
+    obs = CampaignObserver(cfg, meta={"app": "x"})
+    obs.event("watchdog_kill", trial=3, timeout_s=10.0)
+    obs.metrics.inc("repro_watchdog_kills_total")
+    metrics = obs.finalize()
+    assert metrics["counters"]["repro_watchdog_kills_total"]
+    _, records = read_trace(cfg.trace)
+    assert records[0]["name"] == "watchdog_kill"
+    assert records[0]["trial"] == 3
+    parse_prometheus(open(cfg.metrics_out).read())

@@ -1,0 +1,102 @@
+"""Trace file format: schema validation and round-trip."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    TRACE_FORMAT,
+    TRACE_KIND,
+    TraceWriter,
+    cml_series,
+    iter_trace,
+    read_trace,
+    trial_records,
+    validate_record,
+)
+
+GOOD = [
+    {"type": "span", "name": "execute", "t0": 0.01, "dur": 0.5, "trial": 0},
+    {"type": "event", "name": "injection", "t": 0.2, "trial": 0,
+     "attrs": {"rank": 1, "bit": 17}},
+    {"type": "trial", "trial": 0, "outcome": "WO", "cycles": 1234},
+    {"type": "cml", "trial": 0, "series": [[16, 0], [32, 5], [48, 5]]},
+]
+
+
+def test_round_trip(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with TraceWriter(path, {"app": "matvec", "seed": 7}) as w:
+        w.write_all(GOOD)
+    header, records = read_trace(path)
+    assert header["kind"] == TRACE_KIND
+    assert header["format"] == TRACE_FORMAT
+    assert header["app"] == "matvec"
+    assert records == GOOD
+    assert list(iter_trace(path)) == GOOD
+
+
+def test_trial_records_and_cml_series(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with TraceWriter(path) as w:
+        w.write_all(GOOD)
+        w.write({"type": "trial", "trial": 1, "outcome": "C"})
+    _, records = read_trace(path)
+    assert len(trial_records(records, 0)) == 4
+    assert len(trial_records(records, 1)) == 1
+    assert cml_series(records, 0) == [(16, 0), (32, 5), (48, 5)]
+    assert cml_series(records, 1) == []
+
+
+@pytest.mark.parametrize("bad", [
+    {"type": "nope"},
+    {"type": "span", "name": "x", "t0": 0.0},            # missing dur
+    {"type": "span", "name": "x", "t0": 0.0, "dur": -1.0},
+    {"type": "event", "name": "x"},                       # missing t
+    {"type": "trial", "trial": 0},                        # missing outcome
+    {"type": "trial", "trial": "zero", "outcome": "C"},   # trial not int
+    {"type": "cml", "trial": 0, "series": [[1, 2, 3]]},
+    {"type": "cml", "trial": 0, "series": "not-a-list"},
+    "not-a-dict",
+])
+def test_validate_rejects(bad):
+    with pytest.raises(ObservabilityError):
+        validate_record(bad)
+
+
+def test_writer_rejects_bad_record(tmp_path):
+    with TraceWriter(tmp_path / "t.jsonl") as w:
+        with pytest.raises(ObservabilityError):
+            w.write({"type": "span", "name": "x", "t0": 0.0})
+
+
+def test_reader_rejects_wrong_kind(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text(json.dumps({"kind": "other", "format": 1}) + "\n")
+    with pytest.raises(ObservabilityError):
+        read_trace(path)
+
+
+def test_reader_rejects_unknown_format(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text(json.dumps({"kind": TRACE_KIND, "format": 99}) + "\n")
+    with pytest.raises(ObservabilityError):
+        read_trace(path)
+
+
+def test_reader_rejects_malformed_line(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text(
+        json.dumps({"kind": TRACE_KIND, "format": TRACE_FORMAT}) + "\n"
+        + "{broken\n"
+    )
+    with pytest.raises(ObservabilityError):
+        list(iter_trace(path))
+
+
+def test_missing_file():
+    with pytest.raises(ObservabilityError):
+        read_trace("/nonexistent/trace.jsonl")
