@@ -1,0 +1,157 @@
+"""Convergence pruning: per-trial speedup ladder + campaign wall clock.
+
+"Before" is the PR 4 configuration: every trial executes to its final
+cycle even after its corrupted state has healed back to the golden
+trajectory.  "After" is the default PR 5 configuration: the scheduler
+compares the trial's world digest against the golden fingerprint index
+at each stride epoch (once all faults have fired and the shadow tables
+are empty) and splices the golden finals onto re-converged trials.
+
+The gating assertions are:
+
+* equivalence — pruned and unpruned campaigns must be trial-for-trial
+  bit-identical (the hard gate, meaningful on any hardware);
+* per-trial speedup — the median wall-clock ratio over *pruned* trials
+  must reach 1.5x on at least two applications (pruned trials skip the
+  bulk of their execution, so this holds with a wide margin even on
+  noisy shared runners);
+* no regression — the median campaign-level wall ratio must not drop
+  below the noise floor (unpruned trials pay only a scalar
+  quick-signature check per stride epoch).
+
+Per-trial times are the campaign engine's own ``execute`` stage clocks,
+taken as the min across reps (adjacent interleaved runs see similar
+host conditions).  Results land in
+``benchmarks/results/BENCH_convergence_pruning.json`` with one pruned
+fraction + sorted speedup ladder per app.  Scale with REPRO_BENCH_TRIALS
+(default 30) and REPRO_BENCH_REPS (default 3).
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+
+from repro.inject import run_campaign, trial_results_equal
+from repro.inject import campaign as campaign_mod
+from repro.inject.campaign import _env_int
+
+from conftest import SEED
+
+#: the paper's two scale apps with the largest golden trajectories —
+#: where healed trials have the most tail left to skip
+APPS = ("amg", "minife")
+
+#: campaign-level no-regression floor: pruning may never cost more than
+#: measurement noise on an unpruned workload
+NO_REGRESSION_FLOOR = 0.80
+
+#: acceptance gate: median per-trial speedup over pruned trials
+PRUNED_SPEEDUP_GATE = 1.5
+
+
+def _bench_trials() -> int:
+    return _env_int("REPRO_BENCH_TRIALS", 30)
+
+
+def _bench_reps() -> int:
+    return _env_int("REPRO_BENCH_REPS", 3)
+
+
+def _run(app, n, prune):
+    campaign_mod._PREPARED_CACHE.clear()
+    t0 = time.perf_counter()
+    result = run_campaign(app, n, mode="fpm", seed=SEED, workers=1,
+                          prune=prune)
+    return result, time.perf_counter() - t0
+
+
+def _execute_times(result):
+    return [t.stage_timings.get("execute", 0.0) for t in result.trials]
+
+
+def _measure_app(app, n, reps):
+    # untimed warm-up: bytecode caches + golden profile for both paths
+    _run(app, n, False)
+
+    base_walls, cand_walls = [], []
+    base_exec = [float("inf")] * n
+    cand_exec = [float("inf")] * n
+    candidate = None
+    for _ in range(reps):
+        base, bw = _run(app, n, False)
+        cand, cw = _run(app, n, True)
+        # gating: pruning must be invisible in the science
+        assert base.n_trials == cand.n_trials == n
+        assert base.fractions() == cand.fractions()
+        for i, (a, b) in enumerate(zip(base.trials, cand.trials)):
+            assert trial_results_equal(a, b), (app, i, a, b)
+            assert a.pruned_at_cycle is None
+        base_walls.append(bw)
+        cand_walls.append(cw)
+        base_exec = [min(p, q) for p, q in zip(base_exec, _execute_times(base))]
+        cand_exec = [min(p, q) for p, q in zip(cand_exec, _execute_times(cand))]
+        candidate = cand
+
+    pruned = [i for i, t in enumerate(candidate.trials)
+              if t.pruned_at_cycle is not None]
+    ladder = sorted(
+        round(base_exec[i] / max(cand_exec[i], 1e-9), 2) for i in pruned)
+    wall_ratios = [b / max(c, 1e-9)
+                   for b, c in zip(base_walls, cand_walls)]
+    row = {
+        "trials": n,
+        "pruned_trials": len(pruned),
+        "pruned_fraction": round(len(pruned) / n, 3),
+        "pruned_cycles": candidate.health.pruned_cycles,
+        "pruned_outcomes": sorted({candidate.trials[i].outcome
+                                   for i in pruned}),
+        "speedup_ladder": ladder,
+        "pruned_speedup_median": (round(statistics.median(ladder), 2)
+                                  if ladder else None),
+        "baseline_wall_s": [round(w, 3) for w in base_walls],
+        "candidate_wall_s": [round(w, 3) for w in cand_walls],
+        "campaign_ratio_median": round(statistics.median(wall_ratios), 2),
+        "equivalent": True,
+    }
+    return row
+
+
+def test_perf_convergence_pruning(results_dir, monkeypatch):
+    monkeypatch.delenv("REPRO_PRUNE", raising=False)
+    monkeypatch.delenv("REPRO_ARTIFACT_DIR", raising=False)
+    n = _bench_trials()
+    reps = _bench_reps()
+    payload = {
+        "benchmark": "convergence_pruning",
+        "seed": SEED,
+        "trials": n,
+        "reps": reps,
+        "baseline": "PR 4: every trial runs to its final cycle "
+                    "(prune=False)",
+        "candidate": "golden-trajectory convergence pruning: digest "
+                     "match at stride epochs splices golden finals "
+                     "(defaults)",
+        "apps": {app: _measure_app(app, n, reps) for app in APPS},
+    }
+    gate_hits = [app for app, row in payload["apps"].items()
+                 if row["pruned_speedup_median"] is not None
+                 and row["pruned_speedup_median"] >= PRUNED_SPEEDUP_GATE]
+    payload["headline"] = {
+        "apps_meeting_pruned_speedup_gate": gate_hits,
+        "gate": PRUNED_SPEEDUP_GATE,
+    }
+    path = results_dir / "BENCH_convergence_pruning.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\n=== {path.name} ===\n{json.dumps(payload, indent=2)}\n")
+
+    for app, row in payload["apps"].items():
+        # the corpus must actually exercise splicing on both apps
+        assert row["pruned_trials"] > 0, f"{app}: nothing pruned"
+        # masked outcomes only — a pruned world was bit-identical to
+        # golden, so it cannot have crashed or produced wrong output
+        assert set(row["pruned_outcomes"]) <= {"V", "ONA", "CO"}, row
+        # no-regression: pruning never costs more than noise
+        assert row["campaign_ratio_median"] >= NO_REGRESSION_FLOOR, (app, row)
+    assert len(gate_hits) >= 2, payload["apps"]

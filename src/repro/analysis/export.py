@@ -52,6 +52,8 @@ def _trial_to_dict(t: TrialResult) -> dict:
         d["failure_detail"] = t.failure_detail
     if t.retries:
         d["retries"] = t.retries
+    if t.pruned_at_cycle is not None:
+        d["pruned_at_cycle"] = t.pruned_at_cycle
     if t.stage_timings:
         d["stage_timings"] = dict(t.stage_timings)
     if t.times is not None:
@@ -92,6 +94,7 @@ def _trial_from_dict(d: dict) -> TrialResult:
         failure_kind=d.get("failure_kind"),
         failure_detail=d.get("failure_detail"),
         retries=d.get("retries", 0),
+        pruned_at_cycle=d.get("pruned_at_cycle"),
         stage_timings=d.get("stage_timings"),
     )
     series = d.get("series")

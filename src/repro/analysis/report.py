@@ -74,6 +74,12 @@ def render_health_summary(health, quarantined_trials: Optional[Sequence] = None)
                   for stage, secs in sorted(timings.items())
                   if stage not in order]
         lines.append("stage totals: " + ", ".join(parts))
+    if getattr(health, "pruned_trials", 0):
+        lines.append(
+            f"pruned: {health.pruned_trials} trial(s) converged to the "
+            f"golden trajectory early ({health.pruned_cycles} cycles "
+            f"spliced instead of executed)"
+        )
     if health.clean:
         lines.append("supervision: clean — no retries, no failures")
         return "\n".join(lines)

@@ -54,6 +54,10 @@ def _add_campaign_args(p: argparse.ArgumentParser) -> None:
                         "golden profile + snapshots from there instead of "
                         "re-profiling, saving after a miss "
                         "(default REPRO_ARTIFACT_DIR/off)")
+    p.add_argument("--no-prune", action="store_true",
+                   help="disable golden-trajectory convergence pruning "
+                        "and run every trial to completion (default: "
+                        "pruning on unless REPRO_PRUNE=0)")
     p.add_argument("--trace", metavar="PATH", default=None,
                    help="write a schema-versioned JSONL trace of every "
                         "trial (spans, VM/MPI events, live CML streams)")
@@ -170,7 +174,8 @@ def cmd_campaign(args) -> int:
                          journal=getattr(args, "journal", None),
                          snapshot_stride=args.snapshot_stride,
                          artifact_dir=args.artifact_dir,
-                         observe=observe)
+                         observe=observe,
+                         prune=False if args.no_prune else None)
     print(f"{c.n_trials} trials, mode={c.mode}, "
           f"{c.n_faults} fault(s)/run")
     print(render_outcome_table({args.app: c.fractions()},
@@ -200,7 +205,8 @@ def cmd_sites(args) -> int:
                      timeout=args.timeout, max_retries=args.max_retries,
                      snapshot_stride=args.snapshot_stride,
                      artifact_dir=args.artifact_dir,
-                     observe=_observe_from_args(args))
+                     observe=_observe_from_args(args),
+                     prune=False if args.no_prune else None)
     pa = _prepared(args.app, (), "fpm", args.snapshot_stride,
                    args.artifact_dir)
     ranking = site_vulnerability(c, pa.program.site_table, by=args.by)
@@ -218,7 +224,8 @@ def cmd_fps(args) -> int:
                         timeout=args.timeout, max_retries=args.max_retries,
                         snapshot_stride=args.snapshot_stride,
                         artifact_dir=args.artifact_dir,
-                        observe=_observe_from_args(args))
+                        observe=_observe_from_args(args),
+                        prune=False if args.no_prune else None)
     fps = fw.fps_factor(c)
     print(render_fps_table([fps]))
     est = fw.estimator(c)

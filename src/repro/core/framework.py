@@ -99,6 +99,7 @@ class FaultPropagationFramework:
         snapshot_stride: Optional[int] = None,
         artifact_dir: Optional[str] = None,
         observe=None,
+        prune: Optional[bool] = None,
     ) -> CampaignResult:
         """Output-variation analysis (paper Sec. 4.2 / Fig. 6)."""
         return run_campaign(
@@ -106,7 +107,7 @@ class FaultPropagationFramework:
             workers=workers, n_faults=n_faults, params=self.params,
             timeout=timeout, max_retries=max_retries, journal=journal,
             snapshot_stride=snapshot_stride, artifact_dir=artifact_dir,
-            observe=observe,
+            observe=observe, prune=prune,
         )
 
     def fpm_campaign(
@@ -118,6 +119,7 @@ class FaultPropagationFramework:
         snapshot_stride: Optional[int] = None,
         artifact_dir: Optional[str] = None,
         observe=None,
+        prune: Optional[bool] = None,
     ) -> CampaignResult:
         """Propagation analysis (paper Sec. 4.3 / Figs. 7-8)."""
         return run_campaign(
@@ -125,7 +127,7 @@ class FaultPropagationFramework:
             n_faults=n_faults, keep_series=keep_series, params=self.params,
             timeout=timeout, max_retries=max_retries, journal=journal,
             snapshot_stride=snapshot_stride, artifact_dir=artifact_dir,
-            observe=observe,
+            observe=observe, prune=prune,
         )
 
     def resume_campaign(self, journal: str, **kwargs) -> CampaignResult:

@@ -53,6 +53,8 @@ def run_job(
     restore_from=None,
     world_cache=None,
     cml_stream=None,
+    capture_fingerprints=None,
+    prune=None,
 ) -> JobResult:
     """Run one simulated MPI job to completion (or crash/deadlock/hang).
 
@@ -82,6 +84,15 @@ def run_job(
     yielding the live decimated CML(t) series without retaining the full
     per-rank trace.  Pure observation: attaching one never changes the
     job's execution or results.
+
+    ``capture_fingerprints`` accepts a
+    :class:`~repro.vm.fingerprint.FingerprintIndex` to populate while
+    the job runs (golden profiling).  ``prune`` accepts a *frozen*
+    golden FingerprintIndex: when a faulted trial's world re-converges
+    bit-for-bit with the golden trajectory at a fingerprinted epoch, the
+    scheduler splices in the golden tail instead of executing it and
+    sets ``JobResult.pruned_at_cycle``.  Results are identical to a full
+    run by construction (see :mod:`repro.vm.fingerprint`).
     """
     config = config or RunConfig()
     runtime = MPIRuntime()
@@ -150,5 +161,7 @@ def run_job(
         trace=initial_trace,
         snapshots=capture_snapshots,
         cml_stream=cml_stream,
+        fingerprints=capture_fingerprints,
+        prune=prune,
     )
     return scheduler.run()

@@ -133,6 +133,8 @@ class Settings:
     snapshot_limit: int = DEFAULT_SNAPSHOT_LIMIT
     #: REPRO_SNAPSHOT_VERIFY — off | first | all
     snapshot_verify: str = "first"
+    #: REPRO_PRUNE — golden-trajectory convergence pruning (0 = off)
+    prune: bool = True
     #: REPRO_FUSE — fused-segment dispatch
     fuse: bool = True
     # -- observability --------------------------------------------------
@@ -170,6 +172,7 @@ class Settings:
                 minimum=2, clamp=True),
             snapshot_verify=_parse_choice(
                 env, "REPRO_SNAPSHOT_VERIFY", "first", _VERIFY_MODES),
+            prune=_parse_bool(env, "REPRO_PRUNE", True),
             fuse=_parse_bool(env, "REPRO_FUSE", True),
             obs_trace=_parse_str(env, "REPRO_OBS_TRACE"),
             obs_metrics=_parse_str(env, "REPRO_OBS_METRICS"),

@@ -44,12 +44,14 @@ from typing import Optional, Union
 
 from ..apps.registry import AppSpec
 from ..errors import ArtifactError
+from ..vm.fingerprint import FingerprintIndex
 from ..vm.snapshot import SnapshotStore
 from .profiler import GoldenProfile
 
 #: bump when the payload layout or snapshot encoding changes shape;
 #: artifacts with any other schema are re-profiled, never interpreted
-SCHEMA_VERSION = 1
+#: (v2: golden fingerprint index for convergence pruning)
+SCHEMA_VERSION = 2
 
 _ARTIFACT_KIND = "repro-golden-artifact"
 _SUFFIX = ".golden"
@@ -109,6 +111,8 @@ class GoldenArtifact:
     golden: GoldenProfile
     #: :meth:`SnapshotStore.dump_state` form, or None (snapshots disabled)
     snapshot_state: Optional[tuple]
+    #: :meth:`FingerprintIndex.dump_state` form, or None (no fingerprints)
+    fingerprint_state: Optional[tuple] = None
     #: a process somewhere already proved fast-forward equivalence for
     #: this artifact (persisted marker — see :func:`mark_verified`)
     verified: bool = False
@@ -120,12 +124,18 @@ class GoldenArtifact:
         store.verified = self.verified
         return store
 
+    def fingerprint_index(self) -> Optional[FingerprintIndex]:
+        if self.fingerprint_state is None:
+            return None
+        return FingerprintIndex.load_state(self.fingerprint_state)
+
 
 def save_artifact(
     directory: Union[str, Path],
     key: str,
     golden: GoldenProfile,
     snapshots: Optional[SnapshotStore],
+    fingerprints: Optional[FingerprintIndex] = None,
 ) -> Path:
     """Atomically write the artifact for ``key``; returns its path.
 
@@ -139,6 +149,8 @@ def save_artifact(
             "golden": golden,
             "snapshots": snapshots.dump_state()
             if snapshots is not None else None,
+            "fingerprints": fingerprints.dump_state()
+            if fingerprints is not None else None,
         },
         protocol=pickle.HIGHEST_PROTOCOL,
     )
@@ -213,6 +225,7 @@ def load_artifact_strict(directory: Union[str, Path],
         data = pickle.loads(payload)
         golden = data["golden"]
         snapshot_state = data["snapshots"]
+        fingerprint_state = data.get("fingerprints")
     except Exception as exc:
         raise ArtifactError(f"{path}: unreadable artifact payload: {exc}")
     if not isinstance(golden, GoldenProfile):
@@ -222,6 +235,7 @@ def load_artifact_strict(directory: Union[str, Path],
         key=key,
         golden=golden,
         snapshot_state=snapshot_state,
+        fingerprint_state=fingerprint_state,
         verified=is_verified(directory, key),
     )
 

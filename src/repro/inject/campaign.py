@@ -74,6 +74,12 @@ class TrialResult:
     failure_detail: Optional[str] = None
     #: times the engine re-executed this trial after a harness failure
     retries: int = 0
+    #: virtual time at which convergence pruning spliced the golden tail
+    #: (None = the trial executed to completion).  Excluded from the
+    #: bit-identity predicate: it records *how* the result was obtained,
+    #: not what it is — the spliced fields themselves are identical to a
+    #: full run's by the pruning contract.
+    pruned_at_cycle: Optional[int] = None
     #: wall seconds per execution stage (artifact_load / snapshot_restore
     #: / clone / execute) — observability only; excluded from the
     #: bit-identity predicate because wall clocks are nondeterministic
@@ -231,6 +237,7 @@ def _summarise(
         injected_sites=injected_sites,
         iterations=result.max_iterations,
         cycles=result.cycles,
+        pruned_at_cycle=result.pruned_at_cycle,
     )
     trace = result.trace
     if trace is not None:
@@ -261,8 +268,11 @@ def trial_results_equal(a: TrialResult, b: TrialResult) -> bool:
         # stage_timings: wall clocks are nondeterministic.  cml_stream /
         # obs: observability outputs whose presence depends on the
         # observe configuration (the verify cold re-run executes
-        # unobserved), not on what the trial computed.
-        if f.name in ("stage_timings", "cml_stream", "obs"):
+        # unobserved), not on what the trial computed.  pruned_at_cycle:
+        # provenance of the result, not content — the verify cold re-run
+        # executes unpruned precisely to check the spliced fields.
+        if f.name in ("stage_timings", "cml_stream", "obs",
+                      "pruned_at_cycle"):
             continue
         va, vb = getattr(a, f.name), getattr(b, f.name)
         if isinstance(va, np.ndarray) or isinstance(vb, np.ndarray):
@@ -310,12 +320,14 @@ def _execute_trial(args, stream) -> TrialResult:
     wall_timeout = args[6] if len(args) > 6 else None
     snapshot_stride = args[7] if len(args) > 7 else None
     artifact_dir = args[8] if len(args) > 8 else None
+    prune_on = bool(args[10]) if len(args) > 10 else False
     t0 = time.perf_counter()
     with obs_rt.span("arm", faults=len(faults)):
         pa = _prepared(app_name, params, mode, snapshot_stride, artifact_dir)
         config = pa.run_config()
         store = pa.snapshots
         snap = store.best_for(faults) if store is not None else None
+    fingerprints = pa.fingerprints if prune_on else None
     prep_s = time.perf_counter() - t0
     wc = pa.world_cache
     timings = {"artifact_load": prep_s, "snapshot_restore": 0.0,
@@ -326,6 +338,7 @@ def _execute_trial(args, stream) -> TrialResult:
             result = run_job(
                 pa.program, config, faults=faults, inj_seed=inj_seed,
                 wall_timeout=wall_timeout, cml_stream=stream,
+                prune=fingerprints,
             )
         timings["execute"] = time.perf_counter() - t1
         with obs_rt.span("classify"):
@@ -340,7 +353,7 @@ def _execute_trial(args, stream) -> TrialResult:
         result = run_job(
             pa.program, config, faults=faults, inj_seed=inj_seed,
             wall_timeout=wall_timeout, restore_from=snap, world_cache=wc,
-            cml_stream=stream,
+            cml_stream=stream, prune=fingerprints,
         )
     run_s = time.perf_counter() - t1
     if wc is not None:
@@ -359,7 +372,9 @@ def _execute_trial(args, stream) -> TrialResult:
         store.verified = True
     if verify == "all" or (verify == "first" and not store.verified):
         # The cold re-execution is harness bookkeeping: its VM/MPI
-        # events must not pollute the observed trial's records.
+        # events must not pollute the observed trial's records.  It
+        # deliberately runs *unpruned* as well, so the equivalence check
+        # covers both fast-forward and convergence pruning.
         with obs_rt.suspended():
             cold = run_job(
                 pa.program, config, faults=faults, inj_seed=inj_seed,
@@ -434,6 +449,7 @@ def _build_jobs(
     snapshot_stride: Optional[int] = None,
     artifact_dir: Optional[str] = None,
     observe: Optional[ObserveConfig] = None,
+    prune: bool = False,
 ) -> List[tuple]:
     """Draw every trial's fault plan and seed up front.
 
@@ -451,8 +467,20 @@ def _build_jobs(
         inj_seed = int(rng.integers(2 ** 31))
         jobs.append((app, params_key, mode, tuple(faults), inj_seed,
                      keep_series, wall_timeout, snapshot_stride,
-                     artifact_dir, observe))
+                     artifact_dir, observe, prune))
     return jobs
+
+
+def prune_enabled(requested: Optional[bool] = None) -> bool:
+    """Convergence pruning: argument, else REPRO_PRUNE.
+
+    On by default; set REPRO_PRUNE=0 (or pass ``prune=False`` /
+    ``--no-prune``) to execute every trial to completion — the escape
+    hatch for A/B measurement and equivalence testing.
+    """
+    if requested is not None:
+        return bool(requested)
+    return current_settings().prune
 
 
 def batch_by_snapshot(requested: Optional[bool] = None) -> bool:
@@ -517,6 +545,7 @@ def run_campaign(
     snapshot_stride: Optional[int] = None,
     artifact_dir: Union[str, Path, None] = None,
     observe: Union[None, bool, str, ObserveConfig] = None,
+    prune: Optional[bool] = None,
 ) -> CampaignResult:
     """Run a fault-injection campaign for a registered app.
 
@@ -549,6 +578,14 @@ def run_campaign(
     ``None`` to defer to REPRO_OBS_TRACE / REPRO_OBS_METRICS,
     ``False``/``"off"`` to force it off.  Observation never changes
     trial outcomes — it touches no RNG and no execution path.
+
+    ``prune`` controls golden-trajectory convergence pruning (None:
+    REPRO_PRUNE or on): a faulted trial whose world state re-converges
+    bit-for-bit with the golden run at a fingerprinted epoch gets the
+    golden tail spliced in instead of executing it.  Results are
+    identical either way; only wall-clock time changes.  Requires
+    snapshots (``snapshot_stride`` > 0) — with them disabled there are
+    no fingerprints and every trial runs to completion.
     """
     from .artifacts import default_artifact_dir
     from .engine import CampaignEngine  # lazy: engine imports this module
@@ -559,6 +596,7 @@ def run_campaign(
     # Resolve once so the journal records the effective value and forked
     # workers cannot drift if the environment changes mid-campaign.
     stride = default_snapshot_stride(snapshot_stride)
+    prune_on = prune_enabled(prune)
     art_dir = default_artifact_dir(artifact_dir)
     art_dir_str = str(art_dir) if art_dir is not None else None
     params = dict(params or {})
@@ -579,7 +617,7 @@ def run_campaign(
     golden = pa.golden
     jobs = _build_jobs(app, params_key, mode, golden, n_trials, n_faults,
                        seed, rank, bit, keep_series, wall_timeout, stride,
-                       art_dir_str, obs_config)
+                       art_dir_str, obs_config, prune_on)
     batches = None
     if pa.snapshots is not None and batch_by_snapshot():
         batches = plan_batches(jobs, pa.snapshots, effective)
@@ -600,6 +638,7 @@ def run_campaign(
             "timeout": wall_timeout,
             "snapshot_stride": stride,
             "artifact_dir": art_dir_str,
+            "prune": prune_on,
             "golden": {
                 "iterations": golden.iterations,
                 "cycles": golden.cycles,

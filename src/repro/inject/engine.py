@@ -202,6 +202,7 @@ class CampaignEngine:
                 self._results[index] = trial
                 self._done += 1
                 self._aggregate_timings(trial)
+                self._aggregate_pruning(trial)
                 # restored trials still count toward outcome totals so a
                 # resumed campaign's metrics describe the whole campaign
                 if self.observer is not None:
@@ -484,6 +485,7 @@ class CampaignEngine:
         self._results[index] = trial
         self._done += 1
         self._aggregate_timings(trial)
+        self._aggregate_pruning(trial)
         journal_s = None
         if self.journal is not None:
             j0 = time.perf_counter()
@@ -500,6 +502,14 @@ class CampaignEngine:
         totals = self._health.stage_timings
         for stage, seconds in trial.stage_timings.items():
             totals[stage] = totals.get(stage, 0.0) + seconds
+
+    def _aggregate_pruning(self, trial: TrialResult) -> None:
+        if trial.pruned_at_cycle is None:
+            return
+        self._health.pruned_trials += 1
+        self._health.pruned_cycles += max(
+            0, trial.cycles - trial.pruned_at_cycle
+        )
 
 
 # ----------------------------------------------------------------------
@@ -562,6 +572,9 @@ def resume_campaign(
         header.get("rank"), header.get("bit"),
         bool(header.get("keep_series")), wall_timeout, snapshot_stride,
         art_dir_str, obs_config,
+        # Journals from before convergence pruning resume unpruned, so
+        # trial execution matches what the recording campaign did.
+        bool(header.get("prune", False)),
     )
 
     requested_workers = default_workers(workers)

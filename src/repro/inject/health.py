@@ -37,6 +37,10 @@ class CampaignHealth:
     quarantined: List[int] = field(default_factory=list)
     #: trials restored from a journal instead of executed (resume)
     resumed_trials: int = 0
+    #: trials finished early by convergence pruning (golden tail spliced)
+    pruned_trials: int = 0
+    #: virtual cycles those trials did not have to execute
+    pruned_cycles: int = 0
     #: wall-clock duration of the execution phase, seconds
     wall_time_s: float = 0.0
     #: cumulative wall seconds per trial execution stage, summed over

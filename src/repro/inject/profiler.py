@@ -23,6 +23,7 @@ from ..core.runner import build_program, run_job
 from ..errors import CampaignError
 from ..mpi import JobStatus
 from ..vm import CompiledProgram, SnapshotStore
+from ..vm.fingerprint import FingerprintIndex
 from ..vm.worldcache import WorldCache
 
 
@@ -91,19 +92,32 @@ class PreparedApp:
         if art is not None:
             self.golden: GoldenProfile = art.golden
             self.snapshots: Optional[SnapshotStore] = art.snapshot_store()
+            #: frozen per-epoch golden fingerprints for convergence
+            #: pruning (None = snapshots disabled or pre-v2 artifact)
+            self.fingerprints: Optional[FingerprintIndex] = (
+                art.fingerprint_index()
+            )
             self.from_artifact = True
         else:
             #: world snapshots captured during the golden run (None =
             #: disabled); shared copy-on-write with forked pool workers
             #: via the prepared cache
             self.snapshots = store if store.enabled else None
+            # Fingerprints piggyback on the snapshot stride: both are
+            # captured in the same golden pass, and stride 0 disables
+            # both fast-forward and pruning.
+            self.fingerprints = (
+                FingerprintIndex(store.stride) if store.enabled else None
+            )
             self.golden = profile_golden(
-                self.program, spec, mode, snapshots=self.snapshots
+                self.program, spec, mode, snapshots=self.snapshots,
+                fingerprints=self.fingerprints,
             )
             if self.artifact_ref is not None:
                 try:
                     artifacts.save_artifact(
-                        *self.artifact_ref, self.golden, self.snapshots
+                        *self.artifact_ref, self.golden, self.snapshots,
+                        self.fingerprints,
                     )
                 except OSError as exc:
                     import warnings
@@ -150,14 +164,18 @@ class PreparedApp:
 def profile_golden(
     program: CompiledProgram, spec: AppSpec, mode: str,
     snapshots: Optional[SnapshotStore] = None,
+    fingerprints: Optional[FingerprintIndex] = None,
 ) -> GoldenProfile:
     """Run the fault-free reference and validate it completed cleanly.
 
     ``snapshots`` optionally captures world state at its stride during
     the run (then frozen), enabling snapshot fast-forward for trials.
+    ``fingerprints`` optionally records per-epoch state digests in the
+    same pass (then finalized), enabling convergence pruning.
     """
     config = spec.config
-    result = run_job(program, config, capture_snapshots=snapshots)
+    result = run_job(program, config, capture_snapshots=snapshots,
+                     capture_fingerprints=fingerprints)
     if result.status is not JobStatus.COMPLETED:
         raise CampaignError(
             f"golden run of {spec.name!r} ({mode}) failed: "

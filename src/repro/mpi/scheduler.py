@@ -16,6 +16,8 @@ from typing import List, Optional, Sequence
 
 from ..errors import TrialTimeoutError
 from ..fpm.tracker import PropagationTrace
+from ..obs import runtime as _obs
+from ..vm.fingerprint import fingerprint_world, quick_signature
 from ..vm.machine import Machine, MachineStatus
 from ..vm.traps import Trap, TrapKind
 from .runtime import MPIRuntime
@@ -50,6 +52,9 @@ class JobResult:
     injections: List[list]
     #: per-rank ever-contaminated flags (FPM mode)
     ever_contaminated: List[bool]
+    #: virtual time at which convergence pruning spliced the golden tail
+    #: onto this job, or None for a fully executed run
+    pruned_at_cycle: Optional[int] = None
 
     @property
     def crashed(self) -> bool:
@@ -80,6 +85,8 @@ class Scheduler:
         trace: Optional[PropagationTrace] = None,
         snapshots=None,
         cml_stream=None,
+        fingerprints=None,
+        prune=None,
     ) -> None:
         self.machines = list(machines)
         self.runtime = runtime
@@ -103,6 +110,16 @@ class Scheduler:
         #: to the trace; a restored trace prefix is replayed into it so a
         #: fast-forwarded trial streams exactly what a cold run would
         self.cml_stream = cml_stream
+        #: FingerprintIndex to populate at its stride (golden profiling)
+        self.fingerprints = fingerprints
+        #: frozen golden FingerprintIndex to compare against (faulted
+        #: trials); a match splices the golden tail instead of running it
+        self.prune = prune
+        #: exponential back-off over full-digest comparisons: a diverged
+        #: (e.g. wrong-output) trial whose cheap signature keeps matching
+        #: must not pay a live-memory hash at every stride epoch
+        self._prune_failures = 0
+        self._prune_skip = 0
 
     def run(self) -> JobResult:
         machines = self.machines
@@ -144,6 +161,14 @@ class Scheduler:
                 self.snapshots.maybe_capture(
                     t, epoch, machines, self.runtime, trace
                 )
+            if self.fingerprints is not None:
+                self.fingerprints.maybe_capture(
+                    t, epoch, machines, self.runtime, trace
+                )
+            if self.prune is not None:
+                spliced = self._try_prune(epoch, t, trace)
+                if spliced is not None:
+                    return spliced
 
             if all(m.status is MachineStatus.DONE for m in machines):
                 break
@@ -171,6 +196,8 @@ class Scheduler:
                 m.fpm.first_contamination_cycle if m.fpm is not None else None
                 for m in machines
             ]
+        if self.fingerprints is not None:
+            self.fingerprints.finalize(machines, self.runtime, trace)
         # message totals reach the metrics registry once per job
         self.runtime.publish_metrics()
 
@@ -185,6 +212,98 @@ class Scheduler:
             inj_counts=[m.inj_counter for m in machines],
             injections=[list(m.injection_events) for m in machines],
             ever_contaminated=[m.ever_contaminated for m in machines],
+        )
+
+    # ------------------------------------------------------------------
+    # Convergence pruning
+    # ------------------------------------------------------------------
+    def _try_prune(self, epoch: int, t: int,
+                   trace: Optional[PropagationTrace]) -> Optional[JobResult]:
+        """Splice the golden tail if the world re-converged at ``epoch``.
+
+        Preconditions are checked cheapest-first; every one of them is
+        *required* for soundness, not just speed:
+
+        * a golden digest must exist at this exact epoch (golden
+          profiling captured here, so per-rank clocks are comparable);
+        * every armed fault must have fired (``inj_next == 0``) —
+          otherwise the excluded fault plan is not inert;
+        * in FPM/taint modes every shadow table must be empty
+          (``cml == 0``), making the tables behaviourally identical to
+          the golden run's empty tables;
+        * the trial must have taken exactly as many trace samples as
+          the golden run had at this epoch, or the spliced tail would
+          not line up (defensive — sample cadence is epoch-determined).
+        """
+        fp = self.prune
+        digest = fp.digests.get(epoch)
+        if digest is None:
+            return None
+        machines = self.machines
+        if any(m.inj_next for m in machines):
+            return None
+        if self.fpm_mode and any(m.cml for m in machines):
+            return None
+        if trace is not None and len(trace.times) != fp.sample_counts[epoch]:
+            return None
+        if self._prune_skip > 0:
+            self._prune_skip -= 1
+            return None
+        if quick_signature(machines) != fp.quick[epoch]:
+            return None
+        if fingerprint_world(machines, self.runtime) != digest:
+            # Quick signature matched but live state differs: likely a
+            # silently-corrupted trial that will never converge.  Back
+            # off exponentially; pruning at *any* later matched epoch
+            # still yields the identical spliced result.
+            self._prune_failures += 1
+            self._prune_skip = min(2 ** self._prune_failures, 64)
+            return None
+        return self._spliced(fp, epoch, t, trace)
+
+    def _spliced(self, fp, epoch: int, t: int,
+                 trace: Optional[PropagationTrace]) -> JobResult:
+        """Build the job result a full run of the golden tail would give."""
+        machines = self.machines
+        if trace is not None and fp.trace_times is not None:
+            # Backfill the CML stream / trace with the zero tail the
+            # converged trial would have sampled, at the golden sample
+            # times (clocks match, so times match).
+            count = fp.sample_counts[epoch]
+            n = len(machines)
+            frozen = sum(1 for m in machines if m.ever_contaminated)
+            for gt, live in zip(fp.trace_times[count:],
+                                fp.trace_live[count:]):
+                trace.sample(gt, [0] * n, live, frozen)
+            trace.first_contamination = [
+                m.fpm.first_contamination_cycle if m.fpm is not None else None
+                for m in machines
+            ]
+        # Message totals: the trial's own prefix plus the golden tail
+        # delta — the tail is the same deterministic execution, so this
+        # equals what the trial would have accumulated itself.
+        g_m, g_w, g_cm, g_cw = fp.stats_at[epoch]
+        f_m, f_w, f_cm, f_cw = fp.final_stats
+        rt = self.runtime
+        rt.messages_sent += f_m - g_m
+        rt.words_sent += f_w - g_w
+        rt.contaminated_messages += f_cm - g_cm
+        rt.contaminated_words_sent += f_cw - g_cw
+        rt.publish_metrics()
+        _obs.inc("repro_trials_pruned_total")
+        _obs.inc("repro_cycles_pruned_total", fp.final_cycles - t)
+        return JobResult(
+            status=JobStatus.COMPLETED,
+            trap=None,
+            cycles=fp.final_cycles,
+            rank_cycles=list(fp.final_rank_cycles),
+            outputs=[list(o) for o in fp.final_outputs],
+            iterations=list(fp.final_iterations),
+            trace=trace,
+            inj_counts=list(fp.final_inj_counts),
+            injections=[list(m.injection_events) for m in machines],
+            ever_contaminated=[m.ever_contaminated for m in machines],
+            pruned_at_cycle=t,
         )
 
     def _sample(self, trace: PropagationTrace, t: int) -> None:

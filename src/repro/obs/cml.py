@@ -11,7 +11,11 @@ and into the trace file as a ``cml`` record — so
 
 Decimation depends only on virtual time, never on wall clocks, so a
 stream is bit-identical between cold, fast-forwarded, serial, pooled
-and resumed executions of the same trial.
+and resumed executions of the same trial.  Convergence pruning keeps
+that property: when the scheduler splices the golden tail onto a
+re-converged trial, it pushes the remaining all-zero samples through
+the trace at the golden sample times, so a pruned trial's stream is
+byte-identical to the one a full execution would have produced.
 """
 
 from __future__ import annotations

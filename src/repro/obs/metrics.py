@@ -54,6 +54,10 @@ DESCRIPTIONS: Dict[str, str] = {
         "Contaminated words carried in message headers.",
     "repro_snapshot_lookup_total":
         "Fast-forward snapshot lookups by result (hit/miss).",
+    "repro_trials_pruned_total":
+        "Trials finished early by golden-trajectory convergence pruning.",
+    "repro_cycles_pruned_total":
+        "Virtual cycles spliced from the golden tail instead of executed.",
     "repro_world_restores_total":
         "World restores by path (cold reconstruction / warm clone).",
     "repro_shadow_entries":

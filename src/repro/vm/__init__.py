@@ -16,6 +16,7 @@ from .bitflip import (
     to_unsigned64,
 )
 from .compiler import CompiledFunction, CompiledProgram, compile_program
+from .fingerprint import FingerprintIndex, fingerprint_world, quick_signature
 from .intrinsics import (
     BLOCK,
     INTRINSICS,
@@ -35,11 +36,14 @@ from .traps import Trap, TrapKind
 from .worldcache import WorldCache
 
 __all__ = [
-    "BLOCK", "CompiledFunction", "CompiledProgram", "FaultSpec", "Frame",
+    "BLOCK", "CompiledFunction", "CompiledProgram", "FaultSpec",
+    "FingerprintIndex", "Frame",
     "INTRINSICS", "InjectionEvent", "IntrinsicSpec", "Lcg64", "MPI_OP_MAX",
     "MPI_OP_MIN", "MPI_OP_SUM", "Machine", "MachineStatus", "ProcessMemory",
     "SnapshotStore", "Trap", "TrapKind", "WorldSnapshot", "bits_to_float",
-    "compile_program", "flip_bit", "flip_float_bit", "flip_int_bit",
-    "float_to_bits", "get_intrinsic", "is_intrinsic", "restore_world",
+    "compile_program", "fingerprint_world", "flip_bit", "flip_float_bit",
+    "flip_int_bit",
+    "float_to_bits", "get_intrinsic", "is_intrinsic", "quick_signature",
+    "restore_world",
     "to_signed64", "to_unsigned64", "wrap_i64", "WorldCache",
 ]

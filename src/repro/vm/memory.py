@@ -31,6 +31,7 @@ class ProcessMemory:
         "cells",
         "valid",
         "sp",
+        "sp_peak",
         "hp",
         "heap_blocks",
         "free_lists",
@@ -47,6 +48,11 @@ class ProcessMemory:
         self.cells: List = [0] * capacity
         self.valid = bytearray(capacity)
         self.sp = 1  # address 0 is the null word
+        #: stack high-water mark since the last restore — together with
+        #: the monotone heap bump pointer it bounds every word this run
+        #: could have dirtied, which is what makes in-place restores
+        #: proportional to touched state rather than capacity
+        self.sp_peak = 1
         self.hp = stack_words
         #: heap block base -> size, for free() and validity bookkeeping
         self.heap_blocks: Dict[int, int] = {}
@@ -80,11 +86,13 @@ class ProcessMemory:
             raise Trap(TrapKind.MEM_FAULT,
                        f"range [{addr}, {addr + count}) out of bounds",
                        rank=self.rank)
-        valid = self.valid
-        for a in range(addr, addr + count):
-            if not valid[a]:
-                raise Trap(TrapKind.MEM_FAULT,
-                           f"access to unallocated address {a}", rank=self.rank)
+        # One C-speed scan for the first invalid byte; valid bytes are
+        # always 0 or 1, so find(0) is exact and allocation-free.  This
+        # runs on every block MPI transfer.
+        bad = self.valid.find(0, addr, addr + count)
+        if bad >= 0:
+            raise Trap(TrapKind.MEM_FAULT,
+                       f"access to unallocated address {bad}", rank=self.rank)
 
     def read_block(self, addr: int, count: int) -> List:
         self.check_range(addr, count)
@@ -107,6 +115,8 @@ class ProcessMemory:
         self.cells[addr:new_sp] = [0] * count
         self.valid[addr:new_sp] = b"\x01" * count
         self.sp = new_sp
+        if new_sp > self.sp_peak:
+            self.sp_peak = new_sp
         self.live_words += count
         return addr
 
@@ -177,10 +187,26 @@ class ProcessMemory:
         )
 
     def restore_state(self, state: tuple) -> None:
-        """Reset this memory to a state captured by :meth:`snapshot_state`."""
+        """Reset this memory to a state captured by :meth:`snapshot_state`.
+
+        In place, dirty-delta: instead of reallocating two
+        full-capacity buffers per call, only the validity bytes this
+        run could have dirtied are wiped — the stack up to its
+        high-water mark and the heap up to the bump pointer (``hp`` is
+        monotone between restores; free-list reuse never lowers it) —
+        and the snapshot content is overlaid.  Cells left under
+        ``valid == 0`` may keep stale values; every access path is
+        validity-checked, so that is observationally exact.  On a fresh
+        memory both wipes are empty and the restore is a pure overlay.
+        """
         sp, hp, stack_cells, heap, free_lists, live_words = state
-        cells: List = [0] * self.capacity
-        valid = bytearray(self.capacity)
+        cells = self.cells
+        valid = self.valid
+        if self.sp_peak > 1:
+            valid[1:self.sp_peak] = b"\x00" * (self.sp_peak - 1)
+        if self.hp > self.stack_words:
+            valid[self.stack_words:self.hp] = \
+                b"\x00" * (self.hp - self.stack_words)
         cells[1:sp] = stack_cells
         valid[1:sp] = b"\x01" * (sp - 1)
         blocks: Dict[int, int] = {}
@@ -189,9 +215,8 @@ class ProcessMemory:
             cells[base:base + size] = content
             valid[base:base + size] = b"\x01" * size
             blocks[base] = size
-        self.cells = cells
-        self.valid = valid
         self.sp = sp
+        self.sp_peak = sp
         self.hp = hp
         self.heap_blocks = blocks
         self.free_lists = {size: list(b) for size, b in free_lists.items()}
@@ -219,11 +244,16 @@ class ProcessMemory:
         )
 
     def restore_dense(self, state: tuple) -> None:
-        """Reset to a template captured by :meth:`dense_state`."""
+        """Reset to a template captured by :meth:`dense_state`.
+
+        Two in-place bulk copies — the existing buffers are reused, so
+        back-to-back warm clones allocate nothing of capacity size.
+        """
         sp, hp, cells, valid, blocks, free_lists, live_words = state
-        self.cells = list(cells)
-        self.valid = bytearray(valid)
+        self.cells[:] = cells
+        self.valid[:] = valid
         self.sp = sp
+        self.sp_peak = sp
         self.hp = hp
         self.heap_blocks = dict(blocks)
         self.free_lists = {size: list(b) for size, b in free_lists.items()}
