@@ -1,0 +1,144 @@
+"""Chaos hardening must be free when chaos is off: <5% hot-path overhead.
+
+The corruption-tolerant substrate adds work to the campaign hot path
+even with injection disabled: every journal record is length-prefixed
+and CRC-framed, every artifact load recomputes a SHA-256 payload hash,
+and every IO write runs under the retry policy.  The chaos hooks
+themselves must compile down to a single environment lookup.
+
+This benchmark gates that bill:
+
+* **campaign overhead** — the median wall-clock ratio of a fully
+  hardened campaign (journal + shared artifacts, chaos off) over a bare
+  campaign (no journal, no artifacts) must stay under
+  ``OVERHEAD_GATE`` (5%);
+* **record framing** — the per-record cost of CRC framing relative to
+  the bare JSON encoding it wraps is reported (advisory);
+* the campaign walls are recorded next to the
+  ``BENCH_convergence_pruning.json`` baseline (advisory context — that
+  file is produced on the same class of runner).
+
+Results land in ``benchmarks/results/BENCH_chaos_overhead.json``.
+Scale with REPRO_BENCH_TRIALS (default 30) and REPRO_BENCH_REPS
+(default 3).
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+
+from repro.inject import run_campaign, trial_results_equal
+from repro.inject import campaign as campaign_mod
+from repro.inject.campaign import _env_int
+from repro.inject.journal import _encode_trial
+
+from conftest import SEED
+
+APP = "amg"
+
+#: hard gate: hardened-but-quiet campaign wall over bare campaign wall
+OVERHEAD_GATE = 1.05
+
+
+def _bench_trials() -> int:
+    return _env_int("REPRO_BENCH_TRIALS", 30)
+
+
+def _bench_reps() -> int:
+    return _env_int("REPRO_BENCH_REPS", 3)
+
+
+def _run(n, journal=None, artifact_dir=None):
+    campaign_mod._PREPARED_CACHE.clear()
+    t0 = time.perf_counter()
+    result = run_campaign(APP, n, mode="fpm", seed=SEED, workers=1,
+                          journal=str(journal) if journal else None,
+                          artifact_dir=artifact_dir)
+    return result, time.perf_counter() - t0
+
+
+def _frame_cost(result):
+    """Per-record framing cost: CRC frame encode vs bare JSON encode."""
+    from repro.analysis.export import _trial_to_dict
+
+    trials = list(enumerate(result.trials))
+    t0 = time.perf_counter()
+    for index, trial in trials:
+        json.dumps({"index": index, "trial": _trial_to_dict(trial)})
+    bare_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for index, trial in trials:
+        _encode_trial(index, trial)
+    framed_s = time.perf_counter() - t0
+    return bare_s, framed_s
+
+
+def test_perf_chaos_overhead(results_dir, tmp_path, monkeypatch):
+    monkeypatch.delenv("REPRO_CHAOS", raising=False)
+    monkeypatch.delenv("REPRO_ARTIFACT_DIR", raising=False)
+    n = _bench_trials()
+    reps = _bench_reps()
+    art_dir = tmp_path / "artifacts"
+
+    # untimed warm-up: bytecode caches + golden profile + artifact file
+    _run(n, journal=tmp_path / "warm.jsonl", artifact_dir=art_dir)
+
+    bare_walls, hard_walls = [], []
+    bare = hard = None
+    for rep in range(reps):
+        bare, bw = _run(n)
+        hard, hw = _run(n, journal=tmp_path / f"j{rep}.jsonl",
+                        artifact_dir=art_dir)
+        # gating: hardening must be invisible in the science
+        assert bare.fractions() == hard.fractions()
+        for i, (a, b) in enumerate(zip(bare.trials, hard.trials)):
+            assert trial_results_equal(a, b), (i, a, b)
+        bare_walls.append(bw)
+        hard_walls.append(hw)
+
+    ratios = [h / max(b, 1e-9) for b, h in zip(bare_walls, hard_walls)]
+    ratio_median = statistics.median(ratios)
+    bare_enc_s, framed_enc_s = _frame_cost(hard)
+
+    baseline_ctx = None
+    pruning_path = results_dir / "BENCH_convergence_pruning.json"
+    if pruning_path.exists():
+        prior = json.loads(pruning_path.read_text())
+        row = prior.get("apps", {}).get(APP)
+        if row:
+            baseline_ctx = {
+                "source": pruning_path.name,
+                "candidate_wall_s": row.get("candidate_wall_s"),
+            }
+
+    payload = {
+        "benchmark": "chaos_overhead",
+        "app": APP,
+        "seed": SEED,
+        "trials": n,
+        "reps": reps,
+        "baseline": "bare campaign: no journal, no artifact store",
+        "candidate": "hardened hot path, chaos off: CRC-framed journal "
+                     "+ hash-verified shared artifacts + retry-wrapped IO",
+        "bare_wall_s": [round(w, 3) for w in bare_walls],
+        "hardened_wall_s": [round(w, 3) for w in hard_walls],
+        "overhead_ratios": [round(r, 4) for r in ratios],
+        "overhead_ratio_median": round(ratio_median, 4),
+        "gate": OVERHEAD_GATE,
+        "record_framing": {
+            "records": n,
+            "bare_json_encode_s": round(bare_enc_s, 5),
+            "crc_framed_encode_s": round(framed_enc_s, 5),
+            "framing_ratio": round(framed_enc_s / max(bare_enc_s, 1e-9), 3),
+        },
+        "prior_baseline_context": baseline_ctx,
+        "equivalent": True,
+    }
+    path = results_dir / "BENCH_chaos_overhead.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\n=== {path.name} ===\n{json.dumps(payload, indent=2)}\n")
+
+    # the hard gate: hardening may cost at most 5% when chaos is off
+    assert ratio_median <= OVERHEAD_GATE, payload

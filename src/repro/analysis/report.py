@@ -80,6 +80,26 @@ def render_health_summary(health, quarantined_trials: Optional[Sequence] = None)
             f"golden trajectory early ({health.pruned_cycles} cycles "
             f"spliced instead of executed)"
         )
+    if getattr(health, "journal_recovered_records", 0):
+        lines.append(
+            f"journal recovery: {health.journal_recovered_records} torn/"
+            f"corrupt record(s) dropped; their trials re-executed"
+        )
+    if getattr(health, "artifacts_quarantined", 0):
+        lines.append(
+            f"artifacts: {health.artifacts_quarantined} corrupt golden "
+            f"artifact(s) quarantined and re-materialised"
+        )
+    if getattr(health, "io_retries", 0):
+        lines.append(f"io: {health.io_retries} transient IO failure(s) "
+                     f"absorbed by backoff retry")
+    if getattr(health, "degraded", False):
+        steps = [e.get("type", "?") for e in health.degradation_events]
+        lines.append(
+            f"degraded: {health.pool_shrinks} pool shrink(s)"
+            + (", serial fallback" if health.serial_fallback else "")
+            + f" — ladder events: {steps}"
+        )
     if health.clean:
         lines.append("supervision: clean — no retries, no failures")
         return "\n".join(lines)

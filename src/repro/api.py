@@ -145,6 +145,28 @@ class Session:
         self.last_campaign = result
         return result
 
+    @property
+    def health(self):
+        """Supervision health of the most recent campaign (or None).
+
+        A :class:`~repro.inject.health.CampaignHealth`; check
+        ``health.degraded`` / ``health.degradation_events`` to see
+        whether the graceful-degradation ladder (pool shrink, serial
+        fallback, journal disable) fired, and
+        ``health.io_retries`` / ``health.journal_recovered_records`` /
+        ``health.artifacts_quarantined`` for what the corruption-tolerant
+        substrate absorbed.
+        """
+        if self.last_campaign is None:
+            return None
+        return self.last_campaign.health
+
+    @property
+    def degradation_events(self) -> list:
+        """Degradation-ladder events of the most recent campaign."""
+        health = self.health
+        return list(health.degradation_events) if health is not None else []
+
     def fps(self, campaign: Optional[CampaignResult] = None) -> FPSResult:
         """Fault propagation speed (Table 2) from an FPM campaign.
 

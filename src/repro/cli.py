@@ -68,6 +68,14 @@ def _add_campaign_args(p: argparse.ArgumentParser) -> None:
                         "repro.analysis.load_campaign)")
     p.add_argument("--save-csv", metavar="PATH",
                    help="write one row per trial for pandas/R")
+    p.add_argument("--chaos", action="store_true",
+                   help="inject deterministic harness faults (worker "
+                        "kills, artifact corruption, journal tears, "
+                        "transient IO errors) to exercise the hardened "
+                        "substrate; scientific results are unaffected")
+    p.add_argument("--chaos-seed", type=int, default=None, metavar="SEED",
+                   help="seed of the chaos fault pattern "
+                        "(default REPRO_CHAOS_SEED/0; requires --chaos)")
 
 
 def _observe_from_args(args):
@@ -245,8 +253,26 @@ def cmd_compile(args) -> int:
     return 0
 
 
+def _apply_chaos_args(parser: argparse.ArgumentParser, args) -> None:
+    """Translate --chaos/--chaos-seed into the REPRO_CHAOS* environment
+    (the single source of truth every worker process reads)."""
+    chaos_on = getattr(args, "chaos", False)
+    chaos_seed = getattr(args, "chaos_seed", None)
+    if chaos_seed is not None and not chaos_on:
+        parser.error("--chaos-seed requires --chaos")  # exit code 2
+    if chaos_on:
+        import os
+        os.environ["REPRO_CHAOS"] = "1"
+        if chaos_seed is not None:
+            os.environ["REPRO_CHAOS_SEED"] = str(chaos_seed)
+
+
 def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
+    """Exit codes: 0 success; 1 campaign error; 2 usage error (argparse);
+    3 campaign completed but quarantined trials (partial results)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    _apply_chaos_args(parser, args)
     try:
         if args.command == "apps":
             return cmd_apps()

@@ -29,6 +29,10 @@ DEFAULT_SNAPSHOT_STRIDE = 2048
 DEFAULT_SNAPSHOT_LIMIT = 32
 DEFAULT_WORLD_CACHE = 4
 DEFAULT_OBS_CML_STRIDE = 0
+DEFAULT_RETRY_BASE_DELAY = 0.05
+DEFAULT_RETRY_MAX_DELAY = 2.0
+DEFAULT_RETRY_MAX_ATTEMPTS = 4
+DEFAULT_CHAOS_SEED = 0
 
 _VERIFY_MODES = ("off", "first", "all")
 
@@ -61,7 +65,8 @@ def _parse_int(env: Mapping[str, str], name: str, default: int,
 
 
 def _parse_float(env: Mapping[str, str], name: str,
-                 default: Optional[float]) -> Optional[float]:
+                 default: Optional[float],
+                 allow_zero: bool = False) -> Optional[float]:
     raw = env.get(name)
     if raw is None or not raw.strip():
         return default
@@ -70,8 +75,9 @@ def _parse_float(env: Mapping[str, str], name: str,
     except ValueError:
         _warn(name, raw, "not a number", default)
         return default
-    if value <= 0:
-        _warn(name, raw, "must be > 0", default)
+    if value < 0 or (value == 0 and not allow_zero):
+        _warn(name, raw, "must be > 0" if not allow_zero else "must be >= 0",
+              default)
         return default
     return value
 
@@ -137,6 +143,19 @@ class Settings:
     prune: bool = True
     #: REPRO_FUSE — fused-segment dispatch
     fuse: bool = True
+    # -- harness resilience ---------------------------------------------
+    #: REPRO_RETRY_BASE_DELAY — first backoff delay for transient
+    #: harness IO failures, seconds
+    retry_base_delay: float = DEFAULT_RETRY_BASE_DELAY
+    #: REPRO_RETRY_MAX_DELAY — backoff ceiling, seconds
+    retry_max_delay: float = DEFAULT_RETRY_MAX_DELAY
+    #: REPRO_RETRY_MAX_ATTEMPTS — retries of one transient IO failure
+    retry_max_attempts: int = DEFAULT_RETRY_MAX_ATTEMPTS
+    # -- chaos (harness-fault injection) --------------------------------
+    #: REPRO_CHAOS — inject faults into the harness itself (testing)
+    chaos: bool = False
+    #: REPRO_CHAOS_SEED — deterministic seed for chaos decisions
+    chaos_seed: int = DEFAULT_CHAOS_SEED
     # -- observability --------------------------------------------------
     #: REPRO_OBS_TRACE — default trace JSONL path (enables observe)
     obs_trace: Optional[str] = None
@@ -174,6 +193,18 @@ class Settings:
                 env, "REPRO_SNAPSHOT_VERIFY", "first", _VERIFY_MODES),
             prune=_parse_bool(env, "REPRO_PRUNE", True),
             fuse=_parse_bool(env, "REPRO_FUSE", True),
+            retry_base_delay=_parse_float(
+                env, "REPRO_RETRY_BASE_DELAY", DEFAULT_RETRY_BASE_DELAY,
+                allow_zero=True),
+            retry_max_delay=_parse_float(
+                env, "REPRO_RETRY_MAX_DELAY", DEFAULT_RETRY_MAX_DELAY,
+                allow_zero=True),
+            retry_max_attempts=_parse_int(
+                env, "REPRO_RETRY_MAX_ATTEMPTS", DEFAULT_RETRY_MAX_ATTEMPTS,
+                minimum=0),
+            chaos=_parse_bool(env, "REPRO_CHAOS", False),
+            chaos_seed=_parse_int(
+                env, "REPRO_CHAOS_SEED", DEFAULT_CHAOS_SEED, minimum=0),
             obs_trace=_parse_str(env, "REPRO_OBS_TRACE"),
             obs_metrics=_parse_str(env, "REPRO_OBS_METRICS"),
             obs_cml_stride=_parse_int(

@@ -7,8 +7,10 @@ from .artifacts import (
     artifact_key,
     artifact_path,
     load_artifact,
+    quarantine_artifact,
     save_artifact,
 )
+from .chaos import ChaosConfig, ChaosMonkey
 from .campaign import (
     CampaignResult,
     TrialResult,
@@ -23,16 +25,23 @@ from .campaign import (
 )
 from .engine import CampaignEngine, resume_campaign
 from .health import CampaignHealth
-from .journal import CampaignJournal, read_journal
+from .journal import (
+    CampaignJournal,
+    JournalRecovery,
+    read_journal,
+    read_journal_ex,
+)
 from .plan import draw_plan
 from .profiler import GoldenProfile, PreparedApp, profile_golden
 
 __all__ = [
     "CampaignEngine", "CampaignHealth", "CampaignJournal",
-    "CampaignResult", "GoldenArtifact", "GoldenProfile", "PreparedApp",
+    "CampaignResult", "ChaosConfig", "ChaosMonkey", "GoldenArtifact",
+    "GoldenProfile", "JournalRecovery", "PreparedApp",
     "TrialResult", "artifact_key", "artifact_path", "batch_by_snapshot",
     "default_timeout", "default_trials", "default_workers", "draw_plan",
     "harness_failure_trial", "load_artifact", "plan_batches",
-    "profile_golden", "read_journal", "resume_campaign", "run_campaign",
+    "profile_golden", "quarantine_artifact", "read_journal",
+    "read_journal_ex", "resume_campaign", "run_campaign",
     "save_artifact", "trial_results_equal",
 ]

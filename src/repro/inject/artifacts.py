@@ -43,9 +43,10 @@ from pathlib import Path
 from typing import Optional, Union
 
 from ..apps.registry import AppSpec
-from ..errors import ArtifactError
+from ..errors import ArtifactError, RetryPolicy
 from ..vm.fingerprint import FingerprintIndex
 from ..vm.snapshot import SnapshotStore
+from . import chaos
 from .profiler import GoldenProfile
 
 #: bump when the payload layout or snapshot encoding changes shape;
@@ -56,6 +57,11 @@ SCHEMA_VERSION = 2
 _ARTIFACT_KIND = "repro-golden-artifact"
 _SUFFIX = ".golden"
 _VERIFIED_SUFFIX = ".verified"
+_QUARANTINE_SUFFIX = ".corrupt"
+
+#: process-local log of quarantined artifact paths (campaign drivers
+#: snapshot its length around preparation to surface counts in health)
+QUARANTINE_LOG: list = []
 
 
 def default_artifact_dir(requested: Union[str, Path, None] = None
@@ -188,8 +194,18 @@ def load_artifact_strict(directory: Union[str, Path],
     mismatch, or an unpicklable payload.
     """
     path = artifact_path(directory, key)
+    m = chaos.monkey()
+    if m is not None:
+        m.corrupt_artifact(path, key)
+
+    def _read() -> bytes:
+        if m is not None:
+            m.maybe_io_error("artifact.read", key)
+        return path.read_bytes()
+
     try:
-        blob = path.read_bytes()
+        blob = RetryPolicy.from_settings().call(
+            _read, token=f"artifact:{key}")
     except FileNotFoundError:
         raise ArtifactError(f"no golden artifact at {path}") from None
     except OSError as exc:
@@ -236,16 +252,49 @@ def load_artifact_strict(directory: Union[str, Path],
         golden=golden,
         snapshot_state=snapshot_state,
         fingerprint_state=fingerprint_state,
-        verified=is_verified(directory, key),
+        verified=is_verified(directory, key, payload_sha256=digest),
     )
+
+
+def quarantine_artifact(directory: Union[str, Path], key: str,
+                        reason: str) -> Optional[Path]:
+    """Move a corrupt artifact aside so it can be re-materialised.
+
+    The artifact file is renamed to ``<key>.golden.corrupt`` (replacing
+    any previous quarantine for the key) and its ``.verified`` marker is
+    removed, so the next preparation re-runs the golden profile and
+    atomically writes a fresh artifact in the old one's place — a
+    one-shot re-materialisation instead of a warn-every-load loop.
+    Returns the quarantine path, or None when nothing could be moved.
+    """
+    directory = Path(directory)
+    src = artifact_path(directory, key)
+    dst = src.with_suffix(src.suffix + _QUARANTINE_SUFFIX)
+    try:
+        os.replace(src, dst)
+    except OSError:
+        return None
+    try:
+        _verified_path(directory, key).unlink()
+    except OSError:
+        pass
+    QUARANTINE_LOG.append(str(dst))
+    warnings.warn(
+        f"quarantined corrupt golden artifact {src} -> {dst.name} "
+        f"({reason}); it will be re-materialised from a fresh golden run",
+        stacklevel=3,
+    )
+    return dst
 
 
 def load_artifact(directory: Union[str, Path],
                   key: str) -> Optional[GoldenArtifact]:
-    """Soft load: None when absent; warn + None when rejected or stale.
+    """Soft load: None when absent; quarantine + None when corrupt.
 
     The caller (``PreparedApp``) treats None as "profile the golden run
-    yourself", so a bad artifact can never poison a campaign.
+    yourself", so a bad artifact can never poison a campaign: a corrupt
+    file is moved aside (:func:`quarantine_artifact`) and the fresh
+    golden run re-materialises the artifact under its original name.
     """
     if not artifact_path(directory, key).exists():
         return None
@@ -253,12 +302,86 @@ def load_artifact(directory: Union[str, Path],
         return load_artifact_strict(directory, key)
     except ArtifactError as exc:
         warnings.warn(f"ignoring golden artifact: {exc}", stacklevel=2)
+        quarantine_artifact(directory, key, str(exc))
         return None
 
 
-def is_verified(directory: Union[str, Path], key: str) -> bool:
-    """Has any process persisted a successful equivalence verification?"""
-    return _verified_path(directory, key).exists()
+def _read_payload_sha(directory: Union[str, Path], key: str
+                      ) -> Optional[str]:
+    """Recompute the payload hash of the on-disk artifact (slow path)."""
+    path = artifact_path(directory, key)
+    try:
+        blob = path.read_bytes()
+    except OSError:
+        return None
+    newline = blob.find(b"\n")
+    if newline < 0:
+        return None
+    return hashlib.sha256(blob[newline + 1:]).hexdigest()
+
+
+def is_verified(directory: Union[str, Path], key: str, *,
+                payload_sha256: Optional[str] = None) -> bool:
+    """Has any process persisted a *still-valid* equivalence verification?
+
+    The marker records the payload hash, size and mtime of the artifact
+    it verified.  A matching stat is the trusted fast path; when the
+    artifact's bytes changed afterwards (size/mtime mismatch, or the
+    caller supplies a freshly computed ``payload_sha256``), the content
+    hash is re-checked instead of trusting the stale marker — and on a
+    hash mismatch the artifact is quarantined and the marker dropped, so
+    a tampered artifact can never ride a pre-tamper verification.
+    """
+    marker_path = _verified_path(directory, key)
+    try:
+        raw = marker_path.read_text()
+    except OSError:
+        return False
+    try:
+        marker = json.loads(raw)
+    except json.JSONDecodeError:
+        marker = {}
+    recorded_sha = marker.get("payload_sha256") if isinstance(marker, dict) \
+        else None
+    path = artifact_path(directory, key)
+    try:
+        st = path.stat()
+    except OSError:
+        # marker without an artifact: nothing to cross-check (the load
+        # path never gets here — it requires a readable artifact first)
+        return True
+    if recorded_sha is None:
+        # legacy marker (no content hash): cross-check the artifact
+        # against its own header so corrupt bytes cannot ride it
+        live = payload_sha256 or _read_payload_sha(directory, key)
+        header_sha = _read_header_sha(directory, key)
+        if live is not None and header_sha is not None and live == header_sha:
+            return True
+        quarantine_artifact(directory, key,
+                            "artifact bytes changed after verification")
+        return False
+    if (payload_sha256 is None
+            and marker.get("size") == st.st_size
+            and marker.get("mtime_ns") == st.st_mtime_ns):
+        return True  # unchanged since verification — trusted fast path
+    live = payload_sha256 or _read_payload_sha(directory, key)
+    if live == recorded_sha:
+        return True
+    quarantine_artifact(directory, key,
+                        "artifact bytes changed after verification")
+    return False
+
+
+def _read_header_sha(directory: Union[str, Path], key: str
+                     ) -> Optional[str]:
+    path = artifact_path(directory, key)
+    try:
+        with path.open("rb") as fh:
+            header_line = fh.readline()
+        header = json.loads(header_line)
+    except (OSError, json.JSONDecodeError):
+        return None
+    return header.get("payload_sha256") if isinstance(header, dict) else None
 
 
 def mark_verified(directory: Union[str, Path], key: str) -> None:
@@ -266,16 +389,28 @@ def mark_verified(directory: Union[str, Path], key: str) -> None:
 
     Written after a ``REPRO_SNAPSHOT_VERIFY=first`` cold re-execution
     matched bit-for-bit, so sibling workers and later campaigns skip
-    their own verification runs.  Atomic and idempotent.
+    their own verification runs.  The marker pins the artifact's payload
+    hash, size and mtime, so :func:`is_verified` can detect an artifact
+    whose bytes changed after verification.  Atomic and idempotent.
     """
     directory = Path(directory)
     path = _verified_path(directory, key)
     if path.exists():
         return
+    marker = {"key": key, "kind": "repro-verified"}
+    artifact = artifact_path(directory, key)
+    try:
+        st = artifact.stat()
+        sha = _read_header_sha(directory, key)
+        if sha is not None:
+            marker.update(payload_sha256=sha, size=st.st_size,
+                          mtime_ns=st.st_mtime_ns)
+    except OSError:
+        pass  # markerable even without an artifact (tests, tooling)
     fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
     try:
         with os.fdopen(fd, "w") as fh:
-            fh.write(json.dumps({"key": key, "kind": "repro-verified"}) + "\n")
+            fh.write(json.dumps(marker) + "\n")
         os.replace(tmp, path)
     except BaseException:
         try:

@@ -587,9 +587,14 @@ def run_campaign(
     snapshots (``snapshot_stride`` > 0) — with them disabled there are
     no fingerprints and every trial runs to completion.
     """
-    from .artifacts import default_artifact_dir
+    from . import chaos
+    from .artifacts import QUARANTINE_LOG, default_artifact_dir
     from .engine import CampaignEngine  # lazy: engine imports this module
 
+    # arm the (optional) chaos injector before any worker forks so every
+    # process shares one once-only fault ledger
+    chaos.activate()
+    quarantined_before = len(QUARANTINE_LOG)
     n_trials = default_trials(trials)
     requested_workers = default_workers(workers)
     wall_timeout = default_timeout(timeout)
@@ -672,6 +677,7 @@ def run_campaign(
         if journal_writer is not None:
             journal_writer.close()
     health.requested_workers = requested_workers
+    health.artifacts_quarantined = len(QUARANTINE_LOG) - quarantined_before
     metrics = observer.finalize(health) if observer is not None else None
 
     return CampaignResult(

@@ -1,0 +1,252 @@
+"""Seeded, deterministic harness-fault injection (chaos engineering).
+
+The framework's whole premise is that transient faults corrupt long
+computations — this module points the same idea at the campaign
+substrate itself.  A :class:`ChaosMonkey` injects faults into the
+*harness* (never into the application under test): it kills workers
+mid-trial, corrupts golden-artifact bytes, tears journal writes, raises
+transient ``OSError`` from IO paths, and hangs trials past their
+watchdog.  The hardened layers (journal CRC framing, artifact
+quarantine + re-materialisation, retry policy, the engine's degradation
+ladder) must absorb every one of them; the acceptance bar is a chaos
+campaign whose :class:`~repro.inject.campaign.CampaignResult` is
+bit-identical to the clean run's.
+
+Every decision is a pure function of ``(chaos seed, fault kind, site
+token)`` — no RNG state, no wall clock — so a chaos run is exactly
+reproducible.  Each (kind, token) site fires **at most once** per
+campaign, coordinated across the driver and all worker processes by
+``O_CREAT|O_EXCL`` claim files in a shared ledger directory: a retried
+trial is not re-killed, so injected harness faults can never escalate
+into quarantine.
+
+Enable with ``REPRO_CHAOS=1`` (or the ``--chaos`` CLI flag) and pin the
+seed with ``REPRO_CHAOS_SEED``.  Per-fault intensities are tunable via
+``REPRO_CHAOS_KILL`` / ``_HANG`` / ``_IO`` / ``_ARTIFACT`` / ``_TEAR``
+(probabilities in [0, 1]).
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Optional, Tuple, Union
+
+#: exit code of a chaos-killed worker (recognisable in failure details)
+CHAOS_EXIT_CODE = 86
+
+#: default per-site firing probabilities when REPRO_CHAOS is on and the
+#: individual knob is unset — aggressive enough that a 10-trial campaign
+#: sees every fault kind, bounded by once-per-site so retries converge
+DEFAULT_KILL = 0.10
+DEFAULT_HANG = 0.05
+DEFAULT_IO = 0.10
+DEFAULT_ARTIFACT = 0.5
+DEFAULT_TEAR = 0.10
+
+_ENV_KNOBS = ("REPRO_CHAOS", "REPRO_CHAOS_SEED", "REPRO_CHAOS_DIR",
+              "REPRO_CHAOS_KILL", "REPRO_CHAOS_HANG", "REPRO_CHAOS_IO",
+              "REPRO_CHAOS_ARTIFACT", "REPRO_CHAOS_TEAR")
+
+
+def _prob(env: Mapping[str, str], name: str, default: float) -> float:
+    raw = env.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        return default
+    return min(1.0, max(0.0, value))
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """One chaos run's seed, intensities, and coordination directory."""
+
+    seed: int = 0
+    worker_kill: float = DEFAULT_KILL
+    trial_hang: float = DEFAULT_HANG
+    io_error: float = DEFAULT_IO
+    artifact_corrupt: float = DEFAULT_ARTIFACT
+    journal_tear: float = DEFAULT_TEAR
+    #: shared once-only ledger (claim files); every process of one
+    #: campaign must see the same directory
+    ledger_dir: Optional[str] = None
+
+    @classmethod
+    def from_env(cls, env: Optional[Mapping[str, str]] = None
+                 ) -> Optional["ChaosConfig"]:
+        """None unless REPRO_CHAOS is truthy."""
+        if env is None:
+            env = os.environ
+        raw = env.get("REPRO_CHAOS", "").strip().lower()
+        if not raw or raw in ("0", "false", "off"):
+            return None
+        from ..core.settings import current_settings
+
+        return cls(
+            seed=current_settings().chaos_seed,
+            worker_kill=_prob(env, "REPRO_CHAOS_KILL", DEFAULT_KILL),
+            trial_hang=_prob(env, "REPRO_CHAOS_HANG", DEFAULT_HANG),
+            io_error=_prob(env, "REPRO_CHAOS_IO", DEFAULT_IO),
+            artifact_corrupt=_prob(env, "REPRO_CHAOS_ARTIFACT",
+                                   DEFAULT_ARTIFACT),
+            journal_tear=_prob(env, "REPRO_CHAOS_TEAR", DEFAULT_TEAR),
+            ledger_dir=env.get("REPRO_CHAOS_DIR") or None,
+        )
+
+
+class ChaosMonkey:
+    """Injects harness faults; every site fires deterministically, once."""
+
+    def __init__(self, config: ChaosConfig) -> None:
+        self.config = config
+        if config.ledger_dir is None:
+            raise ValueError("ChaosMonkey needs a ledger directory; "
+                             "call chaos.activate() in the driver first")
+        self.ledger = Path(config.ledger_dir)
+
+    # ------------------------------------------------------------------
+    # Decision machinery
+    # ------------------------------------------------------------------
+    def roll(self, kind: str, token: str) -> float:
+        """Deterministic uniform [0, 1) draw for one (kind, site)."""
+        digest = hashlib.sha256(
+            f"{self.config.seed}:{kind}:{token}".encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / 2.0 ** 64
+
+    def _claim(self, kind: str, token: str) -> bool:
+        """True exactly once per (kind, token) across all processes."""
+        name = hashlib.sha256(f"{kind}:{token}".encode()).hexdigest()[:32]
+        try:
+            fd = os.open(self.ledger / f"{kind[:12]}-{name}",
+                         os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        except OSError:
+            return False  # ledger gone — fail safe, inject nothing
+        os.close(fd)
+        return True
+
+    def fires(self, kind: str, token: str, probability: float) -> bool:
+        if probability <= 0.0:
+            return False
+        if self.roll(kind, token) >= probability:
+            return False
+        return self._claim(kind, token)
+
+    # ------------------------------------------------------------------
+    # Fault hooks (call sites live in engine/journal/artifacts)
+    # ------------------------------------------------------------------
+    def maybe_kill_worker(self, trial_index: int) -> None:
+        """Pool-worker hook: die abruptly before executing this trial."""
+        if self.fires("kill", str(trial_index), self.config.worker_kill):
+            os._exit(CHAOS_EXIT_CODE)
+
+    def maybe_hang_trial(self, trial_index: int, seconds: float) -> None:
+        """Pool-worker hook: wedge past the watchdog (0 = hang disabled,
+        the supervisor runs without a watchdog and could never recover)."""
+        if seconds <= 0:
+            return
+        if self.fires("hang", str(trial_index), self.config.trial_hang):
+            time.sleep(seconds)
+
+    def maybe_io_error(self, op: str, token: str) -> None:
+        """Raise one transient ``OSError`` from an IO path, once per site."""
+        if self.fires("io", f"{op}:{token}", self.config.io_error):
+            raise OSError(
+                errno.EAGAIN,
+                f"chaos: injected transient IO failure ({op}, {token})",
+            )
+
+    def corrupt_artifact(self, path: Union[str, Path], key: str) -> bool:
+        """Flip one payload byte of an on-disk golden artifact, once.
+
+        The header line is left intact so the corruption is only
+        detectable by the payload content hash — exactly the check the
+        hardened load path must exercise.
+        """
+        if not self.fires("artifact", key, self.config.artifact_corrupt):
+            return False
+        path = Path(path)
+        try:
+            blob = bytearray(path.read_bytes())
+            start = blob.find(b"\n") + 1
+            if start <= 0 or start >= len(blob):
+                return False
+            offset = start + int(self.roll("artifact-byte", key)
+                                 * (len(blob) - start))
+            blob[min(offset, len(blob) - 1)] ^= 0xFF
+            path.write_bytes(bytes(blob))
+        except OSError:
+            return False
+        return True
+
+    def journal_tear(self, trial_index: int) -> bool:
+        """Should this journal record be torn (partially written)?"""
+        return self.fires("tear", str(trial_index), self.config.journal_tear)
+
+
+# ----------------------------------------------------------------------
+# Process-global accessor
+# ----------------------------------------------------------------------
+
+_CACHE: Tuple[Optional[tuple], Optional[ChaosMonkey]] = (None, None)
+
+
+def _env_fingerprint() -> Optional[tuple]:
+    raw = os.environ.get("REPRO_CHAOS", "").strip().lower()
+    if not raw or raw in ("0", "false", "off"):
+        return None
+    return tuple(os.environ.get(k) for k in _ENV_KNOBS)
+
+
+def monkey() -> Optional[ChaosMonkey]:
+    """The process's chaos injector, or None (the overwhelming default).
+
+    Re-derived from the environment whenever a ``REPRO_CHAOS*`` knob
+    changes; the off fast path is a single environment lookup so
+    un-chaos'd hot paths (journal appends, artifact loads) pay nothing.
+    """
+    global _CACHE
+    fp = _env_fingerprint()
+    if fp is None:
+        return None
+    cached_fp, cached = _CACHE
+    if fp == cached_fp and cached is not None:
+        return cached
+    config = ChaosConfig.from_env()
+    if config is None or config.ledger_dir is None:
+        # enabled but not activated (no shared ledger yet) — inject
+        # nothing rather than inject uncoordinated
+        return None
+    m = ChaosMonkey(config)
+    _CACHE = (fp, m)
+    return m
+
+
+def activate() -> Optional[ChaosMonkey]:
+    """Driver-side arming: ensure the shared once-only ledger exists.
+
+    Called once per campaign (``run_campaign`` / ``resume_campaign``)
+    before any worker forks: when chaos is enabled but no
+    ``REPRO_CHAOS_DIR`` is set, a fresh ledger directory is created and
+    exported so every child process coordinates through it.  Returns
+    the armed monkey, or None when chaos is off.
+    """
+    if _env_fingerprint() is None:
+        return None
+    if not os.environ.get("REPRO_CHAOS_DIR"):
+        os.environ["REPRO_CHAOS_DIR"] = tempfile.mkdtemp(
+            prefix="repro-chaos-")
+    else:
+        Path(os.environ["REPRO_CHAOS_DIR"]).mkdir(parents=True,
+                                                  exist_ok=True)
+    return monkey()

@@ -18,7 +18,13 @@ thousands of trials *intentionally* crash and hang applications):
   :class:`~repro.inject.journal.CampaignJournal`;
   :func:`resume_campaign` finishes an interrupted campaign and yields a
   result bit-identical to an uninterrupted run (fault plans are drawn
-  up front from the campaign seed, so the job list re-derives exactly).
+  up front from the campaign seed, so the job list re-derives exactly);
+* **graceful degradation** — trial retries back off with deterministic
+  seeded jitter; a respawn budget turns repeated worker deaths into a
+  shrinking pool instead of an infinite respawn storm, and a fully
+  collapsed pool falls back to serial in-driver execution rather than
+  aborting; a persistently failing journal is disabled (with the event
+  recorded) instead of taking the campaign down.
 
 Workers are plain ``multiprocessing`` processes talking over pipes (one
 duplex pipe per worker) — no shared queues, so killing a worker cannot
@@ -29,6 +35,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import time
+import warnings
 from collections import deque
 from multiprocessing.connection import wait as _conn_wait
 from typing import Callable, Dict, List, Optional, Tuple
@@ -38,10 +45,13 @@ from ..errors import (
     CampaignError,
     FailureKind,
     JournalError,
+    RetryPolicy,
     TrialTimeoutError,
 )
 from ..obs.observer import CampaignObserver, ObserveConfig
+from . import artifacts as _artifacts
 from . import campaign as _campaign
+from . import chaos
 from .campaign import (
     CampaignResult,
     TrialResult,
@@ -52,7 +62,7 @@ from .campaign import (
     harness_failure_trial,
 )
 from .health import CampaignHealth
-from .journal import CampaignJournal, read_journal
+from .journal import CampaignJournal, read_journal_ex
 
 #: supervisor poll interval while trials are in flight, seconds
 _TICK = 0.05
@@ -82,21 +92,30 @@ def _mp_context():
     return mp.get_context()
 
 
-def _pool_worker(conn, task_fn, fresh: bool) -> None:
+def _pool_worker(conn, task_fn, fresh: bool, chaos_hang_s: float = 0.0
+                 ) -> None:
     """Worker loop: receive (index, args), run, send (index, ok, payload).
 
     ``fresh`` workers (respawned after a crash or watchdog kill) clear
     the inherited prepared-app cache first: the previous incarnation may
-    have died *because* of corrupted cached state.
+    have died *because* of corrupted cached state.  When chaos is armed
+    (:mod:`repro.inject.chaos`), the worker may abruptly die or wedge
+    before a trial — ``chaos_hang_s`` is the sleep that outlasts the
+    supervisor's watchdog (0 when no watchdog is set: a hang nobody can
+    recover is never injected).
     """
     if fresh:
         _campaign._PREPARED_CACHE.clear()
+    monkey = chaos.monkey()
     try:
         while True:
             msg = conn.recv()
             if msg is None:
                 return
             index, args = msg
+            if monkey is not None:
+                monkey.maybe_kill_worker(index)
+                monkey.maybe_hang_trial(index, chaos_hang_s)
             try:
                 result = task_fn(args)
             except TrialTimeoutError as exc:
@@ -114,7 +133,7 @@ def _pool_worker(conn, task_fn, fresh: bool) -> None:
 class _Worker:
     """Supervisor-side handle of one worker process."""
 
-    __slots__ = ("proc", "conn", "inflight", "batch", "deadline")
+    __slots__ = ("proc", "conn", "inflight", "batch", "deadline", "retired")
 
     def __init__(self, proc, conn) -> None:
         self.proc = proc
@@ -127,6 +146,8 @@ class _Worker:
         #: monotonic instant after which the supervisor kills the worker
         #: (covers the head in-flight trial)
         self.deadline: Optional[float] = None
+        #: permanently removed from the pool by the degradation ladder
+        self.retired = False
 
     @property
     def index(self) -> Optional[int]:
@@ -149,6 +170,8 @@ class CampaignEngine:
         progress: Optional[Callable[[int, int], None]] = None,
         batches: Optional[List[List[int]]] = None,
         observer: Optional[CampaignObserver] = None,
+        degrade_after: Optional[int] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if workers < 1:
             raise CampaignError(f"workers must be >= 1, got {workers}")
@@ -170,6 +193,17 @@ class CampaignEngine:
         #: campaign-wide observer (trace writer + merged metrics); None
         #: when the campaign runs unobserved
         self.observer = observer
+        #: worker respawns tolerated before the degradation ladder
+        #: shrinks the pool by one (and ultimately falls back to serial)
+        self.degrade_after = (degrade_after if degrade_after is not None
+                              else max(4, 2 * workers))
+        if self.degrade_after < 1:
+            raise CampaignError(
+                f"degrade_after must be >= 1, got {self.degrade_after}")
+        #: deterministic seeded backoff for trial retries (and the
+        #: budget shared by the journal/artifact IO retry paths)
+        self.retry_policy = (retry_policy if retry_policy is not None
+                             else RetryPolicy.from_settings())
 
     # ------------------------------------------------------------------
     def run(
@@ -187,6 +221,11 @@ class CampaignEngine:
         n = len(jobs)
         self._results: List[Optional[TrialResult]] = [None] * n
         self._retries: Dict[int, int] = {}
+        #: earliest monotonic instant a retried trial may re-dispatch
+        #: (seeded exponential backoff with jitter)
+        self._not_before: Dict[int, float] = {}
+        self._respawn_budget = self.degrade_after
+        self._serial_fallback = False
         self._faults_of = faults_of or (lambda i: ())
         self._health = CampaignHealth(
             effective_workers=self.workers, requested_workers=self.workers,
@@ -233,6 +272,13 @@ class CampaignEngine:
             self._run_serial(jobs)
         else:
             self._run_pool(jobs)
+            if any(r is None for r in self._results):
+                # every worker slot was retired by the respawn budget —
+                # last rung of the ladder: finish serially in the driver
+                self._degrade_to_serial()
+                self._run_serial(jobs)
+        if self.journal is not None:
+            self._health.io_retries += self.journal.io_retries
         self._health.wall_time_s = time.monotonic() - start
 
         missing = [i for i, r in enumerate(self._results) if r is None]
@@ -248,6 +294,11 @@ class CampaignEngine:
     def _run_serial(self, jobs: List[tuple]) -> None:
         while self._queue:
             index = self._queue.popleft()
+            wait = self._not_before.get(index, 0.0) - time.monotonic()
+            if wait > 0:
+                # honour the retry backoff; sleeping (rather than
+                # reordering) keeps serial execution order deterministic
+                time.sleep(wait)
             try:
                 trial = self.task_fn(jobs[index])
             except TrialTimeoutError as exc:
@@ -269,12 +320,21 @@ class CampaignEngine:
             self._queue = deque()
         workers = [self._spawn(ctx, fresh=False) for _ in range(self.workers)]
         try:
-            while self._work_remaining(workers) \
-                    or any(w.inflight for w in workers):
-                for w in workers:
+            while True:
+                active = [w for w in workers if not w.retired]
+                if not active:
+                    break  # pool fully collapsed; run() falls back serial
+                if not (self._work_remaining(active)
+                        or any(w.inflight for w in active)):
+                    break
+                for w in active:
                     self._dispatch(ctx, w, jobs)
-                busy = {w.conn: w for w in workers if w.inflight}
+                busy = {w.conn: w for w in active
+                        if w.inflight and not w.retired}
                 if not busy:
+                    # nothing in flight (e.g. every queued retry is
+                    # still backing off) — idle one tick, don't spin
+                    time.sleep(_TICK)
                     continue
                 for conn in _conn_wait(list(busy), timeout=_TICK):
                     w = busy[conn]
@@ -301,8 +361,8 @@ class CampaignEngine:
                         kind, detail = payload
                         self._failure(index, FailureKind(kind), detail)
                 now = time.monotonic()
-                for w in workers:
-                    if not w.inflight:
+                for w in active:
+                    if w.retired or not w.inflight:
                         continue
                     if not w.proc.is_alive():
                         head = w.inflight.popleft()
@@ -348,7 +408,14 @@ class CampaignEngine:
                 w.batch = batch
                 return w.batch.popleft()
         if self._queue:
-            return self._queue.popleft()
+            # retries carry a backoff stamp; rotate ineligible ones to
+            # the back rather than busy-waiting on the first
+            now = time.monotonic()
+            for _ in range(len(self._queue)):
+                index = self._queue.popleft()
+                if self._not_before.get(index, 0.0) <= now:
+                    return index
+                self._queue.append(index)
         return None
 
     def _reclaim(self, w: _Worker) -> None:
@@ -370,9 +437,13 @@ class CampaignEngine:
 
     def _spawn(self, ctx, fresh: bool) -> _Worker:
         parent_conn, child_conn = ctx.Pipe()
+        # a chaos-injected hang must outlast the watchdog to prove the
+        # supervisor recovers; with no watchdog, hangs are never injected
+        hang_s = (self.timeout + self.kill_grace + 30.0
+                  if self.timeout is not None else 0.0)
         proc = ctx.Process(
             target=_pool_worker,
-            args=(child_conn, self.task_fn, fresh),
+            args=(child_conn, self.task_fn, fresh, hang_s),
             daemon=True,
         )
         proc.start()
@@ -384,6 +455,10 @@ class CampaignEngine:
             w.conn.close()
         except OSError:  # pragma: no cover - defensive
             pass
+        self._respawn_budget -= 1
+        if self._respawn_budget <= 0:
+            self._retire(w)
+            return
         replacement = self._spawn(ctx, fresh=True)
         w.proc, w.conn = replacement.proc, replacement.conn
         w.inflight.clear()
@@ -393,8 +468,61 @@ class CampaignEngine:
             self.observer.metrics.inc("repro_worker_respawns_total")
             self.observer.event("worker_respawn")
 
+    def _retire(self, w: _Worker) -> None:
+        """Degradation-ladder rung: shrink the pool by one slot.
+
+        Workers are dying faster than the respawn budget tolerates —
+        instead of feeding an infinite respawn storm, this slot is
+        permanently removed and its undispatched work requeued.  The
+        budget then resets: each further ``degrade_after`` respawns
+        costs one more slot, until :meth:`_degrade_to_serial`.
+        """
+        w.retired = True
+        w.inflight.clear()
+        w.deadline = None
+        self._reclaim(w)
+        self._respawn_budget = self.degrade_after
+        self._health.pool_shrinks += 1
+        self._health.degradation_events.append({
+            "type": "pool_shrink",
+            "respawns": self._health.worker_respawns,
+        })
+        warnings.warn(
+            f"campaign worker pool shrank by one slot after exhausting "
+            f"its respawn budget ({self.degrade_after} deaths)",
+            stacklevel=2,
+        )
+        if self.observer is not None:
+            self.observer.metrics.inc("repro_pool_degradations_total")
+            self.observer.event("pool_shrink",
+                                respawns=self._health.worker_respawns)
+
+    def _degrade_to_serial(self) -> None:
+        """Last rung: finish the campaign serially in the driver."""
+        if self._batches_q:
+            for batch in self._batches_q:
+                self._queue.extend(batch)
+            self._batches_q = deque()
+        queued = set(self._queue)
+        for i, r in enumerate(self._results):
+            if r is None and i not in queued:
+                self._queue.append(i)
+        self._serial_fallback = True
+        self._health.serial_fallback = True
+        self._health.degradation_events.append({"type": "serial_fallback"})
+        warnings.warn(
+            "campaign worker pool fully collapsed; finishing the "
+            "remaining trials serially in the driver",
+            stacklevel=2,
+        )
+        if self.observer is not None:
+            self.observer.metrics.inc("repro_serial_fallbacks_total")
+            self.observer.event("serial_fallback")
+
     def _dispatch(self, ctx, w: _Worker, jobs: List[tuple]) -> None:
         """Top the worker up to the prefetch depth."""
+        if w.retired:
+            return
         if not w.proc.is_alive():
             if w.inflight:
                 return  # the liveness sweep re-attributes the head trial
@@ -402,6 +530,8 @@ class CampaignEngine:
                 return
             # died between trials (nothing in flight to re-attribute)
             self._respawn(ctx, w)
+            if w.retired:
+                return
         while len(w.inflight) < prefetch_depth():
             index = self._next_index(w)
             if index is None:
@@ -479,6 +609,9 @@ class CampaignEngine:
                 self.observer.metrics.inc("repro_trial_retries_total")
                 self.observer.event("retry", trial=index, kind=kind.value,
                                     attempt=failures)
+            # seeded exponential backoff with jitter before re-dispatch
+            self._not_before[index] = time.monotonic() + \
+                self.retry_policy.delay(failures - 1, token=f"trial:{index}")
             self._queue.append(index)
 
     def _record(self, index: int, trial: TrialResult) -> None:
@@ -489,12 +622,36 @@ class CampaignEngine:
         journal_s = None
         if self.journal is not None:
             j0 = time.perf_counter()
-            self.journal.append_trial(index, trial)
+            try:
+                self.journal.append_trial(index, trial)
+            except OSError as exc:
+                self._disable_journal(exc)
             journal_s = time.perf_counter() - j0
         if self.observer is not None:
             self.observer.record_trial(index, trial, journal_s)
         if self.progress is not None:
             self.progress(self._done, len(self._results))
+
+    def _disable_journal(self, exc: BaseException) -> None:
+        """Degradation-ladder rung: a persistently failing journal is
+        disabled (crash insurance lost, campaign preserved) rather than
+        letting its IO errors take the whole campaign down."""
+        self._health.io_retries += self.journal.io_retries
+        self._health.degradation_events.append(
+            {"type": "journal_disabled", "error": str(exc)})
+        warnings.warn(
+            f"campaign journal failed persistently ({exc}); disabling "
+            f"journaling and continuing without crash insurance",
+            stacklevel=2,
+        )
+        if self.observer is not None:
+            self.observer.metrics.inc("repro_journal_disabled_total")
+            self.observer.event("journal_disabled", error=str(exc))
+        try:
+            self.journal.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+        self.journal = None
 
     def _aggregate_timings(self, trial: TrialResult) -> None:
         if not trial.stage_timings:
@@ -540,7 +697,9 @@ def resume_campaign(
     trials executed by the resume (restored trials contribute outcome
     counters only), and never changes any trial outcome.
     """
-    header, done = read_journal(journal_path)
+    chaos.activate()
+    quarantined_before = len(_artifacts.QUARANTINE_LOG)
+    header, done, recovery = read_journal_ex(journal_path)
     app = header["app_name"]
     mode = header["mode"]
     n_trials = int(header["n_trials"])
@@ -616,6 +775,9 @@ def resume_campaign(
     finally:
         journal.close()
     health.requested_workers = requested_workers
+    health.journal_recovered_records = recovery.dropped
+    health.artifacts_quarantined = (
+        len(_artifacts.QUARANTINE_LOG) - quarantined_before)
     metrics = observer.finalize(health) if observer is not None else None
 
     return CampaignResult(

@@ -37,6 +37,21 @@ class CampaignHealth:
     quarantined: List[int] = field(default_factory=list)
     #: trials restored from a journal instead of executed (resume)
     resumed_trials: int = 0
+    #: respawn-budget exhaustions that shrank the worker pool by one
+    pool_shrinks: int = 0
+    #: the pool collapsed entirely and the campaign finished serially
+    serial_fallback: bool = False
+    #: structured degradation-ladder events, in order (``pool_shrink`` /
+    #: ``serial_fallback`` / ``journal_disabled``)
+    degradation_events: List[dict] = field(default_factory=list)
+    #: transient IO failures absorbed by backoff retry (journal writes)
+    io_retries: int = 0
+    #: torn/corrupt journal records dropped by recovery on resume (each
+    #: one's trial was re-executed)
+    journal_recovered_records: int = 0
+    #: corrupt golden artifacts quarantined and re-materialised while
+    #: this campaign prepared or executed (driver-side count)
+    artifacts_quarantined: int = 0
     #: trials finished early by convergence pruning (golden tail spliced)
     pruned_trials: int = 0
     #: virtual cycles those trials did not have to execute
@@ -57,6 +72,11 @@ class CampaignHealth:
     @property
     def clean(self) -> bool:
         return self.failures == 0 and not self.quarantined
+
+    @property
+    def degraded(self) -> bool:
+        """Did the graceful-degradation ladder fire at all?"""
+        return bool(self.degradation_events)
 
     def to_dict(self) -> dict:
         return asdict(self)

@@ -1,4 +1,4 @@
-"""Incremental campaign checkpointing: a JSONL trial journal.
+"""Incremental campaign checkpointing: a corruption-tolerant JSONL journal.
 
 The journal is the engine's crash insurance.  Line 1 is a header that
 pins down everything needed to re-derive the campaign's job list (app,
@@ -9,30 +9,120 @@ re-drawing the job list from the recorded seed, loading the completed
 trials, and executing only the missing indices
 (:func:`repro.inject.engine.resume_campaign`).
 
-Trial lines reuse the JSON trial encoding of
-:mod:`repro.analysis.export`, so a journal trial round-trips exactly
-like a saved campaign.  A torn final line (the driver died mid-write) is
-tolerated and ignored on read.
+Trial records reuse the JSON trial encoding of
+:mod:`repro.analysis.export`, framed (format 2) with an explicit byte
+length and a CRC-32 of the payload::
+
+    T <payload-bytes> <crc32-hex> <payload-json>
+
+so a reader can tell a record that was *written wrong* (torn write,
+bit rot, concurrent scribble) from one that was written correctly.
+Recovery is always forward: a torn final line — the driver died
+mid-write — is truncated and its trial simply re-executes on resume; a
+corrupt interior record is dropped the same way.  Format-1 journals
+(bare JSON lines) remain readable.  Appends route transient ``OSError``
+through the seeded backoff policy of :class:`repro.errors.RetryPolicy`,
+and the chaos layer (:mod:`repro.inject.chaos`) can tear writes and
+inject IO faults here to prove all of this works.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
+import zlib
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Tuple, Union
+from typing import Dict, Optional, Tuple, Union
 
-from ..errors import JournalError
+from ..errors import JournalError, RetryPolicy
+from . import chaos
 
-_JOURNAL_FORMAT = 1
+_JOURNAL_FORMAT = 2
+_READABLE_FORMATS = (1, 2)
 _JOURNAL_KIND = "repro-campaign-journal"
 
 
+def _encode_trial(index: int, trial) -> str:
+    from ..analysis.export import _trial_to_dict
+
+    payload = json.dumps({"index": index, "trial": _trial_to_dict(trial)})
+    data = payload.encode()
+    return f"T {len(data)} {zlib.crc32(data) & 0xFFFFFFFF:08x} {payload}\n"
+
+
+def _decode_frame(line: str) -> Optional[str]:
+    """Validated payload of one framed record line, or None (corrupt)."""
+    if not line.startswith("T "):
+        return None
+    head, _, rest = line[2:].partition(" ")
+    crc_hex, _, payload = rest.partition(" ")
+    if not head.isdigit() or len(crc_hex) != 8:
+        return None
+    data = payload.encode()
+    if len(data) != int(head):
+        return None
+    try:
+        crc = int(crc_hex, 16)
+    except ValueError:
+        return None
+    if zlib.crc32(data) & 0xFFFFFFFF != crc:
+        return None
+    return payload
+
+
+@dataclass
+class JournalRecovery:
+    """What :func:`read_journal_ex` had to tolerate to load a journal."""
+
+    #: the final line was partially written (driver died mid-write) and
+    #: its trial will be re-executed
+    torn_tail: bool = False
+    #: interior records dropped for failing their length/CRC frame
+    corrupt_records: int = 0
+    #: records superseded by a later line for the same trial index
+    duplicate_records: int = 0
+
+    @property
+    def dropped(self) -> int:
+        """Trial records lost to corruption (each re-executes on resume)."""
+        return self.corrupt_records + (1 if self.torn_tail else 0)
+
+
+def repair_tail(path: Union[str, Path]) -> int:
+    """Truncate an unterminated (torn) final line; returns bytes dropped.
+
+    Called before reopening a journal for appending so a fresh record
+    can never concatenate onto a torn fragment — the classic way one
+    torn write silently corrupts the *next* record too.  A journal whose
+    header line itself is torn is left untouched (there is nothing to
+    save; the read path reports it as malformed).
+    """
+    path = Path(path)
+    blob = path.read_bytes()
+    if not blob or blob.endswith(b"\n"):
+        return 0
+    cut = blob.rfind(b"\n") + 1
+    if cut == 0:
+        return 0
+    dropped = len(blob) - cut
+    with path.open("rb+") as fh:
+        fh.truncate(cut)
+    return dropped
+
+
 class CampaignJournal:
-    """Append-only JSONL journal of completed trials."""
+    """Append-only framed JSONL journal of completed trials."""
 
     def __init__(self, path: Union[str, Path], fh) -> None:
         self.path = Path(path)
         self._fh = fh
+        #: transient IO failures absorbed by the backoff policy
+        self.io_retries = 0
+        #: chaos-torn records (testing only; zero in production)
+        self.torn_writes = 0
+        self._needs_newline = False
+        self._policy: Optional[RetryPolicy] = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -48,19 +138,59 @@ class CampaignJournal:
 
     @classmethod
     def append_to(cls, path: Union[str, Path]) -> "CampaignJournal":
-        """Reopen an existing journal for appending (resume)."""
+        """Reopen an existing journal for appending (resume).
+
+        A torn final line is repaired (truncated) first, with a warning;
+        the torn trial is simply re-executed by the resume.
+        """
         path = Path(path)
         if not path.exists():
             raise JournalError(f"no campaign journal at {path}")
+        dropped = repair_tail(path)
+        if dropped:
+            warnings.warn(
+                f"{path}: truncated a torn final journal line "
+                f"({dropped} bytes); its trial will be re-executed",
+                stacklevel=2,
+            )
         return cls(path, path.open("a"))
 
     # ------------------------------------------------------------------
-    def append_trial(self, index: int, trial) -> None:
-        from ..analysis.export import _trial_to_dict
+    def _retry_policy(self) -> RetryPolicy:
+        if self._policy is None:
+            self._policy = RetryPolicy.from_settings()
+        return self._policy
 
-        line = {"index": index, "trial": _trial_to_dict(trial)}
-        self._fh.write(json.dumps(line) + "\n")
-        self._fh.flush()
+    def append_trial(self, index: int, trial) -> None:
+        line = _encode_trial(index, trial)
+        m = chaos.monkey()
+        if m is not None and m.journal_tear(index):
+            # simulate the driver dying mid-write: flush a prefix of the
+            # record and stop.  The record is lost (recovery re-executes
+            # the trial); the next append starts on a fresh line.
+            cut = 1 + int(m.roll("tear-cut", str(index)) * (len(line) - 2))
+            if self._needs_newline:
+                self._fh.write("\n")
+            self._fh.write(line[:cut])
+            self._fh.flush()
+            self._needs_newline = True
+            self.torn_writes += 1
+            return
+
+        def _write() -> None:
+            if m is not None:
+                m.maybe_io_error("journal.append", str(index))
+            if self._needs_newline:
+                self._fh.write("\n")
+                self._needs_newline = False
+            self._fh.write(line)
+            self._fh.flush()
+
+        def _on_retry(exc, attempt, delay) -> None:
+            self.io_retries += 1
+
+        self._retry_policy().call(
+            _write, token=f"journal:{index}", on_retry=_on_retry)
 
     def close(self) -> None:
         if self._fh is not None:
@@ -74,44 +204,98 @@ class CampaignJournal:
         self.close()
 
 
-def read_journal(path: Union[str, Path]) -> Tuple[dict, Dict[int, object]]:
-    """Load a journal: (header meta, {trial index: TrialResult}).
+def read_journal_ex(path: Union[str, Path]
+                    ) -> Tuple[dict, Dict[int, object], JournalRecovery]:
+    """Load a journal: (header, {index: TrialResult}, recovery report).
 
     Later lines win on duplicate indices (a resumed-then-interrupted
-    journal may record a trial twice).  A truncated trailing line is
-    skipped; a malformed header is an error.
+    journal may record a trial twice).  Torn or corrupt records are
+    dropped with a warning and counted in the recovery report — their
+    trials re-execute on resume.  A malformed header is an error: with
+    no header there is no campaign to re-derive.
     """
     from ..analysis.export import _trial_from_dict
 
     path = Path(path)
     if not path.exists():
         raise JournalError(f"no campaign journal at {path}")
-    with path.open() as fh:
-        raw_header = fh.readline()
-        try:
-            header = json.loads(raw_header)
-        except json.JSONDecodeError:
-            raise JournalError(f"{path}: malformed journal header")
-        if (not isinstance(header, dict)
-                or header.get("kind") != _JOURNAL_KIND):
-            raise JournalError(f"{path}: not a campaign journal")
-        if header.get("format") != _JOURNAL_FORMAT:
-            raise JournalError(
-                f"{path}: unsupported journal format {header.get('format')!r}"
-            )
-        trials: Dict[int, object] = {}
-        for lineno, line in enumerate(fh, start=2):
-            line = line.strip()
-            if not line:
-                continue
+    text = path.read_bytes().decode("utf-8", errors="replace")
+    terminated = text.endswith("\n")
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines:
+        raise JournalError(f"{path}: malformed journal header")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError:
+        raise JournalError(f"{path}: malformed journal header")
+    if not isinstance(header, dict) or header.get("kind") != _JOURNAL_KIND:
+        raise JournalError(f"{path}: not a campaign journal")
+    fmt = header.get("format")
+    if fmt not in _READABLE_FORMATS:
+        raise JournalError(
+            f"{path}: unsupported journal format {fmt!r}"
+        )
+
+    trials: Dict[int, object] = {}
+    recovery = JournalRecovery()
+    n_lines = len(lines)
+    for lineno, line in enumerate(lines[1:], start=2):
+        line = line.rstrip("\r")
+        if not line.strip():
+            continue
+        is_tail = (lineno == n_lines) and not terminated
+        if fmt == 1:
+            # format-1 journals: bare JSON lines, torn tail tolerated
             try:
                 entry = json.loads(line)
             except json.JSONDecodeError:
-                # torn write at the moment of interruption — drop it;
-                # the trial will simply be re-executed on resume
+                if is_tail:
+                    recovery.torn_tail = True
+                else:
+                    recovery.corrupt_records += 1
                 continue
-            try:
-                trials[int(entry["index"])] = _trial_from_dict(entry["trial"])
-            except (KeyError, TypeError, ValueError):
-                raise JournalError(f"{path}:{lineno}: malformed trial record")
+        else:
+            payload = _decode_frame(line)
+            if payload is None:
+                if is_tail:
+                    recovery.torn_tail = True
+                else:
+                    recovery.corrupt_records += 1
+                continue
+            entry = json.loads(payload)
+        try:
+            index = int(entry["index"])
+            trial = _trial_from_dict(entry["trial"])
+        except (KeyError, TypeError, ValueError):
+            # the frame was intact (or format-1 JSON parsed), so this is
+            # a writer bug, not corruption — refuse to guess
+            raise JournalError(f"{path}:{lineno}: malformed trial record")
+        if index in trials:
+            recovery.duplicate_records += 1
+        trials[index] = trial
+    if recovery.torn_tail:
+        warnings.warn(
+            f"{path}: final journal line was partially written (torn "
+            f"write); dropping it — the trial will be re-executed",
+            stacklevel=2,
+        )
+    if recovery.corrupt_records:
+        warnings.warn(
+            f"{path}: dropped {recovery.corrupt_records} corrupt journal "
+            f"record(s) failing their CRC frame; those trials will be "
+            f"re-executed",
+            stacklevel=2,
+        )
+    return header, trials, recovery
+
+
+def read_journal(path: Union[str, Path]) -> Tuple[dict, Dict[int, object]]:
+    """Load a journal: (header meta, {trial index: TrialResult}).
+
+    Convenience wrapper over :func:`read_journal_ex` that discards the
+    recovery report.
+    """
+    header, trials, _ = read_journal_ex(path)
     return header, trials

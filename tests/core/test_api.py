@@ -93,6 +93,16 @@ def test_unknown_mode_rejected():
         repro.Session("matvec", mode="quantum")
 
 
+def test_session_surfaces_health_and_degradation():
+    s = repro.Session("matvec", mode="blackbox")
+    assert s.health is None
+    assert s.degradation_events == []
+    s.campaign(trials=4, seed=3)
+    assert s.health is not None
+    assert s.health.clean and not s.health.degraded
+    assert s.degradation_events == []
+
+
 def test_old_call_paths_unchanged():
     """The facade supersedes nothing: the long-form API keeps working."""
     fw = repro.FaultPropagationFramework.for_app("matvec")

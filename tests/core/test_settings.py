@@ -119,6 +119,44 @@ def test_env_int_helper(monkeypatch):
         assert env_int("REPRO_BENCH_TRIALS", 4) == 4
 
 
+def test_retry_and_chaos_defaults():
+    s = Settings.from_env({})
+    assert s.retry_base_delay == 0.05
+    assert s.retry_max_delay == 2.0
+    assert s.retry_max_attempts == 4
+    assert s.chaos is False
+    assert s.chaos_seed == 0
+
+
+def test_retry_and_chaos_valid_values():
+    s = _settings(REPRO_RETRY_BASE_DELAY=0, REPRO_RETRY_MAX_DELAY=0.5,
+                  REPRO_RETRY_MAX_ATTEMPTS=0, REPRO_CHAOS=1,
+                  REPRO_CHAOS_SEED=99)
+    assert s.retry_base_delay == 0.0   # zero delay is valid (tests/CI)
+    assert s.retry_max_delay == 0.5
+    assert s.retry_max_attempts == 0   # zero attempts disables retry
+    assert s.chaos is True
+    assert s.chaos_seed == 99
+
+
+def test_retry_knobs_warn_and_fall_back_on_junk():
+    with pytest.warns(UserWarning, match="REPRO_RETRY_BASE_DELAY"):
+        s = _settings(REPRO_RETRY_BASE_DELAY="soon")
+    assert s.retry_base_delay == 0.05
+    with pytest.warns(UserWarning, match="REPRO_RETRY_MAX_ATTEMPTS"):
+        s = _settings(REPRO_RETRY_MAX_ATTEMPTS=-1)
+    assert s.retry_max_attempts == 4
+    with pytest.warns(UserWarning, match="REPRO_CHAOS_SEED"):
+        s = _settings(REPRO_CHAOS_SEED="lucky")
+    assert s.chaos_seed == 0
+
+
+def test_negative_retry_delay_warns():
+    with pytest.warns(UserWarning, match="REPRO_RETRY_BASE_DELAY"):
+        s = _settings(REPRO_RETRY_BASE_DELAY=-0.1)
+    assert s.retry_base_delay == 0.05
+
+
 def test_call_sites_resolve_through_settings(monkeypatch):
     """The layers that used to read os.environ directly now agree with
     the schema (the point of the consolidation)."""

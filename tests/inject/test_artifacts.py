@@ -149,6 +149,95 @@ class TestVerificationMarker:
         assert art.verified
         assert art.snapshot_store().verified
 
+    def test_marker_records_payload_hash_and_stat(self, tmp_path):
+        pa = PreparedApp(get_app("matvec"), "fpm", snapshot_stride=150,
+                         artifact_dir=tmp_path)
+        directory, key = pa.artifact_ref
+        artifacts.mark_verified(directory, key)
+        marker = json.loads(
+            (tmp_path / f"{key}.verified").read_text())
+        st = artifacts.artifact_path(directory, key).stat()
+        assert marker["payload_sha256"]
+        assert marker["size"] == st.st_size
+        assert marker["mtime_ns"] == st.st_mtime_ns
+
+    def test_tampered_artifact_does_not_ride_stale_marker(self, tmp_path):
+        """Satellite regression: bytes changed after verification must
+        invalidate the marker (re-hash, quarantine), not be trusted."""
+        pa = PreparedApp(get_app("matvec"), "fpm", snapshot_stride=150,
+                         artifact_dir=tmp_path)
+        directory, key = pa.artifact_ref
+        artifacts.mark_verified(directory, key)
+        path = artifacts.artifact_path(directory, key)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF   # tamper with the payload after verification
+        path.write_bytes(bytes(blob))
+        with pytest.warns(UserWarning, match="quarantined"):
+            assert not artifacts.is_verified(directory, key)
+        # the tampered artifact was moved aside and its marker dropped
+        assert not path.exists()
+        assert path.with_suffix(".golden.corrupt").exists()
+        assert not (tmp_path / f"{key}.verified").exists()
+
+    def test_rewritten_identical_artifact_keeps_verification(self, tmp_path):
+        """A same-content rewrite (mtime changed, bytes identical) must
+        re-hash and keep the verification, not quarantine."""
+        import os
+        pa = PreparedApp(get_app("matvec"), "fpm", snapshot_stride=150,
+                         artifact_dir=tmp_path)
+        directory, key = pa.artifact_ref
+        artifacts.mark_verified(directory, key)
+        path = artifacts.artifact_path(directory, key)
+        os.utime(path, ns=(12345, 67890))  # stat fast path must miss
+        assert artifacts.is_verified(directory, key)
+        assert path.exists()
+
+
+class TestQuarantine:
+    def _prepared(self, tmp_path):
+        pa = PreparedApp(get_app("matvec"), "blackbox", snapshot_stride=150,
+                         artifact_dir=tmp_path)
+        return pa.artifact_ref
+
+    def test_quarantine_moves_artifact_and_drops_marker(self, tmp_path):
+        directory, key = self._prepared(tmp_path)
+        artifacts.mark_verified(directory, key)
+        src = artifacts.artifact_path(directory, key)
+        before = len(artifacts.QUARANTINE_LOG)
+        with pytest.warns(UserWarning, match="quarantined"):
+            dst = artifacts.quarantine_artifact(directory, key, "test")
+        assert dst is not None and dst.exists() and not src.exists()
+        assert not (tmp_path / f"{key}.verified").exists()
+        assert len(artifacts.QUARANTINE_LOG) == before + 1
+
+    def test_quarantine_of_missing_artifact_is_none(self, tmp_path):
+        assert artifacts.quarantine_artifact(tmp_path, "0" * 40, "x") is None
+
+    def test_corrupt_artifact_quarantined_then_rematerialised(self, tmp_path):
+        """One-shot re-materialisation: corrupt load → quarantine → the
+        fresh golden run atomically rewrites the artifact, and the next
+        load is clean (no warn-every-load loop)."""
+        directory, key = self._prepared(tmp_path)
+        path = artifacts.artifact_path(directory, key)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        campaign_mod._PREPARED_CACHE.clear()
+        with pytest.warns(UserWarning, match="golden artifact"):
+            pa = PreparedApp(get_app("matvec"), "blackbox",
+                             snapshot_stride=150, artifact_dir=tmp_path)
+        assert not pa.from_artifact
+        assert path.exists()  # re-materialised under the original name
+        assert path.with_suffix(".golden.corrupt").exists()
+        # second prepare: loads the fresh artifact without any warning
+        campaign_mod._PREPARED_CACHE.clear()
+        import warnings as _warnings
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            pa2 = PreparedApp(get_app("matvec"), "blackbox",
+                              snapshot_stride=150, artifact_dir=tmp_path)
+        assert pa2.from_artifact
+
 
 @pytest.mark.parametrize("mode", ["blackbox", "fpm"])
 def test_campaign_with_artifacts_is_bit_identical(tmp_path, mode):

@@ -1,0 +1,158 @@
+"""Journal CRC framing, torn-write repair, and corruption recovery."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import JournalError
+from repro.inject import read_journal, read_journal_ex
+from repro.inject.campaign import TrialResult
+from repro.inject.journal import CampaignJournal, repair_tail
+
+
+def _trial(i):
+    return TrialResult(
+        outcome="CO", trap_kind=None, faults=(), injected_cycles=(),
+        injected_occurrences=(), iterations=1, cycles=i,
+    )
+
+
+def _make_journal(path, n=5):
+    with CampaignJournal.create(path, {"app_name": "x", "n_trials": n}) as j:
+        for i in range(n):
+            j.append_trial(i, _trial(i))
+    return path
+
+
+class TestFraming:
+    def test_round_trip_is_clean(self, tmp_path):
+        path = _make_journal(tmp_path / "c.jsonl")
+        header, trials, recovery = read_journal_ex(path)
+        assert header["app_name"] == "x"
+        assert sorted(trials) == [0, 1, 2, 3, 4]
+        assert [trials[i].cycles for i in range(5)] == [0, 1, 2, 3, 4]
+        assert recovery.dropped == 0 and not recovery.torn_tail
+
+    def test_records_are_length_and_crc_framed(self, tmp_path):
+        path = _make_journal(tmp_path / "c.jsonl")
+        lines = path.read_text().splitlines()
+        for line in lines[1:]:
+            assert line.startswith("T ")
+            size, crc, payload = line[2:].split(" ", 2)
+            assert int(size) == len(payload.encode())
+            assert len(crc) == 8
+            json.loads(payload)  # framed payload is plain JSON
+
+    def test_torn_tail_truncated_and_counted(self, tmp_path):
+        path = _make_journal(tmp_path / "c.jsonl")
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-20])  # driver died mid-write
+        with pytest.warns(UserWarning, match="partially written"):
+            header, trials, recovery = read_journal_ex(path)
+        assert sorted(trials) == [0, 1, 2, 3]
+        assert recovery.torn_tail and recovery.dropped == 1
+
+    def test_corrupt_interior_record_dropped_others_survive(self, tmp_path):
+        path = _make_journal(tmp_path / "c.jsonl")
+        lines = path.read_text().splitlines(keepends=True)
+        # flip one payload byte of trial 2's record: the CRC must catch it
+        bad = lines[3].replace('"cycles": 2', '"cycles": 7')
+        assert bad != lines[3]
+        path.write_text("".join(lines[:3] + [bad] + lines[4:]))
+        with pytest.warns(UserWarning, match="CRC"):
+            header, trials, recovery = read_journal_ex(path)
+        assert sorted(trials) == [0, 1, 3, 4]
+        assert recovery.corrupt_records == 1 and not recovery.torn_tail
+
+    def test_duplicate_records_later_wins(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        with CampaignJournal.create(path, {"n_trials": 2}) as j:
+            j.append_trial(0, _trial(0))
+            j.append_trial(0, _trial(9))
+        header, trials, recovery = read_journal_ex(path)
+        assert trials[0].cycles == 9
+        assert recovery.duplicate_records == 1
+
+    def test_valid_frame_with_malformed_trial_is_an_error(self, tmp_path):
+        import zlib
+        path = _make_journal(tmp_path / "c.jsonl", n=1)
+        payload = json.dumps({"index": "not-an-int-able", "trial": 5})
+        data = payload.encode()
+        with path.open("a") as fh:
+            fh.write(f"T {len(data)} "
+                     f"{zlib.crc32(data) & 0xFFFFFFFF:08x} {payload}\n")
+        # intact CRC + garbage content = writer bug, never silently dropped
+        with pytest.raises(JournalError, match="malformed trial record"):
+            read_journal_ex(path)
+
+
+class TestRepairTail:
+    def test_noop_on_terminated_file(self, tmp_path):
+        path = _make_journal(tmp_path / "c.jsonl")
+        before = path.read_bytes()
+        assert repair_tail(path) == 0
+        assert path.read_bytes() == before
+
+    def test_truncates_torn_final_line(self, tmp_path):
+        path = _make_journal(tmp_path / "c.jsonl")
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-17])
+        dropped = repair_tail(path)
+        assert dropped > 0
+        assert path.read_bytes().endswith(b"\n")
+        _, trials, recovery = read_journal_ex(path)
+        assert sorted(trials) == [0, 1, 2, 3]
+        assert recovery.dropped == 0  # already repaired on disk
+
+    def test_torn_header_left_alone(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        path.write_bytes(b'{"kind": "repro-campaign-jour')
+        assert repair_tail(path) == 0
+        with pytest.raises(JournalError):
+            read_journal_ex(path)
+
+    def test_append_to_repairs_before_reopening(self, tmp_path):
+        path = _make_journal(tmp_path / "c.jsonl")
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-13])
+        with pytest.warns(UserWarning, match="torn final journal line"):
+            with CampaignJournal.append_to(path) as j:
+                j.append_trial(4, _trial(4))
+        # the fresh record must not concatenate onto the torn fragment
+        header, trials, recovery = read_journal_ex(path)
+        assert sorted(trials) == [0, 1, 2, 3, 4]
+        assert recovery.dropped == 0
+
+
+class TestFormatOne:
+    def test_legacy_bare_json_journal_still_reads(self, tmp_path):
+        from repro.analysis.export import _trial_to_dict
+
+        path = tmp_path / "old.jsonl"
+        with path.open("w") as fh:
+            fh.write(json.dumps({"format": 1,
+                                 "kind": "repro-campaign-journal",
+                                 "app_name": "x", "n_trials": 2}) + "\n")
+            for i in range(2):
+                fh.write(json.dumps(
+                    {"index": i, "trial": _trial_to_dict(_trial(i))}) + "\n")
+        header, trials = read_journal(path)
+        assert header["format"] == 1
+        assert sorted(trials) == [0, 1]
+
+    def test_legacy_torn_tail_tolerated(self, tmp_path):
+        from repro.analysis.export import _trial_to_dict
+
+        path = tmp_path / "old.jsonl"
+        with path.open("w") as fh:
+            fh.write(json.dumps({"format": 1,
+                                 "kind": "repro-campaign-journal"}) + "\n")
+            fh.write(json.dumps(
+                {"index": 0, "trial": _trial_to_dict(_trial(0))}) + "\n")
+            fh.write('{"index": 1, "trial"')  # torn
+        with pytest.warns(UserWarning, match="partially written"):
+            _, trials, recovery = read_journal_ex(path)
+        assert sorted(trials) == [0]
+        assert recovery.torn_tail
