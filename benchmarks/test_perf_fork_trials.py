@@ -1,0 +1,228 @@
+"""Fork-at-injection: per-trial speedup ladder + worker-scaling walls.
+
+"Before" is the PR 5 configuration: every trial resets the world with a
+dirty-delta restore (or warm clone), replays the armed prefix from its
+snapshot to the injection cycle, then runs the divergent tail.  "After"
+is the default configuration: one shared golden world per worker is
+advanced through the campaign's epoch buckets exactly once, and each
+trial forks it copy-on-write at its injection epoch — so a trial pays
+only its divergent window plus the pages it touches.
+
+Both paths run the *identical* post-injection tail, so the structural
+win concentrates in trials whose divergent window is short (crash or
+prune soon after injection): there the restore path's fixed costs —
+world reset plus armed-mode prefix replay — dominate, and forking
+removes them.  Long-window trials are tail-dominated in both paths and
+land near 1x.  The gating assertions reflect that split:
+
+* equivalence — fork and no-fork campaigns must be trial-for-trial
+  bit-identical on every rep (the hard gate, meaningful anywhere);
+* per-trial speedup — the median wall-clock ratio over *short-window*
+  trials (window ≤ 1/8 of the golden run) must reach 3x on amg, the
+  gate the CI perf-smoke job enforces at reduced trial count;
+* no regression — the median campaign-level wall ratio must not drop
+  below the noise floor on any app.
+
+Per-trial times are the engine's own ``execute`` stage clocks, taken
+as the min across reps — the same accounting the pruning benchmark
+uses.  The baseline's execute includes its armed-mode prefix replay
+from the snapshot to the injection cycle; the fork path executes the
+divergent window alone.  Shared positioning costs are not hidden:
+each path's world-reset totals (``snapshot_restore + clone`` vs
+``fork_advance``) are reported per app, and the campaign walls and the
+1/2/4/8-worker ladder measure everything end to end.  Results land in
+``benchmarks/results/BENCH_fork_trials.json``; whether the
+short-window median reached the 10x target is recorded there
+honestly.  Scale with REPRO_BENCH_TRIALS (default 30) and
+REPRO_BENCH_REPS (default 3).
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+
+from repro.inject import run_campaign, trial_results_equal
+from repro.inject import campaign as campaign_mod
+from repro.inject.campaign import _env_int
+
+from conftest import SEED
+
+#: amg is the gated app (the issue's target); minife rides along for a
+#: second ladder on the other paper-scale golden trajectory
+APPS = ("amg", "minife")
+GATED_APP = "amg"
+
+#: campaign-level no-regression floor: forking may never cost more than
+#: measurement noise on a tail-dominated workload
+NO_REGRESSION_FLOOR = 0.80
+
+#: acceptance gate: median per-trial speedup over short-window trials
+#: (the same bar the CI perf-smoke job runs at reduced trial count)
+FORK_SPEEDUP_GATE = 3.0
+
+#: the issue's stretch target, recorded (not gated) per app
+TARGET_SPEEDUP = 10.0
+
+#: a trial is "short-window" when its divergent window — fork cycle to
+#: end (or prune splice) — is at most this fraction of the golden run
+SHORT_WINDOW_FRACTION = 1 / 8
+
+#: worker widths for the campaign wall ladder
+WORKER_LADDER = (1, 2, 4, 8)
+
+
+def _bench_trials() -> int:
+    return _env_int("REPRO_BENCH_TRIALS", 30)
+
+
+def _bench_reps() -> int:
+    return _env_int("REPRO_BENCH_REPS", 3)
+
+
+def _run(app, n, fork, workers=1):
+    campaign_mod._PREPARED_CACHE.clear()
+    t0 = time.perf_counter()
+    result = run_campaign(app, n, mode="fpm", seed=SEED, workers=workers,
+                          fork=fork)
+    return result, time.perf_counter() - t0
+
+
+def _execute_times(result):
+    return [t.stage_timings.get("execute", 0.0) for t in result.trials]
+
+
+def _reset_total(result, stages):
+    """Total world-positioning cost across the campaign's trials."""
+    return sum(t.stage_timings.get(s, 0.0)
+               for t in result.trials for s in stages)
+
+
+def _window_cycles(trial, golden_cycles):
+    """Divergent window actually executed by the forked trial."""
+    if trial.forked_at_cycle is None:
+        return golden_cycles
+    end = trial.pruned_at_cycle if trial.pruned_at_cycle is not None \
+        else trial.cycles
+    return max(0, end - trial.forked_at_cycle)
+
+
+def _measure_app(app, n, reps):
+    # untimed warm-up: bytecode caches + golden profile for both paths
+    _run(app, n, False)
+
+    base_walls, cand_walls = [], []
+    base_reset, cand_reset = [], []
+    base_t = [float("inf")] * n
+    cand_t = [float("inf")] * n
+    candidate = None
+    for _ in range(reps):
+        base, bw = _run(app, n, False)
+        cand, cw = _run(app, n, True)
+        # gating: forking must be invisible in the science
+        assert base.n_trials == cand.n_trials == n
+        assert base.fractions() == cand.fractions()
+        for i, (a, b) in enumerate(zip(base.trials, cand.trials)):
+            assert trial_results_equal(a, b), (app, i, a, b)
+            assert a.forked_at_cycle is None
+        base_walls.append(bw)
+        cand_walls.append(cw)
+        base_reset.append(_reset_total(base, ("snapshot_restore", "clone")))
+        cand_reset.append(_reset_total(cand, ("fork_advance",)))
+        base_t = [min(p, q) for p, q in zip(base_t, _execute_times(base))]
+        cand_t = [min(p, q) for p, q in zip(cand_t, _execute_times(cand))]
+        candidate = cand
+
+    golden_cycles = candidate.golden_cycles
+    forked = [i for i, t in enumerate(candidate.trials)
+              if t.forked_at_cycle is not None]
+    ratios = {i: base_t[i] / max(cand_t[i], 1e-9) for i in forked}
+    short = [i for i in forked
+             if _window_cycles(candidate.trials[i], golden_cycles)
+             <= golden_cycles * SHORT_WINDOW_FRACTION]
+    ladder = sorted(round(ratios[i], 2) for i in forked)
+    short_ladder = sorted(round(ratios[i], 2) for i in short)
+    wall_ratios = [b / max(c, 1e-9)
+                   for b, c in zip(base_walls, cand_walls)]
+    row = {
+        "trials": n,
+        "golden_cycles": golden_cycles,
+        "forked_trials": len(forked),
+        "forked_fraction": round(len(forked) / n, 3),
+        "pages_copied": candidate.health.pages_copied,
+        "speedup_ladder": ladder,
+        "speedup_median": (round(statistics.median(ladder), 2)
+                           if ladder else None),
+        "short_window_trials": len(short),
+        "short_window_ladder": short_ladder,
+        "short_window_speedup_median": (
+            round(statistics.median(short_ladder), 2)
+            if short_ladder else None),
+        "best_trial_speedup": ladder[-1] if ladder else None,
+        "reached_10x_target": bool(short_ladder) and
+        statistics.median(short_ladder) >= TARGET_SPEEDUP,
+        # world-positioning totals each path pays outside execute
+        "baseline_reset_total_s": round(min(base_reset), 3),
+        "fork_advance_total_s": round(min(cand_reset), 3),
+        "baseline_wall_s": [round(w, 3) for w in base_walls],
+        "candidate_wall_s": [round(w, 3) for w in cand_walls],
+        "campaign_ratio_median": round(statistics.median(wall_ratios), 2),
+        "equivalent": True,
+    }
+    return row
+
+
+def _worker_ladder(app, n):
+    """Campaign walls across pool widths, both paths, one rep each."""
+    ladder = {}
+    for w in WORKER_LADDER:
+        base, bw = _run(app, n, False, workers=w)
+        cand, cw = _run(app, n, True, workers=w)
+        for a, b in zip(base.trials, cand.trials):
+            assert trial_results_equal(a, b), (app, w)
+        ladder[str(w)] = {
+            "no_fork_wall_s": round(bw, 3),
+            "fork_wall_s": round(cw, 3),
+            "ratio": round(bw / max(cw, 1e-9), 2),
+        }
+    return ladder
+
+
+def test_perf_fork_trials(results_dir, monkeypatch):
+    monkeypatch.delenv("REPRO_FORK_TRIALS", raising=False)
+    monkeypatch.delenv("REPRO_PRUNE", raising=False)
+    monkeypatch.delenv("REPRO_ARTIFACT_DIR", raising=False)
+    n = _bench_trials()
+    reps = _bench_reps()
+    payload = {
+        "benchmark": "fork_trials",
+        "seed": SEED,
+        "trials": n,
+        "reps": reps,
+        "baseline": "PR 5: dirty-delta restore/warm clone + armed "
+                    "prefix replay per trial (fork=False)",
+        "candidate": "fork-at-injection: shared golden cursor + COW "
+                     "fork per trial (defaults)",
+        "short_window_fraction": round(SHORT_WINDOW_FRACTION, 4),
+        "apps": {app: _measure_app(app, n, reps) for app in APPS},
+        "worker_ladder": {GATED_APP: _worker_ladder(GATED_APP, n)},
+    }
+    gated = payload["apps"][GATED_APP]
+    payload["headline"] = {
+        "gated_app": GATED_APP,
+        "short_window_speedup_median":
+            gated["short_window_speedup_median"],
+        "gate": FORK_SPEEDUP_GATE,
+        "target": TARGET_SPEEDUP,
+        "reached_10x_target": gated["reached_10x_target"],
+    }
+    path = results_dir / "BENCH_fork_trials.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\n=== {path.name} ===\n{json.dumps(payload, indent=2)}\n")
+
+    for app, row in payload["apps"].items():
+        assert row["forked_trials"] > 0, f"{app}: nothing ever forked"
+        assert row["campaign_ratio_median"] >= NO_REGRESSION_FLOOR, (app, row)
+    assert gated["short_window_trials"] > 0, gated
+    assert gated["short_window_speedup_median"] >= FORK_SPEEDUP_GATE, gated

@@ -54,6 +54,10 @@ def _trial_to_dict(t: TrialResult) -> dict:
         d["retries"] = t.retries
     if t.pruned_at_cycle is not None:
         d["pruned_at_cycle"] = t.pruned_at_cycle
+    if t.forked_at_cycle is not None:
+        d["forked_at_cycle"] = t.forked_at_cycle
+    if t.pages_copied is not None:
+        d["pages_copied"] = t.pages_copied
     if t.stage_timings:
         d["stage_timings"] = dict(t.stage_timings)
     if t.times is not None:
@@ -95,6 +99,8 @@ def _trial_from_dict(d: dict) -> TrialResult:
         failure_detail=d.get("failure_detail"),
         retries=d.get("retries", 0),
         pruned_at_cycle=d.get("pruned_at_cycle"),
+        forked_at_cycle=d.get("forked_at_cycle"),
+        pages_copied=d.get("pages_copied"),
         stage_timings=d.get("stage_timings"),
     )
     series = d.get("series")

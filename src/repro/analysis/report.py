@@ -80,6 +80,12 @@ def render_health_summary(health, quarantined_trials: Optional[Sequence] = None)
             f"golden trajectory early ({health.pruned_cycles} cycles "
             f"spliced instead of executed)"
         )
+    if getattr(health, "forked_trials", 0):
+        lines.append(
+            f"forked: {health.forked_trials} trial(s) ran copy-on-write "
+            f"off the shared golden world ({health.pages_copied} page(s) "
+            f"privatised)"
+        )
     if getattr(health, "journal_recovered_records", 0):
         lines.append(
             f"journal recovery: {health.journal_recovered_records} torn/"

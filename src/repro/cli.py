@@ -58,6 +58,10 @@ def _add_campaign_args(p: argparse.ArgumentParser) -> None:
                    help="disable golden-trajectory convergence pruning "
                         "and run every trial to completion (default: "
                         "pruning on unless REPRO_PRUNE=0)")
+    p.add_argument("--no-fork", action="store_true",
+                   help="disable fork-at-injection execution and run "
+                        "every trial on the restore/cold path (default: "
+                        "forking on unless REPRO_FORK_TRIALS=0)")
     p.add_argument("--trace", metavar="PATH", default=None,
                    help="write a schema-versioned JSONL trace of every "
                         "trial (spans, VM/MPI events, live CML streams)")
@@ -183,7 +187,8 @@ def cmd_campaign(args) -> int:
                          snapshot_stride=args.snapshot_stride,
                          artifact_dir=args.artifact_dir,
                          observe=observe,
-                         prune=False if args.no_prune else None)
+                         prune=False if args.no_prune else None,
+                         fork=False if args.no_fork else None)
     print(f"{c.n_trials} trials, mode={c.mode}, "
           f"{c.n_faults} fault(s)/run")
     print(render_outcome_table({args.app: c.fractions()},
@@ -214,7 +219,8 @@ def cmd_sites(args) -> int:
                      snapshot_stride=args.snapshot_stride,
                      artifact_dir=args.artifact_dir,
                      observe=_observe_from_args(args),
-                     prune=False if args.no_prune else None)
+                     prune=False if args.no_prune else None,
+                     fork=False if args.no_fork else None)
     pa = _prepared(args.app, (), "fpm", args.snapshot_stride,
                    args.artifact_dir)
     ranking = site_vulnerability(c, pa.program.site_table, by=args.by)
@@ -233,7 +239,8 @@ def cmd_fps(args) -> int:
                         snapshot_stride=args.snapshot_stride,
                         artifact_dir=args.artifact_dir,
                         observe=_observe_from_args(args),
-                        prune=False if args.no_prune else None)
+                        prune=False if args.no_prune else None,
+                        fork=False if args.no_fork else None)
     fps = fw.fps_factor(c)
     print(render_fps_table([fps]))
     est = fw.estimator(c)

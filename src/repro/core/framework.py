@@ -100,6 +100,7 @@ class FaultPropagationFramework:
         artifact_dir: Optional[str] = None,
         observe=None,
         prune: Optional[bool] = None,
+        fork: Optional[bool] = None,
     ) -> CampaignResult:
         """Output-variation analysis (paper Sec. 4.2 / Fig. 6)."""
         return run_campaign(
@@ -107,7 +108,7 @@ class FaultPropagationFramework:
             workers=workers, n_faults=n_faults, params=self.params,
             timeout=timeout, max_retries=max_retries, journal=journal,
             snapshot_stride=snapshot_stride, artifact_dir=artifact_dir,
-            observe=observe, prune=prune,
+            observe=observe, prune=prune, fork=fork,
         )
 
     def fpm_campaign(
@@ -120,6 +121,7 @@ class FaultPropagationFramework:
         artifact_dir: Optional[str] = None,
         observe=None,
         prune: Optional[bool] = None,
+        fork: Optional[bool] = None,
     ) -> CampaignResult:
         """Propagation analysis (paper Sec. 4.3 / Figs. 7-8)."""
         return run_campaign(
@@ -127,7 +129,7 @@ class FaultPropagationFramework:
             n_faults=n_faults, keep_series=keep_series, params=self.params,
             timeout=timeout, max_retries=max_retries, journal=journal,
             snapshot_stride=snapshot_stride, artifact_dir=artifact_dir,
-            observe=observe, prune=prune,
+            observe=observe, prune=prune, fork=fork,
         )
 
     def resume_campaign(self, journal: str, **kwargs) -> CampaignResult:

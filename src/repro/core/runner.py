@@ -55,6 +55,7 @@ def run_job(
     cml_stream=None,
     capture_fingerprints=None,
     prune=None,
+    capture_epoch_counters=None,
 ) -> JobResult:
     """Run one simulated MPI job to completion (or crash/deadlock/hang).
 
@@ -93,6 +94,11 @@ def run_job(
     scheduler splices in the golden tail instead of executing it and
     sets ``JobResult.pruned_at_cycle``.  Results are identical to a full
     run by construction (see :mod:`repro.vm.fingerprint`).
+
+    ``capture_epoch_counters`` accepts a mutable list the scheduler
+    appends one per-rank ``inj_counter`` tuple into per completed epoch
+    (golden profiling) — the dense occurrence timeline fork-at-injection
+    plans are resolved against.
     """
     config = config or RunConfig()
     runtime = MPIRuntime()
@@ -163,5 +169,6 @@ def run_job(
         cml_stream=cml_stream,
         fingerprints=capture_fingerprints,
         prune=prune,
+        epoch_counters=capture_epoch_counters,
     )
     return scheduler.run()

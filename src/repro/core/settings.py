@@ -28,6 +28,8 @@ DEFAULT_PREFETCH = 2
 DEFAULT_SNAPSHOT_STRIDE = 2048
 DEFAULT_SNAPSHOT_LIMIT = 32
 DEFAULT_WORLD_CACHE = 4
+DEFAULT_WORLD_CACHE_PAGES = 0
+DEFAULT_PAGE_WORDS = 256
 DEFAULT_OBS_CML_STRIDE = 0
 DEFAULT_RETRY_BASE_DELAY = 0.05
 DEFAULT_RETRY_MAX_DELAY = 2.0
@@ -89,6 +91,14 @@ def _parse_bool(env: Mapping[str, str], name: str, default: bool) -> bool:
     return raw.strip().lower() not in ("0", "false", "off")
 
 
+def _parse_pow2(env: Mapping[str, str], name: str, default: int) -> int:
+    value = _parse_int(env, name, default)
+    if value & (value - 1):
+        _warn(name, str(value), "must be a power of two", default)
+        return default
+    return value
+
+
 def _parse_str(env: Mapping[str, str], name: str) -> Optional[str]:
     raw = env.get(name, "").strip()
     return raw or None
@@ -130,6 +140,9 @@ class Settings:
     batch_by_snapshot: bool = True
     #: REPRO_WORLD_CACHE — warm worlds kept per process (0 = off)
     world_cache: int = DEFAULT_WORLD_CACHE
+    #: REPRO_WORLD_CACHE_PAGES — warm-world cache budget in resident
+    #: pages (0 = no page budget; entry count still applies)
+    world_cache_pages: int = DEFAULT_WORLD_CACHE_PAGES
     #: REPRO_PREFETCH — trials in flight per pool worker
     prefetch: int = DEFAULT_PREFETCH
     # -- snapshot fast-forward -----------------------------------------
@@ -143,6 +156,10 @@ class Settings:
     prune: bool = True
     #: REPRO_FUSE — fused-segment dispatch
     fuse: bool = True
+    #: REPRO_FORK_TRIALS — fork-at-injection trial execution (0 = off)
+    fork_trials: bool = True
+    #: REPRO_PAGE_WORDS — COW page size in words (power of two)
+    page_words: int = DEFAULT_PAGE_WORDS
     # -- harness resilience ---------------------------------------------
     #: REPRO_RETRY_BASE_DELAY — first backoff delay for transient
     #: harness IO failures, seconds
@@ -181,6 +198,9 @@ class Settings:
             world_cache=_parse_int(
                 env, "REPRO_WORLD_CACHE", DEFAULT_WORLD_CACHE, minimum=0,
                 clamp=True),
+            world_cache_pages=_parse_int(
+                env, "REPRO_WORLD_CACHE_PAGES", DEFAULT_WORLD_CACHE_PAGES,
+                minimum=0, clamp=True),
             prefetch=_parse_int(
                 env, "REPRO_PREFETCH", DEFAULT_PREFETCH, clamp=True),
             snapshot_stride=_parse_int(
@@ -193,6 +213,9 @@ class Settings:
                 env, "REPRO_SNAPSHOT_VERIFY", "first", _VERIFY_MODES),
             prune=_parse_bool(env, "REPRO_PRUNE", True),
             fuse=_parse_bool(env, "REPRO_FUSE", True),
+            fork_trials=_parse_bool(env, "REPRO_FORK_TRIALS", True),
+            page_words=_parse_pow2(
+                env, "REPRO_PAGE_WORDS", DEFAULT_PAGE_WORDS),
             retry_base_delay=_parse_float(
                 env, "REPRO_RETRY_BASE_DELAY", DEFAULT_RETRY_BASE_DELAY,
                 allow_zero=True),

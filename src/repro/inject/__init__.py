@@ -18,8 +18,10 @@ from .campaign import (
     default_timeout,
     default_trials,
     default_workers,
+    fork_enabled,
     harness_failure_trial,
     plan_batches,
+    plan_fork_batches,
     run_campaign,
     trial_results_equal,
 )
@@ -40,7 +42,8 @@ __all__ = [
     "GoldenProfile", "JournalRecovery", "PreparedApp",
     "TrialResult", "artifact_key", "artifact_path", "batch_by_snapshot",
     "default_timeout", "default_trials", "default_workers", "draw_plan",
-    "harness_failure_trial", "load_artifact", "plan_batches",
+    "fork_enabled", "harness_failure_trial", "load_artifact",
+    "plan_batches", "plan_fork_batches",
     "profile_golden", "quarantine_artifact", "read_journal",
     "read_journal_ex", "resume_campaign", "run_campaign",
     "save_artifact", "trial_results_equal",

@@ -51,8 +51,9 @@ from .profiler import GoldenProfile
 
 #: bump when the payload layout or snapshot encoding changes shape;
 #: artifacts with any other schema are re-profiled, never interpreted
-#: (v2: golden fingerprint index for convergence pruning)
-SCHEMA_VERSION = 2
+#: (v2: golden fingerprint index for convergence pruning;
+#: v3: per-epoch injection counters for fork-at-injection planning)
+SCHEMA_VERSION = 3
 
 _ARTIFACT_KIND = "repro-golden-artifact"
 _SUFFIX = ".golden"

@@ -28,7 +28,9 @@ from ..analysis.classify import Outcome, classify, outcome_fractions, outputs_ma
 from ..apps.registry import AppSpec, get_app
 from ..core.runner import run_job
 from ..core.settings import current_settings
-from ..errors import CampaignError, FailureKind, SnapshotError
+from ..errors import (
+    CampaignError, FailureKind, SnapshotError, TrialTimeoutError,
+)
 from ..mpi import JobResult
 from ..obs import runtime as obs_rt
 from ..obs.cml import CMLStream
@@ -80,6 +82,16 @@ class TrialResult:
     #: not what it is — the spliced fields themselves are identical to a
     #: full run's by the pruning contract.
     pruned_at_cycle: Optional[int] = None
+    #: virtual time at which this trial was forked COW off the shared
+    #: golden world (None = the trial ran on the restore/cold path).
+    #: Like ``pruned_at_cycle``, provenance rather than content: fork
+    #: trials are bit-identical to restore-path trials by the COW
+    #: contract, so this is excluded from the bit-identity predicate.
+    forked_at_cycle: Optional[int] = None
+    #: pages the COW transaction actually copied for this trial (None =
+    #: not forked); excluded from the bit-identity predicate with
+    #: ``forked_at_cycle``
+    pages_copied: Optional[int] = None
     #: wall seconds per execution stage (artifact_load / snapshot_restore
     #: / clone / execute) — observability only; excluded from the
     #: bit-identity predicate because wall clocks are nondeterministic
@@ -271,8 +283,11 @@ def trial_results_equal(a: TrialResult, b: TrialResult) -> bool:
         # unobserved), not on what the trial computed.  pruned_at_cycle:
         # provenance of the result, not content — the verify cold re-run
         # executes unpruned precisely to check the spliced fields.
+        # forked_at_cycle / pages_copied: same story for the fork path —
+        # how the result was obtained, not what it is.
         if f.name in ("stage_timings", "cml_stream", "obs",
-                      "pruned_at_cycle"):
+                      "pruned_at_cycle", "forked_at_cycle",
+                      "pages_copied"):
             continue
         va, vb = getattr(a, f.name), getattr(b, f.name)
         if isinstance(va, np.ndarray) or isinstance(vb, np.ndarray):
@@ -315,12 +330,71 @@ def _run_trial(args) -> TrialResult:
     return tr
 
 
+def _fork_cursor(pa: PreparedApp):
+    """Worker-local golden cursor, lazily built per prepared app."""
+    cursor = getattr(pa, "_fork_cursor", None)
+    if cursor is None:
+        from .forkrun import GoldenCursor  # lazy: forkrun imports vm stack
+        cursor = GoldenCursor(pa)
+        pa._fork_cursor = cursor
+    return cursor
+
+
+def _fork_trial(pa, fork_epoch, faults, inj_seed, keep_series,
+                wall_timeout, stream, fingerprints, timings) -> TrialResult:
+    """Run one trial COW-forked off the worker's shared golden world.
+
+    Mirrors the restore path's verify-first contract: the first fork
+    trial per worker is re-executed cold (unobserved, unpruned) and
+    must be bit-identical, so a broken COW layer fails loudly instead
+    of corrupting a campaign.
+    """
+    cursor = _fork_cursor(pa)
+    t1 = time.perf_counter()
+    with obs_rt.span("fork_advance", fork_epoch=fork_epoch):
+        forked_at = cursor.advance_to(fork_epoch)
+    timings["fork_advance"] = time.perf_counter() - t1
+    t1 = time.perf_counter()
+    with obs_rt.span("execute", fork=True, fork_epoch=fork_epoch):
+        result, pages = cursor.fork_run(
+            faults, inj_seed=inj_seed, wall_timeout=wall_timeout,
+            cml_stream=stream, prune=fingerprints,
+        )
+    timings["execute"] = time.perf_counter() - t1
+    with obs_rt.span("classify"):
+        tr = _summarise(pa, result, faults, keep_series)
+    tr.forked_at_cycle = forked_at
+    tr.pages_copied = pages
+    tr.stage_timings = timings
+    obs_rt.inc("repro_trials_forked_total")
+    obs_rt.inc("repro_pages_copied_total", pages)
+    verify = snapshot_verify_mode()
+    if verify == "all" or (verify == "first"
+                           and not getattr(pa, "_fork_verified", False)):
+        with obs_rt.suspended():
+            cold = run_job(
+                pa.program, pa.run_config(), faults=faults,
+                inj_seed=inj_seed, wall_timeout=wall_timeout,
+            )
+            cold_tr = _summarise(pa, cold, faults, keep_series)
+        if not trial_results_equal(tr, cold_tr):
+            raise SnapshotError(
+                f"forked trial diverged from cold run for "
+                f"{pa.spec.name!r} ({pa.mode}, fork epoch {fork_epoch}, "
+                f"faults {tuple(faults)}): {tr.outcome}/{tr.cycles} vs "
+                f"{cold_tr.outcome}/{cold_tr.cycles}"
+            )
+        pa._fork_verified = True
+    return tr
+
+
 def _execute_trial(args, stream) -> TrialResult:
     (app_name, params, mode, faults, inj_seed, keep_series) = args[:6]
     wall_timeout = args[6] if len(args) > 6 else None
     snapshot_stride = args[7] if len(args) > 7 else None
     artifact_dir = args[8] if len(args) > 8 else None
     prune_on = bool(args[10]) if len(args) > 10 else False
+    fork_epoch = int(args[11]) if len(args) > 11 and args[11] else 0
     t0 = time.perf_counter()
     with obs_rt.span("arm", faults=len(faults)):
         pa = _prepared(app_name, params, mode, snapshot_stride, artifact_dir)
@@ -332,6 +406,25 @@ def _execute_trial(args, stream) -> TrialResult:
     wc = pa.world_cache
     timings = {"artifact_load": prep_s, "snapshot_restore": 0.0,
                "clone": 0.0, "execute": 0.0}
+    if fork_epoch > 0:
+        try:
+            return _fork_trial(pa, fork_epoch, faults, inj_seed,
+                               keep_series, wall_timeout, stream,
+                               fingerprints, timings)
+        except TrialTimeoutError:
+            raise  # harness failure: the engine retries/quarantines it
+        except (SnapshotError, RuntimeError) as exc:
+            # fallback ladder: a broken/poisoned cursor degrades this
+            # trial to the restore path instead of failing the campaign
+            warnings.warn(
+                f"fork-at-injection failed for {app_name!r} "
+                f"(epoch {fork_epoch}): {exc}; falling back to the "
+                f"restore path",
+                stacklevel=2,
+            )
+            obs_rt.inc("repro_fork_fallback_total")
+            timings.pop("fork_advance", None)
+            timings["execute"] = 0.0
     if snap is None:
         t1 = time.perf_counter()
         with obs_rt.span("execute", fast_forward=False):
@@ -450,6 +543,7 @@ def _build_jobs(
     artifact_dir: Optional[str] = None,
     observe: Optional[ObserveConfig] = None,
     prune: bool = False,
+    fork: bool = False,
 ) -> List[tuple]:
     """Draw every trial's fault plan and seed up front.
 
@@ -457,6 +551,12 @@ def _build_jobs(
     seeded with the campaign seed — which is what makes interrupted
     campaigns resumable: re-drawing with the same seed against the same
     golden profile reproduces the identical job list.
+
+    With ``fork`` on, each job carries its fork epoch (index 11): the
+    last golden epoch preceding every occurrence in its fault plan,
+    resolved against the profile's dense per-epoch counters.  The RNG
+    stream is untouched either way, so fork and no-fork campaigns draw
+    identical fault plans.
     """
     rng = np.random.default_rng(seed)
     jobs = []
@@ -465,9 +565,10 @@ def _build_jobs(
             rng, golden.inj_counts, n_faults, rank=rank, bit=bit
         )
         inj_seed = int(rng.integers(2 ** 31))
+        fork_epoch = golden.fork_epoch(faults) if fork else 0
         jobs.append((app, params_key, mode, tuple(faults), inj_seed,
                      keep_series, wall_timeout, snapshot_stride,
-                     artifact_dir, observe, prune))
+                     artifact_dir, observe, prune, fork_epoch))
     return jobs
 
 
@@ -481,6 +582,18 @@ def prune_enabled(requested: Optional[bool] = None) -> bool:
     if requested is not None:
         return bool(requested)
     return current_settings().prune
+
+
+def fork_enabled(requested: Optional[bool] = None) -> bool:
+    """Fork-at-injection execution: argument, else REPRO_FORK_TRIALS.
+
+    On by default; set REPRO_FORK_TRIALS=0 (or pass ``fork=False`` /
+    ``--no-fork``) to run every trial on the restore/cold path — the
+    escape hatch for A/B measurement and equivalence testing.
+    """
+    if requested is not None:
+        return bool(requested)
+    return current_settings().fork_trials
 
 
 def batch_by_snapshot(requested: Optional[bool] = None) -> bool:
@@ -526,6 +639,35 @@ def plan_batches(jobs: Sequence[tuple], store, workers: int = 1
     return batches
 
 
+def plan_fork_batches(jobs: Sequence[tuple], workers: int = 1
+                      ) -> List[List[int]]:
+    """Group trial indices into fork-epoch buckets, ascending.
+
+    A worker draining consecutive buckets advances its shared golden
+    cursor monotonically: every epoch of the golden prefix executes at
+    most once per worker, and each trial in a bucket forks COW off the
+    already-positioned world.  Deterministic (a pure function of the job
+    list), so resumed campaigns re-plan the identical buckets.  Trials
+    with fork epoch 0 (nothing to gain) bucket together first and run on
+    the restore/cold path.  Oversized buckets split into up to
+    ``workers`` chunks, like :func:`plan_batches`.
+    """
+    groups: "OrderedDict[int, List[int]]" = OrderedDict()
+    for i, job in enumerate(jobs):
+        epoch = job[11] if len(job) > 11 else 0
+        groups.setdefault(epoch, []).append(i)
+    batches: List[List[int]] = []
+    for epoch in sorted(groups):
+        idxs = groups[epoch]
+        if workers > 1 and len(idxs) > workers:
+            size = -(-len(idxs) // workers)  # ceil division
+            for j in range(0, len(idxs), size):
+                batches.append(idxs[j:j + size])
+        else:
+            batches.append(idxs)
+    return batches
+
+
 def run_campaign(
     app: str,
     trials: Optional[int] = None,
@@ -546,6 +688,7 @@ def run_campaign(
     artifact_dir: Union[str, Path, None] = None,
     observe: Union[None, bool, str, ObserveConfig] = None,
     prune: Optional[bool] = None,
+    fork: Optional[bool] = None,
 ) -> CampaignResult:
     """Run a fault-injection campaign for a registered app.
 
@@ -586,6 +729,16 @@ def run_campaign(
     identical either way; only wall-clock time changes.  Requires
     snapshots (``snapshot_stride`` > 0) — with them disabled there are
     no fingerprints and every trial runs to completion.
+
+    ``fork`` controls fork-at-injection execution (None: REPRO_FORK_TRIALS
+    or on): trials are grouped into fork-epoch buckets, each worker
+    advances one shared golden world through its buckets exactly once,
+    and every trial runs COW-forked off that world at its injection
+    epoch — paying only its divergent window plus the pages it touches.
+    Results are bit-identical to the restore path (the fuzz equivalence
+    suite asserts it); ``--no-fork`` is the escape hatch.  Requires a
+    golden profile with per-epoch counters (schema v3); older artifacts
+    fall back to the restore path automatically.
     """
     from . import chaos
     from .artifacts import QUARANTINE_LOG, default_artifact_dir
@@ -620,11 +773,16 @@ def run_campaign(
 
     pa = _prepared(app, params_key, mode, stride, art_dir_str)
     golden = pa.golden
+    # Forking needs the dense per-epoch counter timeline (profile v3+);
+    # without it every fork epoch would resolve to 0 anyway.
+    fork_on = fork_enabled(fork) and bool(golden.epoch_counters)
     jobs = _build_jobs(app, params_key, mode, golden, n_trials, n_faults,
                        seed, rank, bit, keep_series, wall_timeout, stride,
-                       art_dir_str, obs_config, prune_on)
+                       art_dir_str, obs_config, prune_on, fork_on)
     batches = None
-    if pa.snapshots is not None and batch_by_snapshot():
+    if fork_on:
+        batches = plan_fork_batches(jobs, effective)
+    elif pa.snapshots is not None and batch_by_snapshot():
         batches = plan_batches(jobs, pa.snapshots, effective)
 
     journal_writer = None
@@ -644,6 +802,7 @@ def run_campaign(
             "snapshot_stride": stride,
             "artifact_dir": art_dir_str,
             "prune": prune_on,
+            "fork": fork_on,
             "golden": {
                 "iterations": golden.iterations,
                 "cycles": golden.cycles,

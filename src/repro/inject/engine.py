@@ -242,6 +242,7 @@ class CampaignEngine:
                 self._done += 1
                 self._aggregate_timings(trial)
                 self._aggregate_pruning(trial)
+                self._aggregate_forking(trial)
                 # restored trials still count toward outcome totals so a
                 # resumed campaign's metrics describe the whole campaign
                 if self.observer is not None:
@@ -619,6 +620,7 @@ class CampaignEngine:
         self._done += 1
         self._aggregate_timings(trial)
         self._aggregate_pruning(trial)
+        self._aggregate_forking(trial)
         journal_s = None
         if self.journal is not None:
             j0 = time.perf_counter()
@@ -667,6 +669,12 @@ class CampaignEngine:
         self._health.pruned_cycles += max(
             0, trial.cycles - trial.pruned_at_cycle
         )
+
+    def _aggregate_forking(self, trial: TrialResult) -> None:
+        if trial.forked_at_cycle is None:
+            return
+        self._health.forked_trials += 1
+        self._health.pages_copied += trial.pages_copied or 0
 
 
 # ----------------------------------------------------------------------
@@ -725,15 +733,18 @@ def resume_campaign(
     wall_timeout = timeout if timeout is not None else header.get("timeout")
     wall_timeout = default_timeout(wall_timeout)
     obs_config = ObserveConfig.resolve(observe)
+    # Journals from before convergence pruning (or forking) resume with
+    # the feature off, so trial execution matches what the recording
+    # campaign did.
+    fork_on = bool(header.get("fork", False)) and bool(golden.epoch_counters)
     jobs = _build_jobs(
         app, params_key, mode, golden, n_trials,
         int(header["n_faults"]), int(header["seed"]),
         header.get("rank"), header.get("bit"),
         bool(header.get("keep_series")), wall_timeout, snapshot_stride,
         art_dir_str, obs_config,
-        # Journals from before convergence pruning resume unpruned, so
-        # trial execution matches what the recording campaign did.
         bool(header.get("prune", False)),
+        fork_on,
     )
 
     requested_workers = default_workers(workers)
@@ -744,7 +755,9 @@ def resume_campaign(
     # Re-plan batches from the re-derived jobs and frozen store — a pure
     # function of both, so the resumed schedule is deterministic.
     batches = None
-    if pa.snapshots is not None and _campaign.batch_by_snapshot():
+    if fork_on:
+        batches = _campaign.plan_fork_batches(jobs, effective)
+    elif pa.snapshots is not None and _campaign.batch_by_snapshot():
         batches = _campaign.plan_batches(jobs, pa.snapshots, effective)
 
     observer = None

@@ -56,6 +56,10 @@ class CampaignHealth:
     pruned_trials: int = 0
     #: virtual cycles those trials did not have to execute
     pruned_cycles: int = 0
+    #: trials executed COW-forked off a shared golden world
+    forked_trials: int = 0
+    #: memory pages those trials' COW transactions actually copied
+    pages_copied: int = 0
     #: wall-clock duration of the execution phase, seconds
     wall_time_s: float = 0.0
     #: cumulative wall seconds per trial execution stage, summed over

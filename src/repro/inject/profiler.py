@@ -41,10 +41,38 @@ class GoldenProfile:
     inj_counts: List[int]
     #: derived hang budget for faulty runs
     max_cycles: int
+    #: dense per-epoch injection-counter timeline:
+    #: ``epoch_counters[e][rank]`` is the rank's ``inj_counter`` after
+    #: epoch ``e`` of the golden run (``e = 0`` is all zeros).  Lets the
+    #: campaign binary-search the last epoch that still precedes every
+    #: occurrence of a fault plan — the fork-at-injection epoch.
+    #: ``None`` on profiles loaded from pre-v3 artifacts.
+    epoch_counters: Optional[tuple] = None
 
     @property
     def total_inj_sites(self) -> int:
         return sum(self.inj_counts)
+
+    def fork_epoch(self, faults) -> int:
+        """Largest epoch that precedes every occurrence in ``faults``
+        (0 = nothing to gain by forking; fall back to restore/cold)."""
+        ec = self.epoch_counters
+        if not ec or not faults:
+            return 0
+        best = len(ec) - 1
+        for s in faults:
+            if not 0 <= s.rank < len(ec[0]):
+                return 0
+            # binary search: largest e with counters[e][rank] < occurrence
+            lo, hi = 0, len(ec) - 1
+            while lo < hi:
+                mid = (lo + hi + 1) // 2
+                if ec[mid][s.rank] < s.occurrence:
+                    lo = mid
+                else:
+                    hi = mid - 1
+            best = min(best, lo)
+        return best
 
 
 class PreparedApp:
@@ -174,8 +202,11 @@ def profile_golden(
     same pass (then finalized), enabling convergence pruning.
     """
     config = spec.config
+    nranks = config.nranks
+    epoch_counters: list = [(0,) * nranks]  # epoch 0: nothing ran yet
     result = run_job(program, config, capture_snapshots=snapshots,
-                     capture_fingerprints=fingerprints)
+                     capture_fingerprints=fingerprints,
+                     capture_epoch_counters=epoch_counters)
     if result.status is not JobStatus.COMPLETED:
         raise CampaignError(
             f"golden run of {spec.name!r} ({mode}) failed: "
@@ -198,4 +229,5 @@ def profile_golden(
         rank_cycles=list(result.rank_cycles),
         inj_counts=result.inj_counts,
         max_cycles=budget,
+        epoch_counters=tuple(epoch_counters),
     )

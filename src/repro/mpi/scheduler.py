@@ -87,6 +87,7 @@ class Scheduler:
         cml_stream=None,
         fingerprints=None,
         prune=None,
+        epoch_counters=None,
     ) -> None:
         self.machines = list(machines)
         self.runtime = runtime
@@ -115,13 +116,28 @@ class Scheduler:
         #: frozen golden FingerprintIndex to compare against (faulted
         #: trials); a match splices the golden tail instead of running it
         self.prune = prune
+        #: mutable list to append per-rank ``inj_counter`` tuples into,
+        #: one entry per completed epoch (golden profiling records the
+        #: dense occurrence timeline fork-at-injection plans against)
+        self.epoch_counters = epoch_counters
         #: exponential back-off over full-digest comparisons: a diverged
         #: (e.g. wrong-output) trial whose cheap signature keeps matching
         #: must not pay a live-memory hash at every stride epoch
         self._prune_failures = 0
         self._prune_skip = 0
 
-    def run(self) -> JobResult:
+    def run(self, stop_at_epoch: Optional[int] = None) -> Optional[JobResult]:
+        """Run to job completion, or — with ``stop_at_epoch`` — pause.
+
+        ``stop_at_epoch=e`` pauses at the top of the epoch loop once
+        ``e`` epochs have completed and returns ``None``; the scheduler
+        then holds exactly the state a fresh scheduler restored from an
+        epoch-``e`` snapshot would start from (``start_epoch`` and the
+        trace prefix are saved on ``self``), and a later :meth:`run`
+        call resumes the loop.  This is the golden-cursor primitive of
+        fork-at-injection execution.  If the job finishes before ``e``
+        epochs, the final :class:`JobResult` is returned instead.
+        """
         machines = self.machines
         quantum = self.quantum
         if self.initial_trace is not None:
@@ -137,6 +153,10 @@ class Scheduler:
         epoch = self.start_epoch
 
         while True:
+            if stop_at_epoch is not None and epoch >= stop_at_epoch:
+                self.start_epoch = epoch
+                self.initial_trace = trace
+                return None
             ran_any = False
             for m in machines:
                 if m.status is MachineStatus.READY:
@@ -155,6 +175,9 @@ class Scheduler:
                     f"job exceeded its wall-clock watchdog at epoch {epoch}"
                 )
             t = max(m.cycles for m in machines)
+            if self.epoch_counters is not None:
+                self.epoch_counters.append(
+                    tuple(m.inj_counter for m in machines))
             if trace is not None and epoch % self.sample_every == 0:
                 self._sample(trace, t)
             if self.snapshots is not None:

@@ -60,6 +60,14 @@ DESCRIPTIONS: Dict[str, str] = {
         "Virtual cycles spliced from the golden tail instead of executed.",
     "repro_world_restores_total":
         "World restores by path (cold reconstruction / warm clone).",
+    "repro_trials_forked_total":
+        "Trials executed COW-forked off a shared golden world.",
+    "repro_pages_copied_total":
+        "Memory pages copied by trial COW transactions.",
+    "repro_fork_fallback_total":
+        "Fork-at-injection trials degraded to the restore path.",
+    "worldcache_pages":
+        "Resident memory pages held by the worker's warm-world cache.",
     "repro_shadow_entries":
         "Contaminated memory locations (CML) at the last stream sample.",
     "repro_cml_stream_samples_total":

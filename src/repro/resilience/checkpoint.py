@@ -126,6 +126,11 @@ def restore_machine(m: Machine, ck: RankCheckpoint,
     state.
     """
     mem = m.memory
+    if mem._tx is not None:
+        raise ReproError(
+            f"rank {m.rank}: cannot restore a checkpoint during a "
+            f"COW transaction"
+        )
     mem.cells[:] = ck.cells
     mem.valid[:] = ck.valid
     mem.sp = ck.sp

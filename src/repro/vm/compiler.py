@@ -269,6 +269,8 @@ def _compile_store(inst: Store) -> Callable:
             addr = regs[ai]
             mem = m.memory
             if 0 <= addr < mem.capacity and mem.valid[addr]:
+                if not mem.page_owned[addr >> mem.page_shift]:
+                    mem.cow_page(addr)
                 mem.cells[addr] = get_v(regs)
             else:
                 raise Trap(TrapKind.MEM_FAULT, f"store to invalid address {addr}")
@@ -278,6 +280,8 @@ def _compile_store(inst: Store) -> Callable:
         def step(m, f, get_v=get_v, ac=ac):
             mem = m.memory
             if 0 <= ac < mem.capacity and mem.valid[ac]:
+                if not mem.page_owned[ac >> mem.page_shift]:
+                    mem.cow_page(ac)
                 mem.cells[ac] = get_v(f.regs)
             else:
                 raise Trap(TrapKind.MEM_FAULT, f"store to invalid address {ac}")
@@ -360,6 +364,8 @@ def _compile_fpm_store(inst: FpmStore) -> Callable:
                 raise Trap(TrapKind.MEM_FAULT,
                            f"store to invalid address {addr}")
             v = get_v(regs)
+            if not mem.page_owned[addr >> mem.page_shift]:
+                mem.cow_page(addr)
             mem.cells[addr] = v
             m.fpm.update(addr, v, get_vp(regs) or get_ap(regs), m.cycles)
         return step
@@ -374,6 +380,8 @@ def _compile_fpm_store(inst: FpmStore) -> Callable:
         vp = get_vp(regs)
         addr_p = get_ap(regs)
         fpm = m.fpm
+        if not mem.page_owned[addr >> mem.page_shift]:
+            mem.cow_page(addr)
         cells = mem.cells
         if addr_p == addr:
             cells[addr] = v
@@ -667,17 +675,25 @@ def _inline_template(inst):
         value, addr = inst.value, inst.addr
 
         def tmpl(tag, value=value, addr=addr):
+            # the COW guard rides the validity conditional: `co(a)` saves
+            # the pristine page and returns truthy, so an un-owned page is
+            # privatised before the cell write — all still one source line
+            # (the traceback-lineno member recovery depends on that)
             binds = {f"st{tag}": _st_trap}
             v = _operand_expr(value, f"c{tag}", binds)
             if isinstance(addr, Register):
                 a = f"a{tag}"
                 line = (f"{a} = regs[{addr.index}]; "
                         f"cells[{a}] = {v} if 0 <= {a} < cap "
-                        f"and valid[{a}] else st{tag}({a})")
+                        f"and valid[{a}] "
+                        f"and (owned[{a} >> psh] or co({a})) "
+                        f"else st{tag}({a})")
             else:
                 ac = addr.value
                 line = (f"cells[{ac}] = {v} if 0 <= {ac} < cap "
-                        f"and valid[{ac}] else st{tag}({ac})")
+                        f"and valid[{ac}] "
+                        f"and (owned[{ac} >> psh] or co({ac})) "
+                        f"else st{tag}({ac})")
             return line, binds, True
         return tmpl
 
@@ -721,7 +737,9 @@ def _make_fused(steps: List[Callable], marked: List[bool],
     prelude = "regs = f.regs"
     if needs_mem:
         prelude += ("; mem = m.memory; cells = mem.cells; "
-                    "valid = mem.valid; cap = mem.capacity")
+                    "valid = mem.valid; cap = mem.capacity; "
+                    "owned = mem.page_owned; psh = mem.page_shift; "
+                    "co = mem.cow_page")
     env["_pfx"] = None  # replaced below; named param keeps it a local
     params = ", ".join(f"{nm}={nm}" for nm in env)
     lines = [f"def fused(m, f, {params}):",

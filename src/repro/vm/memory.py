@@ -17,13 +17,31 @@ to access a part of the address space that has not been allocated").
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .traps import Trap, TrapKind
 
+#: default copy-on-write page size, in 64-bit words
+DEFAULT_PAGE_WORDS = 256
+
+
+def default_page_words() -> int:
+    """Words per COW page (REPRO_PAGE_WORDS, power of two)."""
+    from ..core.settings import current_settings
+    return current_settings().page_words
+
 
 class ProcessMemory:
-    """Flat, validity-checked, word-addressed memory for one process."""
+    """Flat, validity-checked, word-addressed memory for one process.
+
+    The flat ``cells``/``valid`` buffers double as a forkable world
+    segment: :meth:`begin_tx` opens a page-granular copy-on-write
+    transaction during which every write path saves the pristine
+    content of the first page it touches, and :meth:`rollback_tx`
+    restores exactly those pages — O(pages touched), not O(capacity).
+    Outside a transaction ``page_owned`` is all-ones, so the per-store
+    guard is a single bytearray index.
+    """
 
     __slots__ = (
         "capacity",
@@ -37,10 +55,14 @@ class ProcessMemory:
         "free_lists",
         "live_words",
         "rank",
+        "page_shift",
+        "page_owned",
+        "_tx",
+        "_tx_meta",
     )
 
     def __init__(self, capacity: int = 1 << 16, stack_words: int = 1 << 14,
-                 rank: int = 0) -> None:
+                 rank: int = 0, page_words: Optional[int] = None) -> None:
         if stack_words >= capacity:
             raise ValueError("stack region must be smaller than total capacity")
         self.capacity = capacity
@@ -60,6 +82,19 @@ class ProcessMemory:
         self.free_lists: Dict[int, List[int]] = {}
         self.live_words = 0
         self.rank = rank
+        if page_words is None:
+            page_words = default_page_words()
+        if page_words <= 0 or page_words & (page_words - 1):
+            raise ValueError(f"page_words must be a power of two, "
+                             f"got {page_words}")
+        self.page_shift = page_words.bit_length() - 1
+        npages = (capacity + page_words - 1) >> self.page_shift
+        #: 1 = this trial may write the page directly; all-ones outside
+        #: a transaction, cleared by :meth:`begin_tx`
+        self.page_owned = bytearray(b"\x01" * npages)
+        #: active transaction: {page index: (pristine cells, valid)}
+        self._tx: Optional[Dict[int, tuple]] = None
+        self._tx_meta: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # Raw access (hot path: machine closures may bypass via direct fields)
@@ -72,6 +107,8 @@ class ProcessMemory:
 
     def store(self, addr: int, value) -> None:
         if 0 <= addr < self.capacity and self.valid[addr]:
+            if not self.page_owned[addr >> self.page_shift]:
+                self.cow_page(addr)
             self.cells[addr] = value
             return
         raise Trap(TrapKind.MEM_FAULT, f"store to invalid address {addr}",
@@ -100,7 +137,77 @@ class ProcessMemory:
 
     def write_block(self, addr: int, values: List) -> None:
         self.check_range(addr, len(values))
+        if self._tx is not None:
+            self._cow_range(addr, addr + len(values))
         self.cells[addr:addr + len(values)] = values
+
+    # ------------------------------------------------------------------
+    # Copy-on-write transactions (fork-at-injection trial execution)
+    # ------------------------------------------------------------------
+    def begin_tx(self) -> None:
+        """Open a COW transaction: from now on every write path saves
+        the pristine content of the first page it touches, so
+        :meth:`rollback_tx` can undo the trial in O(pages touched).
+        Allocator metadata (``sp``/``hp``/block tables) is saved whole —
+        it is small and mutates on almost every call frame anyway.
+        """
+        if self._tx is not None:
+            raise RuntimeError("COW transaction already active")
+        self._tx = {}
+        self._tx_meta = (
+            self.sp, self.sp_peak, self.hp,
+            dict(self.heap_blocks),
+            {size: list(b) for size, b in self.free_lists.items()},
+            self.live_words,
+        )
+        self.page_owned[:] = b"\x00" * len(self.page_owned)
+
+    def cow_page(self, addr: int) -> int:
+        """Save the pristine page containing ``addr`` (first write in an
+        active transaction) and mark it owned.  Returns truthy so the
+        compiled store guard can use it in an ``or`` chain."""
+        pg = addr >> self.page_shift
+        if not self.page_owned[pg]:
+            lo = pg << self.page_shift
+            hi = lo + (1 << self.page_shift)
+            self._tx[pg] = (self.cells[lo:hi], bytes(self.valid[lo:hi]))
+            self.page_owned[pg] = 1
+        return 1
+
+    def _cow_range(self, lo: int, hi: int) -> None:
+        """Save every not-yet-owned page overlapping ``[lo, hi)``."""
+        if hi <= lo:
+            return
+        psh = self.page_shift
+        owned = self.page_owned
+        for pg in range((lo >> psh), ((hi - 1) >> psh) + 1):
+            if not owned[pg]:
+                self.cow_page(pg << psh)
+
+    @property
+    def tx_pages_copied(self) -> int:
+        """Pages privatised so far by the active transaction (0 outside)."""
+        return len(self._tx) if self._tx is not None else 0
+
+    def rollback_tx(self) -> int:
+        """Undo every write since :meth:`begin_tx`; returns the number
+        of pages that had to be restored."""
+        tx = self._tx
+        if tx is None:
+            raise RuntimeError("no COW transaction to roll back")
+        cells = self.cells
+        valid = self.valid
+        psh = self.page_shift
+        for pg, (cell_page, valid_page) in tx.items():
+            lo = pg << psh
+            cells[lo:lo + len(cell_page)] = cell_page
+            valid[lo:lo + len(valid_page)] = valid_page
+        (self.sp, self.sp_peak, self.hp, self.heap_blocks,
+         self.free_lists, self.live_words) = self._tx_meta
+        self._tx = None
+        self._tx_meta = None
+        self.page_owned[:] = b"\x01" * len(self.page_owned)
+        return len(tx)
 
     # ------------------------------------------------------------------
     # Stack
@@ -112,6 +219,8 @@ class ProcessMemory:
             raise Trap(TrapKind.STACK_OVERFLOW,
                        f"stack needs {new_sp} words, limit {self.stack_words}",
                        rank=self.rank)
+        if self._tx is not None:
+            self._cow_range(addr, new_sp)
         self.cells[addr:new_sp] = [0] * count
         self.valid[addr:new_sp] = b"\x01" * count
         self.sp = new_sp
@@ -124,6 +233,8 @@ class ProcessMemory:
         """Pop the stack back to ``to_sp``; returns the freed range."""
         lo, hi = to_sp, self.sp
         if lo < hi:
+            if self._tx is not None:
+                self._cow_range(lo, hi)
             self.valid[lo:hi] = b"\x00" * (hi - lo)
             self.live_words -= hi - lo
             self.sp = lo
@@ -146,6 +257,8 @@ class ProcessMemory:
                            f"heap needs {addr + count} words, capacity "
                            f"{self.capacity}", rank=self.rank)
             self.hp = addr + count
+        if self._tx is not None:
+            self._cow_range(addr, addr + count)
         self.cells[addr:addr + count] = [0] * count
         self.valid[addr:addr + count] = b"\x01" * count
         self.heap_blocks[addr] = count
@@ -158,6 +271,8 @@ class ProcessMemory:
         if count is None:
             raise Trap(TrapKind.MEM_FAULT, f"free of invalid pointer {addr}",
                        rank=self.rank)
+        if self._tx is not None:
+            self._cow_range(addr, addr + count)
         self.valid[addr:addr + count] = b"\x00" * count
         self.live_words -= count
         self.free_lists.setdefault(count, []).append(addr)
@@ -186,27 +301,46 @@ class ProcessMemory:
             self.live_words,
         )
 
-    def restore_state(self, state: tuple) -> None:
-        """Reset this memory to a state captured by :meth:`snapshot_state`.
-
-        In place, dirty-delta: instead of reallocating two
-        full-capacity buffers per call, only the validity bytes this
-        run could have dirtied are wiped — the stack up to its
-        high-water mark and the heap up to the bump pointer (``hp`` is
-        monotone between restores; free-list reuse never lowers it) —
-        and the snapshot content is overlaid.  Cells left under
-        ``valid == 0`` may keep stale values; every access path is
-        validity-checked, so that is observationally exact.  On a fresh
-        memory both wipes are empty and the restore is a pure overlay.
-        """
-        sp, hp, stack_cells, heap, free_lists, live_words = state
-        cells = self.cells
+    def _wipe_dirty(self) -> None:
+        """Clear every validity byte this run could have dirtied: the
+        stack up to its high-water mark and the heap up to the bump
+        pointer (``hp`` is monotone between restores; free-list reuse
+        never lowers it).  Cells left under ``valid == 0`` may keep
+        stale values; every access path is validity-checked, so that is
+        observationally exact.  The one shared dirty-tracking primitive
+        of both restore paths — they cannot drift."""
         valid = self.valid
         if self.sp_peak > 1:
             valid[1:self.sp_peak] = b"\x00" * (self.sp_peak - 1)
         if self.hp > self.stack_words:
             valid[self.stack_words:self.hp] = \
                 b"\x00" * (self.hp - self.stack_words)
+
+    def _set_restored_meta(self, sp: int, hp: int, blocks: Dict[int, int],
+                           free_lists: Dict[int, List[int]],
+                           live_words: int) -> None:
+        self.sp = sp
+        self.sp_peak = sp
+        self.hp = hp
+        self.heap_blocks = dict(blocks)
+        self.free_lists = {size: list(b) for size, b in free_lists.items()}
+        self.live_words = live_words
+
+    def restore_state(self, state: tuple) -> None:
+        """Reset this memory to a state captured by :meth:`snapshot_state`.
+
+        In place, dirty-delta: instead of reallocating two
+        full-capacity buffers per call, only the validity bytes this
+        run could have dirtied are wiped (:meth:`_wipe_dirty`) and the
+        snapshot content is overlaid.  On a fresh memory both wipes are
+        empty and the restore is a pure overlay.
+        """
+        if self._tx is not None:
+            raise RuntimeError("cannot restore during a COW transaction")
+        sp, hp, stack_cells, heap, free_lists, live_words = state
+        cells = self.cells
+        valid = self.valid
+        self._wipe_dirty()
         cells[1:sp] = stack_cells
         valid[1:sp] = b"\x01" * (sp - 1)
         blocks: Dict[int, int] = {}
@@ -215,12 +349,7 @@ class ProcessMemory:
             cells[base:base + size] = content
             valid[base:base + size] = b"\x01" * size
             blocks[base] = size
-        self.sp = sp
-        self.sp_peak = sp
-        self.hp = hp
-        self.heap_blocks = blocks
-        self.free_lists = {size: list(b) for size, b in free_lists.items()}
-        self.live_words = live_words
+        self._set_restored_meta(sp, hp, blocks, free_lists, live_words)
 
     # ------------------------------------------------------------------
     # Warm-world clone support
@@ -246,15 +375,20 @@ class ProcessMemory:
     def restore_dense(self, state: tuple) -> None:
         """Reset to a template captured by :meth:`dense_state`.
 
-        Two in-place bulk copies — the existing buffers are reused, so
-        back-to-back warm clones allocate nothing of capacity size.
+        Shares the dirty-tracking path with :meth:`restore_state`
+        (:meth:`_wipe_dirty` + :meth:`_set_restored_meta`), then
+        overlays only the regions the template can populate — the
+        stack ``[1, sp)`` and the heap ``[stack_words, hp)`` — as
+        in-place bulk copies, so back-to-back warm clones neither
+        allocate nor touch anything of capacity size.
         """
+        if self._tx is not None:
+            raise RuntimeError("cannot restore during a COW transaction")
         sp, hp, cells, valid, blocks, free_lists, live_words = state
-        self.cells[:] = cells
-        self.valid[:] = valid
-        self.sp = sp
-        self.sp_peak = sp
-        self.hp = hp
-        self.heap_blocks = dict(blocks)
-        self.free_lists = {size: list(b) for size, b in free_lists.items()}
-        self.live_words = live_words
+        self._wipe_dirty()
+        self.cells[1:sp] = cells[1:sp]
+        self.valid[1:sp] = valid[1:sp]
+        if hp > self.stack_words:
+            self.cells[self.stack_words:hp] = cells[self.stack_words:hp]
+            self.valid[self.stack_words:hp] = valid[self.stack_words:hp]
+        self._set_restored_meta(sp, hp, blocks, free_lists, live_words)

@@ -294,6 +294,21 @@ class SnapshotStore:
                 best = snap
         return best
 
+    def best_at_epoch(self, epoch: int) -> Optional[WorldSnapshot]:
+        """Latest snapshot captured at or before ``epoch``.
+
+        The golden-cursor rewind primitive: a fork-at-injection worker
+        whose cursor has advanced past a trial's fork epoch restores the
+        closest earlier snapshot and re-runs forward from there instead
+        of replaying the whole golden prefix.
+        """
+        best: Optional[WorldSnapshot] = None
+        for snap in self._snaps.values():
+            if snap.epoch > epoch:
+                break
+            best = snap
+        return best
+
     def stats(self) -> Dict[str, int]:
         return {
             "snapshots": len(self._snaps),

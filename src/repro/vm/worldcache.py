@@ -17,9 +17,14 @@ prefix) still restores through the one shared code path, so a warm
 clone is bit-identical to a cold restore by construction — and the
 equivalence suite asserts it.
 
-The template store is bounded (``REPRO_WORLD_CACHE`` worlds, default 4)
-and per-process: forked pool workers each warm their own cache, which
-is exactly what snapshot-locality batching optimises for.
+The template store is bounded by *resident pages* — the live memory
+footprint of the cached worlds — not by entry count, so one cache knob
+means the same thing for a 4-rank toy app and a deep-heap solver.
+``REPRO_WORLD_CACHE_PAGES`` sets the page budget directly; when unset
+(0), the budget derives from the legacy ``REPRO_WORLD_CACHE`` world
+count times each world's own footprint, preserving the old behaviour.
+The cache is per-process: forked pool workers each warm their own
+cache, which is exactly what snapshot-locality batching optimises for.
 """
 
 from __future__ import annotations
@@ -46,13 +51,41 @@ def default_world_cache_limit(requested: Optional[int] = None) -> int:
     return current_settings().world_cache
 
 
-class WorldCache:
-    """Bounded per-process cache of materialized restored worlds."""
+def default_world_cache_pages(requested: Optional[int] = None) -> int:
+    """Resident-page budget: argument, else REPRO_WORLD_CACHE_PAGES.
 
-    def __init__(self, limit: Optional[int] = None) -> None:
+    ``0`` (the default) means "no explicit page budget": the cache
+    falls back to the world-count limit, each entry weighted by its own
+    footprint.
+    """
+    if requested is not None:
+        return max(0, int(requested))
+    return current_settings().world_cache_pages
+
+
+def _resident_pages(mem) -> int:
+    """Live resident pages of one rank's memory: stack + heap extent."""
+    shift = mem.page_shift
+    mask = (1 << shift) - 1
+    pages = (mem.sp + mask) >> shift
+    if mem.hp > mem.stack_words:
+        pages += (mem.hp - mem.stack_words + mask) >> shift
+    return max(1, pages)
+
+
+class WorldCache:
+    """Page-budgeted per-process cache of materialized restored worlds."""
+
+    def __init__(self, limit: Optional[int] = None,
+                 page_limit: Optional[int] = None) -> None:
         self.limit = default_world_cache_limit(limit)
+        self.page_limit = default_world_cache_pages(page_limit)
         #: snapshot cycle -> per-rank dense memory templates
         self._worlds: "OrderedDict[int, Tuple[tuple, ...]]" = OrderedDict()
+        #: snapshot cycle -> resident pages of that world (all ranks)
+        self._world_pages: Dict[int, int] = {}
+        #: total resident pages currently held
+        self.resident_pages = 0
         self.cold_restores = 0
         self.warm_clones = 0
         #: cumulative seconds spent in each path (stage-timing counters)
@@ -62,6 +95,29 @@ class WorldCache:
     def __len__(self) -> int:
         return len(self._worlds)
 
+    def _page_budget(self) -> int:
+        """Effective page budget for eviction.
+
+        An explicit page budget wins; otherwise the legacy world-count
+        limit converts to pages using the cache's own mean footprint, so
+        existing REPRO_WORLD_CACHE configurations keep their behaviour.
+        """
+        if self.page_limit > 0:
+            return self.page_limit
+        if not self._worlds:
+            return 0
+        mean = self.resident_pages / len(self._worlds)
+        return int(self.limit * mean)
+
+    def _evict_to_budget(self) -> None:
+        budget = self._page_budget()
+        # always retain the newest world: it is the one the current
+        # batch restores from, and evicting it would thrash
+        while len(self._worlds) > 1 and self.resident_pages > budget:
+            cycle, _ = self._worlds.popitem(last=False)
+            self.resident_pages -= self._world_pages.pop(cycle, 0)
+        _obs.set_gauge("worldcache_pages", self.resident_pages)
+
     def restore(self, snap: WorldSnapshot, machines: Sequence,
                 runtime) -> tuple:
         """Restore ``snap`` into the job, cloning a warm world if cached.
@@ -69,7 +125,8 @@ class WorldCache:
         Same contract as :func:`repro.vm.snapshot.restore_world`:
         returns ``(start_epoch, trace)``.
         """
-        warm = self._worlds.get(snap.cycle) if self.limit > 0 else None
+        enabled = self.limit > 0 or self.page_limit > 0
+        warm = self._worlds.get(snap.cycle) if enabled else None
         t0 = time.perf_counter()
         if warm is not None:
             out = restore_world(snap, machines, runtime, dense_memory=warm)
@@ -86,15 +143,17 @@ class WorldCache:
             return out
         out = restore_world(snap, machines, runtime)
         self.cold_restores += 1
-        if self.limit > 0:
+        if self.limit > 0 or self.page_limit > 0:
             # Materialize the template *before* any execution mutates the
             # machines: this is the exact observable state a cold restore
             # produces, which is what makes clones bit-identical.
             self._worlds[snap.cycle] = tuple(
                 m.memory.dense_state() for m in machines
             )
-            while len(self._worlds) > self.limit:
-                self._worlds.popitem(last=False)
+            pages = sum(_resident_pages(m.memory) for m in machines)
+            self._world_pages[snap.cycle] = pages
+            self.resident_pages += pages
+            self._evict_to_budget()
         dt = time.perf_counter() - t0
         self.restore_s += dt
         rec = _obs.current()
@@ -107,6 +166,7 @@ class WorldCache:
     def stats(self) -> Dict[str, float]:
         return {
             "worlds": len(self._worlds),
+            "resident_pages": self.resident_pages,
             "cold_restores": self.cold_restores,
             "warm_clones": self.warm_clones,
             "restore_s": round(self.restore_s, 6),

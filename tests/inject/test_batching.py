@@ -153,8 +153,11 @@ class TestStageTimings:
                          snapshot_stride=150)
         for t in c.trials:
             assert t.stage_timings is not None
-            assert set(t.stage_timings) == {
-                "artifact_load", "snapshot_restore", "clone", "execute"}
+            # forked trials add a fork_advance stage on top of the base set
+            assert {"artifact_load", "snapshot_restore", "clone",
+                    "execute"} <= set(t.stage_timings) <= {
+                "artifact_load", "snapshot_restore", "clone", "execute",
+                "fork_advance"}
             assert all(v >= 0.0 for v in t.stage_timings.values())
 
     def test_health_aggregates_timings(self):

@@ -166,3 +166,179 @@ class TestLiveWords:
         m.stack_alloc(10)
         m.malloc(5)
         assert m.live_words == 15
+
+
+# ----------------------------------------------------------------------
+# Restore-path equivalence and COW transactions
+# ----------------------------------------------------------------------
+def _churn(m, rng, ops=60):
+    """Random but trap-free workload: allocs, frees, stores, releases."""
+    frames = []
+    ptrs = []
+    for _ in range(ops):
+        op = rng.randrange(6)
+        if op == 0 and m.sp + 8 < m.stack_words:
+            frames.append(m.sp)
+            a = m.stack_alloc(1 + rng.randrange(8))
+            m.store(a, rng.randrange(-999, 999))
+        elif op == 1 and frames:
+            m.stack_release(frames.pop())
+        elif op == 2 and m.hp + 16 < m.capacity:
+            p = m.malloc(1 + rng.randrange(16))
+            ptrs.append(p)
+            m.store(p, rng.random())
+        elif op == 3 and ptrs:
+            m.free(ptrs.pop(rng.randrange(len(ptrs))))
+        elif op == 4 and ptrs:
+            p = ptrs[rng.randrange(len(ptrs))]
+            m.write_block(p, [rng.randrange(999)])
+        elif frames:
+            m.store(frames[-1], rng.random() * 7)
+    return frames, ptrs
+
+
+def _world_hash(m):
+    """Digest of every observable property of a memory world.
+
+    Cells under ``valid == 0`` may hold stale garbage by design — every
+    access path is validity-checked — so only valid words participate.
+    """
+    import hashlib
+    h = hashlib.sha256()
+    h.update(repr((m.sp, m.hp, m.live_words,
+                   sorted(m.heap_blocks.items()),
+                   sorted((s, sorted(b)) for s, b in m.free_lists.items())
+                   )).encode())
+    valid = m.valid
+    cells = m.cells
+    for i in range(m.capacity):
+        if valid[i]:
+            h.update(repr((i, cells[i])).encode())
+    return h.hexdigest()
+
+
+class TestRestoreEquivalence:
+    """restore_dense and restore_state share one dirty-tracking path,
+    so from any reachable state both must rebuild the same world."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=2 ** 32 - 1),
+           st.integers(min_value=0, max_value=2 ** 32 - 1))
+    def test_both_restores_produce_identical_world_hash(self, seed_a, seed_b):
+        import random
+        src = mem(capacity=2048, stack=512)
+        _churn(src, random.Random(seed_a))
+        sparse = src.snapshot_state()
+        dense = src.dense_state()
+        want = _world_hash(src)
+
+        # two independently dirtied targets, one per restore path
+        via_state = mem(capacity=2048, stack=512)
+        via_dense = mem(capacity=2048, stack=512)
+        _churn(via_state, random.Random(seed_b))
+        _churn(via_dense, random.Random(seed_b ^ 0x5A5A))
+        via_state.restore_state(sparse)
+        via_dense.restore_dense(dense)
+        assert _world_hash(via_state) == want
+        assert _world_hash(via_dense) == want
+
+    def test_dense_restore_after_deeper_heap_is_exact(self):
+        # regression guard: the dirty wipe must cover a target whose
+        # bump pointer ran past the template's hp
+        src = mem()
+        p = src.malloc(4)
+        src.store(p, 42)
+        dense = src.dense_state()
+        sparse = src.snapshot_state()
+        tgt = mem()
+        for _ in range(10):
+            q = tgt.malloc(32)
+            tgt.store(q, 1.5)
+        tgt.restore_dense(dense)
+        ref = mem()
+        ref.restore_state(sparse)
+        assert _world_hash(tgt) == _world_hash(ref)
+
+
+class TestCowTransactions:
+    def test_rollback_is_bit_exact(self):
+        import random
+        m = mem(capacity=2048, stack=512)
+        _churn(m, random.Random(3))
+        before = _world_hash(m)
+        m.begin_tx()
+        _churn(m, random.Random(4))
+        pages = m.rollback_tx()
+        assert pages > 0
+        assert _world_hash(m) == before
+        # and the memory is fully usable afterwards
+        a = m.malloc(2)
+        m.store(a, 9)
+        assert m.load(a) == 9
+
+    def test_pages_copied_counts_unique_pages(self):
+        m = ProcessMemory(capacity=4096, stack_words=1024, page_words=256)
+        a = m.stack_alloc(4)
+        p = m.malloc(4)
+        m.begin_tx()
+        assert m.tx_pages_copied == 0
+        m.store(a, 1)
+        assert m.tx_pages_copied == 1
+        m.store(a + 1, 2)           # same page: no new copy
+        assert m.tx_pages_copied == 1
+        m.store(p, 3)               # heap lives on a different page
+        assert m.tx_pages_copied == 2
+        m.rollback_tx()
+        assert m.tx_pages_copied == 0
+
+    def test_owned_outside_tx(self):
+        m = mem()
+        assert all(m.page_owned)
+        m.begin_tx()
+        assert not any(m.page_owned)
+        m.rollback_tx()
+        assert all(m.page_owned)
+
+    def test_alloc_and_free_are_undone(self):
+        m = mem()
+        keep = m.malloc(3)
+        m.store(keep, 7.5)
+        before = _world_hash(m)
+        m.begin_tx()
+        m.free(keep)
+        p = m.malloc(8)
+        m.store(p, 1)
+        s = m.stack_alloc(5)
+        m.store(s, 2)
+        m.rollback_tx()
+        assert _world_hash(m) == before
+        assert m.load(keep) == 7.5
+
+    def test_restore_during_tx_raises(self):
+        m = mem()
+        state = m.snapshot_state()
+        dense = m.dense_state()
+        m.begin_tx()
+        with pytest.raises(RuntimeError):
+            m.restore_state(state)
+        with pytest.raises(RuntimeError):
+            m.restore_dense(dense)
+        m.rollback_tx()
+        m.restore_state(state)  # fine once the tx is closed
+
+    def test_nested_begin_raises(self):
+        m = mem()
+        m.begin_tx()
+        with pytest.raises(RuntimeError):
+            m.begin_tx()
+        m.rollback_tx()
+
+    def test_rollback_without_tx_raises(self):
+        with pytest.raises(RuntimeError):
+            mem().rollback_tx()
+
+    def test_page_words_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            ProcessMemory(capacity=1024, stack_words=256, page_words=100)
+        with pytest.raises(ValueError):
+            ProcessMemory(capacity=1024, stack_words=256, page_words=0)

@@ -179,8 +179,8 @@ class TestCacheBounds:
     def test_stats_shape(self):
         cache = WorldCache(limit=3)
         s = cache.stats()
-        assert set(s) == {"worlds", "cold_restores", "warm_clones",
-                          "restore_s", "clone_s"}
+        assert set(s) == {"worlds", "resident_pages", "cold_restores",
+                          "warm_clones", "restore_s", "clone_s"}
 
     def test_env_limit(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORLD_CACHE", "7")
