@@ -1,0 +1,212 @@
+#!/usr/bin/env python
+"""Fold every ``benchmarks/results/BENCH_*.json`` into one trajectory.
+
+Each perf PR leaves behind its own ``BENCH_<name>.json`` with its own
+shape, which makes the performance story effectively invisible: nobody
+reads eight files.  This script folds them into a single
+``BENCH_trajectory.json`` with
+
+* one row per benchmark — which PR it landed in, what baseline the
+  measurement is against, and the headline median speedup (or overhead
+  ratio) extracted from that file's own numbers;
+* the amg per-trial chain — the sequence of short-window per-trial
+  medians that share the PR 5 baseline (PR 7 fork-at-injection, PR 8
+  tier-2 traces), i.e. the honest "speedup vs seed-era trial cost"
+  line the 10x target is stated against.
+
+Extraction is defensive: a missing or reshaped file degrades to a row
+with ``headline: null`` rather than an error, so the trajectory stays
+buildable while individual benchmarks are being reworked.  Run directly
+(``python benchmarks/collect.py``) or via the perf-smoke CI job, which
+uploads the folded file as an artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+RESULTS = Path(__file__).resolve().parent / "results"
+OUT_NAME = "BENCH_trajectory.json"
+
+
+def _get(d, *path):
+    """``d[path[0]][path[1]]...`` with None at the first miss."""
+    cur = d
+    for key in path:
+        if not isinstance(cur, dict) or key not in cur:
+            return None
+        cur = cur[key]
+    return cur
+
+
+# ----------------------------------------------------------------------
+# Per-benchmark extractors: data -> (pr, headline-median, unit, detail).
+# `unit` says what the number means, so the table never lies by
+# implication ("overhead ratio" is not a speedup).
+# ----------------------------------------------------------------------
+
+def _x_snapshot_fastforward(d):
+    modes = {m.get("mode"): m.get("speedup_median")
+             for m in d.get("modes", []) if isinstance(m, dict)}
+    meds = [v for v in modes.values() if v is not None]
+    return 2, (min(meds) if meds else None), "speedup vs cold trials", {
+        "per_mode_speedup_median": modes}
+
+
+def _x_campaign_throughput(d):
+    return 3, _get(d, "headline", "speedup_median"), \
+        "speedup vs PR 2 engine", {
+            "headline_mode": _get(d, "headline", "mode"),
+            "headline_workers": _get(d, "headline", "workers")}
+
+
+def _x_obs_overhead(d):
+    return 4, d.get("overhead_fraction"), "traced-overhead fraction", {
+        "max_overhead": d.get("max_overhead"),
+        "trace_records": d.get("trace_records")}
+
+
+def _x_convergence_pruning(d):
+    apps = {name: _get(row, "pruned_speedup_median")
+            for name, row in d.get("apps", {}).items()}
+    meds = [v for v in apps.values() if v is not None]
+    return 5, (min(meds) if meds else None), \
+        "pruned-trial speedup vs unpruned", {
+            "per_app_pruned_speedup_median": apps,
+            "gate": _get(d, "headline", "gate")}
+
+
+def _x_chaos_overhead(d):
+    return 6, d.get("overhead_ratio_median"), \
+        "hardened/bare wall ratio (chaos off)", {"gate": d.get("gate")}
+
+
+def _x_fork_trials(d):
+    app = _get(d, "headline", "gated_app") or "amg"
+    return 7, _get(d, "headline", "short_window_speedup_median"), \
+        "amg short-window per-trial speedup vs PR 5", {
+            "target": _get(d, "headline", "target"),
+            "reached_10x_target": _get(d, "headline",
+                                       "reached_10x_target"),
+            "campaign_ratio_median": _get(d, "apps", app,
+                                          "campaign_ratio_median")}
+
+
+def _x_tier2_compile(d):
+    app = _get(d, "headline", "gated_app") or "amg"
+    return 8, _get(d, "headline", "short_window_vs_pr5_median"), \
+        "amg short-window per-trial speedup vs PR 5", {
+            "short_window_vs_pr7_median": _get(
+                d, "headline", "short_window_vs_pr7_median"),
+            "golden_replay_speedup": _get(
+                d, "headline", "golden_replay_speedup"),
+            "reached_10x_target": _get(d, "headline",
+                                       "reached_10x_target"),
+            "reached_2x_over_fork": _get(d, "headline",
+                                         "reached_2x_over_fork"),
+            "trace_cycle_coverage": _get(
+                d, "apps", app, "golden_replay", "trace_cycle_coverage")}
+
+
+def _x_campaigns(d):
+    rates = [r.get("trials_per_s") for r in d.get("runs", [])
+             if isinstance(r, dict) and r.get("trials_per_s")]
+    return 2, None, "raw trials/s inventory", {
+        "runs": len(rates),
+        "trials_per_s_min": min(rates) if rates else None,
+        "trials_per_s_max": max(rates) if rates else None}
+
+
+EXTRACTORS = {
+    "snapshot_fastforward": _x_snapshot_fastforward,
+    "campaign_throughput": _x_campaign_throughput,
+    "obs_overhead": _x_obs_overhead,
+    "convergence_pruning": _x_convergence_pruning,
+    "chaos_overhead": _x_chaos_overhead,
+    "fork_trials": _x_fork_trials,
+    "tier2_compile": _x_tier2_compile,
+    "campaigns": _x_campaigns,
+}
+
+
+def collect(results_dir: Path) -> dict:
+    rows = []
+    by_name = {}
+    for path in sorted(results_dir.glob("BENCH_*.json")):
+        if path.name == OUT_NAME:
+            continue
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            rows.append({"file": path.name, "error": str(exc)})
+            continue
+        name = data.get("benchmark", path.stem)
+        by_name[name] = data
+        extractor = EXTRACTORS.get(name)
+        if extractor is None:
+            rows.append({"file": path.name, "benchmark": name, "pr": None,
+                         "headline": data.get("headline"),
+                         "unit": "unrecognised benchmark", "detail": {}})
+            continue
+        pr, headline, unit, detail = extractor(data)
+        rows.append({"file": path.name, "benchmark": name, "pr": pr,
+                     "headline": headline, "unit": unit,
+                     "baseline": data.get("baseline")
+                     or data.get("baseline_pr5"),
+                     "detail": detail})
+    rows.sort(key=lambda r: (r.get("pr") is None, r.get("pr") or 0,
+                             r["file"]))
+
+    # the one chain whose points share a baseline: amg short-window
+    # per-trial medians vs the PR 5 restore/replay trial
+    chain = {"baseline": "PR 5 restore/warm clone + armed prefix "
+                         "replay (amg, short-window trials)",
+             "pr5": 1.0,
+             "pr7_fork": _get(by_name.get("fork_trials", {}),
+                              "headline", "short_window_speedup_median"),
+             "pr8_tier2": _get(by_name.get("tier2_compile", {}),
+                               "headline", "short_window_vs_pr5_median"),
+             "target": 10.0}
+    best = max((v for v in (chain["pr7_fork"], chain["pr8_tier2"])
+                if v is not None), default=None)
+    chain["best"] = best
+    chain["reached_10x_target"] = best is not None and best >= 10.0
+
+    return {"trajectory": "per-PR perf benchmark fold",
+            "benchmarks": rows,
+            "amg_per_trial_chain": chain}
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--results-dir", type=Path, default=RESULTS)
+    ap.add_argument("--out", type=Path, default=None,
+                    help=f"output path (default <results-dir>/{OUT_NAME})")
+    args = ap.parse_args(argv)
+    out = args.out or args.results_dir / OUT_NAME
+
+    payload = collect(args.results_dir)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"wrote {out}")
+    print(f"{'PR':>3}  {'benchmark':<22} {'headline':>9}  unit")
+    for row in payload["benchmarks"]:
+        if "error" in row:
+            print(f"  ?  {row['file']:<22} {'ERROR':>9}  {row['error']}")
+            continue
+        pr = row["pr"] if row["pr"] is not None else "?"
+        head = row["headline"]
+        head = f"{head:.2f}" if isinstance(head, (int, float)) else "-"
+        print(f"{pr!s:>3}  {row['benchmark']:<22} {head:>9}  {row['unit']}")
+    chain = payload["amg_per_trial_chain"]
+    print(f"amg per-trial vs PR 5: fork {chain['pr7_fork']}x, "
+          f"tier-2 {chain['pr8_tier2']}x "
+          f"(target {chain['target']}x, "
+          f"reached={chain['reached_10x_target']})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -62,6 +62,11 @@ def _add_campaign_args(p: argparse.ArgumentParser) -> None:
                    help="disable fork-at-injection execution and run "
                         "every trial on the restore/cold path (default: "
                         "forking on unless REPRO_FORK_TRIALS=0)")
+    p.add_argument("--no-tier2", action="store_true",
+                   help="disable tier-2 golden-trace execution and "
+                        "interpret every instruction through tier-1 "
+                        "dispatch (default: tier-2 on unless "
+                        "REPRO_TIER2=0)")
     p.add_argument("--trace", metavar="PATH", default=None,
                    help="write a schema-versioned JSONL trace of every "
                         "trial (spans, VM/MPI events, live CML streams)")
@@ -188,7 +193,8 @@ def cmd_campaign(args) -> int:
                          artifact_dir=args.artifact_dir,
                          observe=observe,
                          prune=False if args.no_prune else None,
-                         fork=False if args.no_fork else None)
+                         fork=False if args.no_fork else None,
+                         tier2=False if args.no_tier2 else None)
     print(f"{c.n_trials} trials, mode={c.mode}, "
           f"{c.n_faults} fault(s)/run")
     print(render_outcome_table({args.app: c.fractions()},
@@ -220,7 +226,8 @@ def cmd_sites(args) -> int:
                      artifact_dir=args.artifact_dir,
                      observe=_observe_from_args(args),
                      prune=False if args.no_prune else None,
-                     fork=False if args.no_fork else None)
+                     fork=False if args.no_fork else None,
+                     tier2=False if args.no_tier2 else None)
     pa = _prepared(args.app, (), "fpm", args.snapshot_stride,
                    args.artifact_dir)
     ranking = site_vulnerability(c, pa.program.site_table, by=args.by)
@@ -240,7 +247,8 @@ def cmd_fps(args) -> int:
                         artifact_dir=args.artifact_dir,
                         observe=_observe_from_args(args),
                         prune=False if args.no_prune else None,
-                        fork=False if args.no_fork else None)
+                        fork=False if args.no_fork else None,
+                        tier2=False if args.no_tier2 else None)
     fps = fw.fps_factor(c)
     print(render_fps_table([fps]))
     est = fw.estimator(c)

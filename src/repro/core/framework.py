@@ -101,6 +101,7 @@ class FaultPropagationFramework:
         observe=None,
         prune: Optional[bool] = None,
         fork: Optional[bool] = None,
+        tier2: Optional[bool] = None,
     ) -> CampaignResult:
         """Output-variation analysis (paper Sec. 4.2 / Fig. 6)."""
         return run_campaign(
@@ -108,7 +109,7 @@ class FaultPropagationFramework:
             workers=workers, n_faults=n_faults, params=self.params,
             timeout=timeout, max_retries=max_retries, journal=journal,
             snapshot_stride=snapshot_stride, artifact_dir=artifact_dir,
-            observe=observe, prune=prune, fork=fork,
+            observe=observe, prune=prune, fork=fork, tier2=tier2,
         )
 
     def fpm_campaign(
@@ -122,6 +123,7 @@ class FaultPropagationFramework:
         observe=None,
         prune: Optional[bool] = None,
         fork: Optional[bool] = None,
+        tier2: Optional[bool] = None,
     ) -> CampaignResult:
         """Propagation analysis (paper Sec. 4.3 / Figs. 7-8)."""
         return run_campaign(
@@ -129,7 +131,7 @@ class FaultPropagationFramework:
             n_faults=n_faults, keep_series=keep_series, params=self.params,
             timeout=timeout, max_retries=max_retries, journal=journal,
             snapshot_stride=snapshot_stride, artifact_dir=artifact_dir,
-            observe=observe, prune=prune, fork=fork,
+            observe=observe, prune=prune, fork=fork, tier2=tier2,
         )
 
     def resume_campaign(self, journal: str, **kwargs) -> CampaignResult:

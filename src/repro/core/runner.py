@@ -56,6 +56,8 @@ def run_job(
     capture_fingerprints=None,
     prune=None,
     capture_epoch_counters=None,
+    capture_edge_profile=None,
+    tier2: Optional[bool] = None,
 ) -> JobResult:
     """Run one simulated MPI job to completion (or crash/deadlock/hang).
 
@@ -99,6 +101,14 @@ def run_job(
     appends one per-rank ``inj_counter`` tuple into per completed epoch
     (golden profiling) — the dense occurrence timeline fork-at-injection
     plans are resolved against.
+
+    ``capture_edge_profile`` accepts a mutable dict the profiling
+    conditional-branch closures fill with per-site edge counts (golden
+    profiling) — the input of tier-2 trace planning.  ``tier2=False``
+    disables tier-2 trace execution on this job's machines; compiled
+    programs are shared through the prepared cache, so a ``--no-tier2``
+    campaign must opt out at the machine level rather than rely on the
+    program being trace-free.
     """
     config = config or RunConfig()
     runtime = MPIRuntime()
@@ -114,6 +124,12 @@ def run_job(
         )
         for rank in range(config.nranks)
     ]
+    if tier2 is False:
+        for m in machines:
+            m.use_tier2 = False
+    if capture_edge_profile is not None:
+        for m in machines:
+            m.edge_profile = capture_edge_profile
     runtime.attach(machines)
     start_epoch = 0
     initial_trace = None

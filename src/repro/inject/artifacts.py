@@ -52,8 +52,9 @@ from .profiler import GoldenProfile
 #: bump when the payload layout or snapshot encoding changes shape;
 #: artifacts with any other schema are re-profiled, never interpreted
 #: (v2: golden fingerprint index for convergence pruning;
-#: v3: per-epoch injection counters for fork-at-injection planning)
-SCHEMA_VERSION = 3
+#: v3: per-epoch injection counters for fork-at-injection planning;
+#: v4: tier-2 trace plan + golden edge profile)
+SCHEMA_VERSION = 4
 
 _ARTIFACT_KIND = "repro-golden-artifact"
 _SUFFIX = ".golden"
@@ -120,6 +121,9 @@ class GoldenArtifact:
     snapshot_state: Optional[tuple]
     #: :meth:`FingerprintIndex.dump_state` form, or None (no fingerprints)
     fingerprint_state: Optional[tuple] = None
+    #: JSON-safe tier-2 trace plan (:func:`repro.vm.tier2.derive_plan`),
+    #: or None — workers install it instead of re-planning
+    tier2_plan: Optional[dict] = None
     #: a process somewhere already proved fast-forward equivalence for
     #: this artifact (persisted marker — see :func:`mark_verified`)
     verified: bool = False
@@ -143,6 +147,7 @@ def save_artifact(
     golden: GoldenProfile,
     snapshots: Optional[SnapshotStore],
     fingerprints: Optional[FingerprintIndex] = None,
+    tier2_plan: Optional[dict] = None,
 ) -> Path:
     """Atomically write the artifact for ``key``; returns its path.
 
@@ -158,6 +163,7 @@ def save_artifact(
             if snapshots is not None else None,
             "fingerprints": fingerprints.dump_state()
             if fingerprints is not None else None,
+            "tier2_plan": tier2_plan,
         },
         protocol=pickle.HIGHEST_PROTOCOL,
     )
@@ -243,6 +249,7 @@ def load_artifact_strict(directory: Union[str, Path],
         golden = data["golden"]
         snapshot_state = data["snapshots"]
         fingerprint_state = data.get("fingerprints")
+        tier2_plan = data.get("tier2_plan")
     except Exception as exc:
         raise ArtifactError(f"{path}: unreadable artifact payload: {exc}")
     if not isinstance(golden, GoldenProfile):
@@ -253,6 +260,7 @@ def load_artifact_strict(directory: Union[str, Path],
         golden=golden,
         snapshot_state=snapshot_state,
         fingerprint_state=fingerprint_state,
+        tier2_plan=tier2_plan,
         verified=is_verified(directory, key, payload_sha256=digest),
     )
 

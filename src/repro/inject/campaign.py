@@ -341,7 +341,8 @@ def _fork_cursor(pa: PreparedApp):
 
 
 def _fork_trial(pa, fork_epoch, faults, inj_seed, keep_series,
-                wall_timeout, stream, fingerprints, timings) -> TrialResult:
+                wall_timeout, stream, fingerprints, timings,
+                tier2: bool = True) -> TrialResult:
     """Run one trial COW-forked off the worker's shared golden world.
 
     Mirrors the restore path's verify-first contract: the first fork
@@ -350,6 +351,7 @@ def _fork_trial(pa, fork_epoch, faults, inj_seed, keep_series,
     of corrupting a campaign.
     """
     cursor = _fork_cursor(pa)
+    cursor.set_tier2(tier2)
     t1 = time.perf_counter()
     with obs_rt.span("fork_advance", fork_epoch=fork_epoch):
         forked_at = cursor.advance_to(fork_epoch)
@@ -375,6 +377,7 @@ def _fork_trial(pa, fork_epoch, faults, inj_seed, keep_series,
             cold = run_job(
                 pa.program, pa.run_config(), faults=faults,
                 inj_seed=inj_seed, wall_timeout=wall_timeout,
+                tier2=False,
             )
             cold_tr = _summarise(pa, cold, faults, keep_series)
         if not trial_results_equal(tr, cold_tr):
@@ -395,22 +398,30 @@ def _execute_trial(args, stream) -> TrialResult:
     artifact_dir = args[8] if len(args) > 8 else None
     prune_on = bool(args[10]) if len(args) > 10 else False
     fork_epoch = int(args[11]) if len(args) > 11 and args[11] else 0
+    tier2_on = bool(args[12]) if len(args) > 12 else True
     t0 = time.perf_counter()
     with obs_rt.span("arm", faults=len(faults)):
         pa = _prepared(app_name, params, mode, snapshot_stride, artifact_dir)
+        cg0 = pa.tier2_codegen_s
+        pa.ensure_tier2(tier2_on)
         config = pa.run_config()
         store = pa.snapshots
         snap = store.best_for(faults) if store is not None else None
     fingerprints = pa.fingerprints if prune_on else None
     prep_s = time.perf_counter() - t0
     wc = pa.world_cache
+    # tier2_codegen is nonzero only on the worker's first trial per
+    # prepared app (install_plan is idempotent), so the health total is
+    # the per-worker codegen cost, not trials x codegen
     timings = {"artifact_load": prep_s, "snapshot_restore": 0.0,
-               "clone": 0.0, "execute": 0.0}
+               "clone": 0.0, "execute": 0.0,
+               "tier2_codegen": pa.tier2_codegen_s - cg0}
+    run_tier2 = None if tier2_on else False
     if fork_epoch > 0:
         try:
             return _fork_trial(pa, fork_epoch, faults, inj_seed,
                                keep_series, wall_timeout, stream,
-                               fingerprints, timings)
+                               fingerprints, timings, tier2_on)
         except TrialTimeoutError:
             raise  # harness failure: the engine retries/quarantines it
         except (SnapshotError, RuntimeError) as exc:
@@ -431,7 +442,7 @@ def _execute_trial(args, stream) -> TrialResult:
             result = run_job(
                 pa.program, config, faults=faults, inj_seed=inj_seed,
                 wall_timeout=wall_timeout, cml_stream=stream,
-                prune=fingerprints,
+                prune=fingerprints, tier2=run_tier2,
             )
         timings["execute"] = time.perf_counter() - t1
         with obs_rt.span("classify"):
@@ -446,7 +457,7 @@ def _execute_trial(args, stream) -> TrialResult:
         result = run_job(
             pa.program, config, faults=faults, inj_seed=inj_seed,
             wall_timeout=wall_timeout, restore_from=snap, world_cache=wc,
-            cml_stream=stream, prune=fingerprints,
+            cml_stream=stream, prune=fingerprints, tier2=run_tier2,
         )
     run_s = time.perf_counter() - t1
     if wc is not None:
@@ -471,7 +482,7 @@ def _execute_trial(args, stream) -> TrialResult:
         with obs_rt.suspended():
             cold = run_job(
                 pa.program, config, faults=faults, inj_seed=inj_seed,
-                wall_timeout=wall_timeout,
+                wall_timeout=wall_timeout, tier2=False,
             )
             cold_tr = _summarise(pa, cold, faults, keep_series)
         if not trial_results_equal(tr, cold_tr):
@@ -544,6 +555,7 @@ def _build_jobs(
     observe: Optional[ObserveConfig] = None,
     prune: bool = False,
     fork: bool = False,
+    tier2: bool = True,
 ) -> List[tuple]:
     """Draw every trial's fault plan and seed up front.
 
@@ -568,7 +580,7 @@ def _build_jobs(
         fork_epoch = golden.fork_epoch(faults) if fork else 0
         jobs.append((app, params_key, mode, tuple(faults), inj_seed,
                      keep_series, wall_timeout, snapshot_stride,
-                     artifact_dir, observe, prune, fork_epoch))
+                     artifact_dir, observe, prune, fork_epoch, tier2))
     return jobs
 
 
@@ -594,6 +606,21 @@ def fork_enabled(requested: Optional[bool] = None) -> bool:
     if requested is not None:
         return bool(requested)
     return current_settings().fork_trials
+
+
+def tier2_enabled(requested: Optional[bool] = None) -> bool:
+    """Tier-2 golden-trace execution: argument, else REPRO_TIER2.
+
+    On by default; set REPRO_TIER2=0 (or pass ``tier2=False`` /
+    ``--no-tier2``) to interpret every instruction through the tier-1
+    dispatch loop — the escape hatch for A/B measurement and
+    equivalence testing.  Compiled programs are shared through the
+    prepared cache, so opting out switches the *machines* off tier-2
+    (``Machine.use_tier2``) rather than uninstalling traces.
+    """
+    if requested is not None:
+        return bool(requested)
+    return current_settings().tier2
 
 
 def batch_by_snapshot(requested: Optional[bool] = None) -> bool:
@@ -689,6 +716,7 @@ def run_campaign(
     observe: Union[None, bool, str, ObserveConfig] = None,
     prune: Optional[bool] = None,
     fork: Optional[bool] = None,
+    tier2: Optional[bool] = None,
 ) -> CampaignResult:
     """Run a fault-injection campaign for a registered app.
 
@@ -739,6 +767,12 @@ def run_campaign(
     suite asserts it); ``--no-fork`` is the escape hatch.  Requires a
     golden profile with per-epoch counters (schema v3); older artifacts
     fall back to the restore path automatically.
+
+    ``tier2`` controls tier-2 golden-trace execution (None: REPRO_TIER2
+    or on): hot golden paths run as exec-compiled straight-line trace
+    functions with per-trace deopt guards, bit-identical to tier-1 by
+    the guard contract (the fuzz equivalence suite asserts it);
+    ``--no-tier2`` is the escape hatch.
     """
     from . import chaos
     from .artifacts import QUARANTINE_LOG, default_artifact_dir
@@ -771,14 +805,17 @@ def run_campaign(
 
     obs_config = ObserveConfig.resolve(observe)
 
+    tier2_on = tier2_enabled(tier2)
     pa = _prepared(app, params_key, mode, stride, art_dir_str)
+    pa.ensure_tier2(tier2_on)
     golden = pa.golden
     # Forking needs the dense per-epoch counter timeline (profile v3+);
     # without it every fork epoch would resolve to 0 anyway.
     fork_on = fork_enabled(fork) and bool(golden.epoch_counters)
     jobs = _build_jobs(app, params_key, mode, golden, n_trials, n_faults,
                        seed, rank, bit, keep_series, wall_timeout, stride,
-                       art_dir_str, obs_config, prune_on, fork_on)
+                       art_dir_str, obs_config, prune_on, fork_on,
+                       tier2_on)
     batches = None
     if fork_on:
         batches = plan_fork_batches(jobs, effective)
@@ -803,6 +840,7 @@ def run_campaign(
             "artifact_dir": art_dir_str,
             "prune": prune_on,
             "fork": fork_on,
+            "tier2": tier2_on,
             "golden": {
                 "iterations": golden.iterations,
                 "cycles": golden.cycles,
@@ -837,6 +875,13 @@ def run_campaign(
             journal_writer.close()
     health.requested_workers = requested_workers
     health.artifacts_quarantined = len(QUARANTINE_LOG) - quarantined_before
+    # The driver's own codegen cost (serial trials see a zero delta in
+    # _execute_trial because the program is already installed; fork-start
+    # workers inherit it COW and skip codegen entirely).
+    if pa.tier2_codegen_s:
+        health.stage_timings["tier2_codegen"] = (
+            health.stage_timings.get("tier2_codegen", 0.0)
+            + pa.tier2_codegen_s)
     metrics = observer.finalize(health) if observer is not None else None
 
     return CampaignResult(

@@ -720,6 +720,10 @@ def resume_campaign(
     art_dir_str = str(art_dir) if art_dir is not None else None
 
     pa = _prepared(app, params_key, mode, snapshot_stride, art_dir_str)
+    # Journals from before tier-2 resume with it off, so trial execution
+    # matches what the recording campaign did.
+    tier2_on = bool(header.get("tier2", False))
+    pa.ensure_tier2(tier2_on)
     golden = pa.golden
     recorded = header.get("golden", {})
     if (list(golden.inj_counts) != list(recorded.get("inj_counts", []))
@@ -745,6 +749,7 @@ def resume_campaign(
         art_dir_str, obs_config,
         bool(header.get("prune", False)),
         fork_on,
+        tier2_on,
     )
 
     requested_workers = default_workers(workers)

@@ -29,6 +29,14 @@ state exactly as the snapshot-restore path arms it — so fork trials are
 bit-identical to ``--no-fork`` trials, which the fuzz equivalence suite
 asserts wholesale.
 
+The cursor's golden advance runs tier-2 golden-trace execution when
+the campaign has it on (:meth:`set_tier2`): the shared world is by
+construction on the golden trajectory and unarmed, exactly the regime
+the compiled traces were derived for, so the prefix each worker pays
+once is the fastest path available.  Forked trials inherit the same
+machines — armed entry and the deopt guards keep them bit-identical
+(see :mod:`repro.vm.tier2`).
+
 Rewinds (a trial's fork epoch behind the cursor, e.g. after a retry or
 across unsorted batches) restore the nearest earlier golden snapshot
 (:meth:`SnapshotStore.best_at_epoch`) and roll forward, falling back to
@@ -64,6 +72,9 @@ class GoldenCursor:
         self.machines: List[Machine] = []
         self.runtime: Optional[MPIRuntime] = None
         self._sched: Optional[Scheduler] = None
+        #: tier-2 trace execution on the cursor's machines (campaign
+        #: --no-tier2 switches it off before the first advance)
+        self.use_tier2 = True
         #: observability counters (surfaced via stats())
         self.cold_starts = 0
         self.rewinds = 0
@@ -104,6 +115,8 @@ class GoldenCursor:
             )
             for rank in range(config.nranks)
         ]
+        for m in self.machines:
+            m.use_tier2 = self.use_tier2
         self.runtime = MPIRuntime()
         self.runtime.attach(self.machines)
         for m in self.machines:
@@ -123,6 +136,15 @@ class GoldenCursor:
         self._sched = self._new_scheduler(start_epoch=start_epoch,
                                           trace=trace)
         self.rewinds += 1
+
+    def set_tier2(self, enabled: bool) -> None:
+        """Switch tier-2 trace execution on the cursor's machines."""
+        enabled = bool(enabled)
+        if enabled == self.use_tier2:
+            return
+        self.use_tier2 = enabled
+        for m in self.machines:
+            m.use_tier2 = enabled
 
     def advance_to(self, epoch: int) -> int:
         """Position the golden world at ``epoch``; returns the virtual
@@ -222,6 +244,7 @@ class GoldenCursor:
     def stats(self) -> dict:
         return {
             "epoch": self.epoch,
+            "tier2": self.use_tier2,
             "trials": self.trials,
             "cold_starts": self.cold_starts,
             "rewinds": self.rewinds,

@@ -23,6 +23,7 @@ from ..core.runner import build_program, run_job
 from ..errors import CampaignError
 from ..mpi import JobStatus
 from ..vm import CompiledProgram, SnapshotStore
+from ..vm import tier2 as vm_tier2
 from ..vm.fingerprint import FingerprintIndex
 from ..vm.worldcache import WorldCache
 
@@ -48,6 +49,11 @@ class GoldenProfile:
     #: occurrence of a fault plan — the fork-at-injection epoch.
     #: ``None`` on profiles loaded from pre-v3 artifacts.
     epoch_counters: Optional[tuple] = None
+    #: per-branch-site golden edge counts
+    #: (``(func, block) -> [false, true]``), recorded by the profiling
+    #: condbr closures — the input of tier-2 trace planning.  ``None``
+    #: on profiles loaded from pre-v4 artifacts.
+    edge_profile: Optional[dict] = None
 
     @property
     def total_inj_sites(self) -> int:
@@ -117,6 +123,14 @@ class PreparedApp:
             key = artifacts.artifact_key(spec, mode, store.stride, store.limit)
             self.artifact_ref = (directory, key)
             art = artifacts.load_artifact(directory, key)
+        #: tier-2 trace plan (JSON-safe dict) — from the artifact when
+        #: one exists, else derived after fresh profiling so it rides
+        #: the saved artifact and sibling workers skip planning
+        self.tier2_plan: Optional[dict] = None
+        #: where the installed plan came from: "artifact" or "derived"
+        self.tier2_plan_source: Optional[str] = None
+        #: wall seconds spent on tier-2 codegen (install_plan)
+        self.tier2_codegen_s = 0.0
         if art is not None:
             self.golden: GoldenProfile = art.golden
             self.snapshots: Optional[SnapshotStore] = art.snapshot_store()
@@ -125,6 +139,7 @@ class PreparedApp:
             self.fingerprints: Optional[FingerprintIndex] = (
                 art.fingerprint_index()
             )
+            self.tier2_plan = art.tier2_plan
             self.from_artifact = True
         else:
             #: world snapshots captured during the golden run (None =
@@ -141,11 +156,14 @@ class PreparedApp:
                 self.program, spec, mode, snapshots=self.snapshots,
                 fingerprints=self.fingerprints,
             )
+            self.tier2_plan = vm_tier2.derive_plan(
+                self.program, self.golden.edge_profile, self.tier2_cap()
+            )
             if self.artifact_ref is not None:
                 try:
                     artifacts.save_artifact(
                         *self.artifact_ref, self.golden, self.snapshots,
-                        self.fingerprints,
+                        self.fingerprints, tier2_plan=self.tier2_plan,
                     )
                 except OSError as exc:
                     import warnings
@@ -165,6 +183,51 @@ class PreparedApp:
 
     def run_config(self) -> RunConfig:
         return self.config.with_(max_cycles=self.golden.max_cycles)
+
+    # ------------------------------------------------------------------
+    # Tier-2 trace installation
+    # ------------------------------------------------------------------
+    def tier2_cap(self) -> int:
+        """Effective trace-length cap: REPRO_TIER2_CAP, else the app's
+        scheduler quantum (a trace can never exceed one quantum anyway —
+        the run loop only enters one that fits the remaining budget)."""
+        from ..core.settings import current_settings
+
+        return current_settings().tier2_cap or self.config.quantum
+
+    def ensure_tier2(self, enabled: bool = True) -> int:
+        """Codegen + install the tier-2 trace plan into the program.
+
+        Idempotent per compiled program (repeat calls are free), so both
+        the campaign driver and every worker can call it unconditionally.
+        The plan comes from the golden artifact when one matched
+        (``tier2_plan_source == "artifact"`` — planning cost shared
+        across workers); otherwise — no artifact, or a REPRO_TIER2_CAP
+        override different from the stored plan's cap — it is re-derived
+        from the golden edge profile.  Returns the installed trace
+        count; ``enabled=False`` is a no-op returning 0 (the program
+        stays trace-free, for ``--no-tier2`` campaigns that share the
+        prepared cache with tier-2 ones the machine-level switch in
+        :meth:`~repro.vm.machine.Machine.run` handles it instead).
+        """
+        if not enabled:
+            return self.program.tier2_traces
+        if self.program.tier2_installed:
+            return self.program.tier2_traces
+        cap = self.tier2_cap()
+        plan = self.tier2_plan
+        if plan is not None and plan.get("cap") == cap:
+            self.tier2_plan_source = (
+                "artifact" if self.from_artifact else "derived")
+        else:
+            plan = vm_tier2.derive_plan(
+                self.program, self.golden.edge_profile, cap)
+            self.tier2_plan = plan
+            self.tier2_plan_source = "derived"
+        t0 = time.perf_counter()
+        installed = vm_tier2.install_plan(self.program, plan)
+        self.tier2_codegen_s += time.perf_counter() - t0
+        return installed
 
     # ------------------------------------------------------------------
     # Persisted verification marker (see repro.inject.artifacts)
@@ -204,9 +267,11 @@ def profile_golden(
     config = spec.config
     nranks = config.nranks
     epoch_counters: list = [(0,) * nranks]  # epoch 0: nothing ran yet
+    edge_profile: dict = {}
     result = run_job(program, config, capture_snapshots=snapshots,
                      capture_fingerprints=fingerprints,
-                     capture_epoch_counters=epoch_counters)
+                     capture_epoch_counters=epoch_counters,
+                     capture_edge_profile=edge_profile)
     if result.status is not JobStatus.COMPLETED:
         raise CampaignError(
             f"golden run of {spec.name!r} ({mode}) failed: "
@@ -230,4 +295,5 @@ def profile_golden(
         inj_counts=result.inj_counts,
         max_cycles=budget,
         epoch_counters=tuple(epoch_counters),
+        edge_profile=edge_profile,
     )

@@ -223,6 +223,7 @@ class Scheduler:
             self.fingerprints.finalize(machines, self.runtime, trace)
         # message totals reach the metrics registry once per job
         self.runtime.publish_metrics()
+        self._drain_tier2()
 
         return JobResult(
             status=status,
@@ -236,6 +237,25 @@ class Scheduler:
             injections=[list(m.injection_events) for m in machines],
             ever_contaminated=[m.ever_contaminated for m in machines],
         )
+
+    def _drain_tier2(self) -> None:
+        """Publish and reset the machines' tier-2 transition counters.
+
+        Machines outlive jobs (the fork cursor reuses them across
+        trials), so the counters are drained to the metrics registry
+        once per job result and zeroed — a paused golden advance keeps
+        accumulating and is drained by the run that finishes on those
+        machines."""
+        enters = deopts = cycles = 0
+        for m in self.machines:
+            enters += m.t2_enters
+            deopts += m.t2_deopts
+            cycles += m.t2_cycles_acc
+            m.t2_enters = m.t2_deopts = m.t2_cycles_acc = 0
+        if enters or deopts or cycles:
+            _obs.inc("repro_tier2_enters_total", enters)
+            _obs.inc("repro_tier2_deopts_total", deopts)
+            _obs.inc("repro_tier2_cycles_total", cycles)
 
     # ------------------------------------------------------------------
     # Convergence pruning
@@ -313,6 +333,7 @@ class Scheduler:
         rt.contaminated_messages += f_cm - g_cm
         rt.contaminated_words_sent += f_cw - g_cw
         rt.publish_metrics()
+        self._drain_tier2()
         _obs.inc("repro_trials_pruned_total")
         _obs.inc("repro_cycles_pruned_total", fp.final_cycles - t)
         return JobResult(

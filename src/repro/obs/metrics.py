@@ -66,6 +66,12 @@ DESCRIPTIONS: Dict[str, str] = {
         "Memory pages copied by trial COW transactions.",
     "repro_fork_fallback_total":
         "Fork-at-injection trials degraded to the restore path.",
+    "repro_tier2_enters_total":
+        "Compiled golden-trace segments entered (tier-2 execution).",
+    "repro_tier2_deopts_total":
+        "Mid-segment deoptimisations back to tier-1 (guard exits).",
+    "repro_tier2_cycles_total":
+        "Virtual cycles executed inside compiled tier-2 segments.",
     "worldcache_pages":
         "Resident memory pages held by the worker's warm-world cache.",
     "repro_shadow_entries":

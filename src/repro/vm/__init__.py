@@ -32,6 +32,7 @@ from .memory import ProcessMemory
 from .ops import wrap_i64
 from .rng import Lcg64
 from .snapshot import SnapshotStore, WorldSnapshot, restore_world
+from .tier2 import derive_plan, install_plan
 from .traps import Trap, TrapKind
 from .worldcache import WorldCache
 
@@ -41,8 +42,8 @@ __all__ = [
     "INTRINSICS", "InjectionEvent", "IntrinsicSpec", "Lcg64", "MPI_OP_MAX",
     "MPI_OP_MIN", "MPI_OP_SUM", "Machine", "MachineStatus", "ProcessMemory",
     "SnapshotStore", "Trap", "TrapKind", "WorldSnapshot", "bits_to_float",
-    "compile_program", "fingerprint_world", "flip_bit", "flip_float_bit",
-    "flip_int_bit",
+    "compile_program", "derive_plan", "fingerprint_world", "flip_bit",
+    "flip_float_bit", "install_plan", "flip_int_bit",
     "float_to_bits", "get_intrinsic", "is_intrinsic", "quick_signature",
     "restore_world",
     "to_signed64", "to_unsigned64", "wrap_i64", "WorldCache",

@@ -78,7 +78,7 @@ class CompiledFunction:
     """Executable form of one IR function."""
 
     __slots__ = ("name", "blocks", "num_regs", "param_indices", "is_dual",
-                 "seg_armed", "seg_free")
+                 "seg_armed", "seg_free", "tier2", "tier2_off")
 
     def __init__(self, func: Function) -> None:
         self.name = func.name
@@ -94,13 +94,23 @@ class CompiledFunction:
         #: valid while ``machine.inj_next == 0``.
         self.seg_armed: List[List[Optional[Tuple[Callable, int]]]] = []
         self.seg_free: List[List[Optional[Tuple[Callable, int]]]] = []
+        #: tier-2 trace map, indexed by block: ``(trace_closure, max_len)``
+        #: for blocks that head a compiled golden trace, None elsewhere.
+        #: Populated in place by :func:`repro.vm.tier2.install_plan` (so
+        #: machines built before installation see the traces); only
+        #: consulted at ip 0 while ``machine.inj_next == 0``.  ``tier2_off``
+        #: stays all-None forever — the run loop selects it when tier-2 is
+        #: disabled, mirroring the seg_armed/seg_free selection.
+        self.tier2: List[Optional[Tuple[Callable, int]]] = []
+        self.tier2_off: List[Optional[Tuple[Callable, int]]] = []
 
 
 class CompiledProgram:
     """All functions of a module, compiled, plus instrumentation metadata."""
 
     __slots__ = ("module", "functions", "fpm_mode", "taint_mode",
-                 "num_inject_sites", "site_table")
+                 "num_inject_sites", "site_table", "tier2_installed",
+                 "tier2_traces")
 
     def __init__(self, module: Module) -> None:
         self.module = module
@@ -111,6 +121,10 @@ class CompiledProgram:
         #: site id -> (function name, block label, instruction text), for
         #: correlating injections back to source constructs
         self.site_table: Dict[int, Tuple[str, str, str]] = {}
+        #: set by :func:`repro.vm.tier2.install_plan` (idempotence latch +
+        #: trace count for observability)
+        self.tier2_installed = False
+        self.tier2_traces = 0
 
     def __getitem__(self, name: str) -> CompiledFunction:
         return self.functions[name]
@@ -416,12 +430,30 @@ def _compile_br(inst: Br) -> Callable:
     return step
 
 
-def _compile_condbr(inst: CondBr) -> Callable:
+def _compile_condbr(inst: CondBr, where=None) -> Callable:
     tt = inst.iftrue.index
     tf = inst.iffalse.index
     cond = inst.cond
     if isinstance(cond, Register):
         ci = cond.index
+
+        if where is not None:
+            # Branch-site identity for tier-2 edge profiling.  The profile
+            # check costs one attribute load per dynamic branch and is None
+            # outside golden profiling runs; constant-condition branches
+            # keep the unprofiled closure below (their edge is static).
+            def step(m, f, ci=ci, tt=tt, tf=tf, where=where):
+                t = 1 if f.regs[ci] else 0
+                f.block = tt if t else tf
+                f.ip = 0
+                ep = m.edge_profile
+                if ep is not None:
+                    c = ep.get(where)
+                    if c is None:
+                        c = ep[where] = [0, 0]
+                    c[t] += 1
+                return SIG_JUMP
+            return step
 
         def step(m, f, ci=ci, tt=tt, tf=tf):
             f.block = tt if f.regs[ci] else tf
@@ -819,7 +851,7 @@ def _segment_block(entries, include_marked: bool):
     return fmap
 
 
-def _compile_entry(inst, program: CompiledProgram):
+def _compile_entry(inst, program: CompiledProgram, where=None):
     """Compile one instruction to its dispatch closure plus fusion metadata.
 
     Returns ``(step, bare, kind, marked, template)``: ``step`` is what the
@@ -827,6 +859,12 @@ def _compile_entry(inst, program: CompiledProgram):
     unwrapped closure fused segments may embed, ``kind`` one of ``"pure"``
     / ``"term"`` / ``"barrier"``, and ``template`` the optional inline
     codegen template fused segments prefer over calling ``bare``.
+
+    ``where`` is the instruction's ``(function name, block index)``
+    branch-site identity: when given, conditional branches get the
+    edge-profiling closure tier-2 trace planning feeds on.  Pass None
+    (the default) for context-free compilations — tier-2 member
+    closures and tests — which must not observe ``machine.edge_profile``.
     """
     if isinstance(inst, BinOp):
         bare = _compile_binop(inst)
@@ -853,7 +891,7 @@ def _compile_entry(inst, program: CompiledProgram):
     elif isinstance(inst, Br):
         bare = _compile_br(inst)
     elif isinstance(inst, CondBr):
-        bare = _compile_condbr(inst)
+        bare = _compile_condbr(inst, where)
     elif isinstance(inst, Ret):
         bare = _compile_ret(inst)
     else:  # pragma: no cover - future instruction kinds
@@ -897,9 +935,12 @@ def compile_program(module: Module, fuse: Optional[bool] = None) -> CompiledProg
     for func in module:
         cfunc = program.functions[func.name]
         cfunc.num_regs = func.num_regs
-        for block in func.blocks:
-            entries = [_compile_entry(inst, program) for inst in block]
+        for bi, block in enumerate(func.blocks):
+            where = (func.name, bi)
+            entries = [_compile_entry(inst, program, where) for inst in block]
             cfunc.blocks.append([e[0] for e in entries])
+            cfunc.tier2.append(None)
+            cfunc.tier2_off.append(None)
             if fuse:
                 cfunc.seg_armed.append(_segment_block(entries, False))
                 cfunc.seg_free.append(_segment_block(entries, True))

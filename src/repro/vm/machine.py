@@ -154,6 +154,23 @@ class Machine:
         #: cycles are identical to single-step dispatch
         self.fused_skew = 0
 
+        # Tier-2 golden-trace execution state.
+        #: runtime enable: campaigns running --no-tier2 share compiled
+        #: programs (and their installed traces) with tier-2-on campaigns
+        #: through the prepared cache, so disabling must be per machine
+        self.use_tier2 = True
+        #: ``(func name, block index) -> [false count, true count]`` edge
+        #: counts, filled by profiling condbr closures during golden runs
+        #: (None — the default — keeps every branch on its fast path)
+        self.edge_profile: Optional[dict] = None
+        #: cycles consumed by the last tier-2 trace entry (written by the
+        #: generated trace epilogues/guards, read by the run loop)
+        self.tier2_cycles = 0
+        #: observability counters, drained by the scheduler at job end
+        self.t2_enters = 0
+        self.t2_deopts = 0
+        self.t2_cycles_acc = 0
+
     # ------------------------------------------------------------------
     # Setup
     # ------------------------------------------------------------------
@@ -242,14 +259,19 @@ class Machine:
     def run(self, budget: int) -> MachineStatus:
         """Execute up to ``budget`` instructions; returns the new status.
 
-        Dispatch is two-level: at each ip the per-block segment map is
-        consulted first — a fused superinstruction executes only when it
-        fits in the remaining budget (so epoch structure, and with it CML
-        sampling and MPI interleaving, is bit-identical to single-step
-        dispatch); otherwise the single-instruction closure runs.  The
-        segment layout is chosen per frame entry: ``seg_free`` whenever
+        Dispatch is three-level: at a block head (ip 0) the tier-2 trace
+        map is consulted first — each head holds a ladder of compiled
+        golden-trace variants (descending length) and the longest one
+        whose maximum length fits in the remaining budget runs; elsewhere
+        the per-block segment map is consulted — a fused superinstruction
+        executes only when it fits in the remaining budget (so epoch
+        structure, and with it CML sampling and MPI interleaving, is
+        bit-identical to single-step dispatch); otherwise the
+        single-instruction closure runs.  Both upper-tier layouts are
+        chosen per frame entry: ``seg_free``/``tier2`` whenever
         ``inj_next == 0`` (no pending fault on this rank — golden runs
-        and post-fire tails), ``seg_armed`` while a fault is pending.
+        and post-fire tails), ``seg_armed``/``tier2_off`` while a fault
+        is pending.
         """
         if self.status is not MachineStatus.READY:
             return self.status
@@ -258,18 +280,53 @@ class Machine:
         mem = self.memory
         stack = self.call_stack
         self.fused_skew = 0
+        use2 = self.use_tier2
         f = stack[-1]
         cfunc = f.cfunc
         blocks = cfunc.blocks
         fblocks = cfunc.seg_free if self.inj_next == 0 else cfunc.seg_armed
+        t2b = cfunc.tier2 if use2 else cfunc.tier2_off
         code = blocks[f.block]
         fmap = fblocks[f.block]
         ip = f.ip
         n = 0
+        t2n = t2d = t2c = 0
         try:
             while n < budget:
-                seg = fmap[ip]
-                if seg is not None and n + seg[1] <= budget:
+                if ip == 0 and (cands := t2b[f.block]) is not None:
+                    # longest ladder variant that fits the remaining
+                    # budget (variants are sorted by descending length);
+                    # while a fault is pending, additionally require the
+                    # variant's marked-instruction total to stay short of
+                    # the fire threshold — it then only bulk-advances the
+                    # occurrence counter, and the fault still fires on
+                    # the exact single-stepped marked instruction
+                    rem = budget - n
+                    gap = (self.inj_next - self.inj_counter
+                           if self.inj_next else 0)
+                    seg2 = None
+                    for c2 in cands:
+                        if c2[1] <= rem and (gap == 0 or c2[2] < gap):
+                            seg2 = c2
+                            break
+                else:
+                    seg2 = None
+                if seg2 is not None:
+                    t2n += 1
+                    sig = seg2[0](self, f)
+                    c = self.tier2_cycles
+                    n += c
+                    t2c += c
+                    if c != seg2[1]:
+                        t2d += 1  # guard/cap exit before the trace end
+                    if sig == SIG_JUMP:
+                        ip = f.ip
+                        code = blocks[f.block]
+                        fmap = fblocks[f.block]
+                        continue
+                    # SIG_RET: the trace ran through the function's
+                    # return — fall through to the shared handling below.
+                elif (seg := fmap[ip]) is not None and n + seg[1] <= budget:
                     sig = seg[0](self, f)
                     n += seg[1]
                     if sig is None:
@@ -310,6 +367,8 @@ class Machine:
                         blocks = target.blocks
                         fblocks = (target.seg_free if self.inj_next == 0
                                    else target.seg_armed)
+                        t2b = (target.tier2 if use2
+                               else target.tier2_off)
                         code = blocks[0]
                         fmap = fblocks[0]
                         ip = 0
@@ -344,40 +403,53 @@ class Machine:
                 blocks = cfunc.blocks
                 fblocks = (cfunc.seg_free if self.inj_next == 0
                            else cfunc.seg_armed)
+                t2b = cfunc.tier2 if use2 else cfunc.tier2_off
                 code = blocks[f.block]
                 fmap = fblocks[f.block]
                 ip = f.ip
             else:
                 # Budget exhausted mid-run: stay READY for the next quantum.
                 f.ip = ip
-        except Trap as trap:
+        except (Trap, ZeroDivisionError, OverflowError, ValueError,
+                TypeError) as exc:
+            # Fused segments and tier-2 traces record how many members
+            # completed before the raise; fold that skew exactly once so
+            # the trap lands on the same virtual cycle as single-step
+            # dispatch, then classify the exception into a Trap.
             n += self.fused_skew
             self.fused_skew = 0
-            if trap.rank is None:
-                trap.rank = self.rank
-            trap.cycle = self.cycles + n
-            self.trap = trap
+            self.trap = self._as_trap(exc, self.cycles + n)
             self.status = MachineStatus.TRAPPED
-        except ZeroDivisionError:
-            n += self.fused_skew
-            self.fused_skew = 0
-            self.trap = Trap(TrapKind.DIV_ZERO, "integer division by zero",
-                             rank=self.rank, cycle=self.cycles + n)
-            self.status = MachineStatus.TRAPPED
-        except (OverflowError, ValueError) as exc:
-            n += self.fused_skew
-            self.fused_skew = 0
-            self.trap = Trap(TrapKind.ARITH, f"invalid arithmetic: {exc}",
-                             rank=self.rank, cycle=self.cycles + n)
-            self.status = MachineStatus.TRAPPED
-        except TypeError as exc:
-            n += self.fused_skew
-            self.fused_skew = 0
-            self.trap = Trap(TrapKind.POISON, f"undefined value used: {exc}",
-                             rank=self.rank, cycle=self.cycles + n)
-            self.status = MachineStatus.TRAPPED
+        if t2n:
+            self.t2_enters += t2n
+            self.t2_deopts += t2d
+            self.t2_cycles_acc += t2c
         self.cycles += n
         return self.status
+
+    def _as_trap(self, exc: BaseException, cycle: int) -> Trap:
+        """Normalise a raising instruction into a :class:`Trap` at ``cycle``.
+
+        The shared tail of the dispatch loop's except-path: VM traps pass
+        through with rank/cycle pinned; host-level errors are classified
+        into the paper's trap taxonomy (ZeroDivisionError and the
+        Overflow/ValueError pair are both ArithmeticError-adjacent, so
+        the explicit isinstance order here is what keeps DIV_ZERO
+        distinct from ARITH).
+        """
+        if isinstance(exc, Trap):
+            if exc.rank is None:
+                exc.rank = self.rank
+            exc.cycle = cycle
+            return exc
+        if isinstance(exc, ZeroDivisionError):
+            return Trap(TrapKind.DIV_ZERO, "integer division by zero",
+                        rank=self.rank, cycle=cycle)
+        if isinstance(exc, TypeError):
+            return Trap(TrapKind.POISON, f"undefined value used: {exc}",
+                        rank=self.rank, cycle=cycle)
+        return Trap(TrapKind.ARITH, f"invalid arithmetic: {exc}",
+                    rank=self.rank, cycle=cycle)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -1,0 +1,34 @@
+"""Settings-documentation drift: every registered knob is documented.
+
+Every field of :class:`repro.core.settings.Settings` maps to a
+``REPRO_<NAME>`` environment variable; each one must appear in both
+README.md and docs/INTERNALS.md, so a new knob cannot ship silently
+undocumented (the drift this test was added to fix: REPRO_TIER2 /
+REPRO_TIER2_CAP were initially nowhere, REPRO_PREPARED_CACHE was
+missing from the README).
+"""
+
+import dataclasses
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.core.settings import Settings
+
+REPO = Path(__file__).resolve().parents[2]
+
+KNOBS = sorted("REPRO_" + f.name.upper()
+               for f in dataclasses.fields(Settings))
+
+
+@pytest.mark.parametrize("doc", ["README.md", "docs/INTERNALS.md"])
+def test_every_registered_knob_is_documented(doc):
+    text = (REPO / doc).read_text()
+    missing = [k for k in KNOBS if k not in text]
+    assert not missing, f"{doc} does not document: {missing}"
+
+
+def test_knob_env_names_are_well_formed():
+    # the uniform "REPRO_" + name.upper() mapping the docs promise
+    assert all(re.fullmatch(r"REPRO_[A-Z0-9_]+", k) for k in KNOBS)

@@ -157,7 +157,7 @@ class TestStageTimings:
             assert {"artifact_load", "snapshot_restore", "clone",
                     "execute"} <= set(t.stage_timings) <= {
                 "artifact_load", "snapshot_restore", "clone", "execute",
-                "fork_advance"}
+                "fork_advance", "tier2_codegen"}
             assert all(v >= 0.0 for v in t.stage_timings.values())
 
     def test_health_aggregates_timings(self):

@@ -1,0 +1,259 @@
+"""Tier-2 golden-trace compilation: bit-identity with tier-1.
+
+Compiled traces may only change *speed*.  Every observable — outcome,
+outputs, per-rank clocks, trap kind and cycle, injection events, CML
+traces — must match tier-1 dispatch exactly, for any quantum, any armed
+fault plan, and every deopt guard (branch divergence, trap, quantum
+boundary, armed entry).  The module-level plan machinery must be
+deterministic, JSON-safe and defensive against stale artifact plans.
+"""
+
+import json
+
+import pytest
+
+from repro.apps import get_app
+from repro.core.runner import build_program, run_job
+from repro.frontend import compile_source
+from repro.passes import pipeline_for_mode, run_passes
+from repro.vm import (
+    FaultSpec, Machine, MachineStatus, compile_program, derive_plan,
+    install_plan,
+)
+from repro.vm import tier2 as tier2_mod
+
+# a hot loop long enough to plan multi-block unrolled traces, plus a
+# cold tail the golden profile never takes
+SRC_LOOP = """
+func main(rank: int, size: int) {
+    var acc: int = 0;
+    for (var it: int = 0; it < 40; it += 1) {
+        var x: int = it * 3 + 1;
+        var y: int = x * x - it;
+        acc += y;
+        if (acc < 0) {
+            acc = 0;   // never taken on the golden path
+        }
+    }
+    emiti(acc);
+}
+"""
+
+SRC_DIV = """
+func main(rank: int, size: int) {
+    var d: int = 8;
+    var acc: int = 0;
+    for (var it: int = 0; it < 30; it += 1) {
+        acc += 1000 / d;   // faulting d to 0 traps mid-trace
+        d += 1;
+    }
+    emiti(acc);
+}
+"""
+
+
+def build(source, mode="blackbox"):
+    mod = compile_source(source, "t")
+    run_passes(mod, pipeline_for_mode(mode))
+    return compile_program(mod)
+
+
+def profile_edges(prog, seed=12345):
+    m = Machine(prog, 0, 1, seed=seed)
+    m.edge_profile = {}
+    m.start()
+    while m.run(10 ** 7) is MachineStatus.READY:
+        pass
+    assert m.status is MachineStatus.DONE
+    return m, m.edge_profile
+
+
+def run_machine(prog, faults=(), budget=256, seed=12345, tier2=True):
+    m = Machine(prog, 0, 1, seed=seed)
+    m.use_tier2 = tier2
+    if faults:
+        m.arm_faults(faults)
+    m.start()
+    while m.run(budget) is MachineStatus.READY:
+        pass
+    return m
+
+
+def assert_machines_identical(a, b):
+    assert a.status == b.status
+    assert str(a.trap) == str(b.trap)
+    assert a.cycles == b.cycles
+    assert a.outputs == b.outputs
+    assert a.iteration_count == b.iteration_count
+    assert a.inj_counter == b.inj_counter
+    assert ([vars(e) for e in a.injection_events]
+            == [vars(e) for e in b.injection_events])
+
+
+def planned(source=SRC_LOOP, mode="blackbox", cap=256):
+    prog = build(source, mode)
+    _, edges = profile_edges(prog)
+    plan = derive_plan(prog, edges, cap)
+    n = install_plan(prog, plan)
+    assert n > 0, "expected at least one installable trace"
+    return prog, plan
+
+
+class TestPlanning:
+    def test_plan_is_deterministic_and_json_safe(self):
+        prog = build(SRC_LOOP)
+        _, edges = profile_edges(prog)
+        p1 = derive_plan(prog, edges, 128)
+        p2 = derive_plan(prog, edges, 128)
+        assert p1 == p2
+        assert json.loads(json.dumps(p1)) == p1
+        assert p1["version"] == tier2_mod.PLAN_VERSION
+        assert p1["cap"] == 128
+        assert all(t["members"] >= tier2_mod._MIN_MEMBERS
+                   for t in p1["traces"])
+
+    def test_loops_unroll_to_cap(self):
+        prog = build(SRC_LOOP)
+        _, edges = profile_edges(prog)
+        plan = derive_plan(prog, edges, 200)
+        # the hot loop head must carry a multi-block unrolled trace
+        assert any(len(t["blocks"]) > 2 for t in plan["traces"])
+
+    def test_empty_profile_still_plans_straight_lines(self):
+        # without edge counts only statically-resolved control flow is
+        # walkable; planning must not crash and never guards a branch
+        prog = build(SRC_LOOP)
+        plan = derive_plan(prog, None, 128)
+        assert plan["version"] == tier2_mod.PLAN_VERSION
+
+    def test_install_is_idempotent(self):
+        prog = build(SRC_LOOP)
+        _, edges = profile_edges(prog)
+        plan = derive_plan(prog, edges, 128)
+        n1 = install_plan(prog, plan)
+        n2 = install_plan(prog, plan)
+        assert n1 == n2 == prog.tier2_traces
+        assert prog.tier2_installed
+
+    def test_stale_plan_degrades_to_tier1(self):
+        # plans travel through artifacts: module drift must skip, not
+        # raise, and leave the program executable
+        prog = build(SRC_LOOP)
+        bad = {"version": tier2_mod.PLAN_VERSION, "cap": 64, "traces": [
+            {"func": "nope", "head": 0, "blocks": [0], "members": 10},
+            {"func": "main", "head": 999, "blocks": [999], "members": 10},
+            {"func": "main", "head": 0, "blocks": [0, 777], "members": 64},
+        ]}
+        assert install_plan(prog, bad) == 0
+        m = run_machine(prog)
+        assert m.status is MachineStatus.DONE
+
+    def test_wrong_plan_version_is_ignored(self):
+        prog = build(SRC_LOOP)
+        _, edges = profile_edges(prog)
+        plan = derive_plan(prog, edges, 128)
+        plan["version"] = tier2_mod.PLAN_VERSION + 1
+        assert install_plan(prog, plan) == 0
+
+    def test_install_builds_descending_ladder(self):
+        prog, _ = planned(cap=128)
+        ladders = [cands for cf in prog.functions.values()
+                   for cands in cf.tier2 if cands is not None]
+        assert ladders
+        for cands in ladders:
+            lengths = [c[1] for c in cands]
+            assert lengths == sorted(lengths, reverse=True)
+            assert lengths[-1] >= tier2_mod._MIN_MEMBERS
+            for closure, members, marked in cands:
+                assert callable(closure)
+                assert 0 <= marked <= members
+
+
+class TestExecutionParity:
+    @pytest.mark.parametrize("quantum", [1, 3, 7, 16, 64, 256, 10 ** 6])
+    def test_golden_parity_across_quanta(self, quantum):
+        prog, _ = planned()
+        a = run_machine(prog, budget=quantum, tier2=True)
+        b = run_machine(prog, budget=quantum, tier2=False)
+        assert a.status is MachineStatus.DONE
+        assert_machines_identical(a, b)
+        if quantum >= 64:
+            assert a.t2_enters > 0, "tier-2 never entered"
+
+    def test_counters_account_trace_cycles(self):
+        prog, _ = planned()
+        a = run_machine(prog, budget=256)
+        assert a.t2_enters > 0
+        assert 0 < a.t2_cycles_acc <= a.cycles
+        assert a.t2_deopts <= a.t2_enters
+
+    def test_no_tier2_machine_never_enters(self):
+        prog, _ = planned()
+        b = run_machine(prog, budget=256, tier2=False)
+        assert b.t2_enters == 0 and b.t2_cycles_acc == 0
+
+    @pytest.mark.parametrize("occ_frac", [0.0, 0.3, 0.7, 1.0])
+    @pytest.mark.parametrize("bit", [1, 62])
+    def test_armed_parity_across_occurrences(self, occ_frac, bit):
+        # armed entry: a pending fault must fire on the exact same
+        # occurrence, cycle and operand whether traces run or not
+        prog, _ = planned()
+        golden = run_machine(prog, budget=256)
+        total = golden.inj_counter
+        occ = max(1, min(total, int(total * occ_frac) or 1))
+        faults = [FaultSpec(rank=0, occurrence=occ, bit=bit)]
+        a = run_machine(prog, faults, budget=256, tier2=True)
+        b = run_machine(prog, faults, budget=256, tier2=False)
+        assert_machines_identical(a, b)
+        assert len(a.injection_events) == 1
+
+    @pytest.mark.parametrize("occ", [5, 40, 90])
+    def test_trap_deopt_parity(self, occ):
+        # mid-trace traps: fused_skew must land the trap on the exact
+        # tier-1 virtual cycle
+        prog, _ = planned(SRC_DIV)
+        faults = [FaultSpec(rank=0, occurrence=occ, bit=60)]
+        a = run_machine(prog, faults, budget=256, tier2=True)
+        b = run_machine(prog, faults, budget=256, tier2=False)
+        assert_machines_identical(a, b)
+
+    def test_branch_divergence_deopt_parity(self):
+        # faults that flip the guarded loop/if conditions exercise the
+        # mid-trace minority-edge exit
+        prog, _ = planned()
+        golden = run_machine(prog, budget=256)
+        for occ in range(1, golden.inj_counter + 1, 7):
+            for bit in (0, 33, 62):
+                faults = [FaultSpec(rank=0, occurrence=occ, bit=bit)]
+                a = run_machine(prog, faults, budget=256, tier2=True)
+                b = run_machine(prog, faults, budget=256, tier2=False)
+                assert_machines_identical(a, b)
+
+
+class TestJobParity:
+    """Whole-job parity on real apps (MPI, fpm shadow chains)."""
+
+    @pytest.mark.parametrize("mode", ["blackbox", "fpm"])
+    @pytest.mark.parametrize("app_name", ["matvec", "mcb"])
+    def test_job_parity_with_faults(self, app_name, mode):
+        spec = get_app(app_name)
+        prog = build_program(spec.source, mode, name=spec.name,
+                             config=spec.config)
+        edges = {}
+        golden = run_job(prog, spec.config, capture_edge_profile=edges)
+        install_plan(prog, derive_plan(prog, edges, spec.config.quantum))
+        occ = max(2, golden.inj_counts[0] // 2)
+        for faults in ([], [FaultSpec(rank=0, occurrence=occ, bit=4)],
+                       [FaultSpec(rank=0, occurrence=occ, bit=62)]):
+            a = run_job(prog, spec.config, faults, inj_seed=7)
+            b = run_job(prog, spec.config, faults, inj_seed=7, tier2=False)
+            assert a.status == b.status
+            assert str(a.trap) == str(b.trap)
+            assert a.cycles == b.cycles
+            assert a.rank_cycles == b.rank_cycles
+            assert repr(a.outputs) == repr(b.outputs)  # NaN-safe
+            assert a.inj_counts == b.inj_counts
+            assert a.ever_contaminated == b.ever_contaminated
+            if a.trace is not None:
+                assert a.trace.times == b.trace.times
+                assert a.trace.cml_per_rank == b.trace.cml_per_rank
