@@ -1,0 +1,169 @@
+"""Distributed fabric scaling: the remote executor's 1/2/4/8-shard ladder.
+
+Two sections, two different questions:
+
+**Fabric concurrency (gated).**  How well does the controller/worker
+fabric overlap trial *latency*?  Synthetic trials with a fixed wall
+latency each (``REPRO_BENCH_TRIAL_LATENCY``, default 50 ms) run through
+the real engine + RemoteExecutor at 1/2/4/8 shards.  Latency-bound
+trials parallelise regardless of host core count — what the ladder
+measures is the fabric itself: dispatch, socket streaming, shard
+bookkeeping.  The gate: 4 shards must cut wall clock at least 2x vs
+1 shard.  An overhead row (per-trial fabric cost at 1 shard vs a bare
+serial loop) is recorded alongside.
+
+**Real-app equivalence (gated) + timings (advisory).**  A real ``amg``
+FPM campaign runs serially and at 2/4 remote shards; every trial pair
+must be bit-identical and the merged shard journals must hash equal to
+the serial journal (``journal_science_hash``).  Wall clocks are
+recorded but not asserted — on a single-core host CPU-bound trials
+cannot speed up, and on shared CI runners absolute timings are noise.
+
+Results land in ``benchmarks/results/BENCH_distributed.json``.
+Scale with REPRO_BENCH_TRIALS / REPRO_BENCH_REPS /
+REPRO_BENCH_TRIAL_LATENCY.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+from pathlib import Path
+
+from repro.inject import CampaignEngine, run_campaign, trial_results_equal
+from repro.inject import campaign as campaign_mod
+from repro.inject.campaign import TrialResult, _env_int
+from repro.inject.journal import journal_science_hash
+
+from conftest import RESULTS_DIR, SEED
+
+SHARD_LADDER = (1, 2, 4, 8)
+
+
+def _bench_trials() -> int:
+    return _env_int("REPRO_BENCH_TRIALS", 24)
+
+
+def _bench_reps() -> int:
+    return _env_int("REPRO_BENCH_REPS", 3)
+
+
+def _trial_latency() -> float:
+    try:
+        return float(os.environ.get("REPRO_BENCH_TRIAL_LATENCY", "0.05"))
+    except ValueError:
+        return 0.05
+
+
+def _latency_trial(job):
+    """A trial that costs pure wall latency (think: remote I/O wait)."""
+    index, latency = job
+    time.sleep(latency)
+    return TrialResult(
+        outcome="CO", trap_kind=None, faults=(), injected_cycles=(),
+        injected_occurrences=(), iterations=1, cycles=index,
+    )
+
+
+def _fabric_run(n, shards, latency):
+    jobs = [(i, latency) for i in range(n)]
+    eng = CampaignEngine(workers=1, executor="remote", shards=shards,
+                         task_fn=_latency_trial)
+    t0 = time.perf_counter()
+    results, health = eng.run(jobs)
+    wall = time.perf_counter() - t0
+    assert [r.cycles for r in results] == list(range(n))
+    assert health.executor == "remote" and health.shards == shards
+    assert not health.quarantined
+    return wall
+
+
+def _serial_run(n, latency):
+    jobs = [(i, latency) for i in range(n)]
+    eng = CampaignEngine(workers=1, executor="serial",
+                         task_fn=_latency_trial)
+    t0 = time.perf_counter()
+    results, _ = eng.run(jobs)
+    return time.perf_counter() - t0
+
+
+def test_fabric_shard_ladder():
+    n, reps, latency = _bench_trials(), _bench_reps(), _trial_latency()
+    _fabric_run(n, 1, latency)  # untimed warm-up (imports, fork caches)
+
+    rows = []
+    medians = {}
+    for shards in SHARD_LADDER:
+        walls = [_fabric_run(n, shards, latency) for _ in range(reps)]
+        medians[shards] = statistics.median(walls)
+        rows.append({
+            "shards": shards,
+            "wall_s": [round(w, 3) for w in walls],
+            "median_wall_s": round(medians[shards], 3),
+        })
+    for row in rows:
+        row["speedup_vs_1_shard"] = round(
+            medians[1] / max(row["median_wall_s"], 1e-9), 2)
+
+    serial_wall = statistics.median(
+        [_serial_run(n, latency) for _ in range(reps)])
+    ideal = n * latency
+    payload = {
+        "benchmark": "distributed_fabric",
+        "n_trials": n,
+        "reps": reps,
+        "trial_latency_s": latency,
+        "ideal_serial_wall_s": round(ideal, 3),
+        "bare_serial_wall_s": round(serial_wall, 3),
+        "ladder": rows,
+        "speedup_4_over_1": rows[2]["speedup_vs_1_shard"],
+        "reached_2x_at_4_shards": rows[2]["speedup_vs_1_shard"] >= 2.0,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_distributed.json"
+    existing = json.loads(out.read_text()) if out.exists() else {}
+    existing.update(payload)
+    out.write_text(json.dumps(existing, indent=2) + "\n")
+    print(f"\nfabric ladder ({n} trials x {latency * 1000:.0f} ms):")
+    for row in rows:
+        print(f"  {row['shards']} shard(s): {row['median_wall_s']:.3f}s "
+              f"({row['speedup_vs_1_shard']}x)")
+    # the gate: the fabric must actually overlap trial latency
+    assert rows[2]["speedup_vs_1_shard"] >= 2.0, \
+        f"4-shard speedup {rows[2]['speedup_vs_1_shard']}x < 2x"
+
+
+def test_real_app_equivalence_across_shards(tmp_path):
+    app, n = os.environ.get("REPRO_BENCH_APP", "amg"), _bench_trials()
+    art = tmp_path / "artifacts"
+
+    def _run(executor, shards, journal):
+        campaign_mod._PREPARED_CACHE.clear()
+        t0 = time.perf_counter()
+        r = run_campaign(app, n, mode="fpm", seed=SEED, executor=executor,
+                         shards=shards, artifact_dir=art, journal=journal)
+        return r, time.perf_counter() - t0
+
+    ref, ref_wall = _run("serial", None, tmp_path / "serial.jsonl")
+    ref_hash = journal_science_hash(tmp_path / "serial.jsonl")
+    rows = [{"executor": "serial", "shards": 1,
+             "wall_s": round(ref_wall, 3)}]
+    for shards in (2, 4):
+        journal = tmp_path / f"remote{shards}.jsonl"
+        c, wall = _run("remote", shards, journal)
+        for i, (a, b) in enumerate(zip(c.trials, ref.trials)):
+            assert trial_results_equal(a, b), i    # gating: bit-identity
+        assert journal_science_hash(journal) == ref_hash
+        rows.append({"executor": "remote", "shards": shards,
+                     "wall_s": round(wall, 3),
+                     "journal_hash_matches_serial": True})
+
+    out = RESULTS_DIR / "BENCH_distributed.json"
+    existing = json.loads(out.read_text()) if out.exists() else {}
+    existing.update({"real_app": app, "real_app_trials": n,
+                     "real_app_rows": rows})
+    out.write_text(json.dumps(existing, indent=2) + "\n")
+    print(f"\n{app} equivalence: serial vs remote x2/x4 bit-identical, "
+          f"journal hashes equal")

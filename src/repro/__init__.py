@@ -16,18 +16,29 @@ The package builds the paper's entire stack from scratch in Python:
   campaign driver, outcome classification, and the FPS propagation
   models of Sec. 5.
 
-Entry points: :class:`repro.Session` (the facade) and
-:class:`repro.core.FaultPropagationFramework` (the full driver).
+Entry points: :class:`repro.Session` (the facade),
+:class:`repro.CampaignSpec` (one typed value for a whole campaign
+definition) and :class:`repro.core.FaultPropagationFramework` (the full
+driver).  Everything in ``__all__`` is the supported public surface;
+anything else may move between releases (moved engine internals are
+reachable for one deprecation cycle via :mod:`repro.inject.engine`'s
+module ``__getattr__``, which warns).
 """
 
-from .core import FaultPropagationFramework, RunConfig, build_program, run_job
-from .errors import ReproError
 from .api import Session
+from .core import FaultPropagationFramework, RunConfig, build_program, run_job
+from .core.spec import CampaignSpec
+from .errors import ReproError
+from .inject.campaign import CampaignResult, run_campaign
+from .inject.engine import resume_campaign
+from .models import fit_cml_stream
 from .obs.observer import ObserveConfig
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
-    "FaultPropagationFramework", "ObserveConfig", "ReproError", "RunConfig",
-    "Session", "build_program", "run_job", "__version__",
+    "CampaignResult", "CampaignSpec", "FaultPropagationFramework",
+    "ObserveConfig", "ReproError", "RunConfig", "Session", "__version__",
+    "build_program", "fit_cml_stream", "resume_campaign", "run_campaign",
+    "run_job",
 ]

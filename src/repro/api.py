@@ -95,6 +95,7 @@ class Session:
         return self.framework.prepared(self.mode).golden
 
     def campaign(self, trials: Optional[int] = None, *,
+                 spec=None,
                  workers: Optional[int] = None,
                  observe=None, seed: Optional[int] = None,
                  **kwargs) -> CampaignResult:
@@ -105,7 +106,33 @@ class Session:
         goes straight to :func:`~repro.inject.campaign.run_campaign`);
         every keyword those accept passes through.  ``observe`` follows
         :func:`~repro.inject.campaign.run_campaign`.
+
+        Alternatively pass ``spec=``, a
+        :class:`~repro.core.spec.CampaignSpec` carrying the whole
+        campaign definition — it must name this session's app, and no
+        other keyword may accompany it.
         """
+        if spec is not None:
+            from .core.spec import CampaignSpec
+            from .inject.campaign import run_campaign
+            if not isinstance(spec, CampaignSpec):
+                raise CampaignError(
+                    f"spec must be a CampaignSpec, got {type(spec).__name__}")
+            if trials is not None or workers is not None \
+                    or observe is not None or seed is not None or kwargs:
+                raise CampaignError(
+                    "pass either spec= or keyword arguments, not both")
+            if spec.app != self.app:
+                raise CampaignError(
+                    f"spec is for app {spec.app!r}, but this session is "
+                    f"{self.app!r}")
+            if spec.mode != self.mode:
+                raise CampaignError(
+                    f"spec mode {spec.mode!r} does not match this "
+                    f"session's mode {self.mode!r}")
+            result = run_campaign(spec)
+            self.last_campaign = result
+            return result
         kwargs = _modernise(kwargs)
         for name, given in (("trials", trials), ("workers", workers)):
             if name in kwargs:

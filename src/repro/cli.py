@@ -38,6 +38,18 @@ def _add_campaign_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=2025)
     p.add_argument("--workers", type=int, default=None,
                    help="process parallelism (default REPRO_WORKERS/1)")
+    p.add_argument("--executor", choices=("serial", "pool", "remote"),
+                   default=None,
+                   help="execution backend: serial (in-driver), pool "
+                        "(supervised local processes) or remote "
+                        "(controller/worker fabric over localhost "
+                        "sockets); default REPRO_EXECUTOR or auto by "
+                        "--workers")
+    p.add_argument("--shards", type=int, default=None, metavar="N",
+                   help="shard count for the remote executor — the fault "
+                        "plan is partitioned into N epoch-aligned shards, "
+                        "one worker daemon each (default REPRO_SHARDS or "
+                        "--workers)")
     p.add_argument("--faults", type=int, default=1,
                    help="faults per run (LLFI++ multi-fault extension)")
     p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
@@ -179,7 +191,9 @@ def cmd_campaign(args) -> int:
                                timeout=args.timeout,
                                max_retries=args.max_retries,
                                artifact_dir=args.artifact_dir,
-                               observe=observe)
+                               observe=observe,
+                               executor=args.executor,
+                               shards=args.shards)
         mode = c.mode
     else:
         mode = args.mode
@@ -194,7 +208,9 @@ def cmd_campaign(args) -> int:
                          observe=observe,
                          prune=False if args.no_prune else None,
                          fork=False if args.no_fork else None,
-                         tier2=False if args.no_tier2 else None)
+                         tier2=False if args.no_tier2 else None,
+                         executor=args.executor,
+                         shards=args.shards)
     print(f"{c.n_trials} trials, mode={c.mode}, "
           f"{c.n_faults} fault(s)/run")
     print(render_outcome_table({args.app: c.fractions()},
@@ -227,7 +243,8 @@ def cmd_sites(args) -> int:
                      observe=_observe_from_args(args),
                      prune=False if args.no_prune else None,
                      fork=False if args.no_fork else None,
-                     tier2=False if args.no_tier2 else None)
+                     tier2=False if args.no_tier2 else None,
+                     executor=args.executor, shards=args.shards)
     pa = _prepared(args.app, (), "fpm", args.snapshot_stride,
                    args.artifact_dir)
     ranking = site_vulnerability(c, pa.program.site_table, by=args.by)
@@ -248,7 +265,8 @@ def cmd_fps(args) -> int:
                         observe=_observe_from_args(args),
                         prune=False if args.no_prune else None,
                         fork=False if args.no_fork else None,
-                        tier2=False if args.no_tier2 else None)
+                        tier2=False if args.no_tier2 else None,
+                        executor=args.executor, shards=args.shards)
     fps = fw.fps_factor(c)
     print(render_fps_table([fps]))
     est = fw.estimator(c)

@@ -102,6 +102,8 @@ class FaultPropagationFramework:
         prune: Optional[bool] = None,
         fork: Optional[bool] = None,
         tier2: Optional[bool] = None,
+        executor: Optional[str] = None,
+        shards: Optional[int] = None,
     ) -> CampaignResult:
         """Output-variation analysis (paper Sec. 4.2 / Fig. 6)."""
         return run_campaign(
@@ -110,6 +112,7 @@ class FaultPropagationFramework:
             timeout=timeout, max_retries=max_retries, journal=journal,
             snapshot_stride=snapshot_stride, artifact_dir=artifact_dir,
             observe=observe, prune=prune, fork=fork, tier2=tier2,
+            executor=executor, shards=shards,
         )
 
     def fpm_campaign(
@@ -124,6 +127,8 @@ class FaultPropagationFramework:
         prune: Optional[bool] = None,
         fork: Optional[bool] = None,
         tier2: Optional[bool] = None,
+        executor: Optional[str] = None,
+        shards: Optional[int] = None,
     ) -> CampaignResult:
         """Propagation analysis (paper Sec. 4.3 / Figs. 7-8)."""
         return run_campaign(
@@ -132,6 +137,7 @@ class FaultPropagationFramework:
             timeout=timeout, max_retries=max_retries, journal=journal,
             snapshot_stride=snapshot_stride, artifact_dir=artifact_dir,
             observe=observe, prune=prune, fork=fork, tier2=tier2,
+            executor=executor, shards=shards,
         )
 
     def resume_campaign(self, journal: str, **kwargs) -> CampaignResult:

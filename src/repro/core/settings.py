@@ -37,6 +37,9 @@ DEFAULT_RETRY_MAX_ATTEMPTS = 4
 DEFAULT_CHAOS_SEED = 0
 
 _VERIFY_MODES = ("off", "first", "all")
+# mirrors repro.inject.executors.EXECUTOR_NAMES (kept literal: settings
+# must stay importable before the inject package)
+_EXECUTOR_NAMES = ("serial", "pool", "remote")
 
 
 def _warn(name: str, raw: str, why: str, fallback) -> None:
@@ -115,6 +118,18 @@ def _parse_choice(env: Mapping[str, str], name: str, default: str,
     return raw
 
 
+def _parse_opt_choice(env: Mapping[str, str], name: str,
+                      choices: tuple) -> Optional[str]:
+    """Like :func:`_parse_choice` but unset means None (auto)."""
+    raw = env.get(name, "").strip().lower()
+    if not raw:
+        return None
+    if raw not in choices:
+        _warn(name, raw, f"expected one of {choices}", None)
+        return None
+    return raw
+
+
 @dataclass(frozen=True)
 class Settings:
     """Every environment-tunable knob, parsed and validated once.
@@ -131,6 +146,12 @@ class Settings:
     workers: int = DEFAULT_WORKERS
     #: REPRO_TRIAL_TIMEOUT — per-trial wall-clock watchdog, seconds
     trial_timeout: Optional[float] = None
+    #: REPRO_EXECUTOR — execution backend: serial | pool | remote
+    #: (unset = auto: serial for one worker, pool for more)
+    executor: Optional[str] = None
+    #: REPRO_SHARDS — shard count for distributed backends (0 = auto:
+    #: match the worker count)
+    shards: int = 0
     # -- caches and throughput -----------------------------------------
     #: REPRO_PREPARED_CACHE — prepared apps kept per process (LRU)
     prepared_cache: int = DEFAULT_PREPARED_CACHE
@@ -196,6 +217,9 @@ class Settings:
             trials=_parse_int(env, "REPRO_TRIALS", DEFAULT_TRIALS),
             workers=_parse_int(env, "REPRO_WORKERS", DEFAULT_WORKERS),
             trial_timeout=_parse_float(env, "REPRO_TRIAL_TIMEOUT", None),
+            executor=_parse_opt_choice(
+                env, "REPRO_EXECUTOR", _EXECUTOR_NAMES),
+            shards=_parse_int(env, "REPRO_SHARDS", 0, minimum=0),
             prepared_cache=_parse_int(
                 env, "REPRO_PREPARED_CACHE", DEFAULT_PREPARED_CACHE),
             artifact_dir=_parse_str(env, "REPRO_ARTIFACT_DIR"),

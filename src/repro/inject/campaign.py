@@ -695,8 +695,51 @@ def plan_fork_batches(jobs: Sequence[tuple], workers: int = 1
     return batches
 
 
+def plan_shards(pending: Sequence[int], n_shards: int,
+                batches: Optional[Sequence[Sequence[int]]] = None):
+    """Partition pending trial indices into executor shards.
+
+    A shard is the unit a distributed backend ships to one worker
+    daemon.  With ``batches`` (snapshot-locality groups or fork-epoch
+    buckets, already filtered to pending trials), whole batches are
+    assigned greedily to the least-loaded shard — ties to the lowest
+    shard id — so a bucket never splits across daemons and each shard's
+    trials stay epoch-ascending (its golden cursor advances
+    monotonically, exactly like a local pool worker's).  Without
+    batches, indices split into contiguous stripes.  A pure function of
+    its inputs, so resumed campaigns re-plan deterministic shards.
+    """
+    from .executors.base import ShardSpec
+
+    pending = list(pending)
+    if not pending:
+        return []
+    n_shards = max(1, min(n_shards, len(pending)))
+    if batches:
+        units = [list(b) for b in batches if b]
+        loads = [0] * n_shards
+        assigned: List[List[List[int]]] = [[] for _ in range(n_shards)]
+        for unit in units:
+            target = min(range(n_shards), key=lambda s: (loads[s], s))
+            assigned[target].append(unit)
+            loads[target] += len(unit)
+        return [
+            ShardSpec(
+                shard_id,
+                tuple(i for unit in units_of for i in unit),
+                batches=tuple(tuple(unit) for unit in units_of),
+            )
+            for shard_id, units_of in enumerate(assigned) if units_of
+        ]
+    size = -(-len(pending) // n_shards)  # ceil division
+    return [
+        ShardSpec(shard_id, tuple(pending[j:j + size]))
+        for shard_id, j in enumerate(range(0, len(pending), size))
+    ]
+
+
 def run_campaign(
-    app: str,
+    app,
     trials: Optional[int] = None,
     *,
     mode: str = "blackbox",
@@ -717,8 +760,15 @@ def run_campaign(
     prune: Optional[bool] = None,
     fork: Optional[bool] = None,
     tier2: Optional[bool] = None,
+    executor: Optional[str] = None,
+    shards: Optional[int] = None,
 ) -> CampaignResult:
     """Run a fault-injection campaign for a registered app.
+
+    ``app`` is a registered application name, or a
+    :class:`repro.core.spec.CampaignSpec` carrying the whole campaign
+    definition (in which case only ``progress`` may accompany it —
+    every other knob lives in the spec).
 
     ``mode="blackbox"`` reproduces the output-variation analysis of
     Sec. 4.2 (Fig. 6); ``mode="fpm"`` additionally tracks propagation
@@ -775,8 +825,15 @@ def run_campaign(
     ``--no-tier2`` is the escape hatch.
     """
     from . import chaos
+    from ..core.spec import CampaignSpec
     from .artifacts import QUARANTINE_LOG, default_artifact_dir
     from .engine import CampaignEngine  # lazy: engine imports this module
+
+    if isinstance(app, CampaignSpec):
+        if trials is not None:
+            raise CampaignError(
+                "pass either a CampaignSpec or keyword arguments, not both")
+        return run_campaign(progress=progress, **app.kwargs())
 
     # arm the (optional) chaos injector before any worker forks so every
     # process shares one once-only fault ledger
@@ -803,6 +860,17 @@ def run_campaign(
         )
         effective = 1
 
+    # Resolve the execution backend up front so batch/shard planning can
+    # use the right parallelism; the remote fabric gets the golden
+    # artifact reference so daemons fetch shared state, not re-profile.
+    from .executors import resolve_executor_name
+    exec_name = resolve_executor_name(executor, effective)
+    n_shards = shards
+    if n_shards is None:
+        configured = current_settings().shards
+        n_shards = configured if configured > 0 else max(effective, 1)
+    parallelism = n_shards if exec_name == "remote" else effective
+
     obs_config = ObserveConfig.resolve(observe)
 
     tier2_on = tier2_enabled(tier2)
@@ -818,9 +886,20 @@ def run_campaign(
                        tier2_on)
     batches = None
     if fork_on:
-        batches = plan_fork_batches(jobs, effective)
+        batches = plan_fork_batches(jobs, parallelism)
     elif pa.snapshots is not None and batch_by_snapshot():
-        batches = plan_batches(jobs, pa.snapshots, effective)
+        batches = plan_batches(jobs, pa.snapshots, parallelism)
+
+    engine_executor: Union[str, object] = exec_name
+    if exec_name == "remote":
+        from .executors.remote import RemoteExecutor
+        artifact_ref = None
+        if art_dir_str is not None:
+            artifact_ref = (app, params_key, mode, stride, art_dir_str)
+        engine_executor = RemoteExecutor(
+            n_shards, artifact=artifact_ref,
+            degrade_after=max(4, 2 * n_shards),
+        )
 
     journal_writer = None
     if journal is not None:
@@ -841,6 +920,8 @@ def run_campaign(
             "prune": prune_on,
             "fork": fork_on,
             "tier2": tier2_on,
+            "executor": exec_name,
+            "shards": n_shards if exec_name == "remote" else 1,
             "golden": {
                 "iterations": golden.iterations,
                 "cycles": golden.cycles,
@@ -863,6 +944,8 @@ def run_campaign(
         progress=progress,
         batches=batches,
         observer=observer,
+        executor=engine_executor,
+        shards=n_shards,
     )
     try:
         results, health = engine.run(jobs, faults_of=lambda i: jobs[i][3])

@@ -1,19 +1,22 @@
-"""Supervised campaign execution engine.
+"""Backend-agnostic campaign controller.
 
-Replaces the bare ``ProcessPoolExecutor.map`` trial loop with a
-supervisor that treats worker death, hung trials, and driver
-interruption as expected events of a large fault-injection campaign
-(the operating regime of ZOFI- and FlipTracker-style studies, where
-thousands of trials *intentionally* crash and hang applications):
+Runs a list of pre-drawn trial jobs to completion over a pluggable
+execution backend (:mod:`repro.inject.executors`) while treating worker
+death, hung trials, and driver interruption as expected events of a
+large fault-injection campaign (the operating regime of ZOFI- and
+FlipTracker-style studies, where thousands of trials *intentionally*
+crash and hang applications):
 
 * **per-trial watchdog** — every trial gets a wall-clock budget; an
   expired trial's worker is killed and the trial retried;
 * **bounded retry + quarantine** — a trial that repeatedly kills its
   worker is recorded as a ``HARNESS_FAILURE`` trial with a structured
   :class:`~repro.errors.FailureKind`, never silently dropped;
-* **worker respawn** — a crashed worker (segfault, OOM kill) is
-  replaced with a fresh process and only its in-flight trial is
-  re-executed; every completed trial survives;
+* **worker respawn + shard reassignment** — a crashed worker (segfault,
+  OOM kill) is replaced with a fresh process and only its in-flight
+  trial is re-executed; a dead remote daemon's unstarted shard trials
+  are reassigned to surviving daemons without a failure mark; every
+  completed trial survives;
 * **incremental checkpointing** — completed trials stream into a
   :class:`~repro.inject.journal.CampaignJournal`;
   :func:`resume_campaign` finishes an interrupted campaign and yields a
@@ -22,31 +25,31 @@ thousands of trials *intentionally* crash and hang applications):
 * **graceful degradation** — trial retries back off with deterministic
   seeded jitter; a respawn budget turns repeated worker deaths into a
   shrinking pool instead of an infinite respawn storm, and a fully
-  collapsed pool falls back to serial in-driver execution rather than
-  aborting; a persistently failing journal is disabled (with the event
-  recorded) instead of taking the campaign down.
+  collapsed backend falls back to serial in-driver execution rather
+  than aborting; a persistently failing journal is disabled (with the
+  event recorded) instead of taking the campaign down.
 
-Workers are plain ``multiprocessing`` processes talking over pipes (one
-duplex pipe per worker) — no shared queues, so killing a worker cannot
-corrupt the channel of any other worker.
+The controller owns every piece of campaign-level *policy* — the retry
+taxonomy, the journal, the observer, health accounting, the degradation
+ladder — and consumes typed events
+(:class:`~repro.inject.executors.base.TrialDone` /
+:class:`~repro.inject.executors.base.ShardLost` /
+:class:`~repro.inject.executors.base.SupervisionEvent`) from whichever
+backend executes the trials.  Because all randomness is drawn up front
+from the campaign seed, every backend produces bit-identical science.
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
 import time
 import warnings
-from collections import deque
-from multiprocessing.connection import wait as _conn_wait
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
-from ..core.settings import DEFAULT_PREFETCH, current_settings
 from ..errors import (
     CampaignError,
     FailureKind,
     JournalError,
     RetryPolicy,
-    TrialTimeoutError,
 )
 from ..obs.observer import CampaignObserver, ObserveConfig
 from . import artifacts as _artifacts
@@ -60,6 +63,21 @@ from .campaign import (
     default_timeout,
     default_workers,
     harness_failure_trial,
+    plan_shards,
+)
+from .executors import (
+    Executor,
+    ShardLost,
+    ShardSpec,
+    SupervisionEvent,
+    TrialDone,
+    make_executor,
+    resolve_executor_name,
+)
+from .executors.local import (  # re-exported for backward compatibility
+    _PREFETCH,
+    SerialExecutor,
+    prefetch_depth,
 )
 from .health import CampaignHealth
 from .journal import CampaignJournal, read_journal_ex
@@ -69,90 +87,24 @@ _TICK = 0.05
 #: extra wall-clock slack granted on top of the soft in-VM watchdog
 #: before the supervisor hard-kills the worker
 _KILL_GRACE = 5.0
-#: trials kept in flight per worker (head running + queued in its
-#: pipe), so a worker never idles a supervisor round-trip between
-#: trials; the watchdog deadline always covers the head trial only
-_PREFETCH = DEFAULT_PREFETCH
+
+#: engine internals that moved to the executors package in the fabric
+#: refactor; importing them from here warns but keeps working
+_MOVED_INTERNALS = ("_pool_worker", "_Worker", "_mp_context")
 
 
-def prefetch_depth() -> int:
-    """Per-worker dispatch pipeline depth (``REPRO_PREFETCH``, min 1).
-
-    Depth 1 reverts to one-at-a-time dispatch: the worker idles for a
-    full supervisor round-trip after every trial.
-    """
-    return current_settings().prefetch
-
-
-def _mp_context():
-    """Fork where available (workers inherit the prepared-app cache);
-    spawn elsewhere."""
-    if "fork" in mp.get_all_start_methods():
-        return mp.get_context("fork")
-    return mp.get_context()
-
-
-def _pool_worker(conn, task_fn, fresh: bool, chaos_hang_s: float = 0.0
-                 ) -> None:
-    """Worker loop: receive (index, args), run, send (index, ok, payload).
-
-    ``fresh`` workers (respawned after a crash or watchdog kill) clear
-    the inherited prepared-app cache first: the previous incarnation may
-    have died *because* of corrupted cached state.  When chaos is armed
-    (:mod:`repro.inject.chaos`), the worker may abruptly die or wedge
-    before a trial — ``chaos_hang_s`` is the sleep that outlasts the
-    supervisor's watchdog (0 when no watchdog is set: a hang nobody can
-    recover is never injected).
-    """
-    if fresh:
-        _campaign._PREPARED_CACHE.clear()
-    monkey = chaos.monkey()
-    try:
-        while True:
-            msg = conn.recv()
-            if msg is None:
-                return
-            index, args = msg
-            if monkey is not None:
-                monkey.maybe_kill_worker(index)
-                monkey.maybe_hang_trial(index, chaos_hang_s)
-            try:
-                result = task_fn(args)
-            except TrialTimeoutError as exc:
-                conn.send((index, False, (FailureKind.TIMEOUT.value, str(exc))))
-            except Exception as exc:
-                conn.send((index, False,
-                           (FailureKind.EXCEPTION.value,
-                            f"{type(exc).__name__}: {exc}")))
-            else:
-                conn.send((index, True, result))
-    except (EOFError, OSError, KeyboardInterrupt):
-        pass
-
-
-class _Worker:
-    """Supervisor-side handle of one worker process."""
-
-    __slots__ = ("proc", "conn", "inflight", "batch", "deadline", "retired")
-
-    def __init__(self, proc, conn) -> None:
-        self.proc = proc
-        self.conn = conn
-        #: trial indices dispatched but not yet returned, FIFO — the
-        #: head is executing, the rest sit prefetched in the pipe
-        self.inflight: deque = deque()
-        #: remainder of the snapshot-locality batch this worker owns
-        self.batch: deque = deque()
-        #: monotonic instant after which the supervisor kills the worker
-        #: (covers the head in-flight trial)
-        self.deadline: Optional[float] = None
-        #: permanently removed from the pool by the degradation ladder
-        self.retired = False
-
-    @property
-    def index(self) -> Optional[int]:
-        """Head trial index — the one actually executing (None = idle)."""
-        return self.inflight[0] if self.inflight else None
+def __getattr__(name: str):
+    if name in _MOVED_INTERNALS:
+        warnings.warn(
+            f"repro.inject.engine.{name} moved to "
+            f"repro.inject.executors.local; update the import",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from .executors import local as _local
+        return getattr(_local, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
 
 
 class CampaignEngine:
@@ -172,11 +124,15 @@ class CampaignEngine:
         observer: Optional[CampaignObserver] = None,
         degrade_after: Optional[int] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        executor: Union[None, str, Executor] = None,
+        shards: Optional[int] = None,
     ) -> None:
         if workers < 1:
             raise CampaignError(f"workers must be >= 1, got {workers}")
         if max_retries < 0:
             raise CampaignError(f"max_retries must be >= 0, got {max_retries}")
+        if shards is not None and shards < 1:
+            raise CampaignError(f"shards must be >= 1, got {shards}")
         self.workers = workers
         self.timeout = timeout
         self.kill_grace = _KILL_GRACE if kill_grace is None else kill_grace
@@ -204,6 +160,13 @@ class CampaignEngine:
         #: budget shared by the journal/artifact IO retry paths)
         self.retry_policy = (retry_policy if retry_policy is not None
                              else RetryPolicy.from_settings())
+        #: execution backend: an :class:`Executor` instance, a backend
+        #: name (``serial``/``pool``/``remote``), or None to pick by
+        #: REPRO_EXECUTOR / worker count
+        self.executor = executor
+        #: shard count for distributed backends (None: REPRO_SHARDS,
+        #: else the worker count)
+        self.shards = shards
 
     # ------------------------------------------------------------------
     def run(
@@ -224,7 +187,6 @@ class CampaignEngine:
         #: earliest monotonic instant a retried trial may re-dispatch
         #: (seeded exponential backoff with jitter)
         self._not_before: Dict[int, float] = {}
-        self._respawn_budget = self.degrade_after
         self._serial_fallback = False
         self._faults_of = faults_of or (lambda i: ())
         self._health = CampaignHealth(
@@ -250,34 +212,47 @@ class CampaignEngine:
                         "repro_trials_total", outcome=trial.outcome)
             self._health.resumed_trials = len(completed)
         pending = [i for i in range(n) if self._results[i] is None]
-        #: per-batch index deques for the pool backend (None when
-        #: batching is off); batches exhausted by a resume drop out
-        self._batches_q: Optional[deque] = None
+        #: batch groups filtered to pending trials (None when batching is
+        #: off); batches exhausted by a resume drop out
+        groups: Optional[List[List[int]]] = None
         if self.batches is not None:
             pend = set(pending)
-            groups = [deque(i for i in batch if i in pend)
+            groups = [[i for i in batch if i in pend]
                       for batch in self.batches]
             groups = [g for g in groups if g]
             covered = {i for g in groups for i in g}
-            stray = deque(i for i in pending if i not in covered)
+            stray = [i for i in pending if i not in covered]
             if stray:  # defensive: batches must cover every pending trial
                 groups.append(stray)
-            self._batches_q = deque(groups)
-            #: serial execution flattens the batch order directly
-            self._queue: deque = deque(i for g in groups for i in g)
-        else:
-            self._queue = deque(pending)
 
         start = time.monotonic()
-        if self.workers <= 1:
-            self._run_serial(jobs)
-        else:
-            self._run_pool(jobs)
-            if any(r is None for r in self._results):
-                # every worker slot was retired by the respawn budget —
-                # last rung of the ladder: finish serially in the driver
-                self._degrade_to_serial()
-                self._run_serial(jobs)
+        self._jobs_ref = jobs
+        executor = self._resolve_executor()
+        caps = executor.capabilities()
+        self._health.executor = caps.name
+        #: trial index -> shard id, for journal tags and shard metrics
+        self._shard_of: Dict[int, int] = {}
+        self._active: Executor = executor
+        shard_specs = self._plan(pending, groups, caps)
+        self._health.shards = max(len(shard_specs), 1)
+        leftover: List[int] = []
+        try:
+            executor.start(jobs, task_fn=self.task_fn,
+                           timeout=self.timeout, kill_grace=self.kill_grace)
+            for spec in shard_specs:
+                for i in spec.indices:
+                    self._shard_of[i] = spec.shard_id
+                executor.submit_shard(spec)
+            self._drive(executor)
+            if self._done < n and not caps.in_driver:
+                drain = getattr(executor, "drain_unfinished", None)
+                leftover = drain() if drain is not None else []
+        finally:
+            executor.close()
+        if self._done < n and not caps.in_driver:
+            # every worker slot was retired by the respawn budget —
+            # last rung of the ladder: finish serially in the driver
+            self._degrade_to_serial(leftover)
         if self.journal is not None:
             self._health.io_retries += self.journal.io_retries
         self._health.wall_time_s = time.monotonic() - start
@@ -288,229 +263,135 @@ class CampaignEngine:
         return list(self._results), self._health
 
     # ------------------------------------------------------------------
-    # Serial backend: in-driver execution with retry/quarantine.  The
-    # watchdog is the soft in-VM deadline carried by the job itself
-    # (run_job(wall_timeout=...)); there is no process to kill.
+    # Backend resolution and shard planning
     # ------------------------------------------------------------------
-    def _run_serial(self, jobs: List[tuple]) -> None:
-        while self._queue:
-            index = self._queue.popleft()
-            wait = self._not_before.get(index, 0.0) - time.monotonic()
-            if wait > 0:
-                # honour the retry backoff; sleeping (rather than
-                # reordering) keeps serial execution order deterministic
-                time.sleep(wait)
-            try:
-                trial = self.task_fn(jobs[index])
-            except TrialTimeoutError as exc:
-                self._failure(index, FailureKind.TIMEOUT, str(exc))
-            except Exception as exc:
-                self._failure(index, FailureKind.EXCEPTION,
-                              f"{type(exc).__name__}: {exc}")
+    def _resolve_executor(self) -> Executor:
+        if isinstance(self.executor, Executor):
+            return self.executor
+        name = resolve_executor_name(self.executor, self.workers)
+        return make_executor(
+            name,
+            workers=self.workers,
+            shards=self._n_shards(),
+            degrade_after=self.degrade_after,
+        )
+
+    def _n_shards(self) -> int:
+        if self.shards is not None:
+            return self.shards
+        from ..core.settings import current_settings
+        configured = current_settings().shards
+        if configured > 0:
+            return configured
+        return max(self.workers, 1)
+
+    def _plan(self, pending: List[int], groups: Optional[List[List[int]]],
+              caps) -> List[ShardSpec]:
+        """Partition pending trials into shards the backend can take.
+
+        Non-distributed backends get one shard carrying the whole plan
+        (with the batch structure attached for the pool's worker
+        affinity); distributed backends get epoch-bucket-aligned shards
+        from :func:`repro.inject.campaign.plan_shards`.
+        """
+        if not pending:
+            return []
+        if caps.distributed and caps.max_shards > 1:
+            return plan_shards(pending, caps.max_shards, batches=groups)
+        if groups is not None:
+            flat = [i for g in groups for i in g]
+            if caps.in_driver:
+                # serial execution flattens the batch order directly
+                return [ShardSpec(0, tuple(flat))]
+            return [ShardSpec(0, tuple(flat),
+                              batches=tuple(tuple(g) for g in groups))]
+        return [ShardSpec(0, tuple(pending))]
+
+    # ------------------------------------------------------------------
+    # Event loop
+    # ------------------------------------------------------------------
+    def _drive(self, executor: Executor) -> None:
+        n = len(self._results)
+        while self._done < n and not executor.collapsed:
+            if not executor.has_pending():
+                break
+            for ev in executor.poll(_TICK):
+                self._handle_event(executor, ev)
+
+    def _handle_event(self, executor: Executor, ev: object) -> None:
+        if isinstance(ev, TrialDone):
+            if ev.ok:
+                self._success(ev.index, ev.payload)
             else:
-                self._success(index, trial)
+                kind, detail = ev.payload
+                self._failure(ev.index, FailureKind(kind), detail)
+        elif isinstance(ev, ShardLost):
+            self._reassign(executor, ev)
+        elif isinstance(ev, SupervisionEvent):
+            self._supervise(ev)
 
-    # ------------------------------------------------------------------
-    # Pool backend: supervised worker processes.
-    # ------------------------------------------------------------------
-    def _run_pool(self, jobs: List[tuple]) -> None:
-        ctx = _mp_context()
-        if self._batches_q is not None:
-            # the pool dispatches from the batch deques; the flat queue
-            # only carries retries from here on
-            self._queue = deque()
-        workers = [self._spawn(ctx, fresh=False) for _ in range(self.workers)]
-        try:
-            while True:
-                active = [w for w in workers if not w.retired]
-                if not active:
-                    break  # pool fully collapsed; run() falls back serial
-                if not (self._work_remaining(active)
-                        or any(w.inflight for w in active)):
-                    break
-                for w in active:
-                    self._dispatch(ctx, w, jobs)
-                busy = {w.conn: w for w in active
-                        if w.inflight and not w.retired}
-                if not busy:
-                    # nothing in flight (e.g. every queued retry is
-                    # still backing off) — idle one tick, don't spin
-                    time.sleep(_TICK)
-                    continue
-                for conn in _conn_wait(list(busy), timeout=_TICK):
-                    w = busy[conn]
-                    try:
-                        index, ok, payload = conn.recv()
-                    except (EOFError, OSError):
-                        continue  # crash — the liveness sweep handles it
-                    if w.inflight and w.inflight[0] == index:
-                        w.inflight.popleft()
-                    else:  # pragma: no cover - defensive
-                        try:
-                            w.inflight.remove(index)
-                        except ValueError:
-                            pass
-                    # the next prefetched trial starts immediately, so
-                    # its watchdog clock starts now
-                    w.deadline = (
-                        time.monotonic() + self.timeout + self.kill_grace
-                        if self.timeout is not None and w.inflight else None
-                    )
-                    if ok:
-                        self._success(index, payload)
-                    else:
-                        kind, detail = payload
-                        self._failure(index, FailureKind(kind), detail)
-                now = time.monotonic()
-                for w in active:
-                    if w.retired or not w.inflight:
-                        continue
-                    if not w.proc.is_alive():
-                        head = w.inflight.popleft()
-                        self._reclaim(w)
-                        self._failure(
-                            head, FailureKind.WORKER_CRASH,
-                            f"worker died with exit code {w.proc.exitcode}",
-                        )
-                        self._respawn(ctx, w)
-                    elif w.deadline is not None and now > w.deadline:
-                        timeout = self.timeout
-                        kill = getattr(w.proc, "kill", w.proc.terminate)
-                        kill()
-                        w.proc.join(5.0)
-                        head = w.inflight.popleft()
-                        if self.observer is not None:
-                            self.observer.metrics.inc(
-                                "repro_watchdog_kills_total")
-                            self.observer.event("watchdog_kill", trial=head,
-                                                timeout_s=timeout)
-                        self._reclaim(w)
-                        self._failure(
-                            head, FailureKind.TIMEOUT,
-                            f"trial exceeded its {timeout}s wall-clock "
-                            f"watchdog; worker killed",
-                        )
-                        self._respawn(ctx, w)
-        finally:
-            self._shutdown(workers)
+    def _reassign(self, executor: Executor, ev: ShardLost) -> None:
+        """Hand a dead worker's unstarted trials to the survivors.
 
-    def _work_remaining(self, workers: List[_Worker]) -> bool:
-        return (bool(self._queue)
-                or bool(self._batches_q)
-                or any(w.batch for w in workers))
-
-    def _next_index(self, w: _Worker) -> Optional[int]:
-        """Next trial for this worker: its batch, a new batch, a retry."""
-        if w.batch:
-            return w.batch.popleft()
-        while self._batches_q:
-            batch = self._batches_q.popleft()
-            if batch:
-                w.batch = batch
-                return w.batch.popleft()
-        if self._queue:
-            # retries carry a backoff stamp; rotate ineligible ones to
-            # the back rather than busy-waiting on the first
-            now = time.monotonic()
-            for _ in range(len(self._queue)):
-                index = self._queue.popleft()
-                if self._not_before.get(index, 0.0) <= now:
-                    return index
-                self._queue.append(index)
-        return None
-
-    def _reclaim(self, w: _Worker) -> None:
-        """Return undispatched work of a dead worker to the global queues.
-
-        Prefetched trials (everything behind the in-flight head) never
-        started executing, so they are requeued without a failure mark;
-        the worker's remaining batch goes back to the batch queue so its
-        snapshot locality is preserved.
+        The trials never began executing, so they carry no failure mark
+        and no retry-budget charge — the shard just runs elsewhere,
+        preserving its in-shard (epoch-ascending) order.
         """
-        while w.inflight:
-            self._queue.appendleft(w.inflight.pop())
-        if w.batch:
-            if self._batches_q is not None:
-                self._batches_q.appendleft(w.batch)
-            else:  # pragma: no cover - batch implies batching enabled
-                self._queue.extend(w.batch)
-            w.batch = deque()
-
-    def _spawn(self, ctx, fresh: bool) -> _Worker:
-        parent_conn, child_conn = ctx.Pipe()
-        # a chaos-injected hang must outlast the watchdog to prove the
-        # supervisor recovers; with no watchdog, hangs are never injected
-        hang_s = (self.timeout + self.kill_grace + 30.0
-                  if self.timeout is not None else 0.0)
-        proc = ctx.Process(
-            target=_pool_worker,
-            args=(child_conn, self.task_fn, fresh, hang_s),
-            daemon=True,
-        )
-        proc.start()
-        child_conn.close()
-        return _Worker(proc, parent_conn)
-
-    def _respawn(self, ctx, w: _Worker) -> None:
-        try:
-            w.conn.close()
-        except OSError:  # pragma: no cover - defensive
-            pass
-        self._respawn_budget -= 1
-        if self._respawn_budget <= 0:
-            self._retire(w)
+        remaining = tuple(i for i in ev.remaining
+                          if self._results[i] is None)
+        if not remaining:
             return
-        replacement = self._spawn(ctx, fresh=True)
-        w.proc, w.conn = replacement.proc, replacement.conn
-        w.inflight.clear()
-        w.deadline = None
-        self._health.worker_respawns += 1
+        self._health.shard_reassignments += 1
+        self._journal_event("shard_reassigned", shard=ev.shard_id,
+                            trials=len(remaining), detail=ev.detail)
         if self.observer is not None:
-            self.observer.metrics.inc("repro_worker_respawns_total")
-            self.observer.event("worker_respawn")
+            self.observer.metrics.inc("repro_shard_reassignments_total")
+            self.observer.event("shard_reassigned", shard=ev.shard_id,
+                                trials=len(remaining))
+        executor.submit_shard(ShardSpec(ev.shard_id, remaining))
 
-    def _retire(self, w: _Worker) -> None:
-        """Degradation-ladder rung: shrink the pool by one slot.
-
-        Workers are dying faster than the respawn budget tolerates —
-        instead of feeding an infinite respawn storm, this slot is
-        permanently removed and its undispatched work requeued.  The
-        budget then resets: each further ``degrade_after`` respawns
-        costs one more slot, until :meth:`_degrade_to_serial`.
-        """
-        w.retired = True
-        w.inflight.clear()
-        w.deadline = None
-        self._reclaim(w)
-        self._respawn_budget = self.degrade_after
-        self._health.pool_shrinks += 1
-        self._health.degradation_events.append({
-            "type": "pool_shrink",
-            "respawns": self._health.worker_respawns,
-        })
-        warnings.warn(
-            f"campaign worker pool shrank by one slot after exhausting "
-            f"its respawn budget ({self.degrade_after} deaths)",
-            stacklevel=2,
-        )
-        if self.observer is not None:
-            self.observer.metrics.inc("repro_pool_degradations_total")
-            self.observer.event("pool_shrink",
+    def _supervise(self, ev: SupervisionEvent) -> None:
+        if ev.kind == "worker_respawn":
+            self._health.worker_respawns += 1
+            if self.observer is not None:
+                self.observer.metrics.inc("repro_worker_respawns_total")
+                self.observer.event("worker_respawn")
+        elif ev.kind == "watchdog_kill":
+            if self.observer is not None:
+                self.observer.metrics.inc("repro_watchdog_kills_total")
+                self.observer.event("watchdog_kill",
+                                    trial=ev.attrs.get("trial"),
+                                    timeout_s=ev.attrs.get("timeout_s"))
+        elif ev.kind == "pool_shrink":
+            self._health.pool_shrinks += 1
+            self._health.degradation_events.append({
+                "type": "pool_shrink",
+                "respawns": self._health.worker_respawns,
+            })
+            self._journal_event("degradation", type="pool_shrink",
                                 respawns=self._health.worker_respawns)
+            budget = ev.attrs.get("degrade_after", self.degrade_after)
+            warnings.warn(
+                f"campaign worker pool shrank by one slot after exhausting "
+                f"its respawn budget ({budget} deaths)",
+                stacklevel=2,
+            )
+            if self.observer is not None:
+                self.observer.metrics.inc("repro_pool_degradations_total")
+                self.observer.event(
+                    "pool_shrink", respawns=self._health.worker_respawns)
 
-    def _degrade_to_serial(self) -> None:
+    def _degrade_to_serial(self, leftover: List[int]) -> None:
         """Last rung: finish the campaign serially in the driver."""
-        if self._batches_q:
-            for batch in self._batches_q:
-                self._queue.extend(batch)
-            self._batches_q = deque()
-        queued = set(self._queue)
+        order = list(leftover)
+        queued = set(order)
         for i, r in enumerate(self._results):
             if r is None and i not in queued:
-                self._queue.append(i)
+                order.append(i)
         self._serial_fallback = True
         self._health.serial_fallback = True
         self._health.degradation_events.append({"type": "serial_fallback"})
+        self._journal_event("degradation", type="serial_fallback")
         warnings.warn(
             "campaign worker pool fully collapsed; finishing the "
             "remaining trials serially in the driver",
@@ -519,60 +400,20 @@ class CampaignEngine:
         if self.observer is not None:
             self.observer.metrics.inc("repro_serial_fallbacks_total")
             self.observer.event("serial_fallback")
-
-    def _dispatch(self, ctx, w: _Worker, jobs: List[tuple]) -> None:
-        """Top the worker up to the prefetch depth."""
-        if w.retired:
-            return
-        if not w.proc.is_alive():
-            if w.inflight:
-                return  # the liveness sweep re-attributes the head trial
-            if not self._work_remaining([w]):
-                return
-            # died between trials (nothing in flight to re-attribute)
-            self._respawn(ctx, w)
-            if w.retired:
-                return
-        while len(w.inflight) < prefetch_depth():
-            index = self._next_index(w)
-            if index is None:
-                return
-            try:
-                w.conn.send((index, jobs[index]))
-            except (BrokenPipeError, OSError):
-                # the pipe closing mid-dispatch means the worker died;
-                # the head trial was executing when it went down, so it
-                # must be attributed like a sweep-detected crash — else
-                # it retries silently, outside the max_retries budget
-                self._queue.appendleft(index)
-                head = w.inflight.popleft() if w.inflight else None
-                self._reclaim(w)
-                if head is not None:
-                    self._failure(
-                        head, FailureKind.WORKER_CRASH,
-                        f"worker died with exit code {w.proc.exitcode}",
-                    )
-                self._respawn(ctx, w)
-                return
-            w.inflight.append(index)
-            if len(w.inflight) == 1 and self.timeout is not None:
-                w.deadline = time.monotonic() + self.timeout + self.kill_grace
-
-    def _shutdown(self, workers: List[_Worker]) -> None:
-        for w in workers:
-            try:
-                w.conn.send(None)
-            except (BrokenPipeError, OSError):
-                pass
-        for w in workers:
-            w.proc.join(1.0)
-            if w.proc.is_alive():
-                getattr(w.proc, "kill", w.proc.terminate)()
-                w.proc.join(1.0)
-            try:
-                w.conn.close()
-            except OSError:  # pragma: no cover - defensive
-                pass
+        fallback = SerialExecutor()
+        fallback.start(self._jobs_ref, task_fn=self.task_fn,
+                       timeout=self.timeout, kill_grace=self.kill_grace)
+        self._active = fallback
+        try:
+            for i in order:
+                fallback.submit_shard(ShardSpec(
+                    self._shard_of.get(i, 0), (i,),
+                    not_before=self._not_before.get(i, 0.0),
+                    retry=i in self._retries,
+                ))
+            self._drive(fallback)
+        finally:
+            fallback.close()
 
     # ------------------------------------------------------------------
     # Shared bookkeeping
@@ -613,7 +454,10 @@ class CampaignEngine:
             # seeded exponential backoff with jitter before re-dispatch
             self._not_before[index] = time.monotonic() + \
                 self.retry_policy.delay(failures - 1, token=f"trial:{index}")
-            self._queue.append(index)
+            self._active.submit_shard(ShardSpec(
+                self._shard_of.get(index, 0), (index,),
+                not_before=self._not_before[index], retry=True,
+            ))
 
     def _record(self, index: int, trial: TrialResult) -> None:
         self._results[index] = trial
@@ -625,14 +469,27 @@ class CampaignEngine:
         if self.journal is not None:
             j0 = time.perf_counter()
             try:
-                self.journal.append_trial(index, trial)
+                self.journal.append_trial(
+                    index, trial, shard=self._shard_of.get(index))
             except OSError as exc:
                 self._disable_journal(exc)
             journal_s = time.perf_counter() - j0
         if self.observer is not None:
+            if self._health.shards > 1:
+                self.observer.metrics.inc(
+                    "repro_shard_trials_total",
+                    shard=str(self._shard_of.get(index, 0)))
             self.observer.record_trial(index, trial, journal_s)
         if self.progress is not None:
             self.progress(self._done, len(self._results))
+
+    def _journal_event(self, kind: str, **attrs) -> None:
+        if self.journal is None:
+            return
+        try:
+            self.journal.append_event(kind, **attrs)
+        except OSError as exc:
+            self._disable_journal(exc)
 
     def _disable_journal(self, exc: BaseException) -> None:
         """Degradation-ladder rung: a persistently failing journal is
@@ -690,6 +547,8 @@ def resume_campaign(
     progress: Optional[Callable[[int, int], None]] = None,
     artifact_dir=None,
     observe=None,
+    executor: Union[None, str, Executor] = None,
+    shards: Optional[int] = None,
 ) -> CampaignResult:
     """Finish an interrupted journaled campaign.
 
@@ -703,7 +562,10 @@ def resume_campaign(
     (None: reuse what the campaign recorded).  ``observe`` follows
     :func:`repro.inject.campaign.run_campaign` — observation covers the
     trials executed by the resume (restored trials contribute outcome
-    counters only), and never changes any trial outcome.
+    counters only), and never changes any trial outcome.  ``executor``
+    and ``shards`` pick the backend finishing the campaign — any
+    backend resumes any journal, because the remaining jobs re-derive
+    identically regardless of who ran the completed ones.
     """
     chaos.activate()
     quarantined_before = len(_artifacts.QUARANTINE_LOG)
@@ -781,6 +643,8 @@ def resume_campaign(
         progress=progress,
         batches=batches,
         observer=observer,
+        executor=executor,
+        shards=shards,
     )
     try:
         results, health = engine.run(

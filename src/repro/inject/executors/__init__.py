@@ -1,0 +1,76 @@
+"""Pluggable campaign execution backends.
+
+One :class:`~repro.inject.executors.base.Executor` contract, three
+backends: in-driver serial, the supervised local ``multiprocessing``
+pool, and the simulated-remote controller/worker fabric over localhost
+sockets.  The campaign controller (:mod:`repro.inject.engine`) is
+backend-agnostic — it plans shards, streams events, and owns every
+piece of retry/quarantine/journal/degradation policy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...errors import CampaignError
+from .base import (
+    Executor,
+    ExecutorCapabilities,
+    ShardLost,
+    ShardSpec,
+    SupervisionEvent,
+    TrialDone,
+)
+
+#: the --executor / REPRO_EXECUTOR vocabulary
+EXECUTOR_NAMES = ("serial", "pool", "remote")
+
+
+def resolve_executor_name(requested: Optional[str], workers: int) -> str:
+    """Backend name: explicit argument, else REPRO_EXECUTOR, else by
+    worker count (``serial`` for one worker, ``pool`` for more)."""
+    from ...core.settings import current_settings
+
+    name = requested
+    if name is None:
+        name = current_settings().executor
+    if name is None:
+        return "serial" if workers <= 1 else "pool"
+    if name not in EXECUTOR_NAMES:
+        raise CampaignError(
+            f"unknown executor {name!r}; expected one of "
+            f"{', '.join(EXECUTOR_NAMES)}"
+        )
+    return name
+
+
+def make_executor(name: str, *, workers: int, shards: int,
+                  degrade_after: int) -> Executor:
+    """Instantiate a backend by name (lazy imports keep cycles out)."""
+    if name == "serial":
+        from .local import SerialExecutor
+        return SerialExecutor()
+    if name == "pool":
+        from .local import LocalPoolExecutor
+        return LocalPoolExecutor(max(workers, 1),
+                                 degrade_after=degrade_after)
+    if name == "remote":
+        from .remote import RemoteExecutor
+        return RemoteExecutor(max(shards, 1), degrade_after=degrade_after)
+    raise CampaignError(
+        f"unknown executor {name!r}; expected one of "
+        f"{', '.join(EXECUTOR_NAMES)}"
+    )
+
+
+__all__ = [
+    "EXECUTOR_NAMES",
+    "Executor",
+    "ExecutorCapabilities",
+    "ShardLost",
+    "ShardSpec",
+    "SupervisionEvent",
+    "TrialDone",
+    "make_executor",
+    "resolve_executor_name",
+]

@@ -1,0 +1,391 @@
+"""Simulated-remote backend: controller/worker split over sockets.
+
+The controller side of the :mod:`repro.inject.fabric` protocol.  The
+executor binds a ``multiprocessing.connection.Listener`` on a real
+localhost TCP socket, launches one worker daemon per shard slot
+(:func:`repro.inject.fabric.worker_main`), and ships each submitted
+shard — ordered trial indices plus the content-addressed golden
+artifact reference — to the least-loaded live daemon.  Completed trials
+stream back one message each and surface as
+:class:`~repro.inject.executors.base.TrialDone` events; everything
+campaign-level (retry taxonomy, journal, health) stays with the
+controller.
+
+Failure handling mirrors the local pool's ladder, adapted to shards: a
+dead or watchdog-expired daemon's *executing* trial is reported as a
+failed ``TrialDone`` (it goes through retry/quarantine), while the
+never-started remainder of its shards comes back as
+:class:`~repro.inject.executors.base.ShardLost` events that the
+controller reassigns cleanly to surviving daemons.  Daemon deaths burn
+the same respawn budget: exhaustion retires the slot (``pool_shrink``),
+and a fully retired fabric reports :attr:`~RemoteExecutor.collapsed`
+so the controller finishes serially in the driver.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from multiprocessing.connection import Listener
+from multiprocessing.connection import wait as _conn_wait
+from typing import Deque, List, Optional, Tuple
+
+from ...errors import CampaignError, FailureKind
+from .. import fabric
+from .base import (
+    Executor,
+    ExecutorCapabilities,
+    ShardLost,
+    ShardSpec,
+    SupervisionEvent,
+    TrialDone,
+)
+from .local import _KILL_GRACE, _mp_context
+
+
+class _Daemon:
+    """Controller-side handle of one worker daemon."""
+
+    __slots__ = ("proc", "conn", "worker_id", "shards", "deadline",
+                 "retired")
+
+    def __init__(self, proc, conn, worker_id: int) -> None:
+        self.proc = proc
+        self.conn = conn
+        self.worker_id = worker_id
+        #: dispatched shards, FIFO: (shard_id, deque of remaining trial
+        #: indices).  The head shard's head index is the trial executing.
+        self.shards: Deque[Tuple[int, Deque[int]]] = deque()
+        #: monotonic instant after which the controller kills the daemon
+        #: (covers the head executing trial)
+        self.deadline: Optional[float] = None
+        self.retired = False
+
+    def pending(self) -> int:
+        return sum(len(q) for _, q in self.shards)
+
+    def head_index(self) -> Optional[int]:
+        for _, q in self.shards:
+            if q:
+                return q[0]
+        return None
+
+
+class RemoteExecutor(Executor):
+    """Shard-granular execution on localhost-spawned worker daemons.
+
+    ``shards`` is the daemon count (one shard slot each).  ``artifact``
+    optionally carries the content-addressed golden reference shipped
+    with every shard so daemons fetch/verify shared state instead of
+    re-profiling (see :func:`repro.inject.fabric.fetch_artifact`).
+    """
+
+    name = "remote"
+
+    def __init__(self, shards: int, *, degrade_after: int = 4,
+                 artifact: Optional[tuple] = None) -> None:
+        if shards < 1:
+            raise CampaignError(f"shards must be >= 1, got {shards}")
+        self.n_workers = shards
+        self.degrade_after = degrade_after
+        self.artifact = artifact
+        self._respawn_budget = degrade_after
+        self._ctx = None
+        self._listener: Optional[Listener] = None
+        self._authkey: bytes = b""
+        self._daemons: List[_Daemon] = []
+        self._next_worker_id = 0
+        self._jobs: List[tuple] = []
+        self._task_fn = None
+        self.timeout: Optional[float] = None
+        self.kill_grace = _KILL_GRACE
+        #: retry shards awaiting their backoff stamp (not_before, shard)
+        self._retry_q: List[Tuple[float, ShardSpec]] = []
+        #: shards submitted while no daemon was live (drained by the
+        #: controller's serial fallback after a collapse)
+        self._backlog: Deque[ShardSpec] = deque()
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self, jobs, *, task_fn, timeout=None,
+              kill_grace: float = _KILL_GRACE) -> None:
+        self._jobs = jobs
+        self._task_fn = task_fn
+        self.timeout = timeout
+        self.kill_grace = kill_grace
+        self._ctx = _mp_context()
+        self._authkey = os.urandom(16)
+        self._listener = Listener(("127.0.0.1", 0), authkey=self._authkey)
+        sock = getattr(getattr(self._listener, "_listener", None),
+                       "_socket", None)
+        if sock is not None:
+            sock.settimeout(fabric.HANDSHAKE_TIMEOUT)
+        self._daemons = [self._spawn(fresh=False)
+                         for _ in range(self.n_workers)]
+        self._started = True
+
+    def close(self) -> None:
+        for d in self._daemons:
+            try:
+                d.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for d in self._daemons:
+            d.proc.join(1.0)
+            if d.proc.is_alive():
+                getattr(d.proc, "kill", d.proc.terminate)()
+                d.proc.join(1.0)
+            try:
+                d.conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+        self._daemons = []
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+            self._listener = None
+
+    def cancel(self) -> None:
+        for d in self._daemons:
+            if d.proc.is_alive():
+                getattr(d.proc, "kill", d.proc.terminate)()
+                d.proc.join(1.0)
+            try:
+                d.conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+        self._daemons = []
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+            self._listener = None
+
+    # -- contract ------------------------------------------------------
+    def submit_shard(self, shard: ShardSpec) -> None:
+        if shard.retry and shard.not_before > time.monotonic():
+            self._retry_q.append((shard.not_before, shard))
+            return
+        self._dispatch_shard(shard)
+
+    def poll(self, timeout: float) -> List[object]:
+        events: List[object] = []
+        # retry shards whose backoff expired become dispatchable
+        if self._retry_q:
+            now = time.monotonic()
+            due = [s for nb, s in self._retry_q if nb <= now]
+            self._retry_q = [(nb, s) for nb, s in self._retry_q if nb > now]
+            for shard in due:
+                self._dispatch_shard(shard)
+        live = [d for d in self._daemons if not d.retired]
+        if not live:
+            return events
+        busy = {d.conn: d for d in live if d.shards}
+        if not busy:
+            time.sleep(timeout)
+            return events
+        for conn in _conn_wait(list(busy), timeout=timeout):
+            d = busy[conn]
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                continue  # death — the liveness sweep handles it
+            self._on_message(d, msg, events)
+        now = time.monotonic()
+        for d in live:
+            if d.retired or not d.shards:
+                continue
+            if not d.proc.is_alive():
+                self._on_daemon_death(
+                    d, events,
+                    FailureKind.WORKER_CRASH,
+                    f"worker daemon died with exit code {d.proc.exitcode}",
+                )
+            elif d.deadline is not None and now > d.deadline:
+                timeout_s = self.timeout
+                getattr(d.proc, "kill", d.proc.terminate)()
+                d.proc.join(5.0)
+                events.append(SupervisionEvent(
+                    "watchdog_kill",
+                    {"trial": d.head_index(), "timeout_s": timeout_s}))
+                self._on_daemon_death(
+                    d, events,
+                    FailureKind.TIMEOUT,
+                    f"trial exceeded its {timeout_s}s wall-clock "
+                    f"watchdog; worker daemon killed",
+                )
+        return events
+
+    def capabilities(self) -> ExecutorCapabilities:
+        return ExecutorCapabilities(
+            name=self.name, distributed=True, max_shards=self.n_workers,
+            hard_watchdog=True, in_driver=False,
+        )
+
+    @property
+    def collapsed(self) -> bool:
+        return self._started and all(d.retired for d in self._daemons)
+
+    def has_pending(self) -> bool:
+        return (bool(self._retry_q)
+                or bool(self._backlog)
+                or any(d.shards for d in self._daemons))
+
+    def drain_unfinished(self) -> List[int]:
+        """Undelivered trial indices (for the serial fallback)."""
+        out: List[int] = []
+        for shard in self._backlog:
+            out.extend(shard.indices)
+        self._backlog.clear()
+        for _, shard in self._retry_q:
+            out.extend(shard.indices)
+        self._retry_q = []
+        for d in self._daemons:
+            for _, q in d.shards:
+                out.extend(q)
+            d.shards.clear()
+        return out
+
+    # -- internals -----------------------------------------------------
+    def _spawn(self, fresh: bool) -> _Daemon:
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        hang_s = (self.timeout + self.kill_grace + 30.0
+                  if self.timeout is not None else 0.0)
+        proc = self._ctx.Process(
+            target=fabric.worker_main,
+            args=(self._listener.address, self._authkey, worker_id,
+                  self._task_fn, fresh, hang_s),
+            daemon=True,
+        )
+        proc.start()
+        try:
+            conn = self._listener.accept()
+            if not conn.poll(fabric.HANDSHAKE_TIMEOUT):
+                raise EOFError("no hello from worker daemon")
+            tag, got_id = conn.recv()
+            if tag != "hello":  # pragma: no cover - protocol guard
+                raise EOFError(f"bad handshake {tag!r}")
+        except (OSError, EOFError) as exc:
+            getattr(proc, "kill", proc.terminate)()
+            raise CampaignError(
+                f"worker daemon {worker_id} failed to connect: {exc}"
+            ) from exc
+        return _Daemon(proc, conn, got_id)
+
+    def _dispatch_shard(self, shard: ShardSpec) -> None:
+        live = [d for d in self._daemons if not d.retired]
+        if not live:
+            self._backlog.append(shard)
+            return
+        # least-loaded live daemon; ties go to the lowest worker id so
+        # the assignment is deterministic for a deterministic plan
+        target = min(live, key=lambda d: (d.pending(), d.worker_id))
+        trials = [(i, self._jobs[i]) for i in shard.indices]
+        try:
+            target.conn.send(("shard", shard.shard_id, self.artifact,
+                              trials))
+        except (BrokenPipeError, OSError):
+            # daemon died before the send; requeue and let the liveness
+            # sweep take care of the body count
+            self._backlog.append(shard)
+            return
+        was_idle = not target.shards
+        target.shards.append((shard.shard_id, deque(shard.indices)))
+        if was_idle and self.timeout is not None:
+            target.deadline = (time.monotonic() + self.timeout
+                               + self.kill_grace)
+
+    def _on_message(self, d: _Daemon, msg, events: List[object]) -> None:
+        tag = msg[0]
+        if tag == "result":
+            _, shard_id, index, ok, payload = msg
+            for sid, q in d.shards:
+                if sid == shard_id and q and q[0] == index:
+                    q.popleft()
+                    break
+            else:  # pragma: no cover - defensive
+                for sid, q in d.shards:
+                    if sid == shard_id and index in q:
+                        q.remove(index)
+                        break
+            while d.shards and not d.shards[0][1]:
+                d.shards.popleft()
+            # the daemon moves straight to its next trial, so the
+            # watchdog clock restarts now
+            d.deadline = (
+                time.monotonic() + self.timeout + self.kill_grace
+                if self.timeout is not None and d.shards else None
+            )
+            events.append(TrialDone(shard_id, index, ok, payload))
+        elif tag == "shard_done":
+            _, shard_id = msg
+            for entry in list(d.shards):
+                if entry[0] == shard_id and not entry[1]:
+                    d.shards.remove(entry)
+                    break
+
+    def _on_daemon_death(self, d: _Daemon, events: List[object],
+                         kind: FailureKind, detail: str) -> None:
+        """Attribute the executing trial, hand back the rest, respawn.
+
+        The head trial was in flight when the daemon went down — it is
+        reported as a failure so it rides the controller's
+        retry/quarantine taxonomy.  Every other queued trial never
+        started: each affected shard surfaces as a :class:`ShardLost`
+        for the controller to reassign without a failure mark.
+        """
+        # Drain completions still sitting in the socket buffer: a daemon
+        # that finished trial N, streamed its result, then died starting
+        # trial N+1 must be charged for N+1, not N — dropping the
+        # buffered result would lose a finished trial and double-charge
+        # its retry budget.
+        try:
+            while d.conn.poll(0):
+                self._on_message(d, d.conn.recv(), events)
+        except (EOFError, OSError):
+            pass
+        head = d.head_index()
+        shards, d.shards = d.shards, deque()
+        d.deadline = None
+        if head is not None:
+            events.append(TrialDone(shards[0][0], head, False,
+                                    (kind.value, detail)))
+        for sid, q in shards:
+            remaining = tuple(i for i in q if i != head)
+            if remaining:
+                events.append(ShardLost(sid, remaining, detail))
+        self._respawn(d, events)
+
+    def _respawn(self, d: _Daemon, events: List[object]) -> None:
+        try:
+            d.conn.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+        self._respawn_budget -= 1
+        if self._respawn_budget <= 0:
+            self._retire(d, events)
+            return
+        try:
+            replacement = self._spawn(fresh=True)
+        except CampaignError:
+            self._retire(d, events)
+            return
+        d.proc, d.conn, d.worker_id = (
+            replacement.proc, replacement.conn, replacement.worker_id)
+        events.append(SupervisionEvent("worker_respawn"))
+
+    def _retire(self, d: _Daemon, events: List[object]) -> None:
+        d.retired = True
+        d.deadline = None
+        for sid, q in d.shards:
+            if q:  # pragma: no cover - death path already drained these
+                events.append(ShardLost(sid, tuple(q), "slot retired"))
+        d.shards.clear()
+        self._respawn_budget = self.degrade_after
+        events.append(SupervisionEvent(
+            "pool_shrink", {"degrade_after": self.degrade_after}))

@@ -1,0 +1,125 @@
+"""Controller/worker fabric for distributed campaign execution.
+
+This module is the wire half of
+:class:`~repro.inject.executors.remote.RemoteExecutor`: the message
+protocol spoken between the campaign controller and its worker daemons,
+plus the daemon main loop.  The transport is a real localhost TCP
+socket (``multiprocessing.connection.Listener`` /
+:func:`~multiprocessing.connection.Client` on ``127.0.0.1``, HMAC
+handshake via ``authkey``) — the same split would run across hosts by
+binding a routable address and launching ``worker_main`` there.
+
+Protocol (pickled tuples, controller-side listener):
+
+* daemon → controller: ``("hello", worker_id)`` — sent once right
+  after connecting; the controller maps the connection to its slot.
+* controller → daemon: ``("shard", shard_id, artifact, trials)`` —
+  one shard of work.  ``artifact`` is the content-addressed golden
+  reference ``(app, params_key, mode, snapshot_stride, artifact_dir)``;
+  the daemon fetches and verifies the golden profile/snapshots from
+  the shared ``artifact_dir`` before its first trial (the controller
+  never ships golden state, only the reference).  ``trials`` is the
+  ordered list of ``(index, job)`` pairs.
+* controller → daemon: ``("stop",)`` or ``None`` — drain and exit.
+* daemon → controller: ``("result", shard_id, index, ok, payload)`` —
+  one finished trial, streamed as soon as it completes; ``payload``
+  is a TrialResult when ``ok`` else ``(FailureKind value, detail)``.
+* daemon → controller: ``("shard_done", shard_id)`` — every trial of
+  the shard has been reported.
+
+Daemons execute a shard's trials strictly in order — shards are
+epoch-bucket-aligned (:func:`repro.inject.campaign.plan_shards`), so a
+daemon's shared golden cursor advances monotonically exactly as a local
+pool worker's does.  The chaos layer is armed in the daemon too
+(decisions are pure hashes of the chaos seed and trial index, so *which*
+trials die is independent of which process runs them — the property the
+cross-backend bit-identity suite leans on).
+"""
+
+from __future__ import annotations
+
+from multiprocessing.connection import Client
+from typing import Optional, Tuple
+
+from ..errors import FailureKind, TrialTimeoutError
+from . import chaos
+
+#: seconds a connecting daemon (and the controller accepting it) will
+#: wait for the other end before giving up
+HANDSHAKE_TIMEOUT = 30.0
+
+
+def fetch_artifact(artifact: Optional[Tuple]) -> None:
+    """Fetch/verify the golden reference into this daemon's cache.
+
+    ``artifact`` is ``(app, params_key, mode, snapshot_stride,
+    artifact_dir)`` as shipped in a shard message.  Loading goes through
+    :func:`repro.inject.campaign._prepared`, which reads the
+    content-addressed golden artifact from ``artifact_dir`` (verifying
+    its payload hash) instead of re-profiling — so a daemon joining
+    mid-campaign warms up from shared state, not from scratch.  A daemon
+    without an artifact directory profiles locally, exactly like a cold
+    pool worker.
+    """
+    if artifact is None:
+        return
+    from . import campaign as _campaign
+
+    app, params_key, mode, stride, art_dir = artifact
+    _campaign._prepared(app, tuple(params_key), mode, stride, art_dir)
+
+
+def worker_main(address, authkey: bytes, worker_id: int, task_fn,
+                fresh: bool, chaos_hang_s: float = 0.0) -> None:
+    """Daemon main loop: connect back, execute shards, stream results.
+
+    ``fresh`` daemons (respawned after a crash or watchdog kill) clear
+    the inherited prepared-app cache first, like respawned pool workers:
+    the previous incarnation may have died *because* of corrupted cached
+    state.  When chaos is armed, each trial may kill or wedge the daemon
+    first — ``chaos_hang_s`` outlasts the controller's watchdog so a
+    hang is always recoverable (0 when no watchdog is set: a hang nobody
+    can recover is never injected).
+    """
+    from . import campaign as _campaign
+
+    if fresh:
+        _campaign._PREPARED_CACHE.clear()
+    monkey = chaos.monkey()
+    try:
+        conn = Client(address, authkey=authkey)
+    except (OSError, EOFError):  # controller already gone
+        return
+    try:
+        conn.send(("hello", worker_id))
+        while True:
+            msg = conn.recv()
+            if msg is None or msg[0] == "stop":
+                return
+            if msg[0] != "shard":  # pragma: no cover - protocol guard
+                continue
+            _, shard_id, artifact, trials = msg
+            fetch_artifact(artifact)
+            for index, job in trials:
+                if monkey is not None:
+                    monkey.maybe_kill_worker(index)
+                    monkey.maybe_hang_trial(index, chaos_hang_s)
+                try:
+                    result = task_fn(job)
+                except TrialTimeoutError as exc:
+                    conn.send(("result", shard_id, index, False,
+                               (FailureKind.TIMEOUT.value, str(exc))))
+                except Exception as exc:
+                    conn.send(("result", shard_id, index, False,
+                               (FailureKind.EXCEPTION.value,
+                                f"{type(exc).__name__}: {exc}")))
+                else:
+                    conn.send(("result", shard_id, index, True, result))
+            conn.send(("shard_done", shard_id))
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass
+    finally:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - defensive
+            pass

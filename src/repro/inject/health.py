@@ -23,6 +23,14 @@ class CampaignHealth:
     #: workers the caller asked for (may exceed effective_workers for
     #: tiny campaigns, which run serially)
     requested_workers: int = 1
+    #: execution backend that ran the campaign (serial / pool / remote)
+    executor: str = "serial"
+    #: shards the campaign plan was partitioned into (1 for local
+    #: backends)
+    shards: int = 1
+    #: dead-worker shards handed to surviving workers (remote backend;
+    #: the reassigned trials carry no failure mark)
+    shard_reassignments: int = 0
     #: trial re-executions after a harness failure
     retries: int = 0
     #: trials that hit the per-trial wall-clock watchdog

@@ -17,6 +17,12 @@ length and a CRC-32 of the payload::
 
 so a reader can tell a record that was *written wrong* (torn write,
 bit rot, concurrent scribble) from one that was written correctly.
+Campaign *events* — degradation-ladder rungs, shard reassignments —
+use the same frame with an ``E`` tag; they are observability, not
+science: a missing or torn event line never makes a trial re-execute.
+Trials executed by a distributed backend carry their shard id in the
+payload (``shard``), so a merged journal records which worker daemon
+produced each trial; the field is ignored when re-deriving science.
 Recovery is always forward: a torn final line — the driver died
 mid-write — is truncated and its trial simply re-executes on resume; a
 corrupt interior record is dropped the same way.  Format-1 journals
@@ -28,12 +34,13 @@ inject IO faults here to prove all of this works.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import warnings
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..errors import JournalError, RetryPolicy
 from . import chaos
@@ -43,17 +50,30 @@ _READABLE_FORMATS = (1, 2)
 _JOURNAL_KIND = "repro-campaign-journal"
 
 
-def _encode_trial(index: int, trial) -> str:
+def _frame(tag: str, payload: str) -> str:
+    data = payload.encode()
+    return (f"{tag} {len(data)} "
+            f"{zlib.crc32(data) & 0xFFFFFFFF:08x} {payload}\n")
+
+
+def _encode_trial(index: int, trial, shard: Optional[int] = None) -> str:
     from ..analysis.export import _trial_to_dict
 
-    payload = json.dumps({"index": index, "trial": _trial_to_dict(trial)})
-    data = payload.encode()
-    return f"T {len(data)} {zlib.crc32(data) & 0xFFFFFFFF:08x} {payload}\n"
+    entry = {"index": index, "trial": _trial_to_dict(trial)}
+    if shard is not None:
+        entry["shard"] = shard
+    return _frame("T", json.dumps(entry))
 
 
-def _decode_frame(line: str) -> Optional[str]:
+def _encode_event(kind: str, attrs: dict) -> str:
+    entry = {"event": kind}
+    entry.update(attrs)
+    return _frame("E", json.dumps(entry))
+
+
+def _decode_frame(line: str, tag: str = "T") -> Optional[str]:
     """Validated payload of one framed record line, or None (corrupt)."""
-    if not line.startswith("T "):
+    if not line.startswith(tag + " "):
         return None
     head, _, rest = line[2:].partition(" ")
     crc_hex, _, payload = rest.partition(" ")
@@ -75,18 +95,34 @@ def _decode_frame(line: str) -> Optional[str]:
 class JournalRecovery:
     """What :func:`read_journal_ex` had to tolerate to load a journal."""
 
-    #: the final line was partially written (driver died mid-write) and
-    #: its trial will be re-executed
+    #: the final line was a partially written *trial* record (driver
+    #: died mid-write) and its trial will be re-executed
     torn_tail: bool = False
     #: interior records dropped for failing their length/CRC frame
     corrupt_records: int = 0
     #: records superseded by a later line for the same trial index
     duplicate_records: int = 0
+    #: the final line was a partially written *event* record — nothing
+    #: re-executes (events are observability, not science)
+    torn_event_tail: bool = False
+    #: campaign event records (``E`` frames), in journal order
+    events: List[dict] = field(default_factory=list)
 
     @property
     def dropped(self) -> int:
         """Trial records lost to corruption (each re-executes on resume)."""
         return self.corrupt_records + (1 if self.torn_tail else 0)
+
+
+def _tail_tag(path: Union[str, Path]) -> Optional[str]:
+    """Record tag (``T``/``E``) of an unterminated final line, if any."""
+    blob = Path(path).read_bytes()
+    if not blob or blob.endswith(b"\n"):
+        return None
+    cut = blob.rfind(b"\n") + 1
+    if cut == 0:
+        return None
+    return blob[cut:cut + 1].decode("ascii", errors="replace")
 
 
 def repair_tail(path: Union[str, Path]) -> int:
@@ -146,13 +182,23 @@ class CampaignJournal:
         path = Path(path)
         if not path.exists():
             raise JournalError(f"no campaign journal at {path}")
+        torn_tag = _tail_tag(path)
         dropped = repair_tail(path)
         if dropped:
-            warnings.warn(
-                f"{path}: truncated a torn final journal line "
-                f"({dropped} bytes); its trial will be re-executed",
-                stacklevel=2,
-            )
+            if torn_tag == "E":
+                # a torn *event* record loses observability only — no
+                # trial was in that line, so nothing re-executes
+                warnings.warn(
+                    f"{path}: truncated a torn final event record "
+                    f"({dropped} bytes); no trial is affected",
+                    stacklevel=2,
+                )
+            else:
+                warnings.warn(
+                    f"{path}: truncated a torn final journal line "
+                    f"({dropped} bytes); its trial will be re-executed",
+                    stacklevel=2,
+                )
         return cls(path, path.open("a"))
 
     # ------------------------------------------------------------------
@@ -161,8 +207,9 @@ class CampaignJournal:
             self._policy = RetryPolicy.from_settings()
         return self._policy
 
-    def append_trial(self, index: int, trial) -> None:
-        line = _encode_trial(index, trial)
+    def append_trial(self, index: int, trial,
+                     shard: Optional[int] = None) -> None:
+        line = _encode_trial(index, trial, shard)
         m = chaos.monkey()
         if m is not None and m.journal_tear(index):
             # simulate the driver dying mid-write: flush a prefix of the
@@ -191,6 +238,28 @@ class CampaignJournal:
 
         self._retry_policy().call(
             _write, token=f"journal:{index}", on_retry=_on_retry)
+
+    def append_event(self, kind: str, **attrs) -> None:
+        """Record a campaign event (degradation rung, shard handoff).
+
+        Events are observability, not science: readers surface them in
+        the recovery report, and a torn or missing event never causes a
+        trial to re-execute on resume.
+        """
+        line = _encode_event(kind, attrs)
+
+        def _write() -> None:
+            if self._needs_newline:
+                self._fh.write("\n")
+                self._needs_newline = False
+            self._fh.write(line)
+            self._fh.flush()
+
+        def _on_retry(exc, attempt, delay) -> None:
+            self.io_retries += 1
+
+        self._retry_policy().call(
+            _write, token=f"journal-event:{kind}", on_retry=_on_retry)
 
     def close(self) -> None:
         if self._fh is not None:
@@ -257,6 +326,23 @@ def read_journal_ex(path: Union[str, Path]
                     recovery.corrupt_records += 1
                 continue
         else:
+            if line.startswith("E"):
+                # campaign event record: observability, never science.
+                # A torn final event line is the satellite bugfix case —
+                # it must NOT read as a lost trial, or a resume would
+                # pointlessly warn and re-run the last completed trial.
+                payload = _decode_frame(line, "E")
+                if payload is None:
+                    if is_tail:
+                        recovery.torn_event_tail = True
+                    continue
+                try:
+                    event = json.loads(payload)
+                except json.JSONDecodeError:  # pragma: no cover
+                    continue
+                if isinstance(event, dict):
+                    recovery.events.append(event)
+                continue
             payload = _decode_frame(line)
             if payload is None:
                 if is_tail:
@@ -299,3 +385,39 @@ def read_journal(path: Union[str, Path]) -> Tuple[dict, Dict[int, object]]:
     """
     header, trials, _ = read_journal_ex(path)
     return header, trials
+
+
+#: trial fields excluded from the science hash: wall-clock artefacts
+#: (timings), scheduling artefacts (retries, which shard/backend ran
+#: the trial) and execution-strategy bookkeeping (pruning/forking
+#: cycles) — everything :func:`repro.inject.campaign.trial_results_equal`
+#: ignores, plus the harness retry count
+_NON_SCIENCE_FIELDS = (
+    "stage_timings", "cml_stream", "obs", "pruned_at_cycle",
+    "forked_at_cycle", "pages_copied", "retries",
+)
+
+
+def journal_science_hash(path: Union[str, Path]) -> str:
+    """SHA-256 over a journal's science content, backend-independent.
+
+    Canonicalises every trial (sorted by index, JSON with sorted keys)
+    after stripping the non-science fields, so a campaign journal
+    produced serially, by the local pool, or merged from N remote
+    shards — in any completion order, resumed any number of times —
+    hashes identically iff the trial outcomes are bit-identical.  The
+    CI distributed smoke asserts a 2-shard remote run against serial
+    with exactly this.
+    """
+    from ..analysis.export import _trial_to_dict
+
+    _, trials, _ = read_journal_ex(path)
+    digest = hashlib.sha256()
+    for index in sorted(trials):
+        entry = _trial_to_dict(trials[index])
+        for drop in _NON_SCIENCE_FIELDS:
+            entry.pop(drop, None)
+        digest.update(json.dumps(
+            {"index": index, "trial": entry}, sort_keys=True,
+        ).encode())
+    return digest.hexdigest()

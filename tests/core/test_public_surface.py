@@ -1,0 +1,63 @@
+"""The stable public surface: ``repro.__all__`` and deprecation shims.
+
+Every supported symbol must be importable from the top level, carry a
+docstring, and be mentioned in the README — if it is public, it is
+documented.  Moved engine internals stay importable for one deprecation
+cycle through a module ``__getattr__`` that warns.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+import repro
+
+README = Path(__file__).resolve().parents[2] / "README.md"
+
+PUBLIC = [name for name in repro.__all__ if name != "__version__"]
+
+
+class TestPublicSurface:
+    def test_expected_symbols_present(self):
+        for name in ("Session", "CampaignSpec", "CampaignResult",
+                     "fit_cml_stream", "run_campaign", "resume_campaign"):
+            assert name in repro.__all__
+
+    @pytest.mark.parametrize("name", PUBLIC)
+    def test_symbol_exists_and_has_docstring(self, name):
+        obj = getattr(repro, name)
+        assert (obj.__doc__ or "").strip(), \
+            f"public symbol repro.{name} has no docstring"
+
+    @pytest.mark.parametrize("name", PUBLIC)
+    def test_symbol_appears_in_readme(self, name):
+        assert name in README.read_text(), \
+            f"public symbol repro.{name} is not documented in README.md"
+
+    def test_all_is_sorted_and_duplicate_free(self):
+        assert sorted(repro.__all__) == list(repro.__all__)
+        assert len(set(repro.__all__)) == len(repro.__all__)
+
+
+class TestDeprecationShims:
+    """Engine internals that moved into repro.inject.executors."""
+
+    @pytest.mark.parametrize("name",
+                             ["_pool_worker", "_Worker", "_mp_context"])
+    def test_moved_internal_warns_but_resolves(self, name):
+        from repro.inject import engine
+        with pytest.warns(DeprecationWarning, match="moved"):
+            obj = getattr(engine, name)
+        assert obj is not None
+
+    def test_unknown_attribute_still_raises(self):
+        from repro.inject import engine
+        with pytest.raises(AttributeError):
+            engine.no_such_thing
+
+    def test_static_reexports_do_not_warn(self, recwarn):
+        from repro.inject.engine import _PREFETCH, prefetch_depth  # noqa: F401
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]

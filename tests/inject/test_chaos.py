@@ -138,6 +138,7 @@ class TestDegradationLadder:
     def test_pool_shrinks_then_serial_fallback(self, driver_pid):
         observer = CampaignObserver(ObserveConfig(events=False, cml=False))
         eng = CampaignEngine(workers=2, max_retries=10, degrade_after=1,
+                             executor="pool",
                              task_fn=_die_in_worker_task, observer=observer)
         with warnings.catch_warnings():
             warnings.simplefilter("ignore")
@@ -164,7 +165,7 @@ class TestDegradationLadder:
         monkeypatch.setenv("REPRO_TEST_FLAG_DIR", str(tmp_path))
 
         eng = CampaignEngine(workers=2, max_retries=3, degrade_after=4,
-                             task_fn=_crash_once_task)
+                             executor="pool", task_fn=_crash_once_task)
         results, health = eng.run([(i, "x") for i in range(8)])
         assert [r.cycles for r in results] == list(range(8))
         assert health.worker_crashes == 1
@@ -224,7 +225,7 @@ class TestChaosHang:
         monkeypatch.setenv("REPRO_CHAOS_ARTIFACT", "0")
         chaos.activate()
         eng = CampaignEngine(workers=2, timeout=0.3, kill_grace=0.3,
-                             max_retries=2,
+                             max_retries=2, executor="pool",
                              task_fn=lambda a: _stub_trial(a[0]))
         results, health = eng.run([(i,) for i in range(3)])
         assert [r.cycles for r in results] == [0, 1, 2]
@@ -269,7 +270,7 @@ class TestAcceptanceChaosEndToEnd:
             warnings.simplefilter("ignore")
             chaotic = run_campaign(
                 "matvec", trials=self.N, mode="blackbox", seed=self.SEED,
-                workers=2, timeout=5.0, max_retries=2,
+                workers=2, timeout=5.0, max_retries=2, executor="pool",
                 artifact_dir=tmp_path / "artifacts", journal=journal)
 
         # zero HARNESS_FAILURE trials caused by injected harness faults
@@ -297,7 +298,8 @@ class TestAcceptanceChaosEndToEnd:
         # -- every journal record was torn; resume re-executes them all
         with warnings.catch_warnings():
             warnings.simplefilter("ignore")
-            resumed = resume_campaign(journal, workers=2, max_retries=2)
+            resumed = resume_campaign(journal, workers=2, max_retries=2,
+                                      executor="pool")
         assert resumed.health.journal_recovered_records == self.N
         assert resumed.health.resumed_trials == 0
         # tears are claimed now, so each resume append hits its one

@@ -134,7 +134,7 @@ class TestEngineSupervision:
         assert health.trial_exceptions == 2  # initial + one retry
 
     def test_worker_crash_recovered(self, flag_dir):
-        eng = CampaignEngine(workers=2, max_retries=2,
+        eng = CampaignEngine(workers=2, max_retries=2, executor="pool",
                              task_fn=_scripted_task)
         results, health = eng.run(_jobs(["ok", "ok", "crash-once",
                                          "ok", "ok", "ok"]))
@@ -145,7 +145,8 @@ class TestEngineSupervision:
 
     def test_watchdog_kills_hung_trial(self, flag_dir):
         eng = CampaignEngine(workers=2, timeout=0.3, kill_grace=0.3,
-                             max_retries=2, task_fn=_scripted_task)
+                             max_retries=2, executor="pool",
+                             task_fn=_scripted_task)
         start = time.monotonic()
         results, health = eng.run(_jobs(["ok", "hang-once", "ok", "ok"]))
         assert time.monotonic() - start < 10
@@ -154,7 +155,7 @@ class TestEngineSupervision:
         assert health.worker_respawns >= 1
 
     def test_pool_quarantines_repeat_crasher(self, flag_dir):
-        eng = CampaignEngine(workers=2, max_retries=1,
+        eng = CampaignEngine(workers=2, max_retries=1, executor="pool",
                              task_fn=_scripted_task)
         results, health = eng.run(
             _jobs(["ok", "always-crash", "ok", "ok"]),
@@ -292,14 +293,15 @@ class TestEffectiveWorkers:
 
     def test_parallel_campaign_records_workers(self):
         c = run_campaign("matvec", trials=8, mode="blackbox", seed=1,
-                         workers=2)
+                         workers=2, executor="pool")
         assert c.effective_workers == 2
         assert c.health.wall_time_s > 0
 
     def test_health_in_report(self):
         from repro.analysis import render_health_summary
 
-        c = run_campaign("matvec", trials=5, mode="blackbox", seed=1)
+        c = run_campaign("matvec", trials=5, mode="blackbox", seed=1,
+                         workers=1, executor="serial")
         text = render_health_summary(c.health)
         assert "1 worker(s)" in text
         assert "clean" in text
@@ -432,7 +434,8 @@ class TestAcceptanceChaosCampaign:
         monkeypatch.setattr(engine_mod, "_KILL_GRACE", 0.5)
         monkeypatch.setattr(campaign_mod, "_run_trial", _chaos_run_trial)
         chaotic = run_campaign("matvec", trials=10, mode="blackbox",
-                               seed=77, workers=2, timeout=1.5)
+                               seed=77, workers=2, timeout=1.5,
+                               executor="pool")
         assert chaotic.n_trials == 10
         health = chaotic.health
         assert health.worker_crashes >= 1

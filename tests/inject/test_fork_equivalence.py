@@ -84,7 +84,8 @@ def test_chaos_worker_kill_keeps_epoch_bucket_siblings(
         warnings.simplefilter("ignore")
         chaotic = run_campaign("matvec", trials=N, mode="blackbox",
                                seed=77, workers=2, timeout=5.0,
-                               max_retries=2, snapshot_stride=150)
+                               max_retries=2, snapshot_stride=150,
+                               executor="pool")
 
     health = chaotic.health
     assert health.worker_crashes > 0, "chaos never killed a worker"

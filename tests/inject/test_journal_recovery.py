@@ -156,3 +156,86 @@ class TestFormatOne:
             _, trials, recovery = read_journal_ex(path)
         assert sorted(trials) == [0]
         assert recovery.torn_tail
+
+
+class TestEventFrames:
+    """``E`` frames: campaign events are observability, never science."""
+
+    def _journal_with_event(self, tmp_path, torn_bytes=0):
+        path = tmp_path / "c.jsonl"
+        with CampaignJournal.create(path, {"app_name": "x",
+                                           "n_trials": 3}) as j:
+            for i in range(3):
+                j.append_trial(i, _trial(i))
+            j.append_event("degradation", type="pool_shrink", respawns=2)
+        if torn_bytes:
+            blob = path.read_bytes()
+            path.write_bytes(blob[:-torn_bytes])
+        return path
+
+    def test_events_round_trip(self, tmp_path):
+        path = self._journal_with_event(tmp_path)
+        header, trials, recovery = read_journal_ex(path)
+        assert sorted(trials) == [0, 1, 2]
+        assert recovery.events == [
+            {"event": "degradation", "type": "pool_shrink", "respawns": 2}]
+        assert recovery.dropped == 0
+        assert not recovery.torn_tail and not recovery.torn_event_tail
+
+    def test_torn_event_tail_is_not_a_lost_trial(self, tmp_path, recwarn):
+        """The satellite bugfix: a journal whose final record is a torn
+        degradation event must not read as a torn *trial* — no warning
+        about re-execution, nothing counted in ``dropped``."""
+        path = self._journal_with_event(tmp_path, torn_bytes=15)
+        header, trials, recovery = read_journal_ex(path)
+        assert sorted(trials) == [0, 1, 2]      # every trial survives
+        assert recovery.torn_event_tail
+        assert not recovery.torn_tail
+        assert recovery.dropped == 0
+        assert recovery.events == []            # the torn event is gone
+        assert not any("re-executed" in str(w.message) for w in recwarn.list)
+
+    def test_append_to_repairs_torn_event_tail_with_soft_warning(
+            self, tmp_path):
+        path = self._journal_with_event(tmp_path, torn_bytes=15)
+        with pytest.warns(UserWarning, match="no trial is affected"):
+            j = CampaignJournal.append_to(path)
+        j.close()
+        _, trials, recovery = read_journal_ex(path)
+        assert sorted(trials) == [0, 1, 2]
+        assert recovery.dropped == 0 and not recovery.torn_event_tail
+
+    def test_corrupt_interior_event_skipped_silently(self, tmp_path,
+                                                     recwarn):
+        path = tmp_path / "c.jsonl"
+        with CampaignJournal.create(path, {"app_name": "x",
+                                           "n_trials": 2}) as j:
+            j.append_trial(0, _trial(0))
+            j.append_event("degradation", type="serial_fallback")
+            j.append_trial(1, _trial(1))
+        lines = path.read_text().splitlines(keepends=True)
+        assert lines[2].startswith("E ")
+        lines[2] = lines[2].replace("serial_fallback", "sErial_fallback")
+        path.write_text("".join(lines))
+        _, trials, recovery = read_journal_ex(path)
+        assert sorted(trials) == [0, 1]
+        assert recovery.events == [] and recovery.dropped == 0
+        assert not recwarn.list
+
+    def test_resume_after_final_degradation_event_is_clean(self, tmp_path):
+        """End to end: a completed journal whose *last line* is a
+        degradation event resumes without re-running the final trial."""
+        from repro.inject import resume_campaign, run_campaign
+        from repro.inject import campaign as campaign_mod
+
+        journal = tmp_path / "c.jsonl"
+        campaign_mod._PREPARED_CACHE.clear()
+        ref = run_campaign("matvec", trials=4, mode="blackbox", seed=5,
+                           workers=1, journal=journal,
+                           artifact_dir=tmp_path / "artifacts")
+        with CampaignJournal.append_to(journal) as j:
+            j.append_event("degradation", type="journal_disabled")
+        resumed = resume_campaign(journal)
+        assert resumed.health.resumed_trials == 4     # nothing re-ran
+        assert resumed.health.journal_recovered_records == 0
+        assert resumed.fractions() == ref.fractions()

@@ -100,7 +100,8 @@ def test_chaos_worker_kill_with_tier2(tmp_path, monkeypatch):
         warnings.simplefilter("ignore")
         chaotic = run_campaign("matvec", trials=N, mode="blackbox",
                                seed=78, workers=2, timeout=5.0,
-                               max_retries=2, snapshot_stride=150)
+                               max_retries=2, snapshot_stride=150,
+                               executor="pool")
 
     health = chaotic.health
     assert health.worker_crashes > 0, "chaos never killed a worker"
