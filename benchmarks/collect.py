@@ -110,6 +110,31 @@ def _x_tier2_compile(d):
                 d, "apps", app, "golden_replay", "trace_cycle_coverage")}
 
 
+def _x_distributed_fabric(d):
+    return 9, d.get("speedup_4_over_1"), \
+        "4-shard/1-shard wall speedup (remote fabric)", {
+            "reached_2x_at_4_shards": d.get("reached_2x_at_4_shards"),
+            "real_app": d.get("real_app")}
+
+
+def _x_lane_batch(d):
+    app = _get(d, "headline", "gated_app") or "amg"
+    return 10, _get(d, "headline", "short_window_vs_pr5_median"), \
+        "amg short-window per-trial speedup vs PR 5", {
+            "best_width": _get(d, "headline", "best_width"),
+            "short_window_vs_pr8_median": _get(
+                d, "headline", "short_window_vs_pr8_median"),
+            "reached_2x_over_pr8": _get(d, "headline",
+                                        "reached_2x_over_pr8"),
+            "reached_10x_target": _get(d, "headline",
+                                       "reached_10x_target"),
+            "lane_occupancy": _get(d, "headline", "lane_occupancy"),
+            "campaign_ratio_vs_pr8_median": _get(
+                d, "apps", app, "lane_ladder",
+                str(_get(d, "headline", "best_width")),
+                "campaign_ratio_vs_pr8_median")}
+
+
 def _x_campaigns(d):
     rates = [r.get("trials_per_s") for r in d.get("runs", [])
              if isinstance(r, dict) and r.get("trials_per_s")]
@@ -127,6 +152,8 @@ EXTRACTORS = {
     "chaos_overhead": _x_chaos_overhead,
     "fork_trials": _x_fork_trials,
     "tier2_compile": _x_tier2_compile,
+    "distributed_fabric": _x_distributed_fabric,
+    "lane_batch": _x_lane_batch,
     "campaigns": _x_campaigns,
 }
 
@@ -168,8 +195,11 @@ def collect(results_dir: Path) -> dict:
                               "headline", "short_window_speedup_median"),
              "pr8_tier2": _get(by_name.get("tier2_compile", {}),
                                "headline", "short_window_vs_pr5_median"),
+             "pr10_lanes": _get(by_name.get("lane_batch", {}),
+                                "headline", "short_window_vs_pr5_median"),
              "target": 10.0}
-    best = max((v for v in (chain["pr7_fork"], chain["pr8_tier2"])
+    best = max((v for v in (chain["pr7_fork"], chain["pr8_tier2"],
+                            chain["pr10_lanes"])
                 if v is not None), default=None)
     chain["best"] = best
     chain["reached_10x_target"] = best is not None and best >= 10.0
@@ -202,7 +232,8 @@ def main(argv=None) -> int:
         print(f"{pr!s:>3}  {row['benchmark']:<22} {head:>9}  {row['unit']}")
     chain = payload["amg_per_trial_chain"]
     print(f"amg per-trial vs PR 5: fork {chain['pr7_fork']}x, "
-          f"tier-2 {chain['pr8_tier2']}x "
+          f"tier-2 {chain['pr8_tier2']}x, "
+          f"lanes {chain['pr10_lanes']}x "
           f"(target {chain['target']}x, "
           f"reached={chain['reached_10x_target']})")
     return 0

@@ -1,0 +1,286 @@
+"""Lane-batched execution: per-trial ladder across lane window widths.
+
+"Before" is the PR 8 configuration: every trial in a fork bucket
+COW-forks the worker's shared golden cursor at its injection epoch and
+pays its own armed-mode prefix replay from the fork point to the
+injection instruction.  "After" batches a *window* of same-bucket
+trials on the lane tier: the shared stream is advanced once per window,
+pausing at each trial's occurrence cut, so the armed prefix between the
+fork epoch and the cuts is executed once and amortised across the
+window — each paused world is stacked into a ``(lanes, words)`` NumPy
+row and restored with one bulk slice copy per plane.
+
+The win is therefore concentrated where the armed prefix dominates the
+trial: short-window trials (divergent window ≤ 1/8 of the golden run)
+whose cut sits deep into the bucket's epoch.  Long-window trials are
+tail-dominated on both tiers and land near 1x.  Measurements:
+
+* equivalence — the hard gate: every lane width must be trial-for-trial
+  bit-identical to the scalar paths on every rep;
+* width ladder — per-trial (engine ``execute`` stage clocks, min across
+  reps) and campaign-wall ratios at widths 1 (scalar fork tier), 2, 4
+  and 8;
+* honesty — whether the amg short-window median reached 2x over the
+  PR 8 fork tier and 10x over the PR 5 restore/replay baseline is
+  *recorded*, gap included, not asserted; the hard assertions are
+  equivalence, lane occupancy, and a no-regression floor against PR 8;
+* occupancy — the ``repro_lane_{enters,retirements,reconverged}_total``
+  counters from an observed run, so the report shows how much of the
+  campaign actually rode the lane tier.
+
+Results land in ``benchmarks/results/BENCH_lane_batch.json`` and are
+folded into the trajectory by ``benchmarks/collect.py``.  Scale with
+REPRO_BENCH_TRIALS (default 30) and REPRO_BENCH_REPS (default 3).
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+
+from repro.inject import run_campaign, trial_results_equal
+from repro.inject import campaign as campaign_mod
+from repro.inject.campaign import _env_int
+from repro.obs import ObserveConfig
+
+from conftest import SEED
+
+GATED_APP = "amg"
+
+#: lane window widths; 1 = lane tier off (PR 8 scalar fork tier)
+LANE_LADDER = (1, 2, 4, 8)
+
+#: campaign-level no-regression floor vs the PR 8 fork tier: lane
+#: batching may never cost more than measurement noise
+NO_REGRESSION_FLOOR = 0.80
+
+#: the issue's targets, recorded honestly (gap included), not asserted
+TARGET_VS_PR8 = 2.0
+TARGET_VS_PR5 = 10.0
+
+#: a trial is "short-window" when its divergent window — fork cycle to
+#: end (or prune splice) — is at most this fraction of the golden run
+SHORT_WINDOW_FRACTION = 1 / 8
+
+
+def _bench_trials() -> int:
+    return _env_int("REPRO_BENCH_TRIALS", 30)
+
+
+def _bench_reps() -> int:
+    return _env_int("REPRO_BENCH_REPS", 3)
+
+
+def _run(app, n, *, fork=True, lanes=None, observe=None):
+    campaign_mod._PREPARED_CACHE.clear()
+    t0 = time.perf_counter()
+    result = run_campaign(app, n, mode="fpm", seed=SEED, fork=fork,
+                          lanes=lanes, observe=observe)
+    return result, time.perf_counter() - t0
+
+
+def _execute_times(result):
+    return [t.stage_timings.get("execute", 0.0) for t in result.trials]
+
+
+def _positioning_total(result, stages):
+    """Total world-positioning cost across the campaign's trials."""
+    return sum(t.stage_timings.get(s, 0.0)
+               for t in result.trials for s in stages)
+
+
+def _window_cycles(trial, golden_cycles):
+    if trial.forked_at_cycle is None:
+        return golden_cycles
+    end = trial.pruned_at_cycle if trial.pruned_at_cycle is not None \
+        else trial.cycles
+    return max(0, end - trial.forked_at_cycle)
+
+
+def _median(values):
+    return round(statistics.median(values), 2) if values else None
+
+
+def _counter(result, name):
+    series = (result.metrics or {}).get("counters", {}).get(name, [])
+    return int(sum(value for _, value in series))
+
+
+def _measure(app, n, reps):
+    # untimed warm-up: bytecode caches + golden profile/artifacts
+    _run(app, n, fork=False)
+
+    widths = [w for w in LANE_LADDER if w >= 2]
+    pr5_t = [float("inf")] * n
+    pr8_t = [float("inf")] * n
+    lane_t = {w: [float("inf")] * n for w in widths}
+    pr5_walls, pr8_walls = [], []
+    lane_walls = {w: [] for w in widths}
+    pr8_pos, lane_pos = [], {w: [] for w in widths}
+    candidate = None
+    for _ in range(reps):
+        pr5, w5 = _run(app, n, fork=False)
+        pr8, w8 = _run(app, n, lanes=0)
+        pr5_walls.append(w5)
+        pr8_walls.append(w8)
+        pr8_pos.append(_positioning_total(pr8, ("fork_advance",)))
+        pr5_t = [min(p, q) for p, q in zip(pr5_t, _execute_times(pr5))]
+        pr8_t = [min(p, q) for p, q in zip(pr8_t, _execute_times(pr8))]
+        for i, (a, b) in enumerate(zip(pr5.trials, pr8.trials)):
+            assert trial_results_equal(a, b), (app, "pr8", i, a, b)
+        for w in widths:
+            cand, cw = _run(app, n, lanes=w)
+            lane_walls[w].append(cw)
+            lane_pos[w].append(_positioning_total(
+                cand, ("lane_advance", "fork_advance")))
+            lane_t[w] = [min(p, q)
+                         for p, q in zip(lane_t[w], _execute_times(cand))]
+            # gating: lane batching must be invisible in the science
+            assert cand.fractions() == pr5.fractions()
+            for i, (a, b) in enumerate(zip(pr5.trials, cand.trials)):
+                assert trial_results_equal(a, b), (app, w, i, a, b)
+            if w == widths[-1]:
+                candidate = cand
+
+    golden_cycles = candidate.golden_cycles
+    laned = [i for i, t in enumerate(candidate.trials)
+             if t.lane is not None]
+    assert laned, f"{app}: no trial ever ran on the lane tier"
+    short = [i for i in laned
+             if _window_cycles(candidate.trials[i], golden_cycles)
+             <= golden_cycles * SHORT_WINDOW_FRACTION]
+
+    ladder = {}
+    for w in widths:
+        vs_pr8 = [pr8_t[i] / max(lane_t[w][i], 1e-9) for i in laned]
+        vs_pr8_short = [pr8_t[i] / max(lane_t[w][i], 1e-9) for i in short]
+        vs_pr5_short = [pr5_t[i] / max(lane_t[w][i], 1e-9) for i in short]
+        ladder[str(w)] = {
+            "per_trial_vs_pr8_median": _median(vs_pr8),
+            "short_window_vs_pr8_median": _median(vs_pr8_short),
+            "short_window_vs_pr5_median": _median(vs_pr5_short),
+            "campaign_wall_s": [round(x, 3) for x in lane_walls[w]],
+            "campaign_ratio_vs_pr8_median": _median(
+                [b / max(c, 1e-9)
+                 for b, c in zip(pr8_walls, lane_walls[w])]),
+            # positioning is not hidden: the shared advance + capture
+            # each tier pays outside its per-trial execute clock
+            "positioning_total_s": round(min(lane_pos[w]), 3),
+        }
+    # width 1 row: the lane tier disabled is the PR 8 path by definition
+    ladder["1"] = {
+        "per_trial_vs_pr8_median": 1.0,
+        "short_window_vs_pr8_median": 1.0,
+        "short_window_vs_pr5_median": _median(
+            [pr5_t[i] / max(pr8_t[i], 1e-9) for i in short]),
+        "campaign_wall_s": [round(x, 3) for x in pr8_walls],
+        "campaign_ratio_vs_pr8_median": 1.0,
+        "positioning_total_s": round(min(pr8_pos), 3),
+    }
+
+    best_w = max(widths,
+                 key=lambda w: ladder[str(w)]["short_window_vs_pr8_median"]
+                 or 0.0)
+    best = ladder[str(best_w)]
+
+    # lane-occupancy breakdown from one observed run (untimed)
+    campaign_mod._PREPARED_CACHE.clear()
+    observed, _ = _run(app, n, lanes=best_w,
+                       observe=ObserveConfig(events=False, cml=False))
+    occupancy = {
+        "width": best_w,
+        "repro_lane_enters_total": _counter(
+            observed, "repro_lane_enters_total"),
+        "repro_lane_retirements_total": _counter(
+            observed, "repro_lane_retirements_total"),
+        "repro_lane_reconverged_total": _counter(
+            observed, "repro_lane_reconverged_total"),
+        "lane_trials": observed.health.lane_trials,
+        "forked_trials": observed.health.forked_trials,
+        "lane_fraction": round(observed.health.lane_trials / n, 3),
+    }
+
+    vs_pr8 = best["short_window_vs_pr8_median"]
+    vs_pr5 = best["short_window_vs_pr5_median"]
+    return {
+        "trials": n,
+        "golden_cycles": golden_cycles,
+        "laned_trials": len(laned),
+        "short_window_trials": len(short),
+        "pr5_wall_s": [round(x, 3) for x in pr5_walls],
+        "lane_ladder": ladder,
+        "best_width": best_w,
+        "short_window_vs_pr8_median": vs_pr8,
+        "short_window_vs_pr5_median": vs_pr5,
+        "reached_2x_over_pr8": vs_pr8 is not None and vs_pr8 >= TARGET_VS_PR8,
+        "gap_to_2x_over_pr8": (None if vs_pr8 is None
+                               else round(max(0.0, TARGET_VS_PR8 - vs_pr8),
+                                          2)),
+        "reached_10x_target": vs_pr5 is not None and vs_pr5 >= TARGET_VS_PR5,
+        "gap_to_10x_target": (None if vs_pr5 is None
+                              else round(max(0.0, TARGET_VS_PR5 - vs_pr5),
+                                         2)),
+        "lane_occupancy": occupancy,
+        "equivalent": True,
+    }
+
+
+def test_perf_lane_batch(results_dir, monkeypatch):
+    monkeypatch.delenv("REPRO_FORK_TRIALS", raising=False)
+    monkeypatch.delenv("REPRO_LANES", raising=False)
+    monkeypatch.delenv("REPRO_PRUNE", raising=False)
+    monkeypatch.delenv("REPRO_ARTIFACT_DIR", raising=False)
+    n = _bench_trials()
+    reps = _bench_reps()
+    row = _measure(GATED_APP, n, reps)
+    payload = {
+        "benchmark": "lane_batch",
+        "seed": SEED,
+        "trials": n,
+        "reps": reps,
+        "baseline_pr5": "restore/warm clone + armed prefix replay per "
+                        "trial (fork=False)",
+        "baseline_pr8": "fork-at-injection + tier-2 traces, scalar "
+                        "per-trial armed replay (lanes=0)",
+        "candidate": "lane-batched windows over stacked NumPy world "
+                     "buffers (lanes=2/4/8)",
+        "short_window_fraction": round(SHORT_WINDOW_FRACTION, 4),
+        "apps": {GATED_APP: row},
+        "headline": {
+            "gated_app": GATED_APP,
+            "best_width": row["best_width"],
+            "short_window_vs_pr8_median":
+                row["short_window_vs_pr8_median"],
+            "short_window_vs_pr5_median":
+                row["short_window_vs_pr5_median"],
+            "target_vs_pr8": TARGET_VS_PR8,
+            "target_vs_pr5": TARGET_VS_PR5,
+            "reached_2x_over_pr8": row["reached_2x_over_pr8"],
+            "reached_10x_target": row["reached_10x_target"],
+            "gap_to_2x_over_pr8": row["gap_to_2x_over_pr8"],
+            "gap_to_10x_target": row["gap_to_10x_target"],
+            "lane_occupancy": row["lane_occupancy"],
+            "note": "stretch targets recorded honestly, not asserted: "
+                    "the amortisable cost is the armed prefix between "
+                    "the fork epoch and the occurrence cuts, so the "
+                    "measured win tracks how deep the drawn cuts sit "
+                    "in their buckets",
+        },
+    }
+    path = results_dir / "BENCH_lane_batch.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\n=== {path.name} ===\n{json.dumps(payload, indent=2)}\n")
+
+    # hard gates: bit-identity held (asserted per rep above), the lane
+    # tier actually carried trials, and it never loses to PR 8 beyond
+    # noise at any width
+    assert row["laned_trials"] > 0
+    occ = row["lane_occupancy"]
+    assert occ["repro_lane_enters_total"] == occ["lane_trials"] > 0
+    for w in LANE_LADDER:
+        entry = row["lane_ladder"][str(w)]
+        assert entry["campaign_ratio_vs_pr8_median"] >= \
+            NO_REGRESSION_FLOOR, (w, entry)
+        assert entry["per_trial_vs_pr8_median"] >= NO_REGRESSION_FLOOR, \
+            (w, entry)

@@ -67,7 +67,7 @@ def main() -> None:
     print(f"paper's Fig. 1b  = [1760, 1964, 2256, 1086]")
     print(f"\ncontaminated locations and their pristine values:")
     for addr, pristine in sorted(m.fpm.items()):
-        print(f"  mem[{addr}] = {m.memory.cells[addr]}  (should be {pristine})")
+        print(f"  mem[{addr}] = {m.memory.peek(addr)}  (should be {pristine})")
 
 
 if __name__ == "__main__":

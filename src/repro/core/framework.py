@@ -102,6 +102,7 @@ class FaultPropagationFramework:
         prune: Optional[bool] = None,
         fork: Optional[bool] = None,
         tier2: Optional[bool] = None,
+        lanes: Optional[int] = None,
         executor: Optional[str] = None,
         shards: Optional[int] = None,
     ) -> CampaignResult:
@@ -112,7 +113,7 @@ class FaultPropagationFramework:
             timeout=timeout, max_retries=max_retries, journal=journal,
             snapshot_stride=snapshot_stride, artifact_dir=artifact_dir,
             observe=observe, prune=prune, fork=fork, tier2=tier2,
-            executor=executor, shards=shards,
+            lanes=lanes, executor=executor, shards=shards,
         )
 
     def fpm_campaign(
@@ -127,6 +128,7 @@ class FaultPropagationFramework:
         prune: Optional[bool] = None,
         fork: Optional[bool] = None,
         tier2: Optional[bool] = None,
+        lanes: Optional[int] = None,
         executor: Optional[str] = None,
         shards: Optional[int] = None,
     ) -> CampaignResult:
@@ -137,7 +139,7 @@ class FaultPropagationFramework:
             timeout=timeout, max_retries=max_retries, journal=journal,
             snapshot_stride=snapshot_stride, artifact_dir=artifact_dir,
             observe=observe, prune=prune, fork=fork, tier2=tier2,
-            executor=executor, shards=shards,
+            lanes=lanes, executor=executor, shards=shards,
         )
 
     def resume_campaign(self, journal: str, **kwargs) -> CampaignResult:

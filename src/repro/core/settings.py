@@ -30,6 +30,7 @@ DEFAULT_SNAPSHOT_LIMIT = 32
 DEFAULT_WORLD_CACHE = 4
 DEFAULT_WORLD_CACHE_PAGES = 0
 DEFAULT_PAGE_WORDS = 256
+DEFAULT_LANES = 8
 DEFAULT_OBS_CML_STRIDE = 0
 DEFAULT_RETRY_BASE_DELAY = 0.05
 DEFAULT_RETRY_MAX_DELAY = 2.0
@@ -179,6 +180,9 @@ class Settings:
     fuse: bool = True
     #: REPRO_FORK_TRIALS — fork-at-injection trial execution (0 = off)
     fork_trials: bool = True
+    #: REPRO_LANES — lane-batched trial execution window width
+    #: (0 or 1 = off; requires forking)
+    lanes: int = DEFAULT_LANES
     #: REPRO_TIER2 — tier-2 golden-trace segment compilation (0 = off)
     tier2: bool = True
     #: REPRO_TIER2_CAP — max instructions per compiled trace
@@ -243,6 +247,8 @@ class Settings:
             prune=_parse_bool(env, "REPRO_PRUNE", True),
             fuse=_parse_bool(env, "REPRO_FUSE", True),
             fork_trials=_parse_bool(env, "REPRO_FORK_TRIALS", True),
+            lanes=_parse_int(
+                env, "REPRO_LANES", DEFAULT_LANES, minimum=0, clamp=True),
             tier2=_parse_bool(env, "REPRO_TIER2", True),
             tier2_cap=_parse_int(
                 env, "REPRO_TIER2_CAP", 0, minimum=0, clamp=True),

@@ -53,8 +53,10 @@ from .profiler import GoldenProfile
 #: artifacts with any other schema are re-profiled, never interpreted
 #: (v2: golden fingerprint index for convergence pruning;
 #: v3: per-epoch injection counters for fork-at-injection planning;
-#: v4: tier-2 trace plan + golden edge profile)
-SCHEMA_VERSION = 4
+#: v4: tier-2 trace plan + golden edge profile;
+#: v5: NumPy world buffers — snapshot payloads carry int64 arrays +
+#: fkind tag bytes and fingerprints digest raw array bytes)
+SCHEMA_VERSION = 5
 
 _ARTIFACT_KIND = "repro-golden-artifact"
 _SUFFIX = ".golden"

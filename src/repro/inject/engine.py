@@ -528,9 +528,14 @@ class CampaignEngine:
         )
 
     def _aggregate_forking(self, trial: TrialResult) -> None:
+        if trial.lane is not None:
+            self._health.lane_trials += 1
         if trial.forked_at_cycle is None:
             return
-        self._health.forked_trials += 1
+        if trial.lane is None:
+            # lane trials fork off the shared stream too, but they are
+            # counted on their own tier, not as scalar COW forks
+            self._health.forked_trials += 1
         self._health.pages_copied += trial.pages_copied or 0
 
 
@@ -603,6 +608,10 @@ def resume_campaign(
     # the feature off, so trial execution matches what the recording
     # campaign did.
     fork_on = bool(header.get("fork", False)) and bool(golden.epoch_counters)
+    # Journals from before lane batching carry no width and resume with
+    # the lane tier off; either way the recorded effective width is
+    # reused verbatim, never re-resolved from today's environment.
+    lanes_w = int(header.get("lanes", 0)) if fork_on else 0
     jobs = _build_jobs(
         app, params_key, mode, golden, n_trials,
         int(header["n_faults"]), int(header["seed"]),
@@ -612,6 +621,7 @@ def resume_campaign(
         bool(header.get("prune", False)),
         fork_on,
         tier2_on,
+        lanes_w,
     )
 
     requested_workers = default_workers(workers)
@@ -623,7 +633,7 @@ def resume_campaign(
     # function of both, so the resumed schedule is deterministic.
     batches = None
     if fork_on:
-        batches = _campaign.plan_fork_batches(jobs, effective)
+        batches = _campaign.plan_fork_batches(jobs, effective, golden=golden)
     elif pa.snapshots is not None and _campaign.batch_by_snapshot():
         batches = _campaign.plan_batches(jobs, pa.snapshots, effective)
 

@@ -66,6 +66,9 @@ class CampaignHealth:
     pruned_cycles: int = 0
     #: trials executed COW-forked off a shared golden world
     forked_trials: int = 0
+    #: trials executed on the lane tier — batched over one shared
+    #: golden-stream advance in a worker's lane window
+    lane_trials: int = 0
     #: memory pages those trials' COW transactions actually copied
     pages_copied: int = 0
     #: wall-clock duration of the execution phase, seconds

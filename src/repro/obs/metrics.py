@@ -66,6 +66,13 @@ DESCRIPTIONS: Dict[str, str] = {
         "Memory pages copied by trial COW transactions.",
     "repro_fork_fallback_total":
         "Fork-at-injection trials degraded to the restore path.",
+    "repro_lane_enters_total":
+        "Trials executed on the lane tier (batched golden-stream "
+        "advance over stacked world buffers).",
+    "repro_lane_retirements_total":
+        "Lane trials retired to the scalar fork tier.",
+    "repro_lane_reconverged_total":
+        "Lane trials finished early by golden reconvergence pruning.",
     "repro_tier2_enters_total":
         "Compiled golden-trace segments entered (tier-2 execution).",
     "repro_tier2_deopts_total":

@@ -31,8 +31,9 @@ class RankCheckpoint:
 
     cycles: int
     status: str
-    # memory
-    cells: list
+    # memory (one int64 array copy + float-tag and validity bytes)
+    cells: object
+    fkind: bytes
     valid: bytes
     sp: int
     hp: int
@@ -92,7 +93,8 @@ def checkpoint_machine(m: Machine) -> RankCheckpoint:
     return RankCheckpoint(
         cycles=m.cycles,
         status=m.status.value,
-        cells=list(mem.cells),
+        cells=mem.cells_i.copy(),
+        fkind=bytes(mem.fkind),
         valid=bytes(mem.valid),
         sp=mem.sp,
         hp=mem.hp,
@@ -131,7 +133,8 @@ def restore_machine(m: Machine, ck: RankCheckpoint,
             f"rank {m.rank}: cannot restore a checkpoint during a "
             f"COW transaction"
         )
-    mem.cells[:] = ck.cells
+    mem.cells_i[:] = ck.cells
+    mem.fkind[:] = ck.fkind
     mem.valid[:] = ck.valid
     mem.sp = ck.sp
     mem.hp = ck.hp
@@ -171,3 +174,7 @@ def restore_machine(m: Machine, ck: RankCheckpoint,
             m.fpm.first_contamination_cycle = ck.shadow_first
         elif ck.shadow is not None:
             m.fpm.table = dict(ck.shadow)
+        if ck.shadow is not None:
+            # re-sync the address bounds and presence mask with the
+            # wholesale table replacement above
+            m.fpm._reset_bounds()

@@ -258,7 +258,8 @@ def _compile_load(inst: Load) -> Callable:
             addr = regs[ai]
             mem = m.memory
             if 0 <= addr < mem.capacity and mem.valid[addr]:
-                regs[d] = mem.cells[addr]
+                regs[d] = (mem.cells_f.item(addr) if mem.fkind[addr]
+                           else mem.cells_i.item(addr))
             else:
                 raise Trap(TrapKind.MEM_FAULT, f"load from invalid address {addr}")
     else:
@@ -267,7 +268,8 @@ def _compile_load(inst: Load) -> Callable:
         def step(m, f, d=d, ac=ac):
             mem = m.memory
             if 0 <= ac < mem.capacity and mem.valid[ac]:
-                f.regs[d] = mem.cells[ac]
+                f.regs[d] = (mem.cells_f.item(ac) if mem.fkind[ac]
+                             else mem.cells_i.item(ac))
             else:
                 raise Trap(TrapKind.MEM_FAULT, f"load from invalid address {ac}")
     return step
@@ -285,7 +287,7 @@ def _compile_store(inst: Store) -> Callable:
             if 0 <= addr < mem.capacity and mem.valid[addr]:
                 if not mem.page_owned[addr >> mem.page_shift]:
                     mem.cow_page(addr)
-                mem.cells[addr] = get_v(regs)
+                mem.poke(addr, get_v(regs))
             else:
                 raise Trap(TrapKind.MEM_FAULT, f"store to invalid address {addr}")
     else:
@@ -296,7 +298,7 @@ def _compile_store(inst: Store) -> Callable:
             if 0 <= ac < mem.capacity and mem.valid[ac]:
                 if not mem.page_owned[ac >> mem.page_shift]:
                     mem.cow_page(ac)
-                mem.cells[ac] = get_v(f.regs)
+                mem.poke(ac, get_v(f.regs))
             else:
                 raise Trap(TrapKind.MEM_FAULT, f"store to invalid address {ac}")
     return step
@@ -324,7 +326,8 @@ def _compile_fpm_load(inst: FpmLoad) -> Callable:
             addr = get_a(regs)
             mem = m.memory
             if 0 <= addr < mem.capacity and mem.valid[addr]:
-                v = mem.cells[addr]
+                v = (mem.cells_f.item(addr) if mem.fkind[addr]
+                     else mem.cells_i.item(addr))
             else:
                 raise Trap(TrapKind.MEM_FAULT,
                            f"load from invalid address {addr}")
@@ -337,7 +340,8 @@ def _compile_fpm_load(inst: FpmLoad) -> Callable:
         addr = get_a(regs)
         mem = m.memory
         if 0 <= addr < mem.capacity and mem.valid[addr]:
-            v = mem.cells[addr]
+            v = (mem.cells_f.item(addr) if mem.fkind[addr]
+                 else mem.cells_i.item(addr))
         else:
             raise Trap(TrapKind.MEM_FAULT, f"load from invalid address {addr}")
         addr_p = get_ap(regs)
@@ -347,7 +351,8 @@ def _compile_fpm_load(inst: FpmLoad) -> Callable:
         elif 0 <= addr_p < mem.capacity and mem.valid[addr_p]:
             # Corrupted address register: the pristine chain reads the cell
             # the fault-free execution would have read.
-            base = mem.cells[addr_p]
+            base = (mem.cells_f.item(addr_p) if mem.fkind[addr_p]
+                    else mem.cells_i.item(addr_p))
             vp = ht.get(addr_p, base)
         else:
             # The pristine address is no longer valid along this (diverged)
@@ -380,7 +385,7 @@ def _compile_fpm_store(inst: FpmStore) -> Callable:
             v = get_v(regs)
             if not mem.page_owned[addr >> mem.page_shift]:
                 mem.cow_page(addr)
-            mem.cells[addr] = v
+            mem.poke(addr, v)
             m.fpm.update(addr, v, get_vp(regs) or get_ap(regs), m.cycles)
         return step
 
@@ -396,9 +401,8 @@ def _compile_fpm_store(inst: FpmStore) -> Callable:
         fpm = m.fpm
         if not mem.page_owned[addr >> mem.page_shift]:
             mem.cow_page(addr)
-        cells = mem.cells
         if addr_p == addr:
-            cells[addr] = v
+            mem.poke(addr, v)
             if v == vp or v != v and vp != vp:  # equal, or both NaN
                 if addr in fpm.table:
                     del fpm.table[addr]
@@ -410,12 +414,14 @@ def _compile_fpm_store(inst: FpmStore) -> Callable:
             #    content as the pristine value;
             # 2) the cell that *should* have been written now misses the
             #    pristine value vp.
-            old = cells[addr]
-            cells[addr] = v
+            old = (mem.cells_f.item(addr) if mem.fkind[addr]
+                   else mem.cells_i.item(addr))
+            mem.poke(addr, v)
             if not (old == v or (old != old and v != v)):
                 fpm.record(addr, old, m.cycles)
             if 0 <= addr_p < mem.capacity and mem.valid[addr_p]:
-                cur_p = cells[addr_p]
+                cur_p = (mem.cells_f.item(addr_p) if mem.fkind[addr_p]
+                         else mem.cells_i.item(addr_p))
                 fpm.update(addr_p, cur_p, vp, m.cycles)
     return step
 
@@ -694,11 +700,13 @@ def _inline_template(inst):
             if isinstance(addr, Register):
                 a = f"a{tag}"
                 line = (f"{a} = regs[{addr.index}]; "
-                        f"regs[{d}] = cells[{a}] if 0 <= {a} < cap "
+                        f"regs[{d}] = (cf.item({a}) if fk[{a}] "
+                        f"else ci.item({a})) if 0 <= {a} < cap "
                         f"and valid[{a}] else lt{tag}({a})")
             else:
                 ac = addr.value
-                line = (f"regs[{d}] = cells[{ac}] if 0 <= {ac} < cap "
+                line = (f"regs[{d}] = (cf.item({ac}) if fk[{ac}] "
+                        f"else ci.item({ac})) if 0 <= {ac} < cap "
                         f"and valid[{ac}] else lt{tag}({ac})")
             return line, binds, True
         return tmpl
@@ -716,13 +724,13 @@ def _inline_template(inst):
             if isinstance(addr, Register):
                 a = f"a{tag}"
                 line = (f"{a} = regs[{addr.index}]; "
-                        f"cells[{a}] = {v} if 0 <= {a} < cap "
+                        f"pk({a}, {v}) if 0 <= {a} < cap "
                         f"and valid[{a}] "
                         f"and (owned[{a} >> psh] or co({a})) "
                         f"else st{tag}({a})")
             else:
                 ac = addr.value
-                line = (f"cells[{ac}] = {v} if 0 <= {ac} < cap "
+                line = (f"pk({ac}, {v}) if 0 <= {ac} < cap "
                         f"and valid[{ac}] "
                         f"and (owned[{ac} >> psh] or co({ac})) "
                         f"else st{tag}({ac})")
@@ -768,7 +776,8 @@ def _make_fused(steps: List[Callable], marked: List[bool],
 
     prelude = "regs = f.regs"
     if needs_mem:
-        prelude += ("; mem = m.memory; cells = mem.cells; "
+        prelude += ("; mem = m.memory; ci = mem.cells_i; "
+                    "cf = mem.cells_f; fk = mem.fkind; pk = mem.poke; "
                     "valid = mem.valid; cap = mem.capacity; "
                     "owned = mem.page_owned; psh = mem.page_shift; "
                     "co = mem.cow_page")
@@ -851,6 +860,35 @@ def _segment_block(entries, include_marked: bool):
     return fmap
 
 
+def _compile_cmp(inst: Cmp) -> Callable:
+    return _compile_binop_like(
+        inst.dest.index, inst.lhs, inst.rhs, CMP_FUNCS[(inst.kind, inst.pred)]
+    )
+
+
+#: precomputed opcode dispatch: instruction class -> (compiler, kind).
+#: One dict hit replaces the former isinstance if/elif ladder for both
+#: the per-instruction compiler and the fusion kind; ``Call`` and
+#: ``CondBr`` take extra context, so their entries accept it.
+_HANDLERS: Dict[type, Tuple[Callable, str]] = {
+    BinOp: (lambda inst, program, where: _compile_binop(inst), "pure"),
+    Cmp: (lambda inst, program, where: _compile_cmp(inst), "pure"),
+    Cast: (lambda inst, program, where: _compile_cast(inst), "pure"),
+    Copy: (lambda inst, program, where: _compile_copy(inst), "pure"),
+    Alloca: (lambda inst, program, where: _compile_alloca(inst), "pure"),
+    Load: (lambda inst, program, where: _compile_load(inst), "pure"),
+    Store: (lambda inst, program, where: _compile_store(inst), "pure"),
+    FpmLoad: (lambda inst, program, where: _compile_fpm_load(inst), "pure"),
+    FpmStore: (lambda inst, program, where: _compile_fpm_store(inst), "pure"),
+    Call: (lambda inst, program, where: _compile_call(inst, program),
+           "barrier"),
+    Br: (lambda inst, program, where: _compile_br(inst), "term"),
+    CondBr: (lambda inst, program, where: _compile_condbr(inst, where),
+             "term"),
+    Ret: (lambda inst, program, where: _compile_ret(inst), "term"),
+}
+
+
 def _compile_entry(inst, program: CompiledProgram, where=None):
     """Compile one instruction to its dispatch closure plus fusion metadata.
 
@@ -866,43 +904,11 @@ def _compile_entry(inst, program: CompiledProgram, where=None):
     (the default) for context-free compilations — tier-2 member
     closures and tests — which must not observe ``machine.edge_profile``.
     """
-    if isinstance(inst, BinOp):
-        bare = _compile_binop(inst)
-    elif isinstance(inst, Cmp):
-        bare = _compile_binop_like(
-            inst.dest.index, inst.lhs, inst.rhs, CMP_FUNCS[(inst.kind, inst.pred)]
-        )
-    elif isinstance(inst, Cast):
-        bare = _compile_cast(inst)
-    elif isinstance(inst, Copy):
-        bare = _compile_copy(inst)
-    elif isinstance(inst, Alloca):
-        bare = _compile_alloca(inst)
-    elif isinstance(inst, Load):
-        bare = _compile_load(inst)
-    elif isinstance(inst, Store):
-        bare = _compile_store(inst)
-    elif isinstance(inst, FpmLoad):
-        bare = _compile_fpm_load(inst)
-    elif isinstance(inst, FpmStore):
-        bare = _compile_fpm_store(inst)
-    elif isinstance(inst, Call):
-        bare = _compile_call(inst, program)
-    elif isinstance(inst, Br):
-        bare = _compile_br(inst)
-    elif isinstance(inst, CondBr):
-        bare = _compile_condbr(inst, where)
-    elif isinstance(inst, Ret):
-        bare = _compile_ret(inst)
-    else:  # pragma: no cover - future instruction kinds
+    handler = _HANDLERS.get(inst.__class__)
+    if handler is None:  # pragma: no cover - future instruction kinds
         raise ReproError(f"cannot compile instruction {inst.opcode!r}")
-
-    if isinstance(inst, _PURE_KINDS):
-        kind = "pure"
-    elif isinstance(inst, _TERM_KINDS):
-        kind = "term"
-    else:
-        kind = "barrier"
+    compiler, kind = handler
+    bare = compiler(inst, program, where)
 
     step = bare
     marked = False

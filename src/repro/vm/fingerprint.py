@@ -69,14 +69,23 @@ def _canonical_memory(mem) -> tuple:
     ``heap_blocks`` insertion order differs between a faulted trial and
     the golden run, hence the sort; ``free_lists`` bucket order is
     semantic (``malloc`` pops from the tail) and is preserved.
+
+    Word content is canonicalised as raw ``int64`` array bytes plus the
+    ``fkind`` tag bytes (one C-speed ``tobytes`` per region instead of a
+    per-word Python tuple) — the tag bytes keep int-vs-float
+    observability, since ``0`` and ``0.0`` share a bit pattern.
     """
-    cells = mem.cells
+    ci = mem.cells_i
+    fk = mem.fkind
+    sp = mem.sp
     return (
-        mem.sp,
+        sp,
         mem.hp,
-        tuple(cells[1:mem.sp]),
+        ci[1:sp].tobytes(),
+        bytes(fk[1:sp]),
         tuple(sorted(
-            (base, tuple(cells[base:base + size]))
+            (base, ci[base:base + size].tobytes(),
+             bytes(fk[base:base + size]))
             for base, size in mem.heap_blocks.items()
         )),
         tuple(sorted(

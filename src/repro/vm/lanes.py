@@ -1,0 +1,191 @@
+"""Lane-batched trial execution: stacked world buffers over one stream.
+
+A fork-at-injection bucket (PR 7) holds trials whose fault plans share
+a fork epoch; the scalar tier re-plays the golden armed prefix — fork
+epoch to injection point — once per trial.  The lane tier amortises
+that prefix across a *window* of same-bucket trials:
+
+* the worker's golden cursor advances the shared instruction stream
+  once per window, pausing at each trial's **occurrence cut** — the
+  marked instruction right before the trial's stream-first fault
+  occurrence (:func:`stream_cut` orders occurrences by their golden
+  reach epoch, then rank, exactly the order the shared stream meets
+  them);
+* at each cut one **lane** of the :class:`LaneStack` captures the
+  paused world: every rank's flat memory buffer becomes one row of a
+  ``(lanes, words)`` NumPy array (one bulk slice copy per plane), with
+  the small allocator metadata carried per row;
+* the trial then arms its faults and runs on the live machines from
+  the paused position — the real interpreter, so bit-identity with the
+  scalar tier holds by construction — and its lane row restores the
+  shared world afterwards so the stream can advance to the next cut.
+
+A lane **retires** to the scalar tier (:exc:`LaneBail`, counted as
+``repro_lane_retirements_total``) when its cut cannot be reached on the
+shared stream: the cut lies behind the current position (out-of-order
+plan), the golden stream ends first (profile mismatch), or the marked
+cut instruction is a terminator whose signal swallows the pause.  A
+lane retires *early* when the trial's world re-converges with the
+golden fingerprints (PR 5 pruning, ``repro_lane_reconverged_total``) —
+the golden tail is spliced instead of executed.
+
+The pause itself (:attr:`Machine._pause_armed`) rides the existing
+injection machinery: ``inj_next`` is set to the cut occurrence with an
+*empty* armed-fault list, so the matched instruction executes normally
+(armed-mode dispatch guarantees it is single-stepped, never skipped by
+a fused segment or tier-2 bulk count), signals ``SIG_INJECT``, and the
+run loop stops right after it with the quantum's leftover budget saved
+for an exact mid-epoch resume (:class:`~repro.mpi.scheduler.Scheduler`
+``cut``).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+
+#: sort key for plans whose cut the golden stream never reaches —
+#: greater than any real (epoch, rank, occurrence) triple
+_UNREACHABLE = (float("inf"), float("inf"), float("inf"))
+
+
+class LaneBail(ReproError):
+    """A lane retired to the scalar tier; the trial re-runs there."""
+
+
+def reach_epoch(epoch_counters: Sequence[Sequence[int]], rank: int,
+                occurrence: int) -> Optional[int]:
+    """First golden epoch whose counter on ``rank`` is >= ``occurrence``.
+
+    ``epoch_counters[e][rank]`` is the rank's occurrence counter after
+    ``e`` completed epochs (entry 0 is all zeros); counters are
+    monotone, so this is a bisection.  None if the golden stream ends
+    before the occurrence — a fault plan drawn against a different
+    profile.
+    """
+    n = len(epoch_counters)
+    if n == 0 or epoch_counters[-1][rank] < occurrence:
+        return None
+    lo = bisect_left(epoch_counters, True,
+                     key=lambda row: row[rank] >= occurrence)
+    return lo
+
+
+def stream_cut(faults: Sequence,
+               epoch_counters: Sequence[Sequence[int]]
+               ) -> Optional[Tuple[int, int, int]]:
+    """The plan's first cut in shared-stream order.
+
+    Returns ``(rank, target, reach)``: the stream-first occurrence's
+    rank, the pause target ``occurrence - 1`` (the marked instruction
+    right *before* it — arming the faults there fires them exactly),
+    and the backstop epoch by which the occurrence is reached.  Stream
+    order is ``(reach epoch, rank, occurrence)``: the scheduler runs
+    ranks in index order within an epoch, so of two occurrences first
+    reached in the same epoch the lower rank's executes first.  None if
+    any occurrence is unreachable on this profile.
+    """
+    best = None
+    for f in faults:
+        reach = reach_epoch(epoch_counters, f.rank, f.occurrence)
+        if reach is None:
+            return None
+        key = (reach, f.rank, f.occurrence)
+        if best is None or key < best:
+            best = key
+    reach, rank, occurrence = best
+    return rank, occurrence - 1, reach
+
+
+def cut_sort_key(faults: Sequence,
+                 epoch_counters: Sequence[Sequence[int]]) -> tuple:
+    """Batch-planning sort key: trials ordered by their first cut.
+
+    Within a fork bucket, draining trials in this order keeps every cut
+    at or ahead of the shared stream position, so no lane retires for
+    being out of order.  Unreachable plans sort last (they retire to
+    the scalar tier anyway).
+    """
+    best = _UNREACHABLE
+    for f in faults:
+        reach = reach_epoch(epoch_counters, f.rank, f.occurrence)
+        if reach is None:
+            return _UNREACHABLE
+        key = (reach, f.rank, f.occurrence)
+        if key < best:
+            best = key
+    return best
+
+
+class LaneStack:
+    """``(lanes, words)`` world buffers: one row per paused trial world.
+
+    Per rank, three stacked planes mirror the flat
+    :class:`~repro.vm.memory.ProcessMemory` buffers — ``int64`` cells,
+    ``uint8`` float-kind tags, ``uint8`` validity — so capturing or
+    restoring a lane is one bulk slice copy per plane.  The allocator
+    metadata (sp/hp, heap blocks, free lists, live words) is small and
+    rides per row by value.
+    """
+
+    def __init__(self, width: int, capacities: Sequence[int]) -> None:
+        if width < 2:
+            raise ValueError(f"lane width must be >= 2, got {width}")
+        self.width = width
+        self.cells: List[np.ndarray] = [
+            np.zeros((width, cap), dtype=np.int64) for cap in capacities
+        ]
+        self.fkind: List[np.ndarray] = [
+            np.zeros((width, cap), dtype=np.uint8) for cap in capacities
+        ]
+        self.valid: List[np.ndarray] = [
+            np.zeros((width, cap), dtype=np.uint8) for cap in capacities
+        ]
+        #: per-lane allocator metadata, one tuple per rank
+        self.alloc: List[Optional[list]] = [None] * width
+
+    def capture(self, lane: int, machines: Sequence) -> None:
+        """Stack every rank's live memory into row ``lane``."""
+        alloc = []
+        for r, m in enumerate(machines):
+            mem = m.memory
+            self.cells[r][lane, :] = mem.cells_i
+            self.fkind[r][lane, :] = np.frombuffer(mem.fkind, dtype=np.uint8)
+            self.valid[r][lane, :] = np.frombuffer(mem.valid, dtype=np.uint8)
+            alloc.append((
+                mem.sp, mem.hp, dict(mem.heap_blocks),
+                {size: list(b) for size, b in mem.free_lists.items()},
+                mem.live_words,
+            ))
+        self.alloc[lane] = alloc
+
+    def restore(self, lane: int, machines: Sequence) -> None:
+        """Overwrite every rank's memory with row ``lane``, bit-exactly.
+
+        The full planes are copied back (stale garbage under
+        ``valid == 0`` included), so the restored world is the captured
+        byte state by construction — no dirty tracking involved.
+        """
+        alloc = self.alloc[lane]
+        if alloc is None:
+            raise ReproError(f"lane {lane} was never captured")
+        for r, m in enumerate(machines):
+            mem = m.memory
+            if mem._tx is not None:
+                raise ReproError(
+                    f"rank {r}: cannot restore a lane during a COW "
+                    f"transaction")
+            mem.cells_i[:] = self.cells[r][lane]
+            mem.fkind[:] = self.fkind[r][lane].tobytes()
+            mem.valid[:] = self.valid[r][lane].tobytes()
+            sp, hp, blocks, free_lists, live_words = alloc[r]
+            mem.sp = sp
+            mem.sp_peak = sp
+            mem.hp = hp
+            mem.heap_blocks = dict(blocks)
+            mem.free_lists = {s: list(b) for s, b in free_lists.items()}
+            mem.live_words = live_words

@@ -1,8 +1,18 @@
-"""Word-addressed process memory with stack and heap regions.
+"""Word-addressed process memory on flat NumPy world buffers.
 
 One address holds one 64-bit value (Python ``int`` or ``float``) — the
 paper's unit of contamination is one *memory location*, and this memory
 model makes ``len(shadow table)`` exactly the paper's CML count.
+
+Representation: a single ``int64`` array is the canonical bit store and
+a ``float64`` view aliases the same buffer, so every word is one machine
+word and a page copy, snapshot, or fingerprint is one array-slice
+operation instead of a per-word Python loop.  A one-byte ``fkind`` tag
+per word records which view wrote it last, preserving the exact
+int-vs-float observability of the old mixed Python list (``0`` and
+``0.0`` share bit patterns but remain distinct values).  The lane tier
+(:mod:`.lanes`) stacks N of these buffers into a ``(lanes, words)``
+array and executes trials in lockstep over the columns.
 
 Layout::
 
@@ -19,6 +29,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from .traps import Trap, TrapKind
 
 #: default copy-on-write page size, in 64-bit words
@@ -34,19 +46,25 @@ def default_page_words() -> int:
 class ProcessMemory:
     """Flat, validity-checked, word-addressed memory for one process.
 
-    The flat ``cells``/``valid`` buffers double as a forkable world
-    segment: :meth:`begin_tx` opens a page-granular copy-on-write
-    transaction during which every write path saves the pristine
-    content of the first page it touches, and :meth:`rollback_tx`
-    restores exactly those pages — O(pages touched), not O(capacity).
-    Outside a transaction ``page_owned`` is all-ones, so the per-store
-    guard is a single bytearray index.
+    The flat ``cells_i``/``cells_f``/``valid`` buffers double as a
+    forkable world segment: :meth:`begin_tx` opens a page-granular
+    copy-on-write transaction during which every write path saves the
+    pristine content of the first page it touches, and
+    :meth:`rollback_tx` restores exactly those pages — O(pages touched),
+    not O(capacity).  Outside a transaction ``page_owned`` is all-ones,
+    so the per-store guard is a single bytearray index.
+
+    Loads always return *Python* scalars (``.item()``), never NumPy
+    scalars: the interpreter's wrap arithmetic (``& _M64``) and the
+    journal's JSON encoding both require native ``int``/``float``.
     """
 
     __slots__ = (
         "capacity",
         "stack_words",
-        "cells",
+        "cells_i",
+        "cells_f",
+        "fkind",
         "valid",
         "sp",
         "sp_peak",
@@ -67,7 +85,10 @@ class ProcessMemory:
             raise ValueError("stack region must be smaller than total capacity")
         self.capacity = capacity
         self.stack_words = stack_words
-        self.cells: List = [0] * capacity
+        self.cells_i = np.zeros(capacity, dtype=np.int64)
+        self.cells_f = self.cells_i.view(np.float64)
+        #: 1 = the word was last written as a float (read via ``cells_f``)
+        self.fkind = bytearray(capacity)
         self.valid = bytearray(capacity)
         self.sp = 1  # address 0 is the null word
         #: stack high-water mark since the last restore — together with
@@ -92,16 +113,32 @@ class ProcessMemory:
         #: 1 = this trial may write the page directly; all-ones outside
         #: a transaction, cleared by :meth:`begin_tx`
         self.page_owned = bytearray(b"\x01" * npages)
-        #: active transaction: {page index: (pristine cells, valid)}
+        #: active transaction: {page index: (cells_i, fkind, valid)}
         self._tx: Optional[Dict[int, tuple]] = None
         self._tx_meta: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # Raw access (hot path: machine closures may bypass via direct fields)
     # ------------------------------------------------------------------
+    def peek(self, addr: int):
+        """Typed read without validity checks (tests, fingerprints)."""
+        return (self.cells_f.item(addr) if self.fkind[addr]
+                else self.cells_i.item(addr))
+
+    def poke(self, addr: int, value) -> None:
+        """Typed write without validity/COW checks.  Compiled closures
+        call this after performing their own guards."""
+        if value.__class__ is float:
+            self.cells_f[addr] = value
+            self.fkind[addr] = 1
+        else:
+            self.cells_i[addr] = value
+            self.fkind[addr] = 0
+
     def load(self, addr: int):
         if 0 <= addr < self.capacity and self.valid[addr]:
-            return self.cells[addr]
+            return (self.cells_f.item(addr) if self.fkind[addr]
+                    else self.cells_i.item(addr))
         raise Trap(TrapKind.MEM_FAULT, f"load from invalid address {addr}",
                    rank=self.rank)
 
@@ -109,7 +146,7 @@ class ProcessMemory:
         if 0 <= addr < self.capacity and self.valid[addr]:
             if not self.page_owned[addr >> self.page_shift]:
                 self.cow_page(addr)
-            self.cells[addr] = value
+            self.poke(addr, value)
             return
         raise Trap(TrapKind.MEM_FAULT, f"store to invalid address {addr}",
                    rank=self.rank)
@@ -131,15 +168,46 @@ class ProcessMemory:
             raise Trap(TrapKind.MEM_FAULT,
                        f"access to unallocated address {bad}", rank=self.rank)
 
+    def _typed_list(self, lo: int, hi: int) -> List:
+        """Words in ``[lo, hi)`` as native Python scalars."""
+        out = self.cells_i[lo:hi].tolist()
+        f = self.fkind.find(1, lo, hi)
+        while f >= 0:
+            out[f - lo] = self.cells_f.item(f)
+            f = self.fkind.find(1, f + 1, hi)
+        return out
+
+    def words(self) -> List:
+        """Every word as a native Python scalar (tests, debugging)."""
+        return self._typed_list(0, self.capacity)
+
     def read_block(self, addr: int, count: int) -> List:
         self.check_range(addr, count)
-        return self.cells[addr:addr + count]
+        return self._typed_list(addr, addr + count)
 
     def write_block(self, addr: int, values: List) -> None:
-        self.check_range(addr, len(values))
+        n = len(values)
+        self.check_range(addr, n)
         if self._tx is not None:
-            self._cow_range(addr, addr + len(values))
-        self.cells[addr:addr + len(values)] = values
+            self._cow_range(addr, addr + n)
+        has_float = False
+        has_int = False
+        for v in values:
+            if v.__class__ is float:
+                has_float = True
+            else:
+                has_int = True
+        if not has_float:
+            self.cells_i[addr:addr + n] = values
+            self.fkind[addr:addr + n] = b"\x00" * n
+        elif not has_int:
+            self.cells_f[addr:addr + n] = values
+            self.fkind[addr:addr + n] = b"\x01" * n
+        else:
+            # Mixed blocks must not be bulk-assigned into either typed
+            # view (NumPy would silently coerce), so write word-by-word.
+            for k, v in enumerate(values):
+                self.poke(addr + k, v)
 
     # ------------------------------------------------------------------
     # Copy-on-write transactions (fork-at-injection trial execution)
@@ -170,7 +238,9 @@ class ProcessMemory:
         if not self.page_owned[pg]:
             lo = pg << self.page_shift
             hi = lo + (1 << self.page_shift)
-            self._tx[pg] = (self.cells[lo:hi], bytes(self.valid[lo:hi]))
+            self._tx[pg] = (self.cells_i[lo:hi].copy(),
+                            bytes(self.fkind[lo:hi]),
+                            bytes(self.valid[lo:hi]))
             self.page_owned[pg] = 1
         return 1
 
@@ -195,12 +265,14 @@ class ProcessMemory:
         tx = self._tx
         if tx is None:
             raise RuntimeError("no COW transaction to roll back")
-        cells = self.cells
+        ci = self.cells_i
+        fk = self.fkind
         valid = self.valid
         psh = self.page_shift
-        for pg, (cell_page, valid_page) in tx.items():
+        for pg, (cell_page, fk_page, valid_page) in tx.items():
             lo = pg << psh
-            cells[lo:lo + len(cell_page)] = cell_page
+            ci[lo:lo + len(cell_page)] = cell_page
+            fk[lo:lo + len(fk_page)] = fk_page
             valid[lo:lo + len(valid_page)] = valid_page
         (self.sp, self.sp_peak, self.hp, self.heap_blocks,
          self.free_lists, self.live_words) = self._tx_meta
@@ -221,7 +293,8 @@ class ProcessMemory:
                        rank=self.rank)
         if self._tx is not None:
             self._cow_range(addr, new_sp)
-        self.cells[addr:new_sp] = [0] * count
+        self.cells_i[addr:new_sp] = 0
+        self.fkind[addr:new_sp] = b"\x00" * count
         self.valid[addr:new_sp] = b"\x01" * count
         self.sp = new_sp
         if new_sp > self.sp_peak:
@@ -259,7 +332,8 @@ class ProcessMemory:
             self.hp = addr + count
         if self._tx is not None:
             self._cow_range(addr, addr + count)
-        self.cells[addr:addr + count] = [0] * count
+        self.cells_i[addr:addr + count] = 0
+        self.fkind[addr:addr + count] = b"\x00" * count
         self.valid[addr:addr + count] = b"\x01" * count
         self.heap_blocks[addr] = count
         self.live_words += count
@@ -285,18 +359,26 @@ class ProcessMemory:
         """Capture a sparse, immutable copy of all *observable* memory.
 
         Only live words are copied: the stack ``[1, sp)`` (contiguously
-        valid by construction) and the live heap blocks.  Invalid cells
-        retain stale garbage in a live process, but every access path is
+        valid by construction) and the live heap blocks, each as one
+        array-slice copy plus its ``fkind`` tags.  Invalid cells retain
+        stale garbage in a live process, but every access path is
         validity-checked, so restoring them as zeros is observationally
         exact — and keeps per-snapshot cost proportional to live state,
         not capacity.
         """
+        stack_ci = self.cells_i[1:self.sp].copy()
+        stack_ci.flags.writeable = False
+        heap = {}
+        for base, size in self.heap_blocks.items():
+            blk = self.cells_i[base:base + size].copy()
+            blk.flags.writeable = False
+            heap[base] = (blk, bytes(self.fkind[base:base + size]))
         return (
             self.sp,
             self.hp,
-            self.cells[1:self.sp],
-            {base: self.cells[base:base + size]
-             for base, size in self.heap_blocks.items()},
+            stack_ci,
+            bytes(self.fkind[1:self.sp]),
+            heap,
             {size: list(bucket) for size, bucket in self.free_lists.items()},
             self.live_words,
         )
@@ -329,24 +411,27 @@ class ProcessMemory:
     def restore_state(self, state: tuple) -> None:
         """Reset this memory to a state captured by :meth:`snapshot_state`.
 
-        In place, dirty-delta: instead of reallocating two
-        full-capacity buffers per call, only the validity bytes this
-        run could have dirtied are wiped (:meth:`_wipe_dirty`) and the
-        snapshot content is overlaid.  On a fresh memory both wipes are
-        empty and the restore is a pure overlay.
+        In place, dirty-delta: instead of reallocating full-capacity
+        buffers per call, only the validity bytes this run could have
+        dirtied are wiped (:meth:`_wipe_dirty`) and the snapshot content
+        is overlaid as bulk slice copies.  On a fresh memory both wipes
+        are empty and the restore is a pure overlay.
         """
         if self._tx is not None:
             raise RuntimeError("cannot restore during a COW transaction")
-        sp, hp, stack_cells, heap, free_lists, live_words = state
-        cells = self.cells
+        sp, hp, stack_ci, stack_fk, heap, free_lists, live_words = state
+        ci = self.cells_i
+        fk = self.fkind
         valid = self.valid
         self._wipe_dirty()
-        cells[1:sp] = stack_cells
+        ci[1:sp] = stack_ci
+        fk[1:sp] = stack_fk
         valid[1:sp] = b"\x01" * (sp - 1)
         blocks: Dict[int, int] = {}
-        for base, content in heap.items():
-            size = len(content)
-            cells[base:base + size] = content
+        for base, (blk_ci, blk_fk) in heap.items():
+            size = len(blk_ci)
+            ci[base:base + size] = blk_ci
+            fk[base:base + size] = blk_fk
             valid[base:base + size] = b"\x01" * size
             blocks[base] = size
         self._set_restored_meta(sp, hp, blocks, free_lists, live_words)
@@ -359,13 +444,18 @@ class ProcessMemory:
 
         Unlike :meth:`snapshot_state` (sparse — proportional to live
         state, meant for long-lived stores), the dense form trades space
-        for clone speed: restoring it is two bulk copies instead of a
-        zero-fill plus per-region reconstruction.
+        for clone speed: restoring it is a handful of bulk slice copies
+        instead of a zero-fill plus per-region reconstruction.  The lane
+        tier also consumes this form to stack worlds into its
+        ``(lanes, words)`` array.
         """
+        ci = self.cells_i.copy()
+        ci.flags.writeable = False
         return (
             self.sp,
             self.hp,
-            list(self.cells),
+            ci,
+            bytes(self.fkind),
             bytes(self.valid),
             dict(self.heap_blocks),
             {size: list(bucket) for size, bucket in self.free_lists.items()},
@@ -384,11 +474,13 @@ class ProcessMemory:
         """
         if self._tx is not None:
             raise RuntimeError("cannot restore during a COW transaction")
-        sp, hp, cells, valid, blocks, free_lists, live_words = state
+        sp, hp, ci, fk, valid, blocks, free_lists, live_words = state
         self._wipe_dirty()
-        self.cells[1:sp] = cells[1:sp]
+        self.cells_i[1:sp] = ci[1:sp]
+        self.fkind[1:sp] = fk[1:sp]
         self.valid[1:sp] = valid[1:sp]
         if hp > self.stack_words:
-            self.cells[self.stack_words:hp] = cells[self.stack_words:hp]
+            self.cells_i[self.stack_words:hp] = ci[self.stack_words:hp]
+            self.fkind[self.stack_words:hp] = fk[self.stack_words:hp]
             self.valid[self.stack_words:hp] = valid[self.stack_words:hp]
         self._set_restored_meta(sp, hp, blocks, free_lists, live_words)

@@ -178,21 +178,20 @@ def _fpm_store_slow(m, addr, v, vp, addr_p):
     fpm = m.fpm
     if not mem.page_owned[addr >> mem.page_shift]:
         mem.cow_page(addr)
-    cells = mem.cells
     if addr_p == addr:
-        cells[addr] = v
+        mem.poke(addr, v)
         if v == vp or v != v and vp != vp:  # equal, or both NaN
             if addr in fpm.table:
                 del fpm.table[addr]
         else:
             fpm.record(addr, vp, m.cycles)
     else:
-        old = cells[addr]
-        cells[addr] = v
+        old = mem.peek(addr)
+        mem.poke(addr, v)
         if not (old == v or (old != old and v != v)):
             fpm.record(addr, old, m.cycles)
         if 0 <= addr_p < mem.capacity and mem.valid[addr_p]:
-            fpm.update(addr_p, cells[addr_p], vp, m.cycles)
+            fpm.update(addr_p, mem.peek(addr_p), vp, m.cycles)
     return v
 
 
@@ -223,13 +222,14 @@ def _fpm_template(inst):
             a, q, v = f"a{tag}", f"q{tag}", f"v{tag}"
             line = (
                 f"{a} = {a_src}; "
-                f"{v} = cells[{a}] if 0 <= {a} < cap and valid[{a}] "
+                f"{v} = (cf.item({a}) if fk[{a}] else ci.item({a})) "
+                f"if 0 <= {a} < cap and valid[{a}] "
                 f"else lt{tag}({a}); "
                 f"{q} = {p_src}; "
                 f"regs[{d}] = {v}; "
                 f"regs[{dp}] = ((ht.get({a}, {v}) if ht else {v}) "
                 f"if {q} == {a} else "
-                f"(ht.get({q}, cells[{q}]) "
+                f"(ht.get({q}, cf.item({q}) if fk[{q}] else ci.item({q})) "
                 f"if 0 <= {q} < cap and valid[{q}] else {v}))"
             )
             return line, binds, True
@@ -250,7 +250,7 @@ def _fpm_template(inst):
             line = (
                 f"{a} = {a_src}; {q} = {p_src}; "
                 f"{v} = {v_src}; {w} = {w_src}; "
-                f"cells[{a}] = {v} if ({q} == {a} and not ht "
+                f"pk({a}, {v}) if ({q} == {a} and not ht "
                 f"and ({v} == {w} or ({v} != {v} and {w} != {w})) "
                 f"and 0 <= {a} < cap and valid[{a}] "
                 f"and (owned[{a} >> psh] or co({a}))) "
@@ -466,7 +466,8 @@ def _codegen(records, end, program: CompiledProgram, label: str):
 
     prelude = "regs = f.regs"
     if needs_mem:
-        prelude += ("; mem = m.memory; cells = mem.cells; "
+        prelude += ("; mem = m.memory; ci = mem.cells_i; "
+                    "cf = mem.cells_f; fk = mem.fkind; pk = mem.poke; "
                     "valid = mem.valid; cap = mem.capacity; "
                     "owned = mem.page_owned; psh = mem.page_shift; "
                     "co = mem.cow_page")

@@ -8,7 +8,7 @@ consecutive trials on a worker restore the *same* snapshot, so that
 reconstruction is pure waste after the first time.
 
 The cache keeps, per snapshot cycle, a dense per-rank memory template
-(cells list + validity bytes) materialized right after the first cold
+(int64 cell array + fkind/validity bytes) materialized right after the first cold
 restore — i.e. the exact observable state `restore_state` would
 produce.  Later trials on the same snapshot clone the template with two
 bulk copies instead of re-running the sparse reconstruction.  All other

@@ -153,11 +153,12 @@ class TestStageTimings:
                          snapshot_stride=150)
         for t in c.trials:
             assert t.stage_timings is not None
-            # forked trials add a fork_advance stage on top of the base set
+            # forked trials add a fork_advance stage and lane trials a
+            # lane_advance stage on top of the base set
             assert {"artifact_load", "snapshot_restore", "clone",
                     "execute"} <= set(t.stage_timings) <= {
                 "artifact_load", "snapshot_restore", "clone", "execute",
-                "fork_advance", "tier2_codegen"}
+                "fork_advance", "lane_advance", "tier2_codegen"}
             assert all(v >= 0.0 for v in t.stage_timings.values())
 
     def test_health_aggregates_timings(self):

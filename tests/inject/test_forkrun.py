@@ -199,7 +199,8 @@ class TestGoldenCursor:
         pa = PreparedApp(get_app("matvec"), "fpm")
         cursor = GoldenCursor(pa)
         assert set(cursor.stats()) == {"epoch", "tier2", "trials",
-                                       "cold_starts", "rewinds"}
+                                       "lane_trials", "cold_starts",
+                                       "rewinds"}
 
 
 # ----------------------------------------------------------------------
@@ -281,12 +282,64 @@ class TestCampaignFork:
 
     def test_health_aggregates_fork_provenance(self):
         c = run_campaign("matvec", trials=16, mode="fpm", seed=31,
-                         snapshot_stride=150)
+                         snapshot_stride=150, lanes=0)
         forked = [t for t in c.trials if t.forked_at_cycle is not None]
         assert forked, "campaign never forked a trial"
         assert c.health.forked_trials == len(forked)
+        assert c.health.lane_trials == 0
         assert c.health.pages_copied == \
             sum(t.pages_copied or 0 for t in forked)
+
+    def test_health_counts_lane_trials_separately(self):
+        c = run_campaign("matvec", trials=16, mode="fpm", seed=31,
+                         snapshot_stride=150, lanes=4)
+        laned = [t for t in c.trials if t.lane is not None]
+        assert laned, "campaign never ran a lane trial"
+        assert c.health.lane_trials == len(laned)
+        # lane trials ride the shared stream, not scalar COW forks
+        assert c.health.forked_trials == \
+            sum(1 for t in c.trials
+                if t.forked_at_cycle is not None and t.lane is None)
+
+    def test_verify_failure_does_not_inflate_fork_metrics(self, monkeypatch):
+        """Regression: a fork trial failing its cold cross-check falls
+        back to the restore path and must not be counted in
+        ``repro_trials_forked_total`` / ``repro_pages_copied_total`` —
+        the counters are incremented only after the verify gate, so
+        they always agree with the shipped trials' provenance."""
+        from repro.obs import ObserveConfig
+
+        monkeypatch.setenv("REPRO_SNAPSHOT_VERIFY", "all")
+        real = campaign_mod.trial_results_equal
+        state = {"failed": False}
+
+        def flaky(a, b):
+            # fail exactly one *fork* verify (the restore-path verify
+            # compares a trial without fork provenance)
+            if not state["failed"] and a.forked_at_cycle is not None:
+                state["failed"] = True
+                return False
+            return real(a, b)
+
+        monkeypatch.setattr(campaign_mod, "trial_results_equal", flaky)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            c = run_campaign("matvec", trials=6, mode="fpm", seed=31,
+                             snapshot_stride=150, lanes=0,
+                             observe=ObserveConfig(events=False, cml=False))
+        assert state["failed"], "no fork verify ever ran"
+
+        def counter(name):
+            series = c.metrics["counters"].get(name, [])
+            return sum(value for _, value in series)
+
+        forked = [t for t in c.trials if t.forked_at_cycle is not None]
+        assert counter("repro_fork_fallback_total") == 1
+        assert counter("repro_trials_forked_total") == len(forked)
+        assert c.health.forked_trials == len(forked)
+        assert counter("repro_pages_copied_total") == c.health.pages_copied
+        assert c.health.pages_copied == \
+            sum(t.pages_copied or 0 for t in c.trials)
 
     def test_provenance_round_trips_json(self):
         c = run_campaign("matvec", trials=8, mode="fpm", seed=31,
@@ -354,8 +407,9 @@ class TestCampaignFork:
         monkeypatch.setattr(GoldenCursor, "fork_run", boom)
         with warnings.catch_warnings():
             warnings.simplefilter("ignore")
+            # lanes off: this exercises the scalar fork -> restore rung
             degraded = run_campaign("matvec", trials=8, mode="fpm",
-                                    seed=13, snapshot_stride=150)
+                                    seed=13, snapshot_stride=150, lanes=0)
         assert all(t.forked_at_cycle is None for t in degraded.trials)
         for a, b in zip(baseline.trials, degraded.trials):
             assert trial_results_equal(a, b)

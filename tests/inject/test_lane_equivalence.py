@@ -1,0 +1,201 @@
+"""Fuzz equivalence: lane-batched campaigns vs the scalar tiers.
+
+The mandatory acceptance suite of the lane contract, one tier above the
+fork equivalence suite: across >500 seeded trials, a campaign executed
+on lane windows — the shared golden stream advanced once per window,
+each trial's world stacked into a ``(lanes, words)`` NumPy row at its
+occurrence cut — must be bit-identical, every science field of every
+trial, to the same campaign with ``lanes=0`` on the scalar
+fork/restore/cold ladder.  The guarantee must survive harness chaos
+(workers killed mid-lane-window) and forced lane retirement (every
+trial bailing to the fork tier), and it must extend to the live CML
+streams and the journal science hash.
+"""
+
+import dataclasses
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.inject import run_campaign, trial_results_equal
+from repro.inject import campaign as campaign_mod
+from repro.inject.journal import journal_science_hash, read_journal_ex
+from repro.obs import ObserveConfig
+from repro.vm.lanes import LaneBail
+
+AMG_SMALL = {"n": 8, "max_cycles": 30}
+
+
+def _science_equal(a, b):
+    """Trial bit-identity modulo harness provenance (retry counts)."""
+    return trial_results_equal(dataclasses.replace(a, retries=0),
+                               dataclasses.replace(b, retries=0))
+
+
+def _counter(result, name):
+    """Sum a counter over all label series of an observed campaign."""
+    series = (result.metrics or {}).get("counters", {}).get(name, [])
+    return sum(value for _, value in series)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache(monkeypatch):
+    monkeypatch.setattr(campaign_mod, "_PREPARED_CACHE",
+                        type(campaign_mod._PREPARED_CACHE)())
+
+
+def _assert_equivalent(app, mode, trials, seed, lanes=8, **kw):
+    laned_run = run_campaign(app, trials=trials, mode=mode, seed=seed,
+                             keep_series=True, lanes=lanes, **kw)
+    campaign_mod._PREPARED_CACHE.clear()
+    plain = run_campaign(app, trials=trials, mode=mode, seed=seed,
+                         keep_series=True, lanes=0, **kw)
+    laned = sum(1 for t in laned_run.trials if t.lane is not None)
+    assert laned > 0, f"{app}/{mode} seed {seed}: no trial ever ran laned"
+    for i, (a, b) in enumerate(zip(laned_run.trials, plain.trials)):
+        assert trial_results_equal(a, b), (app, mode, seed, i, a, b)
+    assert laned_run.fractions() == plain.fractions()
+    assert laned_run.health.lane_trials == laned
+    assert plain.health.lane_trials == 0
+    return laned
+
+
+# 100 amg + 420 matvec + 12 chaos = 532 seeded trials total
+def test_fuzz_amg_fpm_lanes_equal_scalar():
+    laned = _assert_equivalent("amg", "fpm", trials=100, seed=41)
+    # amg's long epochs give every plan a fork epoch, and its single
+    # stream keeps every cut reachable: full lane occupancy
+    assert laned == 100
+
+
+@pytest.mark.parametrize("seed", [7, 19])
+def test_fuzz_matvec_fpm_lanes_equal_scalar(seed):
+    with warnings.catch_warnings():
+        # a retired lane (out-of-order or terminator cut) falls back to
+        # the scalar fork tier with a warning; equivalence must hold
+        # either way
+        warnings.simplefilter("ignore")
+        _assert_equivalent("matvec", "fpm", trials=210, seed=seed,
+                           snapshot_stride=150)
+
+
+def test_cml_streams_identical_with_lanes(tmp_path):
+    on_cfg = ObserveConfig(trace=str(tmp_path / "on.jsonl"))
+    off_cfg = ObserveConfig(trace=str(tmp_path / "off.jsonl"))
+    on = run_campaign("amg", 40, mode="fpm", seed=5, params=AMG_SMALL,
+                      snapshot_stride=256, lanes=8, observe=on_cfg)
+    campaign_mod._PREPARED_CACHE.clear()
+    off = run_campaign("amg", 40, mode="fpm", seed=5, params=AMG_SMALL,
+                       snapshot_stride=256, lanes=0, observe=off_cfg)
+    assert any(t.lane is not None for t in on.trials)
+    compared = 0
+    for i, (a, b) in enumerate(zip(on.trials, off.trials)):
+        if a.cml_stream is None:
+            assert b.cml_stream is None
+            continue
+        assert np.array_equal(a.cml_stream, b.cml_stream), \
+            f"trial {i} CML stream differs on the lane tier"
+        compared += 1
+    assert compared > 0
+
+
+def test_journal_science_hash_identical_and_width_recorded(tmp_path):
+    on_path = tmp_path / "lanes.jsonl"
+    off_path = tmp_path / "scalar.jsonl"
+    run_campaign("amg", 30, mode="fpm", seed=23, params=AMG_SMALL,
+                 snapshot_stride=256, lanes=4, journal=str(on_path))
+    campaign_mod._PREPARED_CACHE.clear()
+    run_campaign("amg", 30, mode="fpm", seed=23, params=AMG_SMALL,
+                 snapshot_stride=256, lanes=0, journal=str(off_path))
+    assert journal_science_hash(on_path) == journal_science_hash(off_path)
+    on_header, _, _ = read_journal_ex(on_path)
+    off_header, _, _ = read_journal_ex(off_path)
+    assert on_header["lanes"] == 4
+    assert off_header["lanes"] == 0
+
+
+def test_lane_occupancy_metrics_match_health():
+    res = run_campaign("amg", 25, mode="fpm", seed=13, params=AMG_SMALL,
+                       snapshot_stride=256, lanes=4,
+                       observe=ObserveConfig(events=False, cml=False))
+    laned = sum(1 for t in res.trials if t.lane is not None)
+    assert laned > 0
+    assert _counter(res, "repro_lane_enters_total") == laned
+    assert _counter(res, "repro_lane_enters_total") == \
+        res.health.lane_trials
+    assert _counter(res, "repro_lane_retirements_total") == 0
+    reconverged = sum(1 for t in res.trials
+                      if t.lane is not None
+                      and t.pruned_at_cycle is not None)
+    assert _counter(res, "repro_lane_reconverged_total") == reconverged
+
+
+def test_forced_lane_retirement_degrades_to_fork_tier(monkeypatch):
+    """Every lane bailing must land every trial on the scalar fork tier
+    with identical science and an honest retirement count."""
+    from repro.inject.forkrun import GoldenCursor
+
+    plain = run_campaign("amg", 12, mode="fpm", seed=29, params=AMG_SMALL,
+                         snapshot_stride=256, lanes=0)
+    campaign_mod._PREPARED_CACHE.clear()
+
+    def bail(self, *a, **kw):
+        raise LaneBail("forced by test")
+
+    monkeypatch.setattr(GoldenCursor, "lane_run", bail)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        retired = run_campaign(
+            "amg", 12, mode="fpm", seed=29, params=AMG_SMALL,
+            snapshot_stride=256, lanes=8,
+            observe=ObserveConfig(events=False, cml=False))
+
+    assert all(t.lane is None for t in retired.trials)
+    assert retired.health.lane_trials == 0
+    forked = sum(1 for t in retired.trials if t.forked_at_cycle is not None)
+    assert forked > 0, "retired trials never reached the fork tier"
+    assert _counter(retired, "repro_lane_retirements_total") == forked
+    assert _counter(retired, "repro_lane_enters_total") == 0
+    for i, (a, b) in enumerate(zip(retired.trials, plain.trials)):
+        assert trial_results_equal(a, b), i
+
+
+def test_chaos_worker_kill_mid_lane_window(tmp_path, monkeypatch):
+    """Kill every dispatched worker once, mid-lane-window: the engine
+    must requeue the dead worker's inflight trial and its window
+    siblings, ending bit-identical to a clean scalar run."""
+    N = 12
+    clean = run_campaign("matvec", trials=N, mode="blackbox", seed=77,
+                         workers=1, timeout=5.0, snapshot_stride=150,
+                         lanes=0)
+    campaign_mod._PREPARED_CACHE.clear()
+
+    monkeypatch.setenv("REPRO_CHAOS", "1")
+    monkeypatch.setenv("REPRO_CHAOS_SEED", "7")
+    monkeypatch.setenv("REPRO_CHAOS_DIR", str(tmp_path / "ledger"))
+    monkeypatch.setenv("REPRO_CHAOS_KILL", "1.0")
+    monkeypatch.setenv("REPRO_CHAOS_HANG", "0")
+    monkeypatch.setenv("REPRO_CHAOS_IO", "0")
+    monkeypatch.setenv("REPRO_CHAOS_ARTIFACT", "0")
+    monkeypatch.setenv("REPRO_CHAOS_TEAR", "0")
+    monkeypatch.setenv("REPRO_RETRY_BASE_DELAY", "0")
+    monkeypatch.setenv("REPRO_RETRY_MAX_DELAY", "0")
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        chaotic = run_campaign("matvec", trials=N, mode="blackbox",
+                               seed=77, workers=2, timeout=5.0,
+                               max_retries=2, snapshot_stride=150,
+                               executor="pool", lanes=8)
+
+    health = chaotic.health
+    assert health.worker_crashes > 0, "chaos never killed a worker"
+    assert not health.quarantined, "a window sibling was lost"
+    assert len(chaotic.trials) == N
+    assert all(t is not None for t in chaotic.trials)
+    # the respawned workers rebuild their cursors and lane windows; the
+    # re-executed trials still batch on the lane tier (or, if a lane
+    # retires on the fresh cursor, the fork tier)
+    assert health.lane_trials + health.forked_trials > 0
+    for i, (a, b) in enumerate(zip(chaotic.trials, clean.trials)):
+        assert _science_equal(a, b), i

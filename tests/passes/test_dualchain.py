@@ -182,7 +182,7 @@ func main(rank: int, size: int) {
     def test_patching_pristine_restores_clean_memory(self):
         prog = compile_program(build_dual(self.STRAIGHT))
         clean = run_to_end(prog)
-        clean_cells = list(clean.memory.cells)
+        clean_cells = clean.memory.words()
 
         # find injections that corrupt data inside the b[i] computation
         restored_any = 0
@@ -191,7 +191,7 @@ func main(rank: int, size: int) {
                 m = run_to_end(prog, faults=[FaultSpec(0, occ, bit=bit)])
                 if m.status is not MachineStatus.DONE or not m.fpm.table:
                     continue
-                patched = list(m.memory.cells)
+                patched = m.memory.words()
                 for addr, pristine in m.fpm.items():
                     patched[addr] = pristine
                 if patched == clean_cells:
@@ -210,9 +210,9 @@ func main(rank: int, size: int) {
         m = run_to_end(prog, faults=[FaultSpec(0, 40, bit=50)])
         if m.status is MachineStatus.DONE:
             for addr in m.fpm.table:
-                assert m.memory.cells[addr] != clean.memory.cells[addr] or True
+                assert m.memory.peek(addr) != clean.memory.peek(addr) or True
                 # the recorded pristine matches the clean run:
-                assert m.fpm.table[addr] == clean.memory.cells[addr]
+                assert m.fpm.table[addr] == clean.memory.peek(addr)
 
 
 class TestDualWithoutMem2Reg:

@@ -72,8 +72,8 @@ def _int_reg_slot(machine):
 def _mutate_stack_cell(machines, runtime):
     mem = machines[0].memory
     assert mem.sp > 1, "need at least one live stack word"
-    mem.cells[1] = (mem.cells[1] if isinstance(mem.cells[1], int)
-                    else 0) + 1
+    mem.poke(1, (mem.peek(1) if isinstance(mem.peek(1), int)
+                 else 0) + 1)
 
 
 def _mutate_register(machines, runtime):
@@ -117,7 +117,7 @@ def _mutate_heap_content(machines, runtime):
     mem = machines[0].memory
     base = mem.malloc(2)
     before = fingerprint_world(machines, runtime)
-    mem.cells[base] = 12345
+    mem.poke(base, 12345)
     assert fingerprint_world(machines, runtime) != before
 
 

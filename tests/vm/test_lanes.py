@@ -1,0 +1,177 @@
+"""Unit tests for the lane-batching primitives (``repro.vm.lanes``).
+
+The campaign-level bit-identity contract lives in
+``tests/inject/test_lane_equivalence.py``; this module pins down the
+pure helpers (cut planning over epoch counters) and the
+:class:`LaneStack` world-buffer round-trip in isolation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.vm.lanes import (LaneBail, LaneStack, _UNREACHABLE,
+                            cut_sort_key, reach_epoch, stream_cut)
+from repro.vm.machine import FaultSpec
+from repro.vm.memory import ProcessMemory
+
+
+#: hand-built dense counter timeline for two ranks: entry e holds each
+#: rank's occurrence counter after e completed epochs
+EC = [
+    (0, 0),   # epoch 0: nothing yet
+    (3, 1),
+    (5, 4),
+    (9, 9),
+]
+
+
+class TestReachEpoch:
+    def test_bisects_monotone_counters(self):
+        assert reach_epoch(EC, 0, 1) == 1
+        assert reach_epoch(EC, 0, 3) == 1
+        assert reach_epoch(EC, 0, 4) == 2
+        assert reach_epoch(EC, 1, 4) == 2
+        assert reach_epoch(EC, 1, 5) == 3
+
+    def test_none_when_stream_ends_first(self):
+        assert reach_epoch(EC, 0, 10) is None
+        assert reach_epoch([], 0, 1) is None
+
+    def test_boundary_occurrence_maps_to_last_epoch(self):
+        assert reach_epoch(EC, 0, 9) == 3
+        assert reach_epoch(EC, 1, 9) == 3
+
+
+class TestStreamCut:
+    def test_single_fault(self):
+        cut = stream_cut([FaultSpec(rank=0, occurrence=4)], EC)
+        assert cut == (0, 3, 2)  # pause target is occurrence - 1
+
+    def test_stream_order_prefers_earlier_reach_epoch(self):
+        faults = [FaultSpec(rank=0, occurrence=6),   # reach epoch 3
+                  FaultSpec(rank=1, occurrence=2)]   # reach epoch 2
+        assert stream_cut(faults, EC) == (1, 1, 2)
+
+    def test_same_epoch_ties_break_by_rank(self):
+        faults = [FaultSpec(rank=1, occurrence=2),   # (2, 1, 2)
+                  FaultSpec(rank=0, occurrence=4)]   # (2, 0, 4)
+        assert stream_cut(faults, EC) == (0, 3, 2)
+
+    def test_unreachable_fault_poisons_the_plan(self):
+        faults = [FaultSpec(rank=0, occurrence=1),
+                  FaultSpec(rank=1, occurrence=100)]
+        assert stream_cut(faults, EC) is None
+
+
+class TestCutSortKey:
+    def test_orders_plans_stream_ascending(self):
+        early = [FaultSpec(rank=0, occurrence=1)]
+        late = [FaultSpec(rank=0, occurrence=8)]
+        assert cut_sort_key(early, EC) < cut_sort_key(late, EC)
+
+    def test_unreachable_sorts_last(self):
+        gone = [FaultSpec(rank=0, occurrence=10 ** 6)]
+        assert cut_sort_key(gone, EC) == _UNREACHABLE
+        real = [FaultSpec(rank=1, occurrence=9)]
+        assert cut_sort_key(real, EC) < cut_sort_key(gone, EC)
+
+    def test_multi_fault_key_is_the_stream_first_cut(self):
+        faults = [FaultSpec(rank=0, occurrence=6),
+                  FaultSpec(rank=1, occurrence=2)]
+        assert cut_sort_key(faults, EC) == (2, 1, 2)
+
+
+class _FakeMachine:
+    """The slice of Machine that LaneStack touches: ``.memory``."""
+
+    def __init__(self, mem):
+        self.memory = mem
+
+
+def _world(rank=0, capacity=1 << 10):
+    mem = ProcessMemory(capacity=capacity, stack_words=1 << 8, rank=rank)
+    base = mem.stack_alloc(8)
+    for i in range(8):
+        mem.poke(base + i, (rank + 1) * 100 + i)
+    blk = mem.malloc(4)
+    mem.poke(blk, 3.5 + rank)  # a float so fkind planes matter
+    return _FakeMachine(mem), base, blk
+
+
+class TestLaneStack:
+    def test_width_below_two_rejected(self):
+        with pytest.raises(ValueError):
+            LaneStack(1, [64])
+
+    def test_restore_before_capture_rejected(self):
+        m, _, _ = _world()
+        stack = LaneStack(2, [m.memory.capacity])
+        with pytest.raises(ReproError):
+            stack.restore(0, [m])
+
+    def test_round_trip_is_bit_exact(self):
+        m, base, blk = _world()
+        mem = m.memory
+        stack = LaneStack(4, [mem.capacity])
+        stack.capture(2, [m])
+        before = (mem.cells_i.copy(), bytes(mem.fkind), bytes(mem.valid),
+                  mem.sp, mem.hp, dict(mem.heap_blocks), mem.live_words)
+
+        # trash the world: stores, a new allocation, a free
+        for i in range(8):
+            mem.poke(base + i, -1)
+        mem.poke(blk, 9.75)
+        other = mem.malloc(16)
+        mem.poke(other, 42)
+        mem.free(blk)
+        assert mem.peek(base) != before[0][base]
+
+        stack.restore(2, [m])
+        assert np.array_equal(mem.cells_i, before[0])
+        assert bytes(mem.fkind) == before[1]
+        assert bytes(mem.valid) == before[2]
+        assert (mem.sp, mem.hp) == (before[3], before[4])
+        assert dict(mem.heap_blocks) == before[5]
+        assert mem.live_words == before[6]
+        assert mem.peek(blk) == 3.5
+
+    def test_rows_are_independent(self):
+        m, base, _ = _world()
+        mem = m.memory
+        stack = LaneStack(2, [mem.capacity])
+        stack.capture(0, [m])
+        mem.poke(base, 111)
+        stack.capture(1, [m])
+        mem.poke(base, 222)
+        stack.restore(0, [m])
+        assert mem.peek(base) == 100
+        stack.restore(1, [m])
+        assert mem.peek(base) == 111
+
+    def test_multi_rank_planes(self):
+        worlds = [_world(rank=r)[0] for r in range(3)]
+        stack = LaneStack(2, [w.memory.capacity for w in worlds])
+        stack.capture(0, worlds)
+        snap = [w.memory.cells_i.copy() for w in worlds]
+        for w in worlds:
+            w.memory.cells_i[:] = 0
+        stack.restore(0, worlds)
+        for w, s in zip(worlds, snap):
+            assert np.array_equal(w.memory.cells_i, s)
+
+    def test_restore_during_cow_tx_rejected(self):
+        m, _, _ = _world()
+        stack = LaneStack(2, [m.memory.capacity])
+        stack.capture(0, [m])
+        m.memory.begin_tx()
+        try:
+            with pytest.raises(ReproError):
+                stack.restore(0, [m])
+        finally:
+            m.memory.rollback_tx()
+
+
+class TestLaneBail:
+    def test_is_a_repro_error(self):
+        assert issubclass(LaneBail, ReproError)

@@ -210,10 +210,9 @@ def _world_hash(m):
                    sorted((s, sorted(b)) for s, b in m.free_lists.items())
                    )).encode())
     valid = m.valid
-    cells = m.cells
     for i in range(m.capacity):
         if valid[i]:
-            h.update(repr((i, cells[i])).encode())
+            h.update(repr((i, m.peek(i))).encode())
     return h.hexdigest()
 
 

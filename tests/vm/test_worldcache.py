@@ -77,7 +77,7 @@ class TestDenseState:
         state = mem.dense_state()
         other = ProcessMemory(capacity=64, stack_words=16)
         other.restore_dense(state)
-        assert other.cells == mem.cells
+        assert other.words() == mem.words()
         assert other.valid == mem.valid
         assert other.sp == mem.sp and other.hp == mem.hp
         assert other.heap_blocks == mem.heap_blocks
